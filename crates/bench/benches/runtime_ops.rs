@@ -1,0 +1,130 @@
+//! Microbenchmarks of the DTT runtime primitives: the tracked store path
+//! (silent / changing / triggering), bulk transfers, trigger-table lookup
+//! scaling, and the join fast path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dtt_core::{Config, Runtime};
+use std::hint::black_box;
+
+fn store_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+
+    group.bench_function("silent", |b| {
+        let mut rt = Runtime::new(Config::default(), ());
+        let x = rt.alloc(7u64).unwrap();
+        b.iter(|| rt.with(|ctx| ctx.set(black_box(x), 7)));
+    });
+
+    group.bench_function("changing_unwatched", |b| {
+        let mut rt = Runtime::new(Config::default(), ());
+        let x = rt.alloc(0u64).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            rt.with(|ctx| ctx.set(black_box(x), v));
+        });
+    });
+
+    group.bench_function("changing_watched", |b| {
+        let mut rt = Runtime::new(Config::default(), ());
+        let x = rt.alloc(0u64).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, x.range()).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            rt.with(|ctx| ctx.set(black_box(x), v));
+        });
+    });
+
+    group.finish();
+}
+
+fn bulk_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk");
+    for n in [64usize, 1024, 16 * 1024] {
+        group.bench_with_input(BenchmarkId::new("write_slice_silent", n), &n, |b, &n| {
+            let mut rt = Runtime::new(Config::default(), ());
+            let xs = rt.alloc_array::<u64>(n).unwrap();
+            let values = vec![0u64; n];
+            rt.with(|ctx| ctx.write_slice(xs, 0, &values));
+            b.iter(|| rt.with(|ctx| ctx.write_slice(xs, 0, black_box(&values))));
+        });
+        group.bench_with_input(BenchmarkId::new("element_writes_silent", n), &n, |b, &n| {
+            let mut rt = Runtime::new(Config::default(), ());
+            let xs = rt.alloc_array::<u64>(n).unwrap();
+            b.iter(|| {
+                rt.with(|ctx| {
+                    for i in 0..n {
+                        ctx.write(xs, i, 0);
+                    }
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("read_all", n), &n, |b, &n| {
+            let mut rt = Runtime::new(Config::default(), ());
+            let xs = rt.alloc_array::<u64>(n).unwrap();
+            b.iter_batched(
+                Vec::new,
+                |mut out| rt.with(|ctx| ctx.read_all_into(xs, &mut out)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn trigger_lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger_lookup");
+    for watches in [1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(watches), &watches, |b, &w| {
+            let mut rt = Runtime::new(Config::default(), ());
+            let xs = rt.alloc_array::<u64>(w).unwrap();
+            // One tthread per element, each watching its own cell: the
+            // store below matches exactly one.
+            for i in 0..w {
+                let tt = rt.register(&format!("t{i}"), |_| {});
+                rt.watch(tt, xs.range_of(i, i + 1)).unwrap();
+            }
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                rt.with(|ctx| ctx.write(xs, 0, v));
+                // Keep the queue state flat.
+                rt.join_all().unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn join_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+
+    group.bench_function("skip_clean", |b| {
+        let mut rt = Runtime::new(Config::default(), ());
+        let tt = rt.register("t", |_| {});
+        b.iter(|| rt.join(black_box(tt)).unwrap());
+    });
+
+    group.bench_function("trigger_and_run_inline", |b| {
+        let mut rt = Runtime::new(Config::default(), 0u64);
+        let x = rt.alloc(0u64).unwrap();
+        let tt = rt.register("t", move |ctx| {
+            let v = ctx.get(x);
+            *ctx.user_mut() = v;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            rt.write(x, v);
+            rt.join(tt).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, store_paths, bulk_transfers, trigger_lookup_scaling, join_paths);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Macro-benchmarks: baseline vs DTT wall-clock for every workload in the
+//! suite (the Criterion version of R-Fig.12, at train scale so a full
+//! `cargo bench` stays quick).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtt_core::Config;
+use dtt_workloads::{suite, Scale};
+use std::hint::black_box;
+
+fn baseline_vs_dtt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+    for w in suite(Scale::Train) {
+        group.bench_with_input(
+            BenchmarkId::new("baseline", w.name()),
+            &w,
+            |b, w| b.iter(|| black_box(w.run_baseline())),
+        );
+        group.bench_with_input(BenchmarkId::new("dtt", w.name()), &w, |b, w| {
+            b.iter(|| black_box(w.run_dtt(Config::default()).digest))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baseline_vs_dtt);
+criterion_main!(benches);

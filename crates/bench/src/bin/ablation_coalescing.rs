@@ -1,0 +1,40 @@
+//! Ablation: trigger coalescing in the software runtime's parallel
+//! executor. Without coalescing, every changing store to a watched range
+//! enqueues another instance of the tthread, flooding the bounded queue
+//! and forcing overflow fallbacks and repeated executions.
+
+use dtt_bench::Table;
+use dtt_core::Config;
+use dtt_workloads::{suite, Scale};
+
+fn main() {
+    // Test scale keeps the uncoalesced runs quick — the point is the
+    // counter blow-up, not absolute time.
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "execs (coalesced)".into(),
+        "execs (raw)".into(),
+        "blow-up".into(),
+        "enqueues raw".into(),
+        "overflows raw".into(),
+    ]);
+    for w in suite(Scale::Test) {
+        let cfg = Config::default().with_workers(2).with_queue_capacity(8);
+        let with = w.run_dtt(cfg.clone());
+        let without = w.run_dtt(cfg.with_coalescing(false));
+        assert_eq!(with.digest, without.digest, "{}: coalescing changed results", w.name());
+        let e_with: u64 = with.tthreads.iter().map(|t| t.executions).sum();
+        let e_without: u64 = without.tthreads.iter().map(|t| t.executions).sum();
+        table.row(vec![
+            w.name().into(),
+            e_with.to_string(),
+            e_without.to_string(),
+            format!("{:.1}x", e_without as f64 / e_with.max(1) as f64),
+            without.stats.counters().enqueues.to_string(),
+            without.stats.counters().queue_overflows.to_string(),
+        ]);
+    }
+    table.print("Ablation: trigger coalescing (parallel executor, test scale)");
+    println!("coalescing merges repeated triggers of a pending tthread into one execution;");
+    println!("without it the same recomputation runs once per triggering store.");
+}

@@ -1,0 +1,42 @@
+//! Ablation: next-line L1 prefetching. Prefetching accelerates the
+//! streaming region bodies the *baseline* must always execute, so it
+//! narrows DTT's advantage — the better the conventional machine hides
+//! memory latency, the less there is to skip. (The inverse of R-Fig.13.)
+
+use dtt_bench::{fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "no prefetch".into(),
+        "next-line prefetch".into(),
+        "delta".into(),
+    ]);
+    let (mut off_all, mut on_all) = (Vec::new(), Vec::new());
+    for (w, trace) in &traces {
+        let cfg_off = MachineConfig::default();
+        let mut cfg_on = MachineConfig::default();
+        cfg_on.hierarchy.prefetch_next_line = true;
+        let (base_off, dtt_off) = run_pair(&cfg_off, trace);
+        let (base_on, dtt_on) = run_pair(&cfg_on, trace);
+        let s_off = base_off.speedup_over(&dtt_off);
+        let s_on = base_on.speedup_over(&dtt_on);
+        off_all.push(s_off);
+        on_all.push(s_on);
+        table.row(vec![
+            w.name().into(),
+            fmt_speedup(s_off),
+            fmt_speedup(s_on),
+            format!("{:+.1}%", 100.0 * (s_on / s_off - 1.0)),
+        ]);
+    }
+    table.row(vec![
+        "geomean".into(),
+        fmt_speedup(geomean(&off_all)),
+        fmt_speedup(geomean(&on_all)),
+        "-".into(),
+    ]);
+    table.print("Ablation: next-line L1 prefetching");
+}

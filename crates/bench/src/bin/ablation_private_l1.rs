@@ -1,0 +1,41 @@
+//! Ablation: where do the spare contexts' L1s live? A shared L1
+//! (SMT-style contexts) lets offloaded tthreads reuse the main thread's
+//! cache state; private L1s (CMP-style cores) isolate the main thread but
+//! cost every offloaded execution a refill from L2.
+
+use dtt_bench::{fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "shared L1".into(),
+        "private L1".into(),
+        "delta".into(),
+    ]);
+    let (mut shared_all, mut private_all) = (Vec::new(), Vec::new());
+    for (w, trace) in &traces {
+        let shared_cfg = MachineConfig::default().with_contexts(4);
+        let private_cfg = MachineConfig::default().with_contexts(4).with_private_l1(true);
+        let (base_s, dtt_s) = run_pair(&shared_cfg, trace);
+        let (base_p, dtt_p) = run_pair(&private_cfg, trace);
+        let s = base_s.speedup_over(&dtt_s);
+        let p = base_p.speedup_over(&dtt_p);
+        shared_all.push(s);
+        private_all.push(p);
+        table.row(vec![
+            w.name().into(),
+            fmt_speedup(s),
+            fmt_speedup(p),
+            format!("{:+.1}%", 100.0 * (p / s - 1.0)),
+        ]);
+    }
+    table.row(vec![
+        "geomean".into(),
+        fmt_speedup(geomean(&shared_all)),
+        fmt_speedup(geomean(&private_all)),
+        "-".into(),
+    ]);
+    table.print("Ablation: shared vs private L1 for tthread contexts (4-context machine)");
+}

@@ -1,0 +1,38 @@
+//! Ablation: thread-status-table capacity. Tthreads beyond the TST are
+//! unmanaged — the hardware cannot track their triggers, so their regions
+//! always execute. Benchmarks with many tthreads (bzip2: 24, ammp/gzip:
+//! 16) lose their benefit as the table shrinks.
+
+use dtt_bench::{fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let sweeps: [usize; 5] = [1, 4, 8, 16, 32];
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(sweeps.iter().map(|t| format!("tst={t}")))
+            .chain(std::iter::once("tthreads".to_string()))
+            .collect(),
+    );
+    let mut per_sweep: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
+    for (w, trace) in &traces {
+        let mut row = vec![w.name().to_string()];
+        for (i, &cap) in sweeps.iter().enumerate() {
+            let cfg = MachineConfig::default().with_tst_capacity(cap);
+            let (base, dtt) = run_pair(&cfg, trace);
+            let s = base.speedup_over(&dtt);
+            per_sweep[i].push(s);
+            row.push(fmt_speedup(s));
+        }
+        row.push(trace.tthread_names().len().to_string());
+        table.row(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    for col in &per_sweep {
+        geo.push(fmt_speedup(geomean(col)));
+    }
+    geo.push("-".into());
+    table.row(geo);
+    table.print("Ablation: thread status table capacity");
+}

@@ -1,0 +1,43 @@
+//! R-Fig.10 — thread-queue capacity sensitivity: geomean DTT speedup and
+//! overflow counts as the pending-tthread queue shrinks. Overflowed
+//! triggers force the tthread to run inline on the main context.
+
+use dtt_bench::{fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let sweeps: [usize; 5] = [1, 2, 4, 16, 64];
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(sweeps.iter().map(|q| format!("q={q}")))
+            .chain(std::iter::once("overflows@q=1".to_string()))
+            .collect(),
+    );
+    let mut per_sweep: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
+    for (w, trace) in &traces {
+        let mut row = vec![w.name().to_string()];
+        let mut overflow_at_one = 0u64;
+        for (i, &q) in sweeps.iter().enumerate() {
+            let cfg = MachineConfig::default()
+                .with_contexts(4)
+                .with_queue_capacity(q);
+            let (base, dtt) = run_pair(&cfg, trace);
+            let s = base.speedup_over(&dtt);
+            per_sweep[i].push(s);
+            row.push(fmt_speedup(s));
+            if q == 1 {
+                overflow_at_one = dtt.queue_overflows;
+            }
+        }
+        row.push(overflow_at_one.to_string());
+        table.row(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    for col in &per_sweep {
+        geo_row.push(fmt_speedup(geomean(col)));
+    }
+    geo_row.push("-".into());
+    table.row(geo_row);
+    table.print("R-Fig.10: speedup vs thread-queue capacity (4-context machine)");
+}

@@ -1,0 +1,34 @@
+//! R-Fig.11 — energy proxy: activity-based energy of baseline vs DTT
+//! execution. DTT removes instructions and cache activity and pays a small
+//! per-store comparison cost.
+
+use dtt_bench::{fmt_pct, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::default();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "baseline nJ".into(),
+        "dtt nJ".into(),
+        "compare nJ".into(),
+        "saving".into(),
+    ]);
+    let mut savings = Vec::new();
+    for (w, trace) in suite_with_traces(EXPERIMENT_SCALE) {
+        let (base, dtt) = run_pair(&cfg, &trace);
+        let saving = 1.0 - dtt.energy_pj / base.energy_pj;
+        savings.push(saving);
+        let compare_nj = dtt.compares as f64 * 2.0 / 1000.0; // compare_pj default
+        table.row(vec![
+            w.name().into(),
+            format!("{:.1}", base.energy_pj / 1000.0),
+            format!("{:.1}", dtt.energy_pj / 1000.0),
+            format!("{compare_nj:.1}"),
+            fmt_pct(saving),
+        ]);
+    }
+    let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+    table.row(vec!["mean".into(), "-".into(), "-".into(), "-".into(), fmt_pct(mean)]);
+    table.print("R-Fig.11: energy proxy (activity model)");
+}

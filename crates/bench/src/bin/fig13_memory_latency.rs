@@ -1,0 +1,36 @@
+//! Extension experiment (R-Fig.13): memory-latency sensitivity. DTT
+//! removes loads along with instructions, so its advantage should grow on
+//! machines with slower memory — the trend that made the technique
+//! attractive as the memory wall steepened.
+
+use dtt_bench::{fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let sweeps: [u64; 5] = [50, 100, 200, 400, 800];
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(sweeps.iter().map(|l| format!("{l} cyc mem")))
+            .collect(),
+    );
+    let mut per_sweep: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
+    for (w, trace) in &traces {
+        let mut row = vec![w.name().to_string()];
+        for (i, &lat) in sweeps.iter().enumerate() {
+            let mut cfg = MachineConfig::default();
+            cfg.hierarchy.memory_latency = lat;
+            let (base, dtt) = run_pair(&cfg, trace);
+            let s = base.speedup_over(&dtt);
+            per_sweep[i].push(s);
+            row.push(fmt_speedup(s));
+        }
+        table.row(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    for col in &per_sweep {
+        geo.push(fmt_speedup(geomean(col)));
+    }
+    table.row(geo);
+    table.print("R-Fig.13 (extension): speedup vs memory latency");
+}

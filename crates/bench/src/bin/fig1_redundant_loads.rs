@@ -1,0 +1,32 @@
+//! R-Fig.1 — the motivating characterization: fraction of dynamic loads
+//! that are redundant (fetch the value most recently loaded from or stored
+//! to that address), per benchmark.
+//!
+//! Paper reference point (abstract): 78% of all loads fetch redundant data.
+
+use dtt_bench::{fmt_pct, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_profile::LoadProfiler;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "loads".into(),
+        "redundant".into(),
+        "fraction".into(),
+    ]);
+    let mut fractions = Vec::new();
+    for (w, trace) in suite_with_traces(EXPERIMENT_SCALE) {
+        let profile = LoadProfiler::profile(&trace);
+        fractions.push(profile.redundant_fraction());
+        table.row(vec![
+            w.name().into(),
+            profile.total_loads.to_string(),
+            profile.redundant_loads.to_string(),
+            fmt_pct(profile.redundant_fraction()),
+        ]);
+    }
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    table.row(vec!["mean".into(), "-".into(), "-".into(), fmt_pct(mean)]);
+    table.print("R-Fig.1: redundant loads per benchmark");
+    println!("paper: 78% of all loads are redundant; measured mean {}", fmt_pct(mean));
+}

@@ -1,0 +1,33 @@
+//! R-Fig.2 — how much *computation* is redundant: the fraction of dynamic
+//! instructions spent in region instances whose watched inputs did not
+//! change (exactly the work DTT can eliminate), per benchmark.
+
+use dtt_bench::{fmt_pct, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_profile::RedundancyProfiler;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "instructions".into(),
+        "redundant".into(),
+        "fraction".into(),
+        "redundant region instances".into(),
+    ]);
+    let mut fractions = Vec::new();
+    for (w, trace) in suite_with_traces(EXPERIMENT_SCALE) {
+        let profile = RedundancyProfiler::profile(&trace);
+        fractions.push(profile.redundant_fraction());
+        let instances: u64 = profile.tthreads.iter().map(|t| t.instances).sum();
+        let redundant: u64 = profile.tthreads.iter().map(|t| t.redundant_instances).sum();
+        table.row(vec![
+            w.name().into(),
+            profile.total_instructions.to_string(),
+            profile.redundant_instructions().to_string(),
+            fmt_pct(profile.redundant_fraction()),
+            format!("{redundant}/{instances}"),
+        ]);
+    }
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    table.row(vec!["mean".into(), "-".into(), "-".into(), fmt_pct(mean), "-".into()]);
+    table.print("R-Fig.2: redundant computation per benchmark");
+}

@@ -1,0 +1,45 @@
+//! R-Fig.5 — the headline result: simulated speedup of DTT over the
+//! baseline machine, per benchmark, on the default machine configuration.
+//!
+//! Paper reference points (abstract): speedups up to 5.9× (mcf), averaging
+//! 46% across the modified C SPEC benchmarks.
+
+use dtt_bench::{fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::default();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "base cycles".into(),
+        "dtt cycles".into(),
+        "speedup".into(),
+        "regions skipped".into(),
+    ]);
+    let mut speedups = Vec::new();
+    for (w, trace) in suite_with_traces(EXPERIMENT_SCALE) {
+        let (base, dtt) = run_pair(&cfg, &trace);
+        let speedup = base.speedup_over(&dtt);
+        speedups.push(speedup);
+        table.row(vec![
+            w.name().into(),
+            base.cycles.to_string(),
+            dtt.cycles.to_string(),
+            fmt_speedup(speedup),
+            fmt_pct(dtt.skip_rate()),
+        ]);
+    }
+    table.row(vec![
+        "geomean".into(),
+        "-".into(),
+        "-".into(),
+        fmt_speedup(geomean(&speedups)),
+        "-".into(),
+    ]);
+    table.print("R-Fig.5: DTT speedup over baseline (default machine)");
+    println!(
+        "paper: up to 5.9x (mcf), average +46%; measured max {} / geomean {}",
+        fmt_speedup(speedups.iter().cloned().fold(f64::MIN, f64::max)),
+        fmt_speedup(geomean(&speedups)),
+    );
+}

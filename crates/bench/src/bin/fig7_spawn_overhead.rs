@@ -1,0 +1,33 @@
+//! R-Fig.7 — sensitivity to the tthread spawn overhead: geomean DTT
+//! speedup as the trigger-to-start latency grows from free to 10k cycles.
+
+use dtt_bench::{fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let sweeps: [u64; 5] = [0, 10, 100, 1_000, 10_000];
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(sweeps.iter().map(|s| format!("{s} cyc")))
+            .collect(),
+    );
+    let mut per_sweep: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
+    for (w, trace) in &traces {
+        let mut row = vec![w.name().to_string()];
+        for (i, &spawn) in sweeps.iter().enumerate() {
+            let cfg = MachineConfig::default().with_spawn_overhead(spawn);
+            let (base, dtt) = run_pair(&cfg, trace);
+            let s = base.speedup_over(&dtt);
+            per_sweep[i].push(s);
+            row.push(fmt_speedup(s));
+        }
+        table.row(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    for col in &per_sweep {
+        geo_row.push(fmt_speedup(geomean(col)));
+    }
+    table.row(geo_row);
+    table.print("R-Fig.7: speedup vs tthread spawn overhead");
+}

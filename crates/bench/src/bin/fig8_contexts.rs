@@ -1,0 +1,33 @@
+//! R-Fig.8 — sensitivity to hardware contexts: geomean DTT speedup with 1,
+//! 2, 4 and 8 total contexts (contexts − 1 spare contexts run tthreads).
+
+use dtt_bench::{fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let sweeps: [usize; 4] = [1, 2, 4, 8];
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(sweeps.iter().map(|c| format!("{c} ctx")))
+            .collect(),
+    );
+    let mut per_sweep: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
+    for (w, trace) in &traces {
+        let mut row = vec![w.name().to_string()];
+        for (i, &contexts) in sweeps.iter().enumerate() {
+            let cfg = MachineConfig::default().with_contexts(contexts);
+            let (base, dtt) = run_pair(&cfg, trace);
+            let s = base.speedup_over(&dtt);
+            per_sweep[i].push(s);
+            row.push(fmt_speedup(s));
+        }
+        table.row(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    for col in &per_sweep {
+        geo_row.push(fmt_speedup(geomean(col)));
+    }
+    table.row(geo_row);
+    table.print("R-Fig.8: speedup vs hardware contexts");
+}

@@ -1,0 +1,46 @@
+//! R-Fig.9 — trigger granularity ablation: byte-precise vs word (8 B) vs
+//! cache line (64 B) observation, reporting false-trigger fraction and the
+//! resulting speedup. Coarser granularity is cheaper hardware but fires
+//! tthreads for stores that merely *neighbour* the watched data.
+
+use dtt_bench::{fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let sweeps: [u32; 3] = [1, 8, 64];
+    let traces = suite_with_traces(EXPERIMENT_SCALE);
+    let mut table = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(sweeps.iter().flat_map(|g| {
+                [format!("{g}B speedup"), format!("{g}B false trig")]
+            }))
+            .collect(),
+    );
+    let mut per_sweep: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
+    for (w, trace) in &traces {
+        let mut row = vec![w.name().to_string()];
+        for (i, &g) in sweeps.iter().enumerate() {
+            let cfg = MachineConfig::default().with_granularity_bytes(g);
+            let (base, dtt) = run_pair(&cfg, trace);
+            let s = base.speedup_over(&dtt);
+            per_sweep[i].push(s);
+            let triggers: u64 = dtt.tthreads.iter().map(|t| t.triggers).sum();
+            let false_triggers: u64 = dtt.tthreads.iter().map(|t| t.false_triggers).sum();
+            let frac = if triggers == 0 {
+                0.0
+            } else {
+                false_triggers as f64 / triggers as f64
+            };
+            row.push(fmt_speedup(s));
+            row.push(fmt_pct(frac));
+        }
+        table.row(row);
+    }
+    let mut geo_row = vec!["geomean".to_string()];
+    for col in &per_sweep {
+        geo_row.push(fmt_speedup(geomean(col)));
+        geo_row.push("-".into());
+    }
+    table.row(geo_row);
+    table.print("R-Fig.9: trigger granularity (speedup and false-trigger fraction)");
+}

@@ -1,0 +1,9 @@
+//! R-Tab.1 — the simulated machine configuration (the reconstruction of
+//! the paper's processor-parameters table).
+
+use dtt_sim::MachineConfig;
+
+fn main() {
+    println!("== R-Tab.1: simulated machine configuration ==");
+    println!("{}", MachineConfig::default());
+}

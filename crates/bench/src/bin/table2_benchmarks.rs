@@ -1,0 +1,33 @@
+//! R-Tab.2 — per-benchmark DTT characteristics, from the software runtime:
+//! tthreads, triggering stores, silent-store fraction, trigger density,
+//! and the skip rate at the joins.
+
+use dtt_bench::{fmt_pct, Table, EXPERIMENT_SCALE};
+use dtt_core::Config;
+use dtt_workloads::suite;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "spec model".into(),
+        "tthreads".into(),
+        "tracked stores".into(),
+        "silent".into(),
+        "triggers/kstore".into(),
+        "skip rate".into(),
+    ]);
+    for w in suite(EXPERIMENT_SCALE) {
+        let run = w.run_dtt(Config::default());
+        let c = run.stats.counters();
+        table.row(vec![
+            w.name().into(),
+            w.spec_inspiration().into(),
+            run.tthreads.len().to_string(),
+            c.tracked_stores.to_string(),
+            fmt_pct(run.stats.silent_store_fraction()),
+            format!("{:.1}", run.stats.triggers_per_kilo_store()),
+            fmt_pct(run.stats.skip_fraction()),
+        ]);
+    }
+    table.print("R-Tab.2: benchmark characteristics (software DTT runtime, deferred executor)");
+}

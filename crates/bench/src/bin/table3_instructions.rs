@@ -1,0 +1,32 @@
+//! R-Tab.3 — dynamic instructions eliminated: the fraction of the
+//! baseline's dynamic instruction stream that the DTT machine never
+//! executes (skipped region instances).
+
+use dtt_bench::{fmt_pct, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_sim::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::default();
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "baseline instr".into(),
+        "dtt executed".into(),
+        "dtt skipped".into(),
+        "reduction".into(),
+    ]);
+    let mut reductions = Vec::new();
+    for (w, trace) in suite_with_traces(EXPERIMENT_SCALE) {
+        let (base, dtt) = run_pair(&cfg, &trace);
+        reductions.push(dtt.instruction_reduction());
+        table.row(vec![
+            w.name().into(),
+            base.instructions_executed.to_string(),
+            dtt.instructions_executed.to_string(),
+            dtt.instructions_skipped.to_string(),
+            fmt_pct(dtt.instruction_reduction()),
+        ]);
+    }
+    let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    table.row(vec!["mean".into(), "-".into(), "-".into(), "-".into(), fmt_pct(mean)]);
+    table.print("R-Tab.3: dynamic instruction reduction");
+}

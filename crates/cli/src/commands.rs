@@ -1,0 +1,234 @@
+//! The CLI subcommands.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use dtt_core::{Config, Granularity};
+use dtt_profile::{LoadProfiler, RedundancyProfiler, StoreProfiler};
+use dtt_sim::{simulate, MachineConfig, SimMode};
+use dtt_trace::Trace;
+use dtt_workloads::{suite, Scale, Workload};
+
+use crate::args::{ArgError, Args};
+use crate::CliError;
+
+fn parse_scale(args: &Args) -> Result<Scale, CliError> {
+    match args.get("scale") {
+        None => Ok(Scale::Train),
+        Some("test") => Ok(Scale::Test),
+        Some("train") => Ok(Scale::Train),
+        Some("ref") | Some("reference") => Ok(Scale::Reference),
+        Some(other) => Err(ArgError::BadValue {
+            option: "scale".into(),
+            value: other.into(),
+        }
+        .into()),
+    }
+}
+
+fn parse_granularity(args: &Args) -> Result<Granularity, CliError> {
+    match args.get("granularity") {
+        None | Some("exact") => Ok(Granularity::Exact),
+        Some("word") => Ok(Granularity::Word),
+        Some("line") => Ok(Granularity::Line),
+        Some(other) => match other.parse::<u32>() {
+            Ok(b) if b.is_power_of_two() => Ok(Granularity::Block(b)),
+            _ => Err(ArgError::BadValue {
+                option: "granularity".into(),
+                value: other.into(),
+            }
+            .into()),
+        },
+    }
+}
+
+fn find_workload(args: &Args, scale: Scale) -> Result<Box<dyn Workload>, CliError> {
+    let name = args.positional(1, "workload").map_err(CliError::Args)?;
+    suite(scale)
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| CliError::UnknownWorkload(name.to_owned()))
+}
+
+fn machine_from_args(args: &Args) -> Result<MachineConfig, CliError> {
+    let cfg = MachineConfig::default()
+        .with_contexts(args.get_parsed("contexts", 2usize)?)
+        .with_spawn_overhead(args.get_parsed("spawn", 100u64)?)
+        .with_queue_capacity(args.get_parsed("queue", 16usize)?)
+        .with_granularity_bytes(args.get_parsed("granularity-bytes", 8u32)?)
+        .with_silent_store_suppression(!args.flag("no-suppress"))
+        .with_private_l1(args.flag("private-l1"))
+        .with_tst_capacity(args.get_parsed("tst", 256usize)?);
+    cfg.validate();
+    Ok(cfg)
+}
+
+/// `dtt-cli list`
+pub fn list(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["scale"]).map_err(CliError::Args)?;
+    let mut out = String::from("workload  modelled on         redundancy structure\n");
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    for w in suite(Scale::Test) {
+        let _ = writeln!(
+            out,
+            "{:<9} {:<19} {}",
+            w.name(),
+            w.spec_inspiration(),
+            w.description()
+        );
+    }
+    Ok(out)
+}
+
+/// `dtt-cli run <workload>`
+pub fn run(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["scale", "workers", "granularity", "no-suppress"])
+        .map_err(CliError::Args)?;
+    let scale = parse_scale(args)?;
+    let w = find_workload(args, scale)?;
+    let cfg = Config::default()
+        .with_workers(args.get_parsed("workers", 0usize)?)
+        .with_granularity(parse_granularity(args)?)
+        .with_silent_store_suppression(!args.flag("no-suppress"));
+    let baseline = w.run_baseline();
+    let run = w.run_dtt(cfg);
+    let check = if baseline == run.digest { "ok" } else { "MISMATCH" };
+    let mut out = String::new();
+    let _ = writeln!(out, "workload {} at {scale} scale", w.name());
+    let _ = writeln!(out, "digest check: {check} (0x{baseline:016x})");
+    let _ = writeln!(out, "\nper-tthread:");
+    for t in &run.tthreads {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} executions  {:>8} skips  {:>8} triggers",
+            t.name, t.executions, t.skips, t.triggers
+        );
+    }
+    let _ = writeln!(out, "\n{}", run.stats);
+    Ok(out)
+}
+
+/// `dtt-cli profile <workload>`
+pub fn profile(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["scale", "top"]).map_err(CliError::Args)?;
+    let scale = parse_scale(args)?;
+    let w = find_workload(args, scale)?;
+    let trace = w.trace();
+    profile_trace(&trace, w.name(), args.get_parsed("top", 5usize)?)
+}
+
+fn profile_trace(trace: &Trace, label: &str, top: usize) -> Result<String, CliError> {
+    let loads = LoadProfiler::profile(trace);
+    let redundancy = RedundancyProfiler::profile(trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "profile of {label}: {} events, {} instructions",
+        trace.events().len(), trace.instructions());
+    let _ = writeln!(out, "redundant loads: {loads}");
+    let _ = writeln!(out, "redundant computation: {redundancy}");
+    let _ = writeln!(out, "\ntop redundant load sites (tthread candidates):");
+    for (site, stats) in loads.hottest_sites().into_iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  site {:<4} {:>10} loads, {:>9} redundant ({:.1}%)",
+            site,
+            stats.loads,
+            stats.redundant,
+            100.0 * stats.redundant_fraction()
+        );
+    }
+    let stores = StoreProfiler::profile(trace);
+    let _ = writeln!(out, "\nsilent stores: {stores}");
+    let _ = writeln!(out, "top trigger-candidate store sites (mixed silent/changing):");
+    for (site, stats) in stores.candidate_sites().into_iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  site {:<4} {:>10} stores, {:>5.1}% silent, {:>8} addresses",
+            site,
+            stats.stores,
+            100.0 * stats.silent_fraction(),
+            stats.addresses
+        );
+    }
+    let _ = writeln!(out, "\nper-tthread redundancy:");
+    for (i, t) in redundancy.tthreads.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>6}/{:<6} instances redundant, {:>4.1}% silent watched stores",
+            trace.tthread_names()[i],
+            t.redundant_instances,
+            t.instances,
+            100.0 * t.silent_fraction()
+        );
+    }
+    Ok(out)
+}
+
+/// `dtt-cli simulate <workload>`
+pub fn simulate_cmd(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&[
+        "scale", "contexts", "spawn", "queue", "granularity-bytes", "no-suppress", "private-l1", "tst",
+    ])
+    .map_err(CliError::Args)?;
+    let scale = parse_scale(args)?;
+    let w = find_workload(args, scale)?;
+    let trace = w.trace();
+    simulate_trace(&trace, w.name(), &machine_from_args(args)?)
+}
+
+fn simulate_trace(trace: &Trace, label: &str, cfg: &MachineConfig) -> Result<String, CliError> {
+    let base = simulate(cfg, trace, SimMode::Baseline);
+    let dtt = simulate(cfg, trace, SimMode::Dtt);
+    let mut out = String::new();
+    let _ = writeln!(out, "simulating {label} on:\n{cfg}\n");
+    let _ = writeln!(out, "baseline machine:\n{base}\n");
+    let _ = writeln!(out, "dtt machine:\n{dtt}\n");
+    let _ = writeln!(out, "speedup: {:.2}x", base.speedup_over(&dtt));
+    Ok(out)
+}
+
+/// `dtt-cli trace <workload> --out FILE`
+pub fn trace_cmd(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["scale", "out"]).map_err(CliError::Args)?;
+    let scale = parse_scale(args)?;
+    let w = find_workload(args, scale)?;
+    let path = args
+        .get("out")
+        .ok_or(CliError::Args(ArgError::MissingValue("out".into())))?;
+    let trace = w.trace();
+    let file = File::create(path)?;
+    dtt_trace::write_trace(&trace, BufWriter::new(file))?;
+    Ok(format!(
+        "wrote {} events ({} instructions) for {} to {path}\n",
+        trace.events().len(),
+        trace.instructions(),
+        w.name()
+    ))
+}
+
+/// `dtt-cli replay --input FILE`
+pub fn replay(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&[
+        "input", "contexts", "spawn", "queue", "granularity-bytes", "no-suppress", "private-l1", "tst", "top",
+    ])
+    .map_err(CliError::Args)?;
+    let path = args
+        .get("input")
+        .ok_or(CliError::Args(ArgError::MissingValue("input".into())))?;
+    let file = File::open(path)?;
+    let trace = dtt_trace::read_trace(BufReader::new(file)).map_err(CliError::Trace)?;
+    let mut out = profile_trace(&trace, path, args.get_parsed("top", 5usize)?)?;
+    out.push('\n');
+    out.push_str(&simulate_trace(&trace, path, &machine_from_args(args)?)?);
+    Ok(out)
+}
+
+/// `dtt-cli machine`
+pub fn machine(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&[
+        "contexts", "spawn", "queue", "granularity-bytes", "no-suppress", "private-l1", "tst",
+    ])
+    .map_err(CliError::Args)?;
+    Ok(format!("{}\n", machine_from_args(args)?))
+}

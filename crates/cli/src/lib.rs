@@ -1,0 +1,202 @@
+//! # dtt-cli — command-line interface to the DTT toolchain
+//!
+//! ```text
+//! dtt-cli list                               # the benchmark suite
+//! dtt-cli run <workload> [--scale S] [--workers N] [--granularity G] [--no-suppress]
+//! dtt-cli profile <workload> [--scale S] [--top N]
+//! dtt-cli simulate <workload> [--scale S] [--contexts N] [--spawn C]
+//!                             [--queue Q] [--granularity-bytes G] [--no-suppress]
+//! dtt-cli trace <workload> --out FILE [--scale S]
+//! dtt-cli replay --input FILE [simulate options]
+//! dtt-cli machine                            # default simulated machine
+//! ```
+//!
+//! All commands are exposed as library functions returning their output as
+//! a `String`, so the test suite drives them without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+pub use args::{ArgError, Args};
+
+/// Top-level CLI errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Argument parsing / validation failed.
+    Args(ArgError),
+    /// The named workload does not exist.
+    UnknownWorkload(String),
+    /// The named command does not exist.
+    UnknownCommand(String),
+    /// A file operation failed.
+    Io(std::io::Error),
+    /// A trace file failed to decode.
+    Trace(dtt_trace::ReadError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownWorkload(w) => {
+                write!(f, "unknown workload {w:?}; run `dtt-cli list` for the suite")
+            }
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; run `dtt-cli help`")
+            }
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text printed by `help` and on errors.
+pub const USAGE: &str = "\
+dtt-cli — data-triggered threads toolchain
+
+USAGE:
+  dtt-cli list
+  dtt-cli run <workload>      [--scale test|train|ref] [--workers N]
+                              [--granularity exact|word|line] [--no-suppress]
+  dtt-cli profile <workload>  [--scale S] [--top N]
+  dtt-cli simulate <workload> [--scale S] [--contexts N] [--spawn CYCLES]
+                              [--queue N] [--granularity-bytes N] [--no-suppress]
+                              [--private-l1] [--tst N]
+  dtt-cli trace <workload>    --out FILE [--scale S]
+  dtt-cli replay              --input FILE [simulate options]
+  dtt-cli machine
+  dtt-cli help
+";
+
+/// Dispatches a command line (without the program name) and returns the
+/// text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong; the binary prints it
+/// to stderr and exits nonzero.
+pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let command = match args.positional(0, "command") {
+        Ok(c) => c.to_owned(),
+        Err(_) => return Ok(USAGE.to_owned()),
+    };
+    match command.as_str() {
+        "list" => commands::list(&args),
+        "run" => commands::run(&args),
+        "profile" => commands::profile(&args),
+        "simulate" => commands::simulate_cmd(&args),
+        "trace" => commands::trace_cmd(&args),
+        "replay" => commands::replay(&args),
+        "machine" => commands::machine(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        dispatch(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help"]).unwrap().contains("dtt-cli"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn list_names_the_whole_suite() {
+        let out = run(&["list"]).unwrap();
+        for name in [
+            "mcf", "equake", "art", "ammp", "bzip2", "gzip", "parser", "twolf", "vpr",
+            "mesa", "vortex", "crafty", "gap", "perlbmk",
+        ] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn run_reports_skip_stats() {
+        let out = run(&["run", "mcf", "--scale", "test"]).unwrap();
+        assert!(out.contains("digest check"));
+        assert!(out.contains("skips"));
+    }
+
+    #[test]
+    fn run_rejects_unknown_workload() {
+        assert!(matches!(
+            run(&["run", "doom", "--scale", "test"]),
+            Err(CliError::UnknownWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn profile_reports_redundancy() {
+        let out = run(&["profile", "gzip", "--scale", "test", "--top", "3"]).unwrap();
+        assert!(out.contains("redundant"));
+        assert!(out.contains("site"));
+    }
+
+    #[test]
+    fn simulate_reports_speedup() {
+        let out = run(&["simulate", "twolf", "--scale", "test", "--contexts", "4"]).unwrap();
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn machine_prints_configuration() {
+        let out = run(&["machine"]).unwrap();
+        assert!(out.contains("contexts"));
+        assert!(out.contains("L1D"));
+    }
+
+    #[test]
+    fn trace_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("dtt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mesa.dttrace");
+        let path_str = path.to_str().unwrap();
+        let out = run(&["trace", "mesa", "--scale", "test", "--out", path_str]).unwrap();
+        assert!(out.contains("events"));
+        let out = run(&["replay", "--input", path_str]).unwrap();
+        assert!(out.contains("speedup"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_option_is_reported() {
+        assert!(matches!(
+            run(&["run", "mcf", "--bogus"]),
+            Err(CliError::Args(ArgError::UnknownOption(_)))
+        ));
+    }
+}

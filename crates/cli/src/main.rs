@@ -1,0 +1,17 @@
+//! Binary entry point for `dtt-cli`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match dtt_cli::dispatch(std::env::args().skip(1)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", dtt_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

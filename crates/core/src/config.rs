@@ -1,0 +1,180 @@
+//! Runtime configuration.
+
+use crate::addr::Granularity;
+
+/// What the runtime does when a trigger fires while the thread queue is full.
+///
+/// The HPCA'11 design lets the *triggering* (main) thread execute the tthread
+/// itself when no queue slot is free, so correctness never depends on queue
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Execute the tthread immediately on the triggering thread (paper behaviour).
+    #[default]
+    ExecuteInline,
+    /// Leave the tthread marked triggered; it runs at the next `join`.
+    DeferToJoin,
+}
+
+/// Configuration for a [`crate::runtime::Runtime`].
+///
+/// Construct with [`Config::default`] and adjust with the builder-style
+/// setters:
+///
+/// ```
+/// use dtt_core::config::Config;
+/// use dtt_core::addr::Granularity;
+///
+/// let cfg = Config::default()
+///     .with_granularity(Granularity::Word)
+///     .with_workers(2)
+///     .with_queue_capacity(16);
+/// assert_eq!(cfg.workers, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Granularity at which stores are matched against trigger regions.
+    ///
+    /// Coarser granularities cause false triggers (see R-Fig.9).
+    pub granularity: Granularity,
+    /// Compare old/new bytes on every tracked store and suppress triggers for
+    /// *silent stores* (stores that do not change the value). Disabling this
+    /// makes every store to a watched region fire, as a system without
+    /// value-comparing stores would.
+    pub suppress_silent_stores: bool,
+    /// Coalesce triggers: a tthread already pending is not enqueued again.
+    /// Disabling this floods the queue under bursty triggers (R-Fig.10).
+    pub coalesce: bool,
+    /// Capacity of the pending-tthread queue.
+    pub queue_capacity: usize,
+    /// Number of worker threads executing tthreads in parallel with the main
+    /// thread. `0` selects the *deferred* executor: triggered tthreads run on
+    /// the main thread at their `join` point, which is fully deterministic
+    /// and captures pure redundancy elimination.
+    pub workers: usize,
+    /// Behaviour on queue overflow (parallel executor only).
+    pub overflow: OverflowPolicy,
+    /// Maximum depth of tthreads triggering tthreads before
+    /// [`crate::error::Error::CascadeDepthExceeded`] aborts the cascade.
+    pub max_cascade_depth: u32,
+    /// Maximum bytes the tracked arena may grow to.
+    pub arena_capacity: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            granularity: Granularity::Exact,
+            suppress_silent_stores: true,
+            coalesce: true,
+            queue_capacity: 64,
+            workers: 0,
+            overflow: OverflowPolicy::default(),
+            max_cascade_depth: 64,
+            arena_capacity: 1 << 32,
+        }
+    }
+}
+
+impl Config {
+    /// Sets the trigger-matching granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Enables or disables silent-store suppression.
+    pub fn with_silent_store_suppression(mut self, on: bool) -> Self {
+        self.suppress_silent_stores = on;
+        self
+    }
+
+    /// Enables or disables trigger coalescing.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Sets the pending-tthread queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the number of parallel worker threads (0 = deferred executor).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the queue-overflow policy.
+    pub fn with_overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
+        self
+    }
+
+    /// Sets the maximum trigger-cascade depth.
+    pub fn with_max_cascade_depth(mut self, depth: u32) -> Self {
+        self.max_cascade_depth = depth;
+        self
+    }
+
+    /// Sets the tracked-arena capacity in bytes.
+    pub fn with_arena_capacity(mut self, bytes: u64) -> Self {
+        self.arena_capacity = bytes;
+        self
+    }
+
+    /// Whether this configuration selects the deferred (single-threaded)
+    /// executor.
+    pub fn is_deferred(&self) -> bool {
+        self.workers == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_deferred_and_precise() {
+        let cfg = Config::default();
+        assert!(cfg.is_deferred());
+        assert_eq!(cfg.granularity, Granularity::Exact);
+        assert!(cfg.suppress_silent_stores);
+        assert!(cfg.coalesce);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = Config::default()
+            .with_granularity(Granularity::Line)
+            .with_silent_store_suppression(false)
+            .with_coalescing(false)
+            .with_queue_capacity(3)
+            .with_workers(4)
+            .with_overflow(OverflowPolicy::DeferToJoin)
+            .with_max_cascade_depth(7)
+            .with_arena_capacity(1024);
+        assert_eq!(cfg.granularity, Granularity::Line);
+        assert!(!cfg.suppress_silent_stores);
+        assert!(!cfg.coalesce);
+        assert_eq!(cfg.queue_capacity, 3);
+        assert_eq!(cfg.workers, 4);
+        assert!(!cfg.is_deferred());
+        assert_eq!(cfg.overflow, OverflowPolicy::DeferToJoin);
+        assert_eq!(cfg.max_cascade_depth, 7);
+        assert_eq!(cfg.arena_capacity, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be nonzero")]
+    fn zero_queue_capacity_panics() {
+        let _ = Config::default().with_queue_capacity(0);
+    }
+}

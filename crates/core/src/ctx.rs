@@ -1,0 +1,317 @@
+//! The execution context: tracked memory access plus trigger dispatch.
+//!
+//! A [`Ctx`] is how both the main thread (inside
+//! [`crate::runtime::Runtime::with`]) and tthread bodies touch program
+//! state. Every tracked store funnels through [`Ctx::set`]/[`Ctx::write`],
+//! where the DTT pipeline runs:
+//!
+//! 1. write the bytes, comparing against the old contents;
+//! 2. if the store was *silent* (value unchanged) — stop: no trigger;
+//! 3. look the store up in the trigger table;
+//! 4. for each matched tthread, advance its status machine: mark triggered,
+//!    enqueue for a worker, coalesce with a pending instance, or fall back
+//!    to inline execution when the queue is full.
+
+use crate::config::OverflowPolicy;
+use crate::error::Error;
+use crate::handle::{Tracked, TrackedArray};
+use crate::pod::Pod;
+use crate::runtime::{Inner, State};
+use crate::tthread::{TthreadId, TthreadStatus};
+
+/// Mutable view of the runtime state handed to main-thread regions and
+/// tthread bodies.
+///
+/// A `Ctx` borrows the runtime's state lock, so it cannot be stored; it
+/// lives only for the duration of a [`crate::runtime::Runtime::with`] call
+/// or a tthread execution.
+pub struct Ctx<'a, U> {
+    pub(crate) state: &'a mut State<U>,
+    pub(crate) inner: &'a Inner<U>,
+    pub(crate) depth: u32,
+}
+
+impl<'a, U: Send + 'static> Ctx<'a, U> {
+    pub(crate) fn new(state: &'a mut State<U>, inner: &'a Inner<U>, depth: u32) -> Self {
+        Ctx { state, inner, depth }
+    }
+
+    /// Shared access to the untracked user state.
+    pub fn user(&self) -> &U {
+        &self.state.user
+    }
+
+    /// Exclusive access to the untracked user state.
+    ///
+    /// Writes through this reference are *not* observed by the trigger
+    /// mechanism; keep trigger-relevant data in tracked memory.
+    pub fn user_mut(&mut self) -> &mut U {
+        &mut self.state.user
+    }
+
+    /// Loads a tracked scalar.
+    pub fn get<T: Pod>(&mut self, cell: Tracked<T>) -> T {
+        self.state.stats.tracked_loads += 1;
+        self.state.heap.load(cell.addr())
+    }
+
+    /// Stores a tracked scalar, firing triggers if the value changed.
+    pub fn set<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
+        let detect = self.inner.cfg.suppress_silent_stores;
+        let effect = self.state.heap.store(cell.addr(), value, detect);
+        self.state.stats.tracked_stores += 1;
+        self.state.stats.bytes_compared += effect.bytes_compared;
+        if detect && !effect.changed {
+            self.state.stats.silent_stores += 1;
+            return;
+        }
+        self.state.stats.changing_stores += 1;
+        self.dispatch(cell.range());
+    }
+
+    /// Loads element `index` of a tracked array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn read<T: Pod>(&mut self, array: TrackedArray<T>, index: usize) -> T {
+        self.get(array.at(index))
+    }
+
+    /// Stores element `index` of a tracked array, firing triggers if the
+    /// value changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn write<T: Pod>(&mut self, array: TrackedArray<T>, index: usize, value: T) {
+        self.set(array.at(index), value);
+    }
+
+    /// Writes a tracked scalar *without* consulting the trigger mechanism.
+    ///
+    /// Intended for initialization: the write is unconditional, is not
+    /// counted as a tracked store, and never fires a trigger.
+    pub fn init<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
+        self.state.heap.store(cell.addr(), value, false);
+    }
+
+    /// Array form of [`Ctx::init`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn init_at<T: Pod>(&mut self, array: TrackedArray<T>, index: usize, value: T) {
+        self.init(array.at(index), value);
+    }
+
+    /// Reads a whole tracked array into a `Vec` (counts one tracked load per
+    /// element).
+    pub fn read_all<T: Pod>(&mut self, array: TrackedArray<T>) -> Vec<T> {
+        (0..array.len()).map(|i| self.read(array, i)).collect()
+    }
+
+    /// Bulk-loads elements `[from, to)` of a tracked array into `out`
+    /// (cleared first). Semantically identical to `to - from` calls of
+    /// [`Ctx::read`], but with a single bounds check and a tight decode
+    /// loop — use it when a tthread snapshots a whole input array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > array.len()`.
+    pub fn read_slice_into<T: Pod>(
+        &mut self,
+        array: TrackedArray<T>,
+        from: usize,
+        to: usize,
+        out: &mut Vec<T>,
+    ) {
+        out.clear();
+        if from == to {
+            return;
+        }
+        let bytes = self.state.heap.load_bytes(array.range_of(from, to));
+        out.reserve(to - from);
+        for chunk in bytes.chunks_exact(T::SIZE) {
+            out.push(T::read_le(chunk));
+        }
+        self.state.stats.tracked_loads += (to - from) as u64;
+    }
+
+    /// Bulk-loads the whole array; see [`Ctx::read_slice_into`].
+    pub fn read_all_into<T: Pod>(&mut self, array: TrackedArray<T>, out: &mut Vec<T>) {
+        self.read_slice_into(array, 0, array.len(), out);
+    }
+
+    /// Bulk-stores `values` over elements starting at `from`.
+    ///
+    /// Change detection runs per element, exactly as if each element were
+    /// written with [`Ctx::write`]; consecutive *changed* elements are
+    /// dispatched to the trigger table as one store range, so trigger
+    /// *counts* can be lower than with element-wise writes while the set of
+    /// tthreads that become dirty is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from + values.len() > array.len()`.
+    pub fn write_slice<T: Pod>(&mut self, array: TrackedArray<T>, from: usize, values: &[T]) {
+        let n = values.len();
+        if n == 0 {
+            return;
+        }
+        let detect = self.inner.cfg.suppress_silent_stores;
+        let range = array.range_of(from, from + n);
+        // Phase 1: compare + copy per element, collecting runs of changed
+        // elements.
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        {
+            let slice = self.state.heap.slice_mut(range);
+            let mut buf = [0u8; 16];
+            let mut run_start: Option<usize> = None;
+            for (k, v) in values.iter().enumerate() {
+                let enc = &mut buf[..T::SIZE];
+                v.write_le(enc);
+                let dst = &mut slice[k * T::SIZE..(k + 1) * T::SIZE];
+                let changed = !detect || dst != &*enc;
+                if changed {
+                    dst.copy_from_slice(enc);
+                    if run_start.is_none() {
+                        run_start = Some(k);
+                    }
+                } else if let Some(start) = run_start.take() {
+                    runs.push((start, k));
+                }
+            }
+            if let Some(start) = run_start {
+                runs.push((start, n));
+            }
+        }
+        // Phase 2: stats and trigger dispatch per changed run.
+        let changed_elems: usize = runs.iter().map(|(a, b)| b - a).sum();
+        self.state.stats.tracked_stores += n as u64;
+        if detect {
+            self.state.stats.bytes_compared += (n * T::SIZE) as u64;
+            self.state.stats.silent_stores += (n - changed_elems) as u64;
+        }
+        self.state.stats.changing_stores += changed_elems as u64;
+        for (a, b) in runs {
+            self.dispatch(array.range_of(from + a, from + b));
+        }
+    }
+
+    /// Route every store through the trigger table and raise matched
+    /// tthreads.
+    fn dispatch(&mut self, store_range: crate::addr::AddrRange) {
+        let hits = self.state.triggers.lookup(store_range);
+        if hits.is_empty() {
+            return;
+        }
+        self.state.stats.triggering_stores += 1;
+        for hit in hits {
+            self.state.stats.triggers_fired += 1;
+            if !hit.precise {
+                self.state.stats.false_triggers += 1;
+            }
+            if self.depth > 0 {
+                self.state.stats.cascade_triggers += 1;
+            }
+            self.raise(hit.tthread);
+        }
+    }
+
+    /// Advance the status machine of `id` for one trigger.
+    pub(crate) fn raise(&mut self, id: TthreadId) {
+        self.state.tst.entry_mut(id).triggers += 1;
+        match self.state.tst.entry(id).status {
+            TthreadStatus::Running => {
+                self.state.tst.entry_mut(id).retrigger = true;
+                self.state.stats.coalesced_triggers += 1;
+            }
+            TthreadStatus::Triggered => {
+                self.state.stats.coalesced_triggers += 1;
+            }
+            TthreadStatus::Queued => {
+                if self.inner.cfg.coalesce {
+                    self.state.stats.coalesced_triggers += 1;
+                } else {
+                    self.enqueue(id);
+                }
+            }
+            TthreadStatus::Clean => {
+                if self.inner.cfg.is_deferred() {
+                    self.state.tst.entry_mut(id).status = TthreadStatus::Triggered;
+                } else {
+                    self.enqueue(id);
+                }
+            }
+        }
+    }
+
+    /// Push `id` onto the worker queue, applying the overflow policy.
+    fn enqueue(&mut self, id: TthreadId) {
+        use crate::queue::PushOutcome;
+        match self.state.queue.push(id) {
+            PushOutcome::Enqueued => {
+                self.state.tst.entry_mut(id).status = TthreadStatus::Queued;
+                self.state.stats.enqueues += 1;
+                self.inner.work_cv.notify_one();
+            }
+            PushOutcome::Coalesced => {
+                self.state.stats.coalesced_triggers += 1;
+            }
+            PushOutcome::Full => {
+                self.state.stats.queue_overflows += 1;
+                match self.inner.cfg.overflow {
+                    OverflowPolicy::ExecuteInline => self.run_inline(id),
+                    OverflowPolicy::DeferToJoin => {
+                        self.state.tst.entry_mut(id).status = TthreadStatus::Triggered;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute tthread `id` on the current thread, re-running while
+    /// retriggered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trigger cascade exceeds
+    /// [`crate::config::Config::max_cascade_depth`]. A panic from the
+    /// tthread body itself is re-raised after the tthread is marked
+    /// poisoned, so the runtime stays usable.
+    pub(crate) fn run_inline(&mut self, id: TthreadId) {
+        let next_depth = self.depth + 1;
+        assert!(
+            next_depth <= self.inner.cfg.max_cascade_depth,
+            "{}",
+            Error::CascadeDepthExceeded(self.inner.cfg.max_cascade_depth)
+        );
+        let func = self.inner.tthread_fn(id);
+        loop {
+            self.state.tst.entry_mut(id).status = TthreadStatus::Running;
+            self.state.tst.entry_mut(id).retrigger = false;
+            let outcome = {
+                let mut nested = Ctx::new(self.state, self.inner, next_depth);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut nested)))
+            };
+            if let Err(payload) = outcome {
+                let entry = self.state.tst.entry_mut(id);
+                entry.poisoned = true;
+                entry.retrigger = false;
+                entry.status = TthreadStatus::Clean;
+                self.inner.done_cv.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+            self.state.stats.executions += 1;
+            self.state.stats.inline_executions += 1;
+            let entry = self.state.tst.entry_mut(id);
+            entry.executions += 1;
+            if !entry.retrigger {
+                entry.status = TthreadStatus::Clean;
+                break;
+            }
+        }
+        self.inner.done_cv.notify_all();
+    }
+}

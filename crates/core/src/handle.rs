@@ -1,0 +1,352 @@
+//! Typed handles into tracked memory.
+//!
+//! A handle is a cheap `Copy` token naming a typed location in the arena.
+//! Handles are created by allocation ([`crate::runtime::Runtime::alloc`],
+//! [`crate::runtime::Runtime::alloc_array`]) and consumed by the context API
+//! ([`crate::ctx::Ctx::get`], [`crate::ctx::Ctx::set`], …). They carry no
+//! lifetime: like a hardware address, a handle stays valid for as long as
+//! the runtime that issued it.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::addr::{Addr, AddrRange};
+use crate::pod::Pod;
+
+/// A typed scalar cell in tracked memory.
+pub struct Tracked<T> {
+    addr: Addr,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> Tracked<T> {
+    pub(crate) fn new(addr: Addr) -> Self {
+        Tracked {
+            addr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The cell's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The byte range occupied by the cell — the region to watch for this
+    /// value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dtt_core::{Config, Runtime};
+    /// let mut rt = Runtime::new(Config::default(), ());
+    /// let cell = rt.alloc(5u32).unwrap();
+    /// assert_eq!(cell.range().len(), 4);
+    /// ```
+    pub fn range(&self) -> AddrRange {
+        AddrRange::new(self.addr, T::SIZE as u64)
+    }
+}
+
+impl<T> Clone for Tracked<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Tracked<T> {}
+
+impl<T> fmt::Debug for Tracked<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracked")
+            .field("addr", &self.addr)
+            .field("type", &std::any::type_name::<T>())
+            .finish()
+    }
+}
+
+impl<T> PartialEq for Tracked<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.addr == other.addr
+    }
+}
+impl<T> Eq for Tracked<T> {}
+
+/// A typed fixed-length array in tracked memory.
+pub struct TrackedArray<T> {
+    addr: Addr,
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> TrackedArray<T> {
+    pub(crate) fn new(addr: Addr, len: usize) -> Self {
+        TrackedArray {
+            addr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Base address of the array.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Handle to element `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn at(&self, index: usize) -> Tracked<T> {
+        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        Tracked::new(self.addr.offset((index * T::SIZE) as u64))
+    }
+
+    /// The byte range of the whole array.
+    pub fn range(&self) -> AddrRange {
+        AddrRange::new(self.addr, (self.len * T::SIZE) as u64)
+    }
+
+    /// The byte range of elements `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > self.len()`.
+    pub fn range_of(&self, from: usize, to: usize) -> AddrRange {
+        assert!(from <= to && to <= self.len, "invalid element range {from}..{to}");
+        AddrRange::new(
+            self.addr.offset((from * T::SIZE) as u64),
+            ((to - from) * T::SIZE) as u64,
+        )
+    }
+}
+
+impl<T> Clone for TrackedArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TrackedArray<T> {}
+
+impl<T> fmt::Debug for TrackedArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedArray")
+            .field("addr", &self.addr)
+            .field("len", &self.len)
+            .field("type", &std::any::type_name::<T>())
+            .finish()
+    }
+}
+
+impl<T> PartialEq for TrackedArray<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.addr == other.addr && self.len == other.len
+    }
+}
+impl<T> Eq for TrackedArray<T> {}
+
+/// A typed row-major 2-D array in tracked memory.
+///
+/// Rows are contiguous, which makes *per-row watching* natural: a tthread
+/// that recomputes one row's derived data watches [`TrackedMatrix::row_range`].
+pub struct TrackedMatrix<T> {
+    addr: Addr,
+    rows: usize,
+    cols: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> TrackedMatrix<T> {
+    pub(crate) fn new(addr: Addr, rows: usize, cols: usize) -> Self {
+        TrackedMatrix {
+            addr,
+            rows,
+            cols,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Base address of the matrix.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Handle to element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn at(&self, row: usize, col: usize) -> Tracked<T> {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds ({}x{})",
+            self.rows,
+            self.cols
+        );
+        Tracked::new(self.addr.offset(((row * self.cols + col) * T::SIZE) as u64))
+    }
+
+    /// The whole matrix viewed as a flat array of `rows * cols` elements.
+    pub fn as_array(&self) -> TrackedArray<T> {
+        TrackedArray::new(self.addr, self.rows * self.cols)
+    }
+
+    /// The byte range of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_range(&self, row: usize) -> AddrRange {
+        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        AddrRange::new(
+            self.addr.offset((row * self.cols * T::SIZE) as u64),
+            (self.cols * T::SIZE) as u64,
+        )
+    }
+
+    /// The byte range of the whole matrix.
+    pub fn range(&self) -> AddrRange {
+        AddrRange::new(self.addr, (self.rows * self.cols * T::SIZE) as u64)
+    }
+}
+
+impl<T> Clone for TrackedMatrix<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TrackedMatrix<T> {}
+
+impl<T> fmt::Debug for TrackedMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedMatrix")
+            .field("addr", &self.addr)
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("type", &std::any::type_name::<T>())
+            .finish()
+    }
+}
+
+impl<T> PartialEq for TrackedMatrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.addr == other.addr && self.rows == other.rows && self.cols == other.cols
+    }
+}
+impl<T> Eq for TrackedMatrix<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_range_covers_type_size() {
+        let t: Tracked<u64> = Tracked::new(Addr::new(16));
+        assert_eq!(t.range().start().raw(), 16);
+        assert_eq!(t.range().len(), 8);
+    }
+
+    #[test]
+    fn array_element_addressing() {
+        let a: TrackedArray<u32> = TrackedArray::new(Addr::new(100), 10);
+        assert_eq!(a.at(0).addr().raw(), 100);
+        assert_eq!(a.at(3).addr().raw(), 112);
+        assert_eq!(a.len(), 10);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn array_subrange() {
+        let a: TrackedArray<f64> = TrackedArray::new(Addr::new(0), 8);
+        let r = a.range_of(2, 5);
+        assert_eq!(r.start().raw(), 16);
+        assert_eq!(r.len(), 24);
+        assert_eq!(a.range_of(0, 8), a.range());
+        assert!(a.range_of(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_index_out_of_bounds_panics() {
+        let a: TrackedArray<u8> = TrackedArray::new(Addr::new(0), 4);
+        a.at(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid element range")]
+    fn array_invalid_range_panics() {
+        let a: TrackedArray<u8> = TrackedArray::new(Addr::new(0), 4);
+        a.range_of(3, 2);
+    }
+
+    #[test]
+    fn matrix_addressing_is_row_major() {
+        let m: TrackedMatrix<f64> = TrackedMatrix::new(Addr::new(0x100), 3, 4);
+        assert_eq!(m.at(0, 0).addr().raw(), 0x100);
+        assert_eq!(m.at(0, 3).addr().raw(), 0x100 + 3 * 8);
+        assert_eq!(m.at(1, 0).addr().raw(), 0x100 + 4 * 8);
+        assert_eq!(m.at(2, 3).addr().raw(), 0x100 + 11 * 8);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+    }
+
+    #[test]
+    fn matrix_row_ranges_tile_the_matrix() {
+        let m: TrackedMatrix<u32> = TrackedMatrix::new(Addr::new(0), 4, 8);
+        let mut end = 0;
+        for r in 0..4 {
+            let range = m.row_range(r);
+            assert_eq!(range.start().raw(), end);
+            assert_eq!(range.len(), 8 * 4);
+            end = range.end().raw();
+        }
+        assert_eq!(end, m.range().len());
+        assert_eq!(m.as_array().len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_row_out_of_bounds_panics() {
+        let m: TrackedMatrix<u8> = TrackedMatrix::new(Addr::new(0), 2, 2);
+        m.at(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_col_out_of_bounds_panics() {
+        let m: TrackedMatrix<u8> = TrackedMatrix::new(Addr::new(0), 2, 2);
+        m.at(0, 2);
+    }
+
+    #[test]
+    fn handles_are_copy_and_comparable() {
+        let a: Tracked<u32> = Tracked::new(Addr::new(4));
+        let b = a;
+        assert_eq!(a, b);
+        let arr: TrackedArray<u32> = TrackedArray::new(Addr::new(4), 2);
+        let arr2 = arr;
+        assert_eq!(arr, arr2);
+        assert!(format!("{a:?}").contains("Tracked"));
+        assert!(format!("{arr:?}").contains("TrackedArray"));
+    }
+}

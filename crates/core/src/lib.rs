@@ -1,0 +1,119 @@
+//! # Data-triggered threads
+//!
+//! A runtime implementing **data-triggered threads** (DTT) as proposed by
+//! Tseng & Tullsen, *"Data-triggered threads: eliminating redundant
+//! computation"*, HPCA 2011.
+//!
+//! Unlike conventional threads, which are started by control flow, a
+//! *tthread* is started by a **change to a memory location**: the programmer
+//! attaches a computation to one or more tracked memory regions, and the
+//! runtime fires the computation only when a store actually *changes* bytes
+//! in a watched region. Two consequences follow:
+//!
+//! * **Redundant computation is eliminated.** When the data does not change
+//!   — including *silent stores* that rewrite the same value — the attached
+//!   computation is skipped entirely at its consumption point.
+//! * **Parallelism increases.** With worker threads configured, the
+//!   recomputation runs as soon as the data changes, overlapping the main
+//!   thread.
+//!
+//! ## Programming model
+//!
+//! 1. Create a [`Runtime`] over your untracked user state.
+//! 2. Allocate the *trigger data* in tracked memory
+//!    ([`Runtime::alloc`], [`Runtime::alloc_array`]).
+//! 3. [`Runtime::register`] a tthread body and [`Runtime::watch`] the
+//!    regions whose changes should fire it.
+//! 4. Mutate tracked data inside [`Runtime::with`] regions; at every point
+//!    where the main thread consumes the tthread's outputs, call
+//!    [`Runtime::join`] — it skips, runs, or waits as needed.
+//!
+//! ```
+//! use dtt_core::{Config, JoinOutcome, Runtime};
+//!
+//! // User state: the cached dot product.
+//! let mut rt = Runtime::new(Config::default(), 0i64);
+//! let a = rt.alloc_array::<i32>(4)?;
+//! let b = rt.alloc_array::<i32>(4)?;
+//!
+//! let dot = rt.register("dot", move |ctx| {
+//!     let mut acc = 0i64;
+//!     for i in 0..4 {
+//!         acc += ctx.read(a, i) as i64 * ctx.read(b, i) as i64;
+//!     }
+//!     *ctx.user_mut() = acc;
+//! });
+//! rt.watch(dot, a.range())?;
+//! rt.watch(dot, b.range())?;
+//!
+//! rt.with(|ctx| {
+//!     for i in 0..4 {
+//!         ctx.write(a, i, i as i32 + 1); // 1 2 3 4
+//!         ctx.write(b, i, 2);
+//!     }
+//! });
+//! assert_eq!(rt.join(dot)?, JoinOutcome::RanInline);
+//! assert_eq!(rt.with(|ctx| *ctx.user()), 20);
+//!
+//! // Re-storing identical values: all silent, the dot product is never
+//! // recomputed.
+//! rt.with(|ctx| {
+//!     for i in 0..4 {
+//!         ctx.write(b, i, 2);
+//!     }
+//! });
+//! assert_eq!(rt.join(dot)?, JoinOutcome::Skipped);
+//! # Ok::<(), dtt_core::error::Error>(())
+//! ```
+//!
+//! ## Executors
+//!
+//! * **Deferred** (`Config::default()`, `workers == 0`): triggered tthreads
+//!   run on the calling thread at their [`Runtime::join`] point. Fully
+//!   deterministic; captures exactly the paper's redundancy elimination.
+//! * **Parallel** (`workers > 0`): triggers enqueue the tthread on a bounded
+//!   coalescing queue drained by OS worker threads, modelling the spare
+//!   hardware contexts of the HPCA'11 design; the queue-overflow fallback
+//!   executes on the triggering thread, as in the paper.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`addr`] | addresses, ranges, trigger [`Granularity`] |
+//! | [`pod`] | byte encoding of tracked values |
+//! | [`heap`] | the tracked arena with change-detecting stores |
+//! | [`handle`] | typed [`Tracked`]/[`TrackedArray`] handles |
+//! | [`trigger`] | the store-address → tthread trigger table |
+//! | [`tthread`] | tthread ids and the thread status table |
+//! | [`queue`] | the bounded coalescing pending queue |
+//! | [`ctx`] | the [`Ctx`] store path and status machine |
+//! | [`runtime`] | the [`Runtime`] façade and executors |
+//! | [`config`], [`stats`], [`error`] | knobs, counters, errors |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod ctx;
+pub mod error;
+pub mod handle;
+pub mod heap;
+pub mod pod;
+pub mod queue;
+pub mod report;
+pub mod runtime;
+pub mod stats;
+pub mod trigger;
+pub mod tthread;
+
+pub use addr::{Addr, AddrRange, Granularity};
+pub use config::{Config, OverflowPolicy};
+pub use ctx::Ctx;
+pub use error::{Error, Result};
+pub use handle::{Tracked, TrackedArray, TrackedMatrix};
+pub use report::{RuntimeReport, TthreadReportRow};
+pub use runtime::{JoinOutcome, Runtime};
+pub use stats::StatsSnapshot;
+pub use tthread::{TthreadId, TthreadStatus};

@@ -1,0 +1,208 @@
+//! The pending-tthread queue.
+//!
+//! A bounded FIFO with optional *coalescing*: a tthread that is already
+//! pending is not enqueued a second time (the two triggers merge, exactly as
+//! the hardware thread queue in the paper merges repeated triggers of the
+//! same tthread). Capacity pressure is surfaced to the caller so the runtime
+//! can apply its [`crate::config::OverflowPolicy`].
+
+use std::collections::VecDeque;
+
+use crate::tthread::TthreadId;
+
+/// Outcome of a push attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The tthread was added to the queue.
+    Enqueued,
+    /// The tthread was already pending and the trigger was absorbed.
+    Coalesced,
+    /// The queue was full; the caller must fall back per its overflow policy.
+    Full,
+}
+
+/// Bounded coalescing FIFO of pending tthreads.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_core::queue::{CoalescingQueue, PushOutcome};
+/// use dtt_core::tthread::TthreadId;
+///
+/// let mut q = CoalescingQueue::new(2, true);
+/// let a = TthreadId::new(0);
+/// assert_eq!(q.push(a), PushOutcome::Enqueued);
+/// assert_eq!(q.push(a), PushOutcome::Coalesced);
+/// assert_eq!(q.pop(), Some(a));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoalescingQueue {
+    queue: VecDeque<TthreadId>,
+    pending: Vec<bool>,
+    capacity: usize,
+    coalesce: bool,
+}
+
+impl CoalescingQueue {
+    /// Creates a queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, coalesce: bool) -> Self {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        CoalescingQueue {
+            queue: VecDeque::with_capacity(capacity.min(1024)),
+            pending: Vec::new(),
+            capacity,
+            coalesce,
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `id` is currently queued.
+    pub fn contains(&self, id: TthreadId) -> bool {
+        self.pending.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Attempts to enqueue `id`.
+    pub fn push(&mut self, id: TthreadId) -> PushOutcome {
+        if self.coalesce && self.contains(id) {
+            return PushOutcome::Coalesced;
+        }
+        if self.queue.len() >= self.capacity {
+            return PushOutcome::Full;
+        }
+        if self.pending.len() <= id.index() {
+            self.pending.resize(id.index() + 1, false);
+        }
+        self.pending[id.index()] = true;
+        self.queue.push_back(id);
+        PushOutcome::Enqueued
+    }
+
+    /// Dequeues the oldest pending tthread.
+    pub fn pop(&mut self) -> Option<TthreadId> {
+        let id = self.queue.pop_front()?;
+        // Without coalescing the same id may appear again; only clear the
+        // pending mark when its last occurrence leaves the queue.
+        if !self.queue.contains(&id) {
+            self.pending[id.index()] = false;
+        }
+        Some(id)
+    }
+
+    /// Removes a specific tthread from anywhere in the queue (used when the
+    /// main thread *steals* a queued tthread at a join point). Returns
+    /// whether it was present.
+    pub fn remove(&mut self, id: TthreadId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|&q| q != id);
+        let removed = self.queue.len() != before;
+        if removed {
+            self.pending[id.index()] = false;
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> TthreadId {
+        TthreadId::new(n)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = CoalescingQueue::new(8, true);
+        q.push(id(2));
+        q.push(id(0));
+        q.push(id(1));
+        assert_eq!(q.pop(), Some(id(2)));
+        assert_eq!(q.pop(), Some(id(0)));
+        assert_eq!(q.pop(), Some(id(1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn coalescing_absorbs_duplicates() {
+        let mut q = CoalescingQueue::new(8, true);
+        assert_eq!(q.push(id(5)), PushOutcome::Enqueued);
+        assert_eq!(q.push(id(5)), PushOutcome::Coalesced);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(id(5)));
+        assert!(!q.contains(id(5)));
+        // After popping, the id can be enqueued again.
+        assert_eq!(q.push(id(5)), PushOutcome::Enqueued);
+    }
+
+    #[test]
+    fn without_coalescing_duplicates_accumulate() {
+        let mut q = CoalescingQueue::new(8, false);
+        assert_eq!(q.push(id(1)), PushOutcome::Enqueued);
+        assert_eq!(q.push(id(1)), PushOutcome::Enqueued);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(id(1)));
+        // Still pending: a second copy remains queued.
+        assert!(q.contains(id(1)));
+        assert_eq!(q.pop(), Some(id(1)));
+        assert!(!q.contains(id(1)));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = CoalescingQueue::new(2, true);
+        assert_eq!(q.push(id(0)), PushOutcome::Enqueued);
+        assert_eq!(q.push(id(1)), PushOutcome::Enqueued);
+        assert_eq!(q.push(id(2)), PushOutcome::Full);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.push(id(2)), PushOutcome::Enqueued);
+    }
+
+    #[test]
+    fn coalesce_checked_before_capacity() {
+        // A duplicate of an already-queued tthread coalesces even when the
+        // queue is full: the trigger is absorbed, not dropped.
+        let mut q = CoalescingQueue::new(2, true);
+        q.push(id(0));
+        q.push(id(1));
+        assert_eq!(q.push(id(0)), PushOutcome::Coalesced);
+    }
+
+    #[test]
+    fn remove_steals_from_middle() {
+        let mut q = CoalescingQueue::new(8, true);
+        q.push(id(0));
+        q.push(id(1));
+        q.push(id(2));
+        assert!(q.remove(id(1)));
+        assert!(!q.remove(id(1)));
+        assert_eq!(q.pop(), Some(id(0)));
+        assert_eq!(q.pop(), Some(id(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        CoalescingQueue::new(0, true);
+    }
+}

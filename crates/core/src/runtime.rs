@@ -1,0 +1,1030 @@
+//! The data-triggered-threads runtime.
+//!
+//! [`Runtime`] owns the tracked arena, the trigger table, the thread status
+//! table, the pending queue and (optionally) a pool of worker threads. See
+//! the crate-level documentation for the programming model and a complete
+//! example.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::addr::AddrRange;
+use crate::config::Config;
+use crate::ctx::Ctx;
+use crate::error::{Error, Result};
+use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
+use crate::heap::TrackedHeap;
+use crate::pod::Pod;
+use crate::queue::CoalescingQueue;
+use crate::stats::{Counters, StatsSnapshot};
+use crate::trigger::TriggerTable;
+use crate::tthread::{StatusTable, TthreadId, TthreadStatus};
+
+/// How a [`Runtime::join`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOutcome {
+    /// No trigger fired since the last execution: the computation was
+    /// skipped entirely. This is the paper's redundant-computation
+    /// elimination.
+    Skipped,
+    /// A worker finished the recomputation before the main thread asked for
+    /// it: the work was fully overlapped.
+    Overlapped,
+    /// The tthread was in the triggered state and ran on the calling thread
+    /// at the join point (deferred executor, or `DeferToJoin` overflow).
+    RanInline,
+    /// The tthread was still queued; the calling thread stole it from the
+    /// queue and ran it itself.
+    Stolen,
+    /// The calling thread waited for a running worker to finish.
+    Waited,
+}
+
+type TthreadFn<U> = Arc<dyn Fn(&mut Ctx<'_, U>) + Send + Sync>;
+
+pub(crate) struct TthreadEntry<U> {
+    name: String,
+    func: TthreadFn<U>,
+}
+
+/// Everything behind the runtime's state lock.
+pub struct State<U> {
+    pub(crate) heap: TrackedHeap,
+    pub(crate) user: U,
+    pub(crate) triggers: TriggerTable,
+    pub(crate) tst: StatusTable,
+    pub(crate) queue: CoalescingQueue,
+    pub(crate) stats: Counters,
+}
+
+pub(crate) struct Inner<U> {
+    pub(crate) cfg: Config,
+    pub(crate) state: Mutex<State<U>>,
+    tthreads: RwLock<Vec<TthreadEntry<U>>>,
+    pub(crate) work_cv: Condvar,
+    pub(crate) done_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl<U> Inner<U> {
+    pub(crate) fn tthread_fn(&self, id: TthreadId) -> TthreadFn<U> {
+        Arc::clone(&self.tthreads.read()[id.index()].func)
+    }
+}
+
+/// The data-triggered-threads runtime.
+///
+/// Generic over an untracked user state `U`, available to tthread bodies and
+/// main-thread regions via [`Ctx::user_mut`]. Data whose changes should
+/// *trigger* recomputation lives in tracked memory instead, allocated with
+/// [`Runtime::alloc`]/[`Runtime::alloc_array`].
+///
+/// # Examples
+///
+/// ```
+/// use dtt_core::{Config, JoinOutcome, Runtime};
+///
+/// // Untracked user state: the published sum.
+/// let mut rt = Runtime::new(Config::default(), 0u64);
+/// let xs = rt.alloc_array::<u32>(8).unwrap();
+///
+/// // A tthread that recomputes the sum of `xs` whenever any element changes.
+/// let sum = rt.register("sum", move |ctx| {
+///     let total: u64 = (0..xs.len()).map(|i| ctx.read(xs, i) as u64).sum();
+///     *ctx.user_mut() = total;
+/// });
+/// rt.watch(sum, xs.range()).unwrap();
+///
+/// rt.with(|ctx| ctx.write(xs, 3, 10));
+/// assert_eq!(rt.join(sum).unwrap(), JoinOutcome::RanInline);
+/// assert_eq!(rt.with(|ctx| *ctx.user()), 10);
+///
+/// // Writing the same value is a silent store: nothing to recompute.
+/// rt.with(|ctx| ctx.write(xs, 3, 10));
+/// assert_eq!(rt.join(sum).unwrap(), JoinOutcome::Skipped);
+/// ```
+pub struct Runtime<U> {
+    inner: Arc<Inner<U>>,
+    pool: WorkerPool<U>,
+}
+
+/// Owns the worker threads; dropping it shuts them down and joins them.
+struct WorkerPool<U> {
+    inner: Arc<Inner<U>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl<U> Drop for WorkerPool<U> {
+    fn drop(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            // Take the lock so no worker misses the flag between its check
+            // and its wait.
+            let _state = self.inner.state.lock();
+            self.inner.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<U: Send + 'static> Runtime<U> {
+    /// Creates a runtime with the given configuration and user state.
+    ///
+    /// With `cfg.workers == 0` the *deferred* executor is selected:
+    /// triggered tthreads run on the calling thread at their join point,
+    /// deterministically. With `cfg.workers > 0`, that many OS worker
+    /// threads execute triggered tthreads eagerly.
+    pub fn new(cfg: Config, user: U) -> Self {
+        let state = State {
+            heap: TrackedHeap::with_capacity(cfg.arena_capacity),
+            user,
+            triggers: TriggerTable::new(cfg.granularity),
+            tst: StatusTable::new(),
+            queue: CoalescingQueue::new(cfg.queue_capacity, cfg.coalesce),
+            stats: Counters::new(),
+        };
+        let workers = cfg.workers;
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(state),
+            tthreads: RwLock::new(Vec::new()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("dtt-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("failed to spawn dtt worker")
+            })
+            .collect();
+        let pool = WorkerPool {
+            inner: Arc::clone(&inner),
+            handles,
+        };
+        Runtime { inner, pool }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &Config {
+        &self.inner.cfg
+    }
+
+    /// Allocates a tracked scalar initialized to `init` (without firing
+    /// triggers — nothing can be watching it yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
+    pub fn alloc<T: Pod>(&mut self, init: T) -> Result<Tracked<T>> {
+        let mut state = self.inner.state.lock();
+        let align = (T::SIZE as u64).next_power_of_two().min(8);
+        let addr = state.heap.alloc(T::SIZE as u64, align)?;
+        state.heap.store(addr, init, false);
+        Ok(Tracked::new(addr))
+    }
+
+    /// Allocates a zeroed tracked array of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
+    pub fn alloc_array<T: Pod>(&mut self, len: usize) -> Result<TrackedArray<T>> {
+        let mut state = self.inner.state.lock();
+        let align = (T::SIZE as u64).next_power_of_two().min(8);
+        let addr = state.heap.alloc((len * T::SIZE) as u64, align)?;
+        Ok(TrackedArray::new(addr, len))
+    }
+
+    /// Allocates a zeroed row-major tracked matrix of `rows × cols`
+    /// elements. Rows are contiguous, so per-row trigger regions
+    /// ([`crate::handle::TrackedMatrix::row_range`]) are compact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
+    pub fn alloc_matrix<T: Pod>(&mut self, rows: usize, cols: usize) -> Result<TrackedMatrix<T>> {
+        let mut state = self.inner.state.lock();
+        let align = (T::SIZE as u64).next_power_of_two().min(8);
+        let addr = state.heap.alloc((rows * cols * T::SIZE) as u64, align)?;
+        Ok(TrackedMatrix::new(addr, rows, cols))
+    }
+
+    /// Allocates a tracked array initialized from `data` (without firing
+    /// triggers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
+    pub fn alloc_array_from<T: Pod>(&mut self, data: &[T]) -> Result<TrackedArray<T>> {
+        let array = self.alloc_array::<T>(data.len())?;
+        let mut state = self.inner.state.lock();
+        for (i, &v) in data.iter().enumerate() {
+            state.heap.store(array.at(i).addr(), v, false);
+        }
+        Ok(array)
+    }
+
+    /// Registers a data-triggered thread and returns its id.
+    ///
+    /// The body runs with exclusive access to the runtime state via
+    /// [`Ctx`]. Registration alone never executes the body; attach trigger
+    /// regions with [`Runtime::watch`].
+    pub fn register<F>(&mut self, name: &str, body: F) -> TthreadId
+    where
+        F: Fn(&mut Ctx<'_, U>) + Send + Sync + 'static,
+    {
+        let mut state = self.inner.state.lock();
+        let id = state.tst.push();
+        self.inner.tthreads.write().push(TthreadEntry {
+            name: name.to_owned(),
+            func: Arc::new(body),
+        });
+        id
+    }
+
+    /// Attaches a trigger region: stores that change bytes in `range` (as
+    /// seen at the configured granularity) fire `tthread`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id and
+    /// [`Error::RegionOutOfBounds`] for a region outside the arena.
+    pub fn watch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        state.heap.check_range(range)?;
+        state.triggers.watch(tthread, range);
+        Ok(())
+    }
+
+    /// Detaches a previously attached trigger region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id and
+    /// [`Error::NoSuchWatch`] if the exact region was not watched.
+    pub fn unwatch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        state.triggers.unwatch(tthread, range)
+    }
+
+    /// Runs a main-thread region with access to tracked memory and user
+    /// state.
+    ///
+    /// Stores inside the region fire triggers as they happen. Do not call
+    /// other `Runtime` methods from inside the closure (the state lock is
+    /// held).
+    pub fn with<R>(&mut self, f: impl FnOnce(&mut Ctx<'_, U>) -> R) -> R {
+        let mut state = self.inner.state.lock();
+        let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+        f(&mut ctx)
+    }
+
+    /// Convenience: loads one tracked scalar.
+    pub fn read<T: Pod>(&mut self, cell: Tracked<T>) -> T {
+        self.with(|ctx| ctx.get(cell))
+    }
+
+    /// Convenience: stores one tracked scalar (firing triggers).
+    pub fn write<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
+        self.with(|ctx| ctx.set(cell, value));
+    }
+
+    /// The consumption point: ensures `tthread`'s outputs are up to date.
+    ///
+    /// * never triggered since its last run → **skip** (the elimination of
+    ///   redundant computation);
+    /// * completed on a worker → nothing to do, the work was overlapped;
+    /// * triggered / still queued → run it on the calling thread now;
+    /// * running on a worker → wait for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id and
+    /// [`Error::TthreadPoisoned`] if a previous execution of the tthread
+    /// panicked (see [`Runtime::clear_poison`]).
+    pub fn join(&mut self, tthread: TthreadId) -> Result<JoinOutcome> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        let mut waited = false;
+        loop {
+            if state.tst.entry(tthread).poisoned {
+                return Err(Error::TthreadPoisoned(tthread));
+            }
+            match state.tst.entry(tthread).status {
+                TthreadStatus::Clean => {
+                    let entry = state.tst.entry_mut(tthread);
+                    let overlapped = entry.completed_since_join;
+                    entry.completed_since_join = false;
+                    if waited {
+                        state.stats.waited_joins += 1;
+                        return Ok(JoinOutcome::Waited);
+                    }
+                    if overlapped {
+                        return Ok(JoinOutcome::Overlapped);
+                    }
+                    state.tst.entry_mut(tthread).skips += 1;
+                    state.stats.skips += 1;
+                    return Ok(JoinOutcome::Skipped);
+                }
+                TthreadStatus::Triggered => {
+                    let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+                    ctx.run_inline(tthread);
+                    state.tst.entry_mut(tthread).completed_since_join = false;
+                    return Ok(JoinOutcome::RanInline);
+                }
+                TthreadStatus::Queued => {
+                    state.queue.remove(tthread);
+                    let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+                    ctx.run_inline(tthread);
+                    state.tst.entry_mut(tthread).completed_since_join = false;
+                    return Ok(JoinOutcome::Stolen);
+                }
+                TthreadStatus::Running => {
+                    waited = true;
+                    self.inner.done_cv.wait(&mut state);
+                }
+            }
+        }
+    }
+
+    /// Joins every registered tthread, in id order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error (none are expected for ids issued by this
+    /// runtime).
+    pub fn join_all(&mut self) -> Result<Vec<(TthreadId, JoinOutcome)>> {
+        let ids: Vec<TthreadId> = {
+            let state = self.inner.state.lock();
+            state.tst.iter().map(|(id, _)| id).collect()
+        };
+        ids.into_iter()
+            .map(|id| self.join(id).map(|o| (id, o)))
+            .collect()
+    }
+
+    /// Clears the poisoned flag set when a tthread body panicked, making
+    /// joins on it possible again. The tthread is left clean; call
+    /// [`Runtime::force`] afterwards if its outputs must be rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id.
+    pub fn clear_poison(&mut self, tthread: TthreadId) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        state.tst.entry_mut(tthread).poisoned = false;
+        Ok(())
+    }
+
+    /// Runs `tthread` on the calling thread right now, regardless of its
+    /// trigger state (waits first if a worker is mid-execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id and
+    /// [`Error::TthreadPoisoned`] after a panicked execution.
+    pub fn force(&mut self, tthread: TthreadId) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        if state.tst.entry(tthread).poisoned {
+            return Err(Error::TthreadPoisoned(tthread));
+        }
+        loop {
+            match state.tst.entry(tthread).status {
+                TthreadStatus::Running => self.inner.done_cv.wait(&mut state),
+                TthreadStatus::Queued => {
+                    state.queue.remove(tthread);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+        ctx.run_inline(tthread);
+        state.tst.entry_mut(tthread).completed_since_join = false;
+        Ok(())
+    }
+
+    /// Raises a trigger for `tthread` as if a watched value had changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id.
+    pub fn mark_dirty(&mut self, tthread: TthreadId) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+        ctx.raise(tthread);
+        Ok(())
+    }
+
+    /// Current status of `tthread` in the thread status table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id.
+    pub fn status(&self, tthread: TthreadId) -> Result<TthreadStatus> {
+        let state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        Ok(state.tst.entry(tthread).status)
+    }
+
+    /// Name the tthread was registered with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id.
+    pub fn tthread_name(&self, tthread: TthreadId) -> Result<String> {
+        let names = self.inner.tthreads.read();
+        names
+            .get(tthread.index())
+            .map(|e| e.name.clone())
+            .ok_or(Error::UnknownTthread(tthread))
+    }
+
+    /// Number of registered tthreads.
+    pub fn tthread_count(&self) -> usize {
+        self.inner.tthreads.read().len()
+    }
+
+    /// Per-tthread execution/skip/trigger counts, in id order.
+    pub fn tthread_counters(&self) -> Vec<(TthreadId, u64, u64, u64)> {
+        let state = self.inner.state.lock();
+        state
+            .tst
+            .iter()
+            .map(|(id, e)| (id, e.executions, e.skips, e.triggers))
+            .collect()
+    }
+
+    /// Produces a diagnostic snapshot of the whole runtime: tthread
+    /// statuses, watched regions, queue occupancy, arena usage and
+    /// counters. Intended for debugging and logging; see
+    /// [`crate::report::RuntimeReport`].
+    pub fn report(&self) -> crate::report::RuntimeReport {
+        let state = self.inner.state.lock();
+        let names = self.inner.tthreads.read();
+        let tthreads = state
+            .tst
+            .iter()
+            .map(|(id, entry)| {
+                let watches = state
+                    .triggers
+                    .iter()
+                    .filter(|(t, _)| *t == id)
+                    .map(|(_, range)| range)
+                    .collect();
+                crate::report::TthreadReportRow {
+                    name: names
+                        .get(id.index())
+                        .map(|e| e.name.clone())
+                        .unwrap_or_default(),
+                    status: entry.status,
+                    poisoned: entry.poisoned,
+                    executions: entry.executions,
+                    skips: entry.skips,
+                    triggers: entry.triggers,
+                    watches,
+                }
+            })
+            .collect();
+        crate::report::RuntimeReport {
+            tthreads,
+            queue_len: state.queue.len(),
+            queue_capacity: state.queue.capacity(),
+            arena_used: state.heap.len(),
+            arena_capacity: state.heap.capacity(),
+            workers: self.inner.cfg.workers,
+            stats: state.stats.snapshot(),
+        }
+    }
+
+    /// Snapshot of the global runtime statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.state.lock().stats.snapshot()
+    }
+
+    /// Zeroes the global statistics (per-tthread counters are kept).
+    pub fn reset_stats(&mut self) {
+        self.inner.state.lock().stats = Counters::new();
+    }
+
+    /// Shuts the workers down and returns the tracked heap and user state.
+    ///
+    /// Pending (queued but unexecuted) tthreads are *not* run; call
+    /// [`Runtime::join_all`] first if their outputs matter.
+    pub fn into_state(self) -> (TrackedHeap, U) {
+        let Runtime { inner, pool } = self;
+        drop(pool); // joins the workers, releasing their Arc clones
+        let inner = Arc::try_unwrap(inner)
+            .unwrap_or_else(|_| panic!("worker threads still hold the runtime"));
+        let state = inner.state.into_inner();
+        (state.heap, state.user)
+    }
+}
+
+impl<U> std::fmt::Debug for Runtime<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.pool.handles.len())
+            .field("tthreads", &self.inner.tthreads.read().len())
+            .finish()
+    }
+}
+
+fn worker_loop<U: Send + 'static>(inner: Arc<Inner<U>>) {
+    let mut state = inner.state.lock();
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(id) = state.queue.pop() else {
+            inner.work_cv.wait(&mut state);
+            continue;
+        };
+        let func = inner.tthread_fn(id);
+        loop {
+            state.tst.entry_mut(id).status = TthreadStatus::Running;
+            state.tst.entry_mut(id).retrigger = false;
+            let outcome = {
+                let mut ctx = Ctx::new(&mut state, &inner, 1);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
+            };
+            if outcome.is_err() {
+                // Poison the tthread but keep this worker alive for the
+                // other tthreads; the next join reports the failure.
+                let entry = state.tst.entry_mut(id);
+                entry.poisoned = true;
+                entry.retrigger = false;
+                entry.status = TthreadStatus::Clean;
+                entry.completed_since_join = false;
+                break;
+            }
+            state.stats.executions += 1;
+            state.stats.worker_executions += 1;
+            let entry = state.tst.entry_mut(id);
+            entry.executions += 1;
+            if !entry.retrigger {
+                entry.status = TthreadStatus::Clean;
+                entry.completed_since_join = true;
+                break;
+            }
+        }
+        inner.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Granularity;
+
+    fn deferred() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn skip_when_nothing_changes() {
+        let mut rt = Runtime::new(deferred(), 0u64);
+        let x = rt.alloc(1u32).unwrap();
+        let tt = rt.register("noop", move |ctx| {
+            let v = ctx.get(x);
+            *ctx.user_mut() += v as u64;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        assert_eq!(rt.join(tt).unwrap(), JoinOutcome::Skipped);
+        assert_eq!(rt.join(tt).unwrap(), JoinOutcome::Skipped);
+        assert_eq!(rt.stats().counters().skips, 2);
+        assert_eq!(rt.stats().counters().executions, 0);
+    }
+
+    #[test]
+    fn trigger_then_join_runs_once() {
+        let mut rt = Runtime::new(deferred(), Vec::<u32>::new());
+        let x = rt.alloc(0u32).unwrap();
+        let tt = rt.register("log", move |ctx| {
+            let v = ctx.get(x);
+            ctx.user_mut().push(v);
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 5);
+        rt.write(x, 6); // coalesces with the pending trigger
+        assert_eq!(rt.join(tt).unwrap(), JoinOutcome::RanInline);
+        assert_eq!(rt.join(tt).unwrap(), JoinOutcome::Skipped);
+        let (_, log) = rt.into_state();
+        assert_eq!(log, vec![6]);
+    }
+
+    #[test]
+    fn silent_store_does_not_trigger() {
+        let mut rt = Runtime::new(deferred(), ());
+        let x = rt.alloc(7u32).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 7);
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
+        assert_eq!(rt.stats().counters().silent_stores, 1);
+        rt.write(x, 8);
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Triggered);
+    }
+
+    #[test]
+    fn disabled_suppression_triggers_on_silent_store() {
+        let cfg = deferred().with_silent_store_suppression(false);
+        let mut rt = Runtime::new(cfg, ());
+        let x = rt.alloc(7u32).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 7);
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Triggered);
+        assert_eq!(rt.stats().counters().silent_stores, 0);
+    }
+
+    #[test]
+    fn unwatched_store_never_triggers() {
+        let mut rt = Runtime::new(deferred(), ());
+        let x = rt.alloc(0u32).unwrap();
+        let y = rt.alloc(0u32).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(y, 99);
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
+    }
+
+    #[test]
+    fn line_granularity_false_trigger_counted() {
+        let cfg = deferred().with_granularity(Granularity::Line);
+        let mut rt = Runtime::new(cfg, ());
+        // Two u32 cells land in the same 64-byte line.
+        let a = rt.alloc(0u32).unwrap();
+        let b = rt.alloc(0u32).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, a.range()).unwrap();
+        rt.write(b, 1);
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Triggered);
+        assert_eq!(rt.stats().counters().false_triggers, 1);
+    }
+
+    #[test]
+    fn mark_dirty_and_force() {
+        let mut rt = Runtime::new(deferred(), 0u32);
+        let tt = rt.register("inc", |ctx| *ctx.user_mut() += 1);
+        rt.mark_dirty(tt).unwrap();
+        assert_eq!(rt.join(tt).unwrap(), JoinOutcome::RanInline);
+        rt.force(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 2);
+    }
+
+    #[test]
+    fn cascading_triggers() {
+        let mut rt = Runtime::new(deferred(), ());
+        let a = rt.alloc(0u32).unwrap();
+        let b = rt.alloc(0u32).unwrap();
+        let t2 = rt.register("second", move |ctx| {
+            let v = ctx.get(b);
+            ctx.set(b, v); // silent here; just to exercise the path
+        });
+        rt.watch(t2, b.range()).unwrap();
+        let t1 = rt.register("first", move |ctx| {
+            let v = ctx.get(a);
+            ctx.set(b, v * 2);
+        });
+        rt.watch(t1, a.range()).unwrap();
+        rt.write(a, 21);
+        rt.join(t1).unwrap();
+        // t1 wrote b=42, which triggers t2.
+        assert_eq!(rt.status(t2).unwrap(), TthreadStatus::Triggered);
+        assert_eq!(rt.join(t2).unwrap(), JoinOutcome::RanInline);
+        assert_eq!(rt.stats().counters().cascade_triggers, 1);
+        assert_eq!(rt.read(b), 42);
+    }
+
+    #[test]
+    fn init_writes_do_not_trigger_or_count() {
+        let mut rt = Runtime::new(deferred(), ());
+        let x = rt.alloc(0u32).unwrap();
+        let xs = rt.alloc_array::<u32>(4).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, x.range()).unwrap();
+        rt.watch(tt, xs.range()).unwrap();
+        rt.with(|ctx| {
+            ctx.init(x, 99);
+            ctx.init_at(xs, 2, 7);
+        });
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
+        assert_eq!(rt.stats().counters().tracked_stores, 0);
+        assert_eq!(rt.read(x), 99);
+        assert_eq!(rt.read(xs.at(2)), 7);
+        // A matrix allocation shares the same arena.
+        let m = rt.alloc_matrix::<u64>(2, 3).unwrap();
+        rt.with(|ctx| ctx.set(m.at(1, 2), 5));
+        assert_eq!(rt.read(m.at(1, 2)), 5);
+        assert_eq!(rt.config().granularity, crate::addr::Granularity::Exact);
+    }
+
+    #[test]
+    fn read_all_matches_written_values() {
+        let mut rt = Runtime::new(deferred(), ());
+        let xs = rt.alloc_array_from(&[3u64, 1, 4, 1, 5]).unwrap();
+        let values = rt.with(|ctx| ctx.read_all(xs));
+        assert_eq!(values, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn unwatch_detaches_trigger_region() {
+        let mut rt = Runtime::new(deferred(), ());
+        let xs = rt.alloc_array::<u32>(4).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, xs.range_of(0, 2)).unwrap();
+        rt.watch(tt, xs.range_of(2, 4)).unwrap();
+        rt.unwatch(tt, xs.range_of(0, 2)).unwrap();
+        rt.with(|ctx| ctx.write(xs, 0, 9));
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
+        rt.with(|ctx| ctx.write(xs, 3, 9));
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Triggered);
+        // Unwatching the same region twice fails.
+        assert!(matches!(
+            rt.unwatch(tt, xs.range_of(0, 2)),
+            Err(Error::NoSuchWatch(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_id_is_rejected() {
+        let mut rt = Runtime::new(deferred(), ());
+        let bogus = TthreadId::new(42);
+        assert!(matches!(rt.join(bogus), Err(Error::UnknownTthread(_))));
+        assert!(matches!(rt.status(bogus), Err(Error::UnknownTthread(_))));
+        assert!(matches!(rt.force(bogus), Err(Error::UnknownTthread(_))));
+        assert!(matches!(rt.mark_dirty(bogus), Err(Error::UnknownTthread(_))));
+        assert!(matches!(rt.tthread_name(bogus), Err(Error::UnknownTthread(_))));
+    }
+
+    #[test]
+    fn watch_out_of_bounds_is_rejected() {
+        let mut rt = Runtime::new(deferred(), ());
+        let tt = rt.register("t", |_| {});
+        let bad = AddrRange::new(crate::addr::Addr::new(1 << 20), 8);
+        assert!(matches!(
+            rt.watch(tt, bad),
+            Err(Error::RegionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn join_all_covers_every_tthread() {
+        let mut rt = Runtime::new(deferred(), 0u32);
+        let x = rt.alloc(0u32).unwrap();
+        let t1 = rt.register("a", |ctx| *ctx.user_mut() += 1);
+        let t2 = rt.register("b", |ctx| *ctx.user_mut() += 10);
+        rt.watch(t1, x.range()).unwrap();
+        rt.watch(t2, x.range()).unwrap();
+        rt.write(x, 3);
+        let outcomes = rt.join_all().unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|(_, o)| *o == JoinOutcome::RanInline));
+        assert_eq!(rt.with(|ctx| *ctx.user()), 11);
+        assert_eq!(rt.tthread_count(), 2);
+        assert_eq!(rt.tthread_name(t1).unwrap(), "a");
+    }
+
+    #[test]
+    fn parallel_executor_runs_on_worker() {
+        let cfg = deferred().with_workers(2);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let x = rt.alloc(0u64).unwrap();
+        let tt = rt.register("double", move |ctx| {
+            let v = ctx.get(x);
+            *ctx.user_mut() = v * 2;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 50);
+        // Whatever the interleaving, after join the result is published.
+        let outcome = rt.join(tt).unwrap();
+        assert!(matches!(
+            outcome,
+            JoinOutcome::Overlapped | JoinOutcome::Stolen | JoinOutcome::Waited
+        ));
+        assert_eq!(rt.with(|ctx| *ctx.user()), 100);
+        let stats = rt.stats();
+        assert_eq!(stats.counters().executions, 1);
+    }
+
+    #[test]
+    fn parallel_executor_many_triggers_converge() {
+        let cfg = deferred().with_workers(4).with_queue_capacity(4);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let xs = rt.alloc_array::<u64>(16).unwrap();
+        let tt = rt.register("sum", move |ctx| {
+            let total: u64 = (0..xs.len()).map(|i| ctx.read(xs, i)).sum();
+            *ctx.user_mut() = total;
+        });
+        rt.watch(tt, xs.range()).unwrap();
+        for round in 1..=10u64 {
+            for i in 0..16 {
+                rt.with(|ctx| ctx.write(xs, i, round));
+            }
+            rt.join(tt).unwrap();
+            assert_eq!(rt.with(|ctx| *ctx.user()), 16 * round);
+        }
+        let (_, user) = rt.into_state();
+        assert_eq!(user, 160);
+    }
+
+    #[test]
+    fn overflow_execute_inline_keeps_correctness() {
+        let cfg = deferred()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_coalescing(false);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let x = rt.alloc(0u64).unwrap();
+        let tt = rt.register("copy", move |ctx| {
+            let v = ctx.get(x);
+            *ctx.user_mut() = v;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        for i in 1..=100u64 {
+            rt.write(x, i);
+        }
+        rt.join(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 100);
+    }
+
+    #[test]
+    fn into_state_returns_heap_and_user() {
+        let mut rt = Runtime::new(deferred(), String::from("hello"));
+        let x = rt.alloc(9u8).unwrap();
+        let (heap, user) = rt.into_state();
+        assert_eq!(heap.load::<u8>(x.addr()), 9);
+        assert_eq!(user, "hello");
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut rt = Runtime::new(deferred(), ());
+        let x = rt.alloc(0u32).unwrap();
+        rt.write(x, 1);
+        assert!(rt.stats().counters().tracked_stores > 0);
+        rt.reset_stats();
+        assert_eq!(rt.stats().counters().tracked_stores, 0);
+    }
+
+    #[test]
+    fn panicking_tthread_poisons_but_runtime_survives() {
+        let mut rt = Runtime::new(deferred(), 0u32);
+        let x = rt.alloc(0u32).unwrap();
+        let bad = rt.register("bad", |_| panic!("tthread bug"));
+        let good = rt.register("good", |ctx| *ctx.user_mut() += 1);
+        rt.watch(bad, x.range()).unwrap();
+        rt.watch(good, x.range()).unwrap();
+        rt.write(x, 1);
+        // The inline execution re-raises the panic...
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = rt.join(bad);
+        }));
+        assert!(caught.is_err());
+        // ...but the runtime is not wedged: the bad tthread is poisoned,
+        // the good one still works.
+        assert!(matches!(rt.join(bad), Err(Error::TthreadPoisoned(_))));
+        assert!(matches!(rt.force(bad), Err(Error::TthreadPoisoned(_))));
+        assert_eq!(rt.join(good).unwrap(), JoinOutcome::RanInline);
+        assert_eq!(rt.with(|ctx| *ctx.user()), 1);
+        // Clearing the poison restores the tthread.
+        rt.clear_poison(bad).unwrap();
+        assert_eq!(rt.join(bad).unwrap(), JoinOutcome::Skipped);
+    }
+
+    #[test]
+    fn worker_survives_panicking_tthread() {
+        let cfg = deferred().with_workers(1);
+        let mut rt = Runtime::new(cfg, 0u32);
+        let x = rt.alloc(0u32).unwrap();
+        let y = rt.alloc(0u32).unwrap();
+        let bad = rt.register("bad", |_| panic!("tthread bug"));
+        let good = rt.register("good", |ctx| *ctx.user_mut() += 1);
+        rt.watch(bad, x.range()).unwrap();
+        rt.watch(good, y.range()).unwrap();
+        rt.write(x, 1);
+        // Whether the worker ran it (poison) or the join stole it (panic
+        // propagates), the runtime must stay usable.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.join(bad)));
+        assert!(matches!(rt.join(bad), Err(Error::TthreadPoisoned(_))));
+        // The single worker must still be alive to run the good tthread.
+        rt.write(y, 5);
+        rt.join(good).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 1);
+    }
+
+    #[test]
+    fn bulk_read_matches_element_reads() {
+        let mut rt = Runtime::new(deferred(), ());
+        let xs = rt.alloc_array_from(&[1u32, 2, 3, 4, 5]).unwrap();
+        rt.with(|ctx| {
+            let mut out = Vec::new();
+            ctx.read_all_into(xs, &mut out);
+            assert_eq!(out, vec![1, 2, 3, 4, 5]);
+            ctx.read_slice_into(xs, 1, 4, &mut out);
+            assert_eq!(out, vec![2, 3, 4]);
+            ctx.read_slice_into(xs, 2, 2, &mut out);
+            assert!(out.is_empty());
+        });
+        assert_eq!(rt.stats().counters().tracked_loads, 8);
+    }
+
+    #[test]
+    fn bulk_write_detects_silence_per_element() {
+        let mut rt = Runtime::new(deferred(), ());
+        let xs = rt.alloc_array_from(&[1u32, 2, 3, 4]).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, xs.range_of(0, 2)).unwrap();
+        // Only elements 2 and 3 change; both are outside the watch.
+        rt.with(|ctx| ctx.write_slice(xs, 0, &[1u32, 2, 9, 9]));
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
+        let c = rt.stats().counters().clone();
+        assert_eq!(c.tracked_stores, 4);
+        assert_eq!(c.silent_stores, 2);
+        assert_eq!(c.changing_stores, 2);
+        // Now change a watched element.
+        rt.with(|ctx| ctx.write_slice(xs, 0, &[7u32, 2, 9, 9]));
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Triggered);
+        assert_eq!(rt.read(xs.at(0)), 7);
+        assert_eq!(rt.read(xs.at(2)), 9);
+    }
+
+    #[test]
+    fn bulk_write_dirties_same_tthreads_as_element_writes() {
+        let run = |bulk: bool| -> Vec<TthreadStatus> {
+            let mut rt = Runtime::new(deferred(), ());
+            let xs = rt.alloc_array::<u64>(16).unwrap();
+            let tts: Vec<_> = (0..4)
+                .map(|i| {
+                    let tt = rt.register(&format!("t{i}"), |_| {});
+                    rt.watch(tt, xs.range_of(4 * i, 4 * (i + 1))).unwrap();
+                    tt
+                })
+                .collect();
+            let mut values = vec![0u64; 16];
+            values[5] = 1; // dirties t1
+            values[11] = 2; // dirties t2
+            rt.with(|ctx| {
+                if bulk {
+                    ctx.write_slice(xs, 0, &values);
+                } else {
+                    for (i, &v) in values.iter().enumerate() {
+                        ctx.write(xs, i, v);
+                    }
+                }
+            });
+            tts.iter().map(|&t| rt.status(t).unwrap()).collect()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn tthread_counters_report_per_thread() {
+        let mut rt = Runtime::new(deferred(), ());
+        let x = rt.alloc(0u32).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 1);
+        rt.join(tt).unwrap();
+        rt.join(tt).unwrap();
+        let counters = rt.tthread_counters();
+        assert_eq!(counters.len(), 1);
+        let (id, execs, skips, triggers) = counters[0];
+        assert_eq!(id, tt);
+        assert_eq!(execs, 1);
+        assert_eq!(skips, 1);
+        assert_eq!(triggers, 1);
+    }
+}

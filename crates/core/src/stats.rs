@@ -1,0 +1,221 @@
+//! Runtime statistics.
+//!
+//! Every behavioural event in the runtime increments a counter here; the
+//! benchmark harness reads a [`StatsSnapshot`] to build the paper's
+//! per-benchmark characteristics table (R-Tab.2) and the silent-store /
+//! false-trigger ablations.
+
+use std::fmt;
+
+/// Mutable counters held inside the runtime's state lock.
+///
+/// Use [`Counters::snapshot`] to obtain an immutable copy for reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Tracked stores executed (every `set`/`write` call).
+    pub tracked_stores: u64,
+    /// Tracked stores whose bytes equalled the old contents (silent stores).
+    pub silent_stores: u64,
+    /// Tracked stores that changed memory contents.
+    pub changing_stores: u64,
+    /// Stores that matched at least one trigger region (post silent-store
+    /// suppression) and therefore fired.
+    pub triggering_stores: u64,
+    /// Individual (store, region) trigger matches.
+    pub triggers_fired: u64,
+    /// Trigger matches at the configured granularity whose *precise* byte
+    /// ranges did not overlap the watched region (false triggers).
+    pub false_triggers: u64,
+    /// Triggers absorbed because the tthread was already pending.
+    pub coalesced_triggers: u64,
+    /// Tthreads enqueued for a worker.
+    pub enqueues: u64,
+    /// Queue-full events.
+    pub queue_overflows: u64,
+    /// Tthread executions, wherever they ran.
+    pub executions: u64,
+    /// Executions performed inline on the triggering/main thread.
+    pub inline_executions: u64,
+    /// Executions performed by worker threads.
+    pub worker_executions: u64,
+    /// `join` calls that found the tthread clean and skipped the computation.
+    pub skips: u64,
+    /// `join` calls that had to wait for a running worker.
+    pub waited_joins: u64,
+    /// Triggers raised by stores performed inside tthreads (cascades).
+    pub cascade_triggers: u64,
+    /// Tracked loads executed (every `get`/`read` call).
+    pub tracked_loads: u64,
+    /// Bytes compared by silent-store detection.
+    pub bytes_compared: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the counters into an immutable snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot { c: self.clone() }
+    }
+}
+
+/// An immutable copy of the runtime counters, with derived ratios.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_core::stats::Counters;
+/// let mut c = Counters::new();
+/// c.tracked_stores = 10;
+/// c.silent_stores = 4;
+/// let snap = c.snapshot();
+/// assert!((snap.silent_store_fraction() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    c: Counters,
+}
+
+impl StatsSnapshot {
+    /// The raw counters.
+    pub fn counters(&self) -> &Counters {
+        &self.c
+    }
+
+    /// Fraction of tracked stores that were silent, in `[0, 1]`; `0` when no
+    /// stores were executed.
+    pub fn silent_store_fraction(&self) -> f64 {
+        ratio(self.c.silent_stores, self.c.tracked_stores)
+    }
+
+    /// Fraction of trigger matches that were false triggers.
+    pub fn false_trigger_fraction(&self) -> f64 {
+        ratio(self.c.false_triggers, self.c.triggers_fired)
+    }
+
+    /// Fraction of `join` points at which the computation was skipped
+    /// entirely — the paper's redundant-computation elimination rate.
+    pub fn skip_fraction(&self) -> f64 {
+        ratio(self.c.skips, self.c.skips + self.c.executions)
+    }
+
+    /// Triggers per tracked kilo-store, a density measure used in R-Tab.2.
+    pub fn triggers_per_kilo_store(&self) -> f64 {
+        if self.c.tracked_stores == 0 {
+            0.0
+        } else {
+            self.c.triggering_stores as f64 * 1000.0 / self.c.tracked_stores as f64
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.c;
+        writeln!(f, "tracked stores        {:>12}", c.tracked_stores)?;
+        writeln!(
+            f,
+            "  silent              {:>12}  ({:.1}%)",
+            c.silent_stores,
+            100.0 * self.silent_store_fraction()
+        )?;
+        writeln!(f, "  changing            {:>12}", c.changing_stores)?;
+        writeln!(f, "triggering stores     {:>12}", c.triggering_stores)?;
+        writeln!(
+            f,
+            "triggers fired        {:>12}  (false: {})",
+            c.triggers_fired, c.false_triggers
+        )?;
+        writeln!(f, "coalesced triggers    {:>12}", c.coalesced_triggers)?;
+        writeln!(
+            f,
+            "enqueues / overflows  {:>12} / {}",
+            c.enqueues, c.queue_overflows
+        )?;
+        writeln!(
+            f,
+            "executions            {:>12}  (inline {}, worker {})",
+            c.executions, c.inline_executions, c.worker_executions
+        )?;
+        writeln!(
+            f,
+            "skips                 {:>12}  ({:.1}% of joins)",
+            c.skips,
+            100.0 * self.skip_fraction()
+        )?;
+        writeln!(f, "waited joins          {:>12}", c.waited_joins)?;
+        writeln!(f, "cascade triggers      {:>12}", c.cascade_triggers)?;
+        writeln!(f, "tracked loads         {:>12}", c.tracked_loads)?;
+        write!(f, "bytes compared        {:>12}", c.bytes_compared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let snap = Counters::new().snapshot();
+        assert_eq!(snap.silent_store_fraction(), 0.0);
+        assert_eq!(snap.false_trigger_fraction(), 0.0);
+        assert_eq!(snap.skip_fraction(), 0.0);
+        assert_eq!(snap.triggers_per_kilo_store(), 0.0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let mut c = Counters::new();
+        c.tracked_stores = 1000;
+        c.silent_stores = 780;
+        c.triggering_stores = 20;
+        c.triggers_fired = 40;
+        c.false_triggers = 10;
+        c.skips = 75;
+        c.executions = 25;
+        let s = c.snapshot();
+        assert!((s.silent_store_fraction() - 0.78).abs() < 1e-12);
+        assert!((s.false_trigger_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.skip_fraction() - 0.75).abs() < 1e-12);
+        assert!((s.triggers_per_kilo_store() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_all_sections() {
+        let mut c = Counters::new();
+        c.tracked_stores = 5;
+        let text = c.snapshot().to_string();
+        for needle in [
+            "tracked stores",
+            "silent",
+            "triggering stores",
+            "coalesced",
+            "executions",
+            "skips",
+            "cascade",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_counters() {
+        let mut c = Counters::new();
+        c.enqueues = 9;
+        c.queue_overflows = 2;
+        let s = c.snapshot();
+        assert_eq!(s.counters().enqueues, 9);
+        assert_eq!(s.counters().queue_overflows, 2);
+    }
+}

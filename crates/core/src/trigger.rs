@@ -1,0 +1,292 @@
+//! The trigger table: mapping store addresses to the tthreads they fire.
+//!
+//! The hardware analogue is an associative structure consulted by every
+//! store. We index watched regions by fixed-size address *buckets* so that a
+//! store consults only the regions near it, keeping tracked stores O(1) in
+//! the common case.
+
+use std::collections::HashMap;
+
+use crate::addr::{AddrRange, Granularity};
+use crate::error::{Error, Result};
+use crate::tthread::TthreadId;
+
+const BUCKET_SHIFT: u32 = 8; // 256-byte buckets
+
+/// One trigger match produced by a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerHit {
+    /// The tthread to fire.
+    pub tthread: TthreadId,
+    /// Whether the store's *precise* byte range overlapped the watched
+    /// region. `false` means this is a false trigger introduced by coarse
+    /// granularity.
+    pub precise: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    range: AddrRange,
+    rounded: AddrRange,
+    tthread: TthreadId,
+    active: bool,
+}
+
+/// Watched-region index consulted on every tracked store.
+///
+/// The table observes stores at a fixed [`Granularity`] chosen at
+/// construction: both watched regions and incoming stores are rounded to
+/// that granularity before matching, which is exactly how a word- or
+/// line-grained hardware trigger mechanism behaves.
+#[derive(Debug, Clone)]
+pub struct TriggerTable {
+    granularity: Granularity,
+    regions: Vec<Region>,
+    buckets: HashMap<u64, Vec<u32>>,
+    active_regions: usize,
+}
+
+impl TriggerTable {
+    /// Creates an empty table observing stores at `granularity`.
+    pub fn new(granularity: Granularity) -> Self {
+        TriggerTable {
+            granularity,
+            regions: Vec::new(),
+            buckets: HashMap::new(),
+            active_regions: 0,
+        }
+    }
+
+    /// The observation granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of active watched regions.
+    pub fn len(&self) -> usize {
+        self.active_regions
+    }
+
+    /// Whether no regions are watched.
+    pub fn is_empty(&self) -> bool {
+        self.active_regions == 0
+    }
+
+    /// Watches `range` on behalf of `tthread`.
+    ///
+    /// Watching an empty range is a no-op that still succeeds (nothing can
+    /// ever match it).
+    pub fn watch(&mut self, tthread: TthreadId, range: AddrRange) {
+        let rounded = range.round_to(self.granularity);
+        let idx = self.regions.len() as u32;
+        self.regions.push(Region {
+            range,
+            rounded,
+            tthread,
+            active: true,
+        });
+        self.active_regions += 1;
+        for b in bucket_span(rounded) {
+            self.buckets.entry(b).or_default().push(idx);
+        }
+    }
+
+    /// Removes the watch `tthread` holds on exactly `range`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchWatch`] if no active watch matches both the
+    /// tthread and the precise range.
+    pub fn unwatch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
+        for region in self.regions.iter_mut().rev() {
+            if region.active && region.tthread == tthread && region.range == range {
+                region.active = false;
+                self.active_regions -= 1;
+                return Ok(());
+            }
+        }
+        Err(Error::NoSuchWatch(tthread))
+    }
+
+    /// Returns the tthreads fired by a store to `store_range`, deduplicated
+    /// by tthread. A hit is `precise` if any of the tthread's matched
+    /// regions precisely overlaps the store.
+    pub fn lookup(&self, store_range: AddrRange) -> Vec<TriggerHit> {
+        let rounded = store_range.round_to(self.granularity);
+        if rounded.is_empty() || self.buckets.is_empty() {
+            return Vec::new();
+        }
+        let mut hits: Vec<TriggerHit> = Vec::new();
+        let mut seen_regions: Vec<u32> = Vec::new();
+        for b in bucket_span(rounded) {
+            let Some(ids) = self.buckets.get(&b) else { continue };
+            for &idx in ids {
+                if seen_regions.contains(&idx) {
+                    continue;
+                }
+                seen_regions.push(idx);
+                let region = &self.regions[idx as usize];
+                if !region.active || !region.rounded.intersects(&rounded) {
+                    continue;
+                }
+                let precise = region.range.intersects(&store_range);
+                match hits.iter_mut().find(|h| h.tthread == region.tthread) {
+                    Some(h) => h.precise |= precise,
+                    None => hits.push(TriggerHit {
+                        tthread: region.tthread,
+                        precise,
+                    }),
+                }
+            }
+        }
+        hits
+    }
+
+    /// Iterates over active `(tthread, range)` watches.
+    pub fn iter(&self) -> impl Iterator<Item = (TthreadId, AddrRange)> + '_ {
+        self.regions
+            .iter()
+            .filter(|r| r.active)
+            .map(|r| (r.tthread, r.range))
+    }
+}
+
+fn bucket_span(range: AddrRange) -> impl Iterator<Item = u64> {
+    let first = range.start().raw() >> BUCKET_SHIFT;
+    let last = if range.is_empty() {
+        first
+    } else {
+        (range.end().raw() - 1) >> BUCKET_SHIFT
+    };
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn r(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(Addr::new(start), len)
+    }
+
+    #[test]
+    fn store_inside_watch_fires_precisely() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let tt = TthreadId::new(0);
+        t.watch(tt, r(100, 50));
+        let hits = t.lookup(r(120, 4));
+        assert_eq!(hits, vec![TriggerHit { tthread: tt, precise: true }]);
+    }
+
+    #[test]
+    fn store_outside_watch_misses() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        t.watch(TthreadId::new(0), r(100, 50));
+        assert!(t.lookup(r(150, 4)).is_empty());
+        assert!(t.lookup(r(96, 4)).is_empty());
+    }
+
+    #[test]
+    fn adjacent_store_at_line_granularity_is_false_trigger() {
+        let mut t = TriggerTable::new(Granularity::Line);
+        let tt = TthreadId::new(3);
+        t.watch(tt, r(0, 8));
+        // Store to bytes 32..36: same 64-byte line, no precise overlap.
+        let hits = t.lookup(r(32, 4));
+        assert_eq!(hits, vec![TriggerHit { tthread: tt, precise: false }]);
+        // Store in the next line: no hit at all.
+        assert!(t.lookup(r(64, 4)).is_empty());
+    }
+
+    #[test]
+    fn multiple_regions_same_tthread_dedup() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let tt = TthreadId::new(1);
+        t.watch(tt, r(0, 16));
+        t.watch(tt, r(8, 16));
+        let hits = t.lookup(r(8, 8));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].precise);
+    }
+
+    #[test]
+    fn multiple_tthreads_all_fire() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        t.watch(TthreadId::new(0), r(0, 16));
+        t.watch(TthreadId::new(1), r(8, 16));
+        let mut hits = t.lookup(r(8, 4));
+        hits.sort_by_key(|h| h.tthread);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn unwatch_removes_only_exact_watch() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let tt = TthreadId::new(0);
+        t.watch(tt, r(0, 16));
+        t.watch(tt, r(32, 16));
+        assert_eq!(t.len(), 2);
+        t.unwatch(tt, r(0, 16)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(r(4, 4)).is_empty());
+        assert_eq!(t.lookup(r(36, 4)).len(), 1);
+        assert!(matches!(
+            t.unwatch(tt, r(0, 16)),
+            Err(Error::NoSuchWatch(_))
+        ));
+    }
+
+    #[test]
+    fn large_region_spanning_buckets() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let tt = TthreadId::new(0);
+        t.watch(tt, r(0, 10_000));
+        assert_eq!(t.lookup(r(9_999, 1)).len(), 1);
+        assert_eq!(t.lookup(r(512, 8)).len(), 1);
+        assert!(t.lookup(r(10_000, 1)).is_empty());
+    }
+
+    #[test]
+    fn store_spanning_region_boundary_hits() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        t.watch(TthreadId::new(0), r(100, 8));
+        // Store 96..104 straddles the start of the region.
+        assert_eq!(t.lookup(r(96, 8)).len(), 1);
+    }
+
+    #[test]
+    fn empty_watch_never_fires() {
+        let mut t = TriggerTable::new(Granularity::Line);
+        t.watch(TthreadId::new(0), r(100, 0));
+        assert!(t.lookup(r(100, 4)).is_empty());
+    }
+
+    #[test]
+    fn empty_store_never_fires() {
+        let mut t = TriggerTable::new(Granularity::Line);
+        t.watch(TthreadId::new(0), r(100, 8));
+        assert!(t.lookup(r(100, 0)).is_empty());
+    }
+
+    #[test]
+    fn word_granularity_rounding() {
+        let mut t = TriggerTable::new(Granularity::Word);
+        let tt = TthreadId::new(0);
+        t.watch(tt, r(8, 4)); // watches word [8,16)
+        let hits = t.lookup(r(13, 1)); // same word, outside precise range
+        assert_eq!(hits, vec![TriggerHit { tthread: tt, precise: false }]);
+        assert!(t.lookup(r(16, 1)).is_empty());
+    }
+
+    #[test]
+    fn iter_lists_active_watches() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let tt = TthreadId::new(0);
+        t.watch(tt, r(0, 4));
+        t.watch(tt, r(8, 4));
+        t.unwatch(tt, r(0, 4)).unwrap();
+        let watches: Vec<_> = t.iter().collect();
+        assert_eq!(watches, vec![(tt, r(8, 4))]);
+    }
+}

@@ -1,0 +1,408 @@
+//! A single set-associative cache level with LRU replacement.
+
+use std::fmt;
+
+/// Geometry of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_memsim::cache::CacheConfig;
+/// let l1 = CacheConfig::new(32 * 1024, 8, 64);
+/// assert_eq!(l1.sets(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    ways: u32,
+    line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes`, `ways` and `line_bytes` are nonzero,
+    /// `line_bytes` is a power of two, and the implied set count is a
+    /// nonzero power of two.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache dimensions must be nonzero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_bytes as u64;
+        assert!(
+            lines.is_multiple_of(ways as u64),
+            "cache size must be divisible by ways * line size"
+        );
+        let sets = lines / ways as u64;
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a nonzero power of two"
+        );
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes as u64 / self.ways as u64
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A dirty line was evicted to make room (write-back traffic).
+    pub writeback: bool,
+}
+
+/// Hit/miss counters for one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Lines evicted (clean or dirty).
+    pub evictions: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss rate in `[0, 1]`; `0` when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits ({:.2}% miss), {} evictions, {} writebacks",
+            self.accesses,
+            self.hits,
+            100.0 * self.miss_rate(),
+            self.evictions,
+            self.writebacks
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic timestamp of last touch; smallest = LRU victim.
+    lru: u64,
+}
+
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+};
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// The cache stores no data, only tags — it is a timing/locality model.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_memsim::cache::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64));
+/// assert!(!c.access(0, false).hit); // cold miss
+/// assert!(c.access(0, false).hit);  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let total = (config.sets() * config.ways as u64) as usize;
+        Cache {
+            config,
+            lines: vec![INVALID_LINE; total],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Invalidates all lines and zeroes the counters.
+    pub fn reset(&mut self) {
+        self.lines.fill(INVALID_LINE);
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        let line = addr / self.config.line_bytes as u64;
+        (line % self.config.sets()) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes as u64 / self.config.sets()
+    }
+
+    /// Accesses the line containing `addr`; `write` marks it dirty.
+    /// On a miss the line is allocated, evicting the LRU way.
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
+        self.stats.accesses += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.config.ways as usize;
+        let slots = &mut self.lines[set * ways..(set + 1) * ways];
+
+        if let Some(line) = slots.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return CacheAccess {
+                hit: true,
+                writeback: false,
+            };
+        }
+
+        // Miss: prefer an invalid way, otherwise evict the LRU way.
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|l| (l.valid, l.lru))
+            .expect("cache set has at least one way");
+        let mut writeback = false;
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                writeback = true;
+            }
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: tick,
+        };
+        CacheAccess {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Installs the line containing `addr` without counting an access
+    /// (prefetch fill). Evictions and writebacks are still counted. Does
+    /// nothing if the line is already resident.
+    pub fn prefetch(&mut self, addr: u64) {
+        if self.probe(addr) {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.config.ways as usize;
+        let slots = &mut self.lines[set * ways..(set + 1) * ways];
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|l| (l.valid, l.lru))
+            .expect("cache set has at least one way");
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru: tick,
+        };
+    }
+
+    /// Whether the line containing `addr` is resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.config.ways as usize;
+        self.lines[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 16-byte lines: capacity 64 bytes.
+        Cache::new(CacheConfig::new(64, 2, 16))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new(32 * 1024, 8, 64);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.size_bytes(), 32 * 1024);
+        assert_eq!(c.ways(), 8);
+        assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        CacheConfig::new(1024, 2, 48);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(15, false).hit); // same 16-byte line
+        assert!(!c.access(16, false).hit); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines whose (addr/16) is even: addrs 0, 32, 64 map there.
+        c.access(0, false);
+        c.access(32, false);
+        c.access(0, false); // refresh line 0 -> line 32 is LRU
+        c.access(64, false); // evicts 32
+        assert!(c.probe(0));
+        assert!(!c.probe(32));
+        assert!(c.probe(64));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = tiny();
+        c.access(0, true); // dirty
+        c.access(32, false);
+        let out = c.access(64, false); // evicts LRU = line 0 (dirty)
+        assert!(out.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true); // hit, now dirty
+        c.access(32, false);
+        let out = c.access(64, false);
+        assert!(out.writeback);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(32, false);
+        let out = c.access(64, false);
+        assert!(!out.writeback);
+        assert_eq!(c.stats().writebacks, 0);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.accesses = 10;
+        s.hits = 6;
+        assert_eq!(s.misses(), 4);
+        assert!((s.miss_rate() - 0.4).abs() < 1e-12);
+        assert!(s.to_string().contains("miss"));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny(); // 64 B capacity
+        // Stream over 1 KiB repeatedly: after warmup, still ~all misses.
+        for _ in 0..4 {
+            for addr in (0..1024).step_by(16) {
+                c.access(addr, false);
+            }
+        }
+        assert!(c.stats().miss_rate() > 0.9);
+    }
+
+    #[test]
+    fn working_set_within_cache_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig::new(1024, 4, 16));
+        for round in 0..10 {
+            for addr in (0..512).step_by(16) {
+                let hit = c.access(addr, false).hit;
+                if round > 0 {
+                    assert!(hit, "addr {addr} should hit in round {round}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! A multi-core cache cluster: per-core (or shared) L1s over a shared
+//! L2/L3/memory backbone.
+//!
+//! The DTT timing simulator runs tthreads on spare contexts; whether those
+//! contexts share the main thread's L1 (SMT-style) or have their own
+//! (CMP-style) changes both the tthread's warm-up cost and the main
+//! thread's cache pressure. [`Cluster`] models both layouts behind one
+//! `access(core, addr, write)` call.
+
+use crate::cache::{Cache, CacheStats};
+use crate::hierarchy::{HierarchyConfig, HitLevel, MemAccess};
+
+/// Configuration of a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of cores (hardware contexts) issuing accesses.
+    pub cores: usize,
+    /// `true`: every core has its own L1 (CMP-style); `false`: all cores
+    /// share one L1 (SMT-style).
+    pub private_l1: bool,
+    /// Geometry and latencies of the levels.
+    pub hierarchy: HierarchyConfig,
+}
+
+impl ClusterConfig {
+    /// A cluster over the given hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, private_l1: bool, hierarchy: HierarchyConfig) -> Self {
+        assert!(cores >= 1, "a cluster needs at least one core");
+        ClusterConfig {
+            cores,
+            private_l1,
+            hierarchy,
+        }
+    }
+}
+
+/// The multi-core cache model.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_memsim::{Cluster, ClusterConfig, HierarchyConfig, HitLevel};
+///
+/// let mut shared = Cluster::new(ClusterConfig::new(2, false, HierarchyConfig::default()));
+/// shared.access(0, 0x100, false);
+/// // Shared L1: core 1 hits on core 0's line.
+/// assert_eq!(shared.access(1, 0x100, false).level, HitLevel::L1);
+///
+/// let mut private = Cluster::new(ClusterConfig::new(2, true, HierarchyConfig::default()));
+/// private.access(0, 0x100, false);
+/// // Private L1s: core 1 misses to the shared L2.
+/// assert_eq!(private.access(1, 0x100, false).level, HitLevel::L2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    l1s: Vec<Cache>,
+    l2: Cache,
+    l3: Option<Cache>,
+    memory_accesses: u64,
+    total_latency: u64,
+}
+
+impl Cluster {
+    /// Builds the cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let l1_count = if config.private_l1 { config.cores } else { 1 };
+        Cluster {
+            l1s: (0..l1_count).map(|_| Cache::new(config.hierarchy.l1)).collect(),
+            l2: Cache::new(config.hierarchy.l2),
+            l3: config.hierarchy.l3.map(Cache::new),
+            config,
+            memory_accesses: 0,
+            total_latency: 0,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Services an access issued by `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= config.cores`.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool) -> MemAccess {
+        assert!(core < self.config.cores, "core {core} out of range");
+        let h = self.config.hierarchy;
+        let l1 = if self.config.private_l1 {
+            &mut self.l1s[core]
+        } else {
+            &mut self.l1s[0]
+        };
+        let result = if l1.access(addr, write).hit {
+            MemAccess { latency: h.l1_latency, level: HitLevel::L1 }
+        } else if self.l2.access(addr, write).hit {
+            MemAccess { latency: h.l2_latency, level: HitLevel::L2 }
+        } else if let Some(l3) = self.l3.as_mut() {
+            if l3.access(addr, write).hit {
+                MemAccess { latency: h.l3_latency, level: HitLevel::L3 }
+            } else {
+                self.memory_accesses += 1;
+                MemAccess { latency: h.memory_latency, level: HitLevel::Memory }
+            }
+        } else {
+            self.memory_accesses += 1;
+            MemAccess { latency: h.memory_latency, level: HitLevel::Memory }
+        };
+        if h.prefetch_next_line && result.level != HitLevel::L1 {
+            let line = h.l1.line_bytes() as u64;
+            let l1 = if self.config.private_l1 {
+                &mut self.l1s[core]
+            } else {
+                &mut self.l1s[0]
+            };
+            l1.prefetch(addr / line * line + line);
+        }
+        self.total_latency += result.latency;
+        result
+    }
+
+    /// Aggregated L1 counters (summed over private L1s), then L2 and L3.
+    pub fn level_stats(&self) -> (CacheStats, CacheStats, Option<CacheStats>) {
+        let mut l1 = CacheStats::default();
+        for c in &self.l1s {
+            let s = c.stats();
+            l1.accesses += s.accesses;
+            l1.hits += s.hits;
+            l1.evictions += s.evictions;
+            l1.writebacks += s.writebacks;
+        }
+        (l1, self.l2.stats(), self.l3.as_ref().map(Cache::stats))
+    }
+
+    /// Accesses that reached memory.
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Sum of all access latencies.
+    pub fn total_latency(&self) -> u64 {
+        self.total_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn cfg(private: bool) -> ClusterConfig {
+        ClusterConfig::new(
+            2,
+            private,
+            HierarchyConfig {
+                l1: CacheConfig::new(256, 2, 16),
+                l2: CacheConfig::new(1024, 4, 16),
+                l3: None,
+                l1_latency: 1,
+                l2_latency: 10,
+                l3_latency: 0,
+                memory_latency: 100,
+                prefetch_next_line: false,
+            },
+        )
+    }
+
+    #[test]
+    fn shared_l1_cross_core_hits() {
+        let mut c = Cluster::new(cfg(false));
+        c.access(0, 0, false);
+        assert_eq!(c.access(1, 0, false).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn private_l1_cross_core_goes_to_l2() {
+        let mut c = Cluster::new(cfg(true));
+        c.access(0, 0, false);
+        let r = c.access(1, 0, false);
+        assert_eq!(r.level, HitLevel::L2);
+        assert_eq!(r.latency, 10);
+        // But core 1's own L1 now holds the line.
+        assert_eq!(c.access(1, 0, false).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn single_core_private_equals_shared() {
+        let base = ClusterConfig::new(1, false, cfg(false).hierarchy);
+        let priv_ = ClusterConfig::new(1, true, cfg(true).hierarchy);
+        let mut a = Cluster::new(base);
+        let mut b = Cluster::new(priv_);
+        for addr in [0u64, 16, 0, 512, 0, 16] {
+            assert_eq!(a.access(0, addr, false), b.access(0, addr, false));
+        }
+        assert_eq!(a.total_latency(), b.total_latency());
+    }
+
+    #[test]
+    fn aggregated_stats_cover_all_l1s() {
+        let mut c = Cluster::new(cfg(true));
+        c.access(0, 0, false);
+        c.access(1, 16, false);
+        let (l1, l2, l3) = c.level_stats();
+        assert_eq!(l1.accesses, 2);
+        assert_eq!(l2.accesses, 2); // both missed L1
+        assert!(l3.is_none());
+    }
+
+    #[test]
+    fn private_l1_isolation_avoids_interference() {
+        // One core streams a large array, the other reuses one line. With a
+        // shared direct-mapped L1 the streamer keeps evicting the reused
+        // line; private L1s keep it resident.
+        let direct_mapped = |private: bool| {
+            ClusterConfig::new(
+                2,
+                private,
+                HierarchyConfig {
+                    l1: CacheConfig::new(128, 1, 16),
+                    l2: CacheConfig::new(1024, 4, 16),
+                    l3: None,
+                    l1_latency: 1,
+                    l2_latency: 10,
+                    l3_latency: 0,
+                    memory_latency: 100,
+                    prefetch_next_line: false,
+                },
+            )
+        };
+        let run = |private: bool| -> u64 {
+            let mut c = Cluster::new(direct_mapped(private));
+            let mut l1_hits_core1 = 0;
+            for i in 0..128u64 {
+                c.access(0, 16 * i, false); // streamer
+                if c.access(1, 0, false).level == HitLevel::L1 {
+                    l1_hits_core1 += 1;
+                }
+            }
+            l1_hits_core1
+        };
+        assert!(run(true) > run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "core 2 out of range")]
+    fn out_of_range_core_panics() {
+        let mut c = Cluster::new(cfg(true));
+        c.access(2, 0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        ClusterConfig::new(0, true, HierarchyConfig::default());
+    }
+}

@@ -1,0 +1,27 @@
+//! # dtt-memsim — cache hierarchy simulator
+//!
+//! A tag-only, set-associative, write-back cache hierarchy model used as the
+//! memory substrate of the DTT timing simulator (`dtt-sim`). The HPCA'11
+//! evaluation ran on a detailed SMT processor model; this crate supplies the
+//! part of that model that matters for the paper's result — realistic load/
+//! store latencies as a function of locality — while staying small and
+//! deterministic.
+//!
+//! ```
+//! use dtt_memsim::{Hierarchy, HierarchyConfig, HitLevel};
+//!
+//! let mut mem = Hierarchy::new(HierarchyConfig::default());
+//! assert_eq!(mem.access(0x40, false).level, HitLevel::Memory); // cold
+//! assert_eq!(mem.access(0x40, false).level, HitLevel::L1);     // warm
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cluster;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
+pub use cluster::{Cluster, ClusterConfig};
+pub use hierarchy::{Hierarchy, HierarchyConfig, HitLevel, MemAccess};

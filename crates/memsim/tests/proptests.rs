@@ -1,0 +1,81 @@
+//! Property-based tests for the cache model.
+
+use dtt_memsim::{Cache, CacheConfig, Hierarchy, HierarchyConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// An access to an address always makes the *immediately following*
+    /// access to the same address an L1 hit.
+    #[test]
+    fn immediate_reuse_hits(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(1024, 2, 64));
+        for addr in addrs {
+            c.access(addr, false);
+            prop_assert!(c.access(addr, false).hit);
+        }
+    }
+
+    /// Counter identities hold under any access sequence:
+    /// hits <= accesses, writebacks <= evictions <= misses.
+    #[test]
+    fn counter_identities(ops in prop::collection::vec((0u64..4096, prop::bool::ANY), 0..500)) {
+        let mut c = Cache::new(CacheConfig::new(512, 2, 32));
+        for (addr, write) in ops {
+            c.access(addr, write);
+        }
+        let s = c.stats();
+        prop_assert!(s.hits <= s.accesses);
+        prop_assert!(s.evictions <= s.misses());
+        prop_assert!(s.writebacks <= s.evictions);
+    }
+
+    /// A working set no larger than the cache capacity misses each line at
+    /// most once (pure LRU, no conflict pathologies when set-aligned).
+    #[test]
+    fn resident_working_set_misses_once(rounds in 2usize..6) {
+        let cfg = CacheConfig::new(4096, 4, 64);
+        let mut c = Cache::new(cfg);
+        let lines: Vec<u64> = (0..64).map(|i| i * 64).collect(); // exactly capacity
+        for _ in 0..rounds {
+            for &a in &lines {
+                c.access(a, false);
+            }
+        }
+        prop_assert_eq!(c.stats().misses(), 64);
+    }
+
+    /// Hierarchy latencies are always one of the four configured values,
+    /// and total latency equals the sum of per-access latencies.
+    #[test]
+    fn hierarchy_latency_accounting(ops in prop::collection::vec((0u64..100_000, prop::bool::ANY), 1..300)) {
+        let cfg = HierarchyConfig::default();
+        let mut m = Hierarchy::new(cfg);
+        let mut sum = 0u64;
+        for (addr, write) in ops {
+            let r = m.access(addr, write);
+            prop_assert!(
+                [cfg.l1_latency, cfg.l2_latency, cfg.l3_latency, cfg.memory_latency]
+                    .contains(&r.latency)
+            );
+            sum += r.latency;
+        }
+        prop_assert_eq!(m.total_latency(), sum);
+    }
+
+    /// Monotonicity of capacity: for a random trace, a bigger L1 never has
+    /// a lower hit count than a smaller one (both fully-LRU, same line
+    /// size, same associativity scaled with size so sets match).
+    #[test]
+    fn bigger_cache_never_worse(seed_addrs in prop::collection::vec(0u64..8192, 50..300)) {
+        // Same number of sets, doubled ways: strictly more capacity per set.
+        let small = CacheConfig::new(1024, 2, 32);
+        let big = CacheConfig::new(2048, 4, 32);
+        let mut cs = Cache::new(small);
+        let mut cb = Cache::new(big);
+        for &a in &seed_addrs {
+            cs.access(a, false);
+            cb.access(a, false);
+        }
+        prop_assert!(cb.stats().hits >= cs.stats().hits);
+    }
+}

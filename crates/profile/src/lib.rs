@@ -1,0 +1,35 @@
+//! # dtt-profile — redundancy profiling over DTT traces
+//!
+//! Reproduces the characterization half of the HPCA'11 paper:
+//!
+//! * [`loads::LoadProfiler`] classifies every dynamic load as redundant or
+//!   not (a load is redundant when it fetches the value most recently loaded
+//!   from or stored to that location) — the paper's "78% of all loads fetch
+//!   redundant data" measurement.
+//! * [`redundancy::RedundancyProfiler`] measures how much *computation* is
+//!   redundant: region instances whose watched inputs did not change, and
+//!   the dynamic instructions inside them.
+//!
+//! ```
+//! use dtt_profile::{LoadProfiler, RedundancyProfiler};
+//! use dtt_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! b.store_event(1, 0x0, 8, 5);
+//! b.load_event(2, 0x0, 8, 5);
+//! let trace = b.finish()?;
+//! assert_eq!(LoadProfiler::profile(&trace).redundant_loads, 1);
+//! assert_eq!(RedundancyProfiler::profile(&trace).total_instructions, 2);
+//! # Ok::<(), dtt_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loads;
+pub mod redundancy;
+pub mod stores;
+
+pub use loads::{LoadProfile, LoadProfiler, SiteLoadStats};
+pub use redundancy::{RedundancyProfile, RedundancyProfiler, TthreadRedundancy};
+pub use stores::{SiteStoreStats, StoreProfile, StoreProfiler};

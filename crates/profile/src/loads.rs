@@ -1,0 +1,251 @@
+//! Redundant-load classification.
+//!
+//! Following the paper's definition, a dynamic load is **redundant** when it
+//! returns the same value that was most recently loaded from, or stored to,
+//! that memory location. The HPCA'11 characterization found that on C SPEC
+//! benchmarks 78% of all loads are redundant — the observation motivating
+//! data-triggered threads. [`LoadProfiler`] reproduces that measurement over
+//! a [`dtt_trace::Trace`] (R-Fig.1 in DESIGN.md).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dtt_trace::{Event, SiteId, Trace};
+
+/// Per-site load counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteLoadStats {
+    /// Dynamic loads at this site.
+    pub loads: u64,
+    /// Of those, redundant loads.
+    pub redundant: u64,
+}
+
+impl SiteLoadStats {
+    /// Redundant fraction in `[0, 1]`; `0` with no loads.
+    pub fn redundant_fraction(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.redundant as f64 / self.loads as f64
+        }
+    }
+}
+
+/// Result of profiling one trace for redundant loads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadProfile {
+    /// Total dynamic loads.
+    pub total_loads: u64,
+    /// Loads classified redundant.
+    pub redundant_loads: u64,
+    /// Per static-site breakdown.
+    pub by_site: HashMap<SiteId, SiteLoadStats>,
+}
+
+impl LoadProfile {
+    /// Overall redundant-load fraction in `[0, 1]`.
+    pub fn redundant_fraction(&self) -> f64 {
+        if self.total_loads == 0 {
+            0.0
+        } else {
+            self.redundant_loads as f64 / self.total_loads as f64
+        }
+    }
+
+    /// Sites sorted by redundant load count, highest first — the places a
+    /// programmer would look for tthread candidates.
+    pub fn hottest_sites(&self) -> Vec<(SiteId, SiteLoadStats)> {
+        let mut v: Vec<_> = self.by_site.iter().map(|(&s, &st)| (s, st)).collect();
+        v.sort_by(|a, b| b.1.redundant.cmp(&a.1.redundant).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl fmt::Display for LoadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} loads redundant ({:.1}%)",
+            self.redundant_loads,
+            self.total_loads,
+            100.0 * self.redundant_fraction()
+        )
+    }
+}
+
+/// Streaming redundant-load profiler.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_profile::loads::LoadProfiler;
+/// use dtt_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.store_event(1, 0x10, 8, 7);
+/// b.load_event(2, 0x10, 8, 7);  // redundant: value seen at this address
+/// b.load_event(2, 0x10, 8, 7);  // redundant again
+/// b.store_event(1, 0x10, 8, 9);
+/// b.load_event(2, 0x10, 8, 9);  // redundant (store published 9)
+/// let trace = b.finish()?;
+///
+/// let profile = LoadProfiler::profile(&trace);
+/// assert_eq!(profile.total_loads, 3);
+/// assert_eq!(profile.redundant_loads, 3);
+/// # Ok::<(), dtt_trace::TraceError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct LoadProfiler {
+    last_value: HashMap<u64, (u32, u64)>,
+    profile: LoadProfile,
+}
+
+impl LoadProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profiles a whole trace in one call.
+    pub fn profile(trace: &Trace) -> LoadProfile {
+        let mut p = Self::new();
+        for e in trace.events() {
+            p.observe(e);
+        }
+        p.finish()
+    }
+
+    /// Feeds one event.
+    pub fn observe(&mut self, event: &Event) {
+        match *event {
+            Event::Load { site, addr, size, value } => {
+                let redundant = self.last_value.get(&addr) == Some(&(size, value));
+                self.profile.total_loads += 1;
+                let entry = self.profile.by_site.entry(site).or_default();
+                entry.loads += 1;
+                if redundant {
+                    self.profile.redundant_loads += 1;
+                    entry.redundant += 1;
+                }
+                self.last_value.insert(addr, (size, value));
+            }
+            Event::Store { addr, size, value, .. } => {
+                self.last_value.insert(addr, (size, value));
+            }
+            _ => {}
+        }
+    }
+
+    /// Returns the accumulated profile.
+    pub fn finish(self) -> LoadProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtt_trace::TraceBuilder;
+
+    fn trace(build: impl FnOnce(&mut TraceBuilder)) -> Trace {
+        let mut b = TraceBuilder::new();
+        build(&mut b);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn first_load_is_not_redundant() {
+        let t = trace(|b| b.load_event(1, 0x100, 8, 42));
+        let p = LoadProfiler::profile(&t);
+        assert_eq!(p.total_loads, 1);
+        assert_eq!(p.redundant_loads, 0);
+        assert_eq!(p.redundant_fraction(), 0.0);
+    }
+
+    #[test]
+    fn repeated_load_same_value_is_redundant() {
+        let t = trace(|b| {
+            b.load_event(1, 0x100, 8, 42);
+            b.load_event(1, 0x100, 8, 42);
+            b.load_event(1, 0x100, 8, 42);
+        });
+        let p = LoadProfiler::profile(&t);
+        assert_eq!(p.redundant_loads, 2);
+        assert!((p.redundant_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_of_new_value_breaks_redundancy() {
+        let t = trace(|b| {
+            b.load_event(1, 0x100, 8, 42);
+            b.store_event(2, 0x100, 8, 99);
+            b.load_event(1, 0x100, 8, 99); // redundant vs the store
+            b.load_event(1, 0x100, 8, 42); // value changed again externally: not redundant
+        });
+        let p = LoadProfiler::profile(&t);
+        assert_eq!(p.redundant_loads, 1);
+    }
+
+    #[test]
+    fn silent_store_keeps_loads_redundant() {
+        let t = trace(|b| {
+            b.store_event(2, 0x100, 8, 7);
+            b.load_event(1, 0x100, 8, 7);
+            b.store_event(2, 0x100, 8, 7); // silent
+            b.load_event(1, 0x100, 8, 7);
+        });
+        let p = LoadProfiler::profile(&t);
+        assert_eq!(p.redundant_loads, 2);
+    }
+
+    #[test]
+    fn different_addresses_tracked_independently() {
+        let t = trace(|b| {
+            b.load_event(1, 0x100, 8, 1);
+            b.load_event(1, 0x200, 8, 1); // first touch of 0x200
+            b.load_event(1, 0x100, 8, 1); // redundant
+        });
+        let p = LoadProfiler::profile(&t);
+        assert_eq!(p.redundant_loads, 1);
+    }
+
+    #[test]
+    fn size_mismatch_is_not_redundant() {
+        let t = trace(|b| {
+            b.load_event(1, 0x100, 8, 1);
+            b.load_event(1, 0x100, 4, 1);
+        });
+        let p = LoadProfiler::profile(&t);
+        assert_eq!(p.redundant_loads, 0);
+    }
+
+    #[test]
+    fn per_site_breakdown_and_hottest() {
+        let t = trace(|b| {
+            for _ in 0..5 {
+                b.load_event(10, 0x100, 8, 1);
+            }
+            for i in 0..5 {
+                b.load_event(20, 0x200, 8, i);
+            }
+        });
+        let p = LoadProfiler::profile(&t);
+        assert_eq!(p.by_site[&10].loads, 5);
+        assert_eq!(p.by_site[&10].redundant, 4);
+        assert_eq!(p.by_site[&20].redundant, 0);
+        let hottest = p.hottest_sites();
+        assert_eq!(hottest[0].0, 10);
+        assert!((p.by_site[&10].redundant_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_percentage() {
+        let t = trace(|b| {
+            b.load_event(1, 0, 8, 0);
+            b.load_event(1, 0, 8, 0);
+        });
+        let p = LoadProfiler::profile(&t);
+        assert!(p.to_string().contains('%'));
+    }
+}

@@ -1,0 +1,245 @@
+//! Silent-store classification per static store site.
+//!
+//! The DTT methodology starts from the store side: a good trigger region
+//! is one whose stores are *mostly silent* (the data is usually rewritten
+//! unchanged) yet not always silent (it does change occasionally). This
+//! profiler ranks static store sites by their silence, mirroring how the
+//! paper's benchmarks were annotated by hand after profiling.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dtt_trace::{Event, SiteId, Trace};
+
+/// Per-site store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStoreStats {
+    /// Dynamic stores at this site.
+    pub stores: u64,
+    /// Of those, stores that wrote the value already in memory.
+    pub silent: u64,
+    /// Distinct addresses this site wrote (the candidate region's spread).
+    pub addresses: u64,
+}
+
+impl SiteStoreStats {
+    /// Silent fraction in `[0, 1]`; `0` with no stores.
+    pub fn silent_fraction(&self) -> f64 {
+        if self.stores == 0 {
+            0.0
+        } else {
+            self.silent as f64 / self.stores as f64
+        }
+    }
+}
+
+/// Result of profiling one trace for silent stores.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreProfile {
+    /// Total dynamic stores.
+    pub total_stores: u64,
+    /// Stores classified silent.
+    pub silent_stores: u64,
+    /// Per static-site breakdown.
+    pub by_site: HashMap<SiteId, SiteStoreStats>,
+}
+
+impl StoreProfile {
+    /// Overall silent-store fraction in `[0, 1]`.
+    pub fn silent_fraction(&self) -> f64 {
+        if self.total_stores == 0 {
+            0.0
+        } else {
+            self.silent_stores as f64 / self.total_stores as f64
+        }
+    }
+
+    /// Sites ranked as tthread-trigger candidates: mostly silent (little
+    /// recomputation if watched) but not entirely (they do fire), weighted
+    /// by store volume. The score is `silent * changing / stores` — it
+    /// peaks for high-volume sites with a mix of silence and change.
+    pub fn candidate_sites(&self) -> Vec<(SiteId, SiteStoreStats)> {
+        let mut v: Vec<_> = self.by_site.iter().map(|(&s, &st)| (s, st)).collect();
+        let score = |st: &SiteStoreStats| -> u64 {
+            (st.silent * (st.stores - st.silent))
+                .checked_div(st.stores)
+                .unwrap_or(0)
+        };
+        v.sort_by(|a, b| score(&b.1).cmp(&score(&a.1)).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl fmt::Display for StoreProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} stores silent ({:.1}%)",
+            self.silent_stores,
+            self.total_stores,
+            100.0 * self.silent_fraction()
+        )
+    }
+}
+
+/// Streaming silent-store profiler.
+///
+/// A store is silent when it writes the value that shadow memory (seeded
+/// by earlier loads and stores) already holds for that address — the same
+/// definition the runtime's change detection uses.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_profile::stores::StoreProfiler;
+/// use dtt_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.store_event(1, 0x10, 8, 7);
+/// b.store_event(1, 0x10, 8, 7); // silent
+/// b.store_event(1, 0x10, 8, 9); // changes
+/// let trace = b.finish()?;
+/// let profile = StoreProfiler::profile(&trace);
+/// assert_eq!(profile.total_stores, 3);
+/// assert_eq!(profile.silent_stores, 1);
+/// # Ok::<(), dtt_trace::TraceError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct StoreProfiler {
+    shadow: HashMap<u64, (u32, u64)>,
+    seen_addrs: HashMap<SiteId, std::collections::HashSet<u64>>,
+    profile: StoreProfile,
+}
+
+impl StoreProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profiles a whole trace in one call.
+    pub fn profile(trace: &Trace) -> StoreProfile {
+        let mut p = Self::new();
+        for e in trace.events() {
+            p.observe(e);
+        }
+        p.finish()
+    }
+
+    /// Feeds one event.
+    pub fn observe(&mut self, event: &Event) {
+        match *event {
+            Event::Store { site, addr, size, value } => {
+                let silent = self.shadow.get(&addr) == Some(&(size, value));
+                self.shadow.insert(addr, (size, value));
+                self.profile.total_stores += 1;
+                let entry = self.profile.by_site.entry(site).or_default();
+                entry.stores += 1;
+                if silent {
+                    self.profile.silent_stores += 1;
+                    entry.silent += 1;
+                }
+                if self.seen_addrs.entry(site).or_default().insert(addr) {
+                    entry.addresses += 1;
+                }
+            }
+            Event::Load { addr, size, value, .. } => {
+                self.shadow.entry(addr).or_insert((size, value));
+            }
+            _ => {}
+        }
+    }
+
+    /// Returns the accumulated profile.
+    pub fn finish(self) -> StoreProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtt_trace::TraceBuilder;
+
+    fn trace(build: impl FnOnce(&mut TraceBuilder)) -> Trace {
+        let mut b = TraceBuilder::new();
+        build(&mut b);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn first_store_is_not_silent() {
+        let t = trace(|b| b.store_event(1, 0, 8, 5));
+        let p = StoreProfiler::profile(&t);
+        assert_eq!(p.silent_stores, 0);
+        assert_eq!(p.silent_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rewrite_is_silent_change_is_not() {
+        let t = trace(|b| {
+            b.store_event(1, 0, 8, 5);
+            b.store_event(1, 0, 8, 5); // silent
+            b.store_event(1, 0, 8, 6); // change
+            b.store_event(1, 0, 8, 6); // silent
+        });
+        let p = StoreProfiler::profile(&t);
+        assert_eq!(p.silent_stores, 2);
+        assert!((p.silent_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_seed_shadow() {
+        let t = trace(|b| {
+            b.load_event(2, 0, 8, 7);
+            b.store_event(1, 0, 8, 7); // silent vs the observed value
+        });
+        let p = StoreProfiler::profile(&t);
+        assert_eq!(p.silent_stores, 1);
+    }
+
+    #[test]
+    fn per_site_breakdown_and_addresses() {
+        let t = trace(|b| {
+            for i in 0..4 {
+                b.store_event(10, 8 * i, 8, 1);
+            }
+            for _ in 0..4 {
+                b.store_event(20, 0x100, 8, 1);
+            }
+        });
+        let p = StoreProfiler::profile(&t);
+        assert_eq!(p.by_site[&10].addresses, 4);
+        assert_eq!(p.by_site[&10].silent, 0);
+        assert_eq!(p.by_site[&20].addresses, 1);
+        assert_eq!(p.by_site[&20].silent, 3);
+    }
+
+    #[test]
+    fn candidate_ranking_prefers_mixed_sites() {
+        let t = trace(|b| {
+            // Site 1: always silent after the first store (never fires).
+            for _ in 0..10 {
+                b.store_event(1, 0, 8, 1);
+            }
+            // Site 2: mixed — mostly silent, occasionally changing: the
+            // ideal trigger.
+            for k in 0..10 {
+                b.store_event(2, 8, 8, if k % 5 == 0 { k } else { (k / 5) * 5 });
+            }
+            // Site 3: always changing (would thrash a tthread).
+            for k in 0..10u64 {
+                b.store_event(3, 16, 8, k);
+            }
+        });
+        let p = StoreProfiler::profile(&t);
+        let ranked = p.candidate_sites();
+        assert_eq!(ranked[0].0, 2, "mixed site should rank first: {ranked:?}");
+    }
+
+    #[test]
+    fn display_mentions_percentage() {
+        let t = trace(|b| b.store_event(1, 0, 8, 1));
+        assert!(StoreProfiler::profile(&t).to_string().contains('%'));
+    }
+}

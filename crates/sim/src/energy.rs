@@ -1,0 +1,132 @@
+//! A simple activity-based energy model.
+//!
+//! Good enough for the paper's energy argument: DTT removes dynamic
+//! instructions and their cache activity, at the cost of a value compare on
+//! every store. Units are picojoules per event, defaults loosely in the
+//! range of published 45 nm CMOS numbers.
+
+use dtt_memsim::CacheStats;
+
+/// Per-event energy costs in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Executing one non-memory instruction.
+    pub instruction_pj: f64,
+    /// One L1 access.
+    pub l1_pj: f64,
+    /// One L2 access.
+    pub l2_pj: f64,
+    /// One L3 access.
+    pub l3_pj: f64,
+    /// One DRAM access.
+    pub memory_pj: f64,
+    /// One old/new value comparison in the store pipeline.
+    pub compare_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            instruction_pj: 10.0,
+            l1_pj: 20.0,
+            l2_pj: 80.0,
+            l3_pj: 250.0,
+            memory_pj: 2000.0,
+            compare_pj: 2.0,
+        }
+    }
+}
+
+/// Activity counts fed into the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Non-memory instructions executed.
+    pub instructions: u64,
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// Memory accesses.
+    pub memory_accesses: u64,
+    /// Store value comparisons performed.
+    pub compares: u64,
+}
+
+impl Activity {
+    /// Builds the cache part of the activity from per-level stats.
+    pub fn from_hierarchy(l1: CacheStats, l2: CacheStats, l3: Option<CacheStats>, mem: u64) -> Self {
+        Activity {
+            instructions: 0,
+            l1_accesses: l1.accesses,
+            l2_accesses: l2.accesses,
+            l3_accesses: l3.map_or(0, |s| s.accesses),
+            memory_accesses: mem,
+            compares: 0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total energy of `activity` in picojoules.
+    pub fn energy_pj(&self, activity: &Activity) -> f64 {
+        activity.instructions as f64 * self.instruction_pj
+            + activity.l1_accesses as f64 * self.l1_pj
+            + activity.l2_accesses as f64 * self.l2_pj
+            + activity.l3_accesses as f64 * self.l3_pj
+            + activity.memory_accesses as f64 * self.memory_pj
+            + activity.compares as f64 * self.compare_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_activity_zero_energy() {
+        assert_eq!(EnergyModel::default().energy_pj(&Activity::default()), 0.0);
+    }
+
+    #[test]
+    fn energy_is_linear() {
+        let m = EnergyModel::default();
+        let a = Activity {
+            instructions: 10,
+            l1_accesses: 5,
+            l2_accesses: 2,
+            l3_accesses: 1,
+            memory_accesses: 1,
+            compares: 3,
+        };
+        let double = Activity {
+            instructions: 20,
+            l1_accesses: 10,
+            l2_accesses: 4,
+            l3_accesses: 2,
+            memory_accesses: 2,
+            compares: 6,
+        };
+        assert!((m.energy_pj(&double) - 2.0 * m.energy_pj(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_dominates_default_model() {
+        let m = EnergyModel::default();
+        let mem_only = Activity { memory_accesses: 1, ..Activity::default() };
+        let instr_only = Activity { instructions: 100, ..Activity::default() };
+        assert!(m.energy_pj(&mem_only) > m.energy_pj(&instr_only));
+    }
+
+    #[test]
+    fn from_hierarchy_maps_accesses() {
+        let l1 = CacheStats { accesses: 100, hits: 90, evictions: 5, writebacks: 2 };
+        let l2 = CacheStats { accesses: 10, hits: 8, evictions: 1, writebacks: 0 };
+        let a = Activity::from_hierarchy(l1, l2, None, 2);
+        assert_eq!(a.l1_accesses, 100);
+        assert_eq!(a.l2_accesses, 10);
+        assert_eq!(a.l3_accesses, 0);
+        assert_eq!(a.memory_accesses, 2);
+    }
+}

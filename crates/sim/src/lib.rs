@@ -1,0 +1,51 @@
+//! # dtt-sim — timing simulator for data-triggered threads
+//!
+//! A trace-driven model of the HPCA'11 DTT hardware, replacing the authors'
+//! detailed SMT simulator with the minimal machine that exposes the same
+//! trade-offs:
+//!
+//! * **skip** — a region whose watched inputs did not change costs zero
+//!   cycles (redundant-computation elimination);
+//! * **overlap** — a dirty region executes on a spare context starting at
+//!   trigger time + spawn overhead, hiding behind main-thread progress;
+//! * **overheads** — spawn latency, trigger checks, queue capacity, and
+//!   coarse-granularity false triggers all push back.
+//!
+//! Replay the *same* trace in [`SimMode::Baseline`] and [`SimMode::Dtt`] and
+//! compare cycles:
+//!
+//! ```
+//! use dtt_sim::{simulate, MachineConfig, SimMode};
+//! use dtt_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new();
+//! let t = b.declare_tthread("recompute");
+//! b.declare_watch(t, 0, 8);
+//! for _ in 0..4 {
+//!     b.store_event(1, 0, 8, 9); // silent after the first round
+//!     b.region_begin_checked(t)?;
+//!     b.compute_event(1_000);
+//!     b.region_end_checked(t)?;
+//!     b.join_event(t);
+//! }
+//! let trace = b.finish()?;
+//! let cfg = MachineConfig::default();
+//! let base = simulate(&cfg, &trace, SimMode::Baseline);
+//! let dtt = simulate(&cfg, &trace, SimMode::Dtt);
+//! let speedup = base.speedup_over(&dtt);
+//! assert!(speedup > 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod energy;
+pub mod machine;
+pub mod result;
+
+pub use config::MachineConfig;
+pub use energy::{Activity, EnergyModel};
+pub use machine::simulate;
+pub use result::{SimMode, SimResult, TthreadSimStats};

@@ -1,0 +1,590 @@
+//! The trace-driven DTT timing simulator.
+//!
+//! One [`simulate`] call replays a [`dtt_trace::Trace`] on either machine:
+//!
+//! * [`SimMode::Baseline`] — no DTT hardware: region contents execute inline
+//!   on the main context every time they appear in the trace.
+//! * [`SimMode::Dtt`] — the proposed hardware: stores are checked against
+//!   the watched ranges (at the configured granularity) and compared against
+//!   shadow memory for silent-store suppression; a *clean* region is skipped
+//!   entirely; a *dirty* region executes on a spare context starting at
+//!   trigger time + spawn overhead (overlapping the main thread) or inline
+//!   when no spare context exists or the thread queue overflowed; a join
+//!   waits for the pending execution.
+//!
+//! Cost model: `cpi` cycles per non-memory instruction, the cache-hierarchy
+//! latency per memory access (hierarchy shared by all contexts), plus the
+//! explicit DTT overheads from [`MachineConfig`].
+
+use std::collections::HashMap;
+
+use dtt_trace::{Event, Trace, Watch};
+
+use crate::config::MachineConfig;
+use crate::energy::{Activity, EnergyModel};
+use crate::result::{SimMode, SimResult};
+
+/// Simulates `trace` on the machine described by `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`MachineConfig::validate`] or the trace contains
+/// a region with no matching end (traces from
+/// [`dtt_trace::TraceBuilder::finish`] are always well-formed).
+///
+/// # Examples
+///
+/// ```
+/// use dtt_sim::{simulate, MachineConfig, SimMode};
+/// use dtt_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let t = b.declare_tthread("work");
+/// b.declare_watch(t, 0x100, 8);
+/// for _ in 0..10 {
+///     b.store_event(1, 0x100, 8, 7); // same value: silent after the first
+///     b.region_begin_checked(t)?;
+///     b.compute_event(10_000);
+///     b.region_end_checked(t)?;
+///     b.join_event(t);
+/// }
+/// let trace = b.finish()?;
+///
+/// let cfg = MachineConfig::default();
+/// let base = simulate(&cfg, &trace, SimMode::Baseline);
+/// let dtt = simulate(&cfg, &trace, SimMode::Dtt);
+/// assert!(dtt.cycles < base.cycles); // 9 of 10 region instances skipped
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(cfg: &MachineConfig, trace: &Trace, mode: SimMode) -> SimResult {
+    cfg.validate();
+    Simulator::new(cfg, trace, mode).run()
+}
+
+struct Simulator<'a> {
+    cfg: &'a MachineConfig,
+    trace: &'a Trace,
+    mode: SimMode,
+    mem: dtt_memsim::Cluster,
+    shadow: HashMap<u64, (u32, u64)>,
+    dirty: Vec<bool>,
+    force_inline: Vec<bool>,
+    last_trigger: Vec<f64>,
+    pending_finish: Vec<Option<f64>>,
+    context_free: Vec<f64>,
+    dirty_count: usize,
+    main_time: f64,
+    res: SimResult,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(cfg: &'a MachineConfig, trace: &'a Trace, mode: SimMode) -> Self {
+        let n = trace.tthread_names().len();
+        let managed = n.min(cfg.tst_capacity);
+        Simulator {
+            cfg,
+            trace,
+            mode,
+            mem: dtt_memsim::Cluster::new(dtt_memsim::ClusterConfig::new(
+                cfg.contexts,
+                cfg.private_l1,
+                cfg.hierarchy,
+            )),
+            shadow: HashMap::new(),
+            dirty: vec![true; n], // first instance of every region must run
+            force_inline: vec![false; n],
+            last_trigger: vec![0.0; n],
+            pending_finish: vec![None; n],
+            context_free: vec![0.0; cfg.contexts.saturating_sub(1)],
+            // Unmanaged tthreads (beyond the TST) never occupy queue slots.
+            dirty_count: managed,
+            main_time: 0.0,
+            res: SimResult::new(mode, n),
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        let events = self.trace.events();
+        let mut i = 0;
+        while i < events.len() {
+            match events[i] {
+                Event::Compute(n) => {
+                    self.main_time += n as f64 * self.cfg.cpi;
+                    self.res.alu_instructions += n;
+                }
+                Event::Load { addr, size, value, .. } => {
+                    let mut t = self.main_time;
+                    self.load(0, &mut t, addr, size, value);
+                    self.main_time = t;
+                }
+                Event::Store { addr, size, value, .. } => {
+                    let mut t = self.main_time;
+                    self.store(0, &mut t, addr, size, value);
+                    self.main_time = t;
+                }
+                Event::RegionBegin { tthread } => {
+                    i = self.region_begin(tthread, i, events);
+                }
+                Event::RegionEnd { .. } => {}
+                Event::Join { tthread } => {
+                    if self.mode == SimMode::Dtt {
+                        if let Some(finish) = self.pending_finish[tthread as usize].take() {
+                            let wait = (finish - self.main_time).max(0.0);
+                            self.res.join_wait_cycles += wait.round() as u64;
+                            self.res.tthreads[tthread as usize].wait_cycles +=
+                                wait.round() as u64;
+                            self.main_time = self.main_time.max(finish);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Outstanding offloaded work must complete before the program ends.
+        for finish in self.pending_finish.iter().flatten() {
+            self.main_time = self.main_time.max(*finish);
+        }
+        self.finish()
+    }
+
+    fn region_begin(&mut self, tthread: u32, begin: usize, events: &[Event]) -> usize {
+        let idx = tthread as usize;
+        let end = region_end_index(events, begin, tthread);
+        if self.mode == SimMode::Baseline {
+            // Contents run inline; the outer loop processes them.
+            self.res.region_instances += 1;
+            self.res.tthreads[idx].instances += 1;
+            return begin;
+        }
+        self.res.region_instances += 1;
+        self.res.tthreads[idx].instances += 1;
+        if idx >= self.cfg.tst_capacity {
+            // Unmanaged tthread: the hardware cannot track it, so its
+            // computation runs inline every time, exactly as in the
+            // baseline.
+            self.res.regions_inline += 1;
+            self.res.tthreads[idx].inline_runs += 1;
+            return begin;
+        }
+        if !self.dirty[idx] {
+            // Clean: skip the whole region.
+            let mut skipped = 0u64;
+            for e in &events[begin + 1..end] {
+                skipped += e.instructions();
+            }
+            self.res.instructions_skipped += skipped;
+            self.res.regions_skipped += 1;
+            self.res.tthreads[idx].skips += 1;
+            return end;
+        }
+        self.dirty[idx] = false;
+        self.dirty_count -= 1;
+        let inline = self.force_inline[idx] || self.context_free.is_empty();
+        self.force_inline[idx] = false;
+        if inline {
+            // Contents run on the main context; outer loop processes them.
+            self.res.regions_inline += 1;
+            self.res.tthreads[idx].inline_runs += 1;
+            return begin;
+        }
+        // Offload: replay the region on the least-loaded spare context,
+        // starting no earlier than trigger time + spawn overhead.
+        self.res.regions_offloaded += 1;
+        self.res.tthreads[idx].offloads += 1;
+        self.res.spawn_overhead_cycles += self.cfg.spawn_overhead;
+        let ctx = self
+            .context_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("offload requires a spare context");
+        let start = (self.last_trigger[idx] + self.cfg.spawn_overhead as f64)
+            .max(self.context_free[ctx]);
+        let mut t_time = start;
+        let core = ctx + 1; // context 0 is the main thread
+        for e in &events[begin + 1..end] {
+            match *e {
+                Event::Compute(n) => {
+                    t_time += n as f64 * self.cfg.cpi;
+                    self.res.alu_instructions += n;
+                }
+                Event::Load { addr, size, value, .. } => {
+                    self.load(core, &mut t_time, addr, size, value)
+                }
+                Event::Store { addr, size, value, .. } => {
+                    self.store(core, &mut t_time, addr, size, value)
+                }
+                Event::Join { .. } => {}
+                Event::RegionBegin { .. } | Event::RegionEnd { .. } => {
+                    unreachable!("regions do not nest")
+                }
+            }
+        }
+        self.context_free[ctx] = t_time;
+        let finish = self.pending_finish[idx].map_or(t_time, |f| f.max(t_time));
+        self.pending_finish[idx] = Some(finish);
+        end
+    }
+
+    fn load(&mut self, core: usize, time: &mut f64, addr: u64, size: u32, value: u64) {
+        let access = self.mem.access(core, addr, false);
+        *time += access.latency as f64;
+        self.res.loads += 1;
+        // Seed shadow memory with observed values so a later identical
+        // store is recognized as silent.
+        self.shadow.entry(addr).or_insert((size, value));
+    }
+
+    fn store(&mut self, core: usize, time: &mut f64, addr: u64, size: u32, value: u64) {
+        let access = self.mem.access(core, addr, true);
+        *time += access.latency as f64;
+        self.res.stores += 1;
+        if self.mode == SimMode::Baseline {
+            self.shadow.insert(addr, (size, value));
+            return;
+        }
+        *time += self.cfg.trigger_check_overhead as f64;
+        let changed = self.shadow.get(&addr) != Some(&(size, value));
+        self.shadow.insert(addr, (size, value));
+        if self.cfg.suppress_silent_stores {
+            self.res.compares += 1;
+        }
+        let fires = changed || !self.cfg.suppress_silent_stores;
+        let g = self.cfg.granularity_bytes as u64;
+        for wi in 0..self.trace.watches().len() {
+            let w = self.trace.watches()[wi];
+            if w.len == 0 {
+                continue;
+            }
+            let precise = w.overlaps(addr, size);
+            let rounded = rounded_overlap(&w, addr, size, g);
+            if !rounded {
+                continue;
+            }
+            let idx = w.tthread as usize;
+            if idx >= self.cfg.tst_capacity {
+                continue; // unmanaged: no TST entry to mark
+            }
+            if !fires {
+                self.res.tthreads[idx].silent_suppressed += 1;
+                continue;
+            }
+            self.res.tthreads[idx].triggers += 1;
+            if !precise {
+                self.res.tthreads[idx].false_triggers += 1;
+            }
+            self.last_trigger[idx] = *time;
+            if !self.dirty[idx] {
+                if self.dirty_count >= self.cfg.queue_capacity {
+                    self.res.queue_overflows += 1;
+                    self.force_inline[idx] = true;
+                }
+                self.dirty[idx] = true;
+                self.dirty_count += 1;
+            }
+        }
+    }
+
+    fn finish(mut self) -> SimResult {
+        self.res.cycles = self.main_time.ceil() as u64;
+        let (l1, l2, l3) = self.mem.level_stats();
+        self.res.l1 = l1;
+        self.res.l2 = l2;
+        self.res.l3 = l3;
+        self.res.memory_accesses = self.mem.memory_accesses();
+        let mut activity = Activity::from_hierarchy(l1, l2, l3, self.mem.memory_accesses());
+        activity.instructions = self.res.alu_instructions;
+        activity.compares = self.res.compares;
+        self.res.activity = activity;
+        self.res.energy_pj = EnergyModel::default().energy_pj(&activity);
+        self.res.instructions_executed =
+            self.res.alu_instructions + self.res.loads + self.res.stores;
+        self.res
+    }
+}
+
+fn region_end_index(events: &[Event], begin: usize, tthread: u32) -> usize {
+    events[begin + 1..]
+        .iter()
+        .position(|e| matches!(e, Event::RegionEnd { tthread: t } if *t == tthread))
+        .map(|off| begin + 1 + off)
+        .expect("region has a matching end")
+}
+
+fn rounded_overlap(w: &Watch, addr: u64, size: u32, g: u64) -> bool {
+    if size == 0 {
+        return false;
+    }
+    let s_start = addr / g * g;
+    let s_end = (addr + size as u64).div_ceil(g) * g;
+    let w_start = w.start / g * g;
+    let w_end = (w.start + w.len).div_ceil(g) * g;
+    s_start < w_end && w_start < s_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtt_trace::TraceBuilder;
+
+    /// `iterations` rounds of: store `values[i]` to the watched word, run a
+    /// region of `region_cost` compute, join.
+    fn periodic_trace(values: &[u64], region_cost: u64) -> Trace {
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("w");
+        b.declare_watch(t, 0x1000, 8);
+        for &v in values {
+            b.store_event(1, 0x1000, 8, v);
+            b.compute_event(50);
+            b.region_begin_checked(t).unwrap();
+            b.compute_event(region_cost);
+            b.region_end_checked(t).unwrap();
+            b.join_event(t);
+        }
+        b.finish().unwrap()
+    }
+
+    fn inline_cfg() -> MachineConfig {
+        MachineConfig::default().with_contexts(1)
+    }
+
+    #[test]
+    fn baseline_executes_every_region() {
+        let tr = periodic_trace(&[7; 10], 1000);
+        let r = simulate(&MachineConfig::default(), &tr, SimMode::Baseline);
+        assert_eq!(r.region_instances, 10);
+        assert_eq!(r.regions_skipped, 0);
+        assert_eq!(r.instructions_skipped, 0);
+        // 10 * (1 store + 50 + 1000 compute)
+        assert_eq!(r.instructions_executed, 10 * 1051);
+    }
+
+    #[test]
+    fn dtt_skips_silent_iterations() {
+        let tr = periodic_trace(&[7; 10], 1000);
+        let r = simulate(&inline_cfg(), &tr, SimMode::Dtt);
+        // First iteration runs (cold), the other 9 are skipped.
+        assert_eq!(r.regions_skipped, 9);
+        assert_eq!(r.instructions_skipped, 9 * 1000);
+        let base = simulate(&inline_cfg(), &tr, SimMode::Baseline);
+        assert!(r.cycles < base.cycles);
+        assert!(base.speedup_over(&r) > 1.0);
+    }
+
+    #[test]
+    fn changing_values_run_every_region() {
+        let values: Vec<u64> = (0..10).collect();
+        let tr = periodic_trace(&values, 1000);
+        let r = simulate(&inline_cfg(), &tr, SimMode::Dtt);
+        assert_eq!(r.regions_skipped, 0);
+        assert_eq!(r.regions_inline, 10);
+    }
+
+    #[test]
+    fn suppression_off_triggers_on_silent_stores() {
+        let tr = periodic_trace(&[7; 10], 1000);
+        let cfg = inline_cfg().with_silent_store_suppression(false);
+        let r = simulate(&cfg, &tr, SimMode::Dtt);
+        assert_eq!(r.regions_skipped, 0);
+        assert_eq!(r.compares, 0);
+    }
+
+    #[test]
+    fn offload_overlaps_main_thread() {
+        // Values change every round, so the region always runs. With a
+        // spare context the recomputation overlaps the 50-instruction gap;
+        // with contexts=1 it serializes.
+        let values: Vec<u64> = (0..20).collect();
+        let tr = periodic_trace(&values, 400);
+        let serial = simulate(&inline_cfg().with_spawn_overhead(0), &tr, SimMode::Dtt);
+        let overlap = simulate(
+            &MachineConfig::default().with_contexts(2).with_spawn_overhead(0),
+            &tr,
+            SimMode::Dtt,
+        );
+        assert_eq!(overlap.regions_offloaded, 20);
+        assert!(overlap.cycles < serial.cycles);
+    }
+
+    #[test]
+    fn spawn_overhead_hurts() {
+        let values: Vec<u64> = (0..20).collect();
+        let tr = periodic_trace(&values, 400);
+        let cheap = simulate(
+            &MachineConfig::default().with_spawn_overhead(0),
+            &tr,
+            SimMode::Dtt,
+        );
+        let dear = simulate(
+            &MachineConfig::default().with_spawn_overhead(10_000),
+            &tr,
+            SimMode::Dtt,
+        );
+        assert!(dear.cycles > cheap.cycles);
+    }
+
+    #[test]
+    fn queue_overflow_forces_inline() {
+        // Two tthreads, queue capacity 1: triggering both in one round
+        // overflows and forces one inline.
+        let mut b = TraceBuilder::new();
+        let ta = b.declare_tthread("a");
+        let tb = b.declare_tthread("b");
+        b.declare_watch(ta, 0x0, 8);
+        b.declare_watch(tb, 0x100, 8);
+        for v in 1..=5u64 {
+            b.store_event(1, 0x0, 8, v);
+            b.store_event(1, 0x100, 8, v);
+            for t in [ta, tb] {
+                b.region_begin_checked(t).unwrap();
+                b.compute_event(100);
+                b.region_end_checked(t).unwrap();
+                b.join_event(t);
+            }
+        }
+        let tr = b.finish().unwrap();
+        let r = simulate(
+            &MachineConfig::default().with_contexts(4).with_queue_capacity(1),
+            &tr,
+            SimMode::Dtt,
+        );
+        assert!(r.queue_overflows > 0);
+        assert!(r.regions_inline > 0);
+    }
+
+    #[test]
+    fn line_granularity_false_triggers() {
+        // Watch [0x1000, 0x1008); store to 0x1020 (same 64B line).
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("t");
+        b.declare_watch(t, 0x1000, 8);
+        b.region_begin_checked(t).unwrap();
+        b.compute_event(10);
+        b.region_end_checked(t).unwrap();
+        for v in 1..=3u64 {
+            b.store_event(1, 0x1020, 8, v);
+            b.region_begin_checked(t).unwrap();
+            b.compute_event(10);
+            b.region_end_checked(t).unwrap();
+        }
+        let tr = b.finish().unwrap();
+        let precise = simulate(&inline_cfg().with_granularity_bytes(1), &tr, SimMode::Dtt);
+        assert_eq!(precise.tthreads[0].false_triggers, 0);
+        assert_eq!(precise.regions_skipped, 3);
+        let coarse = simulate(&inline_cfg().with_granularity_bytes(64), &tr, SimMode::Dtt);
+        assert_eq!(coarse.tthreads[0].false_triggers, 3);
+        assert_eq!(coarse.regions_skipped, 0);
+    }
+
+    #[test]
+    fn join_waits_for_offloaded_region() {
+        // Big region, tiny gap: the join must wait, so wait cycles show up.
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("t");
+        b.declare_watch(t, 0x0, 8);
+        b.store_event(1, 0x0, 8, 1);
+        b.region_begin_checked(t).unwrap();
+        b.compute_event(100_000);
+        b.region_end_checked(t).unwrap();
+        b.join_event(t);
+        let tr = b.finish().unwrap();
+        let r = simulate(&MachineConfig::default(), &tr, SimMode::Dtt);
+        assert_eq!(r.regions_offloaded, 1);
+        assert!(r.join_wait_cycles > 0);
+        // The main thread still ends after the region completes.
+        assert!(r.cycles >= 100_000);
+    }
+
+    #[test]
+    fn outstanding_offload_completes_before_program_end() {
+        // No join at all: cycles must still cover the offloaded work.
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("t");
+        b.declare_watch(t, 0x0, 8);
+        b.store_event(1, 0x0, 8, 1);
+        b.region_begin_checked(t).unwrap();
+        b.compute_event(50_000);
+        b.region_end_checked(t).unwrap();
+        let tr = b.finish().unwrap();
+        let r = simulate(&MachineConfig::default(), &tr, SimMode::Dtt);
+        assert!(r.cycles >= 50_000);
+    }
+
+    #[test]
+    fn energy_tracks_skipped_work() {
+        let tr = periodic_trace(&[7; 20], 5_000);
+        let base = simulate(&inline_cfg(), &tr, SimMode::Baseline);
+        let dtt = simulate(&inline_cfg(), &tr, SimMode::Dtt);
+        assert!(dtt.energy_pj < base.energy_pj);
+        assert!(dtt.compares > 0);
+    }
+
+    #[test]
+    fn unmanaged_tthreads_always_run_inline() {
+        // Two tthreads, TST capacity 1: the second is unmanaged and never
+        // skips, even though its data never changes.
+        let mut b = TraceBuilder::new();
+        let ta = b.declare_tthread("managed");
+        let tb = b.declare_tthread("unmanaged");
+        b.declare_watch(ta, 0x0, 8);
+        b.declare_watch(tb, 0x100, 8);
+        for _ in 0..5 {
+            b.store_event(1, 0x0, 8, 1); // silent after round 1
+            for t in [ta, tb] {
+                b.region_begin_checked(t).unwrap();
+                b.compute_event(100);
+                b.region_end_checked(t).unwrap();
+                b.join_event(t);
+            }
+        }
+        let tr = b.finish().unwrap();
+        let full = simulate(&inline_cfg(), &tr, SimMode::Dtt);
+        assert_eq!(full.tthreads[1].skips, 4);
+        let limited = simulate(&inline_cfg().with_tst_capacity(1), &tr, SimMode::Dtt);
+        assert_eq!(limited.tthreads[0].skips, 4, "managed tthread still skips");
+        assert_eq!(limited.tthreads[1].skips, 0, "unmanaged tthread never skips");
+        assert_eq!(limited.tthreads[1].inline_runs, 5);
+        assert!(limited.cycles > full.cycles);
+    }
+
+    #[test]
+    fn private_l1_offload_pays_warmup() {
+        // A dirty region streaming over data the main thread already
+        // touched: with a shared L1 the offloaded tthread hits; with
+        // private L1s it must refill from L2.
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("t");
+        b.declare_watch(t, 0x0, 8);
+        // Main thread warms the lines.
+        for i in 0..64u64 {
+            b.load_event(1, 0x10000 + 64 * i, 8, i);
+        }
+        b.store_event(1, 0x0, 8, 1); // trigger
+        b.region_begin_checked(t).unwrap();
+        for i in 0..64u64 {
+            b.load_event(2, 0x10000 + 64 * i, 8, i);
+        }
+        b.region_end_checked(t).unwrap();
+        b.join_event(t);
+        let tr = b.finish().unwrap();
+        let shared = simulate(&MachineConfig::default().with_contexts(2), &tr, SimMode::Dtt);
+        let private = simulate(
+            &MachineConfig::default().with_contexts(2).with_private_l1(true),
+            &tr,
+            SimMode::Dtt,
+        );
+        assert!(private.cycles > shared.cycles, "private L1 must pay warm-up");
+        assert!(private.l2.accesses > shared.l2.accesses);
+    }
+
+    #[test]
+    fn rounded_overlap_math() {
+        let w = Watch { tthread: 0, start: 0x1000, len: 8 };
+        assert!(rounded_overlap(&w, 0x1000, 8, 1));
+        assert!(!rounded_overlap(&w, 0x1008, 8, 1));
+        assert!(rounded_overlap(&w, 0x1008, 8, 64)); // same line
+        assert!(!rounded_overlap(&w, 0x1040, 8, 64)); // next line
+        assert!(!rounded_overlap(&w, 0x1000, 0, 64));
+    }
+}

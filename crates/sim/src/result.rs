@@ -1,0 +1,225 @@
+//! Simulation results.
+
+use std::fmt;
+
+use dtt_memsim::CacheStats;
+
+use crate::energy::Activity;
+
+/// Which machine the trace was replayed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// No DTT hardware: all region instances execute inline.
+    Baseline,
+    /// The proposed DTT hardware: skip / offload / inline per trigger state.
+    Dtt,
+}
+
+impl fmt::Display for SimMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SimMode::Baseline => "baseline",
+            SimMode::Dtt => "dtt",
+        })
+    }
+}
+
+/// Per-tthread simulation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TthreadSimStats {
+    /// Region instances observed.
+    pub instances: u64,
+    /// Instances skipped as clean.
+    pub skips: u64,
+    /// Instances offloaded to a spare context.
+    pub offloads: u64,
+    /// Instances executed inline on the main context.
+    pub inline_runs: u64,
+    /// Triggers that fired for this tthread.
+    pub triggers: u64,
+    /// Of those, triggers whose precise bytes did not overlap the watch
+    /// (granularity-induced false triggers).
+    pub false_triggers: u64,
+    /// Watched stores suppressed as silent.
+    pub silent_suppressed: u64,
+    /// Cycles the main thread waited at joins of this tthread.
+    pub wait_cycles: u64,
+}
+
+/// Outcome of one [`crate::machine::simulate`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The mode this result was produced under.
+    pub mode: SimMode,
+    /// Total cycles until the main thread (and all outstanding tthreads)
+    /// finished.
+    pub cycles: u64,
+    /// Dynamic instructions executed, on any context (compute + memory).
+    pub instructions_executed: u64,
+    /// Non-memory instructions executed.
+    pub alu_instructions: u64,
+    /// Dynamic instructions inside skipped regions (eliminated work).
+    pub instructions_skipped: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Store value comparisons performed (silent-store suppression).
+    pub compares: u64,
+    /// Region instances encountered.
+    pub region_instances: u64,
+    /// Instances skipped.
+    pub regions_skipped: u64,
+    /// Instances offloaded to spare contexts.
+    pub regions_offloaded: u64,
+    /// Instances executed inline while dirty.
+    pub regions_inline: u64,
+    /// Thread-queue overflow events.
+    pub queue_overflows: u64,
+    /// Total spawn overhead charged.
+    pub spawn_overhead_cycles: u64,
+    /// Total cycles the main thread stalled at joins.
+    pub join_wait_cycles: u64,
+    /// Per-tthread counters.
+    pub tthreads: Vec<TthreadSimStats>,
+    /// L1 counters.
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// L3 counters, if configured.
+    pub l3: Option<CacheStats>,
+    /// Accesses that reached memory.
+    pub memory_accesses: u64,
+    /// Activity counts fed to the energy model.
+    pub activity: Activity,
+    /// Energy estimate in picojoules.
+    pub energy_pj: f64,
+}
+
+impl SimResult {
+    pub(crate) fn new(mode: SimMode, tthreads: usize) -> Self {
+        SimResult {
+            mode,
+            cycles: 0,
+            instructions_executed: 0,
+            alu_instructions: 0,
+            instructions_skipped: 0,
+            loads: 0,
+            stores: 0,
+            compares: 0,
+            region_instances: 0,
+            regions_skipped: 0,
+            regions_offloaded: 0,
+            regions_inline: 0,
+            queue_overflows: 0,
+            spawn_overhead_cycles: 0,
+            join_wait_cycles: 0,
+            tthreads: vec![TthreadSimStats::default(); tthreads],
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            l3: None,
+            memory_accesses: 0,
+            activity: Activity::default(),
+            energy_pj: 0.0,
+        }
+    }
+
+    /// Speedup of `self` over `other`: `other.cycles / self.cycles`.
+    ///
+    /// Call as `baseline.speedup_over(&dtt)` inverted — conventionally
+    /// `dtt_speedup = baseline.cycles / dtt.cycles`, i.e.
+    /// `base.speedup_over(&dtt)` returns how much *faster `dtt` is*.
+    pub fn speedup_over(&self, other: &SimResult) -> f64 {
+        if other.cycles == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / other.cycles as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions eliminated relative to the total
+    /// the baseline would execute.
+    pub fn instruction_reduction(&self) -> f64 {
+        let total = self.instructions_executed + self.instructions_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.instructions_skipped as f64 / total as f64
+        }
+    }
+
+    /// Fraction of region instances skipped.
+    pub fn skip_rate(&self) -> f64 {
+        if self.region_instances == 0 {
+            0.0
+        } else {
+            self.regions_skipped as f64 / self.region_instances as f64
+        }
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mode                  {}", self.mode)?;
+        writeln!(f, "cycles                {:>14}", self.cycles)?;
+        writeln!(
+            f,
+            "instructions          {:>14}  (skipped {})",
+            self.instructions_executed, self.instructions_skipped
+        )?;
+        writeln!(
+            f,
+            "regions               {:>14}  (skipped {}, offloaded {}, inline {})",
+            self.region_instances, self.regions_skipped, self.regions_offloaded, self.regions_inline
+        )?;
+        writeln!(
+            f,
+            "overheads             spawn {} cycles, join wait {} cycles, {} queue overflows",
+            self.spawn_overhead_cycles, self.join_wait_cycles, self.queue_overflows
+        )?;
+        writeln!(f, "L1                    {}", self.l1)?;
+        writeln!(f, "L2                    {}", self.l2)?;
+        if let Some(l3) = &self.l3 {
+            writeln!(f, "L3                    {l3}")?;
+        }
+        write!(f, "energy                {:.1} nJ", self.energy_pj / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut r = SimResult::new(SimMode::Dtt, 1);
+        r.cycles = 50;
+        r.instructions_executed = 60;
+        r.instructions_skipped = 40;
+        r.region_instances = 10;
+        r.regions_skipped = 4;
+        let mut base = SimResult::new(SimMode::Baseline, 1);
+        base.cycles = 100;
+        assert!((base.speedup_over(&r) - 2.0).abs() < 1e-12);
+        assert!((r.instruction_reduction() - 0.4).abs() < 1e-12);
+        assert!((r.skip_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let r = SimResult::new(SimMode::Baseline, 0);
+        assert_eq!(r.speedup_over(&r), 0.0);
+        assert_eq!(r.instruction_reduction(), 0.0);
+        assert_eq!(r.skip_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_sections() {
+        let r = SimResult::new(SimMode::Dtt, 0);
+        let text = r.to_string();
+        for needle in ["mode", "cycles", "regions", "overheads", "energy"] {
+            assert!(text.contains(needle));
+        }
+        assert_eq!(SimMode::Baseline.to_string(), "baseline");
+    }
+}

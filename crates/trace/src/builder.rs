@@ -1,0 +1,429 @@
+//! Constructing validated traces.
+
+use std::fmt;
+
+use crate::event::{Event, SiteId, TthreadIndex, Watch};
+use crate::probe::Probe;
+
+/// Errors detected while building or finishing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An event referenced a tthread index never declared.
+    UnknownTthread(TthreadIndex),
+    /// A region was opened while another was still open.
+    NestedRegion {
+        /// The region already open.
+        open: TthreadIndex,
+        /// The region that tried to open inside it.
+        attempted: TthreadIndex,
+    },
+    /// A region end did not match the open region.
+    MismatchedRegionEnd {
+        /// The region currently open, if any.
+        open: Option<TthreadIndex>,
+        /// The region the end event named.
+        got: TthreadIndex,
+    },
+    /// The trace finished with a region still open.
+    UnclosedRegion(TthreadIndex),
+    /// A memory access had a width outside 1–8 bytes.
+    BadAccessSize(u32),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownTthread(t) => write!(f, "unknown tthread index {t}"),
+            TraceError::NestedRegion { open, attempted } => {
+                write!(f, "region tt{attempted} opened while tt{open} is still open")
+            }
+            TraceError::MismatchedRegionEnd { open, got } => match open {
+                Some(open) => write!(f, "region end tt{got} does not match open region tt{open}"),
+                None => write!(f, "region end tt{got} with no region open"),
+            },
+            TraceError::UnclosedRegion(t) => write!(f, "trace ended with region tt{t} open"),
+            TraceError::BadAccessSize(s) => write!(f, "memory access width {s} outside 1..=8"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A finished, validated trace: header (tthreads + watches) and event
+/// stream.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub(crate) tthread_names: Vec<String>,
+    pub(crate) watches: Vec<Watch>,
+    pub(crate) events: Vec<Event>,
+}
+
+impl Trace {
+    /// Names of the declared tthreads, indexed by [`TthreadIndex`].
+    pub fn tthread_names(&self) -> &[String] {
+        &self.tthread_names
+    }
+
+    /// Declared watches.
+    pub fn watches(&self) -> &[Watch] {
+        &self.watches
+    }
+
+    /// The event stream.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Total dynamic instructions in the trace.
+    pub fn instructions(&self) -> u64 {
+        self.events.iter().map(Event::instructions).sum()
+    }
+
+    /// Total dynamic loads.
+    pub fn loads(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Load { .. }))
+            .count() as u64
+    }
+
+    /// Total dynamic stores.
+    pub fn stores(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Store { .. }))
+            .count() as u64
+    }
+
+    /// Instructions inside regions (the skippable computation), per tthread.
+    pub fn region_instructions(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.tthread_names.len()];
+        let mut open: Option<TthreadIndex> = None;
+        for e in &self.events {
+            match e {
+                Event::RegionBegin { tthread } => open = Some(*tthread),
+                Event::RegionEnd { .. } => open = None,
+                other => {
+                    if let Some(t) = open {
+                        totals[t as usize] += other.instructions();
+                    }
+                }
+            }
+        }
+        totals
+    }
+}
+
+/// Incremental, validating trace builder.
+///
+/// Also implements [`Probe`], so a traced kernel writes into it directly.
+/// Structural violations (nested or mismatched regions, bad tthread
+/// indices) are recorded and reported by [`TraceBuilder::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use dtt_trace::{Event, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let t = b.declare_tthread("refresh");
+/// b.declare_watch(t, 0x1000, 64);
+/// b.compute_event(5);
+/// b.region_begin_checked(t)?;
+/// b.load_event(1, 0x1000, 8, 7);
+/// b.region_end_checked(t)?;
+/// b.join_event(t);
+/// let trace = b.finish()?;
+/// assert_eq!(trace.instructions(), 6);
+/// assert_eq!(trace.events().len(), 5);
+/// # Ok::<(), dtt_trace::TraceError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    open_region: Option<TthreadIndex>,
+    first_error: Option<TraceError>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a tthread and returns its index.
+    pub fn declare_tthread(&mut self, name: &str) -> TthreadIndex {
+        let idx = self.trace.tthread_names.len() as TthreadIndex;
+        self.trace.tthread_names.push(name.to_owned());
+        idx
+    }
+
+    /// Declares that stores changing `[start, start+len)` trigger `tthread`.
+    pub fn declare_watch(&mut self, tthread: TthreadIndex, start: u64, len: u64) {
+        if !self.known(tthread) {
+            self.record_error(TraceError::UnknownTthread(tthread));
+            return;
+        }
+        self.trace.watches.push(Watch { tthread, start, len });
+    }
+
+    fn known(&self, tthread: TthreadIndex) -> bool {
+        (tthread as usize) < self.trace.tthread_names.len()
+    }
+
+    fn record_error(&mut self, e: TraceError) {
+        if self.first_error.is_none() {
+            self.first_error = Some(e);
+        }
+    }
+
+    /// Appends a compute event (merging with a preceding compute event).
+    pub fn compute_event(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(Event::Compute(prev)) = self.trace.events.last_mut() {
+            *prev += n;
+        } else {
+            self.trace.events.push(Event::Compute(n));
+        }
+    }
+
+    /// Appends a load event.
+    pub fn load_event(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        if size == 0 || size > 8 {
+            self.record_error(TraceError::BadAccessSize(size));
+            return;
+        }
+        self.trace.events.push(Event::Load { site, addr, size, value });
+    }
+
+    /// Appends a store event.
+    pub fn store_event(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        if size == 0 || size > 8 {
+            self.record_error(TraceError::BadAccessSize(size));
+            return;
+        }
+        self.trace.events.push(Event::Store { site, addr, size, value });
+    }
+
+    /// Opens a region, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::UnknownTthread`] or [`TraceError::NestedRegion`].
+    pub fn region_begin_checked(&mut self, tthread: TthreadIndex) -> Result<(), TraceError> {
+        if !self.known(tthread) {
+            let e = TraceError::UnknownTthread(tthread);
+            self.record_error(e.clone());
+            return Err(e);
+        }
+        if let Some(open) = self.open_region {
+            let e = TraceError::NestedRegion { open, attempted: tthread };
+            self.record_error(e.clone());
+            return Err(e);
+        }
+        self.open_region = Some(tthread);
+        self.trace.events.push(Event::RegionBegin { tthread });
+        Ok(())
+    }
+
+    /// Closes the open region, validating the match.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::MismatchedRegionEnd`].
+    pub fn region_end_checked(&mut self, tthread: TthreadIndex) -> Result<(), TraceError> {
+        if self.open_region != Some(tthread) {
+            let e = TraceError::MismatchedRegionEnd {
+                open: self.open_region,
+                got: tthread,
+            };
+            self.record_error(e.clone());
+            return Err(e);
+        }
+        self.open_region = None;
+        self.trace.events.push(Event::RegionEnd { tthread });
+        Ok(())
+    }
+
+    /// Appends a join marker.
+    pub fn join_event(&mut self, tthread: TthreadIndex) {
+        if !self.known(tthread) {
+            self.record_error(TraceError::UnknownTthread(tthread));
+            return;
+        }
+        self.trace.events.push(Event::Join { tthread });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.trace.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trace.events.is_empty()
+    }
+
+    /// Finishes the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural error recorded during building, or
+    /// [`TraceError::UnclosedRegion`] if a region is still open.
+    pub fn finish(self) -> Result<Trace, TraceError> {
+        if let Some(e) = self.first_error {
+            return Err(e);
+        }
+        if let Some(open) = self.open_region {
+            return Err(TraceError::UnclosedRegion(open));
+        }
+        Ok(self.trace)
+    }
+}
+
+impl Probe for TraceBuilder {
+    fn compute(&mut self, n: u64) {
+        self.compute_event(n);
+    }
+
+    fn load(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        self.load_event(site, addr, size, value);
+    }
+
+    fn store(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        self.store_event(site, addr, size, value);
+    }
+
+    fn region_begin(&mut self, tthread: TthreadIndex) {
+        let _ = self.region_begin_checked(tthread);
+    }
+
+    fn region_end(&mut self, tthread: TthreadIndex) {
+        let _ = self.region_end_checked(tthread);
+    }
+
+    fn join(&mut self, tthread: TthreadIndex) {
+        self.join_event(tthread);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("t");
+        b.declare_watch(t, 0, 8);
+        b.compute_event(3);
+        b.compute_event(4); // merges
+        b.store_event(1, 0, 8, 5);
+        b.region_begin_checked(t).unwrap();
+        b.load_event(2, 0, 8, 5);
+        b.compute_event(10);
+        b.region_end_checked(t).unwrap();
+        b.join_event(t);
+        let tr = b.finish().unwrap();
+        assert_eq!(tr.events().len(), 7); // the two computes merged into one
+        assert_eq!(tr.instructions(), 3 + 4 + 1 + 1 + 10);
+        assert_eq!(tr.loads(), 1);
+        assert_eq!(tr.stores(), 1);
+        assert_eq!(tr.region_instructions(), vec![11]);
+        assert_eq!(tr.tthread_names(), &["t".to_string()]);
+        assert_eq!(tr.watches().len(), 1);
+    }
+
+    #[test]
+    fn zero_compute_is_dropped() {
+        let mut b = TraceBuilder::new();
+        b.compute_event(0);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn nested_region_rejected() {
+        let mut b = TraceBuilder::new();
+        let t0 = b.declare_tthread("a");
+        let t1 = b.declare_tthread("b");
+        b.region_begin_checked(t0).unwrap();
+        assert!(matches!(
+            b.region_begin_checked(t1),
+            Err(TraceError::NestedRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_end_rejected() {
+        let mut b = TraceBuilder::new();
+        let t0 = b.declare_tthread("a");
+        let t1 = b.declare_tthread("b");
+        b.region_begin_checked(t0).unwrap();
+        assert!(matches!(
+            b.region_end_checked(t1),
+            Err(TraceError::MismatchedRegionEnd { .. })
+        ));
+        assert!(matches!(
+            TraceBuilder::new().region_end_checked(0),
+            Err(TraceError::MismatchedRegionEnd { open: None, .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_region_rejected_at_finish() {
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("a");
+        b.region_begin_checked(t).unwrap();
+        assert_eq!(b.finish().unwrap_err(), TraceError::UnclosedRegion(t));
+    }
+
+    #[test]
+    fn unknown_tthread_rejected() {
+        let mut b = TraceBuilder::new();
+        b.declare_watch(7, 0, 8);
+        assert_eq!(b.finish().unwrap_err(), TraceError::UnknownTthread(7));
+    }
+
+    #[test]
+    fn bad_access_size_rejected() {
+        let mut b = TraceBuilder::new();
+        b.load_event(0, 0, 16, 0);
+        assert_eq!(b.finish().unwrap_err(), TraceError::BadAccessSize(16));
+        let mut b = TraceBuilder::new();
+        b.store_event(0, 0, 0, 0);
+        assert_eq!(b.finish().unwrap_err(), TraceError::BadAccessSize(0));
+    }
+
+    #[test]
+    fn probe_impl_records_and_defers_errors() {
+        let mut b = TraceBuilder::new();
+        let t = b.declare_tthread("a");
+        {
+            use crate::probe::Probe;
+            b.region_begin(t);
+            b.compute(2);
+            b.region_end(t);
+            b.join(t);
+        }
+        let tr = b.finish().unwrap();
+        assert_eq!(tr.instructions(), 2);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        for e in [
+            TraceError::UnknownTthread(1),
+            TraceError::NestedRegion { open: 0, attempted: 1 },
+            TraceError::MismatchedRegionEnd { open: Some(0), got: 1 },
+            TraceError::MismatchedRegionEnd { open: None, got: 1 },
+            TraceError::UnclosedRegion(0),
+            TraceError::BadAccessSize(9),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Binary trace serialization.
+//!
+//! Traces are expensive to regenerate (a reference-scale workload emits
+//! millions of events), so they can be written to disk and replayed into
+//! the profiler or the timing simulator later. The format is a simple
+//! little-endian stream — no external dependencies:
+//!
+//! ```text
+//! magic   "DTTRACE1"                     8 bytes
+//! u32     tthread count
+//!   per tthread: u32 name length, UTF-8 bytes
+//! u32     watch count
+//!   per watch: u32 tthread, u64 start, u64 len
+//! u64     event count
+//!   per event: u8 tag, fields (see below)
+//! ```
+//!
+//! Event encodings: `0` Compute(u64) · `1` Load(site u32, addr u64, size
+//! u32, value u64) · `2` Store(same fields) · `3` RegionBegin(u32) ·
+//! `4` RegionEnd(u32) · `5` Join(u32).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::builder::Trace;
+use crate::event::{Event, Watch};
+
+const MAGIC: &[u8; 8] = b"DTTRACE1";
+
+/// Errors produced while decoding a trace stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The stream does not start with the `DTTRACE1` magic.
+    BadMagic,
+    /// A tthread name was not valid UTF-8.
+    BadName,
+    /// An unknown event tag was encountered.
+    BadTag(u8),
+    /// A watch or event referenced an undeclared tthread.
+    BadTthread(u32),
+    /// A declared length is implausibly large for the stream.
+    LengthOverflow,
+    /// The decoded events violate trace structure (unmatched regions, …).
+    Structural(crate::TraceError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            ReadError::BadMagic => write!(f, "not a dtt trace (bad magic)"),
+            ReadError::BadName => write!(f, "tthread name is not valid utf-8"),
+            ReadError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            ReadError::BadTthread(t) => write!(f, "undeclared tthread index {t}"),
+            ReadError::LengthOverflow => write!(f, "declared length exceeds sanity bound"),
+            ReadError::Structural(e) => write!(f, "decoded trace is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Serializes `trace` to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer. A `&mut W` can be passed for any
+/// `W: Write`.
+pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    let names = trace.tthread_names();
+    writer.write_all(&(names.len() as u32).to_le_bytes())?;
+    for name in names {
+        writer.write_all(&(name.len() as u32).to_le_bytes())?;
+        writer.write_all(name.as_bytes())?;
+    }
+    let watches = trace.watches();
+    writer.write_all(&(watches.len() as u32).to_le_bytes())?;
+    for w in watches {
+        writer.write_all(&w.tthread.to_le_bytes())?;
+        writer.write_all(&w.start.to_le_bytes())?;
+        writer.write_all(&w.len.to_le_bytes())?;
+    }
+    let events = trace.events();
+    writer.write_all(&(events.len() as u64).to_le_bytes())?;
+    for e in events {
+        match *e {
+            Event::Compute(n) => {
+                writer.write_all(&[0u8])?;
+                writer.write_all(&n.to_le_bytes())?;
+            }
+            Event::Load { site, addr, size, value } => {
+                writer.write_all(&[1u8])?;
+                write_mem(&mut writer, site, addr, size, value)?;
+            }
+            Event::Store { site, addr, size, value } => {
+                writer.write_all(&[2u8])?;
+                write_mem(&mut writer, site, addr, size, value)?;
+            }
+            Event::RegionBegin { tthread } => {
+                writer.write_all(&[3u8])?;
+                writer.write_all(&tthread.to_le_bytes())?;
+            }
+            Event::RegionEnd { tthread } => {
+                writer.write_all(&[4u8])?;
+                writer.write_all(&tthread.to_le_bytes())?;
+            }
+            Event::Join { tthread } => {
+                writer.write_all(&[5u8])?;
+                writer.write_all(&tthread.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_mem<W: Write>(w: &mut W, site: u32, addr: u64, size: u32, value: u64) -> io::Result<()> {
+    w.write_all(&site.to_le_bytes())?;
+    w.write_all(&addr.to_le_bytes())?;
+    w.write_all(&size.to_le_bytes())?;
+    w.write_all(&value.to_le_bytes())
+}
+
+/// Deserializes a trace from `reader`.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on I/O failure or malformed input. Structural
+/// validity (region nesting) is re-checked through [`crate::TraceBuilder`],
+/// so a decoded trace upholds the same invariants as a built one.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, ReadError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadError::BadMagic);
+    }
+    let mut b = crate::TraceBuilder::new();
+    let n_tthreads = read_u32(&mut reader)?;
+    if n_tthreads > 1 << 24 {
+        return Err(ReadError::LengthOverflow);
+    }
+    for _ in 0..n_tthreads {
+        let len = read_u32(&mut reader)? as usize;
+        if len > 1 << 16 {
+            return Err(ReadError::LengthOverflow);
+        }
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf)?;
+        let name = String::from_utf8(buf).map_err(|_| ReadError::BadName)?;
+        b.declare_tthread(&name);
+    }
+    let n_watches = read_u32(&mut reader)?;
+    if n_watches > 1 << 28 {
+        return Err(ReadError::LengthOverflow);
+    }
+    for _ in 0..n_watches {
+        let tthread = read_u32(&mut reader)?;
+        if tthread >= n_tthreads {
+            return Err(ReadError::BadTthread(tthread));
+        }
+        let start = read_u64(&mut reader)?;
+        let len = read_u64(&mut reader)?;
+        let _ = Watch { tthread, start, len };
+        b.declare_watch(tthread, start, len);
+    }
+    let n_events = read_u64(&mut reader)?;
+    for _ in 0..n_events {
+        let mut tag = [0u8; 1];
+        reader.read_exact(&mut tag)?;
+        match tag[0] {
+            0 => b.compute_event(read_u64(&mut reader)?),
+            1 | 2 => {
+                let site = read_u32(&mut reader)?;
+                let addr = read_u64(&mut reader)?;
+                let size = read_u32(&mut reader)?;
+                let value = read_u64(&mut reader)?;
+                if tag[0] == 1 {
+                    b.load_event(site, addr, size, value);
+                } else {
+                    b.store_event(site, addr, size, value);
+                }
+            }
+            3..=5 => {
+                let tthread = read_u32(&mut reader)?;
+                if tthread >= n_tthreads {
+                    return Err(ReadError::BadTthread(tthread));
+                }
+                match tag[0] {
+                    3 => {
+                        let _ = b.region_begin_checked(tthread);
+                    }
+                    4 => {
+                        let _ = b.region_end_checked(tthread);
+                    }
+                    _ => b.join_event(tthread),
+                }
+            }
+            t => return Err(ReadError::BadTag(t)),
+        }
+    }
+    b.finish().map_err(ReadError::Structural)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, ReadError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, ReadError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        let t0 = b.declare_tthread("alpha");
+        let t1 = b.declare_tthread("beta");
+        b.declare_watch(t0, 0x100, 64);
+        b.declare_watch(t1, 0x800, 8);
+        b.compute_event(42);
+        b.store_event(1, 0x100, 8, 7);
+        b.region_begin_checked(t0).unwrap();
+        b.load_event(2, 0x100, 8, 7);
+        b.compute_event(100);
+        b.region_end_checked(t0).unwrap();
+        b.join_event(t0);
+        b.join_event(t1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.tthread_names(), trace.tthread_names());
+        assert_eq!(back.watches(), trace.watches());
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.instructions(), trace.instructions());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOTATRCE"[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_trace(buf.as_slice()), Err(ReadError::Io(_))));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut b = TraceBuilder::new();
+        b.compute_event(1);
+        let trace = b.finish().unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        // Append a bogus event by bumping the count and writing tag 9.
+        let count_at = buf.len() - (1 + 8); // one compute event = 9 bytes
+        let n = u64::from_le_bytes(buf[count_at - 8..count_at].try_into().unwrap());
+        buf[count_at - 8..count_at].copy_from_slice(&(n + 1).to_le_bytes());
+        buf.push(9);
+        assert!(matches!(read_trace(buf.as_slice()), Err(ReadError::BadTag(9))));
+    }
+
+    #[test]
+    fn foreign_tthread_in_watch_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes()); // 1 tthread
+        buf.extend_from_slice(&1u32.to_le_bytes()); // name len 1
+        buf.push(b'x');
+        buf.extend_from_slice(&1u32.to_le_bytes()); // 1 watch
+        buf.extend_from_slice(&7u32.to_le_bytes()); // undeclared tthread 7
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&8u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // 0 events
+        assert!(matches!(read_trace(buf.as_slice()), Err(ReadError::BadTthread(7))));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        for e in [
+            ReadError::BadMagic,
+            ReadError::BadName,
+            ReadError::BadTag(3),
+            ReadError::BadTthread(1),
+            ReadError::LengthOverflow,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        let io_err = ReadError::from(io::Error::other("x"));
+        assert!(std::error::Error::source(&io_err).is_some());
+    }
+}

@@ -1,0 +1,46 @@
+//! # dtt-trace — program traces for the DTT toolchain
+//!
+//! The lingua franca between the workload suite, the redundancy profiler
+//! (`dtt-profile`) and the timing simulator (`dtt-sim`): an abstract dynamic
+//! instruction stream ([`Event`]) annotated with the DTT program structure —
+//! tthread *regions* and *join* points — plus a header declaring the watched
+//! address ranges.
+//!
+//! Workload kernels are written once, generic over the [`Probe`]
+//! instrumentation trait; run with [`NoProbe`] they are the native baseline,
+//! run with a [`TraceBuilder`] they produce a validated [`Trace`].
+//!
+//! ```
+//! use dtt_trace::{NoProbe, Probe, TraceBuilder};
+//!
+//! fn kernel<P: Probe>(p: &mut P, xs: &[u64]) -> u64 {
+//!     let mut sum = 0;
+//!     for (i, &x) in xs.iter().enumerate() {
+//!         p.load(1, 0x1000 + 8 * i as u64, 8, x);
+//!         p.compute(1);
+//!         sum += x;
+//!     }
+//!     sum
+//! }
+//!
+//! assert_eq!(kernel(&mut NoProbe, &[1, 2, 3]), 6); // baseline
+//! let mut b = TraceBuilder::new();
+//! kernel(&mut b, &[1, 2, 3]);
+//! let trace = b.finish()?;
+//! assert_eq!(trace.loads(), 3);
+//! assert_eq!(trace.instructions(), 6);
+//! # Ok::<(), dtt_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod event;
+pub mod io;
+pub mod probe;
+
+pub use builder::{Trace, TraceBuilder, TraceError};
+pub use event::{Event, SiteId, TthreadIndex, Watch};
+pub use io::{read_trace, write_trace, ReadError};
+pub use probe::{NoProbe, Probe};

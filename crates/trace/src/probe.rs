@@ -1,0 +1,141 @@
+//! The [`Probe`] instrumentation interface.
+//!
+//! Workload kernels are written once, generic over a `Probe`. Run with
+//! [`NoProbe`] they execute at full native speed (every hook is an inlined
+//! no-op) — that is the measurable baseline. Run with a
+//! [`crate::builder::TraceBuilder`] they emit the event stream the profiler
+//! and the timing simulator consume.
+
+use crate::event::{SiteId, TthreadIndex};
+
+/// Instrumentation hooks a traced kernel calls as it executes.
+///
+/// The default methods are no-ops, so a probe only overrides what it needs.
+pub trait Probe {
+    /// `n` non-memory instructions of work happened.
+    fn compute(&mut self, n: u64) {
+        let _ = n;
+    }
+
+    /// A load at static site `site` observed `value`.
+    fn load(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        let _ = (site, addr, size, value);
+    }
+
+    /// A store at static site `site` wrote `value`.
+    fn store(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        let _ = (site, addr, size, value);
+    }
+
+    /// The computation attached to `tthread` starts here (baseline
+    /// position).
+    fn region_begin(&mut self, tthread: TthreadIndex) {
+        let _ = tthread;
+    }
+
+    /// The current region ends.
+    fn region_end(&mut self, tthread: TthreadIndex) {
+        let _ = tthread;
+    }
+
+    /// The main thread consumes `tthread`'s outputs here.
+    fn join(&mut self, tthread: TthreadIndex) {
+        let _ = tthread;
+    }
+}
+
+/// The silent probe: all hooks are no-ops. Running a kernel with `NoProbe`
+/// is the un-instrumented baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    fn compute(&mut self, n: u64) {
+        (**self).compute(n);
+    }
+    fn load(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        (**self).load(site, addr, size, value);
+    }
+    fn store(&mut self, site: SiteId, addr: u64, size: u32, value: u64) {
+        (**self).store(site, addr, size, value);
+    }
+    fn region_begin(&mut self, tthread: TthreadIndex) {
+        (**self).region_begin(tthread);
+    }
+    fn region_end(&mut self, tthread: TthreadIndex) {
+        (**self).region_end(tthread);
+    }
+    fn join(&mut self, tthread: TthreadIndex) {
+        (**self).join(tthread);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountingProbe {
+        computes: u64,
+        loads: u64,
+        stores: u64,
+        regions: u64,
+        joins: u64,
+    }
+
+    impl Probe for CountingProbe {
+        fn compute(&mut self, n: u64) {
+            self.computes += n;
+        }
+        fn load(&mut self, _: SiteId, _: u64, _: u32, _: u64) {
+            self.loads += 1;
+        }
+        fn store(&mut self, _: SiteId, _: u64, _: u32, _: u64) {
+            self.stores += 1;
+        }
+        fn region_begin(&mut self, _: TthreadIndex) {
+            self.regions += 1;
+        }
+        fn join(&mut self, _: TthreadIndex) {
+            self.joins += 1;
+        }
+    }
+
+    fn kernel<P: Probe>(mut p: P) {
+        p.region_begin(0);
+        p.compute(10);
+        p.load(1, 0x100, 8, 42);
+        p.store(2, 0x100, 8, 43);
+        p.region_end(0);
+        p.join(0);
+    }
+
+    #[test]
+    fn no_probe_is_silent() {
+        kernel(NoProbe); // must simply not blow up
+    }
+
+    #[test]
+    fn counting_probe_sees_all_hooks() {
+        let mut p = CountingProbe::default();
+        kernel(&mut p);
+        assert_eq!(p.computes, 10);
+        assert_eq!(p.loads, 1);
+        assert_eq!(p.stores, 1);
+        assert_eq!(p.regions, 1);
+        assert_eq!(p.joins, 1);
+    }
+
+    #[test]
+    fn mut_ref_forwarding_composes() {
+        let mut p = CountingProbe::default();
+        {
+            let r = &mut p;
+            kernel(r);
+        }
+        kernel(&mut p);
+        assert_eq!(p.loads, 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! `ammp` — molecular dynamics with cell-wise neighbor lists (after SPEC
+//! 188.ammp).
+//!
+//! ammp's force loop runs off neighbor lists that only need rebuilding when
+//! atoms actually move. In realistic runs most of the system is quiescent:
+//! the integrator writes every position back each step, but for atoms
+//! outside the active region the written value is unchanged — silent
+//! stores. Attaching each spatial cell's neighbor-list rebuild to that
+//! cell's position slice makes the rebuild run only for cells whose atoms
+//! really moved.
+//!
+//! Model: atoms grouped into fixed cells (positions tracked, laid out per
+//! cell), per-cell pair lists within a cutoff (the tthreads), and a
+//! per-step Lennard-Jones-flavoured energy sum over the pair lists (the
+//! consumer).
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const POS_BASE: u64 = 0x1000_0000;
+const PAIR_BASE: u64 = 0x2000_0000;
+const PAIR_STRIDE: u64 = 0x10_0000;
+
+const CUTOFF2: f64 = 0.25; // squared cutoff in box units
+
+/// The ammp workload instance.
+#[derive(Debug, Clone)]
+pub struct Ammp {
+    atoms: usize,
+    cells: usize,
+    /// Interleaved x,y,z positions: `pos[3*i..3*i+3]`, atoms ordered by cell.
+    pos0: Vec<f64>,
+    /// Per step, per atom: displacement applied (0 for quiescent atoms).
+    schedule: Vec<Vec<(usize, f64, f64, f64)>>,
+    steps: usize,
+}
+
+impl Ammp {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (atoms, cells, steps, active_cells) = match scale {
+            Scale::Test => (64, 4, 10, 1),
+            Scale::Train => (1_024, 16, 60, 2),
+            Scale::Reference => (2_048, 32, 120, 2),
+        };
+        let mut rng = StdRng::seed_from_u64(0x616d_6d70 + atoms as u64);
+        let per_cell = atoms / cells;
+        // Atoms of cell c live in a unit sub-box at offset (c, 0, 0): the
+        // cell structure is spatial, so intra-cell pairs are meaningful.
+        let mut pos0 = Vec::with_capacity(atoms * 3);
+        for c in 0..cells {
+            for _ in 0..per_cell {
+                pos0.push(c as f64 + rng.gen_range(0.0..1.0));
+                pos0.push(rng.gen_range(0.0..1.0));
+                pos0.push(rng.gen_range(0.0..1.0));
+            }
+        }
+        // Movement schedule: each step, atoms in `active_cells` rotating
+        // cells receive real displacements; every other atom is "integrated"
+        // with zero displacement (a silent position write).
+        let schedule = (0..steps)
+            .map(|step| {
+                let mut moves = Vec::with_capacity(atoms);
+                for a in 0..atoms {
+                    let cell = a / per_cell;
+                    let active =
+                        (0..active_cells).any(|k| (step + k) % cells == cell);
+                    if active {
+                        moves.push((
+                            a,
+                            rng.gen_range(-0.02..0.02),
+                            rng.gen_range(-0.02..0.02),
+                            rng.gen_range(-0.02..0.02),
+                        ));
+                    } else {
+                        moves.push((a, 0.0, 0.0, 0.0));
+                    }
+                }
+                moves
+            })
+            .collect();
+        Ammp {
+            atoms,
+            cells,
+            pos0,
+            schedule,
+            steps,
+        }
+    }
+
+    /// Number of atoms.
+    pub fn atoms(&self) -> usize {
+        self.atoms
+    }
+
+    /// Number of spatial cells (= tthreads).
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of timesteps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    fn per_cell(&self) -> usize {
+        self.atoms / self.cells
+    }
+
+    /// Rebuilds the pair list of cell `c` from `pos`; shared by baseline and
+    /// (re-expressed over tracked reads) the DTT closure.
+    fn cell_pairs(pos: &[f64], first: usize, count: usize) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for i in first..first + count {
+            for j in (i + 1)..first + count {
+                let dx = pos[3 * i] - pos[3 * j];
+                let dy = pos[3 * i + 1] - pos[3 * j + 1];
+                let dz = pos[3 * i + 2] - pos[3 * j + 2];
+                if dx * dx + dy * dy + dz * dz < CUTOFF2 {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Energy of one pair (a softened inverse-sixth interaction).
+    fn pair_energy(pos: &[f64], i: usize, j: usize) -> f64 {
+        let dx = pos[3 * i] - pos[3 * j];
+        let dy = pos[3 * i + 1] - pos[3 * j + 1];
+        let dz = pos[3 * i + 2] - pos[3 * j + 2];
+        let r2 = dx * dx + dy * dy + dz * dz + 1e-6;
+        let inv = 1.0 / r2;
+        let inv3 = inv * inv * inv;
+        inv3 - inv
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tts: &[u32]) -> u64 {
+        let per_cell = self.per_cell();
+        let mut pos = self.pos0.clone();
+        let mut pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.cells];
+        let mut digest = Digest::new();
+        // Program initialization: place the atoms.
+        for (i, &v) in pos.iter().enumerate() {
+            util::store_f64(p, 0, POS_BASE, i, v);
+        }
+        for moves in &self.schedule {
+            // Integrate: write every position (silent for quiescent atoms).
+            for &(a, dx, dy, dz) in moves {
+                pos[3 * a] += dx;
+                pos[3 * a + 1] += dy;
+                pos[3 * a + 2] += dz;
+                util::store_f64(p, 1, POS_BASE, 3 * a, pos[3 * a]);
+                util::store_f64(p, 1, POS_BASE, 3 * a + 1, pos[3 * a + 1]);
+                util::store_f64(p, 1, POS_BASE, 3 * a + 2, pos[3 * a + 2]);
+            }
+            // Neighbor-list rebuild per cell (the tthread regions).
+            for c in 0..self.cells {
+                p.region_begin(tts[c]);
+                let first = c * per_cell;
+                for i in first..first + per_cell {
+                    util::load_f64(p, 2, POS_BASE, 3 * i, pos[3 * i]);
+                }
+                p.compute((per_cell * per_cell) as u64 / 2 * 4);
+                pairs[c] = Self::cell_pairs(&pos, first, per_cell);
+                util::store_u64(
+                    p,
+                    3,
+                    PAIR_BASE + c as u64 * PAIR_STRIDE,
+                    0,
+                    pairs[c].len() as u64,
+                );
+                p.region_end(tts[c]);
+                p.join(tts[c]);
+            }
+            // Force/energy pass over the pair lists (the consumer).
+            let mut energy = 0.0f64;
+            for (c, cell_pairs) in pairs.iter().enumerate() {
+                for (k, &(i, j)) in cell_pairs.iter().enumerate() {
+                    util::load_u64(
+                        p,
+                        4,
+                        PAIR_BASE + c as u64 * PAIR_STRIDE,
+                        k + 1,
+                        ((i as u64) << 32) | j as u64,
+                    );
+                    energy += Self::pair_energy(&pos, i as usize, j as usize);
+                    p.compute(14);
+                }
+            }
+            digest.push_f64(energy);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct AmmpUser {
+    pairs: Vec<Vec<(u32, u32)>>,
+    scratch: Vec<f64>,
+}
+
+impl Workload for Ammp {
+    fn name(&self) -> &'static str {
+        "ammp"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "188.ammp"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-cell neighbor-list rebuild triggered by atom movement; quiescent atoms store silently"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        let tts: Vec<u32> = (0..self.cells as u32).collect();
+        self.kernel(&mut NoProbe, &tts)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let per_cell = self.per_cell();
+        let mut rt = Runtime::new(
+            cfg,
+            AmmpUser {
+                pairs: vec![Vec::new(); self.cells],
+                scratch: vec![0.0f64; self.atoms * 3],
+            },
+        );
+        let pos: TrackedArray<f64> =
+            rt.alloc_array_from(&self.pos0).expect("arena sized for workload");
+        let mut tts = Vec::with_capacity(self.cells);
+        for c in 0..self.cells {
+            let tt = rt.register(&format!("neighbors_cell_{c}"), move |ctx| {
+                let first = c * per_cell;
+                // Snapshot the cell's positions into scratch, then rebuild
+                // with the exact baseline arithmetic.
+                let mut slice = Vec::new();
+                ctx.read_slice_into(pos, 3 * first, 3 * (first + per_cell), &mut slice);
+                let user = ctx.user_mut();
+                user.scratch[3 * first..3 * (first + per_cell)].copy_from_slice(&slice);
+                let rebuilt = Ammp::cell_pairs(&user.scratch, first, per_cell);
+                user.pairs[c] = rebuilt;
+            });
+            rt.watch(tt, pos.range_of(3 * c * per_cell, 3 * (c + 1) * per_cell))
+                .expect("region in arena");
+            rt.mark_dirty(tt).expect("registered tthread");
+            tts.push(tt);
+        }
+
+        let mut digest = Digest::new();
+        let mut shadow = self.pos0.clone();
+        for moves in &self.schedule {
+            for &(a, dx, dy, dz) in moves {
+                shadow[3 * a] += dx;
+                shadow[3 * a + 1] += dy;
+                shadow[3 * a + 2] += dz;
+            }
+            rt.with(|ctx| ctx.write_slice(pos, 0, &shadow));
+            for &tt in &tts {
+                util::must_join(&mut rt, tt);
+            }
+            let energy = rt.with(|ctx| {
+                // The energy pass reads positions untracked (the force code
+                // in ammp reads through plain pointers); shadow holds the
+                // same values as tracked memory.
+                let mut energy = 0.0f64;
+                for cell_pairs in &ctx.user().pairs {
+                    for &(i, j) in cell_pairs {
+                        energy += Ammp::pair_energy(&shadow, i as usize, j as usize);
+                    }
+                }
+                energy
+            });
+            digest.push_f64(energy);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let per_cell = self.per_cell();
+        let tts: Vec<u32> = (0..self.cells)
+            .map(|c| {
+                let tt = b.declare_tthread(&format!("neighbors_cell_{c}"));
+                b.declare_watch(
+                    tt,
+                    POS_BASE + (3 * c * per_cell) as u64 * 8,
+                    (3 * per_cell) as u64 * 8,
+                );
+                tt
+            })
+            .collect();
+        self.kernel(&mut b, &tts);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Ammp::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn dtt_matches_baseline_parallel() {
+        let w = Ammp::new(Scale::Test);
+        assert_eq!(
+            w.run_baseline(),
+            w.run_dtt(Config::default().with_workers(2)).digest
+        );
+    }
+
+    #[test]
+    fn quiescent_cells_skip_rebuild() {
+        let w = Ammp::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let skips: u64 = run.tthreads.iter().map(|t| t.skips).sum();
+        let execs: u64 = run.tthreads.iter().map(|t| t.executions).sum();
+        // One active cell of four per step.
+        assert!(skips > execs, "skips={skips} execs={execs}");
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn pairs_exist_within_cells() {
+        let w = Ammp::new(Scale::Test);
+        let pairs = Ammp::cell_pairs(&w.pos0, 0, w.per_cell());
+        for &(i, j) in &pairs {
+            assert!(i < j);
+            assert!((j as usize) < w.per_cell());
+        }
+    }
+
+    #[test]
+    fn trace_watches_each_cell_slice() {
+        let w = Ammp::new(Scale::Test);
+        let tr = w.trace();
+        assert_eq!(tr.watches().len(), w.cells());
+        let total: u64 = tr.watches().iter().map(|x| x.len).sum();
+        assert_eq!(total, (w.atoms() * 3 * 8) as u64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Ammp::new(Scale::Test).run_baseline(), Ammp::new(Scale::Test).run_baseline());
+    }
+}

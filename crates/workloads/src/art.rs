@@ -1,0 +1,313 @@
+//! `art` — adaptive resonance theory image recognizer (after SPEC 179.art).
+//!
+//! art scans a stream of images against a set of category weight vectors.
+//! During recognition the weights are read-only; they change only on the
+//! occasional training update — yet the original code recomputes the
+//! weight-derived F1-layer terms (per-category norms and normalized
+//! weights) for every image. DTT attaches that normalization to the weight
+//! matrix: it reruns only after a real training update, and training
+//! updates that rewrite identical weights are silent.
+//!
+//! Model: `weights[c][j]` (tracked), per-category `norm[c]` and normalized
+//! weights (the tthread outputs), and a per-image sparse activation match
+//! over the normalized weights (the consumer).
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const WEIGHTS_BASE: u64 = 0x1000_0000;
+const NORM_BASE: u64 = 0x2000_0000;
+const WNORM_BASE: u64 = 0x3000_0000;
+
+/// One training update applied before an image batch.
+#[derive(Debug, Clone)]
+struct Training {
+    /// `(category, feature, new_weight)` writes; many rewrite the old value.
+    writes: Vec<(usize, usize, f64)>,
+}
+
+/// The art workload instance.
+#[derive(Debug, Clone)]
+pub struct Art {
+    categories: usize,
+    features: usize,
+    weights0: Vec<f64>,
+    /// Per image: active feature indices (sparse).
+    images: Vec<Vec<u32>>,
+    /// Training events, one per image (mostly empty / silent writes).
+    training: Vec<Training>,
+}
+
+impl Art {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (categories, features, images, active, train_period) = match scale {
+            Scale::Test => (8, 32, 24, 12, 4),
+            Scale::Train => (32, 128, 200, 56, 3),
+            Scale::Reference => (64, 256, 500, 112, 3),
+        };
+        let mut rng = StdRng::seed_from_u64(0x6172_7400 + features as u64);
+        let weights0: Vec<f64> = (0..categories * features)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
+        let images_v: Vec<Vec<u32>> = (0..images)
+            .map(|_| {
+                (0..active)
+                    .map(|_| rng.gen_range(0..features) as u32)
+                    .collect()
+            })
+            .collect();
+        let mut weights = weights0.clone();
+        let training = (0..images)
+            .map(|i| {
+                let mut writes = Vec::new();
+                if i % train_period == train_period - 1 {
+                    // Real update: nudge a handful of weights in one category.
+                    let c = rng.gen_range(0..categories);
+                    for _ in 0..4 {
+                        let j = rng.gen_range(0..features);
+                        let v = rng.gen_range(0.0..1.0);
+                        weights[c * features + j] = v;
+                        writes.push((c, j, v));
+                    }
+                } else {
+                    // Reinforcement pass that lands on the same values.
+                    let c = rng.gen_range(0..categories);
+                    for _ in 0..2 {
+                        let j = rng.gen_range(0..features);
+                        writes.push((c, j, weights[c * features + j]));
+                    }
+                }
+                Training { writes }
+            })
+            .collect();
+        Art {
+            categories,
+            features,
+            weights0,
+            images: images_v,
+            training,
+        }
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// Features per category.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of images scanned.
+    pub fn images(&self) -> usize {
+        self.images.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tt: u32) -> u64 {
+        let (cats, feats) = (self.categories, self.features);
+        let mut weights = self.weights0.clone();
+        let mut norm = vec![0.0f64; cats];
+        let mut wnorm = vec![0.0f64; cats * feats];
+        let mut digest = Digest::new();
+        // Program initialization: load the trained weights into memory.
+        for (i, &w) in weights.iter().enumerate() {
+            util::store_f64(p, 0, WEIGHTS_BASE, i, w);
+        }
+        for (img, train) in self.images.iter().zip(&self.training) {
+            for &(c, j, v) in &train.writes {
+                util::store_f64(p, 1, WEIGHTS_BASE, c * feats + j, v);
+                weights[c * feats + j] = v;
+            }
+
+            // F1 layer: norms + normalized weights (the tthread region).
+            p.region_begin(tt);
+            for c in 0..cats {
+                let mut s = 0.0f64;
+                for j in 0..feats {
+                    s += util::load_f64(p, 2, WEIGHTS_BASE, c * feats + j, weights[c * feats + j]);
+                }
+                let total = s + 1.0;
+                norm[c] = total;
+                util::store_f64(p, 3, NORM_BASE, c, total);
+                for j in 0..feats {
+                    let w = weights[c * feats + j] / total;
+                    wnorm[c * feats + j] = w;
+                    util::store_f64(p, 4, WNORM_BASE, c * feats + j, w);
+                }
+                p.compute(2 * feats as u64 + 2);
+            }
+            p.region_end(tt);
+            p.join(tt);
+
+            // Recognition: sparse activation over normalized weights.
+            let mut best = 0usize;
+            let mut best_act = f64::MIN;
+            for c in 0..cats {
+                let mut act = 0.0f64;
+                for &j in img {
+                    act += util::load_f64(
+                        p,
+                        5,
+                        WNORM_BASE,
+                        c * feats + j as usize,
+                        wnorm[c * feats + j as usize],
+                    );
+                }
+                p.compute(img.len() as u64);
+                if act > best_act {
+                    best_act = act;
+                    best = c;
+                }
+            }
+            digest.push_u64(best as u64);
+            digest.push_f64(best_act);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct ArtUser {
+    norm: Vec<f64>,
+    wnorm: Vec<f64>,
+    weights_copy: Vec<f64>,
+}
+
+impl Workload for Art {
+    fn name(&self) -> &'static str {
+        "art"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "179.art"
+    }
+
+    fn description(&self) -> &'static str {
+        "neural-net F1-layer normalization recomputed per image; weights change only on training"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        self.kernel(&mut NoProbe, 0)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let (cats, feats) = (self.categories, self.features);
+        let mut rt = Runtime::new(
+            cfg,
+            ArtUser {
+                norm: vec![0.0f64; cats],
+                wnorm: vec![0.0f64; cats * feats],
+                weights_copy: Vec::new(),
+            },
+        );
+        let weights: TrackedArray<f64> = rt
+            .alloc_array_from(&self.weights0)
+            .expect("arena sized for workload");
+        let f1 = rt.register("f1_layer", move |ctx| {
+            let mut w = std::mem::take(&mut ctx.user_mut().weights_copy);
+            ctx.read_all_into(weights, &mut w);
+            let user = ctx.user_mut();
+            for c in 0..cats {
+                let mut s = 0.0f64;
+                for j in 0..feats {
+                    s += w[c * feats + j];
+                }
+                let total = s + 1.0;
+                user.norm[c] = total;
+                for j in 0..feats {
+                    user.wnorm[c * feats + j] = w[c * feats + j] / total;
+                }
+            }
+            user.weights_copy = w;
+        });
+        rt.watch(f1, weights.range()).expect("region in arena");
+        rt.mark_dirty(f1).expect("registered tthread");
+
+        let mut digest = Digest::new();
+        for (img, train) in self.images.iter().zip(&self.training) {
+            rt.with(|ctx| {
+                for &(c, j, v) in &train.writes {
+                    ctx.write(weights, c * feats + j, v);
+                }
+            });
+            util::must_join(&mut rt, f1);
+            let (best, best_act) = rt.with(|ctx| {
+                let wnorm = &ctx.user().wnorm;
+                let mut best = 0usize;
+                let mut best_act = f64::MIN;
+                for c in 0..cats {
+                    let mut act = 0.0f64;
+                    for &j in img {
+                        act += wnorm[c * feats + j as usize];
+                    }
+                    if act > best_act {
+                        best_act = act;
+                        best = c;
+                    }
+                }
+                (best, best_act)
+            });
+            digest.push_u64(best as u64);
+            digest.push_f64(best_act);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tt = b.declare_tthread("f1_layer");
+        b.declare_watch(tt, WEIGHTS_BASE, (self.categories * self.features * 8) as u64);
+        self.kernel(&mut b, tt);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Art::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn reinforcement_passes_are_silent() {
+        let w = Art::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        assert!(run.stats.counters().silent_stores > 0);
+        let tt = &run.tthreads[0];
+        // Training period 4: roughly a quarter of images retrain.
+        assert!(tt.skips > tt.executions);
+    }
+
+    #[test]
+    fn dtt_matches_baseline_parallel() {
+        let w = Art::new(Scale::Test);
+        assert_eq!(
+            w.run_baseline(),
+            w.run_dtt(Config::default().with_workers(2)).digest
+        );
+    }
+
+    #[test]
+    fn trace_watches_whole_weight_matrix() {
+        let w = Art::new(Scale::Test);
+        let tr = w.trace();
+        assert_eq!(tr.watches().len(), 1);
+        assert_eq!(tr.watches()[0].len, (w.categories() * w.features() * 8) as u64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Art::new(Scale::Test).run_baseline(), Art::new(Scale::Test).run_baseline());
+    }
+}

@@ -1,0 +1,317 @@
+//! `crafty` — chess position evaluation (after SPEC 186.crafty).
+//!
+//! A chess engine's static evaluation is a pure function of the board, but
+//! engines recompute big slices of it (pawn structure, king safety,
+//! mobility tables) far more often than the relevant pieces move. The
+//! search loop also performs streams of bookkeeping writes — hash-clock
+//! updates, repetition-list refreshes — that usually store unchanged
+//! values. Attaching the positional evaluation to the board as a tthread
+//! makes it recompute only on real moves.
+//!
+//! Model: a 64-square board (tracked, piece codes), an evaluation tthread
+//! publishing material/positional scores, and a move-scoring consumer that
+//! prices candidate moves against the published evaluation.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const BOARD_BASE: u64 = 0x1000_0000;
+const EVAL_BASE: u64 = 0x2000_0000;
+
+/// Piece codes: 0 empty, 1..=6 white P N B R Q K, 7..=12 black.
+pub const EMPTY: u32 = 0;
+
+/// Static material value of a piece code.
+pub fn piece_value(piece: u32) -> i64 {
+    if piece == EMPTY {
+        return 0;
+    }
+    let kind = if piece <= 6 { piece } else { piece - 6 };
+    let base = match kind {
+        1 => 100,
+        2 => 320,
+        3 => 330,
+        4 => 500,
+        5 => 900,
+        6 => 20_000,
+        _ => 0,
+    };
+    if piece <= 6 {
+        base
+    } else {
+        -base
+    }
+}
+
+/// Full static evaluation: material + centralization + pawn files.
+/// Deterministic function of the board, shared by all implementations.
+pub fn evaluate(board: &[u32]) -> (i64, i64, i64) {
+    let mut material = 0i64;
+    let mut position = 0i64;
+    let mut pawn_files = [0i64; 8];
+    for (sq, &piece) in board.iter().enumerate() {
+        material += piece_value(piece);
+        if piece != EMPTY {
+            let (rank, file) = (sq / 8, sq % 8);
+            let kind = if piece <= 6 { piece } else { piece - 6 };
+            // Centralization bonus, sign by side.
+            let center = 3 - (file as i64 - 3).abs().min((rank as i64 - 3).abs() + 1);
+            position += if piece <= 6 { center } else { -center };
+            if kind == 1 {
+                pawn_files[file] += if piece <= 6 { 1 } else { -1 };
+            }
+        }
+    }
+    // Doubled-pawn penalty per file.
+    let pawns: i64 = pawn_files.iter().map(|&c| -8 * (c.abs() - 1).max(0)).sum();
+    (material, position, pawns)
+}
+
+/// One search iteration's scripted actions.
+#[derive(Debug, Clone)]
+struct Iteration {
+    /// Bookkeeping writes `(square, piece)` — always unchanged values.
+    bookkeeping: Vec<(usize, u32)>,
+    /// An actual move applied to the board, if any: `(from, to, piece)`.
+    real_move: Option<(usize, usize, u32)>,
+    /// Candidate moves to price: `(from, to)` pairs.
+    candidates: Vec<(usize, usize)>,
+}
+
+/// The crafty workload instance.
+#[derive(Debug, Clone)]
+pub struct Crafty {
+    board0: Vec<u32>,
+    iterations: Vec<Iteration>,
+}
+
+impl Crafty {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (iters, move_period, candidates_n, bookkeeping_n) = match scale {
+            Scale::Test => (12, 3, 8, 4),
+            Scale::Train => (150, 4, 96, 16),
+            Scale::Reference => (400, 4, 128, 24),
+        };
+        let mut rng = StdRng::seed_from_u64(0x6372_6166);
+        // Opening-like position: back ranks + pawns.
+        let mut board0 = vec![EMPTY; 64];
+        let back = [4u32, 2, 3, 5, 6, 3, 2, 4];
+        for f in 0..8 {
+            board0[f] = back[f]; // white back rank
+            board0[8 + f] = 1; // white pawns
+            board0[48 + f] = 7; // black pawns
+            board0[56 + f] = back[f] + 6; // black back rank
+        }
+        let mut board = board0.clone();
+        let iterations = (0..iters)
+            .map(|i| {
+                let occupied: Vec<usize> =
+                    (0..64).filter(|&s| board[s] != EMPTY).collect();
+                let bookkeeping = (0..bookkeeping_n)
+                    .map(|_| {
+                        let s = rng.gen_range(0..64);
+                        (s, board[s])
+                    })
+                    .collect();
+                let real_move = if i % move_period == move_period - 1 {
+                    // Move a random piece to a random empty square.
+                    let from = occupied[rng.gen_range(0..occupied.len())];
+                    let empties: Vec<usize> =
+                        (0..64).filter(|&s| board[s] == EMPTY).collect();
+                    let to = empties[rng.gen_range(0..empties.len())];
+                    let piece = board[from];
+                    board[from] = EMPTY;
+                    board[to] = piece;
+                    Some((from, to, piece))
+                } else {
+                    None
+                };
+                let candidates = (0..candidates_n)
+                    .map(|_| (rng.gen_range(0..64), rng.gen_range(0..64)))
+                    .collect();
+                Iteration {
+                    bookkeeping,
+                    real_move,
+                    candidates,
+                }
+            })
+            .collect();
+        Crafty { board0, iterations }
+    }
+
+    /// Search iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tt: u32) -> u64 {
+        let mut board = self.board0.clone();
+        let mut digest = Digest::new();
+        // Program initialization: set up the board.
+        for (s, &piece) in board.iter().enumerate() {
+            util::store_u32(p, 0, BOARD_BASE, s, piece);
+        }
+        for it in &self.iterations {
+            // Bookkeeping writes (always silent).
+            for &(s, piece) in &it.bookkeeping {
+                util::store_u32(p, 1, BOARD_BASE, s, piece);
+                board[s] = piece;
+            }
+            // The occasional real move.
+            if let Some((from, to, piece)) = it.real_move {
+                util::store_u32(p, 2, BOARD_BASE, from, EMPTY);
+                util::store_u32(p, 2, BOARD_BASE, to, piece);
+                board[from] = EMPTY;
+                board[to] = piece;
+            }
+            // Static evaluation (the tthread region).
+            p.region_begin(tt);
+            for (s, &piece) in board.iter().enumerate() {
+                util::load_u32(p, 3, BOARD_BASE, s, piece);
+            }
+            p.compute(64 * 9 + 64);
+            let eval = evaluate(&board);
+            util::store_u64(p, 4, EVAL_BASE, 0, eval.0 as u64);
+            util::store_u64(p, 4, EVAL_BASE, 1, eval.1 as u64);
+            util::store_u64(p, 4, EVAL_BASE, 2, eval.2 as u64);
+            p.region_end(tt);
+            p.join(tt);
+
+            // Move scoring: price candidates against the evaluation.
+            let base_score = eval.0 + eval.1 + eval.2;
+            let mut best = i64::MIN;
+            for &(from, to) in &it.candidates {
+                let victim = util::load_u32(p, 5, BOARD_BASE, to, board[to]);
+                let mover = util::load_u32(p, 5, BOARD_BASE, from, board[from]);
+                let gain = piece_value(victim).abs() - piece_value(mover).abs() / 10;
+                let score = base_score + gain;
+                if score > best {
+                    best = score;
+                }
+                p.compute(8);
+            }
+            digest.push_u64(best as u64);
+        }
+        digest.finish()
+    }
+}
+
+impl Workload for Crafty {
+    fn name(&self) -> &'static str {
+        "crafty"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "186.crafty"
+    }
+
+    fn description(&self) -> &'static str {
+        "chess static evaluation gated on board changes; bookkeeping writes are silent"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        self.kernel(&mut NoProbe, 0)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let mut rt = Runtime::new(cfg, ((0i64, 0i64, 0i64), Vec::<u32>::new()));
+        let board: TrackedArray<u32> =
+            rt.alloc_array_from(&self.board0).expect("arena sized for workload");
+        let eval_tt = rt.register("static_eval", move |ctx| {
+            let mut snapshot = std::mem::take(&mut ctx.user_mut().1);
+            ctx.read_all_into(board, &mut snapshot);
+            let eval = evaluate(&snapshot);
+            let user = ctx.user_mut();
+            user.0 = eval;
+            user.1 = snapshot;
+        });
+        rt.watch(eval_tt, board.range()).expect("region in arena");
+        rt.mark_dirty(eval_tt).expect("registered tthread");
+
+        let mut shadow = self.board0.clone();
+        let mut digest = Digest::new();
+        for it in &self.iterations {
+            rt.with(|ctx| {
+                for &(s, piece) in &it.bookkeeping {
+                    ctx.write(board, s, piece);
+                    shadow[s] = piece;
+                }
+                if let Some((from, to, piece)) = it.real_move {
+                    ctx.write(board, from, EMPTY);
+                    ctx.write(board, to, piece);
+                    shadow[from] = EMPTY;
+                    shadow[to] = piece;
+                }
+            });
+            util::must_join(&mut rt, eval_tt);
+            let eval = rt.with(|ctx| ctx.user().0);
+            let base_score = eval.0 + eval.1 + eval.2;
+            let mut best = i64::MIN;
+            for &(from, to) in &it.candidates {
+                let gain =
+                    piece_value(shadow[to]).abs() - piece_value(shadow[from]).abs() / 10;
+                best = best.max(base_score + gain);
+            }
+            digest.push_u64(best as u64);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tt = b.declare_tthread("static_eval");
+        b.declare_watch(tt, BOARD_BASE, 4 * 64);
+        self.kernel(&mut b, tt);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn material_balance_is_zero_at_start() {
+        let w = Crafty::new(Scale::Test);
+        let (material, _, pawns) = evaluate(&w.board0);
+        assert_eq!(material, 0, "symmetric opening position");
+        assert_eq!(pawns, 0, "no doubled pawns at the start");
+    }
+
+    #[test]
+    fn piece_values_are_signed_by_side() {
+        assert_eq!(piece_value(1), 100); // white pawn
+        assert_eq!(piece_value(7), -100); // black pawn
+        assert_eq!(piece_value(8), -320); // black knight
+        assert_eq!(piece_value(5), 900); // white queen
+        assert_eq!(piece_value(12), -20_000); // black king
+        assert_eq!(piece_value(EMPTY), 0);
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Crafty::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn bookkeeping_iterations_skip_evaluation() {
+        let w = Crafty::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let tt = &run.tthreads[0];
+        // One real move every 3 iterations at test scale.
+        assert!(tt.skips > tt.executions, "skips={} execs={}", tt.skips, tt.executions);
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Crafty::new(Scale::Test).run_baseline(), Crafty::new(Scale::Test).run_baseline());
+    }
+}

@@ -1,0 +1,340 @@
+//! `equake` — sparse matrix–vector seismic time-stepper (after SPEC
+//! 183.equake).
+//!
+//! equake's hot loop is `smvp`, a sparse matrix–vector product inside a
+//! time-stepping loop. The stiffness matrix is static and the excitation
+//! vector is *sparse in time*: each step only the nodes near the source
+//! change, while the solver rewrites the rest of the vector with unchanged
+//! values. Partitioning the product by column blocks turns each block's
+//! partial result into a tthread triggered by changes to its slice of the
+//! excitation vector — blocks whose slice saw only silent stores are
+//! skipped.
+//!
+//! Model: matrix `A` in coordinate form grouped by column block,
+//! per-block partial vectors `contribution[b]`, excitation `dx` (tracked),
+//! and a per-step consumer `y[i] = Σ_b contribution[b][i]` folded into the
+//! digest.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const DX_BASE: u64 = 0x1000_0000;
+const VAL_BASE: u64 = 0x2000_0000;
+const CONTRIB_BASE: u64 = 0x3000_0000;
+const CONTRIB_STRIDE: u64 = 0x10_0000;
+const VEL_BASE: u64 = 0x4000_0000;
+
+/// One excitation write scheduled for a timestep.
+#[derive(Debug, Clone, Copy)]
+struct Excite {
+    index: usize,
+    value: f64,
+}
+
+/// The equake workload instance.
+#[derive(Debug, Clone)]
+pub struct Equake {
+    n: usize,
+    blocks: usize,
+    /// Per block: `(row, col, value)` entries, rows ascending.
+    entries: Vec<Vec<(u32, u32, f64)>>,
+    dx0: Vec<f64>,
+    /// Per step: the writes applied to `dx` (many silent).
+    schedule: Vec<Vec<Excite>>,
+}
+
+impl Equake {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (n, blocks, nnz_per_row, steps, writes_per_step) = match scale {
+            Scale::Test => (64, 4, 4, 12, 6),
+            Scale::Train => (1_000, 8, 4, 100, 16),
+            Scale::Reference => (4_000, 16, 4, 200, 24),
+        };
+        let mut rng = StdRng::seed_from_u64(0x6571_7561 + n as u64);
+        let block_len = n / blocks;
+        let mut entries: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); blocks];
+        for row in 0..n {
+            for _ in 0..nnz_per_row {
+                let col = rng.gen_range(0..n);
+                let val: f64 = rng.gen_range(-1.0..1.0);
+                let b = (col / block_len).min(blocks - 1);
+                entries[b].push((row as u32, col as u32, val));
+            }
+        }
+        for block in &mut entries {
+            block.sort_by_key(|&(r, c, _)| (r, c));
+        }
+        let dx0: Vec<f64> = (0..n).map(|_| rng.gen_range(-0.1..0.1)).collect();
+
+        // Excitation schedule: per step, a batch of writes. Most rewrite the
+        // existing value (sensor refresh); the source writes rotate through
+        // one block per step and really change.
+        let mut dx = dx0.clone();
+        let mut schedule = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let mut writes = Vec::with_capacity(writes_per_step);
+            let hot_block = step % blocks;
+            for w in 0..writes_per_step {
+                if w < writes_per_step / 4 {
+                    // Genuine source excitation in one of several rotating
+                    // blocks (the wavefront spans a growing region).
+                    let hot_block = (hot_block + w) % blocks;
+                    let idx = hot_block * block_len + rng.gen_range(0..block_len);
+                    let value = rng.gen_range(-1.0..1.0);
+                    dx[idx] = value;
+                    writes.push(Excite { index: idx, value });
+                } else {
+                    // Silent refresh anywhere.
+                    let idx = rng.gen_range(0..n);
+                    writes.push(Excite { index: idx, value: dx[idx] });
+                }
+            }
+            schedule.push(writes);
+        }
+        Equake {
+            n,
+            blocks,
+            entries,
+            dx0,
+            schedule,
+        }
+    }
+
+    /// Problem size (rows/columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of column blocks (= tthreads).
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of timesteps.
+    pub fn steps(&self) -> usize {
+        self.schedule.len()
+    }
+
+    fn block_len(&self) -> usize {
+        self.n / self.blocks
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tts: &[u32]) -> u64 {
+        let n = self.n;
+        let mut dx = self.dx0.clone();
+        let mut contribution = vec![vec![0.0f64; n]; self.blocks];
+        let mut vel = vec![0.0f64; n];
+        let mut digest = Digest::new();
+        // Program initialization: load the excitation vector into memory.
+        for (i, &v) in dx.iter().enumerate() {
+            util::store_f64(p, 0, DX_BASE, i, v);
+        }
+        for writes in &self.schedule {
+            for w in writes {
+                util::store_f64(p, 1, DX_BASE, w.index, w.value);
+                dx[w.index] = w.value;
+            }
+            for b in 0..self.blocks {
+                p.region_begin(tts[b]);
+                let contrib = &mut contribution[b];
+                contrib.iter_mut().for_each(|v| *v = 0.0);
+                p.compute(n as u64 / 8);
+                for &(row, col, val) in &self.entries[b] {
+                    let v = util::load_f64(p, 2, VAL_BASE, (b << 16) | row as usize, val);
+                    let x = util::load_f64(p, 3, DX_BASE, col as usize, dx[col as usize]);
+                    contrib[row as usize] += v * x;
+                    p.compute(2);
+                }
+                util::store_f64(
+                    p,
+                    4,
+                    CONTRIB_BASE + b as u64 * CONTRIB_STRIDE,
+                    0,
+                    contrib[0],
+                );
+                p.region_end(tts[b]);
+                p.join(tts[b]);
+            }
+            // Consumer: assemble y, integrate the velocity field, and fold
+            // a norm into the digest.
+            let mut norm = 0.0f64;
+            for i in 0..n {
+                let mut y = 0.0f64;
+                for (b, contrib) in contribution.iter().enumerate() {
+                    y += util::load_f64(
+                        p,
+                        5,
+                        CONTRIB_BASE + b as u64 * CONTRIB_STRIDE,
+                        i,
+                        contrib[i],
+                    );
+                }
+                let v = util::load_f64(p, 6, VEL_BASE, i, vel[i]) + 0.02 * y;
+                vel[i] = v;
+                util::store_f64(p, 7, VEL_BASE, i, v);
+                norm += v * v;
+                p.compute(8);
+            }
+            digest.push_f64(norm);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct EquakeUser {
+    entries: Vec<Vec<(u32, u32, f64)>>,
+    contribution: Vec<Vec<f64>>,
+    dx_scratch: Vec<f64>,
+}
+
+impl Workload for Equake {
+    fn name(&self) -> &'static str {
+        "equake"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "183.equake"
+    }
+
+    fn description(&self) -> &'static str {
+        "column-blocked sparse matrix-vector product; excitation changes touch one block per step"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        let tts: Vec<u32> = (0..self.blocks as u32).collect();
+        self.kernel(&mut NoProbe, &tts)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let n = self.n;
+        let block_len = self.block_len();
+        let mut rt = Runtime::new(
+            cfg,
+            EquakeUser {
+                entries: self.entries.clone(),
+                contribution: vec![vec![0.0f64; n]; self.blocks],
+                dx_scratch: Vec::new(),
+            },
+        );
+        let dx: TrackedArray<f64> =
+            rt.alloc_array_from(&self.dx0).expect("arena sized for workload");
+        let mut tts = Vec::with_capacity(self.blocks);
+        for b in 0..self.blocks {
+            let tt = rt.register(&format!("smvp_block_{b}"), move |ctx| {
+                // Mirror the baseline arithmetic exactly: zero, then
+                // accumulate entries in order. The block only touches its
+                // own dx slice, which we snapshot in one bulk read.
+                let mut dxs = std::mem::take(&mut ctx.user_mut().dx_scratch);
+                ctx.read_slice_into(dx, b * block_len, (b + 1) * block_len, &mut dxs);
+                let user = ctx.user_mut();
+                user.contribution[b].iter_mut().for_each(|v| *v = 0.0);
+                for &(row, col, val) in &user.entries[b] {
+                    let x = dxs[col as usize - b * block_len];
+                    user.contribution[b][row as usize] += val * x;
+                }
+                user.dx_scratch = dxs;
+            });
+            rt.watch(tt, dx.range_of(b * block_len, (b + 1) * block_len))
+                .expect("region in arena");
+            rt.mark_dirty(tt).expect("registered tthread");
+            tts.push(tt);
+        }
+
+        let mut digest = Digest::new();
+        let mut vel = vec![0.0f64; n];
+        for writes in &self.schedule {
+            rt.with(|ctx| {
+                for w in writes {
+                    ctx.write(dx, w.index, w.value);
+                }
+            });
+            for &tt in &tts {
+                util::must_join(&mut rt, tt);
+            }
+            let norm = rt.with(|ctx| {
+                let contribution = &ctx.user().contribution;
+                let mut norm = 0.0f64;
+                for (i, v) in vel.iter_mut().enumerate() {
+                    let mut y = 0.0f64;
+                    for contrib in contribution.iter() {
+                        y += contrib[i];
+                    }
+                    *v += 0.02 * y;
+                    norm += *v * *v;
+                }
+                norm
+            });
+            digest.push_f64(norm);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let block_len = self.block_len();
+        let tts: Vec<u32> = (0..self.blocks)
+            .map(|i| {
+                let tt = b.declare_tthread(&format!("smvp_block_{i}"));
+                b.declare_watch(tt, DX_BASE + (i * block_len) as u64 * 8, block_len as u64 * 8);
+                tt
+            })
+            .collect();
+        self.kernel(&mut b, &tts);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Equake::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn dtt_matches_baseline_parallel() {
+        let w = Equake::new(Scale::Test);
+        assert_eq!(
+            w.run_baseline(),
+            w.run_dtt(Config::default().with_workers(3)).digest
+        );
+    }
+
+    #[test]
+    fn cold_blocks_are_skipped() {
+        let w = Equake::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let skips: u64 = run.tthreads.iter().map(|t| t.skips).sum();
+        let execs: u64 = run.tthreads.iter().map(|t| t.executions).sum();
+        // One hot block per step out of four: most joins skip.
+        assert!(skips > execs, "skips={skips} execs={execs}");
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn trace_declares_one_watch_per_block() {
+        let w = Equake::new(Scale::Test);
+        let tr = w.trace();
+        assert_eq!(tr.watches().len(), w.blocks());
+        assert_eq!(tr.tthread_names().len(), w.blocks());
+        assert!(tr.loads() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            Equake::new(Scale::Test).run_baseline(),
+            Equake::new(Scale::Test).run_baseline()
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! `gap` — computer-algebra operation tables (after SPEC 254.gap).
+//!
+//! gap manipulates algebraic structures through operation tables and
+//! repeatedly re-derives element properties (orders, inverses) that only
+//! change when the table itself changes. Sessions alternate long
+//! read-only computations with rare table edits — and table "normalization"
+//! passes that rewrite entries unchanged. The derived-property pass is a
+//! tthread watching the operation table (a [`dtt_core::TrackedMatrix`]).
+
+use dtt_core::{Config, Runtime, TrackedMatrix};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const TABLE_BASE: u64 = 0x1000_0000;
+const ORDER_BASE: u64 = 0x2000_0000;
+
+/// Derives the "order" of every element: the number of self-applications
+/// of `x` (through the table) before revisiting a value, capped at `n`.
+/// Also derives each element's right-inverse if one exists.
+pub fn derive_orders(table: &[u32], n: usize) -> (Vec<u32>, Vec<i32>) {
+    let mut orders = vec![0u32; n];
+    let mut inverses = vec![-1i32; n];
+    for x in 0..n {
+        // Walk x, x*x, (x*x)*x, ... until a repeat or the cap.
+        let mut seen = vec![false; n];
+        let mut cur = x;
+        let mut steps = 0u32;
+        while !seen[cur] && (steps as usize) < n {
+            seen[cur] = true;
+            cur = table[cur * n + x] as usize % n;
+            steps += 1;
+        }
+        orders[x] = steps;
+        for y in 0..n {
+            if (table[x * n + y] as usize).is_multiple_of(n) {
+                inverses[x] = y as i32;
+                break;
+            }
+        }
+    }
+    (orders, inverses)
+}
+
+/// One session round.
+#[derive(Debug, Clone)]
+struct Round {
+    /// Table writes `(row, col, value)`; normalization passes rewrite the
+    /// current value.
+    writes: Vec<(usize, usize, u32)>,
+    /// Words to evaluate: sequences of element indexes folded through the
+    /// table.
+    words: Vec<Vec<u16>>,
+}
+
+/// The gap workload instance.
+#[derive(Debug, Clone)]
+pub struct Gap {
+    n: usize,
+    table0: Vec<u32>,
+    rounds: Vec<Round>,
+}
+
+impl Gap {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (n, rounds_n, words_n, word_len, edit_period) = match scale {
+            Scale::Test => (12, 10, 6, 6, 3),
+            Scale::Train => (64, 80, 64, 16, 4),
+            Scale::Reference => (96, 200, 96, 20, 4),
+        };
+        let mut rng = StdRng::seed_from_u64(0x6761_7000 + n as u64);
+        // A cyclic-group-flavoured table with noise: closed but not a group.
+        let table0: Vec<u32> = (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                ((r + c) % n) as u32
+            })
+            .collect();
+        let mut table = table0.clone();
+        let rounds = (0..rounds_n)
+            .map(|round| {
+                let mut writes = Vec::new();
+                for k in 0..4 {
+                    let r = rng.gen_range(0..n);
+                    let c = rng.gen_range(0..n);
+                    if k == 0 && round % edit_period == edit_period - 1 {
+                        let v = rng.gen_range(0..n) as u32;
+                        table[r * n + c] = v;
+                        writes.push((r, c, v));
+                    } else {
+                        // Normalization pass: rewrite in place.
+                        writes.push((r, c, table[r * n + c]));
+                    }
+                }
+                let words = (0..words_n)
+                    .map(|_| {
+                        (0..word_len)
+                            .map(|_| rng.gen_range(0..n) as u16)
+                            .collect()
+                    })
+                    .collect();
+                Round { writes, words }
+            })
+            .collect();
+        Gap { n, table0, rounds }
+    }
+
+    /// Elements in the structure (table is `n × n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Session rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tt: u32) -> u64 {
+        let n = self.n;
+        let mut table = self.table0.clone();
+        let mut orders = vec![0u32; n];
+        let mut inverses = vec![-1i32; n];
+        let mut digest = Digest::new();
+        // Program initialization: load the operation table.
+        for (i, &v) in table.iter().enumerate() {
+            util::store_u32(p, 0, TABLE_BASE, i, v);
+        }
+        for round in &self.rounds {
+            for &(r, c, v) in &round.writes {
+                util::store_u32(p, 1, TABLE_BASE, r * n + c, v);
+                table[r * n + c] = v;
+            }
+            // Derived-property pass (the tthread region).
+            p.region_begin(tt);
+            for (i, &v) in table.iter().enumerate() {
+                util::load_u32(p, 2, TABLE_BASE, i, v);
+            }
+            p.compute((n * n * 3) as u64);
+            let derived = derive_orders(&table, n);
+            orders = derived.0;
+            inverses = derived.1;
+            util::store_u32(p, 3, ORDER_BASE, 0, orders[0]);
+            p.region_end(tt);
+            p.join(tt);
+
+            // Word evaluation: fold each word through the table, scoring
+            // with the derived orders.
+            let mut answer = 0u64;
+            for word in &round.words {
+                let mut cur = 0usize;
+                for &e in word {
+                    let v = util::load_u32(
+                        p,
+                        4,
+                        TABLE_BASE,
+                        cur * n + e as usize,
+                        table[cur * n + e as usize],
+                    );
+                    cur = v as usize % n;
+                    p.compute(3);
+                }
+                answer = answer
+                    .wrapping_mul(31)
+                    .wrapping_add(cur as u64 + orders[cur] as u64 + inverses[cur] as u64);
+            }
+            digest.push_u64(answer);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct GapUser {
+    orders: Vec<u32>,
+    inverses: Vec<i32>,
+    scratch: Vec<u32>,
+}
+
+impl Workload for Gap {
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "254.gap"
+    }
+
+    fn description(&self) -> &'static str {
+        "algebraic derived-property pass gated on operation-table edits; normalization is silent"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        self.kernel(&mut NoProbe, 0)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let n = self.n;
+        let mut rt = Runtime::new(
+            cfg,
+            GapUser {
+                orders: vec![0; n],
+                inverses: vec![-1; n],
+                scratch: Vec::new(),
+            },
+        );
+        let table: TrackedMatrix<u32> =
+            rt.alloc_matrix(n, n).expect("arena sized for workload");
+        rt.with(|ctx| {
+            for (i, &v) in self.table0.iter().enumerate() {
+                ctx.init_at(table.as_array(), i, v);
+            }
+        });
+        let derive = rt.register("derive_orders", move |ctx| {
+            let mut scratch = std::mem::take(&mut ctx.user_mut().scratch);
+            ctx.read_all_into(table.as_array(), &mut scratch);
+            let (orders, inverses) = derive_orders(&scratch, n);
+            let user = ctx.user_mut();
+            user.scratch = scratch;
+            user.orders = orders;
+            user.inverses = inverses;
+        });
+        rt.watch(derive, table.range()).expect("region in arena");
+        rt.mark_dirty(derive).expect("registered tthread");
+
+        let mut shadow = self.table0.clone();
+        let mut digest = Digest::new();
+        for round in &self.rounds {
+            rt.with(|ctx| {
+                for &(r, c, v) in &round.writes {
+                    ctx.set(table.at(r, c), v);
+                    shadow[r * n + c] = v;
+                }
+            });
+            util::must_join(&mut rt, derive);
+            let answer = rt.with(|ctx| {
+                let user = ctx.user();
+                let mut answer = 0u64;
+                for word in &round.words {
+                    let mut cur = 0usize;
+                    for &e in word {
+                        cur = shadow[cur * n + e as usize] as usize % n;
+                    }
+                    answer = answer.wrapping_mul(31).wrapping_add(
+                        cur as u64 + user.orders[cur] as u64 + user.inverses[cur] as u64,
+                    );
+                }
+                answer
+            });
+            digest.push_u64(answer);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tt = b.declare_tthread("derive_orders");
+        b.declare_watch(tt, TABLE_BASE, 4 * (self.n * self.n) as u64);
+        self.kernel(&mut b, tt);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_of_cyclic_table() {
+        // Cyclic table: t[r][c] = (r+c) mod n. Walking x -> x*x gives the
+        // additive orbit of x.
+        let n = 6;
+        let table: Vec<u32> = (0..n * n).map(|i| ((i / n + i % n) % n) as u32).collect();
+        let (orders, inverses) = derive_orders(&table, n);
+        // Element 0 is the identity: 0*0 = 0, so its walk stops after 1.
+        assert_eq!(orders[0], 1);
+        // Every element has an additive inverse in Z6.
+        assert!(inverses.iter().all(|&i| i >= 0));
+        assert_eq!(inverses[2], 4); // 2 + 4 = 0 (mod 6)
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Gap::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn normalization_rounds_skip_derivation() {
+        let w = Gap::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let tt = &run.tthreads[0];
+        assert!(tt.skips > 0);
+        assert!(tt.executions < w.rounds() as u64);
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn dtt_matches_baseline_parallel() {
+        let w = Gap::new(Scale::Test);
+        assert_eq!(
+            w.run_baseline(),
+            w.run_dtt(Config::default().with_workers(2)).digest
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Gap::new(Scale::Test).run_baseline(), Gap::new(Scale::Test).run_baseline());
+    }
+}

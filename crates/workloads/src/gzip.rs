@@ -1,0 +1,336 @@
+//! `gzip` — LZ77 chunk compression of an append-mostly log (after SPEC
+//! 164.gzip).
+//!
+//! Same archival pattern as [`crate::bzip2`] with a different kernel:
+//! greedy LZ77 with a 3-byte hash-chain matcher over fixed chunks. Each
+//! round rewrites the whole buffer; only the chunks near the append point
+//! change, so per-chunk compression tthreads skip the frozen prefix.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const DATA_BASE: u64 = 0x1000_0000;
+const OUT_BASE: u64 = 0x2000_0000;
+const TOKBUF_BASE: u64 = 0x3000_0000;
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 64;
+
+/// Greedy LZ77 of one chunk; returns `(token_count, checksum)` of the
+/// emitted literal/match stream.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_workloads::gzip::lz77_chunk;
+/// let repetitive = b"abcabcabcabcabcabc";
+/// let (tokens, _) = lz77_chunk(repetitive);
+/// assert!(tokens < repetitive.len() as u32); // matches found
+/// ```
+pub fn lz77_chunk(data: &[u8]) -> (u32, u64) {
+    let tokens = lz77_tokens(data);
+    let mut digest = Digest::new();
+    for &t in &tokens {
+        digest.push_u64(t);
+    }
+    (tokens.len() as u32, digest.finish())
+}
+
+/// The raw LZ77 token stream (literals and matches) of one chunk.
+pub fn lz77_tokens(data: &[u8]) -> Vec<u64> {
+    let n = data.len();
+    let mut head: Vec<i32> = vec![-1; 1 << 12];
+    let mut prev: Vec<i32> = vec![-1; n];
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let hash = |d: &[u8], at: usize| -> usize {
+        ((d[at] as usize) << 6 ^ (d[at + 1] as usize) << 3 ^ d[at + 2] as usize) & 0xfff
+    };
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand >= 0 && chain < 16 {
+                let c = cand as usize;
+                let mut len = 0usize;
+                let max = (n - i).min(MAX_MATCH);
+                while len < max && data[c + len] == data[i + len] {
+                    len += 1;
+                }
+                if len >= MIN_MATCH && len > best_len {
+                    best_len = len;
+                    best_dist = i - c;
+                }
+                cand = prev[c];
+                chain += 1;
+            }
+            prev[i] = head[h];
+            head[h] = i as i32;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(0x4d00_0000 | ((best_dist as u64) << 8) | best_len as u64);
+            // Insert hash entries for the matched span so later matches see
+            // it (gzip's lazy insertion, simplified).
+            for k in 1..best_len {
+                if i + k + MIN_MATCH <= n {
+                    let h = hash(data, i + k);
+                    prev[i + k] = head[h];
+                    head[h] = (i + k) as i32;
+                }
+            }
+            i += best_len;
+        } else {
+            tokens.push(0x4c00_0000 | data[i] as u64);
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// The gzip workload instance.
+#[derive(Debug, Clone)]
+pub struct Gzip {
+    chunks: usize,
+    chunk_len: usize,
+    versions: Vec<Vec<u8>>,
+}
+
+impl Gzip {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (chunks, chunk_len, rounds) = match scale {
+            Scale::Test => (8, 96, 8),
+            Scale::Train => (16, 512, 40),
+            Scale::Reference => (32, 1_024, 80),
+        };
+        let mut rng = StdRng::seed_from_u64(0x677a_6970 + chunks as u64);
+        let total = chunks * chunk_len;
+        // Log-like content: repeated phrases from a small vocabulary.
+        let words: Vec<&[u8]> = vec![
+            b"GET /index ", b"POST /api ", b"200 OK ", b"404 NF ", b"user=alice ",
+            b"user=bob ",
+        ];
+        let mut buf = Vec::with_capacity(total);
+        while buf.len() < total {
+            let w = words[rng.gen_range(0..words.len())];
+            let take = w.len().min(total - buf.len());
+            buf.extend_from_slice(&w[..take]);
+        }
+        let mut versions = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            // Append-style churn: overwrite windows in several rotating
+            // chunks of the upper half, leaving the frozen prefix untouched.
+            for k in 0..5 {
+                let hot = chunks / 2 + (round + k) % (chunks / 2);
+                let at = hot * chunk_len + rng.gen_range(0..chunk_len / 2);
+                let w = words[rng.gen_range(0..words.len())];
+                for (j, &byte) in w.iter().enumerate() {
+                    if at + j < total {
+                        buf[at + j] = byte;
+                    }
+                }
+            }
+            versions.push(buf.clone());
+        }
+        Gzip {
+            chunks,
+            chunk_len,
+            versions,
+        }
+    }
+
+    /// Number of chunks (= tthreads).
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Chunk length in bytes.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Number of buffer versions compressed.
+    pub fn rounds(&self) -> usize {
+        self.versions.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tts: &[u32]) -> u64 {
+        let mut digest = Digest::new();
+        let mut results = vec![(0u32, 0u64); self.chunks];
+        for version in &self.versions {
+            for (i, &byte) in version.iter().enumerate() {
+                util::store_u8(p, 1, DATA_BASE, i, byte);
+            }
+            for c in 0..self.chunks {
+                p.region_begin(tts[c]);
+                let chunk = &version[c * self.chunk_len..(c + 1) * self.chunk_len];
+                for (k, &byte) in chunk.iter().enumerate() {
+                    util::load_u8(p, 2, DATA_BASE, c * self.chunk_len + k, byte);
+                }
+                p.compute((self.chunk_len * 20) as u64);
+                let tokens = lz77_tokens(chunk);
+                // The token buffer is shared across chunks; the bit-packer
+                // reads it back with fresh values every chunk.
+                let mut tdigest = Digest::new();
+                for (k, &t) in tokens.iter().enumerate() {
+                    util::load_u64(p, 5, TOKBUF_BASE, k, t);
+                    tdigest.push_u64(t);
+                }
+                results[c] = (tokens.len() as u32, tdigest.finish());
+                util::store_u64(p, 3, OUT_BASE, c, results[c].1);
+                p.region_end(tts[c]);
+                p.join(tts[c]);
+            }
+            for &(tokens, sum) in &results {
+                digest.push_u64(tokens as u64);
+                digest.push_u64(sum);
+            }
+            // Archive output pass: CRC over the whole buffer every round.
+            let mut crc = 0u64;
+            for (i, &byte) in version.iter().enumerate() {
+                util::load_u8(p, 4, DATA_BASE, i, byte);
+                crc = crc.wrapping_mul(33).wrapping_add(byte as u64);
+                p.compute(3);
+            }
+            digest.push_u64(crc);
+        }
+        digest.finish()
+    }
+}
+
+impl Workload for Gzip {
+    fn name(&self) -> &'static str {
+        "gzip"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "164.gzip"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-chunk LZ77 recompression of an append-mostly log; frozen chunks store silently"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        let tts: Vec<u32> = (0..self.chunks as u32).collect();
+        self.kernel(&mut NoProbe, &tts)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let mut rt = Runtime::new(cfg, vec![(0u32, 0u64); self.chunks]);
+        let data: TrackedArray<u8> = rt
+            .alloc_array::<u8>(self.chunks * self.chunk_len)
+            .expect("arena sized for workload");
+        let chunk_len = self.chunk_len;
+        let mut tts = Vec::with_capacity(self.chunks);
+        for c in 0..self.chunks {
+            let tt = rt.register(&format!("deflate_chunk_{c}"), move |ctx| {
+                let mut chunk = Vec::new();
+                ctx.read_slice_into(data, c * chunk_len, (c + 1) * chunk_len, &mut chunk);
+                ctx.user_mut()[c] = lz77_chunk(&chunk);
+            });
+            rt.watch(tt, data.range_of(c * chunk_len, (c + 1) * chunk_len))
+                .expect("region in arena");
+            rt.mark_dirty(tt).expect("registered tthread");
+            tts.push(tt);
+        }
+
+        let mut digest = Digest::new();
+        for version in &self.versions {
+            rt.with(|ctx| ctx.write_slice(data, 0, version));
+            for &tt in &tts {
+                util::must_join(&mut rt, tt);
+            }
+            rt.with(|ctx| {
+                for &(tokens, sum) in ctx.user().iter() {
+                    digest.push_u64(tokens as u64);
+                    digest.push_u64(sum);
+                }
+            });
+            let mut crc = 0u64;
+            for &byte in version {
+                crc = crc.wrapping_mul(33).wrapping_add(byte as u64);
+            }
+            digest.push_u64(crc);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tts: Vec<u32> = (0..self.chunks)
+            .map(|i| {
+                let tt = b.declare_tthread(&format!("deflate_chunk_{i}"));
+                b.declare_watch(
+                    tt,
+                    DATA_BASE + (i * self.chunk_len) as u64,
+                    self.chunk_len as u64,
+                );
+                tt
+            })
+            .collect();
+        self.kernel(&mut b, &tts);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lz77_compresses_repetition() {
+        let (tok_rep, _) = lz77_chunk(b"the cat the cat the cat the cat ");
+        let (tok_rand, _) = lz77_chunk(b"q8Zp!kT2vXw9@aLmC4#yR7sD1%fGh5^j");
+        assert!(tok_rep < tok_rand);
+    }
+
+    #[test]
+    fn lz77_round_trips_token_determinism() {
+        let a = lz77_chunk(b"GET /index GET /index 200 OK ");
+        let b = lz77_chunk(b"GET /index GET /index 200 OK ");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lz77_handles_tiny_inputs() {
+        assert_eq!(lz77_chunk(&[]).0, 0);
+        assert_eq!(lz77_chunk(b"a").0, 1);
+        assert_eq!(lz77_chunk(b"ab").0, 2);
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Gzip::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn frozen_prefix_chunks_skip() {
+        let w = Gzip::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        // The first chunks never change after round 0.
+        let first = &run.tthreads[0];
+        assert_eq!(first.executions, 1);
+        assert!(first.skips as usize >= w.rounds() - 1);
+    }
+
+    #[test]
+    fn trace_watches_every_chunk() {
+        let w = Gzip::new(Scale::Test);
+        assert_eq!(w.trace().watches().len(), w.chunks());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Gzip::new(Scale::Test).run_baseline(), Gzip::new(Scale::Test).run_baseline());
+    }
+}

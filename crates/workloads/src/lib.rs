@@ -1,0 +1,64 @@
+//! # dtt-workloads — the benchmark suite
+//!
+//! Fourteen kernels modelled on the C SPEC benchmarks the HPCA'11 paper
+//! evaluates, each exposing the redundancy structure that data-triggered
+//! threads exploit. Every kernel ships three semantically identical
+//! implementations:
+//!
+//! * **baseline** — plain Rust, recomputing everything every iteration
+//!   ([`Workload::run_baseline`]);
+//! * **DTT** — refactored onto [`dtt_core::Runtime`], with the recomputable
+//!   slice expressed as tthreads ([`Workload::run_dtt`]);
+//! * **traced** — the baseline instrumented through [`dtt_trace::Probe`],
+//!   producing the annotated trace the profiler and timing simulator
+//!   consume ([`Workload::trace`]).
+//!
+//! The baseline and DTT digests are asserted bit-equal in every kernel's
+//! tests: the DTT transformation never changes program results.
+//!
+//! ```
+//! use dtt_core::Config;
+//! use dtt_workloads::{Mcf, Scale, Workload};
+//!
+//! let mcf = Mcf::new(Scale::Test);
+//! let run = mcf.run_dtt(Config::default());
+//! assert_eq!(run.digest, mcf.run_baseline());
+//! // Most potential refreshes were skipped:
+//! assert!(run.tthreads[0].skips > run.tthreads[0].executions);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ammp;
+pub mod art;
+pub mod bzip2;
+pub mod crafty;
+pub mod equake;
+pub mod gap;
+pub mod gzip;
+pub mod mcf;
+pub mod mesa;
+pub mod parser;
+pub mod perlbmk;
+pub mod suite;
+pub mod twolf;
+pub mod util;
+pub mod vortex;
+pub mod vpr;
+
+pub use ammp::Ammp;
+pub use art::Art;
+pub use bzip2::Bzip2;
+pub use crafty::Crafty;
+pub use equake::Equake;
+pub use gap::Gap;
+pub use gzip::Gzip;
+pub use mcf::Mcf;
+pub use mesa::Mesa;
+pub use parser::Parser;
+pub use perlbmk::Perlbmk;
+pub use suite::{suite, DttRun, Scale, TthreadReport, Workload};
+pub use twolf::Twolf;
+pub use vortex::Vortex;
+pub use vpr::Vpr;

@@ -1,0 +1,326 @@
+//! `mcf` — minimum-cost-flow network simplex kernel (after SPEC 181.mcf /
+//! 429.mcf).
+//!
+//! The real mcf spends most of its time in `refresh_potential`, a walk over
+//! the spanning tree that recomputes every node potential after each
+//! simplex pivot — even though most pivot *attempts* leave the tree
+//! untouched. That is the paper's flagship example (5.9× speedup): attach
+//! the potential refresh to the tree arrays as a tthread and it runs only
+//! when a pivot actually changes the basis.
+//!
+//! Model: a rooted spanning tree (`parent`, `cost`, with the invariant
+//! `parent[i] < i` so index order is a topological order), node potentials
+//! `potential[i] = potential[parent[i]] + cost[i]`, and a pricing scan over
+//! a static arc list that consumes the potentials every iteration. Each
+//! iteration attempts one pivot; most attempts rewrite the same
+//! parent/cost values (silent stores), a few really mutate the tree.
+
+use dtt_core::{Config, Runtime};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const PARENT_BASE: u64 = 0x1000_0000;
+const COST_BASE: u64 = 0x2000_0000;
+const POT_BASE: u64 = 0x3000_0000;
+const ARC_FROM_BASE: u64 = 0x4000_0000;
+const ARC_TO_BASE: u64 = 0x5000_0000;
+const ARC_COST_BASE: u64 = 0x6000_0000;
+
+/// One scheduled pivot attempt.
+#[derive(Debug, Clone, Copy)]
+struct Pivot {
+    /// Node whose tree edge the attempt rewrites.
+    node: usize,
+    /// Parent the attempt writes (equals the current parent for silent
+    /// attempts).
+    parent: u32,
+    /// Edge cost the attempt writes.
+    cost: i64,
+}
+
+/// The mcf workload instance: generated network plus pivot schedule.
+#[derive(Debug, Clone)]
+pub struct Mcf {
+    nodes: usize,
+    parent0: Vec<u32>,
+    cost0: Vec<i64>,
+    arc_from: Vec<u32>,
+    arc_to: Vec<u32>,
+    arc_cost: Vec<i64>,
+    pivots: Vec<Pivot>,
+}
+
+impl Mcf {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (nodes, arcs, iters, pivot_period) = match scale {
+            Scale::Test => (60, 20, 30, 5),
+            Scale::Train => (4_000, 300, 150, 30),
+            Scale::Reference => (16_000, 1_200, 400, 30),
+        };
+        let mut rng = StdRng::seed_from_u64(0x6d63_6600 + nodes as u64);
+        let parent0: Vec<u32> = (0..nodes)
+            .map(|i| if i == 0 { 0 } else { rng.gen_range(0..i) as u32 })
+            .collect();
+        let cost0: Vec<i64> = (0..nodes).map(|_| rng.gen_range(-50..50)).collect();
+        let arc_from: Vec<u32> = (0..arcs).map(|_| rng.gen_range(0..nodes) as u32).collect();
+        let arc_to: Vec<u32> = (0..arcs).map(|_| rng.gen_range(0..nodes) as u32).collect();
+        let arc_cost: Vec<i64> = (0..arcs).map(|_| rng.gen_range(-100..100)).collect();
+
+        // Pivot schedule: every iteration attempts a pivot; only every
+        // `pivot_period`-th attempt really changes the tree. To make the
+        // silent attempts genuinely silent we replay tree state while
+        // generating.
+        let mut parent = parent0.clone();
+        let mut cost = cost0.clone();
+        let mut pivots = Vec::with_capacity(iters);
+        for iter in 0..iters {
+            let node = rng.gen_range(2..nodes);
+            if iter % pivot_period == pivot_period - 1 {
+                let new_parent = rng.gen_range(0..node) as u32;
+                let new_cost = rng.gen_range(-50..50);
+                parent[node] = new_parent;
+                cost[node] = new_cost;
+                pivots.push(Pivot { node, parent: new_parent, cost: new_cost });
+            } else {
+                pivots.push(Pivot { node, parent: parent[node], cost: cost[node] });
+            }
+        }
+        Mcf {
+            nodes,
+            parent0,
+            cost0,
+            arc_from,
+            arc_to,
+            arc_cost,
+            pivots,
+        }
+    }
+
+    /// Number of nodes in the network.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of arcs in the pricing list.
+    pub fn arcs(&self) -> usize {
+        self.arc_from.len()
+    }
+
+    /// Number of main-loop iterations (pivot attempts).
+    pub fn iterations(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// The baseline/traced kernel: refresh potentials every iteration, then
+    /// run the pricing scan.
+    fn kernel<P: Probe>(&self, p: &mut P, tt: u32) -> u64 {
+        let n = self.nodes;
+        let mut parent = self.parent0.clone();
+        let mut cost = self.cost0.clone();
+        let mut potential = vec![0i64; n];
+        let mut digest = Digest::new();
+        // Program initialization: build the tree arrays in memory.
+        for i in 0..n {
+            util::store_u32(p, 0, PARENT_BASE, i, parent[i]);
+            util::store_u64(p, 0, COST_BASE, i, cost[i] as u64);
+        }
+        for pivot in &self.pivots {
+            // Pivot attempt (often a silent rewrite).
+            util::store_u32(p, 7, PARENT_BASE, pivot.node, pivot.parent);
+            util::store_u64(p, 8, COST_BASE, pivot.node, pivot.cost as u64);
+            parent[pivot.node] = pivot.parent;
+            cost[pivot.node] = pivot.cost;
+
+            // refresh_potential: the candidate tthread region.
+            p.region_begin(tt);
+            for i in 1..n {
+                let par = util::load_u32(p, 1, PARENT_BASE, i, parent[i]) as usize;
+                let c = util::load_u64(p, 2, COST_BASE, i, cost[i] as u64) as i64;
+                potential[i] = potential[par] + c;
+                util::store_u64(p, 3, POT_BASE, i, potential[i] as u64);
+                p.compute(1);
+            }
+            p.region_end(tt);
+            p.join(tt);
+
+            // Pricing scan: consume the potentials.
+            let mut negative_sum = 0i64;
+            for a in 0..self.arc_from.len() {
+                let from =
+                    util::load_u32(p, 9, ARC_FROM_BASE, a, self.arc_from[a]) as usize;
+                let to = util::load_u32(p, 10, ARC_TO_BASE, a, self.arc_to[a]) as usize;
+                let ac =
+                    util::load_u64(p, 6, ARC_COST_BASE, a, self.arc_cost[a] as u64) as i64;
+                let pf = util::load_u64(p, 4, POT_BASE, from, potential[from] as u64) as i64;
+                let pt = util::load_u64(p, 5, POT_BASE, to, potential[to] as u64) as i64;
+                let reduced = ac + pf - pt;
+                if reduced < 0 {
+                    negative_sum += reduced;
+                }
+                p.compute(3);
+            }
+            digest.push_u64(negative_sum as u64);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct McfUser {
+    potential: Vec<i64>,
+    parent_copy: Vec<u32>,
+    cost_copy: Vec<i64>,
+}
+
+impl Workload for Mcf {
+    fn name(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "181.mcf / 429.mcf"
+    }
+
+    fn description(&self) -> &'static str {
+        "network-simplex potential refresh over a spanning tree; most pivot attempts are silent"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        self.kernel(&mut NoProbe, 0)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let n = self.nodes;
+        let mut rt = Runtime::new(
+            cfg,
+            McfUser {
+                potential: vec![0i64; n],
+                parent_copy: Vec::new(),
+                cost_copy: Vec::new(),
+            },
+        );
+        let parent = rt.alloc_array_from(&self.parent0).expect("arena sized for workload");
+        let cost = rt.alloc_array_from(&self.cost0).expect("arena sized for workload");
+        let refresh = rt.register("refresh_potential", move |ctx| {
+            let mut parents = std::mem::take(&mut ctx.user_mut().parent_copy);
+            let mut costs = std::mem::take(&mut ctx.user_mut().cost_copy);
+            ctx.read_all_into(parent, &mut parents);
+            ctx.read_all_into(cost, &mut costs);
+            let user = ctx.user_mut();
+            for i in 1..n {
+                user.potential[i] = user.potential[parents[i] as usize] + costs[i];
+            }
+            user.parent_copy = parents;
+            user.cost_copy = costs;
+        });
+        rt.watch(refresh, parent.range()).expect("region in arena");
+        rt.watch(refresh, cost.range()).expect("region in arena");
+        rt.mark_dirty(refresh).expect("registered tthread");
+
+        let mut digest = Digest::new();
+        for pivot in &self.pivots {
+            rt.with(|ctx| {
+                ctx.write(parent, pivot.node, pivot.parent);
+                ctx.write(cost, pivot.node, pivot.cost);
+            });
+            util::must_join(&mut rt, refresh);
+            let negative_sum = rt.with(|ctx| {
+                let potential = &ctx.user().potential;
+                let mut sum = 0i64;
+                for a in 0..self.arc_from.len() {
+                    let reduced = self.arc_cost[a] + potential[self.arc_from[a] as usize]
+                        - potential[self.arc_to[a] as usize];
+                    if reduced < 0 {
+                        sum += reduced;
+                    }
+                }
+                sum
+            });
+            digest.push_u64(negative_sum as u64);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tt = b.declare_tthread("refresh_potential");
+        b.declare_watch(tt, PARENT_BASE, 4 * self.nodes as u64);
+        b.declare_watch(tt, COST_BASE, 8 * self.nodes as u64);
+        self.kernel(&mut b, tt);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtt_core::Config;
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Mcf::new(Scale::Test);
+        let base = w.run_baseline();
+        let dtt = w.run_dtt(Config::default());
+        assert_eq!(base, dtt.digest);
+    }
+
+    #[test]
+    fn dtt_matches_baseline_parallel() {
+        let w = Mcf::new(Scale::Test);
+        let base = w.run_baseline();
+        let dtt = w.run_dtt(Config::default().with_workers(2));
+        assert_eq!(base, dtt.digest);
+    }
+
+    #[test]
+    fn most_refreshes_are_skipped() {
+        let w = Mcf::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let tt = &run.tthreads[0];
+        assert_eq!(tt.name, "refresh_potential");
+        // Pivot period is 5 at test scale: ~1/5 of attempts change the tree.
+        assert!(tt.skips > tt.executions, "skips={} execs={}", tt.skips, tt.executions);
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn trace_is_well_formed_and_annotated() {
+        let w = Mcf::new(Scale::Test);
+        let tr = w.trace();
+        assert_eq!(tr.tthread_names(), &["refresh_potential".to_string()]);
+        assert_eq!(tr.watches().len(), 2);
+        assert!(tr.instructions() > 0);
+        let regions = tr.region_instructions();
+        assert!(regions[0] > 0);
+        // One region per iteration.
+        let begins = tr
+            .events()
+            .iter()
+            .filter(|e| matches!(e, dtt_trace::Event::RegionBegin { .. }))
+            .count();
+        assert_eq!(begins, w.iterations());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Mcf::new(Scale::Test);
+        let b = Mcf::new(Scale::Test);
+        assert_eq!(a.run_baseline(), b.run_baseline());
+    }
+
+    #[test]
+    fn tree_invariant_parent_below_child() {
+        let w = Mcf::new(Scale::Test);
+        for (i, &p) in w.parent0.iter().enumerate().skip(1) {
+            assert!((p as usize) < i);
+        }
+        for pv in &w.pivots {
+            assert!((pv.parent as usize) < pv.node);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! `mesa` — software vertex-transform pipeline (after SPEC 177.mesa).
+//!
+//! A classic software-GL pattern: the application reloads the model-view-
+//! projection matrix every frame (`glLoadMatrix`) even when the camera has
+//! not moved, and the pipeline dutifully re-transforms every vertex. The
+//! matrix reload is a textbook silent store; attaching the
+//! transform-and-project stage to the matrix (and the vertex buffer) as a
+//! tthread makes it run only when the camera actually moves or geometry
+//! changes.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const MATRIX_BASE: u64 = 0x1000_0000;
+const VERTEX_BASE: u64 = 0x2000_0000;
+const SCREEN_BASE: u64 = 0x3000_0000;
+
+/// Transforms one vertex by a row-major 4×4 matrix and projects to 2D.
+pub fn transform_vertex(m: &[f64], v: &[f64; 3]) -> (f64, f64) {
+    let x = m[0] * v[0] + m[1] * v[1] + m[2] * v[2] + m[3];
+    let y = m[4] * v[0] + m[5] * v[1] + m[6] * v[2] + m[7];
+    let _z = m[8] * v[0] + m[9] * v[1] + m[10] * v[2] + m[11];
+    let w = m[12] * v[0] + m[13] * v[1] + m[14] * v[2] + m[15];
+    let inv = 1.0 / (w + 4.0); // softened perspective divide
+    (x * inv, y * inv)
+}
+
+/// The mesa workload instance.
+#[derive(Debug, Clone)]
+pub struct Mesa {
+    vertices: Vec<[f64; 3]>,
+    /// Per frame: the matrix the app loads (often identical to the last).
+    frames: Vec<[f64; 16]>,
+}
+
+impl Mesa {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (verts, frames_n, camera_period) = match scale {
+            Scale::Test => (48, 12, 3),
+            Scale::Train => (2_000, 100, 3),
+            Scale::Reference => (8_000, 240, 3),
+        };
+        let mut rng = StdRng::seed_from_u64(0x6d65_7361 + verts as u64);
+        let vertices: Vec<[f64; 3]> = (0..verts)
+            .map(|_| {
+                [
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]
+            })
+            .collect();
+        let mut matrix = identityish(&mut rng);
+        let frames = (0..frames_n)
+            .map(|f| {
+                if f % camera_period == camera_period - 1 {
+                    matrix = identityish(&mut rng);
+                }
+                matrix
+            })
+            .collect();
+        Mesa { vertices, frames }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of frames rendered.
+    pub fn frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tt: u32) -> u64 {
+        let n = self.vertices.len();
+        let mut screen = vec![(0.0f64, 0.0f64); n];
+        let mut digest = Digest::new();
+        for matrix in &self.frames {
+            // glLoadMatrix: the app reloads the MVP matrix every frame.
+            for (k, &m) in matrix.iter().enumerate() {
+                util::store_f64(p, 1, MATRIX_BASE, k, m);
+            }
+            // Transform + project (the tthread region).
+            p.region_begin(tt);
+            for (k, &m) in matrix.iter().enumerate() {
+                util::load_f64(p, 2, MATRIX_BASE, k, m);
+            }
+            for (i, v) in self.vertices.iter().enumerate() {
+                util::load_f64(p, 3, VERTEX_BASE, 3 * i, v[0]);
+                screen[i] = transform_vertex(matrix, v);
+                util::store_f64(p, 4, SCREEN_BASE, 2 * i, screen[i].0);
+                util::store_f64(p, 4, SCREEN_BASE, 2 * i + 1, screen[i].1);
+                p.compute(20);
+            }
+            p.region_end(tt);
+            p.join(tt);
+
+            // Rasterization proxy: bin vertices into a 64x64 grid and fold
+            // the occupancy pattern.
+            let mut acc = 0u64;
+            for (i, &(sx, sy)) in screen.iter().enumerate() {
+                util::load_f64(p, 5, SCREEN_BASE, 2 * i, sx);
+                let px = ((sx * 32.0 + 32.0).clamp(0.0, 63.0)) as u64;
+                let py = ((sy * 32.0 + 32.0).clamp(0.0, 63.0)) as u64;
+                acc = acc.wrapping_mul(31).wrapping_add(px * 64 + py);
+                p.compute(9);
+            }
+            digest.push_u64(acc);
+        }
+        digest.finish()
+    }
+}
+
+fn identityish(rng: &mut StdRng) -> [f64; 16] {
+    let mut m = [0.0f64; 16];
+    for (i, slot) in m.iter_mut().enumerate() {
+        *slot = if i % 5 == 0 { 1.0 } else { 0.0 };
+        *slot += rng.gen_range(-0.2..0.2);
+    }
+    m
+}
+
+/// Untracked state of the DTT implementation.
+struct MesaUser {
+    vertices: Vec<[f64; 3]>,
+    screen: Vec<(f64, f64)>,
+    matrix_copy: [f64; 16],
+}
+
+impl Workload for Mesa {
+    fn name(&self) -> &'static str {
+        "mesa"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "177.mesa"
+    }
+
+    fn description(&self) -> &'static str {
+        "vertex transform gated on the MVP matrix; per-frame matrix reloads are usually silent"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        self.kernel(&mut NoProbe, 0)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let n = self.vertices.len();
+        let mut rt = Runtime::new(
+            cfg,
+            MesaUser {
+                vertices: self.vertices.clone(),
+                screen: vec![(0.0, 0.0); n],
+                matrix_copy: [0.0; 16],
+            },
+        );
+        let matrix: TrackedArray<f64> =
+            rt.alloc_array::<f64>(16).expect("arena sized for workload");
+        let transform = rt.register("vertex_transform", move |ctx| {
+            for k in 0..16 {
+                let v = ctx.read(matrix, k);
+                ctx.user_mut().matrix_copy[k] = v;
+            }
+            for i in 0..n {
+                let user = ctx.user();
+                let projected = transform_vertex(&user.matrix_copy, &user.vertices[i]);
+                ctx.user_mut().screen[i] = projected;
+            }
+        });
+        rt.watch(transform, matrix.range()).expect("region in arena");
+        rt.mark_dirty(transform).expect("registered tthread");
+
+        let mut digest = Digest::new();
+        for frame in &self.frames {
+            rt.with(|ctx| {
+                for (k, &m) in frame.iter().enumerate() {
+                    ctx.write(matrix, k, m);
+                }
+            });
+            util::must_join(&mut rt, transform);
+            let acc = rt.with(|ctx| {
+                let mut acc = 0u64;
+                for &(sx, sy) in &ctx.user().screen {
+                    let px = ((sx * 32.0 + 32.0).clamp(0.0, 63.0)) as u64;
+                    let py = ((sy * 32.0 + 32.0).clamp(0.0, 63.0)) as u64;
+                    acc = acc.wrapping_mul(31).wrapping_add(px * 64 + py);
+                }
+                acc
+            });
+            digest.push_u64(acc);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tt = b.declare_tthread("vertex_transform");
+        b.declare_watch(tt, MATRIX_BASE, 16 * 8);
+        self.kernel(&mut b, tt);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_is_affine_for_identity() {
+        let mut m = [0.0f64; 16];
+        m[0] = 1.0;
+        m[5] = 1.0;
+        m[10] = 1.0;
+        m[15] = 1.0;
+        let (x, y) = transform_vertex(&m, &[2.0, 3.0, 4.0]);
+        // w = 1, softened divide by 5.
+        assert!((x - 0.4).abs() < 1e-12);
+        assert!((y - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Mesa::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn static_camera_frames_skip_transform() {
+        let w = Mesa::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let tt = &run.tthreads[0];
+        // Camera period 3: about a third of frames move the camera.
+        assert!(tt.skips > 0);
+        assert!(tt.executions < w.frames() as u64);
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn dtt_matches_baseline_parallel() {
+        let w = Mesa::new(Scale::Test);
+        assert_eq!(
+            w.run_baseline(),
+            w.run_dtt(Config::default().with_workers(2)).digest
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Mesa::new(Scale::Test).run_baseline(), Mesa::new(Scale::Test).run_baseline());
+    }
+}

@@ -1,0 +1,350 @@
+//! `parser` — dictionary-driven sentence analysis (after SPEC 197.parser).
+//!
+//! The link-grammar parser re-derives per-sentence structures from its
+//! dictionary on every pass, although the dictionary is effectively
+//! immutable during a run. We model a service that re-analyzes its corpus
+//! every round (the baseline cannot know the dictionary is unchanged);
+//! occasional dictionary maintenance really changes a few entries, and
+//! no-op maintenance writes the same weights back. Each sentence batch is a
+//! tthread watching the dictionary.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const DICT_BASE: u64 = 0x1000_0000;
+const SCORE_BASE: u64 = 0x2000_0000;
+const TOKEN_BASE: u64 = 0x3000_0000;
+
+/// Scores one sentence against the dictionary with a two-state Viterbi-like
+/// dynamic program: each token either stands alone (its weight) or fuses
+/// with the previous token (a bigram bonus).
+///
+/// # Examples
+///
+/// ```
+/// use dtt_workloads::parser::parse_sentence;
+/// let dict = vec![5, 7, 11];
+/// assert_eq!(parse_sentence(&dict, &[0]), 5);
+/// // With two tokens, the fused path may beat the sum of singles.
+/// assert!(parse_sentence(&dict, &[0, 1]) >= 12);
+/// ```
+pub fn parse_sentence(dict: &[u32], tokens: &[u16]) -> i64 {
+    parse_sentence_with(&mut |t| dict[t as usize] as i64, tokens)
+}
+
+/// [`parse_sentence`] generalized over the weight lookup, so the DTT
+/// implementation can read weights on demand from tracked memory with the
+/// exact same arithmetic.
+pub fn parse_sentence_with<W: FnMut(u16) -> i64>(w: &mut W, tokens: &[u16]) -> i64 {
+    if tokens.is_empty() {
+        return 0;
+    }
+    // One weight lookup per token: the previous token's weight is carried
+    // across iterations (the dictionary is stable within a sentence).
+    let mut w_prev = w(tokens[0]);
+    let mut prev2 = 0i64; // score up to t-2
+    let mut prev1 = w_prev; // score up to t-1
+    for &tok in &tokens[1..] {
+        let w_cur = w(tok);
+        let single = prev1 + w_cur;
+        let fused = prev2 + (w_prev * w_cur) % 97 + 3;
+        let cur = single.max(fused);
+        prev2 = prev1;
+        prev1 = cur;
+        w_prev = w_cur;
+    }
+    prev1
+}
+
+/// One dictionary maintenance event.
+#[derive(Debug, Clone)]
+struct Maintenance {
+    /// `(entry, weight)` writes; silent when the weight is unchanged.
+    writes: Vec<(usize, u32)>,
+}
+
+/// The parser workload instance.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    dict_len: usize,
+    groups: usize,
+    dict0: Vec<u32>,
+    /// Sentences grouped into batches (one tthread per batch).
+    batches: Vec<Vec<Vec<u16>>>,
+    maintenance: Vec<Maintenance>,
+}
+
+impl Parser {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (dict_len, groups, sentences_per_group, sentence_len, rounds, real_period) =
+            match scale {
+                Scale::Test => (64, 4, 4, 8, 10, 3),
+                Scale::Train => (2_048, 8, 24, 20, 60, 5),
+                Scale::Reference => (8_192, 16, 40, 24, 120, 5),
+            };
+        let mut rng = StdRng::seed_from_u64(0x7061_7273 + dict_len as u64);
+        let dict0: Vec<u32> = (0..dict_len).map(|_| rng.gen_range(1..1000)).collect();
+        let batches: Vec<Vec<Vec<u16>>> = (0..groups)
+            .map(|_| {
+                (0..sentences_per_group)
+                    .map(|_| {
+                        (0..sentence_len)
+                            .map(|_| rng.gen_range(0..dict_len) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut dict = dict0.clone();
+        let maintenance = (0..rounds)
+            .map(|round| {
+                let mut writes = Vec::new();
+                if round % real_period == real_period - 1 {
+                    for _ in 0..3 {
+                        let e = rng.gen_range(0..dict_len);
+                        let v = rng.gen_range(1..1000);
+                        dict[e] = v;
+                        writes.push((e, v));
+                    }
+                } else {
+                    for _ in 0..3 {
+                        let e = rng.gen_range(0..dict_len);
+                        writes.push((e, dict[e]));
+                    }
+                }
+                Maintenance { writes }
+            })
+            .collect();
+        Parser {
+            dict_len,
+            groups,
+            dict0,
+            batches,
+            maintenance,
+        }
+    }
+
+    /// Dictionary entries.
+    pub fn dict_len(&self) -> usize {
+        self.dict_len
+    }
+
+    /// Sentence batches (= tthreads).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Analysis rounds.
+    pub fn rounds(&self) -> usize {
+        self.maintenance.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tts: &[u32]) -> u64 {
+        let mut dict = self.dict0.clone();
+        let mut scores = vec![0i64; self.groups];
+        let mut digest = Digest::new();
+        // Program initialization: load the dictionary.
+        for (e, &v) in dict.iter().enumerate() {
+            util::store_u32(p, 0, DICT_BASE, e, v);
+        }
+        for maint in &self.maintenance {
+            for &(e, v) in &maint.writes {
+                util::store_u32(p, 1, DICT_BASE, e, v);
+                dict[e] = v;
+            }
+            for (g, batch) in self.batches.iter().enumerate() {
+                p.region_begin(tts[g]);
+                let mut total = 0i64;
+                for sentence in batch {
+                    for &t in sentence {
+                        util::load_u32(p, 2, DICT_BASE, t as usize, dict[t as usize]);
+                    }
+                    p.compute(6 * sentence.len() as u64);
+                    total += parse_sentence(&dict, sentence);
+                }
+                scores[g] = total;
+                util::store_u64(p, 3, SCORE_BASE, g, total as u64);
+                p.region_end(tts[g]);
+                p.join(tts[g]);
+            }
+            for &s in &scores {
+                digest.push_u64(s as u64);
+            }
+            // Query pass: the service answers lookups against the cached
+            // analyses every round, scanning the token streams.
+            let mut answer = 0i64;
+            for (g, batch) in self.batches.iter().enumerate() {
+                let base = TOKEN_BASE + ((g as u64) << 20);
+                let mut off = 0usize;
+                for sentence in batch {
+                    for &t in sentence {
+                        util::load_u32(p, 4, base, off, t as u32);
+                        off += 1;
+                        answer += scores[g] % 1000 + t as i64;
+                    }
+                    p.compute(12 * sentence.len() as u64);
+                }
+            }
+            digest.push_u64(answer as u64);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct ParserUser {
+    batches: Vec<Vec<Vec<u16>>>,
+    scores: Vec<i64>,
+}
+
+impl Workload for Parser {
+    fn name(&self) -> &'static str {
+        "parser"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "197.parser"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-batch sentence re-analysis gated on dictionary changes; most maintenance is silent"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        let tts: Vec<u32> = (0..self.groups as u32).collect();
+        self.kernel(&mut NoProbe, &tts)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let dict_len = self.dict_len;
+        let mut rt = Runtime::new(
+            cfg,
+            ParserUser {
+                batches: self.batches.clone(),
+                scores: vec![0i64; self.groups],
+            },
+        );
+        let dict: TrackedArray<u32> = rt
+            .alloc_array_from(&self.dict0)
+            .expect("arena sized for workload");
+        let mut tts = Vec::with_capacity(self.groups);
+        for g in 0..self.groups {
+            let tt = rt.register(&format!("parse_batch_{g}"), move |ctx| {
+                // Read dictionary weights on demand: each batch touches only
+                // a small slice of the dictionary.
+                let batch = std::mem::take(&mut ctx.user_mut().batches[g]);
+                let total = batch
+                    .iter()
+                    .map(|s| parse_sentence_with(&mut |t| ctx.read(dict, t as usize) as i64, s))
+                    .sum::<i64>();
+                let user = ctx.user_mut();
+                user.batches[g] = batch;
+                user.scores[g] = total;
+                let _ = dict_len;
+            });
+            rt.watch(tt, dict.range()).expect("region in arena");
+            rt.mark_dirty(tt).expect("registered tthread");
+            tts.push(tt);
+        }
+
+        let mut digest = Digest::new();
+        for maint in &self.maintenance {
+            rt.with(|ctx| {
+                for &(e, v) in &maint.writes {
+                    ctx.write(dict, e, v);
+                }
+            });
+            for &tt in &tts {
+                util::must_join(&mut rt, tt);
+            }
+            rt.with(|ctx| {
+                let user = ctx.user();
+                for &s in &user.scores {
+                    digest.push_u64(s as u64);
+                }
+                let mut answer = 0i64;
+                for (g, batch) in user.batches.iter().enumerate() {
+                    for sentence in batch {
+                        for &t in sentence {
+                            answer += user.scores[g] % 1000 + t as i64;
+                        }
+                    }
+                }
+                digest.push_u64(answer as u64);
+            });
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tts: Vec<u32> = (0..self.groups)
+            .map(|g| {
+                let tt = b.declare_tthread(&format!("parse_batch_{g}"));
+                b.declare_watch(tt, DICT_BASE, 4 * self.dict_len as u64);
+                tt
+            })
+            .collect();
+        self.kernel(&mut b, &tts);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_dp_prefers_best_path() {
+        let dict = vec![10, 10, 10];
+        // Three singles = 30; any fusion = 10 + (100 % 97 + 3) = 16 at best
+        // for the pair plus 10 for the remaining single = 26.
+        assert_eq!(parse_sentence(&dict, &[0, 1, 2]), 30);
+        assert_eq!(parse_sentence(&dict, &[]), 0);
+    }
+
+    #[test]
+    fn fused_path_wins_when_bonus_is_large() {
+        // w=1: singles 1+1=2; fused = (1*1)%97+3 = 4.
+        let dict = vec![1, 1];
+        assert_eq!(parse_sentence(&dict, &[0, 1]), 4);
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Parser::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn silent_maintenance_skips_all_batches() {
+        let w = Parser::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let skips: u64 = run.tthreads.iter().map(|t| t.skips).sum();
+        let execs: u64 = run.tthreads.iter().map(|t| t.executions).sum();
+        assert!(skips > execs, "skips={skips} execs={execs}");
+    }
+
+    #[test]
+    fn dtt_matches_baseline_parallel() {
+        let w = Parser::new(Scale::Test);
+        assert_eq!(
+            w.run_baseline(),
+            w.run_dtt(Config::default().with_workers(2)).digest
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            Parser::new(Scale::Test).run_baseline(),
+            Parser::new(Scale::Test).run_baseline()
+        );
+    }
+}

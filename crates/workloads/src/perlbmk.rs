@@ -1,0 +1,356 @@
+//! `perlbmk` — interpreter with pattern recompilation (after SPEC
+//! 253.perlbmk).
+//!
+//! An interpreter compiles patterns (regexes, format strings) into
+//! dispatch structures and then runs inputs through them. Scripts reload
+//! their configuration constantly — and almost always compile the *same*
+//! pattern to the same opcodes, making recompilation pure redundancy. The
+//! compile step (building a first-byte dispatch index over the opcode
+//! program) is a tthread watching the opcode array.
+//!
+//! The matcher is a tiny byte-code machine: `Lit(b)` matches one byte,
+//! `Class(mask)` matches a byte class, `Star(b)` greedily consumes a run.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const PROGRAM_BASE: u64 = 0x1000_0000;
+const DISPATCH_BASE: u64 = 0x2000_0000;
+const INPUT_BASE: u64 = 0x3000_0000;
+
+/// Opcode encoding inside a `u64`: tag in the top byte, payload below.
+const OP_LIT: u64 = 1 << 56;
+const OP_CLASS: u64 = 2 << 56;
+const OP_STAR: u64 = 3 << 56;
+
+/// Builds a dispatch index over the program: for each possible first byte
+/// (0..256) the index of the first opcode that could start a match there,
+/// or `u32::MAX`.
+pub fn compile_dispatch(program: &[u64]) -> Vec<u32> {
+    let mut dispatch = vec![u32::MAX; 256];
+    for (pc, &op) in program.iter().enumerate() {
+        let tag = op & (0xff << 56);
+        let payload = op & 0xff;
+        match tag {
+            t if t == OP_LIT || t == OP_STAR => {
+                let b = payload as usize;
+                if dispatch[b] == u32::MAX {
+                    dispatch[b] = pc as u32;
+                }
+            }
+            t if t == OP_CLASS => {
+                // Class over a 4-byte stride: payload, payload+4, ...
+                let mut b = payload as usize;
+                while b < 256 {
+                    if dispatch[b] == u32::MAX {
+                        dispatch[b] = pc as u32;
+                    }
+                    b += 4;
+                }
+            }
+            _ => {}
+        }
+    }
+    dispatch
+}
+
+/// Runs `input` through the program starting at the opcode the dispatch
+/// index selects for its first byte; returns the number of bytes matched.
+pub fn run_match(program: &[u64], dispatch: &[u32], input: &[u8]) -> u32 {
+    let Some(&first) = input.first() else { return 0 };
+    let start = dispatch[first as usize];
+    if start == u32::MAX {
+        return 0;
+    }
+    let mut pc = start as usize;
+    let mut pos = 0usize;
+    while pc < program.len() && pos < input.len() {
+        let op = program[pc];
+        let tag = op & (0xff << 56);
+        let payload = (op & 0xff) as u8;
+        match tag {
+            t if t == OP_LIT => {
+                if input[pos] != payload {
+                    break;
+                }
+                pos += 1;
+                pc += 1;
+            }
+            t if t == OP_CLASS => {
+                if input[pos] % 4 != payload % 4 {
+                    break;
+                }
+                pos += 1;
+                pc += 1;
+            }
+            t if t == OP_STAR => {
+                while pos < input.len() && input[pos] == payload {
+                    pos += 1;
+                }
+                pc += 1;
+            }
+            _ => break,
+        }
+    }
+    pos as u32
+}
+
+/// One interpreter round.
+#[derive(Debug, Clone)]
+struct PerlRound {
+    /// Pattern writes `(index, opcode)` — configuration reloads mostly
+    /// rewrite the same program.
+    writes: Vec<(usize, u64)>,
+    /// Input lines to match this round.
+    inputs: Vec<Vec<u8>>,
+}
+
+/// The perlbmk workload instance.
+#[derive(Debug, Clone)]
+pub struct Perlbmk {
+    program_len: usize,
+    program0: Vec<u64>,
+    rounds: Vec<PerlRound>,
+}
+
+impl Perlbmk {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (program_len, rounds_n, inputs_n, input_len, edit_period) = match scale {
+            Scale::Test => (16, 10, 6, 16, 3),
+            Scale::Train => (96, 80, 48, 64, 4),
+            Scale::Reference => (128, 200, 64, 96, 4),
+        };
+        let mut rng = StdRng::seed_from_u64(0x7065_726c);
+        let gen_op = |rng: &mut StdRng| -> u64 {
+            match rng.gen_range(0..3) {
+                0 => OP_LIT | rng.gen_range(b'a'..=b'f') as u64,
+                1 => OP_CLASS | rng.gen_range(0..4) as u64,
+                _ => OP_STAR | rng.gen_range(b'a'..=b'f') as u64,
+            }
+        };
+        let program0: Vec<u64> = (0..program_len).map(|_| gen_op(&mut rng)).collect();
+        let mut program = program0.clone();
+        let rounds = (0..rounds_n)
+            .map(|round| {
+                let mut writes = Vec::new();
+                // Configuration reload: rewrite a window of the program.
+                for k in 0..6 {
+                    let i = rng.gen_range(0..program_len);
+                    if k == 0 && round % edit_period == edit_period - 1 {
+                        let op = gen_op(&mut rng);
+                        program[i] = op;
+                        writes.push((i, op));
+                    } else {
+                        writes.push((i, program[i]));
+                    }
+                }
+                let inputs = (0..inputs_n)
+                    .map(|_| {
+                        (0..input_len)
+                            .map(|_| rng.gen_range(b'a'..=b'h'))
+                            .collect()
+                    })
+                    .collect();
+                PerlRound { writes, inputs }
+            })
+            .collect();
+        Perlbmk {
+            program_len,
+            program0,
+            rounds,
+        }
+    }
+
+    /// Opcodes in the compiled pattern.
+    pub fn program_len(&self) -> usize {
+        self.program_len
+    }
+
+    /// Interpreter rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tt: u32) -> u64 {
+        let mut program = self.program0.clone();
+        let mut dispatch = vec![u32::MAX; 256];
+        let mut digest = Digest::new();
+        // Program initialization: load the compiled pattern.
+        for (i, &op) in program.iter().enumerate() {
+            util::store_u64(p, 0, PROGRAM_BASE, i, op);
+        }
+        for round in &self.rounds {
+            for &(i, op) in &round.writes {
+                util::store_u64(p, 1, PROGRAM_BASE, i, op);
+                program[i] = op;
+            }
+            // Recompile the dispatch index (the tthread region).
+            p.region_begin(tt);
+            for (i, &op) in program.iter().enumerate() {
+                util::load_u64(p, 2, PROGRAM_BASE, i, op);
+            }
+            p.compute((self.program_len * 8 + 256) as u64);
+            dispatch = compile_dispatch(&program);
+            util::store_u64(p, 3, DISPATCH_BASE, 0, dispatch[0] as u64);
+            p.region_end(tt);
+            p.join(tt);
+
+            // Match the round's inputs.
+            let mut matched = 0u64;
+            for (k, input) in round.inputs.iter().enumerate() {
+                for (j, &byte) in input.iter().enumerate() {
+                    util::load_u8(p, 4, INPUT_BASE + ((k as u64) << 12), j, byte);
+                }
+                p.compute(4 * input.len() as u64);
+                matched = matched
+                    .wrapping_mul(31)
+                    .wrapping_add(run_match(&program, &dispatch, input) as u64);
+            }
+            digest.push_u64(matched);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct PerlUser {
+    dispatch: Vec<u32>,
+    scratch: Vec<u64>,
+}
+
+impl Workload for Perlbmk {
+    fn name(&self) -> &'static str {
+        "perlbmk"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "253.perlbmk"
+    }
+
+    fn description(&self) -> &'static str {
+        "pattern recompilation gated on opcode changes; config reloads are mostly silent"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        self.kernel(&mut NoProbe, 0)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let mut rt = Runtime::new(
+            cfg,
+            PerlUser {
+                dispatch: vec![u32::MAX; 256],
+                scratch: Vec::new(),
+            },
+        );
+        let program: TrackedArray<u64> =
+            rt.alloc_array_from(&self.program0).expect("arena sized for workload");
+        let compile = rt.register("compile_dispatch", move |ctx| {
+            let mut scratch = std::mem::take(&mut ctx.user_mut().scratch);
+            ctx.read_all_into(program, &mut scratch);
+            let dispatch = compile_dispatch(&scratch);
+            let user = ctx.user_mut();
+            user.scratch = scratch;
+            user.dispatch = dispatch;
+        });
+        rt.watch(compile, program.range()).expect("region in arena");
+        rt.mark_dirty(compile).expect("registered tthread");
+
+        let mut shadow = self.program0.clone();
+        let mut digest = Digest::new();
+        for round in &self.rounds {
+            rt.with(|ctx| {
+                for &(i, op) in &round.writes {
+                    ctx.write(program, i, op);
+                    shadow[i] = op;
+                }
+            });
+            util::must_join(&mut rt, compile);
+            let matched = rt.with(|ctx| {
+                let dispatch = &ctx.user().dispatch;
+                let mut matched = 0u64;
+                for input in &round.inputs {
+                    matched = matched
+                        .wrapping_mul(31)
+                        .wrapping_add(run_match(&shadow, dispatch, input) as u64);
+                }
+                matched
+            });
+            digest.push_u64(matched);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tt = b.declare_tthread("compile_dispatch");
+        b.declare_watch(tt, PROGRAM_BASE, 8 * self.program_len as u64);
+        self.kernel(&mut b, tt);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_points_at_first_starter() {
+        let program = vec![OP_LIT | b'a' as u64, OP_LIT | b'b' as u64, OP_LIT | b'a' as u64];
+        let d = compile_dispatch(&program);
+        assert_eq!(d[b'a' as usize], 0);
+        assert_eq!(d[b'b' as usize], 1);
+        assert_eq!(d[b'z' as usize], u32::MAX);
+    }
+
+    #[test]
+    fn literal_run_matches_greedily() {
+        // Program: a* then literal b.
+        let program = vec![OP_STAR | b'a' as u64, OP_LIT | b'b' as u64];
+        let d = compile_dispatch(&program);
+        assert_eq!(run_match(&program, &d, b"aaab"), 4);
+        // Input starting at 'b' dispatches straight to the literal opcode.
+        assert_eq!(run_match(&program, &d, b"b"), 1);
+        assert_eq!(run_match(&program, &d, b"aaz"), 2);
+        assert_eq!(run_match(&program, &d, b""), 0);
+    }
+
+    #[test]
+    fn class_matches_stride() {
+        let program = vec![OP_CLASS | 1u64];
+        let d = compile_dispatch(&program);
+        // byte 5: 5 % 4 == 1 matches class payload 1.
+        assert_eq!(run_match(&program, &d, &[5]), 1);
+        assert_eq!(run_match(&program, &d, &[6]), 0);
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Perlbmk::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn silent_reloads_skip_recompilation() {
+        let w = Perlbmk::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        let tt = &run.tthreads[0];
+        assert!(tt.skips > 0);
+        assert!(tt.executions < w.rounds() as u64);
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            Perlbmk::new(Scale::Test).run_baseline(),
+            Perlbmk::new(Scale::Test).run_baseline()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! The workload abstraction and the benchmark suite registry.
+
+use std::fmt;
+
+use dtt_core::{Config, StatsSnapshot};
+use dtt_trace::Trace;
+
+/// Input scale of a workload run, mirroring SPEC's test/train/ref inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Tiny inputs for unit tests.
+    Test,
+    /// Medium inputs for quick experiments.
+    #[default]
+    Train,
+    /// Full-size inputs for the headline numbers.
+    Reference,
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scale::Test => "test",
+            Scale::Train => "train",
+            Scale::Reference => "ref",
+        })
+    }
+}
+
+/// Per-tthread report from a DTT run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TthreadReport {
+    /// Name the tthread was registered under.
+    pub name: String,
+    /// Times the tthread body executed.
+    pub executions: u64,
+    /// Joins that skipped because the tthread was clean.
+    pub skips: u64,
+    /// Triggers raised for the tthread.
+    pub triggers: u64,
+}
+
+/// Result of running a workload's DTT implementation.
+#[derive(Debug, Clone)]
+pub struct DttRun {
+    /// Digest of the computation's outputs; must equal the baseline digest.
+    pub digest: u64,
+    /// Runtime statistics.
+    pub stats: StatsSnapshot,
+    /// Per-tthread counters.
+    pub tthreads: Vec<TthreadReport>,
+}
+
+/// A benchmark kernel with baseline, DTT, and traced implementations.
+///
+/// Implementations guarantee that [`Workload::run_baseline`] and
+/// [`Workload::run_dtt`] compute bit-identical digests — the DTT refactoring
+/// is semantics-preserving — and that [`Workload::trace`] replays the
+/// baseline computation with region/watch annotations.
+pub trait Workload {
+    /// Short kernel name (`"mcf"`, `"equake"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The SPEC benchmark this kernel is modelled after.
+    fn spec_inspiration(&self) -> &'static str;
+
+    /// One-line description of the kernel and its redundancy structure.
+    fn description(&self) -> &'static str;
+
+    /// Runs the un-instrumented baseline and returns the output digest.
+    fn run_baseline(&self) -> u64;
+
+    /// Runs the DTT implementation on a fresh runtime configured by `cfg`.
+    fn run_dtt(&self, cfg: Config) -> DttRun;
+
+    /// Emits the annotated program trace of the baseline execution.
+    fn trace(&self) -> Trace;
+}
+
+/// Builds the full suite at the given scale, in the paper's listing order.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::mcf::Mcf::new(scale)),
+        Box::new(crate::equake::Equake::new(scale)),
+        Box::new(crate::art::Art::new(scale)),
+        Box::new(crate::ammp::Ammp::new(scale)),
+        Box::new(crate::bzip2::Bzip2::new(scale)),
+        Box::new(crate::gzip::Gzip::new(scale)),
+        Box::new(crate::parser::Parser::new(scale)),
+        Box::new(crate::twolf::Twolf::new(scale)),
+        Box::new(crate::vpr::Vpr::new(scale)),
+        Box::new(crate::mesa::Mesa::new(scale)),
+        Box::new(crate::vortex::Vortex::new(scale)),
+        Box::new(crate::crafty::Crafty::new(scale)),
+        Box::new(crate::gap::Gap::new(scale)),
+        Box::new(crate::perlbmk::Perlbmk::new(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fourteen_distinct_kernels() {
+        let s = suite(Scale::Test);
+        assert_eq!(s.len(), 14);
+        let mut names: Vec<_> = s.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn every_kernel_names_its_spec_model() {
+        for w in suite(Scale::Test) {
+            assert!(!w.spec_inspiration().is_empty());
+            assert!(!w.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn scale_display() {
+        assert_eq!(Scale::Test.to_string(), "test");
+        assert_eq!(Scale::Train.to_string(), "train");
+        assert_eq!(Scale::Reference.to_string(), "ref");
+        assert_eq!(Scale::default(), Scale::Train);
+    }
+}

@@ -1,0 +1,348 @@
+//! `twolf` — standard-cell placement cost maintenance (after SPEC
+//! 300.twolf).
+//!
+//! twolf's simulated-annealing placer re-derives net bounding-box costs
+//! around every move, and a large fraction of proposed moves are rejected —
+//! the cell's position is written back unchanged, a silent store. Grouping
+//! nets into blocks and attaching each block's half-perimeter wire length
+//! (HPWL) sum to the positions of the cells on its nets turns the cost
+//! refresh into tthreads that only fire for accepted moves near them.
+//!
+//! Positions are packed `x<<32 | y` in one tracked word per cell so a move
+//! is a single store.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::util::{self, Digest};
+
+const POS_BASE: u64 = 0x1000_0000;
+const COST_BASE: u64 = 0x2000_0000;
+
+/// Packs grid coordinates into one tracked word.
+pub fn pack_xy(x: u32, y: u32) -> u64 {
+    ((x as u64) << 32) | y as u64
+}
+
+/// Half-perimeter wire length of one net given packed cell positions.
+pub fn net_hpwl(positions: &[u64], net: &[u32]) -> u64 {
+    let mut min_x = u32::MAX;
+    let mut max_x = 0u32;
+    let mut min_y = u32::MAX;
+    let mut max_y = 0u32;
+    for &cell in net {
+        let p = positions[cell as usize];
+        let x = (p >> 32) as u32;
+        let y = p as u32;
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    (max_x - min_x) as u64 + (max_y - min_y) as u64
+}
+
+/// The twolf workload instance.
+#[derive(Debug, Clone)]
+pub struct Twolf {
+    cells: usize,
+    groups: usize,
+    pos0: Vec<u64>,
+    /// Nets as cell-id lists, partitioned into `groups` blocks.
+    net_groups: Vec<Vec<Vec<u32>>>,
+    /// Annealing schedule: `(cell, packed_position)` — rejected moves write
+    /// the old position back.
+    moves: Vec<(usize, u64)>,
+}
+
+impl Twolf {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        let (cells, nets, groups, net_size, moves_n, accept_period) = match scale {
+            Scale::Test => (32, 16, 4, 3, 40, 3),
+            Scale::Train => (256, 96, 4, 6, 400, 2),
+            Scale::Reference => (512, 192, 8, 6, 1_000, 2),
+        };
+        let mut rng = StdRng::seed_from_u64(0x7477_6f6c + cells as u64);
+        let pos0: Vec<u64> = (0..cells)
+            .map(|_| pack_xy(rng.gen_range(0..256), rng.gen_range(0..256)))
+            .collect();
+        let nets_per_group = nets / groups;
+        let net_groups: Vec<Vec<Vec<u32>>> = (0..groups)
+            .map(|_| {
+                (0..nets_per_group)
+                    .map(|_| {
+                        (0..net_size)
+                            .map(|_| rng.gen_range(0..cells) as u32)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut pos = pos0.clone();
+        let moves = (0..moves_n)
+            .map(|m| {
+                let cell = rng.gen_range(0..cells);
+                if m % accept_period == accept_period - 1 {
+                    // Accepted move.
+                    let p = pack_xy(rng.gen_range(0..256), rng.gen_range(0..256));
+                    pos[cell] = p;
+                    (cell, p)
+                } else {
+                    // Rejected move: position written back unchanged.
+                    (cell, pos[cell])
+                }
+            })
+            .collect();
+        Twolf {
+            cells,
+            groups,
+            pos0,
+            net_groups,
+            moves,
+        }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of net groups (= tthreads).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of annealing moves.
+    pub fn moves(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Index from cell id to the `(group, net)` pairs it appears on.
+    fn cell_nets(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut index = vec![Vec::new(); self.cells];
+        for (g, nets) in self.net_groups.iter().enumerate() {
+            for (ni, net) in nets.iter().enumerate() {
+                for &c in net {
+                    if !index[c as usize].contains(&(g, ni)) {
+                        index[c as usize].push((g, ni));
+                    }
+                }
+            }
+        }
+        index
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tts: &[u32]) -> u64 {
+        let mut pos = self.pos0.clone();
+        let mut costs = vec![0u64; self.groups];
+        let cell_nets = self.cell_nets();
+        let mut digest = Digest::new();
+        // Program initialization: the initial placement.
+        for (c, &v) in pos.iter().enumerate() {
+            util::store_u64(p, 0, POS_BASE, c, v);
+        }
+        for &(cell, packed) in &self.moves {
+            util::store_u64(p, 1, POS_BASE, cell, packed);
+            pos[cell] = packed;
+            // Delta evaluation: the annealer prices the affected nets and
+            // runs its acceptance bookkeeping on every move.
+            let mut delta = 0u64;
+            for &(g, ni) in &cell_nets[cell] {
+                let net = &self.net_groups[g][ni];
+                for &c in net {
+                    util::load_u64(p, 4, POS_BASE, c as usize, pos[c as usize]);
+                }
+                p.compute(6 * net.len() as u64);
+                delta += net_hpwl(&pos, net);
+            }
+            p.compute(800);
+            digest.push_u64(delta);
+            for (g, nets) in self.net_groups.iter().enumerate() {
+                p.region_begin(tts[g]);
+                let mut total = 0u64;
+                for net in nets {
+                    for &c in net {
+                        util::load_u64(p, 2, POS_BASE, c as usize, pos[c as usize]);
+                    }
+                    p.compute(4 * net.len() as u64);
+                    total += net_hpwl(&pos, net);
+                }
+                costs[g] = total;
+                util::store_u64(p, 3, COST_BASE, g, total);
+                p.region_end(tts[g]);
+                p.join(tts[g]);
+            }
+            let cost: u64 = costs.iter().sum();
+            p.compute(self.groups as u64);
+            digest.push_u64(cost);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct TwolfUser {
+    net_groups: Vec<Vec<Vec<u32>>>,
+    costs: Vec<u64>,
+    pos_copy: Vec<u64>,
+}
+
+impl Workload for Twolf {
+    fn name(&self) -> &'static str {
+        "twolf"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "300.twolf"
+    }
+
+    fn description(&self) -> &'static str {
+        "annealing net-cost refresh; rejected moves are silent stores, accepted moves dirty nearby nets"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        let tts: Vec<u32> = (0..self.groups as u32).collect();
+        self.kernel(&mut NoProbe, &tts)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let cells = self.cells;
+        let mut rt = Runtime::new(
+            cfg,
+            TwolfUser {
+                net_groups: self.net_groups.clone(),
+                costs: vec![0u64; self.groups],
+                pos_copy: vec![0u64; cells],
+            },
+        );
+        let pos: TrackedArray<u64> =
+            rt.alloc_array_from(&self.pos0).expect("arena sized for workload");
+        let mut tts = Vec::with_capacity(self.groups);
+        for g in 0..self.groups {
+            let tt = rt.register(&format!("hpwl_group_{g}"), move |ctx| {
+                let mut pos_copy = std::mem::take(&mut ctx.user_mut().pos_copy);
+                ctx.read_all_into(pos, &mut pos_copy);
+                let user = ctx.user_mut();
+                user.costs[g] = user.net_groups[g]
+                    .iter()
+                    .map(|net| net_hpwl(&pos_copy, net))
+                    .sum::<u64>();
+                user.pos_copy = pos_copy;
+                let _ = cells;
+            });
+            // Watch exactly the cells appearing on this group's nets.
+            let mut watched: Vec<u32> = self.net_groups[g]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            watched.sort_unstable();
+            watched.dedup();
+            for c in watched {
+                rt.watch(tt, pos.range_of(c as usize, c as usize + 1))
+                    .expect("region in arena");
+            }
+            rt.mark_dirty(tt).expect("registered tthread");
+            tts.push(tt);
+        }
+
+        let mut digest = Digest::new();
+        let cell_nets = self.cell_nets();
+        let mut pos_main = self.pos0.clone();
+        for &(cell, packed) in &self.moves {
+            rt.with(|ctx| ctx.write(pos, cell, packed));
+            pos_main[cell] = packed;
+            let mut delta = 0u64;
+            for &(g, ni) in &cell_nets[cell] {
+                delta += net_hpwl(&pos_main, &self.net_groups[g][ni]);
+            }
+            digest.push_u64(delta);
+            for &tt in &tts {
+                util::must_join(&mut rt, tt);
+            }
+            let cost = rt.with(|ctx| ctx.user().costs.iter().sum::<u64>());
+            digest.push_u64(cost);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tts: Vec<u32> = (0..self.groups)
+            .map(|g| {
+                let tt = b.declare_tthread(&format!("hpwl_group_{g}"));
+                let mut watched: Vec<u32> = self.net_groups[g]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                watched.sort_unstable();
+                watched.dedup();
+                for c in watched {
+                    b.declare_watch(tt, POS_BASE + c as u64 * 8, 8);
+                }
+                tt
+            })
+            .collect();
+        self.kernel(&mut b, &tts);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpwl_basics() {
+        let pos = vec![pack_xy(0, 0), pack_xy(10, 5), pack_xy(3, 20)];
+        assert_eq!(net_hpwl(&pos, &[0, 1]), 15);
+        assert_eq!(net_hpwl(&pos, &[0, 1, 2]), 10 + 20);
+        assert_eq!(net_hpwl(&pos, &[2]), 0);
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Twolf::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn rejected_moves_skip_everything() {
+        let w = Twolf::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        // Accept period 3: two thirds of moves are silent.
+        assert!(run.stats.counters().silent_stores > 0);
+        let skips: u64 = run.tthreads.iter().map(|t| t.skips).sum();
+        let execs: u64 = run.tthreads.iter().map(|t| t.executions).sum();
+        assert!(skips > execs, "skips={skips} execs={execs}");
+    }
+
+    #[test]
+    fn accepted_move_dirties_only_touching_groups() {
+        let w = Twolf::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        // Sanity: at least one group executed more than once (its cells
+        // moved) while total executions stay well below moves * groups.
+        let execs: u64 = run.tthreads.iter().map(|t| t.executions).sum();
+        assert!(execs < (w.moves() * w.groups()) as u64);
+        assert!(execs >= w.groups() as u64);
+    }
+
+    #[test]
+    fn trace_watches_per_cell() {
+        let w = Twolf::new(Scale::Test);
+        let tr = w.trace();
+        assert!(tr.watches().len() >= w.groups());
+        assert!(tr.watches().iter().all(|x| x.len == 8));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Twolf::new(Scale::Test).run_baseline(), Twolf::new(Scale::Test).run_baseline());
+    }
+}

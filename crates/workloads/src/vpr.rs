@@ -1,0 +1,315 @@
+//! `vpr` — FPGA placement with timing analysis (after SPEC 175.vpr).
+//!
+//! vpr's timing-driven placer maintains two derived quantities over the
+//! placement: total wiring cost and the critical-path delay through the
+//! netlist DAG. Both are functions of cell positions; both get recomputed
+//! around every proposed move although most proposals are rejected (the
+//! position store is silent). Two tthreads — `wiring` and `timing` — watch
+//! the position array and rerun only after accepted moves.
+//!
+//! Positions are packed `x<<32 | y` words on an integer grid, so all cost
+//! arithmetic is exact.
+
+use dtt_core::{Config, Runtime, TrackedArray};
+use dtt_trace::{NoProbe, Probe, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::{DttRun, Scale, Workload};
+use crate::twolf::pack_xy;
+use crate::util::{self, Digest};
+
+const POS_BASE: u64 = 0x1000_0000;
+const ARRIVAL_BASE: u64 = 0x2000_0000;
+const WIRE_BASE: u64 = 0x3000_0000;
+
+/// Manhattan distance between two packed positions.
+pub fn manhattan(a: u64, b: u64) -> u64 {
+    let (ax, ay) = ((a >> 32) as i64, (a as u32) as i64);
+    let (bx, by) = ((b >> 32) as i64, (b as u32) as i64);
+    (ax - bx).unsigned_abs() + (ay - by).unsigned_abs()
+}
+
+/// Longest-path arrival times over the DAG; edges go from lower to higher
+/// node ids, so id order is topological. Returns the critical-path delay.
+pub fn critical_path(positions: &[u64], edges: &[(u32, u32)], arrival: &mut [u64]) -> u64 {
+    arrival.fill(0);
+    for &(u, v) in edges {
+        let delay = manhattan(positions[u as usize], positions[v as usize]) + 1;
+        let cand = arrival[u as usize] + delay;
+        if cand > arrival[v as usize] {
+            arrival[v as usize] = cand;
+        }
+    }
+    arrival.iter().copied().max().unwrap_or(0)
+}
+
+/// Total wiring cost: sum of Manhattan lengths over all edges.
+pub fn wiring_cost(positions: &[u64], edges: &[(u32, u32)]) -> u64 {
+    edges
+        .iter()
+        .map(|&(u, v)| manhattan(positions[u as usize], positions[v as usize]))
+        .sum()
+}
+
+/// The vpr workload instance.
+#[derive(Debug, Clone)]
+pub struct Vpr {
+    cells: usize,
+    pos0: Vec<u64>,
+    /// DAG edges `(u, v)` with `u < v`.
+    edges: Vec<(u32, u32)>,
+    /// Move schedule: `(cell, packed_position)`; rejected moves are silent.
+    moves: Vec<(usize, u64)>,
+}
+
+impl Vpr {
+    /// Generates the instance for `scale` (deterministic).
+    pub fn new(scale: Scale) -> Self {
+        // `reject_period`: every k-th proposal is rejected (a silent store);
+        // the rest are accepted — vpr anneals at high acceptance early on.
+        let (cells, edges_n, moves_n, reject_period) = match scale {
+            Scale::Test => (32, 64, 40, 4),
+            Scale::Train => (600, 1_200, 400, 3),
+            Scale::Reference => (1_500, 3_000, 1_000, 3),
+        };
+        let mut rng = StdRng::seed_from_u64(0x7670_7200 + cells as u64);
+        let pos0: Vec<u64> = (0..cells)
+            .map(|_| pack_xy(rng.gen_range(0..128), rng.gen_range(0..128)))
+            .collect();
+        let mut edges: Vec<(u32, u32)> = (0..edges_n)
+            .map(|_| {
+                let v = rng.gen_range(1..cells) as u32;
+                let u = rng.gen_range(0..v);
+                (u, v)
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut pos = pos0.clone();
+        let moves = (0..moves_n)
+            .map(|m| {
+                let cell = rng.gen_range(0..cells);
+                if m % reject_period == reject_period - 1 {
+                    (cell, pos[cell])
+                } else {
+                    let p = pack_xy(rng.gen_range(0..128), rng.gen_range(0..128));
+                    pos[cell] = p;
+                    (cell, p)
+                }
+            })
+            .collect();
+        Vpr {
+            cells,
+            pos0,
+            edges,
+            moves,
+        }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of DAG edges.
+    pub fn edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of placement moves.
+    pub fn moves(&self) -> usize {
+        self.moves.len()
+    }
+
+    fn kernel<P: Probe>(&self, p: &mut P, tt_wire: u32, tt_timing: u32) -> u64 {
+        let mut pos = self.pos0.clone();
+        let mut arrival = vec![0u64; self.cells];
+        let mut digest = Digest::new();
+        // Program initialization: the initial placement.
+        for (c, &v) in pos.iter().enumerate() {
+            util::store_u64(p, 0, POS_BASE, c, v);
+        }
+        for &(cell, packed) in &self.moves {
+            util::store_u64(p, 1, POS_BASE, cell, packed);
+            pos[cell] = packed;
+
+            p.region_begin(tt_wire);
+            for &(u, v) in &self.edges {
+                util::load_u64(p, 2, POS_BASE, u as usize, pos[u as usize]);
+                util::load_u64(p, 2, POS_BASE, v as usize, pos[v as usize]);
+            }
+            p.compute(4 * self.edges.len() as u64);
+            let wire = wiring_cost(&pos, &self.edges);
+            util::store_u64(p, 3, WIRE_BASE, 0, wire);
+            p.region_end(tt_wire);
+            p.join(tt_wire);
+
+            p.region_begin(tt_timing);
+            for &(u, v) in &self.edges {
+                util::load_u64(p, 4, POS_BASE, u as usize, pos[u as usize]);
+                util::load_u64(p, 4, POS_BASE, v as usize, pos[v as usize]);
+            }
+            p.compute(6 * self.edges.len() as u64);
+            let crit = critical_path(&pos, &self.edges, &mut arrival);
+            // The slack pass reads every arrival time back; arrival values
+            // shift whenever any upstream cell moved.
+            for (i, &a) in arrival.iter().enumerate() {
+                util::load_u64(p, 6, ARRIVAL_BASE, i + 1, a);
+            }
+            util::store_u64(p, 5, ARRIVAL_BASE, 0, crit);
+            p.region_end(tt_timing);
+            p.join(tt_timing);
+
+            // Placer cost: wiring + weighted timing.
+            let cost = wire + 8 * crit;
+            p.compute(2);
+            digest.push_u64(cost);
+        }
+        digest.finish()
+    }
+}
+
+/// Untracked state of the DTT implementation.
+struct VprUser {
+    edges: Vec<(u32, u32)>,
+    pos_copy: Vec<u64>,
+    arrival: Vec<u64>,
+    wire: u64,
+    crit: u64,
+}
+
+impl Workload for Vpr {
+    fn name(&self) -> &'static str {
+        "vpr"
+    }
+
+    fn spec_inspiration(&self) -> &'static str {
+        "175.vpr"
+    }
+
+    fn description(&self) -> &'static str {
+        "wiring and critical-path recomputation per placement move; rejected moves are silent"
+    }
+
+    fn run_baseline(&self) -> u64 {
+        self.kernel(&mut NoProbe, 0, 1)
+    }
+
+    fn run_dtt(&self, cfg: Config) -> DttRun {
+        let cells = self.cells;
+        let mut rt = Runtime::new(
+            cfg,
+            VprUser {
+                edges: self.edges.clone(),
+                pos_copy: vec![0u64; cells],
+                arrival: vec![0u64; cells],
+                wire: 0,
+                crit: 0,
+            },
+        );
+        let pos: TrackedArray<u64> =
+            rt.alloc_array_from(&self.pos0).expect("arena sized for workload");
+        let wire_tt = rt.register("wiring", move |ctx| {
+            let mut pos_copy = std::mem::take(&mut ctx.user_mut().pos_copy);
+            ctx.read_all_into(pos, &mut pos_copy);
+            let user = ctx.user_mut();
+            user.wire = wiring_cost(&pos_copy, &user.edges);
+            user.pos_copy = pos_copy;
+            let _ = cells;
+        });
+        let timing_tt = rt.register("timing", move |ctx| {
+            let mut pos_copy = std::mem::take(&mut ctx.user_mut().pos_copy);
+            ctx.read_all_into(pos, &mut pos_copy);
+            let user = ctx.user_mut();
+            let mut arrival = std::mem::take(&mut user.arrival);
+            user.crit = critical_path(&pos_copy, &user.edges, &mut arrival);
+            user.arrival = arrival;
+            user.pos_copy = pos_copy;
+        });
+        rt.watch(wire_tt, pos.range()).expect("region in arena");
+        rt.watch(timing_tt, pos.range()).expect("region in arena");
+        rt.mark_dirty(wire_tt).expect("registered tthread");
+        rt.mark_dirty(timing_tt).expect("registered tthread");
+
+        let mut digest = Digest::new();
+        for &(cell, packed) in &self.moves {
+            rt.with(|ctx| ctx.write(pos, cell, packed));
+            util::must_join(&mut rt, wire_tt);
+            util::must_join(&mut rt, timing_tt);
+            let cost = rt.with(|ctx| ctx.user().wire + 8 * ctx.user().crit);
+            digest.push_u64(cost);
+        }
+        util::dtt_run_report(&rt, digest.finish())
+    }
+
+    fn trace(&self) -> Trace {
+        let mut b = TraceBuilder::new();
+        let tt_wire = b.declare_tthread("wiring");
+        let tt_timing = b.declare_tthread("timing");
+        b.declare_watch(tt_wire, POS_BASE, 8 * self.cells as u64);
+        b.declare_watch(tt_timing, POS_BASE, 8 * self.cells as u64);
+        self.kernel(&mut b, tt_wire, tt_timing);
+        b.finish().expect("kernel emits a well-formed trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(manhattan(pack_xy(0, 0), pack_xy(3, 4)), 7);
+        assert_eq!(manhattan(pack_xy(5, 5), pack_xy(5, 5)), 0);
+        assert_eq!(manhattan(pack_xy(10, 0), pack_xy(0, 10)), 20);
+    }
+
+    #[test]
+    fn critical_path_on_chain() {
+        // 0 -> 1 -> 2, unit distances.
+        let pos = vec![pack_xy(0, 0), pack_xy(1, 0), pack_xy(2, 0)];
+        let edges = vec![(0, 1), (1, 2)];
+        let mut arrival = vec![0u64; 3];
+        // Each edge: distance 1 + 1 logic = 2; chain = 4.
+        assert_eq!(critical_path(&pos, &edges, &mut arrival), 4);
+        assert_eq!(arrival[2], 4);
+    }
+
+    #[test]
+    fn critical_path_takes_longest_branch() {
+        let pos = vec![pack_xy(0, 0), pack_xy(10, 0), pack_xy(1, 0), pack_xy(2, 0)];
+        // 0->1 long edge; 0->2->3 short chain; all converge nowhere.
+        let edges = vec![(0, 1), (0, 2), (2, 3)];
+        let mut arrival = vec![0u64; 4];
+        assert_eq!(critical_path(&pos, &edges, &mut arrival), 11);
+    }
+
+    #[test]
+    fn dtt_matches_baseline() {
+        let w = Vpr::new(Scale::Test);
+        assert_eq!(w.run_baseline(), w.run_dtt(Config::default()).digest);
+    }
+
+    #[test]
+    fn rejected_moves_skip_both_tthreads() {
+        let w = Vpr::new(Scale::Test);
+        let run = w.run_dtt(Config::default());
+        assert_eq!(run.tthreads.len(), 2);
+        for tt in &run.tthreads {
+            // Every fourth proposal is rejected and both tthreads skip it.
+            assert!(tt.skips > 0, "{}: no skips", tt.name);
+            assert!(
+                tt.executions < w.moves() as u64,
+                "{}: executed every move",
+                tt.name
+            );
+        }
+        assert!(run.stats.counters().silent_stores > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Vpr::new(Scale::Test).run_baseline(), Vpr::new(Scale::Test).run_baseline());
+    }
+}

@@ -1,0 +1,130 @@
+//! An incremental build system on data-triggered threads.
+//!
+//! Source-file fingerprints live in tracked memory; each build target is a
+//! tthread watching the fingerprints of its inputs. "Saving" a file with
+//! unchanged contents is a silent store — nothing rebuilds (the classic
+//! `touch` vs real edit distinction, for free). Editing one source
+//! rebuilds exactly the affected targets, and a target whose output
+//! fingerprint comes out unchanged stops the cascade.
+//!
+//! Dependency graph:
+//! ```text
+//!   parser.c  ─┐
+//!   lexer.c   ─┼→ libfrontend ─┐
+//!   ast.c     ─┘               ├→ compiler ─→ testsuite
+//!   codegen.c ──→ libbackend  ─┘
+//! ```
+//!
+//! Run with: `cargo run -p dtt --example build_system`
+
+use dtt::core::{Config, JoinOutcome, Runtime};
+
+/// Build log collected by the target tthreads.
+#[derive(Default)]
+struct BuildLog {
+    lines: Vec<String>,
+}
+
+fn fingerprint(inputs: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in inputs {
+        h ^= v;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+fn main() -> Result<(), dtt::core::Error> {
+    let mut rt = Runtime::new(Config::default(), BuildLog::default());
+
+    // Source fingerprints (tracked): parser.c lexer.c ast.c codegen.c
+    let sources = rt.alloc_array::<u64>(4)?;
+    // Artifact fingerprints (tracked, written by targets).
+    let libfrontend = rt.alloc(0u64)?;
+    let libbackend = rt.alloc(0u64)?;
+    let compiler = rt.alloc(0u64)?;
+    let testsuite = rt.alloc(0u64)?;
+
+    // Each target reads its inputs, "builds", and publishes its output
+    // fingerprint (a silent publish stops the downstream cascade).
+    let t_frontend = rt.register("libfrontend", move |ctx| {
+        let inputs = [ctx.read(sources, 0), ctx.read(sources, 1), ctx.read(sources, 2)];
+        let out = fingerprint(&inputs);
+        ctx.user_mut().lines.push(format!("  CC libfrontend <- {inputs:x?}"));
+        ctx.set(libfrontend, out);
+    });
+    rt.watch(t_frontend, sources.range_of(0, 3))?;
+
+    let t_backend = rt.register("libbackend", move |ctx| {
+        let input = ctx.read(sources, 3);
+        let out = fingerprint(&[input]);
+        ctx.user_mut().lines.push(format!("  CC libbackend  <- [{input:x}]"));
+        ctx.set(libbackend, out);
+    });
+    rt.watch(t_backend, sources.range_of(3, 4))?;
+
+    let t_compiler = rt.register("compiler", move |ctx| {
+        let inputs = [ctx.get(libfrontend), ctx.get(libbackend)];
+        let out = fingerprint(&inputs);
+        ctx.user_mut().lines.push("  LD compiler    <- libfrontend libbackend".into());
+        ctx.set(compiler, out);
+    });
+    rt.watch(t_compiler, libfrontend.range())?;
+    rt.watch(t_compiler, libbackend.range())?;
+
+    let t_tests = rt.register("testsuite", move |ctx| {
+        let input = ctx.get(compiler);
+        ctx.user_mut().lines.push("  TEST testsuite <- compiler".into());
+        ctx.set(testsuite, fingerprint(&[input]));
+    });
+    rt.watch(t_tests, compiler.range())?;
+
+    let targets = [t_frontend, t_backend, t_compiler, t_tests];
+    let build = |rt: &mut Runtime<BuildLog>, label: &str| -> Vec<JoinOutcome> {
+        let outcomes: Vec<JoinOutcome> = targets
+            .iter()
+            .map(|&t| rt.join(t).expect("registered target"))
+            .collect();
+        let lines = rt.with(|ctx| std::mem::take(&mut ctx.user_mut().lines));
+        let rebuilt = lines.len();
+        println!("$ make   # {label}");
+        for line in lines {
+            println!("{line}");
+        }
+        if rebuilt == 0 {
+            println!("  nothing to do");
+        }
+        println!();
+        outcomes
+    };
+
+    // Initial checkout: everything builds.
+    rt.with(|ctx| {
+        for (i, fp) in [0xaaaa_u64, 0xbbbb, 0xcccc, 0xdddd].iter().enumerate() {
+            ctx.write(sources, i, *fp);
+        }
+    });
+    let outcomes = build(&mut rt, "fresh checkout");
+    assert!(outcomes.iter().all(|o| *o == JoinOutcome::RanInline));
+
+    // Rebuild without edits: everything skips.
+    let outcomes = build(&mut rt, "no changes");
+    assert!(outcomes.iter().all(|o| *o == JoinOutcome::Skipped));
+
+    // `touch parser.c` (same fingerprint): still nothing to do.
+    rt.with(|ctx| ctx.write(sources, 0, 0xaaaa));
+    let outcomes = build(&mut rt, "touch parser.c");
+    assert!(outcomes.iter().all(|o| *o == JoinOutcome::Skipped));
+
+    // Edit codegen.c: libbackend, compiler, testsuite rebuild; libfrontend
+    // skips.
+    rt.with(|ctx| ctx.write(sources, 3, 0xeeee));
+    let outcomes = build(&mut rt, "edit codegen.c");
+    assert_eq!(outcomes[0], JoinOutcome::Skipped);
+    assert_eq!(outcomes[1], JoinOutcome::RanInline);
+    assert_eq!(outcomes[2], JoinOutcome::RanInline);
+    assert_eq!(outcomes[3], JoinOutcome::RanInline);
+
+    println!("runtime statistics:\n{}", rt.stats());
+    Ok(())
+}

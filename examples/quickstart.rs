@@ -1,0 +1,51 @@
+//! Quickstart: the data-triggered-threads programming model in 60 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dtt::core::{Config, JoinOutcome, Runtime};
+
+fn main() -> Result<(), dtt::core::Error> {
+    // User state: the published aggregate the tthread maintains.
+    let mut rt = Runtime::new(Config::default(), 0i64);
+
+    // 1. Trigger data lives in tracked memory.
+    let prices = rt.alloc_array::<i64>(8)?;
+
+    // 2. A tthread: recompute the portfolio total whenever a price changes.
+    let total = rt.register("portfolio_total", move |ctx| {
+        let sum: i64 = (0..prices.len()).map(|i| ctx.read(prices, i)).sum();
+        *ctx.user_mut() = sum;
+    });
+
+    // 3. Watch the price array.
+    rt.watch(total, prices.range())?;
+
+    // 4. Mutate tracked data; join at every consumption point.
+    rt.with(|ctx| {
+        for i in 0..8 {
+            ctx.write(prices, i, 100 + i as i64);
+        }
+    });
+    assert_eq!(rt.join(total)?, JoinOutcome::RanInline);
+    println!("total after initial prices: {}", rt.with(|ctx| *ctx.user()));
+
+    // A market tick that changes nothing: every store is silent, the
+    // recomputation is skipped entirely.
+    rt.with(|ctx| {
+        for i in 0..8 {
+            ctx.write(prices, i, 100 + i as i64);
+        }
+    });
+    let outcome = rt.join(total)?;
+    assert_eq!(outcome, JoinOutcome::Skipped);
+    println!("unchanged tick -> join outcome: {outcome:?} (no recomputation)");
+
+    // One real change: exactly one recomputation.
+    rt.write(prices.at(3), 250);
+    assert_eq!(rt.join(total)?, JoinOutcome::RanInline);
+    println!("total after one change:     {}", rt.with(|ctx| *ctx.user()));
+
+    let stats = rt.stats();
+    println!("\nruntime statistics:\n{stats}");
+    Ok(())
+}

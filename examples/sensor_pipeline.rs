@@ -1,0 +1,106 @@
+//! A telemetry pipeline on the parallel executor.
+//!
+//! Sixteen sensors publish readings every tick; most readings repeat the
+//! previous value (quantized sensors are noisy but slow), so their stores
+//! are silent. Two aggregation tthreads — a per-zone maximum and a global
+//! histogram — run on worker threads as soon as a reading really changes,
+//! overlapping the main loop's I/O work.
+//!
+//! Run with: `cargo run --example sensor_pipeline`
+
+use dtt::core::{Config, JoinOutcome, Runtime};
+
+const SENSORS: usize = 16;
+const ZONES: usize = 4;
+const TICKS: usize = 200;
+
+/// Untracked pipeline outputs.
+#[derive(Default)]
+struct Dashboards {
+    zone_max: [i64; ZONES],
+    histogram: [u32; 8],
+}
+
+fn main() -> Result<(), dtt::core::Error> {
+    let cfg = Config::default().with_workers(2).with_queue_capacity(8);
+    let mut rt = Runtime::new(cfg, Dashboards::default());
+    let readings = rt.alloc_array::<i64>(SENSORS)?;
+
+    // One tthread per zone: maximum over that zone's sensors.
+    let per_zone = SENSORS / ZONES;
+    let mut zone_tts = Vec::new();
+    for z in 0..ZONES {
+        let tt = rt.register(&format!("zone_max_{z}"), move |ctx| {
+            let mut max = i64::MIN;
+            for i in z * per_zone..(z + 1) * per_zone {
+                max = max.max(ctx.read(readings, i));
+            }
+            ctx.user_mut().zone_max[z] = max;
+        });
+        rt.watch(tt, readings.range_of(z * per_zone, (z + 1) * per_zone))?;
+        zone_tts.push(tt);
+    }
+
+    // A global histogram tthread watching everything.
+    let histo = rt.register("histogram", move |ctx| {
+        let mut bins = [0u32; 8];
+        for i in 0..SENSORS {
+            let v = ctx.read(readings, i).clamp(0, 79) as usize;
+            bins[v / 10] += 1;
+        }
+        ctx.user_mut().histogram = bins;
+    });
+    rt.watch(histo, readings.range())?;
+
+    // Simulated sensor feed: a deterministic pseudo-random walk that mostly
+    // produces repeated (quantized) values.
+    let mut state = 0x5eed_5eed_u64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut current = [40i64; SENSORS];
+    let mut outcomes = [0usize; 3]; // skipped, overlapped, other
+
+    for _tick in 0..TICKS {
+        rt.with(|ctx| {
+            for (s, cur) in current.iter_mut().enumerate() {
+                // 80% of reads re-publish the same quantized value.
+                if rnd() % 10 < 2 {
+                    *cur = (*cur + (rnd() % 21) as i64 - 10).clamp(0, 79);
+                }
+                ctx.write(readings, s, *cur);
+            }
+        });
+
+        // Pretend to do main-thread work (formatting, I/O) that the
+        // aggregation overlaps with.
+        std::hint::black_box((0..500).sum::<u64>());
+
+        for &tt in &zone_tts {
+            match rt.join(tt)? {
+                JoinOutcome::Skipped => outcomes[0] += 1,
+                JoinOutcome::Overlapped => outcomes[1] += 1,
+                _ => outcomes[2] += 1,
+            }
+        }
+        rt.join(histo)?;
+    }
+
+    println!("after {TICKS} ticks:");
+    rt.with(|ctx| {
+        let d = ctx.user();
+        println!("  zone maxima: {:?}", d.zone_max);
+        println!("  histogram:   {:?}", d.histogram);
+    });
+    println!(
+        "  zone joins:  {} skipped, {} overlapped, {} other",
+        outcomes[0], outcomes[1], outcomes[2]
+    );
+    println!("\nruntime statistics:\n{}", rt.stats());
+
+    assert!(outcomes[0] > 0, "quantized sensors must produce skips");
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! An incremental spreadsheet built on data-triggered threads.
+//!
+//! Formula cells are tthreads watching their input cells; editing a cell
+//! triggers exactly the dependent formulas, and formulas writing their
+//! results trigger formulas that depend on *them* (a cascade). Re-entering
+//! the same value in a cell is a silent store: nothing recomputes.
+//!
+//! Layout:
+//! ```text
+//!   A1..A4  (inputs)        B1 = sum(A1..A4)
+//!   C1..C4  (inputs)        B2 = sum(C1..C4)
+//!                           D1 = B1 * B2      (depends on formula outputs)
+//! ```
+//!
+//! Run with: `cargo run --example spreadsheet`
+
+use dtt::core::{Config, JoinOutcome, Runtime};
+
+fn main() -> Result<(), dtt::core::Error> {
+    let mut rt = Runtime::new(Config::default(), ());
+
+    let col_a = rt.alloc_array::<i64>(4)?;
+    let col_c = rt.alloc_array::<i64>(4)?;
+    let b1 = rt.alloc(0i64)?;
+    let b2 = rt.alloc(0i64)?;
+    let d1 = rt.alloc(0i64)?;
+
+    // B1 = sum(A); writes its result into tracked memory, so D1 can watch it.
+    let f_b1 = rt.register("B1=sum(A)", move |ctx| {
+        let s: i64 = (0..4).map(|i| ctx.read(col_a, i)).sum();
+        ctx.set(b1, s);
+    });
+    rt.watch(f_b1, col_a.range())?;
+
+    let f_b2 = rt.register("B2=sum(C)", move |ctx| {
+        let s: i64 = (0..4).map(|i| ctx.read(col_c, i)).sum();
+        ctx.set(b2, s);
+    });
+    rt.watch(f_b2, col_c.range())?;
+
+    let f_d1 = rt.register("D1=B1*B2", move |ctx| {
+        let v = ctx.get(b1) * ctx.get(b2);
+        ctx.set(d1, v);
+    });
+    rt.watch(f_d1, b1.range())?;
+    rt.watch(f_d1, b2.range())?;
+
+    let recalc = |rt: &mut Runtime<()>, label: &str| {
+        // Joining in dependency order settles the cascade.
+        let o1 = rt.join(f_b1).unwrap();
+        let o2 = rt.join(f_b2).unwrap();
+        let o3 = rt.join(f_d1).unwrap();
+        println!(
+            "{label:28} B1={:<6} B2={:<6} D1={:<8} (B1 {:?}, B2 {:?}, D1 {:?})",
+            rt.read(b1),
+            rt.read(b2),
+            rt.read(d1),
+            o1,
+            o2,
+            o3
+        );
+        (o1, o2, o3)
+    };
+
+    rt.with(|ctx| {
+        for i in 0..4 {
+            ctx.write(col_a, i, (i as i64 + 1) * 10); // 10 20 30 40
+            ctx.write(col_c, i, i as i64 + 1); // 1 2 3 4
+        }
+    });
+    recalc(&mut rt, "initial fill");
+
+    // Edit one cell in column A: B1 and (via B1's write) D1 recompute; B2
+    // is untouched and skips.
+    rt.write(col_a.at(0), 15);
+    let (o1, o2, _) = recalc(&mut rt, "edit A1 = 15");
+    assert_eq!(o1, JoinOutcome::RanInline);
+    assert_eq!(o2, JoinOutcome::Skipped);
+
+    // Re-enter the same value: silent store, the whole sheet skips.
+    rt.write(col_a.at(0), 15);
+    let (o1, o2, o3) = recalc(&mut rt, "re-enter A1 = 15");
+    assert_eq!(
+        (o1, o2, o3),
+        (JoinOutcome::Skipped, JoinOutcome::Skipped, JoinOutcome::Skipped)
+    );
+
+    // A formula whose new result equals the old one also stops the cascade:
+    // swap two values in C, the sum is unchanged, so B2 recomputes but its
+    // silent write leaves D1 clean.
+    rt.with(|ctx| {
+        ctx.write(col_c, 0, 2);
+        ctx.write(col_c, 1, 1);
+    });
+    let (o1, o2, o3) = recalc(&mut rt, "swap C1 and C2");
+    assert_eq!(o1, JoinOutcome::Skipped);
+    assert_eq!(o2, JoinOutcome::RanInline);
+    assert_eq!(o3, JoinOutcome::Skipped, "B2's result was unchanged: no cascade");
+
+    println!("\nruntime statistics:\n{}", rt.stats());
+    Ok(())
+}

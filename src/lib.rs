@@ -1,0 +1,47 @@
+//! # dtt — data-triggered threads
+//!
+//! The façade crate of the DTT reproduction workspace (Tseng & Tullsen,
+//! *"Data-triggered threads: eliminating redundant computation"*, HPCA
+//! 2011). It re-exports every subsystem under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `dtt-core` | the DTT runtime: tracked memory, triggers, executors |
+//! | [`trace`] | `dtt-trace` | annotated program traces (+ binary file format) |
+//! | [`profile`] | `dtt-profile` | redundant-load / silent-store / redundancy profilers |
+//! | [`sim`] | `dtt-sim` | the trace-driven timing simulator of the proposed hardware |
+//! | [`memsim`] | `dtt-memsim` | the cache-hierarchy substrate |
+//! | [`workloads`] | `dtt-workloads` | the fourteen SPEC-inspired benchmark kernels |
+//!
+//! See the repository README for the project overview, `examples/` for
+//! runnable walkthroughs, and EXPERIMENTS.md for the paper-vs-measured
+//! results.
+//!
+//! ```
+//! use dtt::core::{Config, JoinOutcome, Runtime};
+//!
+//! let mut rt = Runtime::new(Config::default(), 0u64);
+//! let cell = rt.alloc(0u32)?;
+//! let double = rt.register("double", move |ctx| {
+//!     let v = ctx.get(cell);
+//!     *ctx.user_mut() = 2 * v as u64;
+//! });
+//! rt.watch(double, cell.range())?;
+//!
+//! rt.write(cell, 21);
+//! assert_eq!(rt.join(double)?, JoinOutcome::RanInline);
+//! assert_eq!(rt.with(|ctx| *ctx.user()), 42);
+//! rt.write(cell, 21); // silent store
+//! assert_eq!(rt.join(double)?, JoinOutcome::Skipped);
+//! # Ok::<(), dtt::core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dtt_core as core;
+pub use dtt_memsim as memsim;
+pub use dtt_profile as profile;
+pub use dtt_sim as sim;
+pub use dtt_trace as trace;
+pub use dtt_workloads as workloads;

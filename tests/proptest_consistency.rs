@@ -1,0 +1,137 @@
+//! Property test: for arbitrary store/checkpoint schedules, the software
+//! runtime (`dtt-core`) and the timing simulator (`dtt-sim`) make identical
+//! skip decisions — they are two implementations of the same trigger
+//! semantics.
+
+use dtt::core::{Config, Runtime};
+use dtt::sim::{simulate, MachineConfig, SimMode};
+use dtt::trace::TraceBuilder;
+use proptest::prelude::*;
+
+const CELLS: usize = 16;
+const TTHREADS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store `value` into cell `index`.
+    Store { index: usize, value: u64 },
+    /// A checkpoint: every tthread's output is consumed (joined).
+    Checkpoint,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0usize..CELLS, 0u64..4).prop_map(|(index, value)| Op::Store { index, value }),
+            1 => Just(Op::Checkpoint),
+        ],
+        1..120,
+    )
+}
+
+/// Each tthread `t` watches cells `[4t, 4t+4)`.
+fn watch_range(t: usize) -> (usize, usize) {
+    (4 * t, 4 * (t + 1))
+}
+
+/// Drives the real runtime; returns per-tthread execution counts.
+fn run_runtime(schedule: &[Op]) -> Vec<u64> {
+    let mut rt = Runtime::new(Config::default(), ());
+    let cells = rt.alloc_array::<u64>(CELLS).unwrap();
+    let tts: Vec<_> = (0..TTHREADS)
+        .map(|t| {
+            let tt = rt.register(&format!("t{t}"), |_| {});
+            let (a, b) = watch_range(t);
+            rt.watch(tt, cells.range_of(a, b)).unwrap();
+            rt.mark_dirty(tt).unwrap();
+            tt
+        })
+        .collect();
+    for op in schedule {
+        match *op {
+            Op::Store { index, value } => rt.with(|ctx| ctx.write(cells, index, value)),
+            Op::Checkpoint => {
+                for &tt in &tts {
+                    rt.join(tt).unwrap();
+                }
+            }
+        }
+    }
+    // Final checkpoint so trailing triggers are consumed in both worlds.
+    for &tt in &tts {
+        rt.join(tt).unwrap();
+    }
+    rt.tthread_counters().into_iter().map(|(_, e, _, _)| e).collect()
+}
+
+/// Builds the equivalent annotated trace and simulates it; returns
+/// per-tthread executed (non-skipped) instance counts.
+fn run_simulator(schedule: &[Op]) -> Vec<u64> {
+    let mut b = TraceBuilder::new();
+    let tts: Vec<u32> = (0..TTHREADS)
+        .map(|t| {
+            let tt = b.declare_tthread(&format!("t{t}"));
+            let (a, bb) = watch_range(t);
+            b.declare_watch(tt, 8 * a as u64, 8 * (bb - a) as u64);
+            tt
+        })
+        .collect();
+    // Initialization: the runtime's alloc_array zeroes tracked memory.
+    let mut shadow = [0u64; CELLS];
+    for (i, &v) in shadow.iter().enumerate() {
+        b.store_event(0, 8 * i as u64, 8, v);
+    }
+    let emit_checkpoint = |b: &mut TraceBuilder| {
+        for &tt in &tts {
+            b.region_begin_checked(tt).unwrap();
+            b.compute_event(10);
+            b.region_end_checked(tt).unwrap();
+            b.join_event(tt);
+        }
+    };
+    for op in schedule {
+        match *op {
+            Op::Store { index, value } => {
+                shadow[index] = value;
+                b.store_event(1, 8 * index as u64, 8, value);
+            }
+            Op::Checkpoint => emit_checkpoint(&mut b),
+        }
+    }
+    emit_checkpoint(&mut b);
+    let trace = b.finish().unwrap();
+    let cfg = MachineConfig::default().with_granularity_bytes(1);
+    let result = simulate(&cfg, &trace, SimMode::Dtt);
+    result
+        .tthreads
+        .iter()
+        .map(|t| t.instances - t.skips)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn runtime_and_simulator_agree_on_executions(schedule in ops()) {
+        let rt_execs = run_runtime(&schedule);
+        let sim_execs = run_simulator(&schedule);
+        prop_assert_eq!(rt_execs, sim_execs);
+    }
+
+    /// The baseline simulator executes every instance regardless of the
+    /// schedule; the DTT machine never executes more.
+    #[test]
+    fn dtt_never_executes_more_instances_than_baseline(schedule in ops()) {
+        let sim_execs = run_simulator(&schedule);
+        let checkpoints = schedule
+            .iter()
+            .filter(|op| matches!(op, Op::Checkpoint))
+            .count() as u64
+            + 1;
+        for execs in sim_execs {
+            prop_assert!(execs <= checkpoints);
+            prop_assert!(execs >= 1); // the initial dirty instance always runs
+        }
+    }
+}

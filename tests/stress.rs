@@ -1,0 +1,143 @@
+//! Stress tests for the parallel executor: many tthreads, tight queues,
+//! sustained trigger pressure, and concurrent completion tracking.
+
+use dtt_core::{Config, OverflowPolicy, Runtime};
+
+/// Sustained pressure: 32 tthreads over disjoint slices, thousands of
+/// stores, joins interleaved at random-ish points. The final published
+/// values must equal a sequential recomputation.
+#[test]
+fn parallel_executor_sustained_pressure() {
+    const CELLS: usize = 256;
+    const TTHREADS: usize = 32;
+    const OPS: usize = 5_000;
+    let per = CELLS / TTHREADS;
+
+    let cfg = Config::default()
+        .with_workers(4)
+        .with_queue_capacity(4)
+        .with_overflow(OverflowPolicy::ExecuteInline);
+    let mut rt = Runtime::new(cfg, vec![0u64; TTHREADS]);
+    let cells = rt.alloc_array::<u64>(CELLS).unwrap();
+    let tts: Vec<_> = (0..TTHREADS)
+        .map(|t| {
+            let tt = rt.register(&format!("sum_{t}"), move |ctx| {
+                let mut s = 0u64;
+                for i in t * per..(t + 1) * per {
+                    s += ctx.read(cells, i);
+                }
+                ctx.user_mut()[t] = s;
+            });
+            rt.watch(tt, cells.range_of(t * per, (t + 1) * per)).unwrap();
+            tt
+        })
+        .collect();
+
+    // Deterministic xorshift store schedule.
+    let mut state = 0x9e37_79b9u64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut shadow = [0u64; CELLS];
+    for op in 0..OPS {
+        let i = (rnd() % CELLS as u64) as usize;
+        let v = rnd() % 16;
+        shadow[i] = v;
+        rt.with(|ctx| ctx.write(cells, i, v));
+        if op % 97 == 0 {
+            // Periodic partial consumption.
+            let t = (rnd() % TTHREADS as u64) as usize;
+            rt.join(tts[t]).unwrap();
+            let expect: u64 = shadow[t * per..(t + 1) * per].iter().sum();
+            assert_eq!(rt.with(|ctx| ctx.user()[t]), expect, "tthread {t} at op {op}");
+        }
+    }
+    for (t, &tt) in tts.iter().enumerate() {
+        rt.join(tt).unwrap();
+        let expect: u64 = shadow[t * per..(t + 1) * per].iter().sum();
+        assert_eq!(rt.with(|ctx| ctx.user()[t]), expect, "final tthread {t}");
+    }
+    let stats = rt.stats();
+    assert!(stats.counters().executions > 0);
+}
+
+/// Rapid runtime churn: creating and dropping parallel runtimes must never
+/// leak or deadlock worker threads.
+#[test]
+fn runtime_churn_is_clean() {
+    for round in 0..50 {
+        let cfg = Config::default().with_workers(2);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let x = rt.alloc(0u64).unwrap();
+        let tt = rt.register("t", move |ctx| {
+            let v = ctx.get(x);
+            *ctx.user_mut() = v;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, round);
+        rt.join(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), round);
+        // Half the rounds drop with work potentially still queued.
+        if round % 2 == 0 {
+            rt.write(x, round + 1);
+        }
+        drop(rt);
+    }
+}
+
+/// into_state under parallel execution returns the final heap contents.
+#[test]
+fn into_state_after_parallel_run() {
+    let cfg = Config::default().with_workers(3);
+    let mut rt = Runtime::new(cfg, ());
+    let xs = rt.alloc_array::<u64>(64).unwrap();
+    let tt = rt.register("noop", |_| {});
+    rt.watch(tt, xs.range()).unwrap();
+    for i in 0..64u64 {
+        rt.with(|ctx| ctx.write(xs, i as usize, i * i));
+    }
+    rt.join(tt).unwrap();
+    let (heap, ()) = rt.into_state();
+    for i in 0..64u64 {
+        assert_eq!(heap.load::<u64>(xs.at(i as usize).addr()), i * i);
+    }
+}
+
+/// Cascades under the parallel executor: a chain of tthreads A -> B -> C
+/// where each publishes into the next one's watched cell must settle to
+/// the right value through joins in dependency order.
+#[test]
+fn parallel_cascade_chain_settles() {
+    let cfg = Config::default().with_workers(2);
+    let mut rt = Runtime::new(cfg, ());
+    let a = rt.alloc(0u64).unwrap();
+    let b = rt.alloc(0u64).unwrap();
+    let c = rt.alloc(0u64).unwrap();
+    let d = rt.alloc(0u64).unwrap();
+    let t_ab = rt.register("a->b", move |ctx| {
+        let v = ctx.get(a);
+        ctx.set(b, v + 1);
+    });
+    rt.watch(t_ab, a.range()).unwrap();
+    let t_bc = rt.register("b->c", move |ctx| {
+        let v = ctx.get(b);
+        ctx.set(c, v * 2);
+    });
+    rt.watch(t_bc, b.range()).unwrap();
+    let t_cd = rt.register("c->d", move |ctx| {
+        let v = ctx.get(c);
+        ctx.set(d, v + 100);
+    });
+    rt.watch(t_cd, c.range()).unwrap();
+
+    for round in 1..=20u64 {
+        rt.write(a, round);
+        rt.join(t_ab).unwrap();
+        rt.join(t_bc).unwrap();
+        rt.join(t_cd).unwrap();
+        assert_eq!(rt.read(d), (round + 1) * 2 + 100, "round {round}");
+    }
+}

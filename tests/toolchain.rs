@@ -1,0 +1,135 @@
+//! Consistency of the toolchain: the software runtime, the trace profiler
+//! and the timing simulator must agree about *what is redundant* on the
+//! same workload.
+
+use dtt::core::Config;
+use dtt::profile::{LoadProfiler, RedundancyProfiler};
+use dtt::sim::{simulate, MachineConfig, SimMode};
+use dtt::workloads::{suite, Scale};
+
+/// A machine whose trigger semantics match the default software runtime:
+/// byte-precise granularity, silent-store suppression on.
+fn precise_machine() -> MachineConfig {
+    MachineConfig::default().with_granularity_bytes(1)
+}
+
+#[test]
+fn simulator_baseline_executes_the_whole_trace() {
+    for w in suite(Scale::Test) {
+        let trace = w.trace();
+        let base = simulate(&precise_machine(), &trace, SimMode::Baseline);
+        assert_eq!(
+            base.instructions_executed,
+            trace.instructions(),
+            "{}: baseline must execute every traced instruction",
+            w.name()
+        );
+        assert_eq!(base.instructions_skipped, 0);
+        assert_eq!(base.loads, trace.loads());
+        assert_eq!(base.stores, trace.stores());
+    }
+}
+
+#[test]
+fn simulator_skips_exactly_the_profiled_redundancy() {
+    // At byte granularity with suppression on, the simulator's skip
+    // decisions are the redundancy profiler's definition of redundant
+    // region instances — they must agree exactly.
+    for w in suite(Scale::Test) {
+        let trace = w.trace();
+        let profile = RedundancyProfiler::profile(&trace);
+        let dtt = simulate(&precise_machine(), &trace, SimMode::Dtt);
+        let redundant: u64 = profile.tthreads.iter().map(|t| t.redundant_instances).sum();
+        assert_eq!(
+            dtt.regions_skipped,
+            redundant,
+            "{}: simulator and profiler disagree on skippable instances",
+            w.name()
+        );
+        let redundant_instr: u64 = profile.redundant_instructions();
+        assert_eq!(
+            dtt.instructions_skipped,
+            redundant_instr,
+            "{}: skipped instruction counts disagree",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn simulator_conserves_instructions() {
+    for w in suite(Scale::Test) {
+        let trace = w.trace();
+        let dtt = simulate(&precise_machine(), &trace, SimMode::Dtt);
+        assert_eq!(
+            dtt.instructions_executed + dtt.instructions_skipped,
+            trace.instructions(),
+            "{}: executed + skipped must cover the trace",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn runtime_and_simulator_skip_rates_align() {
+    // The software runtime joins once per traced region instance, so its
+    // per-tthread execution counts must match the simulator's non-skipped
+    // instances (both implement the same trigger semantics).
+    for w in suite(Scale::Test) {
+        let trace = w.trace();
+        let dtt_sim = simulate(&precise_machine(), &trace, SimMode::Dtt);
+        let run = w.run_dtt(Config::default());
+        let sim_runs: u64 = dtt_sim.region_instances - dtt_sim.regions_skipped;
+        let rt_runs: u64 = run.tthreads.iter().map(|t| t.executions).sum();
+        assert_eq!(
+            sim_runs,
+            rt_runs,
+            "{}: simulator ran {} instances, software runtime {}",
+            w.name(),
+            sim_runs,
+            rt_runs
+        );
+    }
+}
+
+#[test]
+fn dtt_machine_is_never_slower_than_baseline_with_free_overheads() {
+    // With zero spawn/check overhead and precise triggers, skipping can
+    // only remove work.
+    let cfg = precise_machine().with_spawn_overhead(0).with_contexts(1);
+    for w in suite(Scale::Test) {
+        let trace = w.trace();
+        let base = simulate(&cfg, &trace, SimMode::Baseline);
+        let dtt = simulate(&cfg, &trace, SimMode::Dtt);
+        assert!(
+            dtt.cycles <= base.cycles,
+            "{}: dtt {} > baseline {} with free overheads",
+            w.name(),
+            dtt.cycles,
+            base.cycles
+        );
+    }
+}
+
+#[test]
+fn load_profiles_are_deterministic() {
+    for w in suite(Scale::Test) {
+        let a = LoadProfiler::profile(&w.trace());
+        let b = LoadProfiler::profile(&w.trace());
+        assert_eq!(a, b, "{}: trace emission must be deterministic", w.name());
+    }
+}
+
+#[test]
+fn traces_validate_structurally() {
+    for w in suite(Scale::Test) {
+        let trace = w.trace();
+        assert!(!trace.tthread_names().is_empty(), "{}", w.name());
+        assert!(!trace.watches().is_empty(), "{}", w.name());
+        assert!(trace.instructions() > 0, "{}", w.name());
+        // Region instruction totals are covered by the overall total.
+        let region_total: u64 = trace.region_instructions().iter().sum();
+        assert!(region_total > 0, "{}", w.name());
+        assert!(region_total <= trace.instructions(), "{}", w.name());
+    }
+}

@@ -1,0 +1,64 @@
+//! Trace serialization round-trip over real workload traces: a trace
+//! written to bytes and read back must profile and simulate identically.
+
+use dtt::profile::{LoadProfiler, RedundancyProfiler, StoreProfiler};
+use dtt::sim::{simulate, MachineConfig, SimMode};
+use dtt::trace::{read_trace, write_trace};
+use dtt::workloads::{suite, Scale};
+
+#[test]
+fn round_trip_preserves_profiles_and_timing() {
+    for w in suite(Scale::Test) {
+        let original = w.trace();
+        let mut bytes = Vec::new();
+        write_trace(&original, &mut bytes).expect("in-memory write cannot fail");
+        let decoded = read_trace(bytes.as_slice()).expect("round trip decodes");
+
+        assert_eq!(original.events(), decoded.events(), "{}", w.name());
+        assert_eq!(original.watches(), decoded.watches(), "{}", w.name());
+        assert_eq!(
+            LoadProfiler::profile(&original),
+            LoadProfiler::profile(&decoded),
+            "{}",
+            w.name()
+        );
+        assert_eq!(
+            RedundancyProfiler::profile(&original),
+            RedundancyProfiler::profile(&decoded),
+            "{}",
+            w.name()
+        );
+        assert_eq!(
+            StoreProfiler::profile(&original),
+            StoreProfiler::profile(&decoded),
+            "{}",
+            w.name()
+        );
+
+        let cfg = MachineConfig::default();
+        for mode in [SimMode::Baseline, SimMode::Dtt] {
+            assert_eq!(
+                simulate(&cfg, &original, mode),
+                simulate(&cfg, &decoded, mode),
+                "{} ({mode})",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn serialized_traces_are_compact() {
+    // Sanity: the binary encoding should be well under 40 bytes/event
+    // (events are at most 1 + 24 bytes plus the small header).
+    let w = &suite(Scale::Test)[0];
+    let trace = w.trace();
+    let mut bytes = Vec::new();
+    write_trace(&trace, &mut bytes).unwrap();
+    let per_event = bytes.len() as f64 / trace.events().len() as f64;
+    assert!(
+        per_event < 40.0,
+        "encoding too fat: {per_event:.1} bytes/event over {} events",
+        trace.events().len()
+    );
+}
