@@ -126,5 +126,11 @@ fn join_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, store_paths, bulk_transfers, trigger_lookup_scaling, join_paths);
+criterion_group!(
+    benches,
+    store_paths,
+    bulk_transfers,
+    trigger_lookup_scaling,
+    join_paths
+);
 criterion_main!(benches);

@@ -11,11 +11,9 @@ fn baseline_vs_dtt(c: &mut Criterion) {
     let mut group = c.benchmark_group("workloads");
     group.sample_size(10);
     for w in suite(Scale::Train) {
-        group.bench_with_input(
-            BenchmarkId::new("baseline", w.name()),
-            &w,
-            |b, w| b.iter(|| black_box(w.run_baseline())),
-        );
+        group.bench_with_input(BenchmarkId::new("baseline", w.name()), &w, |b, w| {
+            b.iter(|| black_box(w.run_baseline()))
+        });
         group.bench_with_input(BenchmarkId::new("dtt", w.name()), &w, |b, w| {
             b.iter(|| black_box(w.run_dtt(Config::default()).digest))
         });

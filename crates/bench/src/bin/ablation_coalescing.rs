@@ -22,7 +22,12 @@ fn main() {
         let cfg = Config::default().with_workers(2).with_queue_capacity(8);
         let with = w.run_dtt(cfg.clone());
         let without = w.run_dtt(cfg.with_coalescing(false));
-        assert_eq!(with.digest, without.digest, "{}: coalescing changed results", w.name());
+        assert_eq!(
+            with.digest,
+            without.digest,
+            "{}: coalescing changed results",
+            w.name()
+        );
         let e_with: u64 = with.tthreads.iter().map(|t| t.executions).sum();
         let e_without: u64 = without.tthreads.iter().map(|t| t.executions).sum();
         table.row(vec![

@@ -17,7 +17,9 @@ fn main() {
     let (mut shared_all, mut private_all) = (Vec::new(), Vec::new());
     for (w, trace) in &traces {
         let shared_cfg = MachineConfig::default().with_contexts(4);
-        let private_cfg = MachineConfig::default().with_contexts(4).with_private_l1(true);
+        let private_cfg = MachineConfig::default()
+            .with_contexts(4)
+            .with_private_l1(true);
         let (base_s, dtt_s) = run_pair(&shared_cfg, trace);
         let (base_p, dtt_p) = run_pair(&private_cfg, trace);
         let s = base_s.speedup_over(&dtt_s);

@@ -3,7 +3,9 @@
 //! degenerates to "recompute on any write". This quantifies how much of
 //! DTT's benefit comes specifically from *silence detection*.
 
-use dtt_bench::{fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_bench::{
+    fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE,
+};
 use dtt_core::Config;
 use dtt_sim::MachineConfig;
 use dtt_workloads::suite;
@@ -35,7 +37,10 @@ fn main() {
             w.name().into(),
             fmt_speedup(s_on),
             fmt_speedup(s_off),
-            format!("{:.1}%", 100.0 * (1.0 - (s_off - 1.0) / (s_on - 1.0).max(1e-9))),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - (s_off - 1.0) / (s_on - 1.0).max(1e-9))
+            ),
             fmt_pct(silent[i]),
         ]);
     }

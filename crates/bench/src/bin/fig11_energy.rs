@@ -29,6 +29,12 @@ fn main() {
         ]);
     }
     let mean = savings.iter().sum::<f64>() / savings.len() as f64;
-    table.row(vec!["mean".into(), "-".into(), "-".into(), "-".into(), fmt_pct(mean)]);
+    table.row(vec![
+        "mean".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_pct(mean),
+    ]);
     table.print("R-Fig.11: energy proxy (activity model)");
 }

@@ -33,7 +33,12 @@ fn main() {
         let par = t2.elapsed();
 
         assert_eq!(base_digest, run.digest, "{}: dtt digest mismatch", w.name());
-        assert_eq!(base_digest, run_par.digest, "{}: parallel digest mismatch", w.name());
+        assert_eq!(
+            base_digest,
+            run_par.digest,
+            "{}: parallel digest mismatch",
+            w.name()
+        );
 
         let s = base.as_secs_f64() / dtt.as_secs_f64();
         let sp = base.as_secs_f64() / par.as_secs_f64();

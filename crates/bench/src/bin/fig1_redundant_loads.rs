@@ -28,5 +28,8 @@ fn main() {
     let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
     table.row(vec!["mean".into(), "-".into(), "-".into(), fmt_pct(mean)]);
     table.print("R-Fig.1: redundant loads per benchmark");
-    println!("paper: 78% of all loads are redundant; measured mean {}", fmt_pct(mean));
+    println!(
+        "paper: 78% of all loads are redundant; measured mean {}",
+        fmt_pct(mean)
+    );
 }

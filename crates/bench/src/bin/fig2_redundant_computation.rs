@@ -28,6 +28,12 @@ fn main() {
         ]);
     }
     let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
-    table.row(vec!["mean".into(), "-".into(), "-".into(), fmt_pct(mean), "-".into()]);
+    table.row(vec![
+        "mean".into(),
+        "-".into(),
+        "-".into(),
+        fmt_pct(mean),
+        "-".into(),
+    ]);
     table.print("R-Fig.2: redundant computation per benchmark");
 }

@@ -4,7 +4,9 @@
 //! Paper reference points (abstract): speedups up to 5.9× (mcf), averaging
 //! 46% across the modified C SPEC benchmarks.
 
-use dtt_bench::{fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_bench::{
+    fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE,
+};
 use dtt_sim::MachineConfig;
 
 fn main() {

@@ -3,7 +3,9 @@
 //! resulting speedup. Coarser granularity is cheaper hardware but fires
 //! tthreads for stores that merely *neighbour* the watched data.
 
-use dtt_bench::{fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE};
+use dtt_bench::{
+    fmt_pct, fmt_speedup, geomean, run_pair, suite_with_traces, Table, EXPERIMENT_SCALE,
+};
 use dtt_sim::MachineConfig;
 
 fn main() {
@@ -11,9 +13,11 @@ fn main() {
     let traces = suite_with_traces(EXPERIMENT_SCALE);
     let mut table = Table::new(
         std::iter::once("benchmark".to_string())
-            .chain(sweeps.iter().flat_map(|g| {
-                [format!("{g}B speedup"), format!("{g}B false trig")]
-            }))
+            .chain(
+                sweeps
+                    .iter()
+                    .flat_map(|g| [format!("{g}B speedup"), format!("{g}B false trig")]),
+            )
             .collect(),
     );
     let mut per_sweep: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];

@@ -27,6 +27,12 @@ fn main() {
         ]);
     }
     let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
-    table.row(vec!["mean".into(), "-".into(), "-".into(), "-".into(), fmt_pct(mean)]);
+    table.row(vec![
+        "mean".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_pct(mean),
+    ]);
     table.print("R-Tab.3: dynamic instruction reduction");
 }

@@ -72,7 +72,9 @@ impl Args {
                 if let Some((k, v)) = name.split_once('=') {
                     args.options.push((k.to_owned(), Some(v.to_owned())));
                 } else if VALUED.contains(&name) {
-                    let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
                     args.options.push((name.to_owned(), Some(value)));
                 } else {
                     args.options.push((name.to_owned(), None));
@@ -208,7 +210,10 @@ mod tests {
     fn error_display() {
         for e in [
             ArgError::MissingValue("x".into()),
-            ArgError::BadValue { option: "x".into(), value: "y".into() },
+            ArgError::BadValue {
+                option: "x".into(),
+                value: "y".into(),
+            },
             ArgError::UnknownOption("z".into()),
             ArgError::MissingPositional("workload"),
         ] {

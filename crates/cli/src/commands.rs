@@ -94,7 +94,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .with_silent_store_suppression(!args.flag("no-suppress"));
     let baseline = w.run_baseline();
     let run = w.run_dtt(cfg);
-    let check = if baseline == run.digest { "ok" } else { "MISMATCH" };
+    let check = if baseline == run.digest {
+        "ok"
+    } else {
+        "MISMATCH"
+    };
     let mut out = String::new();
     let _ = writeln!(out, "workload {} at {scale} scale", w.name());
     let _ = writeln!(out, "digest check: {check} (0x{baseline:016x})");
@@ -112,7 +116,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 
 /// `dtt-cli profile <workload>`
 pub fn profile(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["scale", "top"]).map_err(CliError::Args)?;
+    args.expect_only(&["scale", "top"])
+        .map_err(CliError::Args)?;
     let scale = parse_scale(args)?;
     let w = find_workload(args, scale)?;
     let trace = w.trace();
@@ -123,8 +128,12 @@ fn profile_trace(trace: &Trace, label: &str, top: usize) -> Result<String, CliEr
     let loads = LoadProfiler::profile(trace);
     let redundancy = RedundancyProfiler::profile(trace);
     let mut out = String::new();
-    let _ = writeln!(out, "profile of {label}: {} events, {} instructions",
-        trace.events().len(), trace.instructions());
+    let _ = writeln!(
+        out,
+        "profile of {label}: {} events, {} instructions",
+        trace.events().len(),
+        trace.instructions()
+    );
     let _ = writeln!(out, "redundant loads: {loads}");
     let _ = writeln!(out, "redundant computation: {redundancy}");
     let _ = writeln!(out, "\ntop redundant load sites (tthread candidates):");
@@ -140,7 +149,10 @@ fn profile_trace(trace: &Trace, label: &str, top: usize) -> Result<String, CliEr
     }
     let stores = StoreProfiler::profile(trace);
     let _ = writeln!(out, "\nsilent stores: {stores}");
-    let _ = writeln!(out, "top trigger-candidate store sites (mixed silent/changing):");
+    let _ = writeln!(
+        out,
+        "top trigger-candidate store sites (mixed silent/changing):"
+    );
     for (site, stats) in stores.candidate_sites().into_iter().take(top) {
         let _ = writeln!(
             out,
@@ -168,7 +180,14 @@ fn profile_trace(trace: &Trace, label: &str, top: usize) -> Result<String, CliEr
 /// `dtt-cli simulate <workload>`
 pub fn simulate_cmd(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
-        "scale", "contexts", "spawn", "queue", "granularity-bytes", "no-suppress", "private-l1", "tst",
+        "scale",
+        "contexts",
+        "spawn",
+        "queue",
+        "granularity-bytes",
+        "no-suppress",
+        "private-l1",
+        "tst",
     ])
     .map_err(CliError::Args)?;
     let scale = parse_scale(args)?;
@@ -190,7 +209,8 @@ fn simulate_trace(trace: &Trace, label: &str, cfg: &MachineConfig) -> Result<Str
 
 /// `dtt-cli trace <workload> --out FILE`
 pub fn trace_cmd(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["scale", "out"]).map_err(CliError::Args)?;
+    args.expect_only(&["scale", "out"])
+        .map_err(CliError::Args)?;
     let scale = parse_scale(args)?;
     let w = find_workload(args, scale)?;
     let path = args
@@ -210,7 +230,15 @@ pub fn trace_cmd(args: &Args) -> Result<String, CliError> {
 /// `dtt-cli replay --input FILE`
 pub fn replay(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
-        "input", "contexts", "spawn", "queue", "granularity-bytes", "no-suppress", "private-l1", "tst", "top",
+        "input",
+        "contexts",
+        "spawn",
+        "queue",
+        "granularity-bytes",
+        "no-suppress",
+        "private-l1",
+        "tst",
+        "top",
     ])
     .map_err(CliError::Args)?;
     let path = args
@@ -227,7 +255,13 @@ pub fn replay(args: &Args) -> Result<String, CliError> {
 /// `dtt-cli machine`
 pub fn machine(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
-        "contexts", "spawn", "queue", "granularity-bytes", "no-suppress", "private-l1", "tst",
+        "contexts",
+        "spawn",
+        "queue",
+        "granularity-bytes",
+        "no-suppress",
+        "private-l1",
+        "tst",
     ])
     .map_err(CliError::Args)?;
     Ok(format!("{}\n", machine_from_args(args)?))

@@ -45,7 +45,10 @@ impl fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::UnknownWorkload(w) => {
-                write!(f, "unknown workload {w:?}; run `dtt-cli list` for the suite")
+                write!(
+                    f,
+                    "unknown workload {w:?}; run `dtt-cli list` for the suite"
+                )
             }
             CliError::UnknownCommand(c) => {
                 write!(f, "unknown command {c:?}; run `dtt-cli help`")
@@ -130,15 +133,18 @@ mod tests {
 
     #[test]
     fn unknown_command_errors() {
-        assert!(matches!(run(&["frobnicate"]), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            run(&["frobnicate"]),
+            Err(CliError::UnknownCommand(_))
+        ));
     }
 
     #[test]
     fn list_names_the_whole_suite() {
         let out = run(&["list"]).unwrap();
         for name in [
-            "mcf", "equake", "art", "ammp", "bzip2", "gzip", "parser", "twolf", "vpr",
-            "mesa", "vortex", "crafty", "gap", "perlbmk",
+            "mcf", "equake", "art", "ammp", "bzip2", "gzip", "parser", "twolf", "vpr", "mesa",
+            "vortex", "crafty", "gap", "perlbmk",
         ] {
             assert!(out.contains(name), "missing {name}");
         }

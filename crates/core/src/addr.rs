@@ -194,7 +194,10 @@ impl Granularity {
             Granularity::Word => 8,
             Granularity::Line => 64,
             Granularity::Block(w) => {
-                assert!(w.is_power_of_two(), "block granularity must be a power of two");
+                assert!(
+                    w.is_power_of_two(),
+                    "block granularity must be a power of two"
+                );
                 w
             }
         }

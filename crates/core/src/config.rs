@@ -54,6 +54,14 @@ pub struct Config {
     pub workers: usize,
     /// Behaviour on queue overflow (parallel executor only).
     pub overflow: OverflowPolicy,
+    /// Run worker tthread bodies *detached*: snapshot tracked memory under
+    /// the state lock, execute the body lock-free against the snapshot, and
+    /// commit its stores (firing triggers) under the lock afterwards. This
+    /// is what makes worker executions overlap the main thread. Disabling
+    /// it restores the legacy attached executor, which holds the state lock
+    /// across the whole body — fully serialized, useful as an ablation
+    /// baseline. Ignored by the deferred executor (`workers == 0`).
+    pub detached_execution: bool,
     /// Maximum depth of tthreads triggering tthreads before
     /// [`crate::error::Error::CascadeDepthExceeded`] aborts the cascade.
     pub max_cascade_depth: u32,
@@ -70,6 +78,7 @@ impl Default for Config {
             queue_capacity: 64,
             workers: 0,
             overflow: OverflowPolicy::default(),
+            detached_execution: true,
             max_cascade_depth: 64,
             arena_capacity: 1 << 32,
         }
@@ -115,6 +124,12 @@ impl Config {
     /// Sets the queue-overflow policy.
     pub fn with_overflow(mut self, policy: OverflowPolicy) -> Self {
         self.overflow = policy;
+        self
+    }
+
+    /// Enables or disables detached (snapshot/commit) worker execution.
+    pub fn with_detached_execution(mut self, on: bool) -> Self {
+        self.detached_execution = on;
         self
     }
 

@@ -11,61 +11,217 @@
 //! 4. for each matched tthread, advance its status machine: mark triggered,
 //!    enqueue for a worker, coalesce with a pending instance, or fall back
 //!    to inline execution when the queue is full.
+//!
+//! # Locked and detached execution
+//!
+//! A `Ctx` runs in one of two modes, invisible to user code:
+//!
+//! * **Locked** — the context borrows the runtime state under the global
+//!   state lock. Main-thread regions, joins, the deferred executor and
+//!   inline overflow executions all run locked; stores dispatch triggers
+//!   immediately.
+//! * **Detached** — used by worker threads when
+//!   [`crate::config::Config::detached_execution`] is on. The body runs
+//!   against a *privatized* snapshot of tracked memory taken under the lock
+//!   (the privatization pattern of Balaji et al.): loads read the snapshot,
+//!   stores apply to the snapshot and append to a write log. No triggers
+//!   fire during the body; the worker reacquires the lock afterwards and
+//!   *commits* the log — replaying the stores against live memory and
+//!   dispatching triggers for the ones that still change it. Accessing the
+//!   untracked user state from a detached body acquires the state lock (it
+//!   cannot be snapshotted) and holds it through commit.
+
+use std::cell::OnceCell;
+
+use parking_lot::MutexGuard;
 
 use crate::config::OverflowPolicy;
 use crate::error::Error;
 use crate::handle::{Tracked, TrackedArray};
+use crate::heap::TrackedHeap;
 use crate::pod::Pod;
 use crate::runtime::{Inner, State};
+use crate::stats::Counters;
 use crate::tthread::{TthreadId, TthreadStatus};
+
+/// One store recorded by a detached execution, replayed at commit.
+pub(crate) struct LoggedStore {
+    /// Byte range the store covers.
+    pub(crate) range: crate::addr::AddrRange,
+    /// The bytes written.
+    pub(crate) data: Vec<u8>,
+    /// Whether the store consults the trigger table at commit
+    /// (`false` for [`Ctx::init`]-style writes).
+    pub(crate) dispatch: bool,
+}
+
+/// The privatized view backing a detached execution.
+pub(crate) struct DetachedView<'a, U> {
+    /// Snapshot of tracked memory taken under the lock at execution start.
+    snap: TrackedHeap,
+    /// Stores performed by the body, in program order.
+    log: Vec<LoggedStore>,
+    /// Memory-access counters accumulated off the lock, merged at commit.
+    delta: Counters,
+    /// Lazily acquired state lock for user-state access; once taken it is
+    /// held until commit, which reuses it instead of relocking.
+    guard: OnceCell<MutexGuard<'a, State<U>>>,
+}
+
+enum CtxMode<'a, U> {
+    Locked(&'a mut State<U>),
+    // Boxed: the view embeds a whole TrackedHeap, which would otherwise
+    // bloat every locked context.
+    Detached(Box<DetachedView<'a, U>>),
+}
 
 /// Mutable view of the runtime state handed to main-thread regions and
 /// tthread bodies.
 ///
-/// A `Ctx` borrows the runtime's state lock, so it cannot be stored; it
+/// A `Ctx` borrows the runtime's state lock (or, for a worker running
+/// detached, a snapshot of tracked memory), so it cannot be stored; it
 /// lives only for the duration of a [`crate::runtime::Runtime::with`] call
 /// or a tthread execution.
 pub struct Ctx<'a, U> {
-    pub(crate) state: &'a mut State<U>,
+    mode: CtxMode<'a, U>,
     pub(crate) inner: &'a Inner<U>,
     pub(crate) depth: u32,
 }
 
 impl<'a, U: Send + 'static> Ctx<'a, U> {
     pub(crate) fn new(state: &'a mut State<U>, inner: &'a Inner<U>, depth: u32) -> Self {
-        Ctx { state, inner, depth }
+        Ctx {
+            mode: CtxMode::Locked(state),
+            inner,
+            depth,
+        }
+    }
+
+    /// Creates a detached context over a snapshot of tracked memory.
+    pub(crate) fn detached(snap: TrackedHeap, inner: &'a Inner<U>, depth: u32) -> Self {
+        Ctx {
+            mode: CtxMode::Detached(Box::new(DetachedView {
+                snap,
+                log: Vec::new(),
+                delta: Counters::new(),
+                guard: OnceCell::new(),
+            })),
+            inner,
+            depth,
+        }
+    }
+
+    /// Tears a detached context apart for commit: the state-lock guard if
+    /// the body acquired one (for user-state access), the write log, and
+    /// the off-lock counter delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a locked context.
+    pub(crate) fn into_detached_parts(
+        self,
+    ) -> (Option<MutexGuard<'a, State<U>>>, Vec<LoggedStore>, Counters) {
+        match self.mode {
+            CtxMode::Detached(view) => {
+                let view = *view;
+                (view.guard.into_inner(), view.log, view.delta)
+            }
+            CtxMode::Locked(_) => unreachable!("only detached contexts are committed"),
+        }
+    }
+
+    /// The locked runtime state; trigger dispatch and the status machine
+    /// only ever run here.
+    fn locked(&mut self) -> &mut State<U> {
+        match &mut self.mode {
+            CtxMode::Locked(state) => state,
+            CtxMode::Detached(_) => {
+                unreachable!("trigger dispatch runs only under the state lock")
+            }
+        }
     }
 
     /// Shared access to the untracked user state.
+    ///
+    /// From a detached worker execution this acquires the runtime's state
+    /// lock on first access (user state cannot be snapshotted) and holds it
+    /// until the execution commits; see the module docs.
     pub fn user(&self) -> &U {
-        &self.state.user
+        let inner = self.inner;
+        match &self.mode {
+            CtxMode::Locked(state) => &state.user,
+            CtxMode::Detached(view) => &view.guard.get_or_init(|| inner.state.lock()).user,
+        }
     }
 
     /// Exclusive access to the untracked user state.
     ///
     /// Writes through this reference are *not* observed by the trigger
-    /// mechanism; keep trigger-relevant data in tracked memory.
+    /// mechanism; keep trigger-relevant data in tracked memory. The locking
+    /// behaviour from detached executions matches [`Ctx::user`].
     pub fn user_mut(&mut self) -> &mut U {
-        &mut self.state.user
+        let inner = self.inner;
+        match &mut self.mode {
+            CtxMode::Locked(state) => &mut state.user,
+            CtxMode::Detached(view) => {
+                view.guard.get_or_init(|| inner.state.lock());
+                &mut view.guard.get_mut().expect("guard initialized above").user
+            }
+        }
     }
 
     /// Loads a tracked scalar.
     pub fn get<T: Pod>(&mut self, cell: Tracked<T>) -> T {
-        self.state.stats.tracked_loads += 1;
-        self.state.heap.load(cell.addr())
+        match &mut self.mode {
+            CtxMode::Locked(state) => {
+                state.stats.tracked_loads += 1;
+                state.heap.load(cell.addr())
+            }
+            CtxMode::Detached(view) => {
+                view.delta.tracked_loads += 1;
+                view.snap.load(cell.addr())
+            }
+        }
     }
 
     /// Stores a tracked scalar, firing triggers if the value changed.
+    ///
+    /// From a detached execution the change check runs against the
+    /// snapshot, the store is logged, and triggers fire at commit time if
+    /// the store still changes live memory.
     pub fn set<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
         let detect = self.inner.cfg.suppress_silent_stores;
-        let effect = self.state.heap.store(cell.addr(), value, detect);
-        self.state.stats.tracked_stores += 1;
-        self.state.stats.bytes_compared += effect.bytes_compared;
-        if detect && !effect.changed {
-            self.state.stats.silent_stores += 1;
-            return;
+        match &mut self.mode {
+            CtxMode::Locked(state) => {
+                let effect = state.heap.store(cell.addr(), value, detect);
+                state.stats.tracked_stores += 1;
+                state.stats.bytes_compared += effect.bytes_compared;
+                if detect && !effect.changed {
+                    state.stats.silent_stores += 1;
+                    return;
+                }
+                state.stats.changing_stores += 1;
+            }
+            CtxMode::Detached(view) => {
+                let effect = view.snap.store(cell.addr(), value, detect);
+                view.delta.tracked_stores += 1;
+                view.delta.bytes_compared += effect.bytes_compared;
+                if detect && !effect.changed {
+                    view.delta.silent_stores += 1;
+                    return;
+                }
+                view.delta.changing_stores += 1;
+                let mut buf = [0u8; 16];
+                let enc = &mut buf[..T::SIZE];
+                value.write_le(enc);
+                view.log.push(LoggedStore {
+                    range: cell.range(),
+                    data: enc.to_vec(),
+                    dispatch: true,
+                });
+                return;
+            }
         }
-        self.state.stats.changing_stores += 1;
         self.dispatch(cell.range());
     }
 
@@ -93,7 +249,22 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// Intended for initialization: the write is unconditional, is not
     /// counted as a tracked store, and never fires a trigger.
     pub fn init<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
-        self.state.heap.store(cell.addr(), value, false);
+        match &mut self.mode {
+            CtxMode::Locked(state) => {
+                state.heap.store(cell.addr(), value, false);
+            }
+            CtxMode::Detached(view) => {
+                view.snap.store(cell.addr(), value, false);
+                let mut buf = [0u8; 16];
+                let enc = &mut buf[..T::SIZE];
+                value.write_le(enc);
+                view.log.push(LoggedStore {
+                    range: cell.range(),
+                    data: enc.to_vec(),
+                    dispatch: false,
+                });
+            }
+        }
     }
 
     /// Array form of [`Ctx::init`].
@@ -130,12 +301,16 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         if from == to {
             return;
         }
-        let bytes = self.state.heap.load_bytes(array.range_of(from, to));
+        let (heap, loads): (&TrackedHeap, &mut u64) = match &mut self.mode {
+            CtxMode::Locked(state) => (&state.heap, &mut state.stats.tracked_loads),
+            CtxMode::Detached(view) => (&view.snap, &mut view.delta.tracked_loads),
+        };
+        let bytes = heap.load_bytes(array.range_of(from, to));
         out.reserve(to - from);
         for chunk in bytes.chunks_exact(T::SIZE) {
             out.push(T::read_le(chunk));
         }
-        self.state.stats.tracked_loads += (to - from) as u64;
+        *loads += (to - from) as u64;
     }
 
     /// Bulk-loads the whole array; see [`Ctx::read_slice_into`].
@@ -161,11 +336,15 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         }
         let detect = self.inner.cfg.suppress_silent_stores;
         let range = array.range_of(from, from + n);
+        let (heap, stats): (&mut TrackedHeap, &mut Counters) = match &mut self.mode {
+            CtxMode::Locked(state) => (&mut state.heap, &mut state.stats),
+            CtxMode::Detached(view) => (&mut view.snap, &mut view.delta),
+        };
         // Phase 1: compare + copy per element, collecting runs of changed
         // elements.
         let mut runs: Vec<(usize, usize)> = Vec::new();
         {
-            let slice = self.state.heap.slice_mut(range);
+            let slice = heap.slice_mut(range);
             let mut buf = [0u8; 16];
             let mut run_start: Option<usize> = None;
             for (k, v) in values.iter().enumerate() {
@@ -188,32 +367,56 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         }
         // Phase 2: stats and trigger dispatch per changed run.
         let changed_elems: usize = runs.iter().map(|(a, b)| b - a).sum();
-        self.state.stats.tracked_stores += n as u64;
+        stats.tracked_stores += n as u64;
         if detect {
-            self.state.stats.bytes_compared += (n * T::SIZE) as u64;
-            self.state.stats.silent_stores += (n - changed_elems) as u64;
+            stats.bytes_compared += (n * T::SIZE) as u64;
+            stats.silent_stores += (n - changed_elems) as u64;
         }
-        self.state.stats.changing_stores += changed_elems as u64;
-        for (a, b) in runs {
-            self.dispatch(array.range_of(from + a, from + b));
+        stats.changing_stores += changed_elems as u64;
+        match &mut self.mode {
+            CtxMode::Locked(_) => {
+                for (a, b) in runs {
+                    self.dispatch(array.range_of(from + a, from + b));
+                }
+            }
+            CtxMode::Detached(view) => {
+                let mut buf = [0u8; 16];
+                for (a, b) in runs {
+                    let mut data = Vec::with_capacity((b - a) * T::SIZE);
+                    for v in &values[a..b] {
+                        let enc = &mut buf[..T::SIZE];
+                        v.write_le(enc);
+                        data.extend_from_slice(enc);
+                    }
+                    view.log.push(LoggedStore {
+                        range: array.range_of(from + a, from + b),
+                        data,
+                        dispatch: true,
+                    });
+                }
+            }
         }
     }
 
     /// Route every store through the trigger table and raise matched
-    /// tthreads.
-    fn dispatch(&mut self, store_range: crate::addr::AddrRange) {
-        let hits = self.state.triggers.lookup(store_range);
+    /// tthreads. Only ever runs locked (the commit path calls this for
+    /// replayed detached stores).
+    pub(crate) fn dispatch(&mut self, store_range: crate::addr::AddrRange) {
+        let depth = self.depth;
+        let state = self.locked();
+        let hits = state.triggers.lookup(store_range);
         if hits.is_empty() {
             return;
         }
-        self.state.stats.triggering_stores += 1;
+        state.stats.triggering_stores += 1;
         for hit in hits {
-            self.state.stats.triggers_fired += 1;
+            let state = self.locked();
+            state.stats.triggers_fired += 1;
             if !hit.precise {
-                self.state.stats.false_triggers += 1;
+                state.stats.false_triggers += 1;
             }
-            if self.depth > 0 {
-                self.state.stats.cascade_triggers += 1;
+            if depth > 0 {
+                state.stats.cascade_triggers += 1;
             }
             self.raise(hit.tthread);
         }
@@ -221,25 +424,28 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
 
     /// Advance the status machine of `id` for one trigger.
     pub(crate) fn raise(&mut self, id: TthreadId) {
-        self.state.tst.entry_mut(id).triggers += 1;
-        match self.state.tst.entry(id).status {
+        let deferred = self.inner.cfg.is_deferred();
+        let coalesce = self.inner.cfg.coalesce;
+        let state = self.locked();
+        state.tst.entry_mut(id).triggers += 1;
+        match state.tst.entry(id).status {
             TthreadStatus::Running => {
-                self.state.tst.entry_mut(id).retrigger = true;
-                self.state.stats.coalesced_triggers += 1;
+                state.tst.entry_mut(id).retrigger = true;
+                state.stats.coalesced_triggers += 1;
             }
             TthreadStatus::Triggered => {
-                self.state.stats.coalesced_triggers += 1;
+                state.stats.coalesced_triggers += 1;
             }
             TthreadStatus::Queued => {
-                if self.inner.cfg.coalesce {
-                    self.state.stats.coalesced_triggers += 1;
+                if coalesce {
+                    state.stats.coalesced_triggers += 1;
                 } else {
                     self.enqueue(id);
                 }
             }
             TthreadStatus::Clean => {
-                if self.inner.cfg.is_deferred() {
-                    self.state.tst.entry_mut(id).status = TthreadStatus::Triggered;
+                if deferred {
+                    state.tst.entry_mut(id).status = TthreadStatus::Triggered;
                 } else {
                     self.enqueue(id);
                 }
@@ -250,21 +456,28 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// Push `id` onto the worker queue, applying the overflow policy.
     fn enqueue(&mut self, id: TthreadId) {
         use crate::queue::PushOutcome;
-        match self.state.queue.push(id) {
+        let overflow = self.inner.cfg.overflow;
+        let state = self.locked();
+        match state.queue.push(id) {
             PushOutcome::Enqueued => {
-                self.state.tst.entry_mut(id).status = TthreadStatus::Queued;
-                self.state.stats.enqueues += 1;
+                state.tst.entry_mut(id).status = TthreadStatus::Queued;
+                state.stats.enqueues += 1;
                 self.inner.work_cv.notify_one();
             }
             PushOutcome::Coalesced => {
-                self.state.stats.coalesced_triggers += 1;
+                state.stats.coalesced_triggers += 1;
             }
             PushOutcome::Full => {
-                self.state.stats.queue_overflows += 1;
-                match self.inner.cfg.overflow {
+                state.stats.queue_overflows += 1;
+                // Without coalescing, `id` may already occupy a queue slot
+                // from an earlier trigger. Drop it so the overflow handling
+                // below is the *only* pending execution; leaving it would
+                // let a worker run the tthread a second time.
+                state.queue.remove(id);
+                match overflow {
                     OverflowPolicy::ExecuteInline => self.run_inline(id),
                     OverflowPolicy::DeferToJoin => {
-                        self.state.tst.entry_mut(id).status = TthreadStatus::Triggered;
+                        self.locked().tst.entry_mut(id).status = TthreadStatus::Triggered;
                     }
                 }
             }
@@ -288,27 +501,31 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             Error::CascadeDepthExceeded(self.inner.cfg.max_cascade_depth)
         );
         let func = self.inner.tthread_fn(id);
+        let inner = self.inner;
         loop {
-            self.state.tst.entry_mut(id).status = TthreadStatus::Running;
-            self.state.tst.entry_mut(id).retrigger = false;
+            let state = self.locked();
+            state.tst.entry_mut(id).status = TthreadStatus::Running;
+            state.tst.entry_mut(id).retrigger = false;
             let outcome = {
-                let mut nested = Ctx::new(self.state, self.inner, next_depth);
+                let mut nested = Ctx::new(state, inner, next_depth);
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut nested)))
             };
+            let state = self.locked();
             if let Err(payload) = outcome {
-                let entry = self.state.tst.entry_mut(id);
+                let entry = state.tst.entry_mut(id);
                 entry.poisoned = true;
                 entry.retrigger = false;
                 entry.status = TthreadStatus::Clean;
-                self.inner.done_cv.notify_all();
+                inner.done_cv.notify_all();
                 std::panic::resume_unwind(payload);
             }
-            self.state.stats.executions += 1;
-            self.state.stats.inline_executions += 1;
-            let entry = self.state.tst.entry_mut(id);
+            state.stats.executions += 1;
+            state.stats.inline_executions += 1;
+            let entry = state.tst.entry_mut(id);
             entry.executions += 1;
             if !entry.retrigger {
                 entry.status = TthreadStatus::Clean;
+                entry.epoch += 1;
                 break;
             }
         }

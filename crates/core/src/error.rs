@@ -75,8 +75,15 @@ mod tests {
     fn display_messages_are_lowercase_and_nonempty() {
         let errs: Vec<Error> = vec![
             Error::UnknownTthread(TthreadId::new(3)),
-            Error::RegionOutOfBounds { start: 0, len: 8, heap_len: 4 },
-            Error::ArenaExhausted { requested: 100, available: 10 },
+            Error::RegionOutOfBounds {
+                start: 0,
+                len: 8,
+                heap_len: 4,
+            },
+            Error::ArenaExhausted {
+                requested: 100,
+                available: 10,
+            },
             Error::NoSuchWatch(TthreadId::new(0)),
             Error::CascadeDepthExceeded(32),
             Error::TthreadPoisoned(TthreadId::new(1)),

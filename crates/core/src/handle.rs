@@ -108,7 +108,11 @@ impl<T: Pod> TrackedArray<T> {
     ///
     /// Panics if `index >= self.len()`.
     pub fn at(&self, index: usize) -> Tracked<T> {
-        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds (len {})",
+            self.len
+        );
         Tracked::new(self.addr.offset((index * T::SIZE) as u64))
     }
 
@@ -123,7 +127,10 @@ impl<T: Pod> TrackedArray<T> {
     ///
     /// Panics if `from > to` or `to > self.len()`.
     pub fn range_of(&self, from: usize, to: usize) -> AddrRange {
-        assert!(from <= to && to <= self.len, "invalid element range {from}..{to}");
+        assert!(
+            from <= to && to <= self.len,
+            "invalid element range {from}..{to}"
+        );
         AddrRange::new(
             self.addr.offset((from * T::SIZE) as u64),
             ((to - from) * T::SIZE) as u64,
@@ -217,7 +224,11 @@ impl<T: Pod> TrackedMatrix<T> {
     ///
     /// Panics if `row` is out of bounds.
     pub fn row_range(&self, row: usize) -> AddrRange {
-        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds ({} rows)",
+            self.rows
+        );
         AddrRange::new(
             self.addr.offset((row * self.cols * T::SIZE) as u64),
             (self.cols * T::SIZE) as u64,

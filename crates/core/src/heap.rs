@@ -87,14 +87,18 @@ impl TrackedHeap {
             "alignment must be a nonzero power of two"
         );
         let base = (self.mem.len() as u64).div_ceil(align) * align;
+        // `available` accounts for the alignment padding the allocation
+        // would need: capacity minus the aligned base, saturated so a base
+        // already past capacity reports 0 rather than wrapping.
+        let available = self.capacity.saturating_sub(base);
         let end = base.checked_add(len).ok_or(Error::ArenaExhausted {
             requested: len,
-            available: self.capacity - self.len(),
+            available,
         })?;
         if end > self.capacity {
             return Err(Error::ArenaExhausted {
                 requested: len,
-                available: self.capacity.saturating_sub(self.len()),
+                available,
             });
         }
         self.mem.resize(end as usize, 0);
@@ -139,7 +143,12 @@ impl TrackedHeap {
     /// # Panics
     ///
     /// Panics if `range` is out of bounds or `data.len() != range.len()`.
-    pub fn store_bytes(&mut self, range: AddrRange, data: &[u8], detect_change: bool) -> StoreEffect {
+    pub fn store_bytes(
+        &mut self,
+        range: AddrRange,
+        data: &[u8],
+        detect_change: bool,
+    ) -> StoreEffect {
         self.check_range(range).expect("store out of bounds");
         assert_eq!(data.len() as u64, range.len(), "store size mismatch");
         let slot = &mut self.mem[range.start().raw() as usize..range.end().raw() as usize];
@@ -224,6 +233,36 @@ mod tests {
         assert!(h.alloc(8, 8).is_ok());
         let err = h.alloc(16, 8).unwrap_err();
         assert!(matches!(err, Error::ArenaExhausted { .. }));
+    }
+
+    #[test]
+    fn alloc_error_reports_padding_aware_available() {
+        let mut h = TrackedHeap::with_capacity(16);
+        h.alloc(3, 1).unwrap(); // len = 3; an 8-aligned base sits at 8
+        match h.alloc(16, 8).unwrap_err() {
+            Error::ArenaExhausted {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, 16);
+                // Not 13 (capacity - len): padding to the aligned base
+                // leaves only 8 usable bytes.
+                assert_eq!(available, 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Exactly at the boundary the allocation succeeds...
+        assert!(h.alloc(8, 8).is_ok());
+        assert_eq!(h.len(), 16);
+        // ...and past it both error paths report 0 available, saturated.
+        match h.alloc(1, 1).unwrap_err() {
+            Error::ArenaExhausted { available, .. } => assert_eq!(available, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+        match h.alloc(u64::MAX, 1).unwrap_err() {
+            Error::ArenaExhausted { available, .. } => assert_eq!(available, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -74,7 +74,12 @@
 //! * **Parallel** (`workers > 0`): triggers enqueue the tthread on a bounded
 //!   coalescing queue drained by OS worker threads, modelling the spare
 //!   hardware contexts of the HPCA'11 design; the queue-overflow fallback
-//!   executes on the triggering thread, as in the paper.
+//!   executes on the triggering thread, as in the paper. Worker bodies run
+//!   *detached* by default — input snapshot taken under the runtime lock,
+//!   body executed lock-free, stores committed (with change re-detection)
+//!   under the lock afterwards — so they genuinely overlap the main thread;
+//!   see the [`Runtime`] memory-consistency notes and
+//!   [`Config::detached_execution`].
 //!
 //! ## Crate map
 //!

@@ -22,6 +22,8 @@ pub struct TthreadReportRow {
     pub poisoned: bool,
     /// Executions so far.
     pub executions: u64,
+    /// Completed-execution epoch (see [`crate::tthread::TstEntry::epoch`]).
+    pub epoch: u64,
     /// Skipped joins so far.
     pub skips: u64,
     /// Triggers received so far.
@@ -64,11 +66,12 @@ impl fmt::Display for RuntimeReport {
         for t in &self.tthreads {
             writeln!(
                 f,
-                "  {:<24} {:<9}{} exec {:<8} skip {:<8} trig {:<8}",
+                "  {:<24} {:<9}{} exec {:<8} epoch {:<8} skip {:<8} trig {:<8}",
                 t.name,
                 t.status,
                 if t.poisoned { " POISONED" } else { "" },
                 t.executions,
+                t.epoch,
                 t.skips,
                 t.triggers
             )?;

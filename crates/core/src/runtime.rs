@@ -9,11 +9,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::addr::AddrRange;
 use crate::config::Config;
-use crate::ctx::Ctx;
+use crate::ctx::{Ctx, LoggedStore};
 use crate::error::{Error, Result};
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
 use crate::heap::TrackedHeap;
@@ -24,14 +24,22 @@ use crate::trigger::TriggerTable;
 use crate::tthread::{StatusTable, TthreadId, TthreadStatus};
 
 /// How a [`Runtime::join`] call was satisfied.
+///
+/// With the parallel executor in its default detached mode
+/// ([`Config::detached_execution`]), worker executions run off the state
+/// lock against a snapshot and *commit* their effects atomically under the
+/// lock; `join` observes a tthread's effects if and only if its commit
+/// happened before the join's status check. See the [`Runtime`] docs for
+/// the full memory-consistency contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinOutcome {
     /// No trigger fired since the last execution: the computation was
     /// skipped entirely. This is the paper's redundant-computation
     /// elimination.
     Skipped,
-    /// A worker finished the recomputation before the main thread asked for
-    /// it: the work was fully overlapped.
+    /// A worker finished (committed) the recomputation before the main
+    /// thread asked for it: the work was fully overlapped with main-thread
+    /// progress.
     Overlapped,
     /// The tthread was in the triggered state and ran on the calling thread
     /// at the join point (deferred executor, or `DeferToJoin` overflow).
@@ -106,6 +114,37 @@ impl<U> Inner<U> {
 /// rt.with(|ctx| ctx.write(xs, 3, 10));
 /// assert_eq!(rt.join(sum).unwrap(), JoinOutcome::Skipped);
 /// ```
+///
+/// # Memory-consistency contract (parallel executor)
+///
+/// With `cfg.workers > 0` and the default detached execution mode
+/// ([`Config::detached_execution`]), a tthread body running on a worker:
+///
+/// * observes a **snapshot** of tracked memory taken atomically when its
+///   execution starts, plus its own writes — never a concurrent
+///   main-thread store tearing through its reads;
+/// * publishes its tracked stores **atomically at commit**, after the body
+///   returns: the worker reacquires the state lock, replays the body's
+///   write log against live memory, and fires triggers for the stores that
+///   still change it (a store another thread already made redundant is
+///   counted as a commit conflict and fires nothing);
+/// * sees the **live, shared** user state `U` through
+///   [`Ctx::user`]/[`Ctx::user_mut`] — first access acquires the state
+///   lock and holds it until the commit, so user-state updates serialize
+///   with main-thread regions;
+/// * is **re-executed** (with a fresh snapshot) if a trigger landed on it
+///   while it ran, so a committed execution always reflects inputs no
+///   older than its last trigger;
+/// * publishes **nothing** if it panics: the tthread is poisoned and the
+///   partial write log is discarded, making detached executions atomic.
+///
+/// Main-thread regions ([`Runtime::with`]) always run under the state
+/// lock and see every commit that happened before the region started;
+/// [`Runtime::join`] returning guarantees the joined tthread's effects
+/// (for its triggers so far) are visible. The legacy attached mode
+/// (`detached_execution = false`) instead holds the state lock across the
+/// whole body — serializing workers against the main thread — and is kept
+/// as an ablation baseline.
 pub struct Runtime<U> {
     inner: Arc<Inner<U>>,
     pool: WorkerPool<U>,
@@ -347,15 +386,19 @@ impl<U: Send + 'static> Runtime<U> {
                     return Ok(JoinOutcome::Skipped);
                 }
                 TthreadStatus::Triggered => {
-                    let mut ctx = Ctx::new(&mut state, &self.inner, 0);
-                    ctx.run_inline(tthread);
+                    {
+                        let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+                        ctx.run_inline(tthread);
+                    }
                     state.tst.entry_mut(tthread).completed_since_join = false;
                     return Ok(JoinOutcome::RanInline);
                 }
                 TthreadStatus::Queued => {
                     state.queue.remove(tthread);
-                    let mut ctx = Ctx::new(&mut state, &self.inner, 0);
-                    ctx.run_inline(tthread);
+                    {
+                        let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+                        ctx.run_inline(tthread);
+                    }
                     state.tst.entry_mut(tthread).completed_since_join = false;
                     return Ok(JoinOutcome::Stolen);
                 }
@@ -424,8 +467,10 @@ impl<U: Send + 'static> Runtime<U> {
                 _ => break,
             }
         }
-        let mut ctx = Ctx::new(&mut state, &self.inner, 0);
-        ctx.run_inline(tthread);
+        {
+            let mut ctx = Ctx::new(&mut state, &self.inner, 0);
+            ctx.run_inline(tthread);
+        }
         state.tst.entry_mut(tthread).completed_since_join = false;
         Ok(())
     }
@@ -511,6 +556,7 @@ impl<U: Send + 'static> Runtime<U> {
                     status: entry.status,
                     poisoned: entry.poisoned,
                     executions: entry.executions,
+                    epoch: entry.epoch,
                     skips: entry.skips,
                     triggers: entry.triggers,
                     watches,
@@ -572,35 +618,141 @@ fn worker_loop<U: Send + 'static>(inner: Arc<Inner<U>>) {
             continue;
         };
         let func = inner.tthread_fn(id);
-        loop {
-            state.tst.entry_mut(id).status = TthreadStatus::Running;
-            state.tst.entry_mut(id).retrigger = false;
-            let outcome = {
-                let mut ctx = Ctx::new(&mut state, &inner, 1);
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
-            };
-            if outcome.is_err() {
-                // Poison the tthread but keep this worker alive for the
-                // other tthreads; the next join reports the failure.
-                let entry = state.tst.entry_mut(id);
-                entry.poisoned = true;
-                entry.retrigger = false;
-                entry.status = TthreadStatus::Clean;
-                entry.completed_since_join = false;
-                break;
-            }
-            state.stats.executions += 1;
-            state.stats.worker_executions += 1;
-            let entry = state.tst.entry_mut(id);
-            entry.executions += 1;
-            if !entry.retrigger {
-                entry.status = TthreadStatus::Clean;
-                entry.completed_since_join = true;
-                break;
-            }
+        if inner.cfg.detached_execution {
+            state = run_detached(&inner, state, id, &func);
+        } else {
+            run_attached(&inner, &mut state, id, &func);
         }
         inner.done_cv.notify_all();
     }
+}
+
+/// Executes one popped tthread *detached*: snapshot under the lock, body
+/// off the lock, commit under the lock. Takes and returns the state guard
+/// because the lock is genuinely released while the body runs.
+fn run_detached<'a, U: Send + 'static>(
+    inner: &'a Inner<U>,
+    mut state: MutexGuard<'a, State<U>>,
+    id: TthreadId,
+    func: &TthreadFn<U>,
+) -> MutexGuard<'a, State<U>> {
+    loop {
+        state.tst.entry_mut(id).status = TthreadStatus::Running;
+        state.tst.entry_mut(id).retrigger = false;
+        let snap = state.heap.clone();
+        drop(state);
+
+        // The body runs entirely off the state lock, against the snapshot;
+        // main-thread `with`/`join` calls proceed concurrently.
+        let mut ctx = Ctx::detached(snap, inner, 1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)));
+        let (guard, log, delta) = ctx.into_detached_parts();
+        // If the body touched user state it already holds the lock; reuse
+        // that guard so user-state updates and the commit are one critical
+        // section.
+        state = guard.unwrap_or_else(|| inner.state.lock());
+
+        if outcome.is_err() {
+            // Poison the tthread but keep this worker alive for the other
+            // tthreads; the next join reports the failure. Nothing the body
+            // stored is published — a detached execution is atomic.
+            poison(&mut state, id);
+            return state;
+        }
+
+        state.stats.merge_access_delta(&delta);
+        // Replay the write log against live memory. A panic can only come
+        // out of a cascaded inline execution (which poisons its own
+        // tthread); treat it like a body panic of `id` so the worker
+        // survives, exactly as the attached executor did.
+        let committed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            commit_log(&mut state, inner, &log)
+        }));
+        if committed.is_err() {
+            poison(&mut state, id);
+            return state;
+        }
+
+        state.stats.executions += 1;
+        state.stats.worker_executions += 1;
+        state.stats.detached_executions += 1;
+        let entry = state.tst.entry_mut(id);
+        entry.executions += 1;
+        if !entry.retrigger {
+            entry.status = TthreadStatus::Clean;
+            entry.completed_since_join = true;
+            entry.epoch += 1;
+            return state;
+        }
+        // A trigger landed while the body ran (or its own commit
+        // retriggered it): the snapshot may be stale, so go around again
+        // with a fresh one.
+    }
+}
+
+/// Replays a detached execution's write log under the state lock, firing
+/// triggers for the stores that still change live memory.
+fn commit_log<U: Send + 'static>(state: &mut State<U>, inner: &Inner<U>, log: &[LoggedStore]) {
+    let detect = inner.cfg.suppress_silent_stores;
+    for entry in log {
+        let effect = state
+            .heap
+            .store_bytes(entry.range, &entry.data, detect && entry.dispatch);
+        if !entry.dispatch {
+            continue;
+        }
+        state.stats.commit_stores += 1;
+        if effect.changed {
+            // Depth 1: triggers raised here are cascades, same as stores
+            // made directly by an attached body.
+            let mut ctx = Ctx::new(state, inner, 1);
+            ctx.dispatch(entry.range);
+        } else {
+            state.stats.commit_conflicts += 1;
+        }
+    }
+}
+
+/// The legacy attached executor: runs the body under the state lock
+/// (`Config::detached_execution = false`), kept as an ablation baseline.
+fn run_attached<U: Send + 'static>(
+    inner: &Inner<U>,
+    state: &mut State<U>,
+    id: TthreadId,
+    func: &TthreadFn<U>,
+) {
+    loop {
+        state.tst.entry_mut(id).status = TthreadStatus::Running;
+        state.tst.entry_mut(id).retrigger = false;
+        let outcome = {
+            let mut ctx = Ctx::new(state, inner, 1);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
+        };
+        if outcome.is_err() {
+            poison(state, id);
+            break;
+        }
+        state.stats.executions += 1;
+        state.stats.worker_executions += 1;
+        let entry = state.tst.entry_mut(id);
+        entry.executions += 1;
+        if !entry.retrigger {
+            entry.status = TthreadStatus::Clean;
+            entry.completed_since_join = true;
+            entry.epoch += 1;
+            break;
+        }
+    }
+}
+
+/// Marks `id` poisoned after a panicking execution, leaving the runtime
+/// usable for every other tthread.
+fn poison<U>(state: &mut State<U>, id: TthreadId) {
+    let entry = state.tst.entry_mut(id);
+    entry.poisoned = true;
+    entry.retrigger = false;
+    entry.status = TthreadStatus::Clean;
+    entry.completed_since_join = false;
 }
 
 #[cfg(test)]
@@ -785,8 +937,14 @@ mod tests {
         assert!(matches!(rt.join(bogus), Err(Error::UnknownTthread(_))));
         assert!(matches!(rt.status(bogus), Err(Error::UnknownTthread(_))));
         assert!(matches!(rt.force(bogus), Err(Error::UnknownTthread(_))));
-        assert!(matches!(rt.mark_dirty(bogus), Err(Error::UnknownTthread(_))));
-        assert!(matches!(rt.tthread_name(bogus), Err(Error::UnknownTthread(_))));
+        assert!(matches!(
+            rt.mark_dirty(bogus),
+            Err(Error::UnknownTthread(_))
+        ));
+        assert!(matches!(
+            rt.tthread_name(bogus),
+            Err(Error::UnknownTthread(_))
+        ));
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub struct Counters {
     pub inline_executions: u64,
     /// Executions performed by worker threads.
     pub worker_executions: u64,
+    /// Worker executions that ran detached (off the state lock, against a
+    /// snapshot; see [`crate::config::Config::detached_execution`]).
+    pub detached_executions: u64,
+    /// Stores replayed from detached write logs at commit time.
+    pub commit_stores: u64,
+    /// Replayed stores found silent at commit — another thread had already
+    /// published the same bytes — so no trigger fired.
+    pub commit_conflicts: u64,
     /// `join` calls that found the tthread clean and skipped the computation.
     pub skips: u64,
     /// `join` calls that had to wait for a running worker.
@@ -59,6 +67,18 @@ impl Counters {
     /// Copies the counters into an immutable snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot { c: self.clone() }
+    }
+
+    /// Folds the memory-access counters a detached execution accumulated
+    /// against its snapshot into the live counters. Only the access-side
+    /// counters are merged: trigger/queue/execution accounting for detached
+    /// bodies happens at commit, under the lock.
+    pub(crate) fn merge_access_delta(&mut self, delta: &Counters) {
+        self.tracked_loads += delta.tracked_loads;
+        self.tracked_stores += delta.tracked_stores;
+        self.silent_stores += delta.silent_stores;
+        self.changing_stores += delta.changing_stores;
+        self.bytes_compared += delta.bytes_compared;
     }
 }
 
@@ -145,8 +165,13 @@ impl fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "executions            {:>12}  (inline {}, worker {})",
-            c.executions, c.inline_executions, c.worker_executions
+            "executions            {:>12}  (inline {}, worker {}, detached {})",
+            c.executions, c.inline_executions, c.worker_executions, c.detached_executions
+        )?;
+        writeln!(
+            f,
+            "commit stores         {:>12}  (conflicts: {})",
+            c.commit_stores, c.commit_conflicts
         )?;
         writeln!(
             f,

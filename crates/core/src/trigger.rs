@@ -119,7 +119,9 @@ impl TriggerTable {
         let mut hits: Vec<TriggerHit> = Vec::new();
         let mut seen_regions: Vec<u32> = Vec::new();
         for b in bucket_span(rounded) {
-            let Some(ids) = self.buckets.get(&b) else { continue };
+            let Some(ids) = self.buckets.get(&b) else {
+                continue;
+            };
             for &idx in ids {
                 if seen_regions.contains(&idx) {
                     continue;
@@ -176,7 +178,13 @@ mod tests {
         let tt = TthreadId::new(0);
         t.watch(tt, r(100, 50));
         let hits = t.lookup(r(120, 4));
-        assert_eq!(hits, vec![TriggerHit { tthread: tt, precise: true }]);
+        assert_eq!(
+            hits,
+            vec![TriggerHit {
+                tthread: tt,
+                precise: true
+            }]
+        );
     }
 
     #[test]
@@ -194,7 +202,13 @@ mod tests {
         t.watch(tt, r(0, 8));
         // Store to bytes 32..36: same 64-byte line, no precise overlap.
         let hits = t.lookup(r(32, 4));
-        assert_eq!(hits, vec![TriggerHit { tthread: tt, precise: false }]);
+        assert_eq!(
+            hits,
+            vec![TriggerHit {
+                tthread: tt,
+                precise: false
+            }]
+        );
         // Store in the next line: no hit at all.
         assert!(t.lookup(r(64, 4)).is_empty());
     }
@@ -275,7 +289,13 @@ mod tests {
         let tt = TthreadId::new(0);
         t.watch(tt, r(8, 4)); // watches word [8,16)
         let hits = t.lookup(r(13, 1)); // same word, outside precise range
-        assert_eq!(hits, vec![TriggerHit { tthread: tt, precise: false }]);
+        assert_eq!(
+            hits,
+            vec![TriggerHit {
+                tthread: tt,
+                precise: false
+            }]
+        );
         assert!(t.lookup(r(16, 1)).is_empty());
     }
 

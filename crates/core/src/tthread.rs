@@ -79,6 +79,12 @@ pub struct TstEntry {
     pub poisoned: bool,
     /// Total times this tthread has executed.
     pub executions: u64,
+    /// Completed-execution epoch: bumped once each time the tthread leaves
+    /// `Running` for `Clean` with its outputs published (a retrigger loop
+    /// of several body runs advances the epoch once; a poisoned run not at
+    /// all). Detached executions bump it at commit, when their effects
+    /// become visible.
+    pub epoch: u64,
     /// Total joins that skipped because the tthread was clean.
     pub skips: u64,
     /// Total triggers that targeted this tthread (including coalesced).

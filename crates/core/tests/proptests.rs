@@ -168,6 +168,71 @@ proptest! {
         prop_assert_eq!(rt.with(|ctx| *ctx.user()), expect);
     }
 
+    /// Counter conservation across random schedules, executors and configs:
+    /// every execution is attributed to exactly one site (inline or worker),
+    /// every tracked store is classified (silent or changing) — including
+    /// stores replayed from detached write logs — and per-tthread execution
+    /// counts sum to the global count.
+    #[test]
+    fn counters_stay_conserved(
+        workers in 0usize..3,
+        cap in 1usize..4,
+        coalesce in prop::bool::ANY,
+        detached in prop::bool::ANY,
+        ops in prop::collection::vec((0u8..4, 0usize..4, 0u64..3), 1..60),
+    ) {
+        let cfg = Config::default()
+            .with_workers(workers)
+            .with_queue_capacity(cap)
+            .with_coalescing(coalesce)
+            .with_detached_execution(detached);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let xs = rt.alloc_array::<u64>(4).unwrap();
+        let sum = rt.register("sum", move |ctx| {
+            let s: u64 = (0..4).map(|i| ctx.read(xs, i)).sum();
+            *ctx.user_mut() = s;
+        });
+        rt.watch(sum, xs.range()).unwrap();
+        // A second tthread that *stores* into tracked memory, so detached
+        // commits and cascade dispatch are exercised too.
+        let mirror = rt.alloc_array::<u64>(4).unwrap();
+        let copy = rt.register("copy", move |ctx| {
+            for i in 0..4 {
+                let v = ctx.read(xs, i);
+                ctx.write(mirror, i, v);
+            }
+        });
+        rt.watch(copy, xs.range()).unwrap();
+
+        for (op, i, v) in ops {
+            match op {
+                0 | 1 => rt.with(|ctx| ctx.write(xs, i, v)),
+                2 => {
+                    rt.join(sum).unwrap();
+                }
+                _ => {
+                    rt.join_all().unwrap();
+                }
+            }
+        }
+        rt.join_all().unwrap();
+
+        let snap = rt.stats();
+        let c = snap.counters();
+        prop_assert_eq!(c.executions, c.inline_executions + c.worker_executions);
+        prop_assert_eq!(c.tracked_stores, c.silent_stores + c.changing_stores);
+        prop_assert!(c.detached_executions <= c.worker_executions);
+        if workers == 0 || !detached {
+            prop_assert_eq!(c.detached_executions, 0);
+        }
+        let per_tthread: u64 = rt
+            .tthread_counters()
+            .iter()
+            .map(|(_, execs, _, _)| *execs)
+            .sum();
+        prop_assert_eq!(per_tthread, c.executions);
+    }
+
     /// Coarse granularity can only add triggers, never lose one: every
     /// precise change that fires under `Exact` also fires under any coarser
     /// granularity (same store sequence).

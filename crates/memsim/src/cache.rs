@@ -27,8 +27,14 @@ impl CacheConfig {
     /// `line_bytes` is a power of two, and the implied set count is a
     /// nonzero power of two.
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
-        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "cache dimensions must be nonzero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && ways > 0 && line_bytes > 0,
+            "cache dimensions must be nonzero"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_bytes as u64;
         assert!(
             lines.is_multiple_of(ways as u64),
@@ -384,7 +390,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = tiny(); // 64 B capacity
-        // Stream over 1 KiB repeatedly: after warmup, still ~all misses.
+                            // Stream over 1 KiB repeatedly: after warmup, still ~all misses.
         for _ in 0..4 {
             for addr in (0..1024).step_by(16) {
                 c.access(addr, false);

@@ -70,7 +70,9 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         let l1_count = if config.private_l1 { config.cores } else { 1 };
         Cluster {
-            l1s: (0..l1_count).map(|_| Cache::new(config.hierarchy.l1)).collect(),
+            l1s: (0..l1_count)
+                .map(|_| Cache::new(config.hierarchy.l1))
+                .collect(),
             l2: Cache::new(config.hierarchy.l2),
             l3: config.hierarchy.l3.map(Cache::new),
             config,
@@ -98,19 +100,34 @@ impl Cluster {
             &mut self.l1s[0]
         };
         let result = if l1.access(addr, write).hit {
-            MemAccess { latency: h.l1_latency, level: HitLevel::L1 }
+            MemAccess {
+                latency: h.l1_latency,
+                level: HitLevel::L1,
+            }
         } else if self.l2.access(addr, write).hit {
-            MemAccess { latency: h.l2_latency, level: HitLevel::L2 }
+            MemAccess {
+                latency: h.l2_latency,
+                level: HitLevel::L2,
+            }
         } else if let Some(l3) = self.l3.as_mut() {
             if l3.access(addr, write).hit {
-                MemAccess { latency: h.l3_latency, level: HitLevel::L3 }
+                MemAccess {
+                    latency: h.l3_latency,
+                    level: HitLevel::L3,
+                }
             } else {
                 self.memory_accesses += 1;
-                MemAccess { latency: h.memory_latency, level: HitLevel::Memory }
+                MemAccess {
+                    latency: h.memory_latency,
+                    level: HitLevel::Memory,
+                }
             }
         } else {
             self.memory_accesses += 1;
-            MemAccess { latency: h.memory_latency, level: HitLevel::Memory }
+            MemAccess {
+                latency: h.memory_latency,
+                level: HitLevel::Memory,
+            }
         };
         if h.prefetch_next_line && result.level != HitLevel::L1 {
             let line = h.l1.line_bytes() as u64;

@@ -119,7 +119,12 @@ impl LoadProfiler {
     /// Feeds one event.
     pub fn observe(&mut self, event: &Event) {
         match *event {
-            Event::Load { site, addr, size, value } => {
+            Event::Load {
+                site,
+                addr,
+                size,
+                value,
+            } => {
                 let redundant = self.last_value.get(&addr) == Some(&(size, value));
                 self.profile.total_loads += 1;
                 let entry = self.profile.by_site.entry(site).or_default();
@@ -130,7 +135,9 @@ impl LoadProfiler {
                 }
                 self.last_value.insert(addr, (size, value));
             }
-            Event::Store { addr, size, value, .. } => {
+            Event::Store {
+                addr, size, value, ..
+            } => {
                 self.last_value.insert(addr, (size, value));
             }
             _ => {}

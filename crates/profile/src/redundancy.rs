@@ -140,7 +140,9 @@ impl RedundancyProfiler {
     pub fn observe(&mut self, event: &Event) {
         self.profile.total_instructions += event.instructions();
         match *event {
-            Event::Store { addr, size, value, .. } => {
+            Event::Store {
+                addr, size, value, ..
+            } => {
                 let changed = self.shadow.get(&addr) != Some(&(size, value));
                 self.shadow.insert(addr, (size, value));
                 for w in &self.watches {
@@ -155,7 +157,9 @@ impl RedundancyProfiler {
                     }
                 }
             }
-            Event::Load { addr, size, value, .. } => {
+            Event::Load {
+                addr, size, value, ..
+            } => {
                 // Loads publish observed values into shadow memory so that a
                 // later store of the same value is recognized as silent even
                 // if the tracer never saw the original store.

@@ -129,7 +129,12 @@ impl StoreProfiler {
     /// Feeds one event.
     pub fn observe(&mut self, event: &Event) {
         match *event {
-            Event::Store { site, addr, size, value } => {
+            Event::Store {
+                site,
+                addr,
+                size,
+                value,
+            } => {
                 let silent = self.shadow.get(&addr) == Some(&(size, value));
                 self.shadow.insert(addr, (size, value));
                 self.profile.total_stores += 1;
@@ -143,7 +148,9 @@ impl StoreProfiler {
                     entry.addresses += 1;
                 }
             }
-            Event::Load { addr, size, value, .. } => {
+            Event::Load {
+                addr, size, value, ..
+            } => {
                 self.shadow.entry(addr).or_insert((size, value));
             }
             _ => {}

@@ -141,19 +141,31 @@ impl fmt::Display for MachineConfig {
         writeln!(f, "contexts              {}", self.contexts)?;
         writeln!(f, "base CPI              {}", self.cpi)?;
         writeln!(f, "tthread spawn         {} cycles", self.spawn_overhead)?;
-        writeln!(f, "trigger check         {} cycles/store", self.trigger_check_overhead)?;
+        writeln!(
+            f,
+            "trigger check         {} cycles/store",
+            self.trigger_check_overhead
+        )?;
         writeln!(f, "thread queue          {} entries", self.queue_capacity)?;
         writeln!(f, "trigger granularity   {} B", self.granularity_bytes)?;
         writeln!(
             f,
             "silent-store suppress {}",
-            if self.suppress_silent_stores { "on" } else { "off" }
+            if self.suppress_silent_stores {
+                "on"
+            } else {
+                "off"
+            }
         )?;
         writeln!(f, "TST capacity          {} tthreads", self.tst_capacity)?;
         writeln!(
             f,
             "L1 layout             {}",
-            if self.private_l1 { "private per context" } else { "shared" }
+            if self.private_l1 {
+                "private per context"
+            } else {
+                "shared"
+            }
         )?;
         writeln!(
             f,
@@ -218,7 +230,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_granularity_rejected() {
-        MachineConfig::default().with_granularity_bytes(12).validate();
+        MachineConfig::default()
+            .with_granularity_bytes(12)
+            .validate();
     }
 
     #[test]

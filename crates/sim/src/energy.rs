@@ -56,7 +56,12 @@ pub struct Activity {
 
 impl Activity {
     /// Builds the cache part of the activity from per-level stats.
-    pub fn from_hierarchy(l1: CacheStats, l2: CacheStats, l3: Option<CacheStats>, mem: u64) -> Self {
+    pub fn from_hierarchy(
+        l1: CacheStats,
+        l2: CacheStats,
+        l3: Option<CacheStats>,
+        mem: u64,
+    ) -> Self {
         Activity {
             instructions: 0,
             l1_accesses: l1.accesses,
@@ -114,15 +119,31 @@ mod tests {
     #[test]
     fn memory_dominates_default_model() {
         let m = EnergyModel::default();
-        let mem_only = Activity { memory_accesses: 1, ..Activity::default() };
-        let instr_only = Activity { instructions: 100, ..Activity::default() };
+        let mem_only = Activity {
+            memory_accesses: 1,
+            ..Activity::default()
+        };
+        let instr_only = Activity {
+            instructions: 100,
+            ..Activity::default()
+        };
         assert!(m.energy_pj(&mem_only) > m.energy_pj(&instr_only));
     }
 
     #[test]
     fn from_hierarchy_maps_accesses() {
-        let l1 = CacheStats { accesses: 100, hits: 90, evictions: 5, writebacks: 2 };
-        let l2 = CacheStats { accesses: 10, hits: 8, evictions: 1, writebacks: 0 };
+        let l1 = CacheStats {
+            accesses: 100,
+            hits: 90,
+            evictions: 5,
+            writebacks: 2,
+        };
+        let l2 = CacheStats {
+            accesses: 10,
+            hits: 8,
+            evictions: 1,
+            writebacks: 0,
+        };
         let a = Activity::from_hierarchy(l1, l2, None, 2);
         assert_eq!(a.l1_accesses, 100);
         assert_eq!(a.l2_accesses, 10);

@@ -112,12 +112,16 @@ impl<'a> Simulator<'a> {
                     self.main_time += n as f64 * self.cfg.cpi;
                     self.res.alu_instructions += n;
                 }
-                Event::Load { addr, size, value, .. } => {
+                Event::Load {
+                    addr, size, value, ..
+                } => {
                     let mut t = self.main_time;
                     self.load(0, &mut t, addr, size, value);
                     self.main_time = t;
                 }
-                Event::Store { addr, size, value, .. } => {
+                Event::Store {
+                    addr, size, value, ..
+                } => {
                     let mut t = self.main_time;
                     self.store(0, &mut t, addr, size, value);
                     self.main_time = t;
@@ -131,8 +135,7 @@ impl<'a> Simulator<'a> {
                         if let Some(finish) = self.pending_finish[tthread as usize].take() {
                             let wait = (finish - self.main_time).max(0.0);
                             self.res.join_wait_cycles += wait.round() as u64;
-                            self.res.tthreads[tthread as usize].wait_cycles +=
-                                wait.round() as u64;
+                            self.res.tthreads[tthread as usize].wait_cycles += wait.round() as u64;
                             self.main_time = self.main_time.max(finish);
                         }
                     }
@@ -199,8 +202,8 @@ impl<'a> Simulator<'a> {
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("offload requires a spare context");
-        let start = (self.last_trigger[idx] + self.cfg.spawn_overhead as f64)
-            .max(self.context_free[ctx]);
+        let start =
+            (self.last_trigger[idx] + self.cfg.spawn_overhead as f64).max(self.context_free[ctx]);
         let mut t_time = start;
         let core = ctx + 1; // context 0 is the main thread
         for e in &events[begin + 1..end] {
@@ -209,12 +212,12 @@ impl<'a> Simulator<'a> {
                     t_time += n as f64 * self.cfg.cpi;
                     self.res.alu_instructions += n;
                 }
-                Event::Load { addr, size, value, .. } => {
-                    self.load(core, &mut t_time, addr, size, value)
-                }
-                Event::Store { addr, size, value, .. } => {
-                    self.store(core, &mut t_time, addr, size, value)
-                }
+                Event::Load {
+                    addr, size, value, ..
+                } => self.load(core, &mut t_time, addr, size, value),
+                Event::Store {
+                    addr, size, value, ..
+                } => self.store(core, &mut t_time, addr, size, value),
                 Event::Join { .. } => {}
                 Event::RegionBegin { .. } | Event::RegionEnd { .. } => {
                     unreachable!("regions do not nest")
@@ -399,7 +402,9 @@ mod tests {
         let tr = periodic_trace(&values, 400);
         let serial = simulate(&inline_cfg().with_spawn_overhead(0), &tr, SimMode::Dtt);
         let overlap = simulate(
-            &MachineConfig::default().with_contexts(2).with_spawn_overhead(0),
+            &MachineConfig::default()
+                .with_contexts(2)
+                .with_spawn_overhead(0),
             &tr,
             SimMode::Dtt,
         );
@@ -445,7 +450,9 @@ mod tests {
         }
         let tr = b.finish().unwrap();
         let r = simulate(
-            &MachineConfig::default().with_contexts(4).with_queue_capacity(1),
+            &MachineConfig::default()
+                .with_contexts(4)
+                .with_queue_capacity(1),
             &tr,
             SimMode::Dtt,
         );
@@ -543,7 +550,10 @@ mod tests {
         assert_eq!(full.tthreads[1].skips, 4);
         let limited = simulate(&inline_cfg().with_tst_capacity(1), &tr, SimMode::Dtt);
         assert_eq!(limited.tthreads[0].skips, 4, "managed tthread still skips");
-        assert_eq!(limited.tthreads[1].skips, 0, "unmanaged tthread never skips");
+        assert_eq!(
+            limited.tthreads[1].skips, 0,
+            "unmanaged tthread never skips"
+        );
         assert_eq!(limited.tthreads[1].inline_runs, 5);
         assert!(limited.cycles > full.cycles);
     }
@@ -568,19 +578,32 @@ mod tests {
         b.region_end_checked(t).unwrap();
         b.join_event(t);
         let tr = b.finish().unwrap();
-        let shared = simulate(&MachineConfig::default().with_contexts(2), &tr, SimMode::Dtt);
-        let private = simulate(
-            &MachineConfig::default().with_contexts(2).with_private_l1(true),
+        let shared = simulate(
+            &MachineConfig::default().with_contexts(2),
             &tr,
             SimMode::Dtt,
         );
-        assert!(private.cycles > shared.cycles, "private L1 must pay warm-up");
+        let private = simulate(
+            &MachineConfig::default()
+                .with_contexts(2)
+                .with_private_l1(true),
+            &tr,
+            SimMode::Dtt,
+        );
+        assert!(
+            private.cycles > shared.cycles,
+            "private L1 must pay warm-up"
+        );
         assert!(private.l2.accesses > shared.l2.accesses);
     }
 
     #[test]
     fn rounded_overlap_math() {
-        let w = Watch { tthread: 0, start: 0x1000, len: 8 };
+        let w = Watch {
+            tthread: 0,
+            start: 0x1000,
+            len: 8,
+        };
         assert!(rounded_overlap(&w, 0x1000, 8, 1));
         assert!(!rounded_overlap(&w, 0x1008, 8, 1));
         assert!(rounded_overlap(&w, 0x1008, 8, 64)); // same line

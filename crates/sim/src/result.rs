@@ -170,7 +170,10 @@ impl fmt::Display for SimResult {
         writeln!(
             f,
             "regions               {:>14}  (skipped {}, offloaded {}, inline {})",
-            self.region_instances, self.regions_skipped, self.regions_offloaded, self.regions_inline
+            self.region_instances,
+            self.regions_skipped,
+            self.regions_offloaded,
+            self.regions_inline
         )?;
         writeln!(
             f,

@@ -36,7 +36,10 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::UnknownTthread(t) => write!(f, "unknown tthread index {t}"),
             TraceError::NestedRegion { open, attempted } => {
-                write!(f, "region tt{attempted} opened while tt{open} is still open")
+                write!(
+                    f,
+                    "region tt{attempted} opened while tt{open} is still open"
+                )
             }
             TraceError::MismatchedRegionEnd { open, got } => match open {
                 Some(open) => write!(f, "region end tt{got} does not match open region tt{open}"),
@@ -165,7 +168,11 @@ impl TraceBuilder {
             self.record_error(TraceError::UnknownTthread(tthread));
             return;
         }
-        self.trace.watches.push(Watch { tthread, start, len });
+        self.trace.watches.push(Watch {
+            tthread,
+            start,
+            len,
+        });
     }
 
     fn known(&self, tthread: TthreadIndex) -> bool {
@@ -196,7 +203,12 @@ impl TraceBuilder {
             self.record_error(TraceError::BadAccessSize(size));
             return;
         }
-        self.trace.events.push(Event::Load { site, addr, size, value });
+        self.trace.events.push(Event::Load {
+            site,
+            addr,
+            size,
+            value,
+        });
     }
 
     /// Appends a store event.
@@ -205,7 +217,12 @@ impl TraceBuilder {
             self.record_error(TraceError::BadAccessSize(size));
             return;
         }
-        self.trace.events.push(Event::Store { site, addr, size, value });
+        self.trace.events.push(Event::Store {
+            site,
+            addr,
+            size,
+            value,
+        });
     }
 
     /// Opens a region, validating the structure.
@@ -220,7 +237,10 @@ impl TraceBuilder {
             return Err(e);
         }
         if let Some(open) = self.open_region {
-            let e = TraceError::NestedRegion { open, attempted: tthread };
+            let e = TraceError::NestedRegion {
+                open,
+                attempted: tthread,
+            };
             self.record_error(e.clone());
             return Err(e);
         }
@@ -417,8 +437,14 @@ mod tests {
     fn error_display_messages() {
         for e in [
             TraceError::UnknownTthread(1),
-            TraceError::NestedRegion { open: 0, attempted: 1 },
-            TraceError::MismatchedRegionEnd { open: Some(0), got: 1 },
+            TraceError::NestedRegion {
+                open: 0,
+                attempted: 1,
+            },
+            TraceError::MismatchedRegionEnd {
+                open: Some(0),
+                got: 1,
+            },
             TraceError::MismatchedRegionEnd { open: None, got: 1 },
             TraceError::UnclosedRegion(0),
             TraceError::BadAccessSize(9),

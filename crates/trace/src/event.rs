@@ -84,10 +84,20 @@ impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Event::Compute(n) => write!(f, "compute {n}"),
-            Event::Load { site, addr, size, value } => {
+            Event::Load {
+                site,
+                addr,
+                size,
+                value,
+            } => {
                 write!(f, "load@{site} [0x{addr:x}+{size}] = 0x{value:x}")
             }
-            Event::Store { site, addr, size, value } => {
+            Event::Store {
+                site,
+                addr,
+                size,
+                value,
+            } => {
                 write!(f, "store@{site} [0x{addr:x}+{size}] := 0x{value:x}")
             }
             Event::RegionBegin { tthread } => write!(f, "region-begin tt{tthread}"),
@@ -124,11 +134,23 @@ mod tests {
     fn instruction_weights() {
         assert_eq!(Event::Compute(7).instructions(), 7);
         assert_eq!(
-            Event::Load { site: 0, addr: 0, size: 8, value: 0 }.instructions(),
+            Event::Load {
+                site: 0,
+                addr: 0,
+                size: 8,
+                value: 0
+            }
+            .instructions(),
             1
         );
         assert_eq!(
-            Event::Store { site: 0, addr: 0, size: 8, value: 0 }.instructions(),
+            Event::Store {
+                site: 0,
+                addr: 0,
+                size: 8,
+                value: 0
+            }
+            .instructions(),
             1
         );
         assert_eq!(Event::RegionBegin { tthread: 0 }.instructions(), 0);
@@ -137,22 +159,42 @@ mod tests {
 
     #[test]
     fn memory_classification() {
-        assert!(Event::Load { site: 0, addr: 0, size: 4, value: 0 }.is_memory());
-        assert!(Event::Store { site: 0, addr: 0, size: 4, value: 0 }.is_memory());
+        assert!(Event::Load {
+            site: 0,
+            addr: 0,
+            size: 4,
+            value: 0
+        }
+        .is_memory());
+        assert!(Event::Store {
+            site: 0,
+            addr: 0,
+            size: 4,
+            value: 0
+        }
+        .is_memory());
         assert!(!Event::Compute(1).is_memory());
         assert!(!Event::RegionEnd { tthread: 0 }.is_memory());
     }
 
     #[test]
     fn watch_overlap() {
-        let w = Watch { tthread: 0, start: 100, len: 8 };
+        let w = Watch {
+            tthread: 0,
+            start: 100,
+            len: 8,
+        };
         assert!(w.overlaps(100, 1));
         assert!(w.overlaps(107, 1));
         assert!(!w.overlaps(108, 1));
         assert!(w.overlaps(96, 8));
         assert!(!w.overlaps(92, 8));
         assert!(!w.overlaps(100, 0));
-        let empty = Watch { tthread: 0, start: 100, len: 0 };
+        let empty = Watch {
+            tthread: 0,
+            start: 100,
+            len: 0,
+        };
         assert!(!empty.overlaps(100, 4));
     }
 
@@ -160,10 +202,13 @@ mod tests {
     fn display_forms() {
         assert_eq!(Event::Compute(3).to_string(), "compute 3");
         assert!(Event::Join { tthread: 2 }.to_string().contains("tt2"));
-        assert!(
-            Event::Store { site: 1, addr: 16, size: 4, value: 255 }
-                .to_string()
-                .contains("0xff")
-        );
+        assert!(Event::Store {
+            site: 1,
+            addr: 16,
+            size: 4,
+            value: 255
+        }
+        .to_string()
+        .contains("0xff"));
     }
 }

@@ -105,11 +105,21 @@ pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
                 writer.write_all(&[0u8])?;
                 writer.write_all(&n.to_le_bytes())?;
             }
-            Event::Load { site, addr, size, value } => {
+            Event::Load {
+                site,
+                addr,
+                size,
+                value,
+            } => {
                 writer.write_all(&[1u8])?;
                 write_mem(&mut writer, site, addr, size, value)?;
             }
-            Event::Store { site, addr, size, value } => {
+            Event::Store {
+                site,
+                addr,
+                size,
+                value,
+            } => {
                 writer.write_all(&[2u8])?;
                 write_mem(&mut writer, site, addr, size, value)?;
             }
@@ -176,7 +186,11 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, ReadError> {
         }
         let start = read_u64(&mut reader)?;
         let len = read_u64(&mut reader)?;
-        let _ = Watch { tthread, start, len };
+        let _ = Watch {
+            tthread,
+            start,
+            len,
+        };
         b.declare_watch(tthread, start, len);
     }
     let n_events = read_u64(&mut reader)?;
@@ -290,7 +304,10 @@ mod tests {
         let n = u64::from_le_bytes(buf[count_at - 8..count_at].try_into().unwrap());
         buf[count_at - 8..count_at].copy_from_slice(&(n + 1).to_le_bytes());
         buf.push(9);
-        assert!(matches!(read_trace(buf.as_slice()), Err(ReadError::BadTag(9))));
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(ReadError::BadTag(9))
+        ));
     }
 
     #[test]
@@ -305,7 +322,10 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&8u64.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes()); // 0 events
-        assert!(matches!(read_trace(buf.as_slice()), Err(ReadError::BadTthread(7))));
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(ReadError::BadTthread(7))
+        ));
     }
 
     #[test]

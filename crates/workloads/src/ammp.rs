@@ -68,8 +68,7 @@ impl Ammp {
                 let mut moves = Vec::with_capacity(atoms);
                 for a in 0..atoms {
                     let cell = a / per_cell;
-                    let active =
-                        (0..active_cells).any(|k| (step + k) % cells == cell);
+                    let active = (0..active_cells).any(|k| (step + k) % cells == cell);
                     if active {
                         moves.push((
                             a,
@@ -232,8 +231,9 @@ impl Workload for Ammp {
                 scratch: vec![0.0f64; self.atoms * 3],
             },
         );
-        let pos: TrackedArray<f64> =
-            rt.alloc_array_from(&self.pos0).expect("arena sized for workload");
+        let pos: TrackedArray<f64> = rt
+            .alloc_array_from(&self.pos0)
+            .expect("arena sized for workload");
         let mut tts = Vec::with_capacity(self.cells);
         for c in 0..self.cells {
             let tt = rt.register(&format!("neighbors_cell_{c}"), move |ctx| {
@@ -352,6 +352,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Ammp::new(Scale::Test).run_baseline(), Ammp::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Ammp::new(Scale::Test).run_baseline(),
+            Ammp::new(Scale::Test).run_baseline()
+        );
     }
 }

@@ -263,7 +263,11 @@ impl Workload for Art {
     fn trace(&self) -> Trace {
         let mut b = TraceBuilder::new();
         let tt = b.declare_tthread("f1_layer");
-        b.declare_watch(tt, WEIGHTS_BASE, (self.categories * self.features * 8) as u64);
+        b.declare_watch(
+            tt,
+            WEIGHTS_BASE,
+            (self.categories * self.features * 8) as u64,
+        );
         self.kernel(&mut b, tt);
         b.finish().expect("kernel emits a well-formed trace")
     }
@@ -303,11 +307,17 @@ mod tests {
         let w = Art::new(Scale::Test);
         let tr = w.trace();
         assert_eq!(tr.watches().len(), 1);
-        assert_eq!(tr.watches()[0].len, (w.categories() * w.features() * 8) as u64);
+        assert_eq!(
+            tr.watches()[0].len,
+            (w.categories() * w.features() * 8) as u64
+        );
     }
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Art::new(Scale::Test).run_baseline(), Art::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Art::new(Scale::Test).run_baseline(),
+            Art::new(Scale::Test).run_baseline()
+        );
     }
 }

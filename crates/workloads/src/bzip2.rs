@@ -66,7 +66,10 @@ pub fn compress_block_bytes(data: &[u8]) -> Vec<u8> {
         }
         a.cmp(&b) // identical rotations: stable by index
     });
-    let bwt: Vec<u8> = idx.iter().map(|&i| data[(i as usize + n - 1) % n]).collect();
+    let bwt: Vec<u8> = idx
+        .iter()
+        .map(|&i| data[(i as usize + n - 1) % n])
+        .collect();
 
     // Move-to-front.
     let mut table: Vec<u8> = (0..=255).collect();
@@ -324,6 +327,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Bzip2::new(Scale::Test).run_baseline(), Bzip2::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Bzip2::new(Scale::Test).run_baseline(),
+            Bzip2::new(Scale::Test).run_baseline()
+        );
     }
 }

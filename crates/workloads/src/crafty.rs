@@ -111,8 +111,7 @@ impl Crafty {
         let mut board = board0.clone();
         let iterations = (0..iters)
             .map(|i| {
-                let occupied: Vec<usize> =
-                    (0..64).filter(|&s| board[s] != EMPTY).collect();
+                let occupied: Vec<usize> = (0..64).filter(|&s| board[s] != EMPTY).collect();
                 let bookkeeping = (0..bookkeeping_n)
                     .map(|_| {
                         let s = rng.gen_range(0..64);
@@ -122,8 +121,7 @@ impl Crafty {
                 let real_move = if i % move_period == move_period - 1 {
                     // Move a random piece to a random empty square.
                     let from = occupied[rng.gen_range(0..occupied.len())];
-                    let empties: Vec<usize> =
-                        (0..64).filter(|&s| board[s] == EMPTY).collect();
+                    let empties: Vec<usize> = (0..64).filter(|&s| board[s] == EMPTY).collect();
                     let to = empties[rng.gen_range(0..empties.len())];
                     let piece = board[from];
                     board[from] = EMPTY;
@@ -221,8 +219,9 @@ impl Workload for Crafty {
 
     fn run_dtt(&self, cfg: Config) -> DttRun {
         let mut rt = Runtime::new(cfg, ((0i64, 0i64, 0i64), Vec::<u32>::new()));
-        let board: TrackedArray<u32> =
-            rt.alloc_array_from(&self.board0).expect("arena sized for workload");
+        let board: TrackedArray<u32> = rt
+            .alloc_array_from(&self.board0)
+            .expect("arena sized for workload");
         let eval_tt = rt.register("static_eval", move |ctx| {
             let mut snapshot = std::mem::take(&mut ctx.user_mut().1);
             ctx.read_all_into(board, &mut snapshot);
@@ -254,8 +253,7 @@ impl Workload for Crafty {
             let base_score = eval.0 + eval.1 + eval.2;
             let mut best = i64::MIN;
             for &(from, to) in &it.candidates {
-                let gain =
-                    piece_value(shadow[to]).abs() - piece_value(shadow[from]).abs() / 10;
+                let gain = piece_value(shadow[to]).abs() - piece_value(shadow[from]).abs() / 10;
                 best = best.max(base_score + gain);
             }
             digest.push_u64(best as u64);
@@ -306,12 +304,20 @@ mod tests {
         let run = w.run_dtt(Config::default());
         let tt = &run.tthreads[0];
         // One real move every 3 iterations at test scale.
-        assert!(tt.skips > tt.executions, "skips={} execs={}", tt.skips, tt.executions);
+        assert!(
+            tt.skips > tt.executions,
+            "skips={} execs={}",
+            tt.skips,
+            tt.executions
+        );
         assert!(run.stats.counters().silent_stores > 0);
     }
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Crafty::new(Scale::Test).run_baseline(), Crafty::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Crafty::new(Scale::Test).run_baseline(),
+            Crafty::new(Scale::Test).run_baseline()
+        );
     }
 }

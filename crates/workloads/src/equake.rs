@@ -92,7 +92,10 @@ impl Equake {
                 } else {
                     // Silent refresh anywhere.
                     let idx = rng.gen_range(0..n);
-                    writes.push(Excite { index: idx, value: dx[idx] });
+                    writes.push(Excite {
+                        index: idx,
+                        value: dx[idx],
+                    });
                 }
             }
             schedule.push(writes);
@@ -223,8 +226,9 @@ impl Workload for Equake {
                 dx_scratch: Vec::new(),
             },
         );
-        let dx: TrackedArray<f64> =
-            rt.alloc_array_from(&self.dx0).expect("arena sized for workload");
+        let dx: TrackedArray<f64> = rt
+            .alloc_array_from(&self.dx0)
+            .expect("arena sized for workload");
         let mut tts = Vec::with_capacity(self.blocks);
         for b in 0..self.blocks {
             let tt = rt.register(&format!("smvp_block_{b}"), move |ctx| {
@@ -282,7 +286,11 @@ impl Workload for Equake {
         let tts: Vec<u32> = (0..self.blocks)
             .map(|i| {
                 let tt = b.declare_tthread(&format!("smvp_block_{i}"));
-                b.declare_watch(tt, DX_BASE + (i * block_len) as u64 * 8, block_len as u64 * 8);
+                b.declare_watch(
+                    tt,
+                    DX_BASE + (i * block_len) as u64 * 8,
+                    block_len as u64 * 8,
+                );
                 tt
             })
             .collect();

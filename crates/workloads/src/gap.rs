@@ -97,11 +97,7 @@ impl Gap {
                     }
                 }
                 let words = (0..words_n)
-                    .map(|_| {
-                        (0..word_len)
-                            .map(|_| rng.gen_range(0..n) as u16)
-                            .collect()
-                    })
+                    .map(|_| (0..word_len).map(|_| rng.gen_range(0..n) as u16).collect())
                     .collect();
                 Round { writes, words }
             })
@@ -207,8 +203,7 @@ impl Workload for Gap {
                 scratch: Vec::new(),
             },
         );
-        let table: TrackedMatrix<u32> =
-            rt.alloc_matrix(n, n).expect("arena sized for workload");
+        let table: TrackedMatrix<u32> = rt.alloc_matrix(n, n).expect("arena sized for workload");
         rt.with(|ctx| {
             for (i, &v) in self.table0.iter().enumerate() {
                 ctx.init_at(table.as_array(), i, v);
@@ -309,6 +304,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Gap::new(Scale::Test).run_baseline(), Gap::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Gap::new(Scale::Test).run_baseline(),
+            Gap::new(Scale::Test).run_baseline()
+        );
     }
 }

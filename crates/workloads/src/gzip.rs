@@ -115,7 +115,11 @@ impl Gzip {
         let total = chunks * chunk_len;
         // Log-like content: repeated phrases from a small vocabulary.
         let words: Vec<&[u8]> = vec![
-            b"GET /index ", b"POST /api ", b"200 OK ", b"404 NF ", b"user=alice ",
+            b"GET /index ",
+            b"POST /api ",
+            b"200 OK ",
+            b"404 NF ",
+            b"user=alice ",
             b"user=bob ",
         ];
         let mut buf = Vec::with_capacity(total);
@@ -331,6 +335,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Gzip::new(Scale::Test).run_baseline(), Gzip::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Gzip::new(Scale::Test).run_baseline(),
+            Gzip::new(Scale::Test).run_baseline()
+        );
     }
 }

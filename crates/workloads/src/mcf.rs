@@ -64,7 +64,13 @@ impl Mcf {
         };
         let mut rng = StdRng::seed_from_u64(0x6d63_6600 + nodes as u64);
         let parent0: Vec<u32> = (0..nodes)
-            .map(|i| if i == 0 { 0 } else { rng.gen_range(0..i) as u32 })
+            .map(|i| {
+                if i == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..i) as u32
+                }
+            })
             .collect();
         let cost0: Vec<i64> = (0..nodes).map(|_| rng.gen_range(-50..50)).collect();
         let arc_from: Vec<u32> = (0..arcs).map(|_| rng.gen_range(0..nodes) as u32).collect();
@@ -85,9 +91,17 @@ impl Mcf {
                 let new_cost = rng.gen_range(-50..50);
                 parent[node] = new_parent;
                 cost[node] = new_cost;
-                pivots.push(Pivot { node, parent: new_parent, cost: new_cost });
+                pivots.push(Pivot {
+                    node,
+                    parent: new_parent,
+                    cost: new_cost,
+                });
             } else {
-                pivots.push(Pivot { node, parent: parent[node], cost: cost[node] });
+                pivots.push(Pivot {
+                    node,
+                    parent: parent[node],
+                    cost: cost[node],
+                });
             }
         }
         Mcf {
@@ -151,11 +165,9 @@ impl Mcf {
             // Pricing scan: consume the potentials.
             let mut negative_sum = 0i64;
             for a in 0..self.arc_from.len() {
-                let from =
-                    util::load_u32(p, 9, ARC_FROM_BASE, a, self.arc_from[a]) as usize;
+                let from = util::load_u32(p, 9, ARC_FROM_BASE, a, self.arc_from[a]) as usize;
                 let to = util::load_u32(p, 10, ARC_TO_BASE, a, self.arc_to[a]) as usize;
-                let ac =
-                    util::load_u64(p, 6, ARC_COST_BASE, a, self.arc_cost[a] as u64) as i64;
+                let ac = util::load_u64(p, 6, ARC_COST_BASE, a, self.arc_cost[a] as u64) as i64;
                 let pf = util::load_u64(p, 4, POT_BASE, from, potential[from] as u64) as i64;
                 let pt = util::load_u64(p, 5, POT_BASE, to, potential[to] as u64) as i64;
                 let reduced = ac + pf - pt;
@@ -204,8 +216,12 @@ impl Workload for Mcf {
                 cost_copy: Vec::new(),
             },
         );
-        let parent = rt.alloc_array_from(&self.parent0).expect("arena sized for workload");
-        let cost = rt.alloc_array_from(&self.cost0).expect("arena sized for workload");
+        let parent = rt
+            .alloc_array_from(&self.parent0)
+            .expect("arena sized for workload");
+        let cost = rt
+            .alloc_array_from(&self.cost0)
+            .expect("arena sized for workload");
         let refresh = rt.register("refresh_potential", move |ctx| {
             let mut parents = std::mem::take(&mut ctx.user_mut().parent_copy);
             let mut costs = std::mem::take(&mut ctx.user_mut().cost_copy);
@@ -284,7 +300,12 @@ mod tests {
         let tt = &run.tthreads[0];
         assert_eq!(tt.name, "refresh_potential");
         // Pivot period is 5 at test scale: ~1/5 of attempts change the tree.
-        assert!(tt.skips > tt.executions, "skips={} execs={}", tt.skips, tt.executions);
+        assert!(
+            tt.skips > tt.executions,
+            "skips={} execs={}",
+            tt.skips,
+            tt.executions
+        );
         assert!(run.stats.counters().silent_stores > 0);
     }
 

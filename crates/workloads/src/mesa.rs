@@ -174,7 +174,8 @@ impl Workload for Mesa {
                 ctx.user_mut().screen[i] = projected;
             }
         });
-        rt.watch(transform, matrix.range()).expect("region in arena");
+        rt.watch(transform, matrix.range())
+            .expect("region in arena");
         rt.mark_dirty(transform).expect("registered tthread");
 
         let mut digest = Digest::new();
@@ -253,6 +254,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Mesa::new(Scale::Test).run_baseline(), Mesa::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Mesa::new(Scale::Test).run_baseline(),
+            Mesa::new(Scale::Test).run_baseline()
+        );
     }
 }

@@ -82,12 +82,12 @@ pub struct Parser {
 impl Parser {
     /// Generates the instance for `scale` (deterministic).
     pub fn new(scale: Scale) -> Self {
-        let (dict_len, groups, sentences_per_group, sentence_len, rounds, real_period) =
-            match scale {
-                Scale::Test => (64, 4, 4, 8, 10, 3),
-                Scale::Train => (2_048, 8, 24, 20, 60, 5),
-                Scale::Reference => (8_192, 16, 40, 24, 120, 5),
-            };
+        let (dict_len, groups, sentences_per_group, sentence_len, rounds, real_period) = match scale
+        {
+            Scale::Test => (64, 4, 4, 8, 10, 3),
+            Scale::Train => (2_048, 8, 24, 20, 60, 5),
+            Scale::Reference => (8_192, 16, 40, 24, 120, 5),
+        };
         let mut rng = StdRng::seed_from_u64(0x7061_7273 + dict_len as u64);
         let dict0: Vec<u32> = (0..dict_len).map(|_| rng.gen_range(1..1000)).collect();
         let batches: Vec<Vec<Vec<u16>>> = (0..groups)

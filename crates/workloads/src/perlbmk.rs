@@ -62,7 +62,9 @@ pub fn compile_dispatch(program: &[u64]) -> Vec<u32> {
 /// Runs `input` through the program starting at the opcode the dispatch
 /// index selects for its first byte; returns the number of bytes matched.
 pub fn run_match(program: &[u64], dispatch: &[u32], input: &[u8]) -> u32 {
-    let Some(&first) = input.first() else { return 0 };
+    let Some(&first) = input.first() else {
+        return 0;
+    };
     let start = dispatch[first as usize];
     if start == u32::MAX {
         return 0;
@@ -151,11 +153,7 @@ impl Perlbmk {
                     }
                 }
                 let inputs = (0..inputs_n)
-                    .map(|_| {
-                        (0..input_len)
-                            .map(|_| rng.gen_range(b'a'..=b'h'))
-                            .collect()
-                    })
+                    .map(|_| (0..input_len).map(|_| rng.gen_range(b'a'..=b'h')).collect())
                     .collect();
                 PerlRound { writes, inputs }
             })
@@ -249,8 +247,9 @@ impl Workload for Perlbmk {
                 scratch: Vec::new(),
             },
         );
-        let program: TrackedArray<u64> =
-            rt.alloc_array_from(&self.program0).expect("arena sized for workload");
+        let program: TrackedArray<u64> = rt
+            .alloc_array_from(&self.program0)
+            .expect("arena sized for workload");
         let compile = rt.register("compile_dispatch", move |ctx| {
             let mut scratch = std::mem::take(&mut ctx.user_mut().scratch);
             ctx.read_all_into(program, &mut scratch);
@@ -302,7 +301,11 @@ mod tests {
 
     #[test]
     fn dispatch_points_at_first_starter() {
-        let program = vec![OP_LIT | b'a' as u64, OP_LIT | b'b' as u64, OP_LIT | b'a' as u64];
+        let program = vec![
+            OP_LIT | b'a' as u64,
+            OP_LIT | b'b' as u64,
+            OP_LIT | b'a' as u64,
+        ];
         let d = compile_dispatch(&program);
         assert_eq!(d[b'a' as usize], 0);
         assert_eq!(d[b'b' as usize], 1);

@@ -219,8 +219,9 @@ impl Workload for Twolf {
                 pos_copy: vec![0u64; cells],
             },
         );
-        let pos: TrackedArray<u64> =
-            rt.alloc_array_from(&self.pos0).expect("arena sized for workload");
+        let pos: TrackedArray<u64> = rt
+            .alloc_array_from(&self.pos0)
+            .expect("arena sized for workload");
         let mut tts = Vec::with_capacity(self.groups);
         for g in 0..self.groups {
             let tt = rt.register(&format!("hpwl_group_{g}"), move |ctx| {
@@ -235,11 +236,7 @@ impl Workload for Twolf {
                 let _ = cells;
             });
             // Watch exactly the cells appearing on this group's nets.
-            let mut watched: Vec<u32> = self.net_groups[g]
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
+            let mut watched: Vec<u32> = self.net_groups[g].iter().flatten().copied().collect();
             watched.sort_unstable();
             watched.dedup();
             for c in watched {
@@ -275,11 +272,7 @@ impl Workload for Twolf {
         let tts: Vec<u32> = (0..self.groups)
             .map(|g| {
                 let tt = b.declare_tthread(&format!("hpwl_group_{g}"));
-                let mut watched: Vec<u32> = self.net_groups[g]
-                    .iter()
-                    .flatten()
-                    .copied()
-                    .collect();
+                let mut watched: Vec<u32> = self.net_groups[g].iter().flatten().copied().collect();
                 watched.sort_unstable();
                 watched.dedup();
                 for c in watched {
@@ -343,6 +336,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Twolf::new(Scale::Test).run_baseline(), Twolf::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Twolf::new(Scale::Test).run_baseline(),
+            Twolf::new(Scale::Test).run_baseline()
+        );
     }
 }

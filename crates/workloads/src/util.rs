@@ -130,7 +130,8 @@ pub fn dtt_run_report<U: Send + 'static>(rt: &Runtime<U>, digest: u64) -> DttRun
 /// Joins `tt` and panics with a workload-labelled message on failure
 /// (workload code only ever joins ids it registered).
 pub fn must_join<U: Send + 'static>(rt: &mut Runtime<U>, tt: TthreadId) {
-    rt.join(tt).expect("joining a registered tthread cannot fail");
+    rt.join(tt)
+        .expect("joining a registered tthread cannot fail");
 }
 
 #[cfg(test)]

@@ -47,9 +47,7 @@ pub fn build_index(column: &[u64]) -> Vec<u64> {
     let mut dir = vec![0u64; BUCKETS];
     for (obj, &v) in column.iter().enumerate() {
         let b = (v.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58) as usize % BUCKETS;
-        dir[b] = dir[b]
-            .wrapping_mul(31)
-            .wrapping_add(obj as u64 ^ v);
+        dir[b] = dir[b].wrapping_mul(31).wrapping_add(obj as u64 ^ v);
     }
     dir
 }
@@ -137,13 +135,8 @@ impl Vortex {
             // Query phase: probe the directories.
             let mut answer = 0u64;
             for &(f, b) in &txn.queries {
-                let v = util::load_u64(
-                    p,
-                    4,
-                    INDEX_BASE + f as u64 * FIELD_STRIDE,
-                    b,
-                    indexes[f][b],
-                );
+                let v =
+                    util::load_u64(p, 4, INDEX_BASE + f as u64 * FIELD_STRIDE, b, indexes[f][b]);
                 answer = answer.wrapping_mul(31).wrapping_add(v);
                 p.compute(12);
             }
@@ -220,7 +213,9 @@ impl Workload for Vortex {
             let answer = rt.with(|ctx| {
                 let mut answer = 0u64;
                 for &(f, b) in &txn.queries {
-                    answer = answer.wrapping_mul(31).wrapping_add(ctx.user().indexes[f][b]);
+                    answer = answer
+                        .wrapping_mul(31)
+                        .wrapping_add(ctx.user().indexes[f][b]);
                 }
                 answer
             });
@@ -287,6 +282,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Vortex::new(Scale::Test).run_baseline(), Vortex::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Vortex::new(Scale::Test).run_baseline(),
+            Vortex::new(Scale::Test).run_baseline()
+        );
     }
 }

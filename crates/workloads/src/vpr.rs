@@ -208,8 +208,9 @@ impl Workload for Vpr {
                 crit: 0,
             },
         );
-        let pos: TrackedArray<u64> =
-            rt.alloc_array_from(&self.pos0).expect("arena sized for workload");
+        let pos: TrackedArray<u64> = rt
+            .alloc_array_from(&self.pos0)
+            .expect("arena sized for workload");
         let wire_tt = rt.register("wiring", move |ctx| {
             let mut pos_copy = std::mem::take(&mut ctx.user_mut().pos_copy);
             ctx.read_all_into(pos, &mut pos_copy);
@@ -310,6 +311,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(Vpr::new(Scale::Test).run_baseline(), Vpr::new(Scale::Test).run_baseline());
+        assert_eq!(
+            Vpr::new(Scale::Test).run_baseline(),
+            Vpr::new(Scale::Test).run_baseline()
+        );
     }
 }

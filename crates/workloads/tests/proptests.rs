@@ -13,15 +13,15 @@ use proptest::prelude::*;
 
 fn configs() -> impl Strategy<Value = Config> {
     (
-        0usize..3,                        // workers
+        0usize..3, // workers
         prop_oneof![
             Just(Granularity::Exact),
             Just(Granularity::Word),
             Just(Granularity::Line)
         ],
-        prop::bool::ANY,                   // suppress silent stores
-        prop::bool::ANY,                   // coalesce
-        1usize..8,                         // queue capacity
+        prop::bool::ANY, // suppress silent stores
+        prop::bool::ANY, // coalesce
+        1usize..8,       // queue capacity
         prop_oneof![
             Just(OverflowPolicy::ExecuteInline),
             Just(OverflowPolicy::DeferToJoin)

@@ -48,9 +48,15 @@ fn main() -> Result<(), dtt::core::Error> {
     // Each target reads its inputs, "builds", and publishes its output
     // fingerprint (a silent publish stops the downstream cascade).
     let t_frontend = rt.register("libfrontend", move |ctx| {
-        let inputs = [ctx.read(sources, 0), ctx.read(sources, 1), ctx.read(sources, 2)];
+        let inputs = [
+            ctx.read(sources, 0),
+            ctx.read(sources, 1),
+            ctx.read(sources, 2),
+        ];
         let out = fingerprint(&inputs);
-        ctx.user_mut().lines.push(format!("  CC libfrontend <- {inputs:x?}"));
+        ctx.user_mut()
+            .lines
+            .push(format!("  CC libfrontend <- {inputs:x?}"));
         ctx.set(libfrontend, out);
     });
     rt.watch(t_frontend, sources.range_of(0, 3))?;
@@ -58,7 +64,9 @@ fn main() -> Result<(), dtt::core::Error> {
     let t_backend = rt.register("libbackend", move |ctx| {
         let input = ctx.read(sources, 3);
         let out = fingerprint(&[input]);
-        ctx.user_mut().lines.push(format!("  CC libbackend  <- [{input:x}]"));
+        ctx.user_mut()
+            .lines
+            .push(format!("  CC libbackend  <- [{input:x}]"));
         ctx.set(libbackend, out);
     });
     rt.watch(t_backend, sources.range_of(3, 4))?;
@@ -66,7 +74,9 @@ fn main() -> Result<(), dtt::core::Error> {
     let t_compiler = rt.register("compiler", move |ctx| {
         let inputs = [ctx.get(libfrontend), ctx.get(libbackend)];
         let out = fingerprint(&inputs);
-        ctx.user_mut().lines.push("  LD compiler    <- libfrontend libbackend".into());
+        ctx.user_mut()
+            .lines
+            .push("  LD compiler    <- libfrontend libbackend".into());
         ctx.set(compiler, out);
     });
     rt.watch(t_compiler, libfrontend.range())?;
@@ -74,7 +84,9 @@ fn main() -> Result<(), dtt::core::Error> {
 
     let t_tests = rt.register("testsuite", move |ctx| {
         let input = ctx.get(compiler);
-        ctx.user_mut().lines.push("  TEST testsuite <- compiler".into());
+        ctx.user_mut()
+            .lines
+            .push("  TEST testsuite <- compiler".into());
         ctx.set(testsuite, fingerprint(&[input]));
     });
     rt.watch(t_tests, compiler.range())?;

@@ -82,7 +82,11 @@ fn main() -> Result<(), dtt::core::Error> {
     let (o1, o2, o3) = recalc(&mut rt, "re-enter A1 = 15");
     assert_eq!(
         (o1, o2, o3),
-        (JoinOutcome::Skipped, JoinOutcome::Skipped, JoinOutcome::Skipped)
+        (
+            JoinOutcome::Skipped,
+            JoinOutcome::Skipped,
+            JoinOutcome::Skipped
+        )
     );
 
     // A formula whose new result equals the old one also stops the cascade:
@@ -95,7 +99,11 @@ fn main() -> Result<(), dtt::core::Error> {
     let (o1, o2, o3) = recalc(&mut rt, "swap C1 and C2");
     assert_eq!(o1, JoinOutcome::Skipped);
     assert_eq!(o2, JoinOutcome::RanInline);
-    assert_eq!(o3, JoinOutcome::Skipped, "B2's result was unchanged: no cascade");
+    assert_eq!(
+        o3,
+        JoinOutcome::Skipped,
+        "B2's result was unchanged: no cascade"
+    );
 
     println!("\nruntime statistics:\n{}", rt.stats());
     Ok(())

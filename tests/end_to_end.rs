@@ -116,6 +116,10 @@ fn every_workload_skips_something_at_test_scale() {
     for w in suite(Scale::Test) {
         let run = w.run_dtt(Config::default());
         let skips: u64 = run.tthreads.iter().map(|t| t.skips).sum();
-        assert!(skips > 0, "{} never skipped — no redundancy exposed", w.name());
+        assert!(
+            skips > 0,
+            "{} never skipped — no redundancy exposed",
+            w.name()
+        );
     }
 }

@@ -61,7 +61,10 @@ fn run_runtime(schedule: &[Op]) -> Vec<u64> {
     for &tt in &tts {
         rt.join(tt).unwrap();
     }
-    rt.tthread_counters().into_iter().map(|(_, e, _, _)| e).collect()
+    rt.tthread_counters()
+        .into_iter()
+        .map(|(_, e, _, _)| e)
+        .collect()
 }
 
 /// Builds the equivalent annotated trace and simulates it; returns

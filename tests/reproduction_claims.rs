@@ -5,7 +5,7 @@
 /// Tiny local harness so this test does not depend on dtt-bench.
 mod bench_support {
     use dtt::sim::{simulate, MachineConfig, SimMode};
-    use dtt::workloads::{suite, Scale, Workload};
+    use dtt::workloads::{suite, Scale};
 
     pub fn speedups(cfg: &MachineConfig) -> Vec<(String, f64)> {
         suite(Scale::Test)

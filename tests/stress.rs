@@ -1,7 +1,200 @@
 //! Stress tests for the parallel executor: many tthreads, tight queues,
 //! sustained trigger pressure, and concurrent completion tracking.
 
-use dtt_core::{Config, OverflowPolicy, Runtime};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dtt_core::tthread::{TthreadId, TthreadStatus};
+use dtt_core::{Config, JoinOutcome, OverflowPolicy, Runtime};
+
+/// Spins until `tthread` is observed `Running` on a worker; panics after a
+/// generous timeout so a regression fails rather than hangs.
+fn wait_until_running<U: Send + 'static>(rt: &Runtime<U>, tthread: TthreadId) {
+    let start = Instant::now();
+    while rt.status(tthread).unwrap() != TthreadStatus::Running {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "tthread never started running"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Regression test for the fake-overlap bug: the worker must release the
+/// state lock while a tthread body runs. The body parks on a barrier
+/// mid-execution; the main thread then performs tracked stores and joins an
+/// unrelated tthread while the body is provably still running. Under the
+/// old attached executor (body under the state lock) every one of those
+/// main-thread operations would deadlock.
+#[test]
+fn worker_body_runs_off_the_state_lock() {
+    let gate = Arc::new(Barrier::new(2));
+    let cfg = Config::default().with_workers(1);
+    let mut rt = Runtime::new(cfg, 0u64);
+    let x = rt.alloc(0u64).unwrap();
+    let y = rt.alloc(0u64).unwrap();
+
+    let g = Arc::clone(&gate);
+    let slow = rt.register("slow", move |ctx| {
+        let v = ctx.get(x);
+        // Park mid-body, before touching user state, so the main thread can
+        // observe us Running while it uses the runtime.
+        g.wait();
+        *ctx.user_mut() += v;
+    });
+    rt.watch(slow, x.range()).unwrap();
+    let other = rt.register("other", |ctx| *ctx.user_mut() += 100);
+    rt.watch(other, y.range()).unwrap();
+
+    rt.write(x, 7);
+    wait_until_running(&rt, slow);
+
+    // With `slow` still mid-body on the only worker, the main thread can
+    // keep making progress: tracked stores, trigger dispatch, and a join
+    // that steals the queued tthread and runs it inline.
+    rt.with(|ctx| ctx.set(y, 5));
+    assert_eq!(rt.join(other).unwrap(), JoinOutcome::Stolen);
+    assert_eq!(rt.with(|ctx| *ctx.user()), 100);
+
+    gate.wait();
+    let outcome = rt.join(slow).unwrap();
+    assert!(
+        matches!(outcome, JoinOutcome::Waited | JoinOutcome::Overlapped),
+        "unexpected outcome {outcome:?}"
+    );
+    // `other` committed before `slow` resumed, so `slow` saw its update.
+    assert_eq!(rt.with(|ctx| *ctx.user()), 107);
+    let c = rt.stats();
+    assert_eq!(c.counters().detached_executions, 1);
+    assert_eq!(c.counters().inline_executions, 1);
+}
+
+/// Regression test for the overflow double-execution bug: with coalescing
+/// off, a trigger for an already-Queued tthread that overflows the queue
+/// used to run the tthread inline *and* leave the stale queue entry behind
+/// for a worker to run again. The inline run must be the only run.
+#[test]
+fn queue_overflow_inline_executes_exactly_once() {
+    let gate = Arc::new(Barrier::new(2));
+    let cfg = Config::default()
+        .with_workers(1)
+        .with_queue_capacity(1)
+        .with_coalescing(false)
+        .with_overflow(OverflowPolicy::ExecuteInline);
+    let mut rt = Runtime::new(cfg, 0u64);
+    let x = rt.alloc(0u64).unwrap();
+
+    let g = Arc::clone(&gate);
+    let blocker = rt.register("blocker", move |_| {
+        g.wait();
+    });
+    let victim = rt.register("victim", move |ctx| {
+        let v = ctx.get(x);
+        *ctx.user_mut() += v;
+    });
+    rt.watch(victim, x.range()).unwrap();
+
+    // Pin the only worker inside `blocker` so nothing drains the queue.
+    rt.mark_dirty(blocker).unwrap();
+    wait_until_running(&rt, blocker);
+
+    rt.write(x, 1); // victim enqueued; queue now full
+    rt.write(x, 2); // no coalescing: queue overflows -> victim runs inline
+    assert_eq!(rt.stats().counters().queue_overflows, 1);
+    // The inline run saw the latest value and the stale queue entry is
+    // gone, so the worker has nothing left to re-execute.
+    assert_eq!(rt.with(|ctx| *ctx.user()), 2);
+
+    gate.wait();
+    rt.join_all().unwrap();
+    let execs = rt
+        .tthread_counters()
+        .into_iter()
+        .find(|(id, ..)| *id == victim)
+        .map(|(_, e, ..)| e)
+        .unwrap();
+    assert_eq!(execs, 1, "overflowed tthread must execute exactly once");
+    assert_eq!(rt.with(|ctx| *ctx.user()), 2);
+}
+
+/// Same stale-entry scenario under `DeferToJoin`: the overflowed trigger
+/// reverts the tthread to Triggered (out of the queue), so the next join
+/// runs it inline exactly once.
+#[test]
+fn queue_overflow_defer_to_join_runs_once_at_join() {
+    let gate = Arc::new(Barrier::new(2));
+    let cfg = Config::default()
+        .with_workers(1)
+        .with_queue_capacity(1)
+        .with_coalescing(false)
+        .with_overflow(OverflowPolicy::DeferToJoin);
+    let mut rt = Runtime::new(cfg, 0u64);
+    let x = rt.alloc(0u64).unwrap();
+
+    let g = Arc::clone(&gate);
+    let blocker = rt.register("blocker", move |_| {
+        g.wait();
+    });
+    let victim = rt.register("victim", move |ctx| {
+        let v = ctx.get(x);
+        *ctx.user_mut() += v;
+    });
+    rt.watch(victim, x.range()).unwrap();
+
+    rt.mark_dirty(blocker).unwrap();
+    wait_until_running(&rt, blocker);
+
+    rt.write(x, 1);
+    rt.write(x, 2);
+    assert_eq!(rt.status(victim).unwrap(), TthreadStatus::Triggered);
+    assert_eq!(rt.join(victim).unwrap(), JoinOutcome::RanInline);
+    assert_eq!(rt.with(|ctx| *ctx.user()), 2);
+
+    gate.wait();
+    rt.join_all().unwrap();
+    let execs = rt
+        .tthread_counters()
+        .into_iter()
+        .find(|(id, ..)| *id == victim)
+        .map(|(_, e, ..)| e)
+        .unwrap();
+    assert_eq!(execs, 1);
+}
+
+/// The legacy attached executor (ablation baseline) still converges to the
+/// same published values as the detached one.
+#[test]
+fn attached_ablation_converges() {
+    for detached in [false, true] {
+        let cfg = Config::default()
+            .with_workers(2)
+            .with_detached_execution(detached);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let xs = rt.alloc_array::<u64>(8).unwrap();
+        let tt = rt.register("sum", move |ctx| {
+            let s: u64 = (0..8).map(|i| ctx.read(xs, i)).sum();
+            *ctx.user_mut() = s;
+        });
+        rt.watch(tt, xs.range()).unwrap();
+        for round in 1..=20u64 {
+            for i in 0..8 {
+                rt.with(|ctx| ctx.write(xs, i, round + i as u64));
+            }
+            rt.join(tt).unwrap();
+            let expect: u64 = (0..8).map(|i| round + i).sum();
+            assert_eq!(rt.with(|ctx| *ctx.user()), expect);
+        }
+        let c = rt.stats();
+        if detached {
+            assert_eq!(
+                c.counters().detached_executions,
+                c.counters().worker_executions
+            );
+        } else {
+            assert_eq!(c.counters().detached_executions, 0);
+        }
+    }
+}
 
 /// Sustained pressure: 32 tthreads over disjoint slices, thousands of
 /// stores, joins interleaved at random-ish points. The final published
@@ -28,7 +221,8 @@ fn parallel_executor_sustained_pressure() {
                 }
                 ctx.user_mut()[t] = s;
             });
-            rt.watch(tt, cells.range_of(t * per, (t + 1) * per)).unwrap();
+            rt.watch(tt, cells.range_of(t * per, (t + 1) * per))
+                .unwrap();
             tt
         })
         .collect();
@@ -52,7 +246,11 @@ fn parallel_executor_sustained_pressure() {
             let t = (rnd() % TTHREADS as u64) as usize;
             rt.join(tts[t]).unwrap();
             let expect: u64 = shadow[t * per..(t + 1) * per].iter().sum();
-            assert_eq!(rt.with(|ctx| ctx.user()[t]), expect, "tthread {t} at op {op}");
+            assert_eq!(
+                rt.with(|ctx| ctx.user()[t]),
+                expect,
+                "tthread {t} at op {op}"
+            );
         }
     }
     for (t, &tt) in tts.iter().enumerate() {
