@@ -98,6 +98,44 @@ fn trigger_lookup_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-store table probe itself: the allocating `lookup` (the
+/// pre-scratch path, kept for tests/diagnostics) vs `lookup_with` into a
+/// reusable generation-stamped scratch, on stores overlapping many watched
+/// regions at once — the case the old quadratic `seen_regions.contains`
+/// dedup made pathological.
+fn trigger_lookup_path(c: &mut Criterion) {
+    use dtt_core::addr::{Addr, AddrRange, Granularity};
+    use dtt_core::trigger::{LookupScratch, TriggerTable};
+    use dtt_core::tthread::StatusTable;
+
+    let mut group = c.benchmark_group("trigger_lookup_path");
+    for watchers in [4usize, 64] {
+        let mut table = TriggerTable::new(Granularity::Word);
+        let mut tst = StatusTable::new();
+        // All watchers overlap one word so a store hits every one of them.
+        for _ in 0..watchers {
+            let tt = tst.push();
+            table.watch(tt, AddrRange::new(Addr::new(0), 8));
+        }
+        let store = AddrRange::new(Addr::new(0), 8);
+        group.bench_with_input(BenchmarkId::new("alloc", watchers), &store, |b, &store| {
+            b.iter(|| black_box(table.lookup(black_box(store))))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scratch", watchers),
+            &store,
+            |b, &store| {
+                let mut scratch = LookupScratch::new();
+                b.iter(|| {
+                    table.lookup_with(black_box(store), &mut scratch);
+                    black_box(scratch.hits().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn join_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("join");
 
@@ -131,6 +169,7 @@ criterion_group!(
     store_paths,
     bulk_transfers,
     trigger_lookup_scaling,
+    trigger_lookup_path,
     join_paths
 );
 criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Concurrent tracked-memory access off the global state lock.
+//!
+//! [`Accessor`] is the scaling counterpart of [`crate::runtime::Runtime::with`]:
+//! it performs tracked loads and stores against the sharded arena directly,
+//! so accessors on different threads — and different address shards —
+//! proceed in parallel, the way the paper's hardware runs the store-side
+//! value compare on every core without serializing the pipeline. Only a
+//! store that actually *fires a trigger* takes the state lock, to advance
+//! the serial status machine.
+//!
+//! # Locking protocol (per store)
+//!
+//! 1. stripe lock(s) for the store's range → write + value compare → unlock;
+//! 2. silent store → done, no further locks;
+//! 3. trigger-table **read** lock → lookup into reusable scratch → unlock;
+//! 4. no hits → done; otherwise state lock → raise the hits → unlock.
+//!
+//! No two of these are ever held across a step boundary, and the state lock
+//! is always the *last* acquired, so accessors cannot deadlock with
+//! lock-holding paths (which take the state lock first and the others
+//! after).
+//!
+//! # Memory-ordering contract
+//!
+//! The store is published (step 1) *before* its trigger is raised (step 4).
+//! A concurrent `join` therefore either sees the trigger (and re-executes
+//! against memory that already contains the store) or misses a
+//! still-in-flight trigger exactly as it would have missed a
+//! fractionally-later store; once the raising store's `set` call returns,
+//! the trigger is visible to every later join. The worst interleaving
+//! causes a *spurious* re-execution (another accessor's store raised the
+//! tthread between this store's compare and raise) — never a lost one:
+//! every changing store to a watched range raises its hits before `set`
+//! returns.
+
+use std::sync::atomic::Ordering;
+
+use crate::handle::{Tracked, TrackedArray};
+use crate::pod::Pod;
+use crate::runtime::Inner;
+use crate::trigger::LookupScratch;
+use crate::Ctx;
+
+/// A per-thread handle for lock-free-ish tracked memory access.
+///
+/// Create one per thread with [`crate::runtime::Runtime::accessor`]; the
+/// accessor owns reusable trigger-lookup scratch, so its store path is
+/// allocation-free after warmup.
+///
+/// # Examples
+///
+/// ```
+/// use dtt_core::{Config, Runtime};
+///
+/// let mut rt = Runtime::new(Config::default(), ());
+/// let xs = rt.alloc_array::<u64>(64).unwrap();
+/// std::thread::scope(|s| {
+///     let rt = &rt;
+///     for t in 0..4usize {
+///         s.spawn(move || {
+///             let mut acc = rt.accessor();
+///             for i in (t * 16)..(t * 16 + 16) {
+///                 acc.write(xs, i, i as u64);
+///             }
+///         });
+///     }
+/// });
+/// let mut acc = rt.accessor();
+/// assert_eq!(acc.read(xs, 63), 63);
+/// ```
+pub struct Accessor<'rt, U> {
+    inner: &'rt Inner<U>,
+    scratch: LookupScratch,
+}
+
+impl<U> std::fmt::Debug for Accessor<'_, U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Accessor").finish_non_exhaustive()
+    }
+}
+
+impl<'rt, U: Send + 'static> Accessor<'rt, U> {
+    pub(crate) fn new(inner: &'rt Inner<U>) -> Self {
+        Accessor {
+            inner,
+            scratch: LookupScratch::new(),
+        }
+    }
+
+    /// Loads a tracked scalar without taking the state lock.
+    pub fn get<T: Pod>(&mut self, cell: Tracked<T>) -> T {
+        self.inner.access.on_loads(cell.addr().raw(), 1);
+        self.inner.mem.load(cell.addr())
+    }
+
+    /// Stores a tracked scalar, firing triggers if the value changed.
+    ///
+    /// The fast path (silent store, or no watcher) never touches the state
+    /// lock; see the module docs for the full protocol.
+    pub fn set<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
+        let detect = self.inner.cfg.suppress_silent_stores;
+        let effect = self.inner.mem.store(cell.addr(), value, detect);
+        self.inner
+            .access
+            .on_store(cell.addr().raw(), effect, detect);
+        if detect && !effect.changed {
+            return;
+        }
+        // Watched-address filter: one atomic load proves no watch covers
+        // this store's pages, skipping the trigger-table read lock.
+        if self.inner.watch_filter.load(Ordering::Acquire)
+            & crate::trigger::page_filter_mask(cell.range())
+            == 0
+        {
+            return;
+        }
+        // Read guard dropped at the end of the statement, before the state
+        // lock: lock order is always stripe → triggers → state, each
+        // released before the next.
+        self.inner
+            .triggers
+            .read()
+            .lookup_with(cell.range(), &mut self.scratch);
+        if self.scratch.hits().is_empty() {
+            return;
+        }
+        let mut state = self.inner.state.lock();
+        let mut ctx = Ctx::new(&mut state, self.inner, 0);
+        ctx.raise_hits(self.scratch.hits());
+    }
+
+    /// Loads element `index` of a tracked array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn read<T: Pod>(&mut self, array: TrackedArray<T>, index: usize) -> T {
+        self.get(array.at(index))
+    }
+
+    /// Stores element `index` of a tracked array, firing triggers if the
+    /// value changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn write<T: Pod>(&mut self, array: TrackedArray<T>, index: usize, value: T) {
+        self.set(array.at(index), value);
+    }
+}

@@ -67,6 +67,29 @@ pub struct Config {
     pub max_cascade_depth: u32,
     /// Maximum bytes the tracked arena may grow to.
     pub arena_capacity: u64,
+    /// Number of lock stripes sharding the tracked-memory hot path (value
+    /// compare + access counters). Always a power of two; `1` serializes
+    /// every tracked access on one lock, reproducing the pre-sharding
+    /// behaviour as an ablation baseline.
+    ///
+    /// The default derives from [`std::thread::available_parallelism`]
+    /// (oversubscribed 4× so disjoint working sets rarely collide, clamped
+    /// to `[1, 256]`) and can be overridden with the `DTT_MEM_SHARDS`
+    /// environment variable.
+    pub mem_shards: usize,
+}
+
+fn default_mem_shards() -> usize {
+    let requested = std::env::var("DTT_MEM_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get() * 4)
+                .unwrap_or(16)
+        });
+    requested.clamp(1, 256).next_power_of_two()
 }
 
 impl Default for Config {
@@ -81,6 +104,7 @@ impl Default for Config {
             detached_execution: true,
             max_cascade_depth: 64,
             arena_capacity: 1 << 32,
+            mem_shards: default_mem_shards(),
         }
     }
 }
@@ -145,6 +169,14 @@ impl Config {
         self
     }
 
+    /// Sets the tracked-memory shard count (rounded up to a power of two;
+    /// `0` is treated as `1`). `1` reproduces the fully serialized
+    /// single-lock hot path for ablations.
+    pub fn with_mem_shards(mut self, shards: usize) -> Self {
+        self.mem_shards = shards.max(1).next_power_of_two();
+        self
+    }
+
     /// Whether this configuration selects the deferred (single-threaded)
     /// executor.
     pub fn is_deferred(&self) -> bool {
@@ -163,6 +195,9 @@ mod tests {
         assert_eq!(cfg.granularity, Granularity::Exact);
         assert!(cfg.suppress_silent_stores);
         assert!(cfg.coalesce);
+        assert!(cfg.mem_shards >= 1);
+        assert!(cfg.mem_shards.is_power_of_two());
+        assert!(cfg.mem_shards <= 256);
     }
 
     #[test]
@@ -175,7 +210,8 @@ mod tests {
             .with_workers(4)
             .with_overflow(OverflowPolicy::DeferToJoin)
             .with_max_cascade_depth(7)
-            .with_arena_capacity(1024);
+            .with_arena_capacity(1024)
+            .with_mem_shards(5);
         assert_eq!(cfg.granularity, Granularity::Line);
         assert!(!cfg.suppress_silent_stores);
         assert!(!cfg.coalesce);
@@ -185,6 +221,10 @@ mod tests {
         assert_eq!(cfg.overflow, OverflowPolicy::DeferToJoin);
         assert_eq!(cfg.max_cascade_depth, 7);
         assert_eq!(cfg.arena_capacity, 1024);
+        // Shard counts normalize to the next power of two.
+        assert_eq!(cfg.mem_shards, 8);
+        assert_eq!(Config::default().with_mem_shards(0).mem_shards, 1);
+        assert_eq!(Config::default().with_mem_shards(1).mem_shards, 1);
     }
 
     #[test]

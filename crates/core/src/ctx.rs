@@ -42,6 +42,7 @@ use crate::heap::TrackedHeap;
 use crate::pod::Pod;
 use crate::runtime::{Inner, State};
 use crate::stats::Counters;
+use crate::trigger::TriggerHit;
 use crate::tthread::{TthreadId, TthreadStatus};
 
 /// One store recorded by a detached execution, replayed at commit.
@@ -172,16 +173,15 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
 
     /// Loads a tracked scalar.
     pub fn get<T: Pod>(&mut self, cell: Tracked<T>) -> T {
-        match &mut self.mode {
-            CtxMode::Locked(state) => {
-                state.stats.tracked_loads += 1;
-                state.heap.load(cell.addr())
-            }
-            CtxMode::Detached(view) => {
-                view.delta.tracked_loads += 1;
-                view.snap.load(cell.addr())
-            }
+        if let CtxMode::Detached(view) = &mut self.mode {
+            view.delta.tracked_loads += 1;
+            return view.snap.load(cell.addr());
         }
+        // Locked mode holds the state lock, so the counter is a plain add on
+        // the global stats; only the lock-free Accessor path needs the
+        // atomic per-shard slots.
+        self.locked().stats.tracked_loads += 1;
+        self.inner.mem.load(cell.addr())
     }
 
     /// Stores a tracked scalar, firing triggers if the value changed.
@@ -191,37 +191,34 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// the store still changes live memory.
     pub fn set<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
         let detect = self.inner.cfg.suppress_silent_stores;
-        match &mut self.mode {
-            CtxMode::Locked(state) => {
-                let effect = state.heap.store(cell.addr(), value, detect);
-                state.stats.tracked_stores += 1;
-                state.stats.bytes_compared += effect.bytes_compared;
-                if detect && !effect.changed {
-                    state.stats.silent_stores += 1;
-                    return;
-                }
-                state.stats.changing_stores += 1;
-            }
-            CtxMode::Detached(view) => {
-                let effect = view.snap.store(cell.addr(), value, detect);
-                view.delta.tracked_stores += 1;
-                view.delta.bytes_compared += effect.bytes_compared;
-                if detect && !effect.changed {
-                    view.delta.silent_stores += 1;
-                    return;
-                }
-                view.delta.changing_stores += 1;
-                let mut buf = [0u8; 16];
-                let enc = &mut buf[..T::SIZE];
-                value.write_le(enc);
-                view.log.push(LoggedStore {
-                    range: cell.range(),
-                    data: enc.to_vec(),
-                    dispatch: true,
-                });
+        if let CtxMode::Detached(view) = &mut self.mode {
+            let effect = view.snap.store(cell.addr(), value, detect);
+            view.delta.tracked_stores += 1;
+            view.delta.bytes_compared += effect.bytes_compared;
+            if detect && !effect.changed {
+                view.delta.silent_stores += 1;
                 return;
             }
+            view.delta.changing_stores += 1;
+            let mut buf = [0u8; 16];
+            let enc = &mut buf[..T::SIZE];
+            value.write_le(enc);
+            view.log.push(LoggedStore {
+                range: cell.range(),
+                data: enc.to_vec(),
+                dispatch: true,
+            });
+            return;
         }
+        let effect = self.inner.mem.store(cell.addr(), value, detect);
+        let stats = &mut self.locked().stats;
+        stats.tracked_stores += 1;
+        stats.bytes_compared += effect.bytes_compared;
+        if detect && !effect.changed {
+            stats.silent_stores += 1;
+            return;
+        }
+        stats.changing_stores += 1;
         self.dispatch(cell.range());
     }
 
@@ -249,22 +246,19 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// Intended for initialization: the write is unconditional, is not
     /// counted as a tracked store, and never fires a trigger.
     pub fn init<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
-        match &mut self.mode {
-            CtxMode::Locked(state) => {
-                state.heap.store(cell.addr(), value, false);
-            }
-            CtxMode::Detached(view) => {
-                view.snap.store(cell.addr(), value, false);
-                let mut buf = [0u8; 16];
-                let enc = &mut buf[..T::SIZE];
-                value.write_le(enc);
-                view.log.push(LoggedStore {
-                    range: cell.range(),
-                    data: enc.to_vec(),
-                    dispatch: false,
-                });
-            }
+        if let CtxMode::Detached(view) = &mut self.mode {
+            view.snap.store(cell.addr(), value, false);
+            let mut buf = [0u8; 16];
+            let enc = &mut buf[..T::SIZE];
+            value.write_le(enc);
+            view.log.push(LoggedStore {
+                range: cell.range(),
+                data: enc.to_vec(),
+                dispatch: false,
+            });
+            return;
         }
+        self.inner.mem.store(cell.addr(), value, false);
     }
 
     /// Array form of [`Ctx::init`].
@@ -301,16 +295,18 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         if from == to {
             return;
         }
-        let (heap, loads): (&TrackedHeap, &mut u64) = match &mut self.mode {
-            CtxMode::Locked(state) => (&state.heap, &mut state.stats.tracked_loads),
-            CtxMode::Detached(view) => (&view.snap, &mut view.delta.tracked_loads),
-        };
-        let bytes = heap.load_bytes(array.range_of(from, to));
+        let range = array.range_of(from, to);
         out.reserve(to - from);
-        for chunk in bytes.chunks_exact(T::SIZE) {
-            out.push(T::read_le(chunk));
+        if let CtxMode::Detached(view) = &mut self.mode {
+            let bytes = view.snap.load_bytes(range);
+            for chunk in bytes.chunks_exact(T::SIZE) {
+                out.push(T::read_le(chunk));
+            }
+            view.delta.tracked_loads += (to - from) as u64;
+            return;
         }
-        *loads += (to - from) as u64;
+        self.inner.mem.load_elems(range, out);
+        self.locked().stats.tracked_loads += (to - from) as u64;
     }
 
     /// Bulk-loads the whole array; see [`Ctx::read_slice_into`].
@@ -336,65 +332,80 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         }
         let detect = self.inner.cfg.suppress_silent_stores;
         let range = array.range_of(from, from + n);
-        let (heap, stats): (&mut TrackedHeap, &mut Counters) = match &mut self.mode {
-            CtxMode::Locked(state) => (&mut state.heap, &mut state.stats),
-            CtxMode::Detached(view) => (&mut view.snap, &mut view.delta),
-        };
-        // Phase 1: compare + copy per element, collecting runs of changed
-        // elements.
-        let mut runs: Vec<(usize, usize)> = Vec::new();
-        {
-            let slice = heap.slice_mut(range);
-            let mut buf = [0u8; 16];
-            let mut run_start: Option<usize> = None;
-            for (k, v) in values.iter().enumerate() {
-                let enc = &mut buf[..T::SIZE];
-                v.write_le(enc);
-                let dst = &mut slice[k * T::SIZE..(k + 1) * T::SIZE];
-                let changed = !detect || dst != &*enc;
-                if changed {
-                    dst.copy_from_slice(enc);
-                    if run_start.is_none() {
-                        run_start = Some(k);
+        if let CtxMode::Detached(view) = &mut self.mode {
+            // Phase 1: compare + copy per element against the snapshot,
+            // collecting runs of changed elements.
+            let mut runs: Vec<(usize, usize)> = Vec::new();
+            {
+                let slice = view.snap.slice_mut(range);
+                let mut buf = [0u8; 16];
+                let mut run_start: Option<usize> = None;
+                for (k, v) in values.iter().enumerate() {
+                    let enc = &mut buf[..T::SIZE];
+                    v.write_le(enc);
+                    let dst = &mut slice[k * T::SIZE..(k + 1) * T::SIZE];
+                    let changed = !detect || dst != &*enc;
+                    if changed {
+                        dst.copy_from_slice(enc);
+                        if run_start.is_none() {
+                            run_start = Some(k);
+                        }
+                    } else if let Some(start) = run_start.take() {
+                        runs.push((start, k));
                     }
-                } else if let Some(start) = run_start.take() {
-                    runs.push((start, k));
+                }
+                if let Some(start) = run_start {
+                    runs.push((start, n));
                 }
             }
-            if let Some(start) = run_start {
-                runs.push((start, n));
+            // Phase 2: stats, and one logged store per changed run.
+            let changed_elems: usize = runs.iter().map(|(a, b)| b - a).sum();
+            view.delta.tracked_stores += n as u64;
+            if detect {
+                view.delta.bytes_compared += (n * T::SIZE) as u64;
+                view.delta.silent_stores += (n - changed_elems) as u64;
             }
+            view.delta.changing_stores += changed_elems as u64;
+            let mut buf = [0u8; 16];
+            for (a, b) in runs {
+                let mut data = Vec::with_capacity((b - a) * T::SIZE);
+                for v in &values[a..b] {
+                    let enc = &mut buf[..T::SIZE];
+                    v.write_le(enc);
+                    data.extend_from_slice(enc);
+                }
+                view.log.push(LoggedStore {
+                    range: array.range_of(from + a, from + b),
+                    data,
+                    dispatch: true,
+                });
+            }
+            return;
         }
-        // Phase 2: stats and trigger dispatch per changed run.
-        let changed_elems: usize = runs.iter().map(|(a, b)| b - a).sum();
+        // Locked mode: encode once, let the sharded arena run the
+        // per-element compare under a single stripe-lock acquisition, then
+        // dispatch each changed run.
+        let mut data = Vec::with_capacity(n * T::SIZE);
+        let mut buf = [0u8; 16];
+        for v in values {
+            let enc = &mut buf[..T::SIZE];
+            v.write_le(enc);
+            data.extend_from_slice(enc);
+        }
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let changed_elems = self
+            .inner
+            .mem
+            .store_elems(range, &data, T::SIZE, detect, &mut runs);
+        let stats = &mut self.locked().stats;
         stats.tracked_stores += n as u64;
         if detect {
             stats.bytes_compared += (n * T::SIZE) as u64;
             stats.silent_stores += (n - changed_elems) as u64;
         }
         stats.changing_stores += changed_elems as u64;
-        match &mut self.mode {
-            CtxMode::Locked(_) => {
-                for (a, b) in runs {
-                    self.dispatch(array.range_of(from + a, from + b));
-                }
-            }
-            CtxMode::Detached(view) => {
-                let mut buf = [0u8; 16];
-                for (a, b) in runs {
-                    let mut data = Vec::with_capacity((b - a) * T::SIZE);
-                    for v in &values[a..b] {
-                        let enc = &mut buf[..T::SIZE];
-                        v.write_le(enc);
-                        data.extend_from_slice(enc);
-                    }
-                    view.log.push(LoggedStore {
-                        range: array.range_of(from + a, from + b),
-                        data,
-                        dispatch: true,
-                    });
-                }
-            }
+        for (a, b) in runs {
+            self.dispatch(array.range_of(from + a, from + b));
         }
     }
 
@@ -402,13 +413,43 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// tthreads. Only ever runs locked (the commit path calls this for
     /// replayed detached stores).
     pub(crate) fn dispatch(&mut self, store_range: crate::addr::AddrRange) {
-        let depth = self.depth;
-        let state = self.locked();
-        let hits = state.triggers.lookup(store_range);
+        // Watched-address filter: most changing stores touch pages no watch
+        // covers; proving that from one atomic load skips the trigger-table
+        // read lock and the bucket walk entirely.
+        if self
+            .inner
+            .watch_filter
+            .load(std::sync::atomic::Ordering::Acquire)
+            & crate::trigger::page_filter_mask(store_range)
+            == 0
+        {
+            return;
+        }
+        // Scratch comes from the state-lock pool so the per-store lookup is
+        // allocation-free after warmup; nested cascades simply pop another
+        // buffer (or default-construct on first use).
+        let mut scratch = self.locked().scratch.pop().unwrap_or_default();
+        // The trigger-table read guard is dropped at the end of this
+        // statement, *before* raising: an inline overflow execution under a
+        // raised trigger can store (and look up) again, and a recursive
+        // read of a std RwLock while a writer waits can deadlock.
+        self.inner
+            .triggers
+            .read()
+            .lookup_with(store_range, &mut scratch);
+        self.raise_hits(&scratch.hits);
+        self.locked().scratch.push(scratch);
+    }
+
+    /// Raise the matched tthreads of one triggering store. Runs locked; the
+    /// concurrent accessor path ([`crate::accessor::Accessor`]) also funnels
+    /// here after taking the state lock.
+    pub(crate) fn raise_hits(&mut self, hits: &[TriggerHit]) {
         if hits.is_empty() {
             return;
         }
-        state.stats.triggering_stores += 1;
+        let depth = self.depth;
+        self.locked().stats.triggering_stores += 1;
         for hit in hits {
             let state = self.locked();
             state.stats.triggers_fired += 1;

@@ -121,6 +121,23 @@ impl<T: Pod> TrackedArray<T> {
         AddrRange::new(self.addr, (self.len * T::SIZE) as u64)
     }
 
+    /// A sub-array handle over elements `[from, to)` of this array.
+    ///
+    /// Useful for partitioning one array into disjoint per-thread chunks
+    /// (e.g. one [`crate::accessor::Accessor`] per worker writing its own
+    /// slice); the sub-array addresses the same tracked memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > self.len()`.
+    pub fn slice(&self, from: usize, to: usize) -> TrackedArray<T> {
+        assert!(
+            from <= to && to <= self.len,
+            "invalid element range {from}..{to}"
+        );
+        TrackedArray::new(self.addr.offset((from * T::SIZE) as u64), to - from)
+    }
+
     /// The byte range of elements `[from, to)`.
     ///
     /// # Panics
@@ -294,6 +311,25 @@ mod tests {
         assert_eq!(r.len(), 24);
         assert_eq!(a.range_of(0, 8), a.range());
         assert!(a.range_of(3, 3).is_empty());
+    }
+
+    #[test]
+    fn array_slice_addresses_same_memory() {
+        let a: TrackedArray<u32> = TrackedArray::new(Addr::new(100), 10);
+        let s = a.slice(2, 7);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.at(0), a.at(2));
+        assert_eq!(s.at(4), a.at(6));
+        assert_eq!(s.range(), a.range_of(2, 7));
+        assert!(a.slice(3, 3).is_empty());
+        assert_eq!(a.slice(0, 10), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid element range")]
+    fn array_slice_out_of_bounds_panics() {
+        let a: TrackedArray<u8> = TrackedArray::new(Addr::new(0), 4);
+        a.slice(2, 5);
     }
 
     #[test]

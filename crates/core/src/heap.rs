@@ -55,6 +55,13 @@ impl TrackedHeap {
         }
     }
 
+    /// Creates a heap directly from its byte contents (used by
+    /// [`crate::mem::ShardedMem::snapshot`] to materialize a point-in-time
+    /// copy of the sharded arena).
+    pub(crate) fn from_bytes(mem: Vec<u8>, capacity: u64) -> Self {
+        TrackedHeap { mem, capacity }
+    }
+
     /// Bytes currently allocated.
     pub fn len(&self) -> u64 {
         self.mem.len() as u64

@@ -87,24 +87,28 @@
 //! |---|---|
 //! | [`addr`] | addresses, ranges, trigger [`Granularity`] |
 //! | [`pod`] | byte encoding of tracked values |
-//! | [`heap`] | the tracked arena with change-detecting stores |
+//! | [`heap`] | the single-threaded arena (detached-execution snapshots) |
+//! | `mem` | the sharded concurrent arena behind every tracked access |
 //! | [`handle`] | typed [`Tracked`]/[`TrackedArray`] handles |
 //! | [`trigger`] | the store-address → tthread trigger table |
 //! | [`tthread`] | tthread ids and the thread status table |
 //! | [`queue`] | the bounded coalescing pending queue |
 //! | [`ctx`] | the [`Ctx`] store path and status machine |
+//! | [`accessor`] | concurrent tracked access off the state lock |
 //! | [`runtime`] | the [`Runtime`] façade and executors |
 //! | [`config`], [`stats`], [`error`] | knobs, counters, errors |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accessor;
 pub mod addr;
 pub mod config;
 pub mod ctx;
 pub mod error;
 pub mod handle;
 pub mod heap;
+pub(crate) mod mem;
 pub mod pod;
 pub mod queue;
 pub mod report;
@@ -113,6 +117,7 @@ pub mod stats;
 pub mod trigger;
 pub mod tthread;
 
+pub use accessor::Accessor;
 pub use addr::{Addr, AddrRange, Granularity};
 pub use config::{Config, OverflowPolicy};
 pub use ctx::Ctx;
@@ -121,4 +126,5 @@ pub use handle::{Tracked, TrackedArray, TrackedMatrix};
 pub use report::{RuntimeReport, TthreadReportRow};
 pub use runtime::{JoinOutcome, Runtime};
 pub use stats::StatsSnapshot;
+pub use trigger::LookupScratch;
 pub use tthread::{TthreadId, TthreadStatus};

@@ -1,0 +1,881 @@
+//! Sharded tracked memory: the concurrent store/load hot path.
+//!
+//! [`ShardedMem`] plays the same role as [`crate::heap::TrackedHeap`] — a
+//! growable, bounds-checked arena with change-detecting stores — but is
+//! accessed through `&self` from many threads at once. The paper's hardware
+//! performs the value compare on *every* store without serializing the
+//! pipeline; the software analogue is that tracked loads and stores must not
+//! take the runtime's global state lock.
+//!
+//! # Design
+//!
+//! The crate forbids `unsafe`, so the arena is built from [`AtomicU64`]
+//! words:
+//!
+//! * **Word storage** — byte writes are word-level read-modify-writes with
+//!   [`Ordering::Relaxed`]; the stripe lock (below) provides the exclusivity
+//!   and the happens-before edges, the atomics only make the cells shareable
+//!   under `&self`.
+//! * **Striped locks** — the address space is divided into 64-byte
+//!   *stripes*; stripe `s` hashes to lock `s % shards` (shards is a power of
+//!   two). A store locks the stripes its range covers, in ascending lock
+//!   order, so stores to different stripes proceed in parallel while stores
+//!   to the same stripe — including the compare half of silent-store
+//!   detection — are atomic.
+//! * **Growth** — words live in fixed-size chunks initialized lazily by
+//!   [`ShardedMem::alloc`] ([`OnceLock`] per chunk, `alloc` itself behind a
+//!   dedicated mutex), so the access path reaches any allocated word with a
+//!   lock-free chunk lookup: growth never moves existing words and the hot
+//!   path never touches an arena-wide lock. `shards = 1` degenerates to a
+//!   single stripe lock covering all of memory, reproducing the serialized
+//!   pre-sharding behaviour (the ablation baseline).
+//!
+//! Lock ordering: the runtime's state lock, when held, is always acquired
+//! *before* stripe locks, and stripe locks are never held while acquiring
+//! the state lock — see `crates/core/src/accessor.rs` for the access-side
+//! protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::addr::{Addr, AddrRange};
+use crate::error::{Error, Result};
+use crate::heap::{StoreEffect, TrackedHeap};
+use crate::pod::Pod;
+
+/// Bytes per lock stripe (one cache line).
+const STRIPE_SHIFT: u32 = 6;
+
+/// Words per storage chunk (2^16 words = 512 KiB of tracked memory).
+const CHUNK_WORDS_SHIFT: u32 = 16;
+const CHUNK_WORDS: u64 = 1 << CHUNK_WORDS_SHIFT;
+
+/// The sharded arena. See the module docs for the locking protocol.
+pub(crate) struct ShardedMem {
+    /// Word storage in fixed-size chunks, initialized by `alloc` as the
+    /// arena grows; accesses reach a word through a lock-free
+    /// `OnceLock::get`, and existing words never move.
+    chunks: Box<[OnceLock<Box<[AtomicU64]>>]>,
+    /// Bytes currently allocated (monotonically increasing).
+    len: AtomicU64,
+    /// Capacity bound in bytes.
+    capacity: u64,
+    /// Serializes `alloc` (length bump + chunk initialization).
+    alloc_lock: Mutex<()>,
+    /// Stripe locks; length is a power of two.
+    locks: Box<[Mutex<()>]>,
+    /// `locks.len() - 1`, for mask-based stripe hashing.
+    mask: u64,
+}
+
+impl std::fmt::Debug for ShardedMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMem")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("shards", &self.locks.len())
+            .finish()
+    }
+}
+
+/// Stripe locks held for the duration of one access. The single-lock case
+/// (every scalar store: alignment keeps values inside one stripe) avoids
+/// heap allocation entirely.
+enum StripeGuards<'a> {
+    None,
+    One(#[allow(dead_code)] MutexGuard<'a, ()>),
+    Many(#[allow(dead_code)] Vec<MutexGuard<'a, ()>>),
+}
+
+impl ShardedMem {
+    /// Creates an empty arena bounded at `capacity` bytes with `shards`
+    /// stripe locks (rounded up to a power of two, minimum 1).
+    pub(crate) fn new(capacity: u64, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let nchunks = capacity.div_ceil(8).div_ceil(CHUNK_WORDS) as usize;
+        ShardedMem {
+            chunks: (0..nchunks).map(|_| OnceLock::new()).collect(),
+            len: AtomicU64::new(0),
+            capacity,
+            alloc_lock: Mutex::new(()),
+            locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            mask: (shards - 1) as u64,
+        }
+    }
+
+    /// The word at index `w`. Lock-free; panics if `w` lies beyond the
+    /// allocated length (every caller bounds-checks through `check_range`
+    /// first, and `alloc` initializes all chunks up to the new length).
+    #[inline]
+    fn word(&self, w: u64) -> &AtomicU64 {
+        let chunk = self.chunks[(w >> CHUNK_WORDS_SHIFT) as usize]
+            .get()
+            .expect("access to unallocated arena chunk");
+        &chunk[(w & (CHUNK_WORDS - 1)) as usize]
+    }
+
+    /// Number of stripe locks.
+    pub(crate) fn shards(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Bytes currently allocated.
+    pub(crate) fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// The configured capacity bound in bytes.
+    pub(crate) fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Allocates `len` zeroed bytes aligned to `align`; same contract as
+    /// [`TrackedHeap::alloc`].
+    pub(crate) fn alloc(&self, len: u64, align: u64) -> Result<Addr> {
+        assert!(
+            align > 0 && align.is_power_of_two(),
+            "alignment must be a nonzero power of two"
+        );
+        let _g = self.alloc_lock.lock();
+        let base = self.len.load(Ordering::Relaxed).div_ceil(align) * align;
+        let available = self.capacity.saturating_sub(base);
+        let end = base.checked_add(len).ok_or(Error::ArenaExhausted {
+            requested: len,
+            available,
+        })?;
+        if end > self.capacity {
+            return Err(Error::ArenaExhausted {
+                requested: len,
+                available,
+            });
+        }
+        // Materialize every chunk covering the new length (the last chunk of
+        // the arena may be partial).
+        let cap_words = self.capacity.div_ceil(8);
+        for ci in 0..end.div_ceil(8).div_ceil(CHUNK_WORDS) {
+            self.chunks[ci as usize].get_or_init(|| {
+                let size = (cap_words - ci * CHUNK_WORDS).min(CHUNK_WORDS) as usize;
+                (0..size).map(|_| AtomicU64::new(0)).collect()
+            });
+        }
+        self.len.store(end, Ordering::Release);
+        Ok(Addr::new(base))
+    }
+
+    /// Checks that `range` lies inside the allocated arena; same contract as
+    /// [`TrackedHeap::check_range`].
+    pub(crate) fn check_range(&self, range: AddrRange) -> Result<()> {
+        let len = self.len();
+        if range.end().raw() <= len {
+            Ok(())
+        } else {
+            Err(Error::RegionOutOfBounds {
+                start: range.start().raw(),
+                len: range.len(),
+                heap_len: len,
+            })
+        }
+    }
+
+    /// Acquires the stripe locks covering `range`, in ascending lock order
+    /// (ties on lock index are impossible below `shards` distinct stripes;
+    /// spans covering every lock take them all).
+    fn lock_range(&self, range: AddrRange) -> StripeGuards<'_> {
+        if range.is_empty() {
+            return StripeGuards::None;
+        }
+        let first = range.start().raw() >> STRIPE_SHIFT;
+        let last = (range.end().raw() - 1) >> STRIPE_SHIFT;
+        if first == last {
+            return StripeGuards::One(self.locks[(first & self.mask) as usize].lock());
+        }
+        let nlocks = self.locks.len() as u64;
+        if last - first + 1 >= nlocks {
+            return StripeGuards::Many(self.locks.iter().map(|l| l.lock()).collect());
+        }
+        // Fewer stripes than locks: consecutive stripes hash to distinct
+        // locks, so sorting the indices gives a deadlock-free ascending
+        // acquisition order.
+        let mut idxs: Vec<usize> = (first..=last).map(|s| (s & self.mask) as usize).collect();
+        idxs.sort_unstable();
+        StripeGuards::Many(idxs.into_iter().map(|i| self.locks[i].lock()).collect())
+    }
+
+    /// Acquires every stripe lock, for atomic whole-memory operations
+    /// (detached-execution snapshots).
+    fn lock_all(&self) -> Vec<MutexGuard<'_, ()>> {
+        self.locks.iter().map(|l| l.lock()).collect()
+    }
+
+    /// Writes `data` at `range`, comparing against the old contents when
+    /// `detect_change` is set; same contract as [`TrackedHeap::store_bytes`].
+    pub(crate) fn store_bytes(
+        &self,
+        range: AddrRange,
+        data: &[u8],
+        detect_change: bool,
+    ) -> StoreEffect {
+        self.check_range(range).expect("store out of bounds");
+        assert_eq!(data.len() as u64, range.len(), "store size mismatch");
+        let _guards = self.lock_range(range);
+        let changed = self.write_words(range, data);
+        if detect_change {
+            StoreEffect {
+                changed,
+                bytes_compared: data.len() as u64,
+            }
+        } else {
+            StoreEffect {
+                changed: true,
+                bytes_compared: 0,
+            }
+        }
+    }
+
+    /// Typed store of a [`Pod`] value at `addr`. Values contained in one
+    /// word take a fast path: a single stripe lock and one word
+    /// read-modify-write, no byte loop.
+    pub(crate) fn store<T: Pod>(&self, addr: Addr, value: T, detect_change: bool) -> StoreEffect {
+        let start = addr.raw();
+        let range = AddrRange::new(addr, T::SIZE as u64);
+        if T::SIZE <= 8 && (start >> 3) == ((start + T::SIZE as u64 - 1) >> 3) {
+            self.check_range(range).expect("store out of bounds");
+            let mut buf = [0u8; 8];
+            value.write_le(&mut buf[..T::SIZE]);
+            let word = self.word(start >> 3);
+            let off = (start & 7) as usize;
+            // Double-checked silent path: a store that leaves the word
+            // unchanged has no visible effect and can linearize at this
+            // lockless load, skipping the stripe lock entirely. Silent
+            // stores are the common case this runtime exists to exploit.
+            let cur = word.load(Ordering::Relaxed);
+            let mut probe = cur.to_le_bytes();
+            probe[off..off + T::SIZE].copy_from_slice(&buf[..T::SIZE]);
+            if u64::from_le_bytes(probe) == cur {
+                return if detect_change {
+                    StoreEffect {
+                        changed: false,
+                        bytes_compared: T::SIZE as u64,
+                    }
+                } else {
+                    StoreEffect {
+                        changed: true,
+                        bytes_compared: 0,
+                    }
+                };
+            }
+            let _g = self.locks[((start >> STRIPE_SHIFT) & self.mask) as usize].lock();
+            let old = word.load(Ordering::Relaxed);
+            let mut bytes = old.to_le_bytes();
+            bytes[off..off + T::SIZE].copy_from_slice(&buf[..T::SIZE]);
+            let new = u64::from_le_bytes(bytes);
+            let changed = new != old;
+            if changed {
+                word.store(new, Ordering::Relaxed);
+            }
+            return if detect_change {
+                StoreEffect {
+                    changed,
+                    bytes_compared: T::SIZE as u64,
+                }
+            } else {
+                StoreEffect {
+                    changed: true,
+                    bytes_compared: 0,
+                }
+            };
+        }
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        value.write_le(buf);
+        self.store_bytes(range, buf, detect_change)
+    }
+
+    /// Typed load of a [`Pod`] value at `addr`. Values contained in one
+    /// word need no stripe lock: the word load is atomic, so concurrent
+    /// read-modify-writes of neighbouring bytes can never tear it.
+    pub(crate) fn load<T: Pod>(&self, addr: Addr) -> T {
+        let range = AddrRange::new(addr, T::SIZE as u64);
+        self.check_range(range).expect("load out of bounds");
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        let first = range.start().raw() >> 3;
+        let last = (range.end().raw() - 1) >> 3;
+        if first == last {
+            let bytes = self.word(first).load(Ordering::Relaxed).to_le_bytes();
+            let off = (range.start().raw() & 7) as usize;
+            buf.copy_from_slice(&bytes[off..off + T::SIZE]);
+        } else {
+            let _guards = self.lock_range(range);
+            self.read_words(range, buf);
+        }
+        T::read_le(buf)
+    }
+
+    /// Bulk-loads the bytes of `range` into `out` (cleared first), atomically
+    /// with respect to concurrent stores into the range. The runtime's typed
+    /// bulk reads go through [`ShardedMem::load_elems`]; this byte-level
+    /// variant backs the unit tests.
+    #[cfg(test)]
+    pub(crate) fn load_into(&self, range: AddrRange, out: &mut Vec<u8>) {
+        self.check_range(range).expect("load out of bounds");
+        out.clear();
+        out.resize(range.len() as usize, 0);
+        if range.is_empty() {
+            return;
+        }
+        let _guards = self.lock_range(range);
+        self.read_words(range, out);
+    }
+
+    /// Bulk-loads the `T`-typed elements of `range` into `out` (appended;
+    /// callers clear first), atomically with respect to concurrent stores
+    /// into the range. Word-aligned u64-sized elements decode straight from
+    /// the word array without an intermediate byte buffer.
+    pub(crate) fn load_elems<T: Pod>(&self, range: AddrRange, out: &mut Vec<T>) {
+        self.check_range(range).expect("load out of bounds");
+        let n = range.len() as usize / T::SIZE;
+        out.reserve(n);
+        let _guards = self.lock_range(range);
+        if T::SIZE <= 8 && 8 % T::SIZE == 0 && range.start().raw().is_multiple_of(T::SIZE as u64) {
+            // Elements never straddle a word segment (`T::SIZE` divides 8
+            // and the range starts elem-aligned): decode straight out of
+            // each word's bytes, no intermediate buffer.
+            let mut pos = range.start().raw();
+            let end = range.end().raw();
+            while pos < end {
+                let (chunk, mut idx) = self.chunk_of(pos >> 3);
+                while pos < end && idx < chunk.len() {
+                    if T::SIZE == 8 && pos & 7 == 0 && end - pos >= 8 {
+                        // Whole aligned words in one `extend` (exact-size
+                        // iterator, no per-element capacity checks).
+                        let span = (((end - pos) >> 3) as usize).min(chunk.len() - idx);
+                        out.extend(
+                            chunk[idx..idx + span]
+                                .iter()
+                                .map(|w| T::read_le(&w.load(Ordering::Relaxed).to_le_bytes())),
+                        );
+                        pos += (span * 8) as u64;
+                        idx += span;
+                        continue;
+                    }
+                    let off = (pos & 7) as usize;
+                    let nb = ((8 - off) as u64).min(end - pos) as usize;
+                    let bytes = chunk[idx].load(Ordering::Relaxed).to_le_bytes();
+                    out.extend(bytes[off..off + nb].chunks_exact(T::SIZE).map(T::read_le));
+                    pos += nb as u64;
+                    idx += 1;
+                }
+            }
+        } else {
+            let mut bytes = vec![0u8; range.len() as usize];
+            self.read_words(range, &mut bytes);
+            for chunk in bytes.chunks_exact(T::SIZE) {
+                out.push(T::read_le(chunk));
+            }
+        }
+    }
+
+    /// Bulk store with per-element change detection: writes `data`
+    /// (`elem_size`-byte elements) at `range` under one stripe-lock
+    /// acquisition, records runs of *changed* element indices into `runs`
+    /// (cleared first), and returns the number of changed elements. With
+    /// `detect_change` off every element counts as changed, matching
+    /// [`TrackedHeap::store_bytes`] semantics.
+    pub(crate) fn store_elems(
+        &self,
+        range: AddrRange,
+        data: &[u8],
+        elem_size: usize,
+        detect_change: bool,
+        runs: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        runs.clear();
+        self.check_range(range).expect("store out of bounds");
+        assert_eq!(data.len() as u64, range.len(), "store size mismatch");
+        if data.is_empty() {
+            return 0;
+        }
+        let n = data.len() / elem_size;
+        let _guards = self.lock_range(range);
+        struct RunState {
+            changed_elems: usize,
+            run_start: Option<usize>,
+        }
+        impl RunState {
+            #[inline]
+            fn mark(&mut self, k: usize, changed: bool, runs: &mut Vec<(usize, usize)>) {
+                if changed {
+                    self.changed_elems += 1;
+                    if self.run_start.is_none() {
+                        self.run_start = Some(k);
+                    }
+                } else if let Some(start) = self.run_start.take() {
+                    runs.push((start, k));
+                }
+            }
+        }
+        let mut st = RunState {
+            changed_elems: 0,
+            run_start: None,
+        };
+        if elem_size <= 8
+            && 8 % elem_size == 0
+            && range.start().raw().is_multiple_of(elem_size as u64)
+        {
+            // Element boundaries coincide with word-segment boundaries
+            // (`elem_size` divides 8 and the range starts elem-aligned), so
+            // each word is one load/compare/store covering whole elements:
+            // the per-element change bits fall out of comparing the old and
+            // new word bytes. Chunk lookup is hoisted out of the word loop.
+            let mut pos = range.start().raw();
+            let end = range.end().raw();
+            let mut o = 0usize;
+            while pos < end {
+                let (chunk, mut idx) = self.chunk_of(pos >> 3);
+                while pos < end && idx < chunk.len() {
+                    if pos & 7 == 0 && end - pos >= 8 {
+                        // Whole aligned words: fixed-size decode, one
+                        // compare per word, per-element work only on the
+                        // words that actually changed.
+                        let span = (((end - pos) >> 3) as usize).min(chunk.len() - idx);
+                        let per = 8 / elem_size;
+                        let base = o / elem_size;
+                        let words = &chunk[idx..idx + span];
+                        let src = &data[o..o + span * 8];
+                        let le64 = |s: &[u8], k: usize| {
+                            u64::from_le_bytes(s[k..k + 8].try_into().expect("8 bytes"))
+                        };
+                        if !detect_change {
+                            for (word, ed) in words.iter().zip(src.chunks_exact(8)) {
+                                let new = le64(ed, 0);
+                                if new != word.load(Ordering::Relaxed) {
+                                    word.store(new, Ordering::Relaxed);
+                                }
+                            }
+                            st.changed_elems += span * per;
+                            if st.run_start.is_none() {
+                                st.run_start = Some(base);
+                            }
+                        } else {
+                            let mut i = 0usize;
+                            while i < span {
+                                // Fast-skip runs of silent words four at a
+                                // time: the common case in mostly-silent
+                                // bulk rewrites.
+                                while i + 4 <= span {
+                                    let s = &src[i * 8..];
+                                    if words[i].load(Ordering::Relaxed) == le64(s, 0)
+                                        && words[i + 1].load(Ordering::Relaxed) == le64(s, 8)
+                                        && words[i + 2].load(Ordering::Relaxed) == le64(s, 16)
+                                        && words[i + 3].load(Ordering::Relaxed) == le64(s, 24)
+                                    {
+                                        if let Some(start) = st.run_start.take() {
+                                            runs.push((start, base + i * per));
+                                        }
+                                        i += 4;
+                                    } else {
+                                        break;
+                                    }
+                                }
+                                if i >= span {
+                                    break;
+                                }
+                                // One silent word, or a run of changing
+                                // words consumed without re-probing.
+                                loop {
+                                    let word = &words[i];
+                                    let ed = &src[i * 8..(i + 1) * 8];
+                                    let new = le64(ed, 0);
+                                    let old = word.load(Ordering::Relaxed);
+                                    if new == old {
+                                        // Silent word: every element it
+                                        // covers is unchanged.
+                                        if let Some(start) = st.run_start.take() {
+                                            runs.push((start, base + i * per));
+                                        }
+                                        i += 1;
+                                        break;
+                                    }
+                                    word.store(new, Ordering::Relaxed);
+                                    // Element change bits via xor/shift:
+                                    // `elem_size` is a runtime value, so a
+                                    // byte-slice compare would be a memcmp
+                                    // call per word.
+                                    let xor = new ^ old;
+                                    let ebits = elem_size * 8;
+                                    let emask = if elem_size == 8 {
+                                        u64::MAX
+                                    } else {
+                                        (1u64 << ebits) - 1
+                                    };
+                                    for e in 0..per {
+                                        let changed = (xor >> (e * ebits)) & emask != 0;
+                                        st.mark(base + i * per + e, changed, runs);
+                                    }
+                                    i += 1;
+                                    if i >= span {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        pos += (span * 8) as u64;
+                        o += span * 8;
+                        idx += span;
+                        continue;
+                    }
+                    // Partial head or tail word: splice into the existing
+                    // word bytes.
+                    let word = &chunk[idx];
+                    let off = (pos & 7) as usize;
+                    let nb = ((8 - off) as u64).min(end - pos) as usize;
+                    let old = word.load(Ordering::Relaxed);
+                    let oldb = old.to_le_bytes();
+                    let mut bytes = oldb;
+                    bytes[off..off + nb].copy_from_slice(&data[o..o + nb]);
+                    let new = u64::from_le_bytes(bytes);
+                    if new != old {
+                        word.store(new, Ordering::Relaxed);
+                    }
+                    let cnt = nb / elem_size;
+                    let base = o / elem_size;
+                    if new == old && detect_change {
+                        if let Some(start) = st.run_start.take() {
+                            runs.push((start, base));
+                        }
+                    } else if !detect_change {
+                        st.changed_elems += cnt;
+                        if st.run_start.is_none() {
+                            st.run_start = Some(base);
+                        }
+                    } else {
+                        let xor = new ^ old;
+                        let ebits = elem_size * 8;
+                        let emask = if elem_size == 8 {
+                            u64::MAX
+                        } else {
+                            (1u64 << ebits) - 1
+                        };
+                        for e in 0..cnt {
+                            let s = off + e * elem_size;
+                            let changed = (xor >> (s * 8)) & emask != 0;
+                            st.mark(base + e, changed, runs);
+                        }
+                    }
+                    pos += nb as u64;
+                    o += nb;
+                    idx += 1;
+                }
+            }
+        } else {
+            for k in 0..n {
+                let erange = AddrRange::new(
+                    range.start().offset((k * elem_size) as u64),
+                    elem_size as u64,
+                );
+                let edata = &data[k * elem_size..(k + 1) * elem_size];
+                let changed = self.write_words(erange, edata) || !detect_change;
+                st.mark(k, changed, runs);
+            }
+        }
+        if let Some(start) = st.run_start {
+            runs.push((start, n));
+        }
+        st.changed_elems
+    }
+
+    /// Copies the whole arena into a [`TrackedHeap`], taking every stripe
+    /// lock so the copy is atomic with respect to concurrent stores. This is
+    /// the snapshot a detached tthread execution runs against.
+    pub(crate) fn snapshot(&self) -> TrackedHeap {
+        let _all = self.lock_all();
+        let len = self.len.load(Ordering::Relaxed) as usize;
+        let mut bytes = vec![0u8; len];
+        for (i, chunk) in bytes.chunks_mut(8).enumerate() {
+            let w = self.word(i as u64).load(Ordering::Relaxed).to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+        TrackedHeap::from_bytes(bytes, self.capacity)
+    }
+
+    /// The chunk containing word `w` and the index of `w` within it.
+    #[inline]
+    fn chunk_of(&self, w: u64) -> (&[AtomicU64], usize) {
+        let chunk = self.chunks[(w >> CHUNK_WORDS_SHIFT) as usize]
+            .get()
+            .expect("access to unallocated arena chunk");
+        (chunk, (w & (CHUNK_WORDS - 1)) as usize)
+    }
+
+    /// Reads `range` into `out`. Caller holds the stripe locks covering
+    /// `range` (or has proven the range fits one word). The chunk lookup is
+    /// hoisted out of the word loop and whole aligned words copy without
+    /// byte splicing, so bulk reads run at memcpy-like speed.
+    fn read_words(&self, range: AddrRange, out: &mut [u8]) {
+        debug_assert_eq!(out.len() as u64, range.len());
+        let mut pos = range.start().raw();
+        let end = range.end().raw();
+        let mut o = 0usize;
+        while pos < end {
+            let (chunk, mut idx) = self.chunk_of(pos >> 3);
+            while pos < end && idx < chunk.len() {
+                if pos & 7 == 0 && end - pos >= 8 {
+                    out[o..o + 8]
+                        .copy_from_slice(&chunk[idx].load(Ordering::Relaxed).to_le_bytes());
+                    pos += 8;
+                    o += 8;
+                } else {
+                    let off = (pos & 7) as usize;
+                    let n = ((8 - off) as u64).min(end - pos) as usize;
+                    let bytes = chunk[idx].load(Ordering::Relaxed).to_le_bytes();
+                    out[o..o + n].copy_from_slice(&bytes[off..off + n]);
+                    pos += n as u64;
+                    o += n;
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    /// Writes `data` at `range` word by word, returning whether any byte
+    /// actually changed. Unchanged words are not stored, so the compare
+    /// doubles as silent-store detection. Caller holds the stripe locks
+    /// covering `range`.
+    fn write_words(&self, range: AddrRange, data: &[u8]) -> bool {
+        let mut changed = false;
+        let mut pos = range.start().raw();
+        let end = range.end().raw();
+        let mut o = 0usize;
+        while pos < end {
+            let (chunk, mut idx) = self.chunk_of(pos >> 3);
+            while pos < end && idx < chunk.len() {
+                let word = &chunk[idx];
+                if pos & 7 == 0 && end - pos >= 8 {
+                    let new = u64::from_le_bytes(data[o..o + 8].try_into().expect("8 bytes"));
+                    if new != word.load(Ordering::Relaxed) {
+                        changed = true;
+                        word.store(new, Ordering::Relaxed);
+                    }
+                    pos += 8;
+                    o += 8;
+                } else {
+                    let off = (pos & 7) as usize;
+                    let n = ((8 - off) as u64).min(end - pos) as usize;
+                    let old = word.load(Ordering::Relaxed);
+                    let mut bytes = old.to_le_bytes();
+                    bytes[off..off + n].copy_from_slice(&data[o..o + n]);
+                    let new = u64::from_le_bytes(bytes);
+                    if new != old {
+                        changed = true;
+                        word.store(new, Ordering::Relaxed);
+                    }
+                    pos += n as u64;
+                    o += n;
+                }
+                idx += 1;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(shards: usize) -> ShardedMem {
+        ShardedMem::new(4096, shards)
+    }
+
+    #[test]
+    fn shard_count_is_normalized() {
+        assert_eq!(ShardedMem::new(64, 0).shards(), 1);
+        assert_eq!(ShardedMem::new(64, 1).shards(), 1);
+        assert_eq!(ShardedMem::new(64, 3).shards(), 4);
+        assert_eq!(ShardedMem::new(64, 8).shards(), 8);
+    }
+
+    #[test]
+    fn alloc_matches_heap_semantics() {
+        for shards in [1, 4] {
+            let m = mem(shards);
+            let a = m.alloc(3, 1).unwrap();
+            let b = m.alloc(8, 8).unwrap();
+            assert_eq!(a.raw(), 0);
+            assert_eq!(b.raw() % 8, 0);
+            assert!(b.raw() >= 3);
+            // Mirror of TrackedHeap::alloc's padding-aware error report.
+            let m2 = ShardedMem::new(16, shards);
+            m2.alloc(3, 1).unwrap();
+            match m2.alloc(16, 8).unwrap_err() {
+                Error::ArenaExhausted {
+                    requested,
+                    available,
+                } => {
+                    assert_eq!(requested, 16);
+                    assert_eq!(available, 8);
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+            assert!(m2.alloc(8, 8).is_ok());
+            match m2.alloc(u64::MAX, 1).unwrap_err() {
+                Error::ArenaExhausted { available, .. } => assert_eq!(available, 0),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_detects_change_and_silence() {
+        for shards in [1, 2, 16] {
+            let m = mem(shards);
+            let a = m.alloc(4, 4).unwrap();
+            let e1 = m.store(a, 7u32, true);
+            assert!(e1.changed);
+            assert_eq!(e1.bytes_compared, 4);
+            assert!(!m.store(a, 7u32, true).changed);
+            assert!(m.store(a, 8u32, true).changed);
+            assert_eq!(m.load::<u32>(a), 8);
+            let e = m.store(a, 8u32, false);
+            assert!(e.changed);
+            assert_eq!(e.bytes_compared, 0);
+        }
+    }
+
+    #[test]
+    fn unaligned_byte_ranges_round_trip() {
+        let m = mem(4);
+        let a = m.alloc(256, 1).unwrap();
+        // A range that straddles word and stripe boundaries.
+        let r = AddrRange::new(a.offset(61), 10);
+        let data: Vec<u8> = (1..=10).collect();
+        assert!(m.store_bytes(r, &data, true).changed);
+        let mut out = Vec::new();
+        m.load_into(r, &mut out);
+        assert_eq!(out, data);
+        // Neighbouring bytes are untouched.
+        let mut whole = Vec::new();
+        m.load_into(AddrRange::new(a, 256), &mut whole);
+        assert_eq!(whole[60], 0);
+        assert_eq!(whole[71], 0);
+        assert_eq!(&whole[61..71], &data[..]);
+    }
+
+    #[test]
+    fn sixteen_byte_values_cross_stripes() {
+        let m = mem(4);
+        let a = m.alloc(128, 1).unwrap();
+        // Place a u128 at offset 56: bytes 56..72 straddle the stripe at 64.
+        let addr = a.offset(56);
+        let v = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        assert!(m.store(addr, v, true).changed);
+        assert_eq!(m.load::<u128>(addr), v);
+        assert!(!m.store(addr, v, true).changed);
+    }
+
+    #[test]
+    fn empty_range_store_matches_heap() {
+        let m = mem(2);
+        let a = m.alloc(8, 8).unwrap();
+        let r = AddrRange::new(a, 0);
+        assert!(!m.store_bytes(r, &[], true).changed);
+        assert!(m.store_bytes(r, &[], false).changed);
+    }
+
+    #[test]
+    fn store_elems_reports_changed_runs() {
+        let m = mem(4);
+        let a = m.alloc(8 * 4, 8).unwrap();
+        let range = AddrRange::new(a, 32);
+        let enc = |vals: &[u64]| -> Vec<u8> { vals.iter().flat_map(|v| v.to_le_bytes()).collect() };
+        let mut runs = Vec::new();
+        let changed = m.store_elems(range, &enc(&[1, 2, 3, 4]), 8, true, &mut runs);
+        assert_eq!(changed, 4);
+        assert_eq!(runs, vec![(0, 4)]);
+        // Change only elements 0 and 2..4.
+        let changed = m.store_elems(range, &enc(&[9, 2, 8, 7]), 8, true, &mut runs);
+        assert_eq!(changed, 3);
+        assert_eq!(runs, vec![(0, 1), (2, 4)]);
+        // All silent.
+        let changed = m.store_elems(range, &enc(&[9, 2, 8, 7]), 8, true, &mut runs);
+        assert_eq!(changed, 0);
+        assert!(runs.is_empty());
+        // Detection off: everything counts as changed.
+        let changed = m.store_elems(range, &enc(&[9, 2, 8, 7]), 8, false, &mut runs);
+        assert_eq!(changed, 4);
+        assert_eq!(runs, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn snapshot_copies_exact_bytes() {
+        let m = mem(4);
+        let a = m.alloc(100, 1).unwrap();
+        let data: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+        m.store_bytes(AddrRange::new(a, 100), &data, false);
+        let heap = m.snapshot();
+        assert_eq!(heap.len(), 100);
+        assert_eq!(heap.capacity(), 4096);
+        assert_eq!(heap.load_bytes(AddrRange::new(a, 100)), &data[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "store out of bounds")]
+    fn out_of_bounds_store_panics() {
+        let m = mem(1);
+        m.store(Addr::new(0), 1u32, true);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stores_are_exact() {
+        use std::sync::Arc;
+        let m = Arc::new(ShardedMem::new(1 << 20, 8));
+        let a = m.alloc(8 * 1024, 8).unwrap();
+        let threads = 4;
+        let per = 1024 / threads;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in t * per..(t + 1) * per {
+                        let addr = a.offset((i * 8) as u64);
+                        for round in 0..16u64 {
+                            m.store(addr, (i as u64) << 8 | round, true);
+                        }
+                    }
+                });
+            }
+        });
+        for i in 0..1024 {
+            assert_eq!(
+                m.load::<u64>(a.offset((i * 8) as u64)),
+                (i as u64) << 8 | 15
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_same_stripe_byte_stores_do_not_lose_updates() {
+        use std::sync::Arc;
+        // Every thread writes its own byte inside ONE word; the stripe lock
+        // must make the read-modify-writes exclusive.
+        let m = Arc::new(ShardedMem::new(64, 4));
+        let a = m.alloc(8, 8).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    let r = AddrRange::new(a.offset(t as u64), 1);
+                    m.store_bytes(r, &[(t + 1) as u8], true);
+                });
+            }
+        });
+        for t in 0..8usize {
+            let mut out = Vec::new();
+            m.load_into(AddrRange::new(a.offset(t as u64), 1), &mut out);
+            assert_eq!(out, vec![(t + 1) as u8]);
+        }
+    }
+}

@@ -39,7 +39,10 @@ pub enum PushOutcome {
 #[derive(Debug, Clone)]
 pub struct CoalescingQueue {
     queue: VecDeque<TthreadId>,
-    pending: Vec<bool>,
+    /// Per-id count of queued occurrences. With coalescing on this is 0 or
+    /// 1; with coalescing off it counts duplicates, so `pop` can clear the
+    /// pending state in O(1) instead of rescanning the queue.
+    pending: Vec<u32>,
     capacity: usize,
     coalesce: bool,
 }
@@ -77,7 +80,7 @@ impl CoalescingQueue {
 
     /// Whether `id` is currently queued.
     pub fn contains(&self, id: TthreadId) -> bool {
-        self.pending.get(id.index()).copied().unwrap_or(false)
+        self.pending.get(id.index()).copied().unwrap_or(0) > 0
     }
 
     /// Attempts to enqueue `id`.
@@ -89,9 +92,9 @@ impl CoalescingQueue {
             return PushOutcome::Full;
         }
         if self.pending.len() <= id.index() {
-            self.pending.resize(id.index() + 1, false);
+            self.pending.resize(id.index() + 1, 0);
         }
-        self.pending[id.index()] = true;
+        self.pending[id.index()] += 1;
         self.queue.push_back(id);
         PushOutcome::Enqueued
     }
@@ -99,23 +102,21 @@ impl CoalescingQueue {
     /// Dequeues the oldest pending tthread.
     pub fn pop(&mut self) -> Option<TthreadId> {
         let id = self.queue.pop_front()?;
-        // Without coalescing the same id may appear again; only clear the
-        // pending mark when its last occurrence leaves the queue.
-        if !self.queue.contains(&id) {
-            self.pending[id.index()] = false;
-        }
+        // Without coalescing the same id may appear again; the occurrence
+        // count clears the pending state exactly when the last copy leaves.
+        self.pending[id.index()] -= 1;
         Some(id)
     }
 
     /// Removes a specific tthread from anywhere in the queue (used when the
     /// main thread *steals* a queued tthread at a join point). Returns
-    /// whether it was present.
+    /// whether it was present. All queued occurrences are removed.
     pub fn remove(&mut self, id: TthreadId) -> bool {
         let before = self.queue.len();
         self.queue.retain(|&q| q != id);
         let removed = self.queue.len() != before;
         if removed {
-            self.pending[id.index()] = false;
+            self.pending[id.index()] = 0;
         }
         removed
     }
@@ -204,5 +205,50 @@ mod tests {
     #[should_panic(expected = "queue capacity must be nonzero")]
     fn zero_capacity_panics() {
         CoalescingQueue::new(0, true);
+    }
+
+    #[test]
+    fn duplicate_heavy_drain_keeps_pending_exact() {
+        // Regression for the O(n²) drain: `pop` used to rescan the whole
+        // queue per element to decide whether to clear the pending mark.
+        // This drain exercises the occurrence-count bookkeeping it replaced.
+        let mut q = CoalescingQueue::new(4096, false);
+        for round in 0..512u32 {
+            q.push(id(round % 4));
+        }
+        // Every id 0..4 is queued 128 times.
+        for n in 0..4 {
+            assert!(q.contains(id(n)));
+        }
+        for expect_round in 0..512u32 {
+            assert_eq!(q.pop(), Some(id(expect_round % 4)));
+        }
+        assert_eq!(q.pop(), None);
+        for n in 0..4 {
+            assert!(!q.contains(id(n)), "id {n} still pending after drain");
+        }
+        // The queue is reusable after the drain.
+        assert_eq!(q.push(id(2)), PushOutcome::Enqueued);
+        assert!(q.contains(id(2)));
+    }
+
+    #[test]
+    fn remove_clears_all_duplicate_occurrences() {
+        let mut q = CoalescingQueue::new(16, false);
+        q.push(id(7));
+        q.push(id(3));
+        q.push(id(7));
+        q.push(id(7));
+        assert!(q.remove(id(7)));
+        assert!(!q.contains(id(7)));
+        assert_eq!(q.pop(), Some(id(3)));
+        assert_eq!(q.pop(), None);
+        // Interleave pops with duplicate pushes: counts stay consistent.
+        q.push(id(7));
+        q.push(id(7));
+        assert_eq!(q.pop(), Some(id(7)));
+        assert!(q.contains(id(7)));
+        assert_eq!(q.pop(), Some(id(7)));
+        assert!(!q.contains(id(7)));
     }
 }

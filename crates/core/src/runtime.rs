@@ -5,22 +5,24 @@
 //! the crate-level documentation for the programming model and a complete
 //! example.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
+use crate::accessor::Accessor;
 use crate::addr::AddrRange;
 use crate::config::Config;
 use crate::ctx::{Ctx, LoggedStore};
 use crate::error::{Error, Result};
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
 use crate::heap::TrackedHeap;
+use crate::mem::ShardedMem;
 use crate::pod::Pod;
 use crate::queue::CoalescingQueue;
-use crate::stats::{Counters, StatsSnapshot};
-use crate::trigger::TriggerTable;
+use crate::stats::{AccessCounters, Counters, StatsSnapshot};
+use crate::trigger::{LookupScratch, TriggerTable};
 use crate::tthread::{StatusTable, TthreadId, TthreadStatus};
 
 /// How a [`Runtime::join`] call was satisfied.
@@ -58,19 +60,42 @@ pub(crate) struct TthreadEntry<U> {
     func: TthreadFn<U>,
 }
 
-/// Everything behind the runtime's state lock.
+/// The genuinely serial part of the runtime, behind the state lock: the
+/// tthread status machine, the pending queue, user state, and the
+/// state-machine counters.
+///
+/// Tracked memory ([`ShardedMem`]), the trigger table, and the access-side
+/// counters live *outside* this lock (in [`Inner`]) so tracked loads and
+/// stores scale across threads; only trigger *raising* — advancing the
+/// status machine — comes back here.
 pub struct State<U> {
-    pub(crate) heap: TrackedHeap,
     pub(crate) user: U,
-    pub(crate) triggers: TriggerTable,
     pub(crate) tst: StatusTable,
     pub(crate) queue: CoalescingQueue,
     pub(crate) stats: Counters,
+    /// Pool of reusable trigger-lookup scratch buffers for lock-holding
+    /// dispatch paths (main-thread stores, commits, cascades).
+    pub(crate) scratch: Vec<LookupScratch>,
 }
 
 pub(crate) struct Inner<U> {
     pub(crate) cfg: Config,
     pub(crate) state: Mutex<State<U>>,
+    /// Sharded tracked memory: loads/stores never take the state lock.
+    pub(crate) mem: ShardedMem,
+    /// Read-mostly trigger table: stores take the read lock for lookup,
+    /// `watch`/`unwatch` take the write lock. Lock order: state lock (if
+    /// held) strictly before this lock; never acquire the state lock while
+    /// holding this one.
+    pub(crate) triggers: RwLock<TriggerTable>,
+    /// Lock-free watched-address filter: one bit per 4 KiB page (wrapped
+    /// onto 64 bits) that any active watch touches. Stores whose page mask
+    /// misses the filter skip the trigger-table read lock entirely.
+    /// Maintained by `watch` (or-in) and `unwatch` (rebuild); may briefly
+    /// over-approximate, never under-approximates an active watch.
+    pub(crate) watch_filter: AtomicU64,
+    /// Sharded access-side counters, folded into `State::stats` on demand.
+    pub(crate) access: AccessCounters,
     tthreads: RwLock<Vec<TthreadEntry<U>>>,
     pub(crate) work_cv: Condvar,
     pub(crate) done_cv: Condvar,
@@ -183,17 +208,23 @@ impl<U: Send + 'static> Runtime<U> {
     /// threads execute triggered tthreads eagerly.
     pub fn new(cfg: Config, user: U) -> Self {
         let state = State {
-            heap: TrackedHeap::with_capacity(cfg.arena_capacity),
             user,
-            triggers: TriggerTable::new(cfg.granularity),
             tst: StatusTable::new(),
             queue: CoalescingQueue::new(cfg.queue_capacity, cfg.coalesce),
             stats: Counters::new(),
+            scratch: Vec::new(),
         };
+        let mem = ShardedMem::new(cfg.arena_capacity, cfg.mem_shards);
+        let triggers = RwLock::new(TriggerTable::new(cfg.granularity));
+        let access = AccessCounters::new(cfg.mem_shards);
         let workers = cfg.workers;
         let inner = Arc::new(Inner {
             cfg,
             state: Mutex::new(state),
+            mem,
+            triggers,
+            watch_filter: AtomicU64::new(0),
+            access,
             tthreads: RwLock::new(Vec::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -220,6 +251,12 @@ impl<U: Send + 'static> Runtime<U> {
         &self.inner.cfg
     }
 
+    /// The effective tracked-memory shard count (normalized power of two;
+    /// see [`Config::mem_shards`]).
+    pub fn mem_shards(&self) -> usize {
+        self.inner.mem.shards()
+    }
+
     /// Allocates a tracked scalar initialized to `init` (without firing
     /// triggers — nothing can be watching it yet).
     ///
@@ -227,10 +264,9 @@ impl<U: Send + 'static> Runtime<U> {
     ///
     /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
     pub fn alloc<T: Pod>(&mut self, init: T) -> Result<Tracked<T>> {
-        let mut state = self.inner.state.lock();
         let align = (T::SIZE as u64).next_power_of_two().min(8);
-        let addr = state.heap.alloc(T::SIZE as u64, align)?;
-        state.heap.store(addr, init, false);
+        let addr = self.inner.mem.alloc(T::SIZE as u64, align)?;
+        self.inner.mem.store(addr, init, false);
         Ok(Tracked::new(addr))
     }
 
@@ -240,9 +276,8 @@ impl<U: Send + 'static> Runtime<U> {
     ///
     /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
     pub fn alloc_array<T: Pod>(&mut self, len: usize) -> Result<TrackedArray<T>> {
-        let mut state = self.inner.state.lock();
         let align = (T::SIZE as u64).next_power_of_two().min(8);
-        let addr = state.heap.alloc((len * T::SIZE) as u64, align)?;
+        let addr = self.inner.mem.alloc((len * T::SIZE) as u64, align)?;
         Ok(TrackedArray::new(addr, len))
     }
 
@@ -254,9 +289,11 @@ impl<U: Send + 'static> Runtime<U> {
     ///
     /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
     pub fn alloc_matrix<T: Pod>(&mut self, rows: usize, cols: usize) -> Result<TrackedMatrix<T>> {
-        let mut state = self.inner.state.lock();
         let align = (T::SIZE as u64).next_power_of_two().min(8);
-        let addr = state.heap.alloc((rows * cols * T::SIZE) as u64, align)?;
+        let addr = self
+            .inner
+            .mem
+            .alloc((rows * cols * T::SIZE) as u64, align)?;
         Ok(TrackedMatrix::new(addr, rows, cols))
     }
 
@@ -268,9 +305,8 @@ impl<U: Send + 'static> Runtime<U> {
     /// Returns [`Error::ArenaExhausted`] when the arena capacity is reached.
     pub fn alloc_array_from<T: Pod>(&mut self, data: &[T]) -> Result<TrackedArray<T>> {
         let array = self.alloc_array::<T>(data.len())?;
-        let mut state = self.inner.state.lock();
         for (i, &v) in data.iter().enumerate() {
-            state.heap.store(array.at(i).addr(), v, false);
+            self.inner.mem.store(array.at(i).addr(), v, false);
         }
         Ok(array)
     }
@@ -301,12 +337,18 @@ impl<U: Send + 'static> Runtime<U> {
     /// Returns [`Error::UnknownTthread`] for a foreign id and
     /// [`Error::RegionOutOfBounds`] for a region outside the arena.
     pub fn watch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
-        let mut state = self.inner.state.lock();
+        // The state lock is held across the trigger-table write so watches
+        // serialize with in-flight trigger raising (lock order: state lock,
+        // then trigger-table lock).
+        let state = self.inner.state.lock();
         if !state.tst.contains(tthread) {
             return Err(Error::UnknownTthread(tthread));
         }
-        state.heap.check_range(range)?;
-        state.triggers.watch(tthread, range);
+        self.inner.mem.check_range(range)?;
+        self.inner.triggers.write().watch(tthread, range);
+        self.inner
+            .watch_filter
+            .fetch_or(crate::trigger::page_filter_mask(range), Ordering::Release);
         Ok(())
     }
 
@@ -317,11 +359,16 @@ impl<U: Send + 'static> Runtime<U> {
     /// Returns [`Error::UnknownTthread`] for a foreign id and
     /// [`Error::NoSuchWatch`] if the exact region was not watched.
     pub fn unwatch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
-        let mut state = self.inner.state.lock();
+        let state = self.inner.state.lock();
         if !state.tst.contains(tthread) {
             return Err(Error::UnknownTthread(tthread));
         }
-        state.triggers.unwatch(tthread, range)
+        let mut triggers = self.inner.triggers.write();
+        triggers.unwatch(tthread, range)?;
+        let mask = triggers.filter_mask();
+        drop(triggers);
+        self.inner.watch_filter.store(mask, Ordering::Release);
+        Ok(())
     }
 
     /// Runs a main-thread region with access to tracked memory and user
@@ -344,6 +391,18 @@ impl<U: Send + 'static> Runtime<U> {
     /// Convenience: stores one tracked scalar (firing triggers).
     pub fn write<T: Pod>(&mut self, cell: Tracked<T>, value: T) {
         self.with(|ctx| ctx.set(cell, value));
+    }
+
+    /// Creates a concurrent [`Accessor`] over tracked memory.
+    ///
+    /// Unlike [`Runtime::with`], an accessor never holds the global state
+    /// lock on the load/store fast path: it goes straight at the sharded
+    /// arena, so accessors on different threads (and on different address
+    /// shards) proceed in parallel. Create one accessor per thread — the
+    /// accessor carries reusable lookup scratch and is not itself shareable.
+    /// See [`Accessor`] for the memory-ordering contract.
+    pub fn accessor(&self) -> Accessor<'_, U> {
+        Accessor::new(&self.inner)
     }
 
     /// The consumption point: ensures `tthread`'s outputs are up to date.
@@ -374,6 +433,7 @@ impl<U: Send + 'static> Runtime<U> {
                     let entry = state.tst.entry_mut(tthread);
                     let overlapped = entry.completed_since_join;
                     entry.completed_since_join = false;
+                    state.stats.joins += 1;
                     if waited {
                         state.stats.waited_joins += 1;
                         return Ok(JoinOutcome::Waited);
@@ -391,6 +451,7 @@ impl<U: Send + 'static> Runtime<U> {
                         ctx.run_inline(tthread);
                     }
                     state.tst.entry_mut(tthread).completed_since_join = false;
+                    state.stats.joins += 1;
                     return Ok(JoinOutcome::RanInline);
                 }
                 TthreadStatus::Queued => {
@@ -400,6 +461,7 @@ impl<U: Send + 'static> Runtime<U> {
                         ctx.run_inline(tthread);
                     }
                     state.tst.entry_mut(tthread).completed_since_join = false;
+                    state.stats.joins += 1;
                     return Ok(JoinOutcome::Stolen);
                 }
                 TthreadStatus::Running => {
@@ -538,12 +600,12 @@ impl<U: Send + 'static> Runtime<U> {
     pub fn report(&self) -> crate::report::RuntimeReport {
         let state = self.inner.state.lock();
         let names = self.inner.tthreads.read();
+        let triggers = self.inner.triggers.read();
         let tthreads = state
             .tst
             .iter()
             .map(|(id, entry)| {
-                let watches = state
-                    .triggers
+                let watches = triggers
                     .iter()
                     .filter(|(t, _)| *t == id)
                     .map(|(_, range)| range)
@@ -563,25 +625,33 @@ impl<U: Send + 'static> Runtime<U> {
                 }
             })
             .collect();
+        let mut stats = state.stats.clone();
+        self.inner.access.fold_into(&mut stats);
         crate::report::RuntimeReport {
             tthreads,
             queue_len: state.queue.len(),
             queue_capacity: state.queue.capacity(),
-            arena_used: state.heap.len(),
-            arena_capacity: state.heap.capacity(),
+            arena_used: self.inner.mem.len(),
+            arena_capacity: self.inner.mem.capacity(),
             workers: self.inner.cfg.workers,
-            stats: state.stats.snapshot(),
+            stats: stats.snapshot(),
         }
     }
 
-    /// Snapshot of the global runtime statistics.
+    /// Snapshot of the global runtime statistics (the sharded access-side
+    /// counters are folded in, so the snapshot is exact).
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.state.lock().stats.snapshot()
+        let state = self.inner.state.lock();
+        let mut stats = state.stats.clone();
+        self.inner.access.fold_into(&mut stats);
+        stats.snapshot()
     }
 
     /// Zeroes the global statistics (per-tthread counters are kept).
     pub fn reset_stats(&mut self) {
-        self.inner.state.lock().stats = Counters::new();
+        let mut state = self.inner.state.lock();
+        state.stats = Counters::new();
+        self.inner.access.reset();
     }
 
     /// Shuts the workers down and returns the tracked heap and user state.
@@ -593,8 +663,9 @@ impl<U: Send + 'static> Runtime<U> {
         drop(pool); // joins the workers, releasing their Arc clones
         let inner = Arc::try_unwrap(inner)
             .unwrap_or_else(|_| panic!("worker threads still hold the runtime"));
+        let heap = inner.mem.snapshot();
         let state = inner.state.into_inner();
-        (state.heap, state.user)
+        (heap, state.user)
     }
 }
 
@@ -639,7 +710,10 @@ fn run_detached<'a, U: Send + 'static>(
     loop {
         state.tst.entry_mut(id).status = TthreadStatus::Running;
         state.tst.entry_mut(id).retrigger = false;
-        let snap = state.heap.clone();
+        // Taken while still holding the state lock, so the snapshot is no
+        // older than the trigger that queued `id`; `snapshot()` holds every
+        // stripe lock, making the copy atomic against concurrent accessors.
+        let snap = inner.mem.snapshot();
         drop(state);
 
         // The body runs entirely off the state lock, against the snapshot;
@@ -660,7 +734,7 @@ fn run_detached<'a, U: Send + 'static>(
             return state;
         }
 
-        state.stats.merge_access_delta(&delta);
+        inner.access.merge_delta(&delta);
         // Replay the write log against live memory. A panic can only come
         // out of a cascaded inline execution (which poisons its own
         // tthread); treat it like a body panic of `id` so the worker
@@ -695,8 +769,8 @@ fn run_detached<'a, U: Send + 'static>(
 fn commit_log<U: Send + 'static>(state: &mut State<U>, inner: &Inner<U>, log: &[LoggedStore]) {
     let detect = inner.cfg.suppress_silent_stores;
     for entry in log {
-        let effect = state
-            .heap
+        let effect = inner
+            .mem
             .store_bytes(entry.range, &entry.data, detect && entry.dispatch);
         if !entry.dispatch {
             continue;

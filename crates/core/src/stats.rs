@@ -6,6 +6,9 @@
 //! false-trigger ablations.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::heap::StoreEffect;
 
 /// Mutable counters held inside the runtime's state lock.
 ///
@@ -48,6 +51,9 @@ pub struct Counters {
     pub commit_conflicts: u64,
     /// `join` calls that found the tthread clean and skipped the computation.
     pub skips: u64,
+    /// `join` calls observed — the paper's *join points*, regardless of
+    /// outcome (skipped, overlapped, waited, ran inline, or stolen).
+    pub joins: u64,
     /// `join` calls that had to wait for a running worker.
     pub waited_joins: u64,
     /// Triggers raised by stores performed inside tthreads (cascades).
@@ -68,17 +74,114 @@ impl Counters {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot { c: self.clone() }
     }
+}
 
-    /// Folds the memory-access counters a detached execution accumulated
-    /// against its snapshot into the live counters. Only the access-side
-    /// counters are merged: trigger/queue/execution accounting for detached
-    /// bodies happens at commit, under the lock.
-    pub(crate) fn merge_access_delta(&mut self, delta: &Counters) {
-        self.tracked_loads += delta.tracked_loads;
-        self.tracked_stores += delta.tracked_stores;
-        self.silent_stores += delta.silent_stores;
-        self.changing_stores += delta.changing_stores;
-        self.bytes_compared += delta.bytes_compared;
+/// One cache line of access-side counters. Padding each slot to 64 bytes
+/// keeps concurrent accessors on different shards from false-sharing the
+/// counter words.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct AccessSlot {
+    tracked_stores: AtomicU64,
+    silent_stores: AtomicU64,
+    changing_stores: AtomicU64,
+    tracked_loads: AtomicU64,
+    bytes_compared: AtomicU64,
+}
+
+/// Sharded access-side counters, bumped outside the state lock.
+///
+/// The five counters the hot path touches on every tracked load/store
+/// (`tracked_stores`, `silent_stores`, `changing_stores`, `tracked_loads`,
+/// `bytes_compared`) live here as address-hashed atomic slots instead of
+/// inside `Counters` under the global lock. [`AccessCounters::fold_into`]
+/// sums them back into a `Counters` at snapshot time, so `StatsSnapshot`
+/// stays exact. All updates are `Relaxed`: the counters are monotone sums
+/// with no ordering relationship to the data they describe, and folding
+/// happens at a quiescent point (no tthread bodies in flight that the
+/// caller cares about).
+#[derive(Debug)]
+pub(crate) struct AccessCounters {
+    slots: Box<[AccessSlot]>,
+    mask: u64,
+}
+
+impl AccessCounters {
+    /// Creates counters with one slot per memory shard (`shards` is rounded
+    /// up to a power of two, minimum 1, to match the address hash).
+    pub(crate) fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let slots = (0..n).map(|_| AccessSlot::default()).collect();
+        AccessCounters {
+            slots,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn slot(&self, addr_raw: u64) -> &AccessSlot {
+        // Same 64-byte stripe hash as the memory shards, so a thread working
+        // a disjoint address partition also gets (mostly) private counters.
+        &self.slots[((addr_raw >> 6) & self.mask) as usize]
+    }
+
+    /// Accounts one tracked store with the given [`StoreEffect`].
+    pub(crate) fn on_store(&self, addr_raw: u64, effect: StoreEffect, detect: bool) {
+        let s = self.slot(addr_raw);
+        s.tracked_stores.fetch_add(1, Ordering::Relaxed);
+        s.bytes_compared
+            .fetch_add(effect.bytes_compared, Ordering::Relaxed);
+        if detect && !effect.changed {
+            s.silent_stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            s.changing_stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Accounts `n` tracked loads at `addr_raw`.
+    pub(crate) fn on_loads(&self, addr_raw: u64, n: u64) {
+        self.slot(addr_raw)
+            .tracked_loads
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds the access-side counters a detached execution accumulated
+    /// against its snapshot into slot 0. Only the access-side counters are
+    /// merged: trigger/queue/execution accounting for detached bodies
+    /// happens at commit, under the lock.
+    pub(crate) fn merge_delta(&self, delta: &Counters) {
+        let s = &self.slots[0];
+        s.tracked_loads
+            .fetch_add(delta.tracked_loads, Ordering::Relaxed);
+        s.tracked_stores
+            .fetch_add(delta.tracked_stores, Ordering::Relaxed);
+        s.silent_stores
+            .fetch_add(delta.silent_stores, Ordering::Relaxed);
+        s.changing_stores
+            .fetch_add(delta.changing_stores, Ordering::Relaxed);
+        s.bytes_compared
+            .fetch_add(delta.bytes_compared, Ordering::Relaxed);
+    }
+
+    /// Sums every slot into `c`'s access-side counters.
+    pub(crate) fn fold_into(&self, c: &mut Counters) {
+        for s in self.slots.iter() {
+            c.tracked_stores += s.tracked_stores.load(Ordering::Relaxed);
+            c.silent_stores += s.silent_stores.load(Ordering::Relaxed);
+            c.changing_stores += s.changing_stores.load(Ordering::Relaxed);
+            c.tracked_loads += s.tracked_loads.load(Ordering::Relaxed);
+            c.bytes_compared += s.bytes_compared.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Zeroes every slot.
+    pub(crate) fn reset(&self) {
+        for s in self.slots.iter() {
+            s.tracked_stores.store(0, Ordering::Relaxed);
+            s.silent_stores.store(0, Ordering::Relaxed);
+            s.changing_stores.store(0, Ordering::Relaxed);
+            s.tracked_loads.store(0, Ordering::Relaxed);
+            s.bytes_compared.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -118,8 +221,12 @@ impl StatsSnapshot {
 
     /// Fraction of `join` points at which the computation was skipped
     /// entirely — the paper's redundant-computation elimination rate.
+    ///
+    /// The denominator counts `join` calls, not executions: cascades and
+    /// commit-time retriggers execute tthreads without a join point, and
+    /// counting them used to understate the elimination rate.
     pub fn skip_fraction(&self) -> f64 {
-        ratio(self.c.skips, self.c.skips + self.c.executions)
+        ratio(self.c.skips, self.c.joins)
     }
 
     /// Triggers per tracked kilo-store, a density measure used in R-Tab.2.
@@ -173,6 +280,7 @@ impl fmt::Display for StatsSnapshot {
             "commit stores         {:>12}  (conflicts: {})",
             c.commit_stores, c.commit_conflicts
         )?;
+        writeln!(f, "joins                 {:>12}", c.joins)?;
         writeln!(
             f,
             "skips                 {:>12}  ({:.1}% of joins)",
@@ -208,12 +316,72 @@ mod tests {
         c.triggers_fired = 40;
         c.false_triggers = 10;
         c.skips = 75;
-        c.executions = 25;
+        c.joins = 100;
+        // Executions beyond the join points (cascades, retriggers) must not
+        // dilute the elimination rate.
+        c.executions = 400;
         let s = c.snapshot();
         assert!((s.silent_store_fraction() - 0.78).abs() < 1e-12);
         assert!((s.false_trigger_fraction() - 0.25).abs() < 1e-12);
         assert!((s.skip_fraction() - 0.75).abs() < 1e-12);
         assert!((s.triggers_per_kilo_store() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_counters_fold_exactly() {
+        let ac = AccessCounters::new(8);
+        // Spread updates across distinct stripes (and thus slots).
+        for stripe in 0..32u64 {
+            let addr = stripe * 64;
+            ac.on_store(
+                addr,
+                StoreEffect {
+                    changed: stripe % 2 == 0,
+                    bytes_compared: 4,
+                },
+                true,
+            );
+            ac.on_loads(addr, 3);
+        }
+        let mut delta = Counters::new();
+        delta.tracked_loads = 5;
+        delta.tracked_stores = 2;
+        delta.silent_stores = 1;
+        delta.changing_stores = 1;
+        delta.bytes_compared = 16;
+        ac.merge_delta(&delta);
+
+        let mut c = Counters::new();
+        c.tracked_stores = 1000; // folding adds, never overwrites
+        ac.fold_into(&mut c);
+        assert_eq!(c.tracked_stores, 1000 + 32 + 2);
+        assert_eq!(c.silent_stores, 16 + 1);
+        assert_eq!(c.changing_stores, 16 + 1);
+        assert_eq!(c.tracked_loads, 32 * 3 + 5);
+        assert_eq!(c.bytes_compared, 32 * 4 + 16);
+
+        ac.reset();
+        let mut z = Counters::new();
+        ac.fold_into(&mut z);
+        assert_eq!(z, Counters::new());
+    }
+
+    #[test]
+    fn access_counters_store_without_detection_counts_changing() {
+        let ac = AccessCounters::new(1);
+        ac.on_store(
+            0,
+            StoreEffect {
+                changed: true,
+                bytes_compared: 0,
+            },
+            false,
+        );
+        let mut c = Counters::new();
+        ac.fold_into(&mut c);
+        assert_eq!(c.changing_stores, 1);
+        assert_eq!(c.silent_stores, 0);
+        assert_eq!(c.bytes_compared, 0);
     }
 
     #[test]

@@ -4,6 +4,15 @@
 //! store. We index watched regions by fixed-size address *buckets* so that a
 //! store consults only the regions near it, keeping tracked stores O(1) in
 //! the common case.
+//!
+//! The table is *read-mostly*: [`TriggerTable::lookup_with`] runs on every
+//! tracked store (under a read lock in the runtime) and is allocation-free —
+//! callers supply a reusable [`LookupScratch`] whose generation-stamped
+//! seen-marks replace the per-store dedup set. Mutation
+//! ([`TriggerTable::watch`]/[`TriggerTable::unwatch`]) recycles region slots
+//! through a free list and prunes bucket entries eagerly, so
+//! watch/unwatch-churning workloads stay bounded in both memory and lookup
+//! cost.
 
 use std::collections::HashMap;
 
@@ -32,6 +41,52 @@ struct Region {
     active: bool,
 }
 
+/// Reusable per-caller lookup state, making the per-store trigger lookup
+/// allocation-free after warmup.
+///
+/// A store spanning several buckets can see the same region index more than
+/// once; instead of collecting seen indices into a set (allocating, and
+/// quadratic in the span), each lookup stamps `marks[region]` with the
+/// current `generation` and skips already-stamped regions. Bumping the
+/// generation invalidates every mark in O(1).
+///
+/// # Examples
+///
+/// ```
+/// use dtt_core::addr::{Addr, AddrRange, Granularity};
+/// use dtt_core::trigger::{LookupScratch, TriggerTable};
+/// use dtt_core::tthread::TthreadId;
+///
+/// let mut table = TriggerTable::new(Granularity::Exact);
+/// table.watch(TthreadId::new(0), AddrRange::new(Addr::new(0), 1024));
+/// let mut scratch = LookupScratch::new();
+/// table.lookup_with(AddrRange::new(Addr::new(100), 8), &mut scratch);
+/// assert_eq!(scratch.hits().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    /// `marks[i] == generation` ⇔ region `i` was already visited by the
+    /// current lookup.
+    marks: Vec<u32>,
+    /// Stamp of the lookup in progress; `0` is never a valid stamp.
+    generation: u32,
+    /// Matches produced by the most recent lookup.
+    pub(crate) hits: Vec<TriggerHit>,
+}
+
+impl LookupScratch {
+    /// Creates empty scratch state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The matches produced by the most recent
+    /// [`TriggerTable::lookup_with`] call.
+    pub fn hits(&self) -> &[TriggerHit] {
+        &self.hits
+    }
+}
+
 /// Watched-region index consulted on every tracked store.
 ///
 /// The table observes stores at a fixed [`Granularity`] chosen at
@@ -43,6 +98,8 @@ pub struct TriggerTable {
     granularity: Granularity,
     regions: Vec<Region>,
     buckets: HashMap<u64, Vec<u32>>,
+    /// Region slots freed by `unwatch`, reused by the next `watch`.
+    free: Vec<u32>,
     active_regions: usize,
 }
 
@@ -53,6 +110,7 @@ impl TriggerTable {
             granularity,
             regions: Vec::new(),
             buckets: HashMap::new(),
+            free: Vec::new(),
             active_regions: 0,
         }
     }
@@ -72,76 +130,139 @@ impl TriggerTable {
         self.active_regions == 0
     }
 
+    /// Number of region slots allocated (active plus free-listed). Bounded
+    /// by the peak number of *simultaneously* active watches, not by the
+    /// total watch/unwatch churn — a diagnostic for leak regressions.
+    pub fn region_slots(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total bucket-vector entries currently indexed — like
+    /// [`TriggerTable::region_slots`], a churn-leak diagnostic.
+    pub fn bucket_entries(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
     /// Watches `range` on behalf of `tthread`.
     ///
     /// Watching an empty range is a no-op that still succeeds (nothing can
     /// ever match it).
     pub fn watch(&mut self, tthread: TthreadId, range: AddrRange) {
         let rounded = range.round_to(self.granularity);
-        let idx = self.regions.len() as u32;
-        self.regions.push(Region {
+        let region = Region {
             range,
             rounded,
             tthread,
             active: true,
-        });
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.regions[idx as usize] = region;
+                idx
+            }
+            None => {
+                let idx = self.regions.len() as u32;
+                self.regions.push(region);
+                idx
+            }
+        };
         self.active_regions += 1;
         for b in bucket_span(rounded) {
             self.buckets.entry(b).or_default().push(idx);
         }
     }
 
-    /// Removes the watch `tthread` holds on exactly `range`.
+    /// Removes the watch `tthread` holds on exactly `range`, recycling its
+    /// region slot and pruning its bucket entries.
     ///
     /// # Errors
     ///
     /// Returns [`Error::NoSuchWatch`] if no active watch matches both the
     /// tthread and the precise range.
     pub fn unwatch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
-        for region in self.regions.iter_mut().rev() {
-            if region.active && region.tthread == tthread && region.range == range {
-                region.active = false;
-                self.active_regions -= 1;
-                return Ok(());
+        let found = self
+            .regions
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, r)| r.active && r.tthread == tthread && r.range == range)
+            .map(|(i, r)| (i as u32, r.rounded));
+        let Some((idx, rounded)) = found else {
+            return Err(Error::NoSuchWatch(tthread));
+        };
+        self.regions[idx as usize].active = false;
+        self.active_regions -= 1;
+        for b in bucket_span(rounded) {
+            if let Some(ids) = self.buckets.get_mut(&b) {
+                ids.retain(|&i| i != idx);
+                if ids.is_empty() {
+                    self.buckets.remove(&b);
+                }
             }
         }
-        Err(Error::NoSuchWatch(tthread))
+        self.free.push(idx);
+        Ok(())
     }
 
     /// Returns the tthreads fired by a store to `store_range`, deduplicated
     /// by tthread. A hit is `precise` if any of the tthread's matched
     /// regions precisely overlaps the store.
+    ///
+    /// Convenience wrapper that allocates; the per-store path uses
+    /// [`TriggerTable::lookup_with`] with reused scratch instead.
     pub fn lookup(&self, store_range: AddrRange) -> Vec<TriggerHit> {
+        let mut scratch = LookupScratch::new();
+        self.lookup_with(store_range, &mut scratch);
+        scratch.hits
+    }
+
+    /// Allocation-free lookup: leaves the matches in `scratch.hits()`
+    /// (cleared first). Semantically identical to [`TriggerTable::lookup`].
+    pub fn lookup_with(&self, store_range: AddrRange, scratch: &mut LookupScratch) {
+        scratch.hits.clear();
         let rounded = store_range.round_to(self.granularity);
         if rounded.is_empty() || self.buckets.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut hits: Vec<TriggerHit> = Vec::new();
-        let mut seen_regions: Vec<u32> = Vec::new();
+        if scratch.marks.len() < self.regions.len() {
+            scratch.marks.resize(self.regions.len(), 0);
+        }
+        scratch.generation = scratch.generation.wrapping_add(1);
+        if scratch.generation == 0 {
+            // Stamp wraparound: clear the marks so stale stamps from 2^32
+            // lookups ago cannot alias.
+            scratch.marks.fill(0);
+            scratch.generation = 1;
+        }
+        let generation = scratch.generation;
         for b in bucket_span(rounded) {
             let Some(ids) = self.buckets.get(&b) else {
                 continue;
             };
             for &idx in ids {
-                if seen_regions.contains(&idx) {
+                let mark = &mut scratch.marks[idx as usize];
+                if *mark == generation {
                     continue;
                 }
-                seen_regions.push(idx);
+                *mark = generation;
                 let region = &self.regions[idx as usize];
                 if !region.active || !region.rounded.intersects(&rounded) {
                     continue;
                 }
                 let precise = region.range.intersects(&store_range);
-                match hits.iter_mut().find(|h| h.tthread == region.tthread) {
+                match scratch
+                    .hits
+                    .iter_mut()
+                    .find(|h| h.tthread == region.tthread)
+                {
                     Some(h) => h.precise |= precise,
-                    None => hits.push(TriggerHit {
+                    None => scratch.hits.push(TriggerHit {
                         tthread: region.tthread,
                         precise,
                     }),
                 }
             }
         }
-        hits
     }
 
     /// Iterates over active `(tthread, range)` watches.
@@ -151,6 +272,36 @@ impl TriggerTable {
             .filter(|r| r.active)
             .map(|r| (r.tthread, r.range))
     }
+
+    /// Page-filter membership mask covering every active watch; the
+    /// runtime's lock-free watched-address filter is rebuilt from this
+    /// after an `unwatch`.
+    pub(crate) fn filter_mask(&self) -> u64 {
+        self.iter().fold(0, |m, (_, r)| m | page_filter_mask(r))
+    }
+}
+
+/// Page shift for the lock-free watched-address filter: one bit per 4 KiB
+/// page of the arena, wrapped onto 64 bits.
+const FILTER_PAGE_SHIFT: u64 = 12;
+
+/// Membership mask for the watched-address filter: one bit per 4 KiB page
+/// `range` touches, padded by a granularity line each way (the table rounds
+/// both watches and stores outward, which can reach into a neighbouring
+/// page). A zero intersection between a store's mask and the watch filter
+/// proves no trigger can fire; any overlap falls back to the locked lookup.
+pub(crate) fn page_filter_mask(range: AddrRange) -> u64 {
+    if range.is_empty() {
+        return 0;
+    }
+    let p0 = range.start().raw().saturating_sub(63) >> FILTER_PAGE_SHIFT;
+    let p1 = (range.end().raw() + 62) >> FILTER_PAGE_SHIFT;
+    let span = p1 - p0;
+    if span >= 63 {
+        return u64::MAX;
+    }
+    let base = (1u64 << (span + 1)) - 1;
+    base.rotate_left((p0 & 63) as u32)
 }
 
 fn bucket_span(range: AddrRange) -> impl Iterator<Item = u64> {
@@ -308,5 +459,88 @@ mod tests {
         t.unwatch(tt, r(0, 4)).unwrap();
         let watches: Vec<_> = t.iter().collect();
         assert_eq!(watches, vec![(tt, r(8, 4))]);
+    }
+
+    #[test]
+    fn churn_keeps_regions_and_buckets_bounded() {
+        // Regression for the unwatch leak: watch/unwatch cycles used to grow
+        // `regions` and the bucket vectors without bound.
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let tt = TthreadId::new(0);
+        for i in 0..10_000u64 {
+            // Two overlapping multi-bucket regions alive at a time, walking
+            // through the address space.
+            let base = (i % 64) * 128;
+            t.watch(tt, r(base, 600));
+            t.watch(tt, r(base + 64, 600));
+            t.unwatch(tt, r(base, 600)).unwrap();
+            t.unwatch(tt, r(base + 64, 600)).unwrap();
+        }
+        assert_eq!(t.len(), 0);
+        // Peak concurrency was 2, so at most 2 slots exist and no bucket
+        // entries survive.
+        assert!(t.region_slots() <= 2, "slots leaked: {}", t.region_slots());
+        assert_eq!(t.bucket_entries(), 0);
+        // Lookups over the churned space see nothing.
+        assert!(t.lookup(r(0, 8192)).is_empty());
+        // The table still works after churn.
+        t.watch(tt, r(40, 8));
+        assert_eq!(t.lookup(r(40, 4)).len(), 1);
+    }
+
+    #[test]
+    fn reused_slot_does_not_resurrect_old_buckets() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let a = TthreadId::new(0);
+        let b = TthreadId::new(1);
+        // Region spanning buckets 0..=3.
+        t.watch(a, r(0, 1024));
+        t.unwatch(a, r(0, 1024)).unwrap();
+        // Reuses the freed slot, but only for bucket 8.
+        t.watch(b, r(2048, 16));
+        assert!(t.lookup(r(512, 8)).is_empty());
+        assert_eq!(
+            t.lookup(r(2048, 8)),
+            vec![TriggerHit {
+                tthread: b,
+                precise: true
+            }]
+        );
+        assert_eq!(t.region_slots(), 1);
+    }
+
+    #[test]
+    fn lookup_with_matches_lookup_across_reuse() {
+        let mut t = TriggerTable::new(Granularity::Line);
+        for i in 0..32u32 {
+            t.watch(TthreadId::new(i % 8), r((i as u64) * 96, 80));
+        }
+        let mut scratch = LookupScratch::new();
+        for start in (0..4096u64).step_by(40) {
+            for len in [1u64, 8, 100, 700] {
+                let store = r(start, len);
+                t.lookup_with(store, &mut scratch);
+                let mut fresh = t.lookup(store);
+                let mut reused = scratch.hits().to_vec();
+                fresh.sort_by_key(|h| h.tthread);
+                reused.sort_by_key(|h| h.tthread);
+                assert_eq!(fresh, reused, "mismatch at store {store}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_generation_wraparound_stays_correct() {
+        let mut t = TriggerTable::new(Granularity::Exact);
+        let tt = TthreadId::new(0);
+        t.watch(tt, r(0, 512)); // spans buckets 0 and 1
+        let mut scratch = LookupScratch::new();
+        // Force the stamp to the wraparound boundary.
+        scratch.generation = u32::MAX - 1;
+        scratch.marks = vec![u32::MAX - 1; 1];
+        for _ in 0..4 {
+            t.lookup_with(r(200, 112), &mut scratch);
+            assert_eq!(scratch.hits().len(), 1, "lost hit near wraparound");
+        }
     }
 }

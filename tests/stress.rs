@@ -304,6 +304,128 @@ fn into_state_after_parallel_run() {
     }
 }
 
+/// `Runtime` must stay shareable across threads: the `Accessor` API hands
+/// out `&Runtime`-derived handles to scoped threads.
+#[test]
+fn runtime_is_sync() {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<Runtime<u64>>();
+    assert_sync::<Runtime<Vec<u64>>>();
+}
+
+/// Concurrent accessors on disjoint slices of one array: every store lands,
+/// the access-side counters are exact, and a store into a watched cell
+/// raises its trigger even when issued off the main thread.
+#[test]
+fn concurrent_accessors_disjoint_stores_are_exact() {
+    const THREADS: usize = 4;
+    const PER: usize = 64;
+    let cfg = Config::default().with_mem_shards(8);
+    let mut rt = Runtime::new(cfg, 0u64);
+    let xs = rt.alloc_array::<u64>(THREADS * PER).unwrap();
+    let flag = rt.alloc(0u64).unwrap();
+    let tt = rt.register("flag", move |ctx| {
+        let v = ctx.get(flag);
+        *ctx.user_mut() += v;
+    });
+    rt.watch(tt, flag.range()).unwrap();
+
+    std::thread::scope(|s| {
+        let rt = &rt;
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let mut acc = rt.accessor();
+                let chunk = xs.slice(t * PER, (t + 1) * PER);
+                for i in 0..PER {
+                    acc.write(chunk, i, (t * PER + i) as u64 + 1);
+                }
+                // Rewrite the same values: all silent.
+                for i in 0..PER {
+                    acc.write(chunk, i, (t * PER + i) as u64 + 1);
+                }
+            });
+        }
+    });
+    // A tracked store from an accessor thread fires the watcher too.
+    std::thread::scope(|s| {
+        let rt = &rt;
+        s.spawn(move || rt.accessor().set(flag, 7));
+    });
+    rt.join(tt).unwrap();
+    assert_eq!(rt.with(|ctx| *ctx.user()), 7);
+
+    for i in 0..THREADS * PER {
+        assert_eq!(rt.with(|ctx| ctx.read(xs, i)), i as u64 + 1);
+    }
+    let c = rt.stats();
+    let total = (THREADS * PER * 2 + 1) as u64;
+    assert_eq!(c.counters().tracked_stores, total);
+    assert_eq!(c.counters().silent_stores, (THREADS * PER) as u64);
+    assert_eq!(c.counters().changing_stores, (THREADS * PER + 1) as u64);
+}
+
+/// `mem_shards = 1` is the serialized ablation: a deterministic
+/// single-threaded workload must produce bit-identical results and counters
+/// under 1 shard and under the default sharding.
+#[test]
+fn shard_count_does_not_change_semantics() {
+    let run = |shards: usize| {
+        let cfg = Config::default().with_mem_shards(shards);
+        assert_eq!(Runtime::<u64>::new(cfg.clone(), 0).mem_shards(), shards);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let xs = rt.alloc_array::<u64>(32).unwrap();
+        let tt = rt.register("sum", move |ctx| {
+            let s: u64 = (0..32).map(|i| ctx.read(xs, i)).sum();
+            *ctx.user_mut() = s;
+        });
+        rt.watch(tt, xs.range()).unwrap();
+        let mut state = 0x1234_5678u64;
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % 32) as usize;
+            rt.with(|ctx| ctx.write(xs, i, state % 8));
+            if state.is_multiple_of(11) {
+                rt.join(tt).unwrap();
+            }
+        }
+        rt.join(tt).unwrap();
+        let user = rt.with(|ctx| *ctx.user());
+        (user, rt.stats().counters().clone())
+    };
+    let (u1, c1) = run(1);
+    let (u8_, c8) = run(8);
+    assert_eq!(u1, u8_);
+    assert_eq!(c1, c8);
+}
+
+/// Pins the `skip_fraction` denominator to *join points*, not executions:
+/// one triggered execution consumed by one join, followed by three clean
+/// joins, is 3 skips out of 4 joins. Under the old executions-based
+/// denominator the cascade-free value here would have been 3/1.
+#[test]
+fn skip_fraction_counts_join_points() {
+    let mut rt = Runtime::new(Config::default(), 0u64);
+    let x = rt.alloc(0u64).unwrap();
+    let tt = rt.register("t", move |ctx| {
+        let v = ctx.get(x);
+        *ctx.user_mut() = v;
+    });
+    rt.watch(tt, x.range()).unwrap();
+
+    rt.write(x, 5);
+    assert_eq!(rt.join(tt).unwrap(), JoinOutcome::RanInline);
+    for _ in 0..3 {
+        assert_eq!(rt.join(tt).unwrap(), JoinOutcome::Skipped);
+    }
+    let c = rt.stats();
+    assert_eq!(c.counters().joins, 4);
+    assert_eq!(c.counters().skips, 3);
+    assert_eq!(c.counters().executions, 1);
+    assert!((c.skip_fraction() - 0.75).abs() < 1e-12);
+}
+
 /// Cascades under the parallel executor: a chain of tthreads A -> B -> C
 /// where each publishes into the next one's watched cell must settle to
 /// the right value through joins in dependency order.
