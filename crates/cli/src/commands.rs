@@ -5,6 +5,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use dtt_core::{Config, Granularity};
+use dtt_obs::ObsReport;
 use dtt_profile::{LoadProfiler, RedundancyProfiler, StoreProfiler};
 use dtt_sim::{simulate, MachineConfig, SimMode};
 use dtt_trace::Trace;
@@ -205,6 +206,59 @@ fn simulate_trace(trace: &Trace, label: &str, cfg: &MachineConfig) -> Result<Str
     let _ = writeln!(out, "dtt machine:\n{dtt}\n");
     let _ = writeln!(out, "speedup: {:.2}x", base.speedup_over(&dtt));
     Ok(out)
+}
+
+/// `dtt-cli obs <metrics|timeline|top> <workload>`
+pub fn obs(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["scale", "workers", "top", "out"])
+        .map_err(CliError::Args)?;
+    let mode = args.positional(1, "obs mode").map_err(CliError::Args)?;
+    let scale = parse_scale(args)?;
+    let name = args.positional(2, "workload").map_err(CliError::Args)?;
+    let w = suite(scale)
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| CliError::UnknownWorkload(name.to_owned()))?;
+    let cfg = Config::default()
+        .with_workers(args.get_parsed("workers", 0usize)?)
+        .with_observability(true);
+    let run = w.run_dtt(cfg);
+    let rec = run.obs.unwrap_or_default();
+    let names: Vec<String> = run.tthreads.iter().map(|t| t.name.clone()).collect();
+    match mode {
+        "metrics" => {
+            let report = ObsReport::from_recording(&rec);
+            Ok(dtt_obs::prometheus::render(&run.stats, Some(&report)))
+        }
+        "timeline" => {
+            let text = dtt_obs::chrome::render(&rec, &names);
+            let traced = dtt_obs::validate_chrome_trace(&text)
+                .unwrap_or_else(|e| panic!("generated an invalid Chrome trace: {e}"));
+            match args.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &text)?;
+                    Ok(format!(
+                        "wrote {traced} trace events ({} lifecycle events, {} dropped) \
+                         for {} to {path}\n\
+                         open in https://ui.perfetto.dev or chrome://tracing\n",
+                        rec.events.len(),
+                        rec.dropped,
+                        w.name()
+                    ))
+                }
+                None => Ok(text),
+            }
+        }
+        "top" => {
+            let report = ObsReport::from_recording(&rec).with_names(names);
+            Ok(report.top_report(args.get_parsed("top", 10usize)?))
+        }
+        other => Err(ArgError::BadValue {
+            option: "obs mode".into(),
+            value: other.into(),
+        }
+        .into()),
+    }
 }
 
 /// `dtt-cli trace <workload> --out FILE`

@@ -8,6 +8,8 @@
 //!                             [--queue Q] [--granularity-bytes G] [--no-suppress]
 //! dtt-cli trace <workload> --out FILE [--scale S]
 //! dtt-cli replay --input FILE [simulate options]
+//! dtt-cli obs <metrics|timeline|top> <workload> [--scale S] [--workers N]
+//!                                               [--out FILE] [--top N]
 //! dtt-cli machine                            # default simulated machine
 //! ```
 //!
@@ -87,6 +89,9 @@ USAGE:
                               [--private-l1] [--tst N]
   dtt-cli trace <workload>    --out FILE [--scale S]
   dtt-cli replay              --input FILE [simulate options]
+  dtt-cli obs metrics  <workload>  [--scale S] [--workers N]
+  dtt-cli obs timeline <workload>  [--scale S] [--workers N] [--out FILE]
+  dtt-cli obs top      <workload>  [--scale S] [--workers N] [--top N]
   dtt-cli machine
   dtt-cli help
 ";
@@ -111,6 +116,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "simulate" => commands::simulate_cmd(&args),
         "trace" => commands::trace_cmd(&args),
         "replay" => commands::replay(&args),
+        "obs" => commands::obs(&args),
         "machine" => commands::machine(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
@@ -196,6 +202,37 @@ mod tests {
         let out = run(&["replay", "--input", path_str]).unwrap();
         assert!(out.contains("speedup"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn obs_metrics_exposes_prometheus_counters() {
+        let out = run(&["obs", "metrics", "mcf", "--scale", "test"]).unwrap();
+        assert!(out.contains("# TYPE dtt_tracked_stores_total counter"));
+        assert!(out.contains("# TYPE dtt_obs_coalesce_ratio gauge"));
+        assert!(out.contains("dtt_obs_body_seconds_bucket{le=\"+Inf\"}"));
+    }
+
+    #[test]
+    fn obs_timeline_emits_a_valid_chrome_trace() {
+        let out = run(&["obs", "timeline", "parser", "--scale", "test"]).unwrap();
+        let events = dtt_obs::validate_chrome_trace(&out).expect("trace validates");
+        assert!(events > 10, "only {events} trace events");
+    }
+
+    #[test]
+    fn obs_top_reports_hot_regions() {
+        let out = run(&["obs", "top", "gzip", "--scale", "test", "--top", "3"]).unwrap();
+        assert!(out.starts_with("obs:"));
+        assert!(out.contains("per-tthread"));
+        assert!(out.contains("hot regions"));
+    }
+
+    #[test]
+    fn obs_rejects_unknown_mode() {
+        assert!(matches!(
+            run(&["obs", "frobnicate", "mcf"]),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 use std::sync::atomic::Ordering;
 
 use crate::handle::{Tracked, TrackedArray};
+use crate::obs::EventKind;
 use crate::pod::Pod;
 use crate::runtime::Inner;
 use crate::trigger::LookupScratch;
@@ -104,7 +105,23 @@ impl<'rt, U: Send + 'static> Accessor<'rt, U> {
             .access
             .on_store(cell.addr().raw(), effect, detect);
         if detect && !effect.changed {
+            if self.inner.obs.on() {
+                self.inner.obs.record(
+                    self.inner.mem.shard_of(cell.addr()),
+                    EventKind::Store,
+                    None,
+                    cell.addr().raw(),
+                );
+            }
             return;
+        }
+        if self.inner.obs.on() {
+            self.inner.obs.record(
+                self.inner.mem.shard_of(cell.addr()),
+                EventKind::ChangeDetected,
+                None,
+                cell.addr().raw(),
+            );
         }
         // Watched-address filter: one atomic load proves no watch covers
         // this store's pages, skipping the trigger-table read lock.
@@ -126,7 +143,7 @@ impl<'rt, U: Send + 'static> Accessor<'rt, U> {
         }
         let mut state = self.inner.state.lock();
         let mut ctx = Ctx::new(&mut state, self.inner, 0);
-        ctx.raise_hits(self.scratch.hits());
+        ctx.raise_hits(self.scratch.hits(), cell.addr().raw());
     }
 
     /// Loads element `index` of a tracked array.

@@ -77,6 +77,16 @@ pub struct Config {
     /// to `[1, 256]`) and can be overridden with the `DTT_MEM_SHARDS`
     /// environment variable.
     pub mem_shards: usize,
+    /// Record lifecycle events (stores, triggers, bodies, commits, joins)
+    /// into the per-shard observability rings (see [`crate::obs`]). Off by
+    /// default; when off every instrumentation hook costs one relaxed
+    /// atomic load and the rings are never allocated. Can also be flipped
+    /// at runtime with [`crate::runtime::Runtime::set_observing`].
+    pub observability: bool,
+    /// Capacity (events) of each observability ring. Rounded up to a power
+    /// of two; the oldest events are overwritten (and counted as dropped)
+    /// when a ring overflows between drains.
+    pub obs_ring_capacity: usize,
 }
 
 fn default_mem_shards() -> usize {
@@ -105,6 +115,8 @@ impl Default for Config {
             max_cascade_depth: 64,
             arena_capacity: 1 << 32,
             mem_shards: default_mem_shards(),
+            observability: false,
+            obs_ring_capacity: 1024,
         }
     }
 }
@@ -177,6 +189,19 @@ impl Config {
         self
     }
 
+    /// Enables or disables lifecycle event recording from the start.
+    pub fn with_observability(mut self, on: bool) -> Self {
+        self.observability = on;
+        self
+    }
+
+    /// Sets the per-ring observability event capacity (rounded up to a
+    /// power of two; `0` is treated as `2`).
+    pub fn with_obs_ring_capacity(mut self, capacity: usize) -> Self {
+        self.obs_ring_capacity = capacity.max(2).next_power_of_two();
+        self
+    }
+
     /// Whether this configuration selects the deferred (single-threaded)
     /// executor.
     pub fn is_deferred(&self) -> bool {
@@ -198,6 +223,8 @@ mod tests {
         assert!(cfg.mem_shards >= 1);
         assert!(cfg.mem_shards.is_power_of_two());
         assert!(cfg.mem_shards <= 256);
+        assert!(!cfg.observability);
+        assert_eq!(cfg.obs_ring_capacity, 1024);
     }
 
     #[test]
@@ -211,7 +238,9 @@ mod tests {
             .with_overflow(OverflowPolicy::DeferToJoin)
             .with_max_cascade_depth(7)
             .with_arena_capacity(1024)
-            .with_mem_shards(5);
+            .with_mem_shards(5)
+            .with_observability(true)
+            .with_obs_ring_capacity(100);
         assert_eq!(cfg.granularity, Granularity::Line);
         assert!(!cfg.suppress_silent_stores);
         assert!(!cfg.coalesce);
@@ -225,6 +254,15 @@ mod tests {
         assert_eq!(cfg.mem_shards, 8);
         assert_eq!(Config::default().with_mem_shards(0).mem_shards, 1);
         assert_eq!(Config::default().with_mem_shards(1).mem_shards, 1);
+        assert!(cfg.observability);
+        // Ring capacities normalize to the next power of two too.
+        assert_eq!(cfg.obs_ring_capacity, 128);
+        assert_eq!(
+            Config::default()
+                .with_obs_ring_capacity(0)
+                .obs_ring_capacity,
+            2
+        );
     }
 
     #[test]

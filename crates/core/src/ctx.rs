@@ -39,6 +39,7 @@ use crate::config::OverflowPolicy;
 use crate::error::Error;
 use crate::handle::{Tracked, TrackedArray};
 use crate::heap::TrackedHeap;
+use crate::obs::EventKind;
 use crate::pod::Pod;
 use crate::runtime::{Inner, State};
 use crate::stats::Counters;
@@ -142,6 +143,25 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         }
     }
 
+    /// Records one status-machine lifecycle event (no-op when observability
+    /// is off; the guard is a single relaxed load).
+    #[inline]
+    fn obs_status(&self, kind: EventKind, id: TthreadId, payload: u64) {
+        if self.inner.obs.on() {
+            self.inner
+                .obs
+                .record(self.inner.obs.status_ring(), kind, Some(id), payload);
+        }
+    }
+
+    /// Records a store event into the ring of the shard `addr` hashes to.
+    #[inline]
+    fn obs_store(&self, kind: EventKind, addr: crate::addr::Addr) {
+        self.inner
+            .obs
+            .record(self.inner.mem.shard_of(addr), kind, None, addr.raw());
+    }
+
     /// Shared access to the untracked user state.
     ///
     /// From a detached worker execution this acquires the runtime's state
@@ -216,9 +236,15 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         stats.bytes_compared += effect.bytes_compared;
         if detect && !effect.changed {
             stats.silent_stores += 1;
+            if self.inner.obs.on() {
+                self.obs_store(EventKind::Store, cell.addr());
+            }
             return;
         }
         stats.changing_stores += 1;
+        if self.inner.obs.on() {
+            self.obs_store(EventKind::ChangeDetected, cell.addr());
+        }
         self.dispatch(cell.range());
     }
 
@@ -405,7 +431,13 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         }
         stats.changing_stores += changed_elems as u64;
         for (a, b) in runs {
-            self.dispatch(array.range_of(from + a, from + b));
+            let run_range = array.range_of(from + a, from + b);
+            // Bulk stores record one change event per changed run (not per
+            // element), matching how they dispatch to the trigger table.
+            if self.inner.obs.on() {
+                self.obs_store(EventKind::ChangeDetected, run_range.start());
+            }
+            self.dispatch(run_range);
         }
     }
 
@@ -437,14 +469,16 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             .triggers
             .read()
             .lookup_with(store_range, &mut scratch);
-        self.raise_hits(&scratch.hits);
+        self.raise_hits(&scratch.hits, store_range.start().raw());
         self.locked().scratch.push(scratch);
     }
 
-    /// Raise the matched tthreads of one triggering store. Runs locked; the
-    /// concurrent accessor path ([`crate::accessor::Accessor`]) also funnels
-    /// here after taking the state lock.
-    pub(crate) fn raise_hits(&mut self, hits: &[TriggerHit]) {
+    /// Raise the matched tthreads of one triggering store (whose start
+    /// address is `store_addr`, recorded with each fired trigger). Runs
+    /// locked; the concurrent accessor path
+    /// ([`crate::accessor::Accessor`]) also funnels here after taking the
+    /// state lock.
+    pub(crate) fn raise_hits(&mut self, hits: &[TriggerHit], store_addr: u64) {
         if hits.is_empty() {
             return;
         }
@@ -459,6 +493,7 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             if depth > 0 {
                 state.stats.cascade_triggers += 1;
             }
+            self.obs_status(EventKind::TriggerFired, hit.tthread, store_addr);
             self.raise(hit.tthread);
         }
     }
@@ -473,13 +508,16 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             TthreadStatus::Running => {
                 state.tst.entry_mut(id).retrigger = true;
                 state.stats.coalesced_triggers += 1;
+                self.obs_status(EventKind::Coalesced, id, 0);
             }
             TthreadStatus::Triggered => {
                 state.stats.coalesced_triggers += 1;
+                self.obs_status(EventKind::Coalesced, id, 0);
             }
             TthreadStatus::Queued => {
                 if coalesce {
                     state.stats.coalesced_triggers += 1;
+                    self.obs_status(EventKind::Coalesced, id, 0);
                 } else {
                     self.enqueue(id);
                 }
@@ -503,18 +541,23 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             PushOutcome::Enqueued => {
                 state.tst.entry_mut(id).status = TthreadStatus::Queued;
                 state.stats.enqueues += 1;
+                let occupancy = state.queue.len() as u64;
+                self.obs_status(EventKind::TriggerEnqueued, id, occupancy);
                 self.inner.work_cv.notify_one();
             }
             PushOutcome::Coalesced => {
                 state.stats.coalesced_triggers += 1;
+                self.obs_status(EventKind::Coalesced, id, 0);
             }
             PushOutcome::Full => {
                 state.stats.queue_overflows += 1;
+                let capacity = state.queue.capacity() as u64;
                 // Without coalescing, `id` may already occupy a queue slot
                 // from an earlier trigger. Drop it so the overflow handling
                 // below is the *only* pending execution; leaving it would
                 // let a worker run the tthread a second time.
                 state.queue.remove(id);
+                self.obs_status(EventKind::QueueOverflow, id, capacity);
                 match overflow {
                     OverflowPolicy::ExecuteInline => self.run_inline(id),
                     OverflowPolicy::DeferToJoin => {
@@ -547,10 +590,25 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             let state = self.locked();
             state.tst.entry_mut(id).status = TthreadStatus::Running;
             state.tst.entry_mut(id).retrigger = false;
+            let obs_on = inner.obs.on();
+            let body_t0 = if obs_on {
+                inner
+                    .obs
+                    .record(inner.obs.status_ring(), EventKind::BodyStart, Some(id), 0);
+                inner.obs.now_ns()
+            } else {
+                0
+            };
             let outcome = {
                 let mut nested = Ctx::new(state, inner, next_depth);
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut nested)))
             };
+            if obs_on {
+                let dur = inner.obs.now_ns().saturating_sub(body_t0);
+                inner
+                    .obs
+                    .record(inner.obs.status_ring(), EventKind::BodyEnd, Some(id), dur);
+            }
             let state = self.locked();
             if let Err(payload) = outcome {
                 let entry = state.tst.entry_mut(id);

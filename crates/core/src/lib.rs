@@ -93,6 +93,7 @@
 //! | [`trigger`] | the store-address → tthread trigger table |
 //! | [`tthread`] | tthread ids and the thread status table |
 //! | [`queue`] | the bounded coalescing pending queue |
+//! | [`obs`] | lock-free lifecycle event rings (observability) |
 //! | [`ctx`] | the [`Ctx`] store path and status machine |
 //! | [`accessor`] | concurrent tracked access off the state lock |
 //! | [`runtime`] | the [`Runtime`] façade and executors |
@@ -109,6 +110,7 @@ pub mod error;
 pub mod handle;
 pub mod heap;
 pub(crate) mod mem;
+pub mod obs;
 pub mod pod;
 pub mod queue;
 pub mod report;
@@ -123,6 +125,7 @@ pub use config::{Config, OverflowPolicy};
 pub use ctx::Ctx;
 pub use error::{Error, Result};
 pub use handle::{Tracked, TrackedArray, TrackedMatrix};
+pub use obs::{EventKind, ObsEvent, ObsRecording, RingStats};
 pub use report::{RuntimeReport, TthreadReportRow};
 pub use runtime::{JoinOutcome, Runtime};
 pub use stats::StatsSnapshot;

@@ -121,6 +121,13 @@ impl ShardedMem {
         self.locks.len()
     }
 
+    /// The stripe (shard) index an address hashes to — also the index of
+    /// the observability event ring store events to that address use, so
+    /// threads writing disjoint shards record into disjoint rings.
+    pub(crate) fn shard_of(&self, addr: Addr) -> usize {
+        ((addr.raw() >> STRIPE_SHIFT) & self.mask) as usize
+    }
+
     /// Bytes currently allocated.
     pub(crate) fn len(&self) -> u64 {
         self.len.load(Ordering::Acquire)

@@ -45,6 +45,9 @@ pub struct CoalescingQueue {
     pending: Vec<u32>,
     capacity: usize,
     coalesce: bool,
+    /// Highest occupancy ever reached (exported by the runtime report and
+    /// the observability collector as queue pressure).
+    max_len: usize,
 }
 
 impl CoalescingQueue {
@@ -60,6 +63,7 @@ impl CoalescingQueue {
             pending: Vec::new(),
             capacity,
             coalesce,
+            max_len: 0,
         }
     }
 
@@ -76,6 +80,11 @@ impl CoalescingQueue {
     /// The capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The highest occupancy the queue has ever reached.
+    pub fn high_watermark(&self) -> usize {
+        self.max_len
     }
 
     /// Whether `id` is currently queued.
@@ -96,6 +105,7 @@ impl CoalescingQueue {
         }
         self.pending[id.index()] += 1;
         self.queue.push_back(id);
+        self.max_len = self.max_len.max(self.queue.len());
         PushOutcome::Enqueued
     }
 
@@ -165,6 +175,23 @@ mod tests {
         assert!(q.contains(id(1)));
         assert_eq!(q.pop(), Some(id(1)));
         assert!(!q.contains(id(1)));
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_occupancy() {
+        let mut q = CoalescingQueue::new(8, true);
+        assert_eq!(q.high_watermark(), 0);
+        q.push(id(0));
+        q.push(id(1));
+        q.push(id(2));
+        assert_eq!(q.high_watermark(), 3);
+        q.pop();
+        q.pop();
+        q.pop();
+        // Draining does not lower the peak.
+        assert_eq!(q.high_watermark(), 3);
+        q.push(id(0));
+        assert_eq!(q.high_watermark(), 3);
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub struct RuntimeReport {
     pub queue_len: usize,
     /// Queue capacity.
     pub queue_capacity: usize,
+    /// Highest queue occupancy ever reached.
+    pub queue_high_watermark: usize,
     /// Bytes allocated in the tracked arena.
     pub arena_used: u64,
     /// Arena capacity bound.
@@ -55,11 +57,12 @@ impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "runtime: {} tthreads, {} workers, queue {}/{}, arena {}/{} bytes",
+            "runtime: {} tthreads, {} workers, queue {}/{} (peak {}), arena {}/{} bytes",
             self.tthreads.len(),
             self.workers,
             self.queue_len,
             self.queue_capacity,
+            self.queue_high_watermark,
             self.arena_used,
             self.arena_capacity
         )?;

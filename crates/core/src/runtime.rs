@@ -19,6 +19,7 @@ use crate::error::{Error, Result};
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
 use crate::heap::TrackedHeap;
 use crate::mem::ShardedMem;
+use crate::obs::{EventKind, ObsRecorder, ObsRecording};
 use crate::pod::Pod;
 use crate::queue::CoalescingQueue;
 use crate::stats::{AccessCounters, Counters, StatsSnapshot};
@@ -96,6 +97,9 @@ pub(crate) struct Inner<U> {
     pub(crate) watch_filter: AtomicU64,
     /// Sharded access-side counters, folded into `State::stats` on demand.
     pub(crate) access: AccessCounters,
+    /// Lifecycle event recorder (see [`crate::obs`]). Every hook checks
+    /// `obs.on()` — one relaxed load — before doing any observability work.
+    pub(crate) obs: ObsRecorder,
     tthreads: RwLock<Vec<TthreadEntry<U>>>,
     pub(crate) work_cv: Condvar,
     pub(crate) done_cv: Condvar,
@@ -217,6 +221,12 @@ impl<U: Send + 'static> Runtime<U> {
         let mem = ShardedMem::new(cfg.arena_capacity, cfg.mem_shards);
         let triggers = RwLock::new(TriggerTable::new(cfg.granularity));
         let access = AccessCounters::new(cfg.mem_shards);
+        // One ring per memory shard (store events hash by address) plus one
+        // for the trigger/status machine.
+        let obs = ObsRecorder::new(mem.shards(), cfg.obs_ring_capacity);
+        if cfg.observability {
+            obs.set_enabled(true);
+        }
         let workers = cfg.workers;
         let inner = Arc::new(Inner {
             cfg,
@@ -225,6 +235,7 @@ impl<U: Send + 'static> Runtime<U> {
             triggers,
             watch_filter: AtomicU64::new(0),
             access,
+            obs,
             tthreads: RwLock::new(Vec::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -436,13 +447,16 @@ impl<U: Send + 'static> Runtime<U> {
                     state.stats.joins += 1;
                     if waited {
                         state.stats.waited_joins += 1;
+                        self.obs_join(tthread, JoinOutcome::Waited);
                         return Ok(JoinOutcome::Waited);
                     }
                     if overlapped {
+                        self.obs_join(tthread, JoinOutcome::Overlapped);
                         return Ok(JoinOutcome::Overlapped);
                     }
                     state.tst.entry_mut(tthread).skips += 1;
                     state.stats.skips += 1;
+                    self.obs_join(tthread, JoinOutcome::Skipped);
                     return Ok(JoinOutcome::Skipped);
                 }
                 TthreadStatus::Triggered => {
@@ -452,6 +466,7 @@ impl<U: Send + 'static> Runtime<U> {
                     }
                     state.tst.entry_mut(tthread).completed_since_join = false;
                     state.stats.joins += 1;
+                    self.obs_join(tthread, JoinOutcome::RanInline);
                     return Ok(JoinOutcome::RanInline);
                 }
                 TthreadStatus::Queued => {
@@ -462,6 +477,7 @@ impl<U: Send + 'static> Runtime<U> {
                     }
                     state.tst.entry_mut(tthread).completed_since_join = false;
                     state.stats.joins += 1;
+                    self.obs_join(tthread, JoinOutcome::Stolen);
                     return Ok(JoinOutcome::Stolen);
                 }
                 TthreadStatus::Running => {
@@ -470,6 +486,57 @@ impl<U: Send + 'static> Runtime<U> {
                 }
             }
         }
+    }
+
+    /// Records a join outcome into the status-machine ring.
+    fn obs_join(&self, tthread: TthreadId, outcome: JoinOutcome) {
+        if !self.inner.obs.on() {
+            return;
+        }
+        let ring = self.inner.obs.status_ring();
+        match outcome {
+            JoinOutcome::Skipped => self
+                .inner
+                .obs
+                .record(ring, EventKind::Skip, Some(tthread), 0),
+            JoinOutcome::Overlapped => {
+                self.inner
+                    .obs
+                    .record(ring, EventKind::Join, Some(tthread), 1)
+            }
+            JoinOutcome::RanInline => {
+                self.inner
+                    .obs
+                    .record(ring, EventKind::Join, Some(tthread), 2)
+            }
+            JoinOutcome::Stolen => self
+                .inner
+                .obs
+                .record(ring, EventKind::Join, Some(tthread), 3),
+            JoinOutcome::Waited => self
+                .inner
+                .obs
+                .record(ring, EventKind::Join, Some(tthread), 4),
+        }
+    }
+
+    /// Whether lifecycle event recording is currently enabled.
+    pub fn is_observing(&self) -> bool {
+        self.inner.obs.on()
+    }
+
+    /// Enables or disables lifecycle event recording at runtime. The first
+    /// enable allocates the per-shard rings; disabling keeps already
+    /// recorded events available for [`Runtime::obs_drain`].
+    pub fn set_observing(&mut self, on: bool) {
+        self.inner.obs.set_enabled(on);
+    }
+
+    /// Drains the observability rings into a merged, sequence-ordered
+    /// recording (consuming: a second drain returns only newer events).
+    /// Analyze it with the `dtt-obs` crate's collector and exporters.
+    pub fn obs_drain(&self) -> ObsRecording {
+        self.inner.obs.drain()
     }
 
     /// Joins every registered tthread, in id order.
@@ -631,6 +698,7 @@ impl<U: Send + 'static> Runtime<U> {
             tthreads,
             queue_len: state.queue.len(),
             queue_capacity: state.queue.capacity(),
+            queue_high_watermark: state.queue.high_watermark(),
             arena_used: self.inner.mem.len(),
             arena_capacity: self.inner.mem.capacity(),
             workers: self.inner.cfg.workers,
@@ -716,10 +784,23 @@ fn run_detached<'a, U: Send + 'static>(
         let snap = inner.mem.snapshot();
         drop(state);
 
+        let obs_on = inner.obs.on();
+        let body_t0 = if obs_on {
+            let ring = inner.obs.status_ring();
+            inner.obs.record(ring, EventKind::BodyStart, Some(id), 0);
+            inner.obs.now_ns()
+        } else {
+            0
+        };
         // The body runs entirely off the state lock, against the snapshot;
         // main-thread `with`/`join` calls proceed concurrently.
         let mut ctx = Ctx::detached(snap, inner, 1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)));
+        if obs_on {
+            let ring = inner.obs.status_ring();
+            let dur = inner.obs.now_ns().saturating_sub(body_t0);
+            inner.obs.record(ring, EventKind::BodyEnd, Some(id), dur);
+        }
         let (guard, log, delta) = ctx.into_detached_parts();
         // If the body touched user state it already holds the lock; reuse
         // that guard so user-state updates and the commit are one critical
@@ -735,13 +816,27 @@ fn run_detached<'a, U: Send + 'static>(
         }
 
         inner.access.merge_delta(&delta);
+        let commit_t0 = if obs_on {
+            let ring = inner.obs.status_ring();
+            inner
+                .obs
+                .record(ring, EventKind::CommitBegin, Some(id), log.len() as u64);
+            inner.obs.now_ns()
+        } else {
+            0
+        };
         // Replay the write log against live memory. A panic can only come
         // out of a cascaded inline execution (which poisons its own
         // tthread); treat it like a body panic of `id` so the worker
         // survives, exactly as the attached executor did.
         let committed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            commit_log(&mut state, inner, &log)
+            commit_log(&mut state, inner, id, &log)
         }));
+        if obs_on {
+            let ring = inner.obs.status_ring();
+            let dur = inner.obs.now_ns().saturating_sub(commit_t0);
+            inner.obs.record(ring, EventKind::CommitDone, Some(id), dur);
+        }
         if committed.is_err() {
             poison(&mut state, id);
             return state;
@@ -766,7 +861,12 @@ fn run_detached<'a, U: Send + 'static>(
 
 /// Replays a detached execution's write log under the state lock, firing
 /// triggers for the stores that still change live memory.
-fn commit_log<U: Send + 'static>(state: &mut State<U>, inner: &Inner<U>, log: &[LoggedStore]) {
+fn commit_log<U: Send + 'static>(
+    state: &mut State<U>,
+    inner: &Inner<U>,
+    id: TthreadId,
+    log: &[LoggedStore],
+) {
     let detect = inner.cfg.suppress_silent_stores;
     for entry in log {
         let effect = inner
@@ -777,12 +877,28 @@ fn commit_log<U: Send + 'static>(state: &mut State<U>, inner: &Inner<U>, log: &[
         }
         state.stats.commit_stores += 1;
         if effect.changed {
+            if inner.obs.on() {
+                inner.obs.record(
+                    inner.mem.shard_of(entry.range.start()),
+                    EventKind::ChangeDetected,
+                    Some(id),
+                    entry.range.start().raw(),
+                );
+            }
             // Depth 1: triggers raised here are cascades, same as stores
             // made directly by an attached body.
             let mut ctx = Ctx::new(state, inner, 1);
             ctx.dispatch(entry.range);
         } else {
             state.stats.commit_conflicts += 1;
+            if inner.obs.on() {
+                inner.obs.record(
+                    inner.obs.status_ring(),
+                    EventKind::CommitConflict,
+                    Some(id),
+                    entry.range.start().raw(),
+                );
+            }
         }
     }
 }
@@ -798,10 +914,23 @@ fn run_attached<U: Send + 'static>(
     loop {
         state.tst.entry_mut(id).status = TthreadStatus::Running;
         state.tst.entry_mut(id).retrigger = false;
+        let obs_on = inner.obs.on();
+        let body_t0 = if obs_on {
+            let ring = inner.obs.status_ring();
+            inner.obs.record(ring, EventKind::BodyStart, Some(id), 0);
+            inner.obs.now_ns()
+        } else {
+            0
+        };
         let outcome = {
             let mut ctx = Ctx::new(state, inner, 1);
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
         };
+        if obs_on {
+            let ring = inner.obs.status_ring();
+            let dur = inner.obs.now_ns().saturating_sub(body_t0);
+            inner.obs.record(ring, EventKind::BodyEnd, Some(id), dur);
+        }
         if outcome.is_err() {
             poison(state, id);
             break;

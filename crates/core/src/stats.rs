@@ -64,6 +64,41 @@ pub struct Counters {
     pub bytes_compared: u64,
 }
 
+/// Applies a callback macro to the complete counter field list, in
+/// declaration order. This is the *single source of truth* shared by every
+/// serialization path — [`Counters::fields`] (which also drives the
+/// Prometheus exporter in `dtt-obs`), [`StatsSnapshot::to_json`] and
+/// [`StatsSnapshot::from_json`] — so adding a counter to [`Counters`] only
+/// requires extending this list once.
+macro_rules! for_each_counter {
+    ($cb:ident!($($extra:tt)*)) => {
+        $cb!(
+            $($extra)*
+            tracked_stores,
+            silent_stores,
+            changing_stores,
+            triggering_stores,
+            triggers_fired,
+            false_triggers,
+            coalesced_triggers,
+            enqueues,
+            queue_overflows,
+            executions,
+            inline_executions,
+            worker_executions,
+            detached_executions,
+            commit_stores,
+            commit_conflicts,
+            skips,
+            joins,
+            waited_joins,
+            cascade_triggers,
+            tracked_loads,
+            bytes_compared,
+        )
+    };
+}
+
 impl Counters {
     /// Creates zeroed counters.
     pub fn new() -> Self {
@@ -73,6 +108,36 @@ impl Counters {
     /// Copies the counters into an immutable snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot { c: self.clone() }
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order. The
+    /// names are the field identifiers (`tracked_stores`, ...), stable for
+    /// external consumers; the list is generated from the same macro as the
+    /// JSON path, so the serializations cannot drift apart.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! emit {
+            ($self:ident, $($f:ident),+ $(,)?) => {
+                vec![$((stringify!($f), $self.$f)),+]
+            };
+        }
+        for_each_counter!(emit!(self,))
+    }
+
+    /// Sets the counter named `name` to `value`; returns `false` (leaving
+    /// the counters untouched) for an unknown name.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        macro_rules! emit {
+            ($self:ident, $name:ident, $value:ident, $($f:ident),+ $(,)?) => {
+                match $name {
+                    $(stringify!($f) => {
+                        $self.$f = $value;
+                        true
+                    })+
+                    _ => false,
+                }
+            };
+        }
+        for_each_counter!(emit!(self, name, value,))
     }
 }
 
@@ -237,6 +302,87 @@ impl StatsSnapshot {
             self.c.triggering_stores as f64 * 1000.0 / self.c.tracked_stores as f64
         }
     }
+
+    /// Every counter as a `(name, value)` pair; see [`Counters::fields`].
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        self.c.fields()
+    }
+
+    /// Serializes the snapshot as a flat, single-line JSON object whose
+    /// keys are the counter field names, in declaration order. This is the
+    /// one JSON shape shared by `dtt obs metrics` and the exporters; it
+    /// round-trips exactly through [`StatsSnapshot::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.c.fields().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a snapshot from the JSON shape produced by
+    /// [`StatsSnapshot::to_json`]: one flat object of unsigned-integer
+    /// counter fields (whitespace tolerated, any key order, missing keys
+    /// default to zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token, unknown key, or
+    /// non-integer value.
+    pub fn from_json(text: &str) -> Result<StatsSnapshot, String> {
+        let mut c = Counters::new();
+        let mut rest = text.trim_start();
+        rest = rest
+            .strip_prefix('{')
+            .ok_or_else(|| "expected '{' at start of stats object".to_string())?;
+        loop {
+            rest = rest.trim_start();
+            if let Some(tail) = rest.strip_prefix('}') {
+                if !tail.trim().is_empty() {
+                    return Err("trailing data after stats object".to_string());
+                }
+                return Ok(StatsSnapshot { c });
+            }
+            rest = rest
+                .strip_prefix('"')
+                .ok_or_else(|| "expected '\"' starting a field name".to_string())?;
+            let end = rest
+                .find('"')
+                .ok_or_else(|| "unterminated field name".to_string())?;
+            let (name, tail) = rest.split_at(end);
+            rest = tail[1..].trim_start();
+            rest = rest
+                .strip_prefix(':')
+                .ok_or_else(|| format!("expected ':' after field {name:?}"))?;
+            rest = rest.trim_start();
+            let digits = rest.len()
+                - rest
+                    .trim_start_matches(|ch: char| ch.is_ascii_digit())
+                    .len();
+            if digits == 0 {
+                return Err(format!("expected an unsigned integer for field {name:?}"));
+            }
+            let value: u64 = rest[..digits]
+                .parse()
+                .map_err(|e| format!("field {name:?}: {e}"))?;
+            if !c.set_field(name, value) {
+                return Err(format!("unknown counter field {name:?}"));
+            }
+            rest = rest[digits..].trim_start();
+            if let Some(tail) = rest.strip_prefix(',') {
+                rest = tail;
+            } else if !rest.starts_with('}') {
+                return Err(format!("expected ',' or '}}' after field {name:?}"));
+            }
+        }
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -399,6 +545,63 @@ mod tests {
             "cascade",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+
+    #[test]
+    fn fields_cover_every_counter_in_declaration_order() {
+        let mut c = Counters::new();
+        // Give every field a distinct value so a swapped or missing entry
+        // cannot cancel out.
+        for (i, (name, _)) in c.clone().fields().into_iter().enumerate() {
+            assert!(c.set_field(name, (i + 1) as u64), "unknown field {name}");
+        }
+        let fields = c.fields();
+        assert_eq!(fields.len(), 21);
+        assert_eq!(fields[0], ("tracked_stores", 1));
+        assert_eq!(fields[20], ("bytes_compared", 21));
+        for (i, (_, v)) in fields.iter().enumerate() {
+            assert_eq!(*v, (i + 1) as u64);
+        }
+        assert!(!c.set_field("not_a_counter", 7));
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut c = Counters::new();
+        for (i, (name, _)) in c.clone().fields().into_iter().enumerate() {
+            c.set_field(name, (i as u64 + 1) * 1_000_003);
+        }
+        let snap = c.snapshot();
+        let json = snap.to_json();
+        let back = StatsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        // Whitespace and key order don't matter; missing keys default to 0.
+        let sparse = StatsSnapshot::from_json("{ \"joins\" : 7, \"skips\": 3 }").unwrap();
+        assert_eq!(sparse.counters().joins, 7);
+        assert_eq!(sparse.counters().skips, 3);
+        assert_eq!(sparse.counters().tracked_stores, 0);
+        let empty = StatsSnapshot::from_json("{}").unwrap();
+        assert_eq!(empty, Counters::new().snapshot());
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for bad in [
+            "",
+            "[]",
+            "{\"joins\":}",
+            "{\"joins\":-1}",
+            "{\"joins\":1.5}",
+            "{\"unknown_counter\":1}",
+            "{\"joins\":1",
+            "{\"joins\":1}x",
+            "{joins:1}",
+        ] {
+            assert!(
+                StatsSnapshot::from_json(bad).is_err(),
+                "accepted malformed input {bad:?}"
+            );
         }
     }
 

@@ -1,0 +1,289 @@
+//! Fixed log2-bucketed latency histograms.
+//!
+//! Body and commit latencies span five orders of magnitude (sub-µs cache
+//! hits to ms-scale recomputations), so the collector buckets them by
+//! power of two: value `v` lands in the bucket whose upper bound is the
+//! smallest `2^k > v`. 64 buckets cover the whole `u64` range in constant
+//! space with no configuration, and merging two histograms is element-wise
+//! addition — exactly what a per-shard collector needs.
+
+use std::fmt;
+
+/// Number of buckets: bucket `k` holds values in `[2^(k-1), 2^k)`
+/// (bucket 0 holds only zero), so 65 buckets cover all of `u64`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `value`: 0 for 0, otherwise its bit length.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), i.e. the quantile rounded up to a power of two.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(k);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower, upper, count)` with `lower` inclusive
+    /// and `upper` exclusive, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (bucket_lower(k), bucket_upper(k), n))
+    }
+
+    /// Cumulative `(upper_bound, cumulative_count)` pairs over the
+    /// non-empty range — the shape of a Prometheus histogram's `le` series.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut acc = 0;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            acc += n;
+            out.push((bucket_upper(k), acc));
+        }
+        out
+    }
+}
+
+/// Inclusive lower bound of bucket `k`.
+fn bucket_lower(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        1u64 << (k - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `k` (saturating at `u64::MAX`).
+fn bucket_upper(k: usize) -> u64 {
+    if k == 0 {
+        1
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        1u64 << k
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(empty)");
+        }
+        writeln!(
+            f,
+            "n={} mean={:.0} min={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max
+        )?;
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (lo, hi, n) in self.nonzero_buckets() {
+            let bar = "#".repeat(((n * 40) / peak).max(1) as usize);
+            writeln!(f, "  [{lo:>12}, {hi:>12}) {n:>8} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.to_string(), "(empty)");
+    }
+
+    #[test]
+    fn samples_land_in_power_of_two_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets: Vec<(u64, u64, u64)> = h.nonzero_buckets().collect();
+        // 0 | 1 | [2,4): {2,3} | [4,8): {4,7} | [8,16): 8 | [512,1024): 1000
+        // | top bucket: u64::MAX.
+        assert_eq!(buckets[0], (0, 1, 1));
+        assert_eq!(buckets[1], (1, 2, 1));
+        assert_eq!(buckets[2], (2, 4, 2));
+        assert_eq!(buckets[3], (4, 8, 2));
+        assert_eq!(buckets[4], (8, 16, 1));
+        assert_eq!(buckets[5], (512, 1024, 1));
+        assert_eq!(buckets[6].2, 1);
+        assert_eq!(buckets[6].1, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16)
+        }
+        h.record(1_000_000); // bucket [2^19, 2^20)
+        assert_eq!(h.quantile(0.0), 16);
+        assert_eq!(h.quantile(0.5), 16);
+        assert_eq!(h.quantile(0.99), 16);
+        assert_eq!(h.quantile(1.0), 1 << 20);
+        assert!((h.mean() - (99.0 * 10.0 + 1_000_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [1u64, 5, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 5, 7_000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.max(), 7_000);
+        assert_eq!(a.min(), 1);
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_total() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 4, 8, 16, 32] {
+            h.record(v);
+        }
+        let cum = h.cumulative();
+        assert!(cum.windows(2).all(|w| w[0].1 < w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(cum.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn display_draws_bars() {
+        let mut h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(100);
+        }
+        h.record(5);
+        let text = h.to_string();
+        assert!(text.contains("n=11"));
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,43 @@
+//! # dtt-obs — observability for the data-triggered-threads runtime
+//!
+//! The core runtime records compact lifecycle events (store → change
+//! detected → trigger → body → commit → join) into lock-free per-shard
+//! rings when [`Config::with_observability`] is on; this crate turns a
+//! drained [`ObsRecording`] into something a human or a dashboard can use:
+//!
+//! | module | what it produces |
+//! |--------|------------------|
+//! | [`collect`] | [`ObsReport`]: per-tthread and per-region aggregates, fire rates, coalesce ratios, latency histograms |
+//! | [`hist`] | [`LogHistogram`]: constant-space log2-bucketed latency distributions |
+//! | [`prometheus`] | Prometheus text exposition from runtime counters + the report |
+//! | [`chrome`] | Chrome `trace_event` JSON timelines (Perfetto-loadable) + a validator |
+//!
+//! The crate is pure post-processing: it never touches the hot path, so
+//! everything here can be as allocation-happy as it likes.
+//!
+//! ```
+//! use dtt_core::{Config, Runtime};
+//! use dtt_obs::ObsReport;
+//!
+//! let mut rt = Runtime::new(Config::default().with_observability(true), ());
+//! let cell = rt.alloc(0u64).unwrap();
+//! rt.write(cell, 7);
+//! let report = ObsReport::from_recording(&rt.obs_drain());
+//! assert!(report.events >= 1);
+//! println!("{}", report.summary_line());
+//! ```
+//!
+//! [`Config::with_observability`]: dtt_core::Config::with_observability
+//! [`ObsRecording`]: dtt_core::ObsRecording
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod collect;
+pub mod hist;
+pub mod prometheus;
+
+pub use chrome::{parse_json, validate_chrome_trace, Json};
+pub use collect::{ObsReport, RegionAgg, TthreadAgg};
+pub use hist::LogHistogram;

@@ -1,0 +1,184 @@
+//! Prometheus text-format exposition.
+//!
+//! Renders the runtime's [`StatsSnapshot`] counters plus the collector's
+//! aggregates in the [text exposition format] consumed by Prometheus's
+//! scraper (and by `promtool check metrics`). Counter names come straight
+//! from [`StatsSnapshot::fields`], so new runtime counters appear here
+//! without touching this module.
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use dtt_core::stats::StatsSnapshot;
+
+use crate::collect::ObsReport;
+use crate::hist::LogHistogram;
+
+/// Renders `snapshot` (and, when present, `report`) as Prometheus text.
+///
+/// Every runtime counter becomes `dtt_<name>_total`; the collector adds
+/// `dtt_obs_*` gauges and two latency histograms with log2 `le` buckets.
+pub fn render(snapshot: &StatsSnapshot, report: Option<&ObsReport>) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot.fields() {
+        let metric = format!("dtt_{name}_total");
+        let _ = writeln!(out, "# HELP {metric} Runtime counter `{name}`.");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    if let Some(report) = report {
+        render_report(&mut out, report);
+    }
+    out
+}
+
+fn render_report(out: &mut String, report: &ObsReport) {
+    let gauges: [(&str, &str, f64); 6] = [
+        (
+            "dtt_obs_events",
+            "Lifecycle events aggregated into the report.",
+            report.events as f64,
+        ),
+        (
+            "dtt_obs_events_dropped",
+            "Lifecycle events lost to ring overwrites.",
+            report.dropped as f64,
+        ),
+        (
+            "dtt_obs_span_seconds",
+            "Wall-clock span covered by the captured events.",
+            report.span_ns as f64 / 1e9,
+        ),
+        (
+            "dtt_obs_trigger_fire_rate_hz",
+            "Trigger fires per second over the captured span.",
+            report.fire_rate_hz(),
+        ),
+        (
+            "dtt_obs_coalesce_ratio",
+            "Fraction of fired triggers absorbed by coalescing.",
+            report.coalesce_ratio(),
+        ),
+        (
+            "dtt_obs_regions",
+            "Distinct 64-byte tracked-memory regions touched.",
+            report.regions.len() as f64,
+        ),
+    ];
+    for (metric, help, value) in gauges {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        if value.fract() == 0.0 {
+            let _ = writeln!(out, "{metric} {value:.0}");
+        } else {
+            let _ = writeln!(out, "{metric} {value}");
+        }
+    }
+    render_histogram(out, "dtt_obs_body_seconds", &report.body_latency());
+    render_histogram(out, "dtt_obs_commit_seconds", &report.commit_latency());
+}
+
+/// Emits one Prometheus histogram from a nanosecond [`LogHistogram`].
+/// Bucket bounds are the log2 upper bounds converted to seconds.
+fn render_histogram(out: &mut String, metric: &str, hist: &LogHistogram) {
+    let _ = writeln!(out, "# HELP {metric} Latency distribution (log2 buckets).");
+    let _ = writeln!(out, "# TYPE {metric} histogram");
+    for (upper_ns, cumulative) in hist.cumulative() {
+        let le = upper_ns as f64 / 1e9;
+        let _ = writeln!(out, "{metric}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(out, "{metric}_sum {}", hist.sum() as f64 / 1e9);
+    let _ = writeln!(out, "{metric}_count {}", hist.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtt_core::obs::{EventKind, ObsEvent, ObsRecording};
+    use dtt_core::stats::Counters;
+    use dtt_core::TthreadId;
+
+    fn sample_report() -> ObsReport {
+        let rec = ObsRecording {
+            events: vec![
+                ObsEvent {
+                    seq: 0,
+                    t_ns: 0,
+                    kind: EventKind::TriggerFired,
+                    tthread: Some(TthreadId::new(0)),
+                    payload: 0x40,
+                },
+                ObsEvent {
+                    seq: 1,
+                    t_ns: 2_000_000,
+                    kind: EventKind::BodyEnd,
+                    tthread: Some(TthreadId::new(0)),
+                    payload: 1_500,
+                },
+            ],
+            issued: 2,
+            dropped: 0,
+            delivered: 2,
+            rings: Vec::new(),
+        };
+        ObsReport::from_recording(&rec)
+    }
+
+    #[test]
+    fn renders_every_snapshot_counter() {
+        let snapshot = Counters::new().snapshot();
+        let text = render(&snapshot, None);
+        for (name, _) in snapshot.fields() {
+            let metric = format!("dtt_{name}_total");
+            assert!(
+                text.contains(&format!("# TYPE {metric} counter")),
+                "missing TYPE line for {metric}"
+            );
+            assert!(
+                text.contains(&format!("\n{metric} 0\n"))
+                    || text.starts_with(&format!("{metric} 0")),
+                "missing sample for {metric}"
+            );
+        }
+    }
+
+    #[test]
+    fn exposition_format_shape_is_valid() {
+        let text = render(&Counters::new().snapshot(), Some(&sample_report()));
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+            } else {
+                // Sample lines: metric{labels} value — exactly one space
+                // between name+labels and the value.
+                let (name, value) = line.rsplit_once(' ').expect("sample has value");
+                assert!(!name.is_empty());
+                assert!(
+                    value.parse::<f64>().is_ok() || value == "+Inf",
+                    "unparsable value in: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_gauges_and_histograms_render() {
+        let text = render(&Counters::new().snapshot(), Some(&sample_report()));
+        assert!(text.contains("# TYPE dtt_obs_trigger_fire_rate_hz gauge"));
+        assert!(text.contains("dtt_obs_events 2"));
+        assert!(text.contains("# TYPE dtt_obs_body_seconds histogram"));
+        assert!(text.contains("dtt_obs_body_seconds_count 1"));
+        assert!(text.contains("dtt_obs_body_seconds_bucket{le=\"+Inf\"} 1"));
+        // 1500 ns lands in the [1024, 2048) bucket → le = 2048e-9.
+        assert!(text.contains("dtt_obs_body_seconds_bucket{le=\"0.000002048\"} 1"));
+        // Empty commit histogram still renders the +Inf bucket and count.
+        assert!(text.contains("dtt_obs_commit_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("dtt_obs_commit_seconds_count 0"));
+    }
+}

@@ -254,6 +254,13 @@ impl Workload for Parser {
         }
 
         let mut digest = Digest::new();
+        // Let worker contexts pick up the initially-dirty batches before the
+        // maintenance stream starts: their detached re-parses then run
+        // concurrently with the first rounds' dictionary stores (the overlap
+        // `dtt-cli obs timeline` visualizes). A no-op under the deferred
+        // executor (workers = 0), and semantics-neutral everywhere — a body
+        // whose inputs change mid-flight re-runs at commit.
+        std::thread::yield_now();
         for maint in &self.maintenance {
             rt.with(|ctx| {
                 for &(e, v) in &maint.writes {

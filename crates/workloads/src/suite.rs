@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use dtt_core::{Config, StatsSnapshot};
+use dtt_core::{Config, ObsRecording, StatsSnapshot};
 use dtt_trace::Trace;
 
 /// Input scale of a workload run, mirroring SPEC's test/train/ref inputs.
@@ -49,6 +49,9 @@ pub struct DttRun {
     pub stats: StatsSnapshot,
     /// Per-tthread counters.
     pub tthreads: Vec<TthreadReport>,
+    /// Drained lifecycle events, present when the run's [`Config`] enabled
+    /// observability (see [`Config::with_observability`]).
+    pub obs: Option<ObsRecording>,
 }
 
 /// A benchmark kernel with baseline, DTT, and traced implementations.

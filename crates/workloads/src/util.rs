@@ -124,6 +124,7 @@ pub fn dtt_run_report<U: Send + 'static>(rt: &Runtime<U>, digest: u64) -> DttRun
         digest,
         stats: rt.stats(),
         tthreads,
+        obs: rt.is_observing().then(|| rt.obs_drain()),
     }
 }
 

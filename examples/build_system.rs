@@ -18,6 +18,7 @@
 //! Run with: `cargo run -p dtt --example build_system`
 
 use dtt::core::{Config, JoinOutcome, Runtime};
+use dtt::obs::ObsReport;
 
 /// Build log collected by the target tthreads.
 #[derive(Default)]
@@ -35,7 +36,10 @@ fn fingerprint(inputs: &[u64]) -> u64 {
 }
 
 fn main() -> Result<(), dtt::core::Error> {
-    let mut rt = Runtime::new(Config::default(), BuildLog::default());
+    let mut rt = Runtime::new(
+        Config::default().with_observability(true),
+        BuildLog::default(),
+    );
 
     // Source fingerprints (tracked): parser.c lexer.c ast.c codegen.c
     let sources = rt.alloc_array::<u64>(4)?;
@@ -137,6 +141,7 @@ fn main() -> Result<(), dtt::core::Error> {
     assert_eq!(outcomes[2], JoinOutcome::RanInline);
     assert_eq!(outcomes[3], JoinOutcome::RanInline);
 
-    println!("runtime statistics:\n{}", rt.stats());
+    let report = ObsReport::from_recording(&rt.obs_drain());
+    println!("{}", report.summary_line());
     Ok(())
 }

@@ -9,6 +9,7 @@
 //! Run with: `cargo run --example sensor_pipeline`
 
 use dtt::core::{Config, JoinOutcome, Runtime};
+use dtt::obs::ObsReport;
 
 const SENSORS: usize = 16;
 const ZONES: usize = 4;
@@ -22,7 +23,10 @@ struct Dashboards {
 }
 
 fn main() -> Result<(), dtt::core::Error> {
-    let cfg = Config::default().with_workers(2).with_queue_capacity(8);
+    let cfg = Config::default()
+        .with_workers(2)
+        .with_queue_capacity(8)
+        .with_observability(true);
     let mut rt = Runtime::new(cfg, Dashboards::default());
     let readings = rt.alloc_array::<i64>(SENSORS)?;
 
@@ -99,7 +103,8 @@ fn main() -> Result<(), dtt::core::Error> {
         "  zone joins:  {} skipped, {} overlapped, {} other",
         outcomes[0], outcomes[1], outcomes[2]
     );
-    println!("\nruntime statistics:\n{}", rt.stats());
+    let report = ObsReport::from_recording(&rt.obs_drain());
+    println!("\n{}", report.summary_line());
 
     assert!(outcomes[0] > 0, "quantized sensors must produce skips");
     Ok(())

@@ -15,9 +15,10 @@
 //! Run with: `cargo run --example spreadsheet`
 
 use dtt::core::{Config, JoinOutcome, Runtime};
+use dtt::obs::ObsReport;
 
 fn main() -> Result<(), dtt::core::Error> {
-    let mut rt = Runtime::new(Config::default(), ());
+    let mut rt = Runtime::new(Config::default().with_observability(true), ());
 
     let col_a = rt.alloc_array::<i64>(4)?;
     let col_c = rt.alloc_array::<i64>(4)?;
@@ -105,6 +106,7 @@ fn main() -> Result<(), dtt::core::Error> {
         "B2's result was unchanged: no cascade"
     );
 
-    println!("\nruntime statistics:\n{}", rt.stats());
+    let report = ObsReport::from_recording(&rt.obs_drain());
+    println!("\n{}", report.summary_line());
     Ok(())
 }

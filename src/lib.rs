@@ -11,6 +11,7 @@
 //! | [`profile`] | `dtt-profile` | redundant-load / silent-store / redundancy profilers |
 //! | [`sim`] | `dtt-sim` | the trace-driven timing simulator of the proposed hardware |
 //! | [`memsim`] | `dtt-memsim` | the cache-hierarchy substrate |
+//! | [`obs`] | `dtt-obs` | observability: lifecycle collection, metrics, trace timelines |
 //! | [`workloads`] | `dtt-workloads` | the fourteen SPEC-inspired benchmark kernels |
 //!
 //! See the repository README for the project overview, `examples/` for
@@ -41,6 +42,7 @@
 
 pub use dtt_core as core;
 pub use dtt_memsim as memsim;
+pub use dtt_obs as obs;
 pub use dtt_profile as profile;
 pub use dtt_sim as sim;
 pub use dtt_trace as trace;

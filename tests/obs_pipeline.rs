@@ -1,0 +1,152 @@
+//! End-to-end observability pipeline: run a real workload with the
+//! recorder on, then drive the drained events through every consumer —
+//! collector, Prometheus exposition, Chrome trace export + validation —
+//! and check the pieces agree with each other and with the runtime's own
+//! counters.
+
+use dtt::core::Config;
+use dtt::obs::chrome;
+use dtt::obs::{validate_chrome_trace, Json, ObsReport};
+use dtt::workloads::{suite, Scale};
+
+fn parser_run() -> (dtt::core::ObsRecording, dtt::workloads::DttRun) {
+    let w = suite(Scale::Test)
+        .into_iter()
+        .find(|w| w.name() == "parser")
+        .expect("parser is in the suite");
+    let run = w.run_dtt(Config::default().with_observability(true));
+    assert_eq!(run.digest, w.run_baseline(), "obs must not change results");
+    let rec = run.obs.clone().expect("observability was enabled");
+    (rec, run)
+}
+
+#[test]
+fn recording_is_present_and_balanced() {
+    let (rec, run) = parser_run();
+    assert!(!rec.events.is_empty(), "an instrumented run records events");
+    assert!(rec.accounting_balances(), "issued != delivered + dropped");
+    // Sequence numbers are unique and ascending in the merged stream.
+    assert!(rec.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    // A run without observability records nothing and reports None.
+    let w = suite(Scale::Test)
+        .into_iter()
+        .find(|w| w.name() == "parser")
+        .unwrap();
+    let off = w.run_dtt(Config::default());
+    assert!(off.obs.is_none());
+    assert_eq!(off.digest, run.digest);
+}
+
+#[test]
+fn collector_agrees_with_runtime_counters() {
+    let (rec, run) = parser_run();
+    let report = ObsReport::from_recording(&rec);
+    assert_eq!(report.events, rec.events.len() as u64);
+    let counters = run.stats.counters();
+    // With no drops, every lifecycle event of these kinds matches the
+    // runtime's own counters exactly; with drops the events are a subset.
+    let fired = report.count(dtt::core::EventKind::TriggerFired);
+    if rec.dropped == 0 {
+        assert_eq!(fired, counters.triggers_fired);
+        assert_eq!(
+            report.count(dtt::core::EventKind::BodyEnd),
+            counters.executions
+        );
+    } else {
+        assert!(fired <= counters.triggers_fired);
+    }
+    assert!(!report.regions.is_empty(), "parser touches tracked memory");
+    assert!(report.span_ns > 0);
+    assert!(report.summary_line().starts_with("obs:"));
+}
+
+#[test]
+fn prometheus_exposition_matches_the_snapshot() {
+    let (rec, run) = parser_run();
+    let report = ObsReport::from_recording(&rec);
+    let text = dtt::obs::prometheus::render(&run.stats, Some(&report));
+    // Spot-check a counter value against the snapshot it was rendered from.
+    let expected = format!(
+        "dtt_triggers_fired_total {}",
+        run.stats.counters().triggers_fired
+    );
+    assert!(text.contains(&expected), "missing `{expected}`");
+    assert!(text.contains("# TYPE dtt_obs_body_seconds histogram"));
+    let events_line = format!("dtt_obs_events {}", report.events);
+    assert!(text.contains(&events_line));
+}
+
+#[test]
+fn chrome_trace_validates_and_shows_tthread_tracks() {
+    let (rec, run) = parser_run();
+    let names: Vec<String> = run.tthreads.iter().map(|t| t.name.clone()).collect();
+    let text = chrome::render(&rec, &names);
+    let n = validate_chrome_trace(&text).expect("trace must validate");
+    assert!(n > 10, "only {n} trace events");
+    // The trace names the tthread tracks after the registered tthreads.
+    let doc = chrome::parse_json(&text).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let track_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(track_names.contains(&"main (stores)"));
+    assert!(
+        names
+            .iter()
+            .all(|n| track_names.iter().any(|t| t.contains(n.as_str()))),
+        "every registered tthread gets a named track: {track_names:?}"
+    );
+    // Instant store events live on the main track (tid 0).
+    assert!(events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("store.changed")
+            && e.get("tid").and_then(Json::as_num) == Some(0.0)
+    }));
+}
+
+#[test]
+fn parallel_timeline_shows_bodies_inside_the_store_stream() {
+    let w = suite(Scale::Test)
+        .into_iter()
+        .find(|w| w.name() == "parser")
+        .unwrap();
+    let run = w.run_dtt(Config::default().with_observability(true).with_workers(2));
+    assert_eq!(run.digest, w.run_baseline());
+    let rec = run.obs.expect("observability was enabled");
+    let text = chrome::render(&rec, &[]);
+    validate_chrome_trace(&text).expect("parallel trace validates");
+    let doc = chrome::parse_json(&text).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    // Body slices land on tthread tracks (tid > 0) whether the body ran
+    // detached on a worker or was stolen by the joiner.
+    let bodies: Vec<(f64, f64)> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("body"))
+        .map(|e| {
+            let ts = e.get("ts").unwrap().as_num().unwrap();
+            let dur = e.get("dur").unwrap().as_num().unwrap();
+            assert!(e.get("tid").unwrap().as_num().unwrap() > 0.0);
+            (ts, ts + dur)
+        })
+        .collect();
+    assert!(!bodies.is_empty());
+    // The maintenance stream keeps storing after bodies start executing:
+    // some body must begin before the main thread's last store. (Literal
+    // store-instant-inside-body-span overlap additionally needs a
+    // multi-core host; body begin-before-last-store holds regardless.)
+    let last_store = events
+        .iter()
+        .filter(|e| {
+            e.get("tid").and_then(Json::as_num) == Some(0.0)
+                && e.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("store."))
+        })
+        .filter_map(|e| e.get("ts").and_then(Json::as_num))
+        .fold(0.0f64, f64::max);
+    assert!(
+        bodies.iter().any(|&(start, _)| start < last_store),
+        "no tthread body started inside the main thread's store stream"
+    );
+}
