@@ -12,7 +12,18 @@
 //!   (oldest events overwritten once a ring laps, which is the designed
 //!   steady state for a capture window);
 //! * **on+drain** — enabled with a periodic collector drain, the
-//!   profiling-session pattern.
+//!   profiling-session pattern;
+//! * **on+faults armed** — a [`FaultPlan`] is installed with the
+//!   obs-publish point at rate 0, so every record takes the armed probe's
+//!   cold path but never fires;
+//! * **on+faults drawing** — the obs-publish point at the minimum nonzero
+//!   rate with a zero budget: every record draws from the shared SplitMix64
+//!   stream (a `fetch_add` on one cache line) and still never drops.
+//!
+//! The fault probes follow the same disabled-path contract as the obs
+//! hooks — one relaxed atomic load when no plan is installed — so the
+//! **off** row doubles as the "fault hooks compiled in but disarmed"
+//! measurement.
 //!
 //! The headline number is the off-vs-`store_throughput`-style cost in
 //! ns/store and the enabled multiplier. `--smoke` runs a CI-sized loop
@@ -21,6 +32,7 @@
 use std::time::Instant;
 
 use dtt_bench::Table;
+use dtt_core::fault::{FaultPlan, FaultPoint, ALWAYS};
 use dtt_core::{Config, Runtime};
 
 /// Elements in the hammered array (64 cache lines).
@@ -31,11 +43,34 @@ enum Mode {
     Off,
     On,
     OnDrain,
+    FaultsArmed,
+    FaultsDrawing,
 }
 
 /// Runs `iters` changing stores and returns (ns/store, events drained).
 fn run(mode: Mode, iters: usize) -> (f64, u64) {
-    let cfg = Config::default().with_observability(mode != Mode::Off);
+    let mut cfg = Config::default().with_observability(mode != Mode::Off);
+    match mode {
+        // Arm the layer via an off-path point so the obs-publish probe
+        // takes the cold path with rate 0 (no draw, no fire).
+        Mode::FaultsArmed => {
+            cfg = cfg.with_fault_plan(
+                FaultPlan::new(7)
+                    .with_rate(FaultPoint::WorkerSchedule, ALWAYS)
+                    .with_budget(FaultPoint::WorkerSchedule, 0),
+            );
+        }
+        // Minimum nonzero rate + zero budget: every record draws from the
+        // shared RNG, the rare rate-pass is then refused by the budget.
+        Mode::FaultsDrawing => {
+            cfg = cfg.with_fault_plan(
+                FaultPlan::new(7)
+                    .with_rate(FaultPoint::ObsPublish, 1)
+                    .with_budget(FaultPoint::ObsPublish, 0),
+            );
+        }
+        _ => {}
+    }
     let mut rt = Runtime::new(cfg, ());
     let xs = rt.alloc_array::<u64>(CHUNK).unwrap();
     let mut acc = rt.accessor();
@@ -88,6 +123,8 @@ fn main() {
     let (off_ns, _) = best_of(Mode::Off, iters, reps);
     let (on_ns, on_events) = best_of(Mode::On, iters, reps);
     let (drain_ns, drain_events) = best_of(Mode::OnDrain, iters, reps);
+    let (armed_ns, armed_events) = best_of(Mode::FaultsArmed, iters, reps);
+    let (draw_ns, draw_events) = best_of(Mode::FaultsDrawing, iters, reps);
 
     let mut table = Table::new(vec![
         "configuration".into(),
@@ -113,17 +150,36 @@ fn main() {
         format!("{:.2}x", drain_ns / off_ns),
         drain_events.to_string(),
     ]);
+    table.row(vec![
+        "obs on + faults armed".into(),
+        format!("{armed_ns:.1}"),
+        format!("{:.2}x", armed_ns / off_ns),
+        armed_events.to_string(),
+    ]);
+    table.row(vec![
+        "obs on + faults drawing".into(),
+        format!("{draw_ns:.1}"),
+        format!("{:.2}x", draw_ns / off_ns),
+        draw_events.to_string(),
+    ]);
     let mode = if smoke { " (smoke)" } else { "" };
     table.print(&format!(
         "observability overhead on the changing-store path{mode}"
     ));
     println!(
-        "disabled-path cost: {off_ns:.1} ns/store — the hook is a relaxed \
-         atomic load, compare against store_throughput's 1-thread sharded row"
+        "disabled-path cost: {off_ns:.1} ns/store — the obs hook and the \
+         fault probe are each a relaxed atomic load, compare against \
+         store_throughput's 1-thread sharded row"
     );
     println!(
         "enabled cost: +{:.1} ns/store ({:.0}% of the store path)",
         on_ns - off_ns,
         100.0 * (on_ns - off_ns) / off_ns
+    );
+    println!(
+        "armed fault probe: +{:.1} ns/store over obs on; drawing probe: \
+         +{:.1} ns/store",
+        armed_ns - on_ns,
+        draw_ns - on_ns
     );
 }

@@ -55,6 +55,8 @@ const VALUED: &[&str] = &[
     "out",
     "input",
     "tst",
+    "seed",
+    "runs",
 ];
 
 impl Args {

@@ -320,3 +320,48 @@ pub fn machine(args: &Args) -> Result<String, CliError> {
     .map_err(CliError::Args)?;
     Ok(format!("{}\n", machine_from_args(args)?))
 }
+
+/// `dtt-cli chaos [--seed N] [--runs K] [--no-shrink]`
+///
+/// Runs seeded randomized fault schedules against the runtime and checks
+/// the chaos invariants after each. On a violation the error report names
+/// the seed, the minimal shrunk fault schedule (unless `--no-shrink`), and
+/// a copy-paste replay command.
+pub fn chaos(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["seed", "runs", "no-shrink"])
+        .map_err(CliError::Args)?;
+    let seed = args.get_parsed("seed", 1u64)?;
+    let runs = args.get_parsed("runs", 8usize)?;
+    match dtt_chaos::run_many(seed, runs) {
+        Ok(summaries) => {
+            let mut out = String::new();
+            for s in &summaries {
+                let _ = writeln!(out, "{}", s.line());
+            }
+            let _ = writeln!(
+                out,
+                "chaos: {runs} run(s) from seed {seed} passed all invariants"
+            );
+            Ok(out)
+        }
+        Err(failure) => {
+            let mut report = failure.to_string();
+            if !args.flag("no-shrink") {
+                let minimal = dtt_chaos::shrink(&failure.config);
+                let armed: Vec<&str> = minimal
+                    .plan
+                    .armed_points()
+                    .into_iter()
+                    .map(|p| p.name())
+                    .collect();
+                let _ = write!(
+                    report,
+                    "\n  shrunk: ops={} armed=[{}]",
+                    minimal.ops,
+                    armed.join(", ")
+                );
+            }
+            Err(CliError::Chaos(report))
+        }
+    }
+}

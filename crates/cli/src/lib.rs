@@ -10,6 +10,7 @@
 //! dtt-cli replay --input FILE [simulate options]
 //! dtt-cli obs <metrics|timeline|top> <workload> [--scale S] [--workers N]
 //!                                               [--out FILE] [--top N]
+//! dtt-cli chaos [--seed N] [--runs K]        # seeded fault-injection runs
 //! dtt-cli machine                            # default simulated machine
 //! ```
 //!
@@ -40,6 +41,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// A trace file failed to decode.
     Trace(dtt_trace::ReadError),
+    /// A chaos run violated an invariant (the report carries the seed, the
+    /// shrunk schedule and a replay command).
+    Chaos(String),
 }
 
 impl fmt::Display for CliError {
@@ -57,6 +61,7 @@ impl fmt::Display for CliError {
             }
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Chaos(report) => write!(f, "{report}"),
         }
     }
 }
@@ -92,6 +97,7 @@ USAGE:
   dtt-cli obs metrics  <workload>  [--scale S] [--workers N]
   dtt-cli obs timeline <workload>  [--scale S] [--workers N] [--out FILE]
   dtt-cli obs top      <workload>  [--scale S] [--workers N] [--top N]
+  dtt-cli chaos               [--seed N] [--runs K] [--no-shrink]
   dtt-cli machine
   dtt-cli help
 ";
@@ -117,6 +123,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "trace" => commands::trace_cmd(&args),
         "replay" => commands::replay(&args),
         "obs" => commands::obs(&args),
+        "chaos" => commands::chaos(&args),
         "machine" => commands::machine(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
@@ -225,6 +232,24 @@ mod tests {
         assert!(out.starts_with("obs:"));
         assert!(out.contains("per-tthread"));
         assert!(out.contains("hot regions"));
+    }
+
+    #[test]
+    fn chaos_runs_pinned_seeds_and_reports() {
+        let out = run(&["chaos", "--seed", "101", "--runs", "2"]).unwrap();
+        assert!(
+            out.contains("seed  101: ok"),
+            "missing per-run line:\n{out}"
+        );
+        assert!(out.contains("2 run(s) from seed 101 passed all invariants"));
+    }
+
+    #[test]
+    fn chaos_rejects_foreign_options() {
+        assert!(matches!(
+            run(&["chaos", "--workers", "2"]),
+            Err(CliError::Args(ArgError::UnknownOption(_)))
+        ));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Runtime configuration.
 
+use std::time::Duration;
+
 use crate::addr::Granularity;
+use crate::fault::FaultPlan;
 
 /// What the runtime does when a trigger fires while the thread queue is full.
 ///
@@ -14,6 +17,12 @@ pub enum OverflowPolicy {
     ExecuteInline,
     /// Leave the tthread marked triggered; it runs at the next `join`.
     DeferToJoin,
+    /// Apply backpressure: the triggering thread drains the oldest pending
+    /// tthreads inline (up to [`Config::backpressure_assist_budget`] per
+    /// overflow) to free a slot. If the queue is still full afterwards the
+    /// trigger is *shed* — left marked triggered for the next `join` — and
+    /// counted in `overflow_sheds`.
+    Backpressure,
 }
 
 /// Configuration for a [`crate::runtime::Runtime`].
@@ -87,6 +96,25 @@ pub struct Config {
     /// of two; the oldest events are overwritten (and counted as dropped)
     /// when a ring overflows between drains.
     pub obs_ring_capacity: usize,
+    /// Deterministic fault schedule (see [`crate::fault`]). `None` (the
+    /// default) leaves every injection probe as a single relaxed atomic
+    /// load that never fires.
+    pub fault_plan: Option<FaultPlan>,
+    /// Wall-clock deadline for a single tthread body execution (detached
+    /// worker executor only). A body that overruns has its write log
+    /// discarded at commit, the tthread is flagged timed-out, and its next
+    /// `join` returns [`crate::error::Error::TthreadTimedOut`]. `None`
+    /// (the default) disables the deadline.
+    pub body_deadline: Option<Duration>,
+    /// Maximum times a worker re-runs a tthread's body because a trigger
+    /// landed during the previous run (the commit→retrigger loop). When
+    /// the cap is hit the tthread is deferred to its next `join` instead,
+    /// so adversarial stores cannot livelock a worker. Counted in
+    /// `commit_retries` / `commit_retry_exhausted`.
+    pub commit_retry_cap: u32,
+    /// How many pending tthreads the triggering thread will drain inline
+    /// per overflow under [`OverflowPolicy::Backpressure`] before shedding.
+    pub backpressure_assist_budget: u32,
 }
 
 fn default_mem_shards() -> usize {
@@ -117,6 +145,10 @@ impl Default for Config {
             mem_shards: default_mem_shards(),
             observability: false,
             obs_ring_capacity: 1024,
+            fault_plan: None,
+            body_deadline: None,
+            commit_retry_cap: 8,
+            backpressure_assist_budget: 4,
         }
     }
 }
@@ -202,6 +234,31 @@ impl Config {
         self
     }
 
+    /// Installs a deterministic fault schedule (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the per-body wall-clock deadline (detached executor only).
+    pub fn with_body_deadline(mut self, deadline: Duration) -> Self {
+        self.body_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the commit→retrigger retry cap (`0` defers on the first
+    /// post-commit retrigger).
+    pub fn with_commit_retry_cap(mut self, cap: u32) -> Self {
+        self.commit_retry_cap = cap;
+        self
+    }
+
+    /// Sets the inline-drain budget for [`OverflowPolicy::Backpressure`].
+    pub fn with_backpressure_assist_budget(mut self, budget: u32) -> Self {
+        self.backpressure_assist_budget = budget;
+        self
+    }
+
     /// Whether this configuration selects the deferred (single-threaded)
     /// executor.
     pub fn is_deferred(&self) -> bool {
@@ -225,6 +282,10 @@ mod tests {
         assert!(cfg.mem_shards <= 256);
         assert!(!cfg.observability);
         assert_eq!(cfg.obs_ring_capacity, 1024);
+        assert_eq!(cfg.fault_plan, None);
+        assert_eq!(cfg.body_deadline, None);
+        assert_eq!(cfg.commit_retry_cap, 8);
+        assert_eq!(cfg.backpressure_assist_budget, 4);
     }
 
     #[test]
@@ -240,7 +301,11 @@ mod tests {
             .with_arena_capacity(1024)
             .with_mem_shards(5)
             .with_observability(true)
-            .with_obs_ring_capacity(100);
+            .with_obs_ring_capacity(100)
+            .with_fault_plan(crate::fault::FaultPlan::new(11))
+            .with_body_deadline(Duration::from_millis(250))
+            .with_commit_retry_cap(3)
+            .with_backpressure_assist_budget(2);
         assert_eq!(cfg.granularity, Granularity::Line);
         assert!(!cfg.suppress_silent_stores);
         assert!(!cfg.coalesce);
@@ -263,6 +328,10 @@ mod tests {
                 .obs_ring_capacity,
             2
         );
+        assert_eq!(cfg.fault_plan.as_ref().map(|p| p.seed), Some(11));
+        assert_eq!(cfg.body_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(cfg.commit_retry_cap, 3);
+        assert_eq!(cfg.backpressure_assist_budget, 2);
     }
 
     #[test]

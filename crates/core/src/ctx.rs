@@ -536,8 +536,16 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     fn enqueue(&mut self, id: TthreadId) {
         use crate::queue::PushOutcome;
         let overflow = self.inner.cfg.overflow;
+        // Injected saturation: report the queue full without consuming a
+        // slot, driving the overflow policy on an otherwise-healthy queue.
+        let forced_full = self.inner.fault.fire(crate::fault::FaultPoint::Enqueue);
         let state = self.locked();
-        match state.queue.push(id) {
+        let outcome = if forced_full {
+            PushOutcome::Full
+        } else {
+            state.queue.push(id)
+        };
+        match outcome {
             PushOutcome::Enqueued => {
                 state.tst.entry_mut(id).status = TthreadStatus::Queued;
                 state.stats.enqueues += 1;
@@ -563,9 +571,49 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                     OverflowPolicy::DeferToJoin => {
                         self.locked().tst.entry_mut(id).status = TthreadStatus::Triggered;
                     }
+                    OverflowPolicy::Backpressure => self.backpressure(id),
                 }
             }
         }
+    }
+
+    /// Queue-overflow backpressure: the triggering thread assists by
+    /// draining the oldest pending tthreads inline (FIFO-fair — the victim
+    /// was enqueued first) to free a slot for `id`. If the assist budget
+    /// runs out with the queue still full, the trigger is *shed*: `id` is
+    /// left `Triggered` for its next join and the shed is counted.
+    fn backpressure(&mut self, id: TthreadId) {
+        use crate::queue::PushOutcome;
+        let budget = self.inner.cfg.backpressure_assist_budget;
+        for _ in 0..budget {
+            let Some(victim) = self.locked().queue.pop() else {
+                break;
+            };
+            self.locked().stats.backpressure_waits += 1;
+            self.run_inline(victim);
+            match self.locked().queue.push(id) {
+                PushOutcome::Enqueued => {
+                    let state = self.locked();
+                    state.tst.entry_mut(id).status = TthreadStatus::Queued;
+                    state.stats.enqueues += 1;
+                    let occupancy = state.queue.len() as u64;
+                    self.obs_status(EventKind::TriggerEnqueued, id, occupancy);
+                    self.inner.work_cv.notify_one();
+                    return;
+                }
+                PushOutcome::Coalesced => {
+                    self.locked().stats.coalesced_triggers += 1;
+                    self.obs_status(EventKind::Coalesced, id, 0);
+                    return;
+                }
+                PushOutcome::Full => {}
+            }
+        }
+        let state = self.locked();
+        state.stats.overflow_sheds += 1;
+        let capacity = state.queue.capacity() as u64;
+        state.tst.entry_mut(id).status = TthreadStatus::Triggered;
+        self.obs_status(EventKind::OverflowShed, id, capacity);
     }
 
     /// Execute tthread `id` on the current thread, re-running while

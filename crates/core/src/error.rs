@@ -34,6 +34,16 @@ pub enum Error {
     /// The tthread's body panicked during a previous execution; its outputs
     /// are suspect until the poison is cleared.
     TthreadPoisoned(TthreadId),
+    /// The tthread's body overran the configured wall-clock deadline; its
+    /// write log was discarded and its outputs are stale until the flag is
+    /// cleared (see [`crate::runtime::Runtime::clear_timeout`]).
+    TthreadTimedOut(TthreadId),
+    /// A graceful shutdown drained past its timeout with worker threads
+    /// still running.
+    WorkersStillActive {
+        /// Number of workers that had not finished at the deadline.
+        active: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -57,6 +67,15 @@ impl fmt::Display for Error {
             }
             Error::TthreadPoisoned(id) => {
                 write!(f, "tthread {id} panicked during a previous execution")
+            }
+            Error::TthreadTimedOut(id) => {
+                write!(f, "tthread {id} exceeded its body deadline; the execution was discarded")
+            }
+            Error::WorkersStillActive { active } => {
+                write!(
+                    f,
+                    "shutdown timed out with {active} worker thread(s) still active"
+                )
             }
         }
     }
@@ -87,6 +106,8 @@ mod tests {
             Error::NoSuchWatch(TthreadId::new(0)),
             Error::CascadeDepthExceeded(32),
             Error::TthreadPoisoned(TthreadId::new(1)),
+            Error::TthreadTimedOut(TthreadId::new(2)),
+            Error::WorkersStillActive { active: 2 },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -94,6 +94,7 @@
 //! | [`tthread`] | tthread ids and the thread status table |
 //! | [`queue`] | the bounded coalescing pending queue |
 //! | [`obs`] | lock-free lifecycle event rings (observability) |
+//! | [`fault`] | seeded deterministic fault injection ([`FaultPlan`]) |
 //! | [`ctx`] | the [`Ctx`] store path and status machine |
 //! | [`accessor`] | concurrent tracked access off the state lock |
 //! | [`runtime`] | the [`Runtime`] façade and executors |
@@ -107,6 +108,7 @@ pub mod addr;
 pub mod config;
 pub mod ctx;
 pub mod error;
+pub mod fault;
 pub mod handle;
 pub mod heap;
 pub(crate) mod mem;
@@ -124,6 +126,7 @@ pub use addr::{Addr, AddrRange, Granularity};
 pub use config::{Config, OverflowPolicy};
 pub use ctx::Ctx;
 pub use error::{Error, Result};
+pub use fault::{FaultPlan, FaultPoint};
 pub use handle::{Tracked, TrackedArray, TrackedMatrix};
 pub use obs::{EventKind, ObsEvent, ObsRecording, RingStats};
 pub use report::{RuntimeReport, TthreadReportRow};

@@ -37,6 +37,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::fault::{FaultLayer, FaultPoint};
 use crate::tthread::TthreadId;
 
 /// Sentinel for events not attributed to any tthread (raw store events).
@@ -83,11 +84,22 @@ pub enum EventKind {
     /// A join skipped the computation entirely — the paper's redundancy
     /// elimination observed at its consumption point.
     Skip = 12,
+    /// A tthread body overran its configured wall-clock deadline; the
+    /// execution's write log was discarded. Payload: the body's elapsed
+    /// time in nanoseconds.
+    BodyTimeout = 13,
+    /// A detached execution exhausted the commit retry cap and was deferred
+    /// to its next join. Payload: the configured retry cap.
+    RetryExhausted = 14,
+    /// A backpressure-mode trigger exhausted its assist budget and shed the
+    /// enqueue (deferring the tthread to its next join). Payload: the queue
+    /// capacity.
+    OverflowShed = 15,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Store,
         EventKind::ChangeDetected,
         EventKind::TriggerFired,
@@ -101,6 +113,9 @@ impl EventKind {
         EventKind::CommitDone,
         EventKind::Join,
         EventKind::Skip,
+        EventKind::BodyTimeout,
+        EventKind::RetryExhausted,
+        EventKind::OverflowShed,
     ];
 
     /// Decodes a discriminant byte.
@@ -124,6 +139,9 @@ impl EventKind {
             EventKind::CommitDone => "commit_done",
             EventKind::Join => "join",
             EventKind::Skip => "skip",
+            EventKind::BodyTimeout => "body_timeout",
+            EventKind::RetryExhausted => "retry_exhausted",
+            EventKind::OverflowShed => "overflow_shed",
         }
     }
 }
@@ -298,6 +316,10 @@ pub(crate) struct ObsRecorder {
     /// Serializes drains (writers are unaffected).
     drain_lock: Mutex<()>,
     epoch: Instant,
+    /// Fault-injection layer, attached by the runtime at construction. An
+    /// [`FaultPoint::ObsPublish`] fault drops the event *before* its
+    /// sequence number is issued, so accounting stays balanced.
+    fault: OnceLock<std::sync::Arc<FaultLayer>>,
 }
 
 impl ObsRecorder {
@@ -312,7 +334,15 @@ impl ObsRecorder {
             delivered: AtomicU64::new(0),
             drain_lock: Mutex::new(()),
             epoch: Instant::now(),
+            fault: OnceLock::new(),
         }
+    }
+
+    /// Attaches the runtime's fault-injection layer. Idempotent: only the
+    /// first attachment sticks (tests construct bare recorders with no
+    /// layer at all, which behaves as permanently disarmed).
+    pub(crate) fn attach_fault(&self, layer: std::sync::Arc<FaultLayer>) {
+        let _ = self.fault.set(layer);
     }
 
     /// The hot-path gate: one relaxed load. Every instrumentation hook in
@@ -359,6 +389,13 @@ impl ObsRecorder {
         let Some(rings) = self.rings.get() else {
             return;
         };
+        // An injected publish fault suppresses the event before a sequence
+        // number is drawn, so `issued == delivered + dropped` still holds.
+        if let Some(fault) = self.fault.get() {
+            if fault.fire(FaultPoint::ObsPublish) {
+                return;
+            }
+        }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let tid = tthread.map_or(NO_TTHREAD, |t| t.index() as u64);
         rings[ring].record(seq, self.now_ns(), kind, tid, payload);

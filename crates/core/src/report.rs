@@ -20,6 +20,9 @@ pub struct TthreadReportRow {
     pub status: TthreadStatus,
     /// Whether a previous execution panicked.
     pub poisoned: bool,
+    /// Whether a previous execution overran the body deadline (its write
+    /// log was discarded).
+    pub timed_out: bool,
     /// Executions so far.
     pub executions: u64,
     /// Completed-execution epoch (see [`crate::tthread::TstEntry::epoch`]).
@@ -53,6 +56,28 @@ pub struct RuntimeReport {
     pub stats: StatsSnapshot,
 }
 
+impl RuntimeReport {
+    /// Names of tthreads currently flagged poisoned (a previous execution
+    /// panicked).
+    pub fn poisoned(&self) -> Vec<&str> {
+        self.tthreads
+            .iter()
+            .filter(|t| t.poisoned)
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Names of tthreads currently flagged timed out (a previous execution
+    /// overran the body deadline).
+    pub fn timed_out(&self) -> Vec<&str> {
+        self.tthreads
+            .iter()
+            .filter(|t| t.timed_out)
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+}
+
 impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -69,10 +94,11 @@ impl fmt::Display for RuntimeReport {
         for t in &self.tthreads {
             writeln!(
                 f,
-                "  {:<24} {:<9}{} exec {:<8} epoch {:<8} skip {:<8} trig {:<8}",
+                "  {:<24} {:<9}{}{} exec {:<8} epoch {:<8} skip {:<8} trig {:<8}",
                 t.name,
                 t.status,
                 if t.poisoned { " POISONED" } else { "" },
+                if t.timed_out { " TIMED-OUT" } else { "" },
                 t.executions,
                 t.epoch,
                 t.skips,
@@ -131,5 +157,7 @@ mod tests {
         let report = rt.report();
         assert!(report.tthreads[0].poisoned);
         assert!(report.to_string().contains("POISONED"));
+        assert_eq!(report.poisoned(), vec!["bad"]);
+        assert!(report.timed_out().is_empty());
     }
 }

@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
@@ -16,6 +17,7 @@ use crate::addr::AddrRange;
 use crate::config::Config;
 use crate::ctx::{Ctx, LoggedStore};
 use crate::error::{Error, Result};
+use crate::fault::{FaultLayer, FaultPoint};
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
 use crate::heap::TrackedHeap;
 use crate::mem::ShardedMem;
@@ -100,6 +102,10 @@ pub(crate) struct Inner<U> {
     /// Lifecycle event recorder (see [`crate::obs`]). Every hook checks
     /// `obs.on()` — one relaxed load — before doing any observability work.
     pub(crate) obs: ObsRecorder,
+    /// Deterministic fault engine (see [`crate::fault`]). Every injection
+    /// probe checks `fault.fire()` — one relaxed load when no plan is
+    /// installed. Shared with the obs recorder for the ring-publish probe.
+    pub(crate) fault: Arc<FaultLayer>,
     tthreads: RwLock<Vec<TthreadEntry<U>>>,
     pub(crate) work_cv: Condvar,
     pub(crate) done_cv: Condvar,
@@ -227,6 +233,11 @@ impl<U: Send + 'static> Runtime<U> {
         if cfg.observability {
             obs.set_enabled(true);
         }
+        let fault = Arc::new(match &cfg.fault_plan {
+            Some(plan) => FaultLayer::from_plan(plan),
+            None => FaultLayer::disarmed(),
+        });
+        obs.attach_fault(Arc::clone(&fault));
         let workers = cfg.workers;
         let inner = Arc::new(Inner {
             cfg,
@@ -236,6 +247,7 @@ impl<U: Send + 'static> Runtime<U> {
             watch_filter: AtomicU64::new(0),
             access,
             obs,
+            fault,
             tthreads: RwLock::new(Vec::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -426,9 +438,11 @@ impl<U: Send + 'static> Runtime<U> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownTthread`] for a foreign id and
+    /// Returns [`Error::UnknownTthread`] for a foreign id,
     /// [`Error::TthreadPoisoned`] if a previous execution of the tthread
-    /// panicked (see [`Runtime::clear_poison`]).
+    /// panicked (see [`Runtime::clear_poison`]) and
+    /// [`Error::TthreadTimedOut`] if a previous execution overran the
+    /// configured body deadline (see [`Runtime::clear_timeout`]).
     pub fn join(&mut self, tthread: TthreadId) -> Result<JoinOutcome> {
         let mut state = self.inner.state.lock();
         if !state.tst.contains(tthread) {
@@ -438,6 +452,9 @@ impl<U: Send + 'static> Runtime<U> {
         loop {
             if state.tst.entry(tthread).poisoned {
                 return Err(Error::TthreadPoisoned(tthread));
+            }
+            if state.tst.entry(tthread).timed_out {
+                return Err(Error::TthreadTimedOut(tthread));
             }
             match state.tst.entry(tthread).status {
                 TthreadStatus::Clean => {
@@ -571,13 +588,38 @@ impl<U: Send + 'static> Runtime<U> {
         Ok(())
     }
 
+    /// Clears the timed-out flag set when a tthread body overran the
+    /// configured deadline, making joins on it possible again. The tthread
+    /// is left clean with its *pre-timeout* outputs (the overrunning
+    /// execution's write log was discarded); call [`Runtime::force`]
+    /// afterwards if its outputs must be rebuilt from current inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id.
+    pub fn clear_timeout(&mut self, tthread: TthreadId) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        state.tst.entry_mut(tthread).timed_out = false;
+        Ok(())
+    }
+
+    /// Per-[`FaultPoint`] injected-fault counts, indexed by discriminant
+    /// (all zero unless a [`Config::fault_plan`] is installed).
+    pub fn fault_injections(&self) -> [u64; FaultPoint::COUNT] {
+        self.inner.fault.counts()
+    }
+
     /// Runs `tthread` on the calling thread right now, regardless of its
     /// trigger state (waits first if a worker is mid-execution).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownTthread`] for a foreign id and
-    /// [`Error::TthreadPoisoned`] after a panicked execution.
+    /// Returns [`Error::UnknownTthread`] for a foreign id,
+    /// [`Error::TthreadPoisoned`] after a panicked execution and
+    /// [`Error::TthreadTimedOut`] after a deadline-flagged one.
     pub fn force(&mut self, tthread: TthreadId) -> Result<()> {
         let mut state = self.inner.state.lock();
         if !state.tst.contains(tthread) {
@@ -585,6 +627,9 @@ impl<U: Send + 'static> Runtime<U> {
         }
         if state.tst.entry(tthread).poisoned {
             return Err(Error::TthreadPoisoned(tthread));
+        }
+        if state.tst.entry(tthread).timed_out {
+            return Err(Error::TthreadTimedOut(tthread));
         }
         loop {
             match state.tst.entry(tthread).status {
@@ -684,6 +729,7 @@ impl<U: Send + 'static> Runtime<U> {
                         .unwrap_or_default(),
                     status: entry.status,
                     poisoned: entry.poisoned,
+                    timed_out: entry.timed_out,
                     executions: entry.executions,
                     epoch: entry.epoch,
                     skips: entry.skips,
@@ -724,16 +770,80 @@ impl<U: Send + 'static> Runtime<U> {
 
     /// Shuts the workers down and returns the tracked heap and user state.
     ///
-    /// Pending (queued but unexecuted) tthreads are *not* run; call
-    /// [`Runtime::join_all`] first if their outputs matter.
+    /// Blocks until every worker has exited (a worker mid-body finishes its
+    /// current execution first). Pending (queued but unexecuted) tthreads
+    /// are *not* run; call [`Runtime::join_all`] first if their outputs
+    /// matter. For a bounded wait use [`Runtime::shutdown`].
     pub fn into_state(self) -> (TrackedHeap, U) {
-        let Runtime { inner, pool } = self;
-        drop(pool); // joins the workers, releasing their Arc clones
-        let inner = Arc::try_unwrap(inner)
-            .unwrap_or_else(|_| panic!("worker threads still hold the runtime"));
+        self.teardown(None)
+            .expect("workers joined without a deadline; no references can remain")
+    }
+
+    /// Gracefully shuts the runtime down, waiting at most `timeout` for the
+    /// workers to drain, and returns the tracked heap and user state.
+    ///
+    /// Pending tthreads are *not* run (see [`Runtime::into_state`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WorkersStillActive`] if some worker is still mid-
+    /// execution at the deadline. The stragglers are detached — they exit
+    /// on their own once their current body finishes and they observe the
+    /// shutdown flag — but the heap and user state are torn down with them
+    /// and cannot be returned.
+    pub fn shutdown(self, timeout: Duration) -> Result<(TrackedHeap, U)> {
+        self.teardown(Some(timeout))
+    }
+
+    fn teardown(self, timeout: Option<Duration>) -> Result<(TrackedHeap, U)> {
+        let Runtime { inner, mut pool } = self;
+        let handles: Vec<_> = pool.handles.drain(..).collect();
+        drop(pool); // handles drained: only releases the pool's Arc clone
+        if !handles.is_empty() {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            {
+                // Take the lock so no worker misses the flag between its
+                // check and its wait.
+                let _state = inner.state.lock();
+                inner.work_cv.notify_all();
+            }
+            match timeout {
+                None => {
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                }
+                Some(timeout) => {
+                    let deadline = Instant::now() + timeout;
+                    let mut remaining = handles;
+                    loop {
+                        remaining.retain(|h| !h.is_finished());
+                        // A finished worker may not have released its Arc
+                        // clone yet; wait for the count too so the
+                        // try_unwrap below cannot race a clean drain.
+                        if remaining.is_empty() && Arc::strong_count(&inner) == 1 {
+                            break;
+                        }
+                        if Instant::now() >= deadline {
+                            let active = remaining
+                                .len()
+                                .max(Arc::strong_count(&inner).saturating_sub(1));
+                            drop(remaining); // detach the stragglers
+                            return Err(Error::WorkersStillActive { active });
+                        }
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        let inner = Arc::try_unwrap(inner).map_err(|arc| Error::WorkersStillActive {
+            // One count is the `arc` binding itself; the rest are workers
+            // that finished their loop but have not fully exited yet.
+            active: Arc::strong_count(&arc).saturating_sub(1),
+        })?;
         let heap = inner.mem.snapshot();
         let state = inner.state.into_inner();
-        (heap, state.user)
+        Ok((heap, state.user))
     }
 }
 
@@ -756,6 +866,14 @@ fn worker_loop<U: Send + 'static>(inner: Arc<Inner<U>>) {
             inner.work_cv.wait(&mut state);
             continue;
         };
+        if inner.fault.fire(FaultPoint::Dequeue) {
+            // Injected dequeue rejection: push the tthread straight back
+            // (the slot we just freed is still ours — the state lock is
+            // held) and retry, exercising the requeue path. Fire budgets
+            // keep an always-on rate from spinning forever.
+            let _ = state.queue.push(id);
+            continue;
+        }
         let func = inner.tthread_fn(id);
         if inner.cfg.detached_execution {
             state = run_detached(&inner, state, id, &func);
@@ -775,6 +893,7 @@ fn run_detached<'a, U: Send + 'static>(
     id: TthreadId,
     func: &TthreadFn<U>,
 ) -> MutexGuard<'a, State<U>> {
+    let mut retries: u32 = 0;
     loop {
         state.tst.entry_mut(id).status = TthreadStatus::Running;
         state.tst.entry_mut(id).retrigger = false;
@@ -784,6 +903,13 @@ fn run_detached<'a, U: Send + 'static>(
         let snap = inner.mem.snapshot();
         drop(state);
 
+        // Injected scheduling delay: the tthread is already Running (a join
+        // waits for it rather than stealing it), so stretching this gap
+        // widens trigger/join races without risking double execution.
+        if inner.fault.fire(FaultPoint::WorkerSchedule) {
+            inner.fault.delay();
+        }
+
         let obs_on = inner.obs.on();
         let body_t0 = if obs_on {
             let ring = inner.obs.status_ring();
@@ -792,14 +918,39 @@ fn run_detached<'a, U: Send + 'static>(
         } else {
             0
         };
+        let deadline_t0 = inner.cfg.body_deadline.map(|_| Instant::now());
         // The body runs entirely off the state lock, against the snapshot;
         // main-thread `with`/`join` calls proceed concurrently.
         let mut ctx = Ctx::detached(snap, inner, 1);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)));
+        let outcome = if inner.fault.fire(FaultPoint::BodyStart) {
+            // Injected body failure: behave exactly like a panicking body
+            // (the tthread gets poisoned below) without unwinding through
+            // the panic hook and spamming stderr.
+            Err(Box::new("injected body-start fault") as Box<dyn std::any::Any + Send>)
+        } else {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
+        };
+        // Deadline check covers the body only, before any injected commit
+        // delay; a panic takes precedence over a timeout below.
+        let overran = match (deadline_t0, inner.cfg.body_deadline) {
+            (Some(t0), Some(limit)) => {
+                let elapsed = t0.elapsed();
+                (elapsed > limit).then_some(elapsed)
+            }
+            _ => None,
+        };
         if obs_on {
             let ring = inner.obs.status_ring();
             let dur = inner.obs.now_ns().saturating_sub(body_t0);
             inner.obs.record(ring, EventKind::BodyEnd, Some(id), dur);
+        }
+        // Injected commit-replay delay: stretches the window between body
+        // end and commit, multiplying commit conflicts and retriggers.
+        // Runs before the relock unless the body already took the user-
+        // state lock, in which case it stretches the critical section —
+        // exactly the slow-commit behaviour worth chaos-testing.
+        if inner.fault.fire(FaultPoint::CommitReplay) {
+            inner.fault.delay();
         }
         let (guard, log, delta) = ctx.into_detached_parts();
         // If the body touched user state it already holds the lock; reuse
@@ -812,6 +963,29 @@ fn run_detached<'a, U: Send + 'static>(
             // tthreads; the next join reports the failure. Nothing the body
             // stored is published — a detached execution is atomic.
             poison(&mut state, id);
+            return state;
+        }
+
+        if let Some(elapsed) = overran {
+            // Deadline overrun: discard the write log — a timed-out body
+            // never commits — and flag the tthread; the next join reports
+            // `TthreadTimedOut`. The access-side counters still merge (the
+            // loads/stores really happened, against the snapshot).
+            inner.access.merge_delta(&delta);
+            state.stats.body_timeouts += 1;
+            let entry = state.tst.entry_mut(id);
+            entry.timed_out = true;
+            entry.retrigger = false;
+            entry.status = TthreadStatus::Clean;
+            entry.completed_since_join = false;
+            if inner.obs.on() {
+                inner.obs.record(
+                    inner.obs.status_ring(),
+                    EventKind::BodyTimeout,
+                    Some(id),
+                    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
             return state;
         }
 
@@ -845,8 +1019,14 @@ fn run_detached<'a, U: Send + 'static>(
         state.stats.executions += 1;
         state.stats.worker_executions += 1;
         state.stats.detached_executions += 1;
+        let force_retrigger = inner.fault.fire(FaultPoint::Retrigger);
         let entry = state.tst.entry_mut(id);
         entry.executions += 1;
+        if force_retrigger {
+            // Injected retrigger: pretend a trigger landed during the body,
+            // driving the bounded retry loop below.
+            entry.retrigger = true;
+        }
         if !entry.retrigger {
             entry.status = TthreadStatus::Clean;
             entry.completed_since_join = true;
@@ -855,7 +1035,26 @@ fn run_detached<'a, U: Send + 'static>(
         }
         // A trigger landed while the body ran (or its own commit
         // retriggered it): the snapshot may be stale, so go around again
-        // with a fresh one.
+        // with a fresh one — but only up to the configured cap, so
+        // adversarial store rates cannot livelock this worker.
+        if retries >= inner.cfg.commit_retry_cap {
+            state.stats.commit_retry_exhausted += 1;
+            let entry = state.tst.entry_mut(id);
+            entry.retrigger = false;
+            entry.status = TthreadStatus::Triggered;
+            entry.completed_since_join = false;
+            if inner.obs.on() {
+                inner.obs.record(
+                    inner.obs.status_ring(),
+                    EventKind::RetryExhausted,
+                    Some(id),
+                    u64::from(inner.cfg.commit_retry_cap),
+                );
+            }
+            return state;
+        }
+        retries += 1;
+        state.stats.commit_retries += 1;
     }
 }
 
@@ -911,6 +1110,7 @@ fn run_attached<U: Send + 'static>(
     id: TthreadId,
     func: &TthreadFn<U>,
 ) {
+    let mut retries: u32 = 0;
     loop {
         state.tst.entry_mut(id).status = TthreadStatus::Running;
         state.tst.entry_mut(id).retrigger = false;
@@ -922,7 +1122,9 @@ fn run_attached<U: Send + 'static>(
         } else {
             0
         };
-        let outcome = {
+        let outcome = if inner.fault.fire(FaultPoint::BodyStart) {
+            Err(Box::new("injected body-start fault") as Box<dyn std::any::Any + Send>)
+        } else {
             let mut ctx = Ctx::new(state, inner, 1);
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
         };
@@ -937,14 +1139,37 @@ fn run_attached<U: Send + 'static>(
         }
         state.stats.executions += 1;
         state.stats.worker_executions += 1;
+        let force_retrigger = inner.fault.fire(FaultPoint::Retrigger);
         let entry = state.tst.entry_mut(id);
         entry.executions += 1;
+        if force_retrigger {
+            entry.retrigger = true;
+        }
         if !entry.retrigger {
             entry.status = TthreadStatus::Clean;
             entry.completed_since_join = true;
             entry.epoch += 1;
             break;
         }
+        // Same bounded go-around as the detached executor.
+        if retries >= inner.cfg.commit_retry_cap {
+            state.stats.commit_retry_exhausted += 1;
+            let entry = state.tst.entry_mut(id);
+            entry.retrigger = false;
+            entry.status = TthreadStatus::Triggered;
+            entry.completed_since_join = false;
+            if inner.obs.on() {
+                inner.obs.record(
+                    inner.obs.status_ring(),
+                    EventKind::RetryExhausted,
+                    Some(id),
+                    u64::from(inner.cfg.commit_retry_cap),
+                );
+            }
+            break;
+        }
+        retries += 1;
+        state.stats.commit_retries += 1;
     }
 }
 
@@ -1369,6 +1594,144 @@ mod tests {
             tts.iter().map(|&t| rt.status(t).unwrap()).collect()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn shutdown_under_load_errors_instead_of_panicking() {
+        use std::sync::atomic::AtomicBool;
+        let cfg = deferred().with_workers(1);
+        let mut rt = Runtime::new(cfg, ());
+        let x = rt.alloc(0u32).unwrap();
+        let started = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&started);
+        let tt = rt.register("slow", move |_| {
+            flag.store(true, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(200));
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 1);
+        // Wait until the worker is provably inside the body, then shut
+        // down with a deadline it cannot meet.
+        while !started.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        match rt.shutdown(Duration::from_millis(1)) {
+            Err(Error::WorkersStillActive { active }) => assert!(active >= 1),
+            other => panic!("expected WorkersStillActive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_with_drained_workers_returns_state() {
+        let cfg = deferred().with_workers(2);
+        let mut rt = Runtime::new(cfg, 7u32);
+        let x = rt.alloc(3u8).unwrap();
+        let tt = rt.register("t", |ctx| *ctx.user_mut() += 1);
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 9);
+        rt.join(tt).unwrap();
+        let (heap, user) = rt.shutdown(Duration::from_secs(5)).unwrap();
+        assert_eq!(heap.load::<u8>(x.addr()), 9);
+        assert_eq!(user, 8);
+    }
+
+    #[test]
+    fn body_deadline_discards_the_write_log() {
+        use std::sync::atomic::AtomicBool;
+        let cfg = deferred()
+            .with_workers(1)
+            .with_body_deadline(Duration::from_millis(5));
+        let mut rt = Runtime::new(cfg, ());
+        let x = rt.alloc(0u32).unwrap();
+        let y = rt.alloc(0u32).unwrap();
+        let started = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&started);
+        let tt = rt.register("overrun", move |ctx| {
+            flag.store(true, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(50));
+            ctx.set(y, 99);
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 1);
+        // Only the worker path enforces the deadline; make sure it (not a
+        // stealing join) runs the body.
+        while !started.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(matches!(rt.join(tt), Err(Error::TthreadTimedOut(id)) if id == tt));
+        // The overrunning execution never committed.
+        assert_eq!(rt.read(y), 0);
+        assert_eq!(rt.stats().counters().body_timeouts, 1);
+        assert!(matches!(rt.force(tt), Err(Error::TthreadTimedOut(_))));
+        // Recovery mirrors poisoning: clear the flag, then force rebuilds.
+        rt.clear_timeout(tt).unwrap();
+        rt.force(tt).unwrap();
+        assert_eq!(rt.read(y), 99);
+        let report = rt.report();
+        assert_eq!(rt.stats().counters().body_timeouts, 1);
+        assert!(report.timed_out().is_empty());
+    }
+
+    #[test]
+    fn injected_retrigger_hits_the_retry_cap() {
+        use crate::fault::{FaultPlan, ALWAYS};
+        let plan = FaultPlan::new(7).with_rate(FaultPoint::Retrigger, ALWAYS);
+        let cfg = deferred()
+            .with_workers(1)
+            .with_commit_retry_cap(4)
+            .with_fault_plan(plan);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let x = rt.alloc(0u64).unwrap();
+        let tt = rt.register("copy", move |ctx| {
+            let v = ctx.get(x);
+            *ctx.user_mut() = v;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 5);
+        // Either the worker ran the retry loop to exhaustion, or the join
+        // stole the tthread before the worker got it; poll for the former.
+        for _ in 0..2000 {
+            if rt.stats().counters().commit_retry_exhausted >= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.counters().commit_retry_exhausted, 1);
+        assert_eq!(stats.counters().commit_retries, 4);
+        // The exhausted tthread was deferred, not wedged: join finishes it
+        // inline (the inline path has no retrigger probe).
+        rt.join(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 5);
+        let fired = rt.fault_injections();
+        assert!(fired[FaultPoint::Retrigger as usize] >= 5);
+    }
+
+    #[test]
+    fn injected_body_fault_poisons_without_unwinding() {
+        use crate::fault::{FaultPlan, ALWAYS};
+        let plan = FaultPlan::new(9)
+            .with_rate(FaultPoint::BodyStart, ALWAYS)
+            .with_budget(FaultPoint::BodyStart, 1);
+        let cfg = deferred().with_workers(1).with_fault_plan(plan);
+        let mut rt = Runtime::new(cfg, 0u32);
+        let x = rt.alloc(0u32).unwrap();
+        let tt = rt.register("t", |ctx| *ctx.user_mut() += 1);
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 1);
+        // Wait for the worker to consume the injected failure.
+        for _ in 0..2000 {
+            if matches!(rt.status(tt), Ok(TthreadStatus::Clean)) {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(matches!(rt.join(tt), Err(Error::TthreadPoisoned(_))));
+        assert_eq!(rt.fault_injections()[FaultPoint::BodyStart as usize], 1);
+        // Budget of one: recovery works and the next run is clean.
+        rt.clear_poison(tt).unwrap();
+        rt.force(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 1);
     }
 
     #[test]

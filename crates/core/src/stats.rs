@@ -62,6 +62,23 @@ pub struct Counters {
     pub tracked_loads: u64,
     /// Bytes compared by silent-store detection.
     pub bytes_compared: u64,
+    /// Extra body re-runs because a trigger landed during the previous run
+    /// (the commit→retrigger loop going around again).
+    pub commit_retries: u64,
+    /// Times the retry loop hit [`crate::config::Config::commit_retry_cap`]
+    /// and deferred the tthread to its next join instead.
+    pub commit_retry_exhausted: u64,
+    /// Tthread bodies that overran
+    /// [`crate::config::Config::body_deadline`]; their write logs were
+    /// discarded.
+    pub body_timeouts: u64,
+    /// Queue overflows where the triggering thread assisted by draining a
+    /// pending tthread inline
+    /// ([`crate::config::OverflowPolicy::Backpressure`]).
+    pub backpressure_waits: u64,
+    /// Backpressure overflows that still found the queue full after the
+    /// assist budget and shed the trigger to the next join.
+    pub overflow_sheds: u64,
 }
 
 /// Applies a callback macro to the complete counter field list, in
@@ -95,6 +112,11 @@ macro_rules! for_each_counter {
             cascade_triggers,
             tracked_loads,
             bytes_compared,
+            commit_retries,
+            commit_retry_exhausted,
+            body_timeouts,
+            backpressure_waits,
+            overflow_sheds,
         )
     };
 }
@@ -436,7 +458,18 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "waited joins          {:>12}", c.waited_joins)?;
         writeln!(f, "cascade triggers      {:>12}", c.cascade_triggers)?;
         writeln!(f, "tracked loads         {:>12}", c.tracked_loads)?;
-        write!(f, "bytes compared        {:>12}", c.bytes_compared)
+        writeln!(f, "bytes compared        {:>12}", c.bytes_compared)?;
+        writeln!(
+            f,
+            "commit retries        {:>12}  (exhausted: {})",
+            c.commit_retries, c.commit_retry_exhausted
+        )?;
+        writeln!(f, "body timeouts         {:>12}", c.body_timeouts)?;
+        write!(
+            f,
+            "backpressure / sheds  {:>12} / {}",
+            c.backpressure_waits, c.overflow_sheds
+        )
     }
 }
 
@@ -557,9 +590,10 @@ mod tests {
             assert!(c.set_field(name, (i + 1) as u64), "unknown field {name}");
         }
         let fields = c.fields();
-        assert_eq!(fields.len(), 21);
+        assert_eq!(fields.len(), 26);
         assert_eq!(fields[0], ("tracked_stores", 1));
         assert_eq!(fields[20], ("bytes_compared", 21));
+        assert_eq!(fields[25], ("overflow_sheds", 26));
         for (i, (_, v)) in fields.iter().enumerate() {
             assert_eq!(*v, (i + 1) as u64);
         }

@@ -77,6 +77,10 @@ pub struct TstEntry {
     /// Set when the tthread's body panicked: its outputs are suspect and
     /// joins fail until [`crate::runtime::Runtime::clear_poison`] is called.
     pub poisoned: bool,
+    /// Set when the tthread's body overran the configured deadline: its
+    /// write log was discarded, so its outputs are stale and joins fail
+    /// until [`crate::runtime::Runtime::clear_timeout`] is called.
+    pub timed_out: bool,
     /// Total times this tthread has executed.
     pub executions: u64,
     /// Completed-execution epoch: bumped once each time the tthread leaves

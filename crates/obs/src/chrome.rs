@@ -144,6 +144,24 @@ fn event_json(event: &ObsEvent) -> Option<String> {
         ),
         EventKind::Join => instant(tid, "join", ts, &format!("{{\"outcome\":{payload}}}")),
         EventKind::Skip => instant(tid, "join.skip", ts, "{}"),
+        EventKind::BodyTimeout => instant(
+            tid,
+            "body.timeout",
+            ts,
+            &format!("{{\"elapsed_ns\":{payload}}}"),
+        ),
+        EventKind::RetryExhausted => instant(
+            tid,
+            "commit.retry_exhausted",
+            ts,
+            &format!("{{\"retry_cap\":{payload}}}"),
+        ),
+        EventKind::OverflowShed => instant(
+            tid,
+            "queue.shed",
+            ts,
+            &format!("{{\"capacity\":{payload}}}"),
+        ),
         EventKind::BodyStart | EventKind::CommitBegin => return None,
     };
     Some(line)
@@ -444,6 +462,17 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                     .get("ts")
                     .and_then(Json::as_num)
                     .ok_or(format!("event {i}: i without ts"))?;
+                // Failure instants are always attributed to a tthread track;
+                // one on the main track would mean mis-attributed blame.
+                if let Some(name) = event.get("name").and_then(Json::as_str) {
+                    if matches!(
+                        name,
+                        "body.timeout" | "commit.retry_exhausted" | "queue.shed"
+                    ) && tid == 0.0
+                    {
+                        return Err(format!("event {i}: failure instant {name:?} on main track"));
+                    }
+                }
             }
             other => return Err(format!("event {i}: unexpected ph {other:?}")),
         }
@@ -528,6 +557,52 @@ mod tests {
             .filter_map(|e| e.get("args")?.get("name")?.as_str())
             .collect();
         assert_eq!(names, vec!["main (stores)", "tthread 0: calc"]);
+    }
+
+    #[test]
+    fn failure_events_render_as_tthread_instants() {
+        let rec = ObsRecording {
+            events: vec![
+                ev(0, 1_000, EventKind::BodyTimeout, Some(0), 7_000),
+                ev(1, 2_000, EventKind::RetryExhausted, Some(0), 8),
+                ev(2, 3_000, EventKind::OverflowShed, Some(0), 16),
+            ],
+            issued: 3,
+            dropped: 0,
+            delivered: 3,
+            rings: Vec::new(),
+        };
+        let text = render(&rec, &["victim".to_string()]);
+        assert!(validate_chrome_trace(&text).is_ok());
+        let doc = parse_json(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        for (name, arg_key, arg_val) in [
+            ("body.timeout", "elapsed_ns", 7_000.0),
+            ("commit.retry_exhausted", "retry_cap", 8.0),
+            ("queue.shed", "capacity", 16.0),
+        ] {
+            let e = events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("i"));
+            assert_eq!(e.get("tid").unwrap().as_num(), Some(1.0));
+            assert_eq!(
+                e.get("args").unwrap().get(arg_key).unwrap().as_num(),
+                Some(arg_val)
+            );
+        }
+    }
+
+    #[test]
+    fn validator_rejects_failure_instants_on_the_main_track() {
+        let bad = "{\"traceEvents\":[\
+                   {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+                    \"args\":{\"name\":\"tthread 0\"}},\
+                   {\"name\":\"body.timeout\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                    \"tid\":0,\"ts\":1.0,\"args\":{}}]}";
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("failure instant"), "unexpected error: {err}");
     }
 
     #[test]

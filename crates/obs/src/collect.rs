@@ -39,6 +39,12 @@ pub struct TthreadAgg {
     pub joins: u64,
     /// Joins that skipped the computation entirely.
     pub skips: u64,
+    /// Body executions discarded for overrunning the deadline.
+    pub timeouts: u64,
+    /// Detached executions that exhausted the commit retry cap.
+    pub retry_exhausted: u64,
+    /// Backpressure enqueues shed after the assist budget ran out.
+    pub sheds: u64,
 }
 
 impl TthreadAgg {
@@ -173,6 +179,9 @@ impl ObsReport {
             EventKind::CommitConflict => agg.conflicts += 1,
             EventKind::Join => agg.joins += 1,
             EventKind::Skip => agg.skips += 1,
+            EventKind::BodyTimeout => agg.timeouts += 1,
+            EventKind::RetryExhausted => agg.retry_exhausted += 1,
+            EventKind::OverflowShed => agg.sheds += 1,
             // BodyStart/CommitBegin only anchor the timeline; Store and
             // ChangeDetected carry no tthread (except commit replays, which
             // are regional, not per-tthread, information).
@@ -231,9 +240,12 @@ impl ObsReport {
         }
     }
 
-    /// One-line summary for program output (the `examples/` footer).
+    /// One-line summary for program output (the `examples/` footer). When
+    /// any failure events were recorded (deadline timeouts, exhausted
+    /// commit retries, backpressure sheds), their counts are appended so
+    /// unhealthy runs are visible at a glance.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "obs: {} events ({} dropped) over {:.1} ms | stores {}+{} silent | \
              triggers {} ({:.0}% coalesced) | bodies {} (p50 {} ns) | \
              commits {} ({} conflicts) | joins {} / skips {}",
@@ -250,7 +262,18 @@ impl ObsReport {
             self.count(EventKind::CommitConflict),
             self.count(EventKind::Join),
             self.count(EventKind::Skip),
-        )
+        );
+        let timeouts = self.count(EventKind::BodyTimeout);
+        let exhausted = self.count(EventKind::RetryExhausted);
+        let sheds = self.count(EventKind::OverflowShed);
+        if timeouts + exhausted + sheds > 0 {
+            use std::fmt::Write as _;
+            let _ = write!(
+                line,
+                " | FAULTS: {timeouts} timeouts, {exhausted} retry-exhausted, {sheds} sheds"
+            );
+        }
+        line
     }
 
     /// The human-readable `dtt obs top` report: totals, per-tthread rows,
@@ -262,7 +285,7 @@ impl ObsReport {
         let _ = writeln!(out, "\nper-tthread:");
         let _ = writeln!(
             out,
-            "  {:<28} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>6} {:>6}",
+            "  {:<28} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>6} {:>6} {:>6}",
             "tthread",
             "triggers",
             "enqueued",
@@ -272,12 +295,13 @@ impl ObsReport {
             "commits",
             "commit p50",
             "joins",
-            "skips"
+            "skips",
+            "faults"
         );
         for (idx, t) in self.tthreads.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "  {:<28} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>6} {:>6}",
+                "  {:<28} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>6} {:>6} {:>6}",
                 self.tthread_name(idx),
                 t.triggers,
                 t.enqueues,
@@ -287,7 +311,8 @@ impl ObsReport {
                 t.commits,
                 t.commit_ns.quantile(0.5),
                 t.joins,
-                t.skips
+                t.skips,
+                t.timeouts + t.retry_exhausted + t.sheds
             );
         }
         let _ = writeln!(out, "\nhot regions (64 B lines, hottest first):");
@@ -429,6 +454,33 @@ mod tests {
         assert!(text.contains("... 1 more regions"));
         assert!(text.contains("0x0000000000000040"));
         assert_eq!(report.tthread_name(7), "tt#7");
+    }
+
+    #[test]
+    fn failure_events_aggregate_and_surface_in_the_summary() {
+        let healthy = ObsReport::from_recording(&sample_recording());
+        assert!(!healthy.summary_line().contains("FAULTS"));
+
+        let mut rec = sample_recording();
+        rec.events
+            .push(ev(14, 1600, EventKind::BodyTimeout, Some(0), 9000));
+        rec.events
+            .push(ev(15, 1700, EventKind::RetryExhausted, Some(0), 8));
+        rec.events
+            .push(ev(16, 1800, EventKind::OverflowShed, Some(0), 16));
+        let report = ObsReport::from_recording(&rec);
+        let t0 = &report.tthreads[0];
+        assert_eq!(t0.timeouts, 1);
+        assert_eq!(t0.retry_exhausted, 1);
+        assert_eq!(t0.sheds, 1);
+        let line = report.summary_line();
+        assert!(line.starts_with("obs:"), "summary lost its prefix: {line}");
+        assert!(
+            line.contains("FAULTS: 1 timeouts, 1 retry-exhausted, 1 sheds"),
+            "missing fault counts: {line}"
+        );
+        let top = report.top_report(5);
+        assert!(top.contains("faults"), "top report lost the faults column");
     }
 
     #[test]
