@@ -2,14 +2,23 @@
 //! baseline vs DTT with the deferred executor and with a 2-worker parallel
 //! executor, at reference scale. (Criterion benches in `benches/` give the
 //! statistically rigorous version; this binary prints a quick table.)
+//!
+//! Usage: `fig12_wallclock [--smoke]` — `--smoke` runs the train-scale
+//! suite (same code paths, CI-sized, unreliable timings).
 
 use std::time::Instant;
 
-use dtt_bench::{fmt_speedup, geomean, Table};
+use dtt_bench::{fmt_speedup, geomean, BenchRecord, Table};
 use dtt_core::Config;
 use dtt_workloads::{suite, Scale};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Train
+    } else {
+        Scale::Reference
+    };
     let mut table = Table::new(vec![
         "benchmark".into(),
         "baseline ms".into(),
@@ -19,7 +28,9 @@ fn main() {
         "parallel speedup".into(),
     ]);
     let mut speedups = Vec::new();
-    for w in suite(Scale::Reference) {
+    let mut dtt_total_ns = 0.0;
+    let mut workloads = 0usize;
+    for w in suite(scale) {
         let t0 = Instant::now();
         let base_digest = w.run_baseline();
         let base = t0.elapsed();
@@ -43,6 +54,8 @@ fn main() {
         let s = base.as_secs_f64() / dtt.as_secs_f64();
         let sp = base.as_secs_f64() / par.as_secs_f64();
         speedups.push(s);
+        dtt_total_ns += dtt.as_secs_f64() * 1e9;
+        workloads += 1;
         table.row(vec![
             w.name().into(),
             format!("{:.1}", base.as_secs_f64() * 1000.0),
@@ -52,6 +65,7 @@ fn main() {
             fmt_speedup(sp),
         ]);
     }
+    let mode = if smoke { ", smoke" } else { "" };
     table.row(vec![
         "geomean".into(),
         "-".into(),
@@ -60,7 +74,22 @@ fn main() {
         fmt_speedup(geomean(&speedups)),
         "-".into(),
     ]);
-    table.print("R-Fig.12: measured wall-clock (software runtime, reference scale)");
+    table.print(&format!(
+        "R-Fig.12: measured wall-clock (software runtime{mode})"
+    ));
     println!("note: software tracked stores add overhead the proposed hardware would hide;");
     println!("the deferred-executor column is the honest software-DTT comparison.");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let record = BenchRecord {
+        benchmark: "fig12_wallclock".into(),
+        config: format!("scale={scale:?} suite of {workloads} workloads"),
+        ns_per_op: dtt_total_ns / workloads.max(1) as f64,
+        modeled_speedup: geomean(&speedups),
+        host_cores: cores,
+    };
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench record: {e}"),
+    }
 }

@@ -28,7 +28,7 @@
 use std::sync::Barrier;
 use std::time::Instant;
 
-use dtt_bench::{fmt_speedup, Table};
+use dtt_bench::{fmt_speedup, BenchRecord, Table};
 use dtt_core::{Config, Runtime};
 
 /// Elements per thread; 512 u64s = 4 KiB = 64 stripes per chunk, so chunks
@@ -141,5 +141,17 @@ fn main() {
         println!("note: with fewer cores than threads, time-slicing serializes every");
         println!("configuration equally, so the measured column cannot separate them;");
         println!("the modeled line is the serialization bound from measured costs.");
+    }
+
+    let record = BenchRecord {
+        benchmark: "store_throughput".into(),
+        config: format!("threads=[1,2,4] shards={SHARDS}-vs-1 iters={iters}{mode}"),
+        ns_per_op: 1e3 / measured_1t_sharded,
+        modeled_speedup: modeled,
+        host_cores: cores,
+    };
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench record: {e}"),
     }
 }

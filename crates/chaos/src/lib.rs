@@ -59,6 +59,9 @@ pub struct ChaosConfig {
     pub ops: usize,
     /// Queue-overflow policy under test.
     pub overflow: OverflowPolicy,
+    /// Whether the lock-free dispatch path is on (the default) or the
+    /// locked ablation baseline is exercised instead.
+    pub lockfree_dispatch: bool,
     /// Commit→retrigger retry cap.
     pub commit_retry_cap: u32,
     /// Optional per-body deadline.
@@ -96,6 +99,9 @@ impl ChaosConfig {
             tthreads: rng.gen_range(2..=5usize),
             ops: rng.gen_range(200..=600usize),
             overflow,
+            // Mostly the lock-free dispatch path, with the locked ablation
+            // baseline mixed in so both keep surviving the same schedules.
+            lockfree_dispatch: rng.gen_range(0..4u32) != 0,
             commit_retry_cap: rng.gen_range(1..=8u32),
             body_deadline: None,
             plan,
@@ -112,6 +118,7 @@ impl ChaosConfig {
             tthreads: 3,
             ops: 400,
             overflow: OverflowPolicy::ExecuteInline,
+            lockfree_dispatch: true,
             commit_retry_cap: 8,
             body_deadline: None,
             plan: FaultPlan::new(seed),
@@ -134,12 +141,17 @@ impl ChaosConfig {
             })
             .collect();
         format!(
-            "workers={} queue={} tthreads={} ops={} overflow={:?} retry_cap={} armed=[{}]",
+            "workers={} queue={} tthreads={} ops={} overflow={:?} dispatch={} retry_cap={} armed=[{}]",
             self.workers,
             self.queue_capacity,
             self.tthreads,
             self.ops,
             self.overflow,
+            if self.lockfree_dispatch {
+                "lockfree"
+            } else {
+                "locked"
+            },
             self.commit_retry_cap,
             armed.join(", ")
         )
@@ -313,6 +325,7 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         .with_workers(cfg.workers)
         .with_queue_capacity(cfg.queue_capacity)
         .with_overflow(cfg.overflow)
+        .with_lockfree_dispatch(cfg.lockfree_dispatch)
         .with_commit_retry_cap(cfg.commit_retry_cap)
         .with_observability(true)
         .with_fault_plan(cfg.plan.clone());

@@ -115,6 +115,43 @@ fn shutdown_drains_despite_injected_scheduling_delay() {
     run_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
 }
 
+/// The injected dequeue-reject regression: the worker used to discard the
+/// requeue's outcome — with the queue full the entry was silently dropped,
+/// stranding its tthread in Queued with no pending execution anywhere
+/// (a wedge unless a join happened to steal it). Both dispatch modes must
+/// handle the rejected pop explicitly (run the entry themselves when the
+/// requeue fails) and keep draining.
+#[test]
+fn pinned_dequeue_rejects_cannot_strand_queued_tthreads() {
+    for (seed, lockfree) in [(110, true), (111, false)] {
+        let mut cfg = pinned_point_case(FaultPoint::Dequeue, seed);
+        cfg.lockfree_dispatch = lockfree;
+        cfg.queue_capacity = 2; // keep the requeue's Full outcome reachable
+        cfg.plan = cfg.plan.with_budget(FaultPoint::Dequeue, 64);
+        let summary = run_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+        assert!(
+            summary.injections[FaultPoint::Dequeue as usize] >= 1,
+            "pinned dequeue-reject case (seed {seed}) never fired"
+        );
+    }
+}
+
+/// A dropped worker wakeup — the eventcount epoch bump and the
+/// notification both suppressed, a true lost wakeup — must cost at most
+/// one park period, never a wedge: the workers' timed park is the rescue
+/// path the invariant suite exercises here.
+#[test]
+fn pinned_wake_drops_cannot_wedge_dispatch() {
+    let mut cfg = pinned_point_case(FaultPoint::WakeDrop, 112);
+    cfg.plan = cfg.plan.with_budget(FaultPoint::WakeDrop, 64);
+    let summary = run_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        summary.injections[FaultPoint::WakeDrop as usize] >= 1,
+        "pinned wake-drop case never fired; injections: {:?}",
+        summary.injections
+    );
+}
+
 /// Randomized smoke: a block of derived seeds must all hold the
 /// invariants. The seeds are pinned here so CI is reproducible; the CI
 /// chaos job additionally runs a fresh randomized block with the seed

@@ -141,9 +141,52 @@ impl<'rt, U: Send + 'static> Accessor<'rt, U> {
         if self.scratch.hits().is_empty() {
             return;
         }
+        if self.inner.cfg.lockfree_dispatch {
+            self.raise_hits_lockfree(cell.addr().raw());
+            return;
+        }
         let mut state = self.inner.state.lock();
         let mut ctx = Ctx::new(&mut state, self.inner, 0);
         ctx.raise_hits(self.scratch.hits(), cell.addr().raw());
+    }
+
+    /// The tentpole fast path: raise this store's trigger hits entirely
+    /// through the lock-free status machine and sharded counters. Only an
+    /// overflow ticket (pending queue full, or an injected enqueue fault)
+    /// drops to the state lock, where the configured overflow policy runs.
+    fn raise_hits_lockfree(&mut self, store_addr: u64) {
+        let inner = self.inner;
+        let key = store_addr as usize;
+        inner.dispatch.counters.triggering_store(key);
+        let obs_on = inner.obs.on();
+        let mut overflows: Vec<(crate::tthread::TthreadId, u64)> = Vec::new();
+        for hit in self.scratch.hits() {
+            inner
+                .dispatch
+                .counters
+                .trigger_fired(hit.tthread.index(), hit.precise);
+            if obs_on {
+                inner.obs.record(
+                    inner.obs.status_ring(),
+                    EventKind::TriggerFired,
+                    Some(hit.tthread),
+                    store_addr,
+                );
+            }
+            match inner.raise_lockfree(hit.tthread) {
+                crate::runtime::LockfreeRaise::Done => {}
+                crate::runtime::LockfreeRaise::Overflow(token) => {
+                    overflows.push((hit.tthread, token))
+                }
+            }
+        }
+        if !overflows.is_empty() {
+            let mut state = inner.state.lock();
+            let mut ctx = Ctx::new(&mut state, inner, 0);
+            for (id, token) in overflows {
+                ctx.overflow_lockfree(id, token);
+            }
+        }
     }
 
     /// Loads element `index` of a tracked array.

@@ -115,6 +115,24 @@ pub struct Config {
     /// How many pending tthreads the triggering thread will drain inline
     /// per overflow under [`OverflowPolicy::Backpressure`] before shedding.
     pub backpressure_assist_budget: u32,
+    /// Run trigger dispatch lock-free: status transitions go through the
+    /// per-tthread atomic status word, enqueues land in the sharded pending
+    /// queue, and workers park on an eventcount — the state lock is only
+    /// taken for slow paths (overflow fallback, commit, join bookkeeping,
+    /// report/shutdown). Disabling this restores the fully locked dispatch
+    /// baseline (single mutex-guarded queue, `Condvar` broadcast wakes) as
+    /// an ablation, like `detached_execution=false` and `mem_shards=1`.
+    ///
+    /// The default is `true` and can be overridden with the
+    /// `DTT_LOCKFREE_DISPATCH` environment variable (`0`/`false` disable).
+    pub lockfree_dispatch: bool,
+}
+
+fn default_lockfree_dispatch() -> bool {
+    match std::env::var("DTT_LOCKFREE_DISPATCH") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
 }
 
 fn default_mem_shards() -> usize {
@@ -149,6 +167,7 @@ impl Default for Config {
             body_deadline: None,
             commit_retry_cap: 8,
             backpressure_assist_budget: 4,
+            lockfree_dispatch: default_lockfree_dispatch(),
         }
     }
 }
@@ -259,6 +278,13 @@ impl Config {
         self
     }
 
+    /// Enables or disables lock-free trigger dispatch (`false` restores the
+    /// fully locked dispatch baseline for ablations).
+    pub fn with_lockfree_dispatch(mut self, on: bool) -> Self {
+        self.lockfree_dispatch = on;
+        self
+    }
+
     /// Whether this configuration selects the deferred (single-threaded)
     /// executor.
     pub fn is_deferred(&self) -> bool {
@@ -286,6 +312,8 @@ mod tests {
         assert_eq!(cfg.body_deadline, None);
         assert_eq!(cfg.commit_retry_cap, 8);
         assert_eq!(cfg.backpressure_assist_budget, 4);
+        // Honors DTT_LOCKFREE_DISPATCH, defaulting on; the test environment
+        // may set either, so just check the builder wiring below.
     }
 
     #[test]
@@ -305,7 +333,8 @@ mod tests {
             .with_fault_plan(crate::fault::FaultPlan::new(11))
             .with_body_deadline(Duration::from_millis(250))
             .with_commit_retry_cap(3)
-            .with_backpressure_assist_budget(2);
+            .with_backpressure_assist_budget(2)
+            .with_lockfree_dispatch(false);
         assert_eq!(cfg.granularity, Granularity::Line);
         assert!(!cfg.suppress_silent_stores);
         assert!(!cfg.coalesce);
@@ -332,6 +361,12 @@ mod tests {
         assert_eq!(cfg.body_deadline, Some(Duration::from_millis(250)));
         assert_eq!(cfg.commit_retry_cap, 3);
         assert_eq!(cfg.backpressure_assist_budget, 2);
+        assert!(!cfg.lockfree_dispatch);
+        assert!(
+            Config::default()
+                .with_lockfree_dispatch(true)
+                .lockfree_dispatch
+        );
     }
 
     #[test]

@@ -499,23 +499,43 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     }
 
     /// Advance the status machine of `id` for one trigger.
+    ///
+    /// Lock-free dispatch mode delegates to
+    /// [`crate::runtime::Inner::raise_lockfree`] (the status-word CAS
+    /// machine) and only comes back here — already under the state lock —
+    /// for the overflow policy. Locked mode drives the same status words
+    /// through the identical transitions, just serialized by the lock the
+    /// caller already holds, and keeps the legacy [`CoalescingQueue`] as
+    /// the pending structure: that is the ablation baseline
+    /// ([`crate::config::Config::lockfree_dispatch`]` = false`).
     pub(crate) fn raise(&mut self, id: TthreadId) {
+        if self.inner.cfg.lockfree_dispatch {
+            match self.inner.raise_lockfree(id) {
+                crate::runtime::LockfreeRaise::Done => {}
+                crate::runtime::LockfreeRaise::Overflow(token) => self.overflow_lockfree(id, token),
+            }
+            return;
+        }
         let deferred = self.inner.cfg.is_deferred();
         let coalesce = self.inner.cfg.coalesce;
-        let state = self.locked();
-        state.tst.entry_mut(id).triggers += 1;
-        match state.tst.entry(id).status {
+        let slot = self.inner.dispatch.slots.slot(id.index());
+        slot.triggers
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match slot.status() {
             TthreadStatus::Running => {
-                state.tst.entry_mut(id).retrigger = true;
+                slot.set_rf_if_running();
+                let state = self.locked();
                 state.stats.coalesced_triggers += 1;
                 self.obs_status(EventKind::Coalesced, id, 0);
             }
             TthreadStatus::Triggered => {
+                let state = self.locked();
                 state.stats.coalesced_triggers += 1;
                 self.obs_status(EventKind::Coalesced, id, 0);
             }
             TthreadStatus::Queued => {
                 if coalesce {
+                    let state = self.locked();
                     state.stats.coalesced_triggers += 1;
                     self.obs_status(EventKind::Coalesced, id, 0);
                 } else {
@@ -524,7 +544,7 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             }
             TthreadStatus::Clean => {
                 if deferred {
-                    state.tst.entry_mut(id).status = TthreadStatus::Triggered;
+                    let _ = slot.raise(true, false);
                 } else {
                     self.enqueue(id);
                 }
@@ -532,10 +552,12 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         }
     }
 
-    /// Push `id` onto the worker queue, applying the overflow policy.
+    /// Push `id` onto the worker queue (locked baseline), applying the
+    /// overflow policy.
     fn enqueue(&mut self, id: TthreadId) {
         use crate::queue::PushOutcome;
         let overflow = self.inner.cfg.overflow;
+        let slot = self.inner.dispatch.slots.slot(id.index());
         // Injected saturation: report the queue full without consuming a
         // slot, driving the overflow policy on an otherwise-healthy queue.
         let forced_full = self.inner.fault.fire(crate::fault::FaultPoint::Enqueue);
@@ -547,7 +569,10 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         };
         match outcome {
             PushOutcome::Enqueued => {
-                state.tst.entry_mut(id).status = TthreadStatus::Queued;
+                // Clean→Queued for the first entry; a duplicate entry
+                // (coalescing off) finds the word already Queued and the
+                // raise absorbs without bumping the token.
+                let _ = slot.raise(false, false);
                 state.stats.enqueues += 1;
                 let occupancy = state.queue.len() as u64;
                 self.obs_status(EventKind::TriggerEnqueued, id, occupancy);
@@ -567,38 +592,42 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                 state.queue.remove(id);
                 self.obs_status(EventKind::QueueOverflow, id, capacity);
                 match overflow {
-                    OverflowPolicy::ExecuteInline => self.run_inline(id),
-                    OverflowPolicy::DeferToJoin => {
-                        self.locked().tst.entry_mut(id).status = TthreadStatus::Triggered;
+                    OverflowPolicy::ExecuteInline => {
+                        slot.claim();
+                        self.run_inline(id);
                     }
+                    OverflowPolicy::DeferToJoin => slot.force_triggered(),
                     OverflowPolicy::Backpressure => self.backpressure(id),
                 }
             }
         }
     }
 
-    /// Queue-overflow backpressure: the triggering thread assists by
-    /// draining the oldest pending tthreads inline (FIFO-fair — the victim
-    /// was enqueued first) to free a slot for `id`. If the assist budget
-    /// runs out with the queue still full, the trigger is *shed*: `id` is
-    /// left `Triggered` for its next join and the shed is counted.
+    /// Queue-overflow backpressure (locked baseline): the triggering thread
+    /// assists by draining the oldest pending tthreads inline (FIFO-fair —
+    /// the victim was enqueued first) to free a slot for `id`. If the
+    /// assist budget runs out with the queue still full, the trigger is
+    /// *shed*: `id` is left `Triggered` for its next join and the shed is
+    /// counted.
     fn backpressure(&mut self, id: TthreadId) {
         use crate::queue::PushOutcome;
-        let budget = self.inner.cfg.backpressure_assist_budget;
+        let inner = self.inner;
+        let budget = inner.cfg.backpressure_assist_budget;
         for _ in 0..budget {
             let Some(victim) = self.locked().queue.pop() else {
                 break;
             };
             self.locked().stats.backpressure_waits += 1;
+            inner.dispatch.slots.slot(victim.index()).claim();
             self.run_inline(victim);
             match self.locked().queue.push(id) {
                 PushOutcome::Enqueued => {
+                    let _ = inner.dispatch.slots.slot(id.index()).raise(false, false);
                     let state = self.locked();
-                    state.tst.entry_mut(id).status = TthreadStatus::Queued;
                     state.stats.enqueues += 1;
                     let occupancy = state.queue.len() as u64;
                     self.obs_status(EventKind::TriggerEnqueued, id, occupancy);
-                    self.inner.work_cv.notify_one();
+                    inner.work_cv.notify_one();
                     return;
                 }
                 PushOutcome::Coalesced => {
@@ -612,12 +641,81 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         let state = self.locked();
         state.stats.overflow_sheds += 1;
         let capacity = state.queue.capacity() as u64;
-        state.tst.entry_mut(id).status = TthreadStatus::Triggered;
+        inner.dispatch.slots.slot(id.index()).force_triggered();
+        self.obs_status(EventKind::OverflowShed, id, capacity);
+    }
+
+    /// Lock-free raise overflow: the status word already advanced
+    /// Clean→Queued, but no pending-queue entry landed. Applies the
+    /// overflow policy under the state lock (the caller holds it),
+    /// validating every transition with `token` so a concurrent join or
+    /// force steal wins cleanly — in that case their inline run covers
+    /// this trigger and the policy has nothing left to do.
+    pub(crate) fn overflow_lockfree(&mut self, id: TthreadId, token: u64) {
+        let inner = self.inner;
+        let slot = inner.dispatch.slots.slot(id.index());
+        self.locked().stats.queue_overflows += 1;
+        let capacity = inner.dispatch.pending.capacity() as u64;
+        self.obs_status(EventKind::QueueOverflow, id, capacity);
+        match inner.cfg.overflow {
+            OverflowPolicy::ExecuteInline => {
+                if slot.try_claim_queued(token) {
+                    self.run_inline(id);
+                }
+            }
+            OverflowPolicy::DeferToJoin => {
+                let _ = slot.try_defer_queued(token);
+            }
+            OverflowPolicy::Backpressure => self.backpressure_lockfree(id, token),
+        }
+    }
+
+    /// Queue-overflow backpressure, lock-free dispatch flavour: drain
+    /// claimed victims inline, retry the push with the original token, and
+    /// shed to Triggered when the assist budget runs out. A victim whose
+    /// entry went stale (stolen by a join) costs an assist round but no
+    /// execution.
+    fn backpressure_lockfree(&mut self, id: TthreadId, token: u64) {
+        use crate::dispatch::PendingPush;
+        let inner = self.inner;
+        let dispatch = &inner.dispatch;
+        let budget = inner.cfg.backpressure_assist_budget;
+        for _ in 0..budget {
+            let Some((vraw, vtoken)) = dispatch.pending.pop(0) else {
+                break;
+            };
+            let victim = TthreadId::new(vraw);
+            if dispatch.slots.slot(victim.index()).try_claim_queued(vtoken) {
+                self.locked().stats.backpressure_waits += 1;
+                self.run_inline(victim);
+            } else {
+                dispatch.counters.stale_skip(victim.index());
+            }
+            match dispatch.pending.push(id.index() as u32, token) {
+                PendingPush::Pushed => {
+                    dispatch.counters.enqueued(id.index());
+                    let occupancy = dispatch.pending.len() as u64;
+                    self.obs_status(EventKind::TriggerEnqueued, id, occupancy);
+                    inner.wake_worker(id.index());
+                    return;
+                }
+                PendingPush::Full => {}
+            }
+        }
+        self.locked().stats.overflow_sheds += 1;
+        let capacity = dispatch.pending.capacity() as u64;
+        let _ = dispatch.slots.slot(id.index()).try_defer_queued(token);
         self.obs_status(EventKind::OverflowShed, id, capacity);
     }
 
     /// Execute tthread `id` on the current thread, re-running while
-    /// retriggered.
+    /// retriggered. The caller must already have moved `id` to Running
+    /// (a claim CAS, or [`crate::dispatch::Slot::claim`] under the lock).
+    ///
+    /// Completes with the CJ flag *preserved* (`try_complete(None)`): an
+    /// overflow-inline run between a worker's commit and the next join
+    /// must not turn a pending `Overlapped` report into a `Skipped` one.
+    /// Join and force clear the flag themselves after their inline runs.
     ///
     /// # Panics
     ///
@@ -634,10 +732,10 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         );
         let func = self.inner.tthread_fn(id);
         let inner = self.inner;
+        let slot = inner.dispatch.slots.slot(id.index());
         loop {
+            debug_assert_eq!(slot.status(), TthreadStatus::Running);
             let state = self.locked();
-            state.tst.entry_mut(id).status = TthreadStatus::Running;
-            state.tst.entry_mut(id).retrigger = false;
             let obs_on = inner.obs.on();
             let body_t0 = if obs_on {
                 inner
@@ -659,22 +757,20 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             }
             let state = self.locked();
             if let Err(payload) = outcome {
-                let entry = state.tst.entry_mut(id);
-                entry.poisoned = true;
-                entry.retrigger = false;
-                entry.status = TthreadStatus::Clean;
+                state.tst.entry_mut(id).poisoned = true;
+                slot.force_clean();
                 inner.done_cv.notify_all();
                 std::panic::resume_unwind(payload);
             }
             state.stats.executions += 1;
             state.stats.inline_executions += 1;
-            let entry = state.tst.entry_mut(id);
-            entry.executions += 1;
-            if !entry.retrigger {
-                entry.status = TthreadStatus::Clean;
-                entry.epoch += 1;
+            state.tst.entry_mut(id).executions += 1;
+            if slot.try_complete(None) {
+                state.tst.entry_mut(id).epoch += 1;
                 break;
             }
+            // A trigger landed mid-body (RF): absorb it into another run.
+            slot.absorb_rf();
         }
         self.inner.done_cv.notify_all();
     }

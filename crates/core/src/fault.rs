@@ -47,11 +47,15 @@ pub enum FaultPoint {
     /// A worker is delayed between claiming a tthread and running its
     /// body, widening trigger/join races.
     WorkerSchedule = 6,
+    /// A dispatch-path worker wakeup is dropped — the eventcount epoch
+    /// bump and the notification are both suppressed, simulating a true
+    /// lost wakeup. The timed park must still make progress.
+    WakeDrop = 7,
 }
 
 impl FaultPoint {
     /// Every injection point, in discriminant order.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 8] = [
         FaultPoint::Enqueue,
         FaultPoint::Dequeue,
         FaultPoint::BodyStart,
@@ -59,6 +63,7 @@ impl FaultPoint {
         FaultPoint::Retrigger,
         FaultPoint::ObsPublish,
         FaultPoint::WorkerSchedule,
+        FaultPoint::WakeDrop,
     ];
 
     /// Number of injection points.
@@ -79,6 +84,7 @@ impl FaultPoint {
             FaultPoint::Retrigger => "retrigger",
             FaultPoint::ObsPublish => "obs-publish",
             FaultPoint::WorkerSchedule => "worker-schedule",
+            FaultPoint::WakeDrop => "wake-drop",
         }
     }
 

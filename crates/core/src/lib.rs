@@ -92,7 +92,8 @@
 //! | [`handle`] | typed [`Tracked`]/[`TrackedArray`] handles |
 //! | [`trigger`] | the store-address → tthread trigger table |
 //! | [`tthread`] | tthread ids and the thread status table |
-//! | [`queue`] | the bounded coalescing pending queue |
+//! | `dispatch` | the lock-free status word, sharded pending queue, eventcount |
+//! | [`queue`] | the bounded coalescing pending queue (locked baseline) |
 //! | [`obs`] | lock-free lifecycle event rings (observability) |
 //! | [`fault`] | seeded deterministic fault injection ([`FaultPlan`]) |
 //! | [`ctx`] | the [`Ctx`] store path and status machine |
@@ -107,6 +108,7 @@ pub mod accessor;
 pub mod addr;
 pub mod config;
 pub mod ctx;
+pub(crate) mod dispatch;
 pub mod error;
 pub mod fault;
 pub mod handle;

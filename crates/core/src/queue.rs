@@ -39,10 +39,18 @@ pub enum PushOutcome {
 #[derive(Debug, Clone)]
 pub struct CoalescingQueue {
     queue: VecDeque<TthreadId>,
-    /// Per-id count of queued occurrences. With coalescing on this is 0 or
-    /// 1; with coalescing off it counts duplicates, so `pop` can clear the
-    /// pending state in O(1) instead of rescanning the queue.
+    /// Per-id count of *live* queued occurrences. With coalescing on this
+    /// is 0 or 1; with coalescing off it counts duplicates, so `pop` can
+    /// clear the pending state in O(1) instead of rescanning the queue.
     pending: Vec<u32>,
+    /// Per-id count of *tombstoned* occurrences: entries logically removed
+    /// by [`CoalescingQueue::remove`] but still physically in the deque,
+    /// skipped lazily by `pop`. Removal used to be an O(n) `retain` scan
+    /// under the state lock at every join-steal; tombstoning makes it O(1).
+    tombstones: Vec<u32>,
+    /// Total tombstoned occurrences across all ids; when more than half the
+    /// physical deque is dead, a purge compacts it (amortized O(1)).
+    tombstoned: usize,
     capacity: usize,
     coalesce: bool,
     /// Highest occupancy ever reached (exported by the runtime report and
@@ -61,20 +69,23 @@ impl CoalescingQueue {
         CoalescingQueue {
             queue: VecDeque::with_capacity(capacity.min(1024)),
             pending: Vec::new(),
+            tombstones: Vec::new(),
+            tombstoned: 0,
             capacity,
             coalesce,
             max_len: 0,
         }
     }
 
-    /// Entries currently queued.
+    /// Entries currently queued (live occurrences only; lazily-skipped
+    /// tombstones do not count).
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.queue.len() - self.tombstoned
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len() == 0
     }
 
     /// The capacity bound.
@@ -97,7 +108,7 @@ impl CoalescingQueue {
         if self.coalesce && self.contains(id) {
             return PushOutcome::Coalesced;
         }
-        if self.queue.len() >= self.capacity {
+        if self.len() >= self.capacity {
             return PushOutcome::Full;
         }
         if self.pending.len() <= id.index() {
@@ -105,30 +116,72 @@ impl CoalescingQueue {
         }
         self.pending[id.index()] += 1;
         self.queue.push_back(id);
-        self.max_len = self.max_len.max(self.queue.len());
+        self.max_len = self.max_len.max(self.len());
         PushOutcome::Enqueued
     }
 
-    /// Dequeues the oldest pending tthread.
+    /// Dequeues the oldest pending tthread, lazily discarding occurrences
+    /// tombstoned by [`CoalescingQueue::remove`]. A tombstoned occurrence
+    /// is always older than any live re-push of the same id, so consuming
+    /// tombstones front-to-back never discards a live entry.
     pub fn pop(&mut self) -> Option<TthreadId> {
-        let id = self.queue.pop_front()?;
-        // Without coalescing the same id may appear again; the occurrence
-        // count clears the pending state exactly when the last copy leaves.
-        self.pending[id.index()] -= 1;
-        Some(id)
+        while let Some(id) = self.queue.pop_front() {
+            if let Some(t) = self.tombstones.get_mut(id.index()) {
+                if *t > 0 {
+                    *t -= 1;
+                    self.tombstoned -= 1;
+                    continue;
+                }
+            }
+            // Without coalescing the same id may appear again; the
+            // occurrence count clears the pending state exactly when the
+            // last copy leaves.
+            self.pending[id.index()] -= 1;
+            return Some(id);
+        }
+        None
     }
 
     /// Removes a specific tthread from anywhere in the queue (used when the
     /// main thread *steals* a queued tthread at a join point). Returns
-    /// whether it was present. All queued occurrences are removed.
+    /// whether it was present. All queued occurrences are removed — in O(1)
+    /// per call: the occurrences are tombstoned where they sit and skipped
+    /// when `pop` reaches them.
     pub fn remove(&mut self, id: TthreadId) -> bool {
-        let before = self.queue.len();
-        self.queue.retain(|&q| q != id);
-        let removed = self.queue.len() != before;
-        if removed {
-            self.pending[id.index()] = 0;
+        let n = self.pending.get(id.index()).copied().unwrap_or(0);
+        if n == 0 {
+            return false;
         }
-        removed
+        self.pending[id.index()] = 0;
+        if self.tombstones.len() <= id.index() {
+            self.tombstones.resize(id.index() + 1, 0);
+        }
+        self.tombstones[id.index()] += n;
+        self.tombstoned += n as usize;
+        // Compact once the deque is mostly dead, so repeated push/remove
+        // cycles cannot grow it without bound. Each purge is O(physical
+        // len) and is triggered only after at least len/2 removals, so the
+        // amortized cost per removal stays O(1).
+        if self.tombstoned * 2 > self.queue.len() {
+            self.purge();
+        }
+        true
+    }
+
+    /// Drops every tombstoned occurrence, compacting the physical deque.
+    fn purge(&mut self) {
+        if self.tombstoned == 0 {
+            return;
+        }
+        let mut compacted = VecDeque::with_capacity(self.len().min(1024));
+        for id in self.queue.drain(..) {
+            match self.tombstones.get_mut(id.index()) {
+                Some(t) if *t > 0 => *t -= 1,
+                _ => compacted.push_back(id),
+            }
+        }
+        self.queue = compacted;
+        self.tombstoned = 0;
     }
 }
 
@@ -257,6 +310,75 @@ mod tests {
         // The queue is reusable after the drain.
         assert_eq!(q.push(id(2)), PushOutcome::Enqueued);
         assert!(q.contains(id(2)));
+    }
+
+    #[test]
+    fn interleaved_steals_duplicates_and_drains_stay_consistent() {
+        // Regression for the tombstone rewrite of `remove`: interleave
+        // duplicate pushes (coalescing off), mid-queue steals, re-pushes of
+        // stolen ids, and partial drains, checking that pop order, pending
+        // marks, and occupancy all match a straightforward model.
+        let mut q = CoalescingQueue::new(64, false);
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        // A deterministic schedule mixing the three operations.
+        for step in 0..400u32 {
+            match step % 7 {
+                // Duplicate-heavy pushes over a small id set.
+                0 | 1 | 3 | 5 => {
+                    let n = step % 5;
+                    if q.push(id(n)) == PushOutcome::Enqueued {
+                        model.push_back(n);
+                    }
+                }
+                // Steal: all occurrences of one id vanish at once.
+                2 => {
+                    let n = (step / 7) % 5;
+                    let present = model.contains(&n);
+                    assert_eq!(q.remove(id(n)), present, "remove at step {step}");
+                    model.retain(|&m| m != n);
+                    // A stolen id is immediately re-pushable; the stale
+                    // tombstones must not swallow the fresh entry.
+                    if q.push(id(n)) == PushOutcome::Enqueued {
+                        model.push_back(n);
+                    }
+                }
+                // Partial drains.
+                _ => {
+                    assert_eq!(q.pop().map(|i| i.index() as u32), model.pop_front());
+                }
+            }
+            assert_eq!(q.len(), model.len(), "occupancy at step {step}");
+            for n in 0..5 {
+                assert_eq!(
+                    q.contains(id(n)),
+                    model.contains(&n),
+                    "pending at step {step}"
+                );
+            }
+        }
+        // Full drain matches the model to the end.
+        while let Some(expect) = model.pop_front() {
+            assert_eq!(q.pop(), Some(id(expect)));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn repeated_push_remove_cycles_do_not_grow_the_deque() {
+        // The lazy-skip scheme must compact: a workload that only pushes
+        // and steals (never pops) used to be the O(n) retain's worst case
+        // and is the tombstone scheme's unbounded-growth hazard.
+        let mut q = CoalescingQueue::new(8, true);
+        for _ in 0..10_000 {
+            assert_eq!(q.push(id(3)), PushOutcome::Enqueued);
+            assert!(q.remove(id(3)));
+        }
+        assert!(q.is_empty());
+        // Physical storage stayed bounded (purge keeps it under control).
+        assert!(q.queue.len() <= 2, "deque grew to {}", q.queue.len());
+        assert_eq!(q.push(id(3)), PushOutcome::Enqueued);
+        assert_eq!(q.pop(), Some(id(3)));
     }
 
     #[test]

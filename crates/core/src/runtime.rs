@@ -16,6 +16,7 @@ use crate::accessor::Accessor;
 use crate::addr::AddrRange;
 use crate::config::Config;
 use crate::ctx::{Ctx, LoggedStore};
+use crate::dispatch::{Dispatch, PendingPush, RaiseStep, PARK_TIMEOUT};
 use crate::error::{Error, Result};
 use crate::fault::{FaultLayer, FaultPoint};
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
@@ -23,7 +24,7 @@ use crate::heap::TrackedHeap;
 use crate::mem::ShardedMem;
 use crate::obs::{EventKind, ObsRecorder, ObsRecording};
 use crate::pod::Pod;
-use crate::queue::CoalescingQueue;
+use crate::queue::{CoalescingQueue, PushOutcome};
 use crate::stats::{AccessCounters, Counters, StatsSnapshot};
 use crate::trigger::{LookupScratch, TriggerTable};
 use crate::tthread::{StatusTable, TthreadId, TthreadStatus};
@@ -106,15 +107,90 @@ pub(crate) struct Inner<U> {
     /// probe checks `fault.fire()` — one relaxed load when no plan is
     /// installed. Shared with the obs recorder for the ring-publish probe.
     pub(crate) fault: Arc<FaultLayer>,
+    /// The lock-free dispatch half of the TST: per-tthread atomic status
+    /// words, the sharded pending queue, the worker eventcount, and the
+    /// sharded dispatch counters. The status words are authoritative in
+    /// *both* dispatch modes (the locked baseline mutates them under the
+    /// state lock); the pending queue and eventcount are used only when
+    /// [`Config::lockfree_dispatch`] is on.
+    pub(crate) dispatch: Dispatch,
     tthreads: RwLock<Vec<TthreadEntry<U>>>,
     pub(crate) work_cv: Condvar,
     pub(crate) done_cv: Condvar,
     shutdown: AtomicBool,
 }
 
+/// Outcome of [`Inner::raise_lockfree`].
+pub(crate) enum LockfreeRaise {
+    /// The trigger was fully handled on the lock-free path.
+    Done,
+    /// The tthread advanced Clean→Queued but no queue entry landed
+    /// (injected or real overflow). The caller must apply the overflow
+    /// policy under the state lock, validating transitions with `token`.
+    Overflow(u64),
+}
+
 impl<U> Inner<U> {
     pub(crate) fn tthread_fn(&self, id: TthreadId) -> TthreadFn<U> {
         Arc::clone(&self.tthreads.read()[id.index()].func)
+    }
+
+    /// Advances `id`'s status machine for one trigger without the state
+    /// lock: the tentpole fast path. Counts the per-tthread trigger and
+    /// the dispatch-side machinery counters in the sharded atomic slots.
+    pub(crate) fn raise_lockfree(&self, id: TthreadId) -> LockfreeRaise {
+        let slot = self.dispatch.slots.slot(id.index());
+        slot.triggers.fetch_add(1, Ordering::Relaxed);
+        match slot.raise(self.cfg.is_deferred(), !self.cfg.coalesce) {
+            RaiseStep::Absorbed => {
+                self.dispatch.counters.coalesced(id.index());
+                if self.obs.on() {
+                    self.obs
+                        .record(self.obs.status_ring(), EventKind::Coalesced, Some(id), 0);
+                }
+                LockfreeRaise::Done
+            }
+            RaiseStep::Deferred => LockfreeRaise::Done,
+            RaiseStep::Enqueue(token) => {
+                // Injected saturation: report the queue full without
+                // consuming a slot, driving the overflow policy on an
+                // otherwise-healthy queue.
+                if self.fault.fire(FaultPoint::Enqueue) {
+                    return LockfreeRaise::Overflow(token);
+                }
+                match self.dispatch.pending.push(id.index() as u32, token) {
+                    PendingPush::Pushed => {
+                        self.dispatch.counters.enqueued(id.index());
+                        if self.obs.on() {
+                            let occupancy = self.dispatch.pending.len() as u64;
+                            self.obs.record(
+                                self.obs.status_ring(),
+                                EventKind::TriggerEnqueued,
+                                Some(id),
+                                occupancy,
+                            );
+                        }
+                        self.wake_worker(id.index());
+                        LockfreeRaise::Done
+                    }
+                    PendingPush::Full => LockfreeRaise::Overflow(token),
+                }
+            }
+        }
+    }
+
+    /// Wakes at most one parked worker for a newly enqueued unit — never
+    /// for silent or coalesced stores, which don't reach this. Subject to
+    /// the [`FaultPoint::WakeDrop`] injection, which drops the wake
+    /// entirely (epoch bump included); the workers' timed park bounds the
+    /// damage to one park period.
+    pub(crate) fn wake_worker(&self, key: usize) {
+        if self.fault.fire(FaultPoint::WakeDrop) {
+            return;
+        }
+        if self.dispatch.waiters.wake_one() {
+            self.dispatch.counters.worker_wake(key);
+        }
     }
 }
 
@@ -203,6 +279,8 @@ impl<U> Drop for WorkerPool<U> {
             let _state = self.inner.state.lock();
             self.inner.work_cv.notify_all();
         }
+        // Lock-free workers park on the eventcount instead of `work_cv`.
+        self.inner.dispatch.waiters.wake_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -239,6 +317,9 @@ impl<U: Send + 'static> Runtime<U> {
         });
         obs.attach_fault(Arc::clone(&fault));
         let workers = cfg.workers;
+        // One pending-queue shard per worker (rounded up to a power of two
+        // by the queue), capped so a huge pool doesn't fragment the scan.
+        let dispatch = Dispatch::new(cfg.queue_capacity, workers.clamp(1, 16));
         let inner = Arc::new(Inner {
             cfg,
             state: Mutex::new(state),
@@ -248,6 +329,7 @@ impl<U: Send + 'static> Runtime<U> {
             access,
             obs,
             fault,
+            dispatch,
             tthreads: RwLock::new(Vec::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -258,7 +340,7 @@ impl<U: Send + 'static> Runtime<U> {
                 let inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name(format!("dtt-worker-{i}"))
-                    .spawn(move || worker_loop(inner))
+                    .spawn(move || worker_loop(inner, i))
                     .expect("failed to spawn dtt worker")
             })
             .collect();
@@ -345,6 +427,8 @@ impl<U: Send + 'static> Runtime<U> {
     {
         let mut state = self.inner.state.lock();
         let id = state.tst.push();
+        // Materialize the slot now so every later access is lock-free.
+        self.inner.dispatch.slots.ensure(id.index());
         self.inner.tthreads.write().push(TthreadEntry {
             name: name.to_owned(),
             func: Arc::new(body),
@@ -448,6 +532,8 @@ impl<U: Send + 'static> Runtime<U> {
         if !state.tst.contains(tthread) {
             return Err(Error::UnknownTthread(tthread));
         }
+        let lockfree = self.inner.cfg.lockfree_dispatch;
+        let slot = self.inner.dispatch.slots.slot(tthread.index());
         let mut waited = false;
         loop {
             if state.tst.entry(tthread).poisoned {
@@ -456,11 +542,14 @@ impl<U: Send + 'static> Runtime<U> {
             if state.tst.entry(tthread).timed_out {
                 return Err(Error::TthreadTimedOut(tthread));
             }
-            match state.tst.entry(tthread).status {
+            match slot.status() {
                 TthreadStatus::Clean => {
-                    let entry = state.tst.entry_mut(tthread);
-                    let overlapped = entry.completed_since_join;
-                    entry.completed_since_join = false;
+                    // Consume the completed-since-join bit atomically with
+                    // the Clean check; a concurrent trigger moving the
+                    // state first just sends us around the loop.
+                    let Some(overlapped) = slot.take_completed_if_clean() else {
+                        continue;
+                    };
                     state.stats.joins += 1;
                     if waited {
                         state.stats.waited_joins += 1;
@@ -477,22 +566,39 @@ impl<U: Send + 'static> Runtime<U> {
                     return Ok(JoinOutcome::Skipped);
                 }
                 TthreadStatus::Triggered => {
+                    if !slot.try_claim_from(TthreadStatus::Triggered, true) {
+                        continue;
+                    }
                     {
                         let mut ctx = Ctx::new(&mut state, &self.inner, 0);
                         ctx.run_inline(tthread);
                     }
-                    state.tst.entry_mut(tthread).completed_since_join = false;
+                    slot.clear_completed();
                     state.stats.joins += 1;
                     self.obs_join(tthread, JoinOutcome::RanInline);
                     return Ok(JoinOutcome::RanInline);
                 }
                 TthreadStatus::Queued => {
-                    state.queue.remove(tthread);
+                    // Steal the pending execution. Lock-free mode: the
+                    // claim's token bump invalidates the queue entry in
+                    // place, so no queue scan is needed — the worker that
+                    // eventually pops it skips it as stale. Locked mode:
+                    // remove the entry (and its duplicates) directly.
+                    // Either way the steal coalesces duplicate triggers
+                    // into this one inline run, so the rerun flag clears.
+                    if lockfree {
+                        if !slot.try_claim_from(TthreadStatus::Queued, true) {
+                            continue;
+                        }
+                    } else {
+                        state.queue.remove(tthread);
+                        slot.claim();
+                    }
                     {
                         let mut ctx = Ctx::new(&mut state, &self.inner, 0);
                         ctx.run_inline(tthread);
                     }
-                    state.tst.entry_mut(tthread).completed_since_join = false;
+                    slot.clear_completed();
                     state.stats.joins += 1;
                     self.obs_join(tthread, JoinOutcome::Stolen);
                     return Ok(JoinOutcome::Stolen);
@@ -631,21 +737,33 @@ impl<U: Send + 'static> Runtime<U> {
         if state.tst.entry(tthread).timed_out {
             return Err(Error::TthreadTimedOut(tthread));
         }
+        let lockfree = self.inner.cfg.lockfree_dispatch;
+        let slot = self.inner.dispatch.slots.slot(tthread.index());
         loop {
-            match state.tst.entry(tthread).status {
+            match slot.status() {
                 TthreadStatus::Running => self.inner.done_cv.wait(&mut state),
-                TthreadStatus::Queued => {
-                    state.queue.remove(tthread);
-                    break;
+                status => {
+                    if lockfree {
+                        // Claim whatever state the tthread is in; a stale
+                        // queue entry (if any) dies with the token bump.
+                        if slot.try_claim_from(status, true) {
+                            break;
+                        }
+                    } else {
+                        if status == TthreadStatus::Queued {
+                            state.queue.remove(tthread);
+                        }
+                        slot.claim();
+                        break;
+                    }
                 }
-                _ => break,
             }
         }
         {
             let mut ctx = Ctx::new(&mut state, &self.inner, 0);
             ctx.run_inline(tthread);
         }
-        state.tst.entry_mut(tthread).completed_since_join = false;
+        slot.clear_completed();
         Ok(())
     }
 
@@ -674,7 +792,8 @@ impl<U: Send + 'static> Runtime<U> {
         if !state.tst.contains(tthread) {
             return Err(Error::UnknownTthread(tthread));
         }
-        Ok(state.tst.entry(tthread).status)
+        drop(state);
+        Ok(self.inner.dispatch.slots.slot(tthread.index()).status())
     }
 
     /// Name the tthread was registered with.
@@ -701,7 +820,16 @@ impl<U: Send + 'static> Runtime<U> {
         state
             .tst
             .iter()
-            .map(|(id, e)| (id, e.executions, e.skips, e.triggers))
+            .map(|(id, e)| {
+                let triggers = self
+                    .inner
+                    .dispatch
+                    .slots
+                    .slot(id.index())
+                    .triggers
+                    .load(Ordering::Relaxed);
+                (id, e.executions, e.skips, triggers)
+            })
             .collect()
     }
 
@@ -722,29 +850,43 @@ impl<U: Send + 'static> Runtime<U> {
                     .filter(|(t, _)| *t == id)
                     .map(|(_, range)| range)
                     .collect();
+                let slot = self.inner.dispatch.slots.slot(id.index());
                 crate::report::TthreadReportRow {
                     name: names
                         .get(id.index())
                         .map(|e| e.name.clone())
                         .unwrap_or_default(),
-                    status: entry.status,
+                    status: slot.status(),
                     poisoned: entry.poisoned,
                     timed_out: entry.timed_out,
                     executions: entry.executions,
                     epoch: entry.epoch,
                     skips: entry.skips,
-                    triggers: entry.triggers,
+                    triggers: slot.triggers.load(Ordering::Relaxed),
                     watches,
                 }
             })
             .collect();
         let mut stats = state.stats.clone();
         self.inner.access.fold_into(&mut stats);
+        self.inner.dispatch.counters.fold_into(&mut stats);
+        // The pending structure in use depends on the dispatch mode.
+        let (queue_len, queue_capacity, queue_high_watermark) = if self.inner.cfg.lockfree_dispatch
+        {
+            let pending = &self.inner.dispatch.pending;
+            (pending.len(), pending.capacity(), pending.high_watermark())
+        } else {
+            (
+                state.queue.len(),
+                state.queue.capacity(),
+                state.queue.high_watermark(),
+            )
+        };
         crate::report::RuntimeReport {
             tthreads,
-            queue_len: state.queue.len(),
-            queue_capacity: state.queue.capacity(),
-            queue_high_watermark: state.queue.high_watermark(),
+            queue_len,
+            queue_capacity,
+            queue_high_watermark,
             arena_used: self.inner.mem.len(),
             arena_capacity: self.inner.mem.capacity(),
             workers: self.inner.cfg.workers,
@@ -758,6 +900,7 @@ impl<U: Send + 'static> Runtime<U> {
         let state = self.inner.state.lock();
         let mut stats = state.stats.clone();
         self.inner.access.fold_into(&mut stats);
+        self.inner.dispatch.counters.fold_into(&mut stats);
         stats.snapshot()
     }
 
@@ -766,6 +909,7 @@ impl<U: Send + 'static> Runtime<U> {
         let mut state = self.inner.state.lock();
         state.stats = Counters::new();
         self.inner.access.reset();
+        self.inner.dispatch.counters.reset();
     }
 
     /// Shuts the workers down and returns the tracked heap and user state.
@@ -807,6 +951,8 @@ impl<U: Send + 'static> Runtime<U> {
                 let _state = inner.state.lock();
                 inner.work_cv.notify_all();
             }
+            // Lock-free workers park on the eventcount instead.
+            inner.dispatch.waiters.wake_all();
             match timeout {
                 None => {
                     for handle in handles {
@@ -856,52 +1002,142 @@ impl<U> std::fmt::Debug for Runtime<U> {
     }
 }
 
-fn worker_loop<U: Send + 'static>(inner: Arc<Inner<U>>) {
+fn worker_loop<U: Send + 'static>(inner: Arc<Inner<U>>, worker_idx: usize) {
+    if inner.cfg.lockfree_dispatch {
+        worker_loop_lockfree(&inner, worker_idx);
+    } else {
+        worker_loop_locked(&inner);
+    }
+}
+
+/// The locked-baseline worker: holds the state lock across pop, claim and
+/// (in attached mode) the whole body. Kept bit-for-bit behaviourally
+/// compatible as the ablation baseline for `Config::lockfree_dispatch`.
+fn worker_loop_locked<U: Send + 'static>(inner: &Arc<Inner<U>>) {
     let mut state = inner.state.lock();
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
         let Some(id) = state.queue.pop() else {
+            state.stats.worker_parks += 1;
             inner.work_cv.wait(&mut state);
             continue;
         };
         if inner.fault.fire(FaultPoint::Dequeue) {
             // Injected dequeue rejection: push the tthread straight back
             // (the slot we just freed is still ours — the state lock is
-            // held) and retry, exercising the requeue path. Fire budgets
-            // keep an always-on rate from spinning forever.
-            let _ = state.queue.push(id);
+            // held) and retry, exercising the requeue path. The outcome is
+            // handled explicitly: a `Full` requeue means the entry would
+            // be lost and the tthread stranded in Queued forever, so the
+            // worker must fall through and run it itself.
+            match state.queue.push(id) {
+                PushOutcome::Enqueued | PushOutcome::Coalesced => continue,
+                PushOutcome::Full => {}
+            }
+        }
+        let slot = inner.dispatch.slots.slot(id.index());
+        if slot.status() == TthreadStatus::Running {
+            // Coalescing off with several workers: a duplicate entry of a
+            // tthread another worker is mid-executing. Fold it into that
+            // execution's rerun instead of running the body concurrently.
+            // Counted as a stale entry (its trigger was already counted at
+            // enqueue) so trigger conservation stays exact.
+            slot.set_rf_if_running();
+            state.stats.queue_stale_skips += 1;
             continue;
         }
+        slot.claim();
         let func = inner.tthread_fn(id);
         if inner.cfg.detached_execution {
-            state = run_detached(&inner, state, id, &func);
+            state = run_detached(inner, Some(state), id, &func)
+                .expect("locked-mode run_detached keeps the guard");
         } else {
-            run_attached(&inner, &mut state, id, &func);
+            run_attached(inner, &mut state, id, &func);
         }
         inner.done_cv.notify_all();
     }
 }
 
-/// Executes one popped tthread *detached*: snapshot under the lock, body
-/// off the lock, commit under the lock. Takes and returns the state guard
-/// because the lock is genuinely released while the body runs.
+/// The lock-free worker: pops (id, token) pairs from the sharded pending
+/// queue, claims via the status-word CAS, and only touches the state lock
+/// to commit. Idles on the dispatch eventcount with a timed park.
+fn worker_loop_lockfree<U: Send + 'static>(inner: &Arc<Inner<U>>, worker_idx: usize) {
+    let dispatch = &inner.dispatch;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some((raw, token)) = dispatch.pending.pop(worker_idx) else {
+            // The timed park doubles as the rescue path for a dropped
+            // wake (see `FaultPoint::WakeDrop`): even a lost notification
+            // only costs one park period.
+            if dispatch.waiters.park(
+                || !dispatch.pending.is_empty() || inner.shutdown.load(Ordering::SeqCst),
+                PARK_TIMEOUT,
+            ) {
+                dispatch.counters.worker_park(worker_idx);
+            }
+            continue;
+        };
+        let id = TthreadId::new(raw);
+        if inner.fault.fire(FaultPoint::Dequeue) {
+            // Injected dequeue rejection, handled explicitly: requeue and
+            // retry if the queue takes it back, otherwise fall through and
+            // run the entry ourselves — dropping it would strand the
+            // tthread in Queued with no entry anywhere.
+            if dispatch.pending.push(raw, token) == PendingPush::Pushed {
+                continue;
+            }
+        }
+        let slot = dispatch.slots.slot(id.index());
+        if !slot.try_claim_queued(token) {
+            // The entry went stale: a join or force claimed the tthread
+            // (bumping the token) after this entry was queued.
+            dispatch.counters.stale_skip(id.index());
+            continue;
+        }
+        let func = inner.tthread_fn(id);
+        if inner.cfg.detached_execution {
+            let guard = run_detached(inner, None, id, &func);
+            debug_assert!(guard.is_none());
+        } else {
+            let mut state = inner.state.lock();
+            run_attached(inner, &mut state, id, &func);
+        }
+        inner.done_cv.notify_all();
+    }
+}
+
+/// Executes one claimed tthread *detached*: snapshot, body off the lock,
+/// commit under the lock. The caller must already have moved `id` to
+/// Running (claim CAS or `Slot::claim` under the lock).
+///
+/// `held` carries the state guard in locked dispatch mode, where the
+/// caller's pop/claim happened under the lock; `None` means the lock-free
+/// path, where the first snapshot is taken without the lock. In both
+/// modes reruns re-enter the loop holding the commit's guard. Returns the
+/// guard iff one was passed in, so the locked worker keeps its lock-held
+/// loop shape.
 fn run_detached<'a, U: Send + 'static>(
     inner: &'a Inner<U>,
-    mut state: MutexGuard<'a, State<U>>,
+    mut held: Option<MutexGuard<'a, State<U>>>,
     id: TthreadId,
     func: &TthreadFn<U>,
-) -> MutexGuard<'a, State<U>> {
+) -> Option<MutexGuard<'a, State<U>>> {
+    let keep_guard = held.is_some();
+    let slot = inner.dispatch.slots.slot(id.index());
     let mut retries: u32 = 0;
     loop {
-        state.tst.entry_mut(id).status = TthreadStatus::Running;
-        state.tst.entry_mut(id).retrigger = false;
-        // Taken while still holding the state lock, so the snapshot is no
-        // older than the trigger that queued `id`; `snapshot()` holds every
-        // stripe lock, making the copy atomic against concurrent accessors.
+        debug_assert_eq!(slot.status(), TthreadStatus::Running);
+        // With the guard held the snapshot is serialized with raising.
+        // Without it (lock-free first iteration) it is still no older than
+        // the trigger that queued `id`: the claim CAS synchronized with
+        // the raise RMW, which itself followed the triggering store's
+        // stripe-locked publication — and `snapshot()` holds every stripe
+        // lock, making the copy atomic against concurrent accessors.
         let snap = inner.mem.snapshot();
-        drop(state);
+        drop(held.take());
 
         // Injected scheduling delay: the tthread is already Running (a join
         // waits for it rather than stealing it), so stretching this gap
@@ -955,15 +1191,16 @@ fn run_detached<'a, U: Send + 'static>(
         let (guard, log, delta) = ctx.into_detached_parts();
         // If the body touched user state it already holds the lock; reuse
         // that guard so user-state updates and the commit are one critical
-        // section.
-        state = guard.unwrap_or_else(|| inner.state.lock());
+        // section. Every transition *out of* Running below happens under
+        // this lock, so `done_cv` waiters cannot miss the wakeup.
+        let mut state = guard.unwrap_or_else(|| inner.state.lock());
 
         if outcome.is_err() {
             // Poison the tthread but keep this worker alive for the other
             // tthreads; the next join reports the failure. Nothing the body
             // stored is published — a detached execution is atomic.
-            poison(&mut state, id);
-            return state;
+            poison(&mut state, inner, id);
+            return keep_guard.then_some(state);
         }
 
         if let Some(elapsed) = overran {
@@ -973,11 +1210,8 @@ fn run_detached<'a, U: Send + 'static>(
             // loads/stores really happened, against the snapshot).
             inner.access.merge_delta(&delta);
             state.stats.body_timeouts += 1;
-            let entry = state.tst.entry_mut(id);
-            entry.timed_out = true;
-            entry.retrigger = false;
-            entry.status = TthreadStatus::Clean;
-            entry.completed_since_join = false;
+            state.tst.entry_mut(id).timed_out = true;
+            slot.force_clean();
             if inner.obs.on() {
                 inner.obs.record(
                     inner.obs.status_ring(),
@@ -986,7 +1220,7 @@ fn run_detached<'a, U: Send + 'static>(
                     u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
                 );
             }
-            return state;
+            return keep_guard.then_some(state);
         }
 
         inner.access.merge_delta(&delta);
@@ -1012,37 +1246,30 @@ fn run_detached<'a, U: Send + 'static>(
             inner.obs.record(ring, EventKind::CommitDone, Some(id), dur);
         }
         if committed.is_err() {
-            poison(&mut state, id);
-            return state;
+            poison(&mut state, inner, id);
+            return keep_guard.then_some(state);
         }
 
         state.stats.executions += 1;
         state.stats.worker_executions += 1;
         state.stats.detached_executions += 1;
-        let force_retrigger = inner.fault.fire(FaultPoint::Retrigger);
-        let entry = state.tst.entry_mut(id);
-        entry.executions += 1;
-        if force_retrigger {
+        state.tst.entry_mut(id).executions += 1;
+        if inner.fault.fire(FaultPoint::Retrigger) {
             // Injected retrigger: pretend a trigger landed during the body,
             // driving the bounded retry loop below.
-            entry.retrigger = true;
+            slot.set_rf_if_running();
         }
-        if !entry.retrigger {
-            entry.status = TthreadStatus::Clean;
-            entry.completed_since_join = true;
-            entry.epoch += 1;
-            return state;
+        if slot.try_complete(Some(true)) {
+            state.tst.entry_mut(id).epoch += 1;
+            return keep_guard.then_some(state);
         }
-        // A trigger landed while the body ran (or its own commit
-        // retriggered it): the snapshot may be stale, so go around again
-        // with a fresh one — but only up to the configured cap, so
-        // adversarial store rates cannot livelock this worker.
+        // The rerun flag was set: a trigger landed while the body ran (or
+        // its own commit retriggered it). The snapshot may be stale, so go
+        // around again with a fresh one — but only up to the configured
+        // cap, so adversarial store rates cannot livelock this worker.
         if retries >= inner.cfg.commit_retry_cap {
             state.stats.commit_retry_exhausted += 1;
-            let entry = state.tst.entry_mut(id);
-            entry.retrigger = false;
-            entry.status = TthreadStatus::Triggered;
-            entry.completed_since_join = false;
+            slot.complete_to_triggered();
             if inner.obs.on() {
                 inner.obs.record(
                     inner.obs.status_ring(),
@@ -1051,10 +1278,12 @@ fn run_detached<'a, U: Send + 'static>(
                     u64::from(inner.cfg.commit_retry_cap),
                 );
             }
-            return state;
+            return keep_guard.then_some(state);
         }
         retries += 1;
         state.stats.commit_retries += 1;
+        slot.absorb_rf();
+        held = Some(state);
     }
 }
 
@@ -1104,16 +1333,17 @@ fn commit_log<U: Send + 'static>(
 
 /// The legacy attached executor: runs the body under the state lock
 /// (`Config::detached_execution = false`), kept as an ablation baseline.
+/// The caller must already have moved `id` to Running.
 fn run_attached<U: Send + 'static>(
     inner: &Inner<U>,
     state: &mut State<U>,
     id: TthreadId,
     func: &TthreadFn<U>,
 ) {
+    let slot = inner.dispatch.slots.slot(id.index());
     let mut retries: u32 = 0;
     loop {
-        state.tst.entry_mut(id).status = TthreadStatus::Running;
-        state.tst.entry_mut(id).retrigger = false;
+        debug_assert_eq!(slot.status(), TthreadStatus::Running);
         let obs_on = inner.obs.on();
         let body_t0 = if obs_on {
             let ring = inner.obs.status_ring();
@@ -1134,30 +1364,23 @@ fn run_attached<U: Send + 'static>(
             inner.obs.record(ring, EventKind::BodyEnd, Some(id), dur);
         }
         if outcome.is_err() {
-            poison(state, id);
+            poison(state, inner, id);
             break;
         }
         state.stats.executions += 1;
         state.stats.worker_executions += 1;
-        let force_retrigger = inner.fault.fire(FaultPoint::Retrigger);
-        let entry = state.tst.entry_mut(id);
-        entry.executions += 1;
-        if force_retrigger {
-            entry.retrigger = true;
+        state.tst.entry_mut(id).executions += 1;
+        if inner.fault.fire(FaultPoint::Retrigger) {
+            slot.set_rf_if_running();
         }
-        if !entry.retrigger {
-            entry.status = TthreadStatus::Clean;
-            entry.completed_since_join = true;
-            entry.epoch += 1;
+        if slot.try_complete(Some(true)) {
+            state.tst.entry_mut(id).epoch += 1;
             break;
         }
         // Same bounded go-around as the detached executor.
         if retries >= inner.cfg.commit_retry_cap {
             state.stats.commit_retry_exhausted += 1;
-            let entry = state.tst.entry_mut(id);
-            entry.retrigger = false;
-            entry.status = TthreadStatus::Triggered;
-            entry.completed_since_join = false;
+            slot.complete_to_triggered();
             if inner.obs.on() {
                 inner.obs.record(
                     inner.obs.status_ring(),
@@ -1170,17 +1393,15 @@ fn run_attached<U: Send + 'static>(
         }
         retries += 1;
         state.stats.commit_retries += 1;
+        slot.absorb_rf();
     }
 }
 
 /// Marks `id` poisoned after a panicking execution, leaving the runtime
 /// usable for every other tthread.
-fn poison<U>(state: &mut State<U>, id: TthreadId) {
-    let entry = state.tst.entry_mut(id);
-    entry.poisoned = true;
-    entry.retrigger = false;
-    entry.status = TthreadStatus::Clean;
-    entry.completed_since_join = false;
+fn poison<U>(state: &mut State<U>, inner: &Inner<U>, id: TthreadId) {
+    state.tst.entry_mut(id).poisoned = true;
+    inner.dispatch.slots.slot(id.index()).force_clean();
 }
 
 #[cfg(test)]

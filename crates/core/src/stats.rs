@@ -79,6 +79,16 @@ pub struct Counters {
     /// Backpressure overflows that still found the queue full after the
     /// assist budget and shed the trigger to the next join.
     pub overflow_sheds: u64,
+    /// Worker wake notifications actually delivered by the dispatch path
+    /// (one per enqueued unit with a sleeper present; silent and coalesced
+    /// stores never wake anyone).
+    pub worker_wakes: u64,
+    /// Times a worker found no pending work and parked on the dispatch
+    /// eventcount.
+    pub worker_parks: u64,
+    /// Pending-queue entries discarded at claim time because their token
+    /// was stale (the tthread was stolen by a join/force after enqueue).
+    pub queue_stale_skips: u64,
 }
 
 /// Applies a callback macro to the complete counter field list, in
@@ -117,6 +127,9 @@ macro_rules! for_each_counter {
             body_timeouts,
             backpressure_waits,
             overflow_sheds,
+            worker_wakes,
+            worker_parks,
+            queue_stale_skips,
         )
     };
 }
@@ -465,11 +478,17 @@ impl fmt::Display for StatsSnapshot {
             c.commit_retries, c.commit_retry_exhausted
         )?;
         writeln!(f, "body timeouts         {:>12}", c.body_timeouts)?;
-        write!(
+        writeln!(
             f,
             "backpressure / sheds  {:>12} / {}",
             c.backpressure_waits, c.overflow_sheds
-        )
+        )?;
+        writeln!(
+            f,
+            "worker wakes / parks  {:>12} / {}",
+            c.worker_wakes, c.worker_parks
+        )?;
+        write!(f, "stale queue skips     {:>12}", c.queue_stale_skips)
     }
 }
 
@@ -590,10 +609,11 @@ mod tests {
             assert!(c.set_field(name, (i + 1) as u64), "unknown field {name}");
         }
         let fields = c.fields();
-        assert_eq!(fields.len(), 26);
+        assert_eq!(fields.len(), 29);
         assert_eq!(fields[0], ("tracked_stores", 1));
         assert_eq!(fields[20], ("bytes_compared", 21));
         assert_eq!(fields[25], ("overflow_sheds", 26));
+        assert_eq!(fields[28], ("queue_stale_skips", 29));
         for (i, (_, v)) in fields.iter().enumerate() {
             assert_eq!(*v, (i + 1) as u64);
         }

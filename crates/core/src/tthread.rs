@@ -5,6 +5,13 @@
 //! [`StatusTable`] is that structure. The main thread's `tstatus` check at a
 //! consumption point is [`crate::runtime::Runtime::join`], which consults
 //! this table to decide skip / run / wait.
+//!
+//! Since the dispatch path moved off the state lock, the *live* part of the
+//! TST entry — status, retrigger flag, completed-since-join flag, trigger
+//! count — is a packed atomic word in [`crate::dispatch::SlotTable`], CAS'd
+//! by raisers and claimers without the state lock. What remains here is the
+//! slow bookkeeping only ever touched under the state lock: poison/timeout
+//! fault state and the execution/epoch/skip tallies.
 
 use std::fmt;
 
@@ -62,18 +69,12 @@ impl fmt::Display for TthreadStatus {
     }
 }
 
-/// Per-tthread bookkeeping entry.
+/// Per-tthread bookkeeping entry: the slow half of the TST, only read or
+/// written under the state lock. The live status machine (state, retrigger,
+/// completed-since-join, trigger count) lives in the lock-free
+/// [`crate::dispatch::SlotTable`].
 #[derive(Debug, Clone, Default)]
 pub struct TstEntry {
-    /// Current status.
-    pub status: TthreadStatus,
-    /// Set when a trigger fires while the tthread is `Running`; the
-    /// execution must be repeated because it may have read pre-change data.
-    pub retrigger: bool,
-    /// Set when an execution completes off the main thread before the next
-    /// join; lets the join distinguish a true skip (never triggered) from a
-    /// successfully overlapped execution.
-    pub completed_since_join: bool,
     /// Set when the tthread's body panicked: its outputs are suspect and
     /// joins fail until [`crate::runtime::Runtime::clear_poison`] is called.
     pub poisoned: bool,
@@ -91,8 +92,6 @@ pub struct TstEntry {
     pub epoch: u64,
     /// Total joins that skipped because the tthread was clean.
     pub skips: u64,
-    /// Total triggers that targeted this tthread (including coalesced).
-    pub triggers: u64,
 }
 
 /// The thread status table: one [`TstEntry`] per registered tthread.
@@ -179,19 +178,20 @@ mod tests {
     fn entries_start_clean() {
         let mut t = StatusTable::new();
         let id = t.push();
-        assert_eq!(t.entry(id).status, TthreadStatus::Clean);
-        assert!(!t.entry(id).retrigger);
+        assert!(!t.entry(id).poisoned);
+        assert!(!t.entry(id).timed_out);
         assert_eq!(t.entry(id).executions, 0);
+        assert_eq!(t.entry(id).epoch, 0);
     }
 
     #[test]
     fn entry_mutation_is_visible() {
         let mut t = StatusTable::new();
         let id = t.push();
-        t.entry_mut(id).status = TthreadStatus::Queued;
-        t.entry_mut(id).triggers += 1;
-        assert_eq!(t.entry(id).status, TthreadStatus::Queued);
-        assert_eq!(t.entry(id).triggers, 1);
+        t.entry_mut(id).executions += 1;
+        t.entry_mut(id).poisoned = true;
+        assert_eq!(t.entry(id).executions, 1);
+        assert!(t.entry(id).poisoned);
     }
 
     #[test]

@@ -179,13 +179,15 @@ proptest! {
         cap in 1usize..4,
         coalesce in prop::bool::ANY,
         detached in prop::bool::ANY,
+        lockfree in prop::bool::ANY,
         ops in prop::collection::vec((0u8..4, 0usize..4, 0u64..3), 1..60),
     ) {
         let cfg = Config::default()
             .with_workers(workers)
             .with_queue_capacity(cap)
             .with_coalescing(coalesce)
-            .with_detached_execution(detached);
+            .with_detached_execution(detached)
+            .with_lockfree_dispatch(lockfree);
         let mut rt = Runtime::new(cfg, 0u64);
         let xs = rt.alloc_array::<u64>(4).unwrap();
         let sum = rt.register("sum", move |ctx| {
@@ -231,6 +233,27 @@ proptest! {
             .map(|(_, execs, _, _)| *execs)
             .sum();
         prop_assert_eq!(per_tthread, c.executions);
+        // Dispatch-path conservation: with workers, every fired trigger is
+        // accounted for exactly once — enqueued, coalesced/absorbed, or
+        // overflowed. The deferred executor (workers = 0) marks a Clean
+        // tthread Triggered without touching the queue counters, so there
+        // the sum only bounds the fired triggers from below.
+        if workers == 0 {
+            prop_assert_eq!(c.enqueues, 0);
+            prop_assert_eq!(c.queue_overflows, 0);
+            prop_assert!(c.triggers_fired >= c.coalesced_triggers);
+            prop_assert_eq!(c.worker_wakes, 0);
+            prop_assert_eq!(c.worker_parks, 0);
+        } else {
+            prop_assert_eq!(
+                c.triggers_fired,
+                c.enqueues + c.coalesced_triggers + c.queue_overflows
+            );
+        }
+        // Wake discipline: at most one wake per enqueued unit, and a queue
+        // entry can go stale (lose its claim race) at most once.
+        prop_assert!(c.worker_wakes <= c.enqueues);
+        prop_assert!(c.queue_stale_skips <= c.enqueues);
     }
 
     /// Coarse granularity can only add triggers, never lose one: every

@@ -103,6 +103,20 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Atomically releases the guarded lock and blocks until notified or the
+    /// timeout elapses; the lock is reacquired before returning. Returns
+    /// `true` if the wait timed out (matching `parking_lot`'s
+    /// `WaitTimeoutResult::timed_out`).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let taken = guard.inner.take().expect("guard moved during wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(taken, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        result.timed_out()
+    }
+
     /// Wakes one blocked waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -228,6 +242,19 @@ mod tests {
             cv.notify_all();
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_reacquires() {
+        let lock = Mutex::new(7);
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        let timed_out = cv.wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(timed_out);
+        // The guard is live again after the timed wait.
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*lock.lock(), 8);
     }
 
     #[test]

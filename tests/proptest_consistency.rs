@@ -3,7 +3,8 @@
 //! skip decisions — they are two implementations of the same trigger
 //! semantics.
 
-use dtt::core::{Config, Runtime};
+use dtt::core::stats::Counters;
+use dtt::core::{Config, JoinOutcome, Runtime, TthreadStatus};
 use dtt::sim::{simulate, MachineConfig, SimMode};
 use dtt::trace::TraceBuilder;
 use proptest::prelude::*;
@@ -112,6 +113,152 @@ fn run_simulator(schedule: &[Op]) -> Vec<u64> {
         .collect()
 }
 
+/// A dispatch schedule for the lockfree-vs-locked equivalence property:
+/// stores, targeted joins/forces (the steal paths), and full checkpoints.
+#[derive(Debug, Clone)]
+enum DispatchOp {
+    Store { index: usize, value: u64 },
+    Join { t: usize },
+    Force { t: usize },
+    Checkpoint,
+}
+
+fn dispatch_ops() -> impl Strategy<Value = Vec<DispatchOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0usize..CELLS, 0u64..4).prop_map(|(index, value)| DispatchOp::Store { index, value }),
+            2 => (0usize..TTHREADS).prop_map(|t| DispatchOp::Join { t }),
+            1 => (0usize..TTHREADS).prop_map(|t| DispatchOp::Force { t }),
+            1 => Just(DispatchOp::Checkpoint),
+        ],
+        1..100,
+    )
+}
+
+/// Everything externally observable about one dispatch run: per-tthread
+/// execution counts, the join-outcome sequence, the pre-checkpoint status
+/// of every tthread, and the counter block.
+type DispatchObservation = (Vec<u64>, Vec<JoinOutcome>, Vec<TthreadStatus>, Counters);
+
+/// Drives one runtime through `schedule` and records what a program could
+/// see. With `workers = 0` the deferred executor handles every trigger at
+/// the join point, so both dispatch modes are fully deterministic and the
+/// Clean/Triggered/Running arcs of the status machine are compared.
+fn run_deferred_mode(
+    schedule: &[DispatchOp],
+    lockfree: bool,
+    coalesce: bool,
+) -> DispatchObservation {
+    let cfg = Config::default()
+        .with_workers(0)
+        .with_lockfree_dispatch(lockfree)
+        .with_coalescing(coalesce);
+    let mut rt = Runtime::new(cfg, ());
+    let cells = rt.alloc_array::<u64>(CELLS).unwrap();
+    let tts: Vec<_> = (0..TTHREADS)
+        .map(|t| {
+            let tt = rt.register(&format!("t{t}"), |_| {});
+            let (a, b) = watch_range(t);
+            rt.watch(tt, cells.range_of(a, b)).unwrap();
+            rt.mark_dirty(tt).unwrap();
+            tt
+        })
+        .collect();
+    let mut outcomes = Vec::new();
+    for op in schedule {
+        match *op {
+            DispatchOp::Store { index, value } => rt.with(|ctx| ctx.write(cells, index, value)),
+            DispatchOp::Join { t } => outcomes.push(rt.join(tts[t]).unwrap()),
+            DispatchOp::Force { t } => rt.force(tts[t]).unwrap(),
+            DispatchOp::Checkpoint => {
+                for &tt in &tts {
+                    outcomes.push(rt.join(tt).unwrap());
+                }
+            }
+        }
+    }
+    let statuses = tts.iter().map(|&tt| rt.status(tt).unwrap()).collect();
+    let execs = rt
+        .tthread_counters()
+        .into_iter()
+        .map(|(_, e, _, _)| e)
+        .collect();
+    let counters = rt.stats().counters().clone();
+    (execs, outcomes, statuses, counters)
+}
+
+/// Same idea with a real worker — but the worker spends the whole schedule
+/// pinned inside a barrier-parked tthread, so the Queued arcs (enqueue,
+/// coalesce/rerun-flag absorb, join steal, stale queue entries) are
+/// exercised deterministically from the main thread alone. The queue is
+/// big enough that lazy (token-based) vs eager entry removal can't change
+/// when it fills. Parks/wakes are timing-dependent and zeroed out before
+/// the comparison; everything else must match.
+fn run_pinned_worker_mode(
+    schedule: &[DispatchOp],
+    lockfree: bool,
+    coalesce: bool,
+) -> DispatchObservation {
+    let gate = std::sync::Arc::new(std::sync::Barrier::new(2));
+    let cfg = Config::default()
+        .with_workers(1)
+        .with_queue_capacity(4096)
+        .with_lockfree_dispatch(lockfree)
+        .with_coalescing(coalesce);
+    let mut rt = Runtime::new(cfg, ());
+    let g = std::sync::Arc::clone(&gate);
+    let blocker = rt.register("blocker", move |_| {
+        g.wait();
+    });
+    let cells = rt.alloc_array::<u64>(CELLS).unwrap();
+    let tts: Vec<_> = (0..TTHREADS)
+        .map(|t| {
+            let tt = rt.register(&format!("t{t}"), |_| {});
+            let (a, b) = watch_range(t);
+            rt.watch(tt, cells.range_of(a, b)).unwrap();
+            tt
+        })
+        .collect();
+    rt.mark_dirty(blocker).unwrap();
+    let start = std::time::Instant::now();
+    while rt.status(blocker).unwrap() != TthreadStatus::Running {
+        assert!(start.elapsed() < std::time::Duration::from_secs(10));
+        std::thread::yield_now();
+    }
+
+    let mut outcomes = Vec::new();
+    for op in schedule {
+        match *op {
+            DispatchOp::Store { index, value } => rt.with(|ctx| ctx.write(cells, index, value)),
+            DispatchOp::Join { t } => outcomes.push(rt.join(tts[t]).unwrap()),
+            DispatchOp::Force { t } => rt.force(tts[t]).unwrap(),
+            DispatchOp::Checkpoint => {
+                for &tt in &tts {
+                    outcomes.push(rt.join(tt).unwrap());
+                }
+            }
+        }
+    }
+    let statuses: Vec<_> = tts.iter().map(|&tt| rt.status(tt).unwrap()).collect();
+    // Drain every pending trigger deterministically (steals) while the
+    // worker is still pinned, so the execution counts below can't race
+    // the worker's own drain after release.
+    for &tt in &tts {
+        outcomes.push(rt.join(tt).unwrap());
+    }
+    let execs = rt
+        .tthread_counters()
+        .into_iter()
+        .map(|(_, e, _, _)| e)
+        .collect();
+    let mut counters = rt.stats().counters().clone();
+    counters.worker_wakes = 0;
+    counters.worker_parks = 0;
+    gate.wait();
+    rt.join_all().unwrap();
+    (execs, outcomes, statuses, counters)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -135,6 +282,39 @@ proptest! {
         for execs in sim_execs {
             prop_assert!(execs <= checkpoints);
             prop_assert!(execs >= 1); // the initial dirty instance always runs
+        }
+    }
+
+    /// The lock-free status machine is an exact drop-in for the locked
+    /// baseline on the deferred (workers = 0) executor: for any
+    /// store/join/force/checkpoint schedule the two dispatch modes produce
+    /// identical execution counts, join outcomes, statuses, *and counters*.
+    #[test]
+    fn lockfree_dispatch_matches_locked_deferred_baseline(
+        schedule in dispatch_ops(),
+        coalesce in prop::bool::ANY,
+    ) {
+        let lockfree = run_deferred_mode(&schedule, true, coalesce);
+        let locked = run_deferred_mode(&schedule, false, coalesce);
+        prop_assert_eq!(lockfree, locked);
+    }
+
+    /// The Queued arcs (enqueue, absorb, steal, stale entries) with a real
+    /// — but pinned — worker. With coalescing on, even the counters must
+    /// match exactly; with coalescing off the two modes represent repeat
+    /// triggers differently (rerun flag vs duplicate queue entries), so
+    /// the enqueue/coalesce counter split legitimately diverges while
+    /// everything a program can observe must still match.
+    #[test]
+    fn lockfree_dispatch_matches_locked_queued_baseline(
+        schedule in dispatch_ops(),
+        coalesce in prop::bool::ANY,
+    ) {
+        let (le, lo, ls, lc) = run_pinned_worker_mode(&schedule, true, coalesce);
+        let (be, bo, bs, bc) = run_pinned_worker_mode(&schedule, false, coalesce);
+        prop_assert_eq!((le, lo, ls), (be, bo, bs));
+        if coalesce {
+            prop_assert_eq!(lc, bc);
         }
     }
 }

@@ -73,6 +73,11 @@ fn worker_body_runs_off_the_state_lock() {
 /// off, a trigger for an already-Queued tthread that overflows the queue
 /// used to run the tthread inline *and* leave the stale queue entry behind
 /// for a worker to run again. The inline run must be the only run.
+///
+/// Pinned to the locked baseline: only the locked queue represents repeat
+/// triggers as duplicate entries, so only there can the overflow + stale
+/// entry interleaving exist. The lock-free path folds repeats into the
+/// rerun flag instead — see `lockfree_rerun_flag_replaces_queue_duplicates`.
 #[test]
 fn queue_overflow_inline_executes_exactly_once() {
     let gate = Arc::new(Barrier::new(2));
@@ -80,6 +85,7 @@ fn queue_overflow_inline_executes_exactly_once() {
         .with_workers(1)
         .with_queue_capacity(1)
         .with_coalescing(false)
+        .with_lockfree_dispatch(false)
         .with_overflow(OverflowPolicy::ExecuteInline);
     let mut rt = Runtime::new(cfg, 0u64);
     let x = rt.alloc(0u64).unwrap();
@@ -119,7 +125,7 @@ fn queue_overflow_inline_executes_exactly_once() {
 
 /// Same stale-entry scenario under `DeferToJoin`: the overflowed trigger
 /// reverts the tthread to Triggered (out of the queue), so the next join
-/// runs it inline exactly once.
+/// runs it inline exactly once. Locked baseline only, as above.
 #[test]
 fn queue_overflow_defer_to_join_runs_once_at_join() {
     let gate = Arc::new(Barrier::new(2));
@@ -127,6 +133,7 @@ fn queue_overflow_defer_to_join_runs_once_at_join() {
         .with_workers(1)
         .with_queue_capacity(1)
         .with_coalescing(false)
+        .with_lockfree_dispatch(false)
         .with_overflow(OverflowPolicy::DeferToJoin);
     let mut rt = Runtime::new(cfg, 0u64);
     let x = rt.alloc(0u64).unwrap();
@@ -159,6 +166,126 @@ fn queue_overflow_defer_to_join_runs_once_at_join() {
         .map(|(_, e, ..)| e)
         .unwrap();
     assert_eq!(execs, 1);
+}
+
+/// The lock-free counterpart of the overflow regressions above: with
+/// coalescing off, a repeat trigger for a Queued tthread folds into the
+/// status word's rerun flag instead of a duplicate queue entry, so the
+/// queue cannot overflow from repeats at all — and a join that steals the
+/// queued tthread coalesces the pending rerun into its single inline run,
+/// exactly like the locked path's remove-all-duplicates steal.
+#[test]
+fn lockfree_rerun_flag_replaces_queue_duplicates() {
+    let gate = Arc::new(Barrier::new(2));
+    let cfg = Config::default()
+        .with_workers(1)
+        .with_queue_capacity(1)
+        .with_coalescing(false)
+        .with_lockfree_dispatch(true)
+        .with_overflow(OverflowPolicy::ExecuteInline);
+    let mut rt = Runtime::new(cfg, 0u64);
+    let x = rt.alloc(0u64).unwrap();
+
+    let g = Arc::clone(&gate);
+    let blocker = rt.register("blocker", move |_| {
+        g.wait();
+    });
+    let victim = rt.register("victim", move |ctx| {
+        let v = ctx.get(x);
+        *ctx.user_mut() += v;
+    });
+    rt.watch(victim, x.range()).unwrap();
+
+    // Pin the only worker inside `blocker` so nothing drains the queue.
+    rt.mark_dirty(blocker).unwrap();
+    wait_until_running(&rt, blocker);
+
+    rt.write(x, 1); // victim enqueued; queue (capacity 1) now full
+    rt.write(x, 2); // repeat trigger: absorbed as the rerun flag, no overflow
+    assert_eq!(rt.stats().counters().queue_overflows, 0);
+    assert_eq!(rt.status(victim).unwrap(), TthreadStatus::Queued);
+
+    // The steal claims the queued entry and clears the rerun flag: one
+    // inline run covers both triggers, and it sees the latest value.
+    assert_eq!(rt.join(victim).unwrap(), JoinOutcome::Stolen);
+    assert_eq!(rt.with(|ctx| *ctx.user()), 2);
+
+    gate.wait();
+    rt.join_all().unwrap();
+    let execs = rt
+        .tthread_counters()
+        .into_iter()
+        .find(|(id, ..)| *id == victim)
+        .map(|(_, e, ..)| e)
+        .unwrap();
+    assert_eq!(execs, 1, "the stolen run must cover the folded rerun");
+    assert_eq!(rt.with(|ctx| *ctx.user()), 2);
+}
+
+/// Wake discipline (counter-based, no timing): silent stores and coalesced
+/// triggers must not wake workers — only a `PushOutcome::Enqueued` unit of
+/// work pays for a notification. The invariant is checked on the runtime's
+/// own counters, so a regression shows up as a count mismatch rather than
+/// a flaky timing window.
+#[test]
+fn silent_and_coalesced_stores_do_not_wake_workers() {
+    let gate = Arc::new(Barrier::new(2));
+    let cfg = Config::default()
+        .with_workers(1)
+        .with_lockfree_dispatch(true);
+    let mut rt = Runtime::new(cfg, 0u64);
+    let y = rt.alloc(0u64).unwrap();
+
+    let g = Arc::clone(&gate);
+    let blocker = rt.register("blocker", move |_| {
+        g.wait();
+    });
+    let victim = rt.register("victim", move |ctx| {
+        let v = ctx.get(y);
+        *ctx.user_mut() += v;
+    });
+    rt.watch(victim, y.range()).unwrap();
+
+    // Pin the only worker so the victim stays Queued for the whole probe.
+    rt.mark_dirty(blocker).unwrap();
+    wait_until_running(&rt, blocker);
+
+    rt.write(y, 1); // real trigger: enqueues the victim
+    let s0 = rt.stats();
+    let (wakes0, enqueues0) = (s0.counters().worker_wakes, s0.counters().enqueues);
+
+    // Silent stores: the value does not change, so the store is squashed
+    // before dispatch — nothing enqueued, nobody woken.
+    for _ in 0..64 {
+        rt.write(y, 1);
+    }
+    // Coalesced triggers: the value changes but the victim is already
+    // Queued — the raise absorbs into the status word without a wake.
+    for i in 2..10 {
+        rt.write(y, i);
+    }
+
+    let s1 = rt.stats();
+    assert_eq!(
+        s1.counters().enqueues,
+        enqueues0,
+        "no new work units expected"
+    );
+    assert_eq!(
+        s1.counters().worker_wakes,
+        wakes0,
+        "silent/coalesced stores must never wake a worker"
+    );
+
+    gate.wait();
+    rt.join_all().unwrap();
+    let s = rt.stats();
+    assert!(
+        s.counters().worker_wakes <= s.counters().enqueues,
+        "at most one wake per enqueued unit (wakes={}, enqueues={})",
+        s.counters().worker_wakes,
+        s.counters().enqueues
+    );
 }
 
 /// The legacy attached executor (ablation baseline) still converges to the
