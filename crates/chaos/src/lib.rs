@@ -62,6 +62,9 @@ pub struct ChaosConfig {
     /// Whether the lock-free dispatch path is on (the default) or the
     /// locked ablation baseline is exercised instead.
     pub lockfree_dispatch: bool,
+    /// Whether idle workers steal from foreign pending-queue shards (the
+    /// default) or the park-on-empty affinity ablation runs instead.
+    pub work_stealing: bool,
     /// Commit→retrigger retry cap.
     pub commit_retry_cap: u32,
     /// Optional per-body deadline.
@@ -102,6 +105,9 @@ impl ChaosConfig {
             // Mostly the lock-free dispatch path, with the locked ablation
             // baseline mixed in so both keep surviving the same schedules.
             lockfree_dispatch: rng.gen_range(0..4u32) != 0,
+            // Same idea for the stealing ablation: mostly on, sometimes
+            // the affinity-only scheduler.
+            work_stealing: rng.gen_range(0..4u32) != 0,
             commit_retry_cap: rng.gen_range(1..=8u32),
             body_deadline: None,
             plan,
@@ -119,6 +125,7 @@ impl ChaosConfig {
             ops: 400,
             overflow: OverflowPolicy::ExecuteInline,
             lockfree_dispatch: true,
+            work_stealing: true,
             commit_retry_cap: 8,
             body_deadline: None,
             plan: FaultPlan::new(seed),
@@ -141,7 +148,7 @@ impl ChaosConfig {
             })
             .collect();
         format!(
-            "workers={} queue={} tthreads={} ops={} overflow={:?} dispatch={} retry_cap={} armed=[{}]",
+            "workers={} queue={} tthreads={} ops={} overflow={:?} dispatch={} stealing={} retry_cap={} armed=[{}]",
             self.workers,
             self.queue_capacity,
             self.tthreads,
@@ -152,6 +159,7 @@ impl ChaosConfig {
             } else {
                 "locked"
             },
+            if self.work_stealing { "on" } else { "off" },
             self.commit_retry_cap,
             armed.join(", ")
         )
@@ -326,6 +334,7 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         .with_queue_capacity(cfg.queue_capacity)
         .with_overflow(cfg.overflow)
         .with_lockfree_dispatch(cfg.lockfree_dispatch)
+        .with_work_stealing(cfg.work_stealing)
         .with_commit_retry_cap(cfg.commit_retry_cap)
         .with_observability(true)
         .with_fault_plan(cfg.plan.clone());
@@ -421,6 +430,24 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         return Err(format!(
             "counter conservation violated: overflow_sheds {} > queue_overflows {}",
             c.overflow_sheds, c.queue_overflows
+        ));
+    }
+    if c.steal_batches > c.steals {
+        return Err(format!(
+            "counter conservation violated: steal_batches {} > steals {}",
+            c.steal_batches, c.steals
+        ));
+    }
+    if (!cfg.lockfree_dispatch || !cfg.work_stealing || cfg.workers == 0) && c.steals != 0 {
+        return Err(format!(
+            "steals is {} with stealing unavailable (lockfree={}, stealing={}, workers={})",
+            c.steals, cfg.lockfree_dispatch, cfg.work_stealing, cfg.workers
+        ));
+    }
+    if cfg.workers == 0 && c.park_timeouts != 0 {
+        return Err(format!(
+            "park_timeouts is {} with no workers configured",
+            c.park_timeouts
         ));
     }
     if cfg.body_deadline.is_none() && c.body_timeouts != 0 {

@@ -126,6 +126,13 @@ pub struct Config {
     /// The default is `true` and can be overridden with the
     /// `DTT_LOCKFREE_DISPATCH` environment variable (`0`/`false` disable).
     pub lockfree_dispatch: bool,
+    /// Work stealing (lock-free dispatch only): an idle worker whose own
+    /// pending-queue shards are empty migrates a batch from the fullest
+    /// foreign shard before parking, keeping every worker busy whenever
+    /// any pending trigger exists. Disabling it restores park-on-empty
+    /// affinity scheduling as an ablation — an imbalanced trigger
+    /// distribution then serializes on the shard's owning worker.
+    pub work_stealing: bool,
 }
 
 fn default_lockfree_dispatch() -> bool {
@@ -168,6 +175,7 @@ impl Default for Config {
             commit_retry_cap: 8,
             backpressure_assist_budget: 4,
             lockfree_dispatch: default_lockfree_dispatch(),
+            work_stealing: true,
         }
     }
 }
@@ -285,6 +293,13 @@ impl Config {
         self
     }
 
+    /// Enables or disables work stealing between pending-queue shards
+    /// (`false` restores park-on-empty affinity scheduling for ablations).
+    pub fn with_work_stealing(mut self, on: bool) -> Self {
+        self.work_stealing = on;
+        self
+    }
+
     /// Whether this configuration selects the deferred (single-threaded)
     /// executor.
     pub fn is_deferred(&self) -> bool {
@@ -312,6 +327,7 @@ mod tests {
         assert_eq!(cfg.body_deadline, None);
         assert_eq!(cfg.commit_retry_cap, 8);
         assert_eq!(cfg.backpressure_assist_budget, 4);
+        assert!(cfg.work_stealing);
         // Honors DTT_LOCKFREE_DISPATCH, defaulting on; the test environment
         // may set either, so just check the builder wiring below.
     }
@@ -334,7 +350,8 @@ mod tests {
             .with_body_deadline(Duration::from_millis(250))
             .with_commit_retry_cap(3)
             .with_backpressure_assist_budget(2)
-            .with_lockfree_dispatch(false);
+            .with_lockfree_dispatch(false)
+            .with_work_stealing(false);
         assert_eq!(cfg.granularity, Granularity::Line);
         assert!(!cfg.suppress_silent_stores);
         assert!(!cfg.coalesce);
@@ -367,6 +384,8 @@ mod tests {
                 .with_lockfree_dispatch(true)
                 .lockfree_dispatch
         );
+        assert!(!cfg.work_stealing);
+        assert!(Config::default().with_work_stealing(true).work_stealing);
     }
 
     #[test]

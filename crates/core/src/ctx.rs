@@ -675,6 +675,16 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// shed to Triggered when the assist budget runs out. A victim whose
     /// entry went stale (stolen by a join) costs an assist round but no
     /// execution.
+    ///
+    /// Pending-length audit: each loop iteration pairs exactly one `pop`
+    /// (global `len` −1) with at most one successful `push` (`len` +1,
+    /// reserved before the shard insert); a stale victim decrements
+    /// nothing further — its entry left the queue with the pop — so the
+    /// reservation counter and the physical shard contents stay equal at
+    /// quiescence. The proptest suite pins this via
+    /// `Runtime::pending_queue_consistency`. The `pop(0)` here is the
+    /// deliberately ownership-blind scan: the assisting thread may drain
+    /// any shard, not just one worker's.
     fn backpressure_lockfree(&mut self, id: TthreadId, token: u64) {
         use crate::dispatch::PendingPush;
         let inner = self.inner;
@@ -760,6 +770,9 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                 state.tst.entry_mut(id).poisoned = true;
                 slot.force_clean();
                 inner.done_cv.notify_all();
+                if inner.cfg.lockfree_dispatch {
+                    inner.wake_joiners();
+                }
                 std::panic::resume_unwind(payload);
             }
             state.stats.executions += 1;
@@ -773,5 +786,12 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             slot.absorb_rf();
         }
         self.inner.done_cv.notify_all();
+        // An overflow-inline run on a *worker* thread (backpressure assist
+        // or ExecuteInline during a commit cascade) can complete a tthread
+        // the main thread is parked on: broadcast the completion
+        // eventcount just like the worker loop does after its own runs.
+        if self.inner.cfg.lockfree_dispatch {
+            self.inner.wake_joiners();
+        }
     }
 }

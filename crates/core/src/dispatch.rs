@@ -53,7 +53,7 @@
 //! else is ever acquired under them.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -71,7 +71,7 @@ const TOKEN_ONE: u64 = 1 << TOKEN_SHIFT;
 /// throughput, short enough that an injected lost wakeup
 /// ([`crate::fault::FaultPoint::WakeDrop`]) delays a dispatch instead of
 /// wedging the runtime.
-pub(crate) const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+pub const PARK_TIMEOUT: Duration = Duration::from_millis(50);
 
 #[inline]
 fn state_of(word: u64) -> TthreadStatus {
@@ -158,6 +158,16 @@ impl Slot {
     /// Current status.
     pub(crate) fn status(&self) -> TthreadStatus {
         state_of(self.load())
+    }
+
+    /// The raw status word. Because the token bumps on every state-changing
+    /// transition, the word doubles as a **generation counter**: a joiner
+    /// records it before parking and a changed word proves the tthread
+    /// moved (completed, re-triggered, was stolen, ...) since the
+    /// observation — the per-tthread completion sequence the lock-free
+    /// join parks on.
+    pub(crate) fn word(&self) -> u64 {
+        self.load()
     }
 
     /// Whether an off-main-thread execution completed since the last join.
@@ -402,15 +412,33 @@ pub(crate) enum PendingPush {
     Full,
 }
 
+/// One pending-queue shard: `(tthread index, token)` entries in FIFO
+/// order, plus a mirror of the deque length maintained under the shard
+/// lock so the steal scan and the park predicates can read occupancy
+/// without taking any lock.
+#[derive(Debug, Default)]
+struct PendingShard {
+    entries: Mutex<VecDeque<(u32, u64)>>,
+    occupancy: AtomicUsize,
+}
+
 /// The sharded MPMC pending queue: entries are `(tthread index, token)`
-/// pairs, sharded by tthread index (per-tthread FIFO is preserved — one
-/// tthread always lands on one shard; with coalescing each tthread
-/// occupies at most one entry anyway). Capacity is enforced globally with
+/// pairs, sharded by tthread index. Capacity is enforced globally with
 /// an atomic length, so the overflow policy sees the same bound as the
 /// locked baseline's single queue.
-/// One pending-queue shard: `(tthread index, token)` entries in FIFO order.
-type PendingShard = Mutex<VecDeque<(u32, u64)>>;
-
+///
+/// # Shard ownership and stealing
+///
+/// With `W` workers over `S` shards, worker `w` *owns* shards
+/// `{s : s mod W == w}` — every shard has exactly one owner, so no entry
+/// can be stranded on a shard nobody drains. [`ShardedQueue::pop_local`]
+/// pops only owned shards; an idle worker then calls
+/// [`ShardedQueue::steal_into`] to migrate a batch from the fullest
+/// foreign shard before parking. Cross-shard migration cannot reorder one
+/// tthread's executions: the status machine admits at most one live queue
+/// entry per tthread (duplicate triggers absorb into RF), and any stale
+/// duplicate fails its token validation at claim time — FIFO-per-tthread
+/// rests on the ABA tokens, not on queue position.
 #[derive(Debug)]
 pub(crate) struct ShardedQueue {
     shards: Box<[PendingShard]>,
@@ -431,7 +459,7 @@ impl ShardedQueue {
         assert!(capacity > 0, "queue capacity must be nonzero");
         let n = shards.max(1).next_power_of_two();
         ShardedQueue {
-            shards: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shards: (0..n).map(|_| PendingShard::default()).collect(),
             mask: n - 1,
             len: AtomicUsize::new(0),
             capacity,
@@ -454,33 +482,133 @@ impl ShardedQueue {
             return PendingPush::Full;
         }
         let occupied = {
-            let mut shard = self.shards[id as usize & self.mask].lock();
-            shard.push_back((id, token));
+            let shard = &self.shards[id as usize & self.mask];
+            let mut entries = shard.entries.lock();
+            entries.push_back((id, token));
+            shard.occupancy.store(entries.len(), Ordering::Release);
             self.len.load(Ordering::SeqCst)
         };
         self.high.fetch_max(occupied, Ordering::Relaxed);
         PendingPush::Pushed
     }
 
-    /// Pops one entry, scanning shards round-robin from `start` so workers
-    /// with different indices drain different shards first.
+    /// Pops one entry from shard `s` if it has one.
+    fn pop_shard(&self, s: usize) -> Option<(u32, u64)> {
+        if self.shards[s].occupancy.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let shard = &self.shards[s];
+        let mut entries = shard.entries.lock();
+        let entry = entries.pop_front()?;
+        shard.occupancy.store(entries.len(), Ordering::Release);
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        Some(entry)
+    }
+
+    /// Pops one entry, scanning every shard round-robin from `start` so
+    /// callers with different indices drain different shards first. This
+    /// is the ownership-blind scan used by the backpressure assist and the
+    /// single-consumer paths; workers use [`ShardedQueue::pop_local`].
     pub(crate) fn pop(&self, start: usize) -> Option<(u32, u64)> {
         if self.is_empty() {
             return None;
         }
         for k in 0..self.shards.len() {
-            let mut shard = self.shards[(start + k) & self.mask].lock();
-            if let Some(entry) = shard.pop_front() {
-                self.len.fetch_sub(1, Ordering::SeqCst);
+            if let Some(entry) = self.pop_shard((start + k) & self.mask) {
                 return Some(entry);
             }
         }
         None
     }
 
+    /// Pops one entry from worker `worker`'s own shards (`s mod workers ==
+    /// worker`), scanning them round-robin.
+    pub(crate) fn pop_local(&self, worker: usize, workers: usize) -> Option<(u32, u64)> {
+        let workers = workers.max(1);
+        let mut s = worker % workers;
+        while s < self.shards.len() {
+            if let Some(entry) = self.pop_shard(s) {
+                return Some(entry);
+            }
+            s += workers;
+        }
+        None
+    }
+
+    /// Occupancy of worker `worker`'s own shards — the park predicate for
+    /// the no-stealing ablation, where a worker must only wake for work it
+    /// is allowed to pop.
+    pub(crate) fn local_occupancy(&self, worker: usize, workers: usize) -> usize {
+        let workers = workers.max(1);
+        let mut total = 0;
+        let mut s = worker % workers;
+        while s < self.shards.len() {
+            total += self.shards[s].occupancy.load(Ordering::Acquire);
+            s += workers;
+        }
+        total
+    }
+
+    /// Steals a batch from the fullest *foreign* shard into worker
+    /// `worker`'s first own shard: drains half the victim (rounded up),
+    /// returns the first stolen entry for immediate execution and the
+    /// total number migrated. The two shard locks are never held
+    /// simultaneously (drain to a local buffer, release the victim, then
+    /// lock the destination), so concurrent stealers cannot deadlock.
+    /// Global `len` is untouched except for the returned entry, which is
+    /// popped.
+    pub(crate) fn steal_into(&self, worker: usize, workers: usize) -> Option<((u32, u64), usize)> {
+        let workers = workers.max(1);
+        // Pick the fullest shard owned by someone else (relaxed scan; a
+        // stale read only costs a wasted lock or a missed victim, and the
+        // timed park bounds the miss).
+        let mut victim = None;
+        let mut best = 0;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if s % workers == worker % workers {
+                continue;
+            }
+            let occ = shard.occupancy.load(Ordering::Acquire);
+            if occ > best {
+                best = occ;
+                victim = Some(s);
+            }
+        }
+        let victim = victim?;
+        let mut batch = {
+            let shard = &self.shards[victim];
+            let mut entries = shard.entries.lock();
+            let take = entries.len().div_ceil(2);
+            let batch: Vec<(u32, u64)> = entries.drain(..take).collect();
+            shard.occupancy.store(entries.len(), Ordering::Release);
+            batch
+        };
+        if batch.is_empty() {
+            return None;
+        }
+        let first = batch.remove(0);
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        let moved = 1 + batch.len();
+        if !batch.is_empty() {
+            let dest = &self.shards[worker % workers];
+            let mut entries = dest.entries.lock();
+            entries.extend(batch);
+            dest.occupancy.store(entries.len(), Ordering::Release);
+        }
+        Some((first, moved))
+    }
+
     /// Entries currently queued (including not-yet-skipped stale ones).
     pub(crate) fn len(&self) -> usize {
         self.len.load(Ordering::SeqCst)
+    }
+
+    /// Counts the entries physically present in the shards, under their
+    /// locks. At any quiescent point this must equal [`ShardedQueue::len`]
+    /// — the consistency check the proptest suite asserts to rule out
+    /// double-decrements on the stale-skip and overflow paths.
+    pub(crate) fn physical_len(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
 
     /// Whether the queue is empty.
@@ -499,17 +627,33 @@ impl ShardedQueue {
     }
 }
 
+/// How one [`Waiters::park`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ParkOutcome {
+    /// The caller never slept: work was already available, a wake raced
+    /// in between the epoch read and the sleep commit, or the eventcount
+    /// is closed.
+    Skipped,
+    /// Slept and was woken by a notification before the timeout.
+    Woken,
+    /// Slept until the timeout elapsed — the dropped-wake rescue path.
+    TimedOut,
+}
+
 /// The worker eventcount: producers bump an epoch and wake at most one
 /// parked worker per enqueued unit; consumers validate the epoch under the
 /// mutex before sleeping, so a wake between "queue looked empty" and
 /// "committed to sleep" is never lost. Parks are *timed*
 /// ([`PARK_TIMEOUT`]) as a belt-and-braces bound: an injected lost wakeup
 /// ([`crate::fault::FaultPoint::WakeDrop`]) delays a dispatch by at most
-/// one park period.
+/// one park period. [`Waiters::close`] latches the eventcount shut for
+/// shutdown: every parked waiter is broadcast awake and later park
+/// attempts return immediately, so quiesce never rides out a park period.
 #[derive(Debug, Default)]
 pub(crate) struct Waiters {
     epoch: AtomicU64,
     sleepers: AtomicUsize,
+    closed: AtomicBool,
     lock: Mutex<()>,
     cv: Condvar,
 }
@@ -527,33 +671,61 @@ impl Waiters {
         true
     }
 
-    /// Wakes every parked worker (shutdown).
+    /// Wakes every parked worker.
     pub(crate) fn wake_all(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         let _g = self.lock.lock();
         self.cv.notify_all();
     }
 
-    /// Parks the calling worker until woken, the timeout elapses, or
-    /// `work_available` turns true. Returns whether the worker actually
-    /// slept (the caller counts parks).
-    pub(crate) fn park(&self, work_available: impl Fn() -> bool, timeout: Duration) -> bool {
+    /// Latches the eventcount shut (idempotent) and broadcasts to every
+    /// parked waiter: the dedicated shutdown wake. A closed eventcount
+    /// refuses all future parks, so a worker that re-checks the shutdown
+    /// flag after a failed park can never sleep through quiesce.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    /// Whether [`Waiters::close`] has been called.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// How many callers are currently committed to sleep. A point-in-time
+    /// read, used for wake accounting and by tests that need to observe a
+    /// parked joiner from outside.
+    pub(crate) fn sleeping(&self) -> usize {
+        self.sleepers.load(Ordering::SeqCst)
+    }
+
+    /// Parks the caller until woken, the timeout elapses, or
+    /// `work_available` turns true. The outcome distinguishes a real wake
+    /// from a timeout expiry so callers can count rescue wakes
+    /// separately.
+    pub(crate) fn park(&self, work_available: impl Fn() -> bool, timeout: Duration) -> ParkOutcome {
         let epoch = self.epoch.load(Ordering::SeqCst);
-        if work_available() {
-            return false;
+        if work_available() || self.is_closed() {
+            return ParkOutcome::Skipped;
         }
         let mut guard = self.lock.lock();
         // Announce, then validate: a producer either sees the sleeper
         // count and notifies, or its epoch bump is visible here and the
-        // sleep is abandoned (SeqCst makes one of the two certain).
+        // sleep is abandoned (SeqCst makes one of the two certain). A
+        // concurrent close() bumps the epoch too, so a closing race is
+        // caught by the same validation.
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         if self.epoch.load(Ordering::SeqCst) != epoch {
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
-            return false;
+            return ParkOutcome::Skipped;
         }
-        self.cv.wait_for(&mut guard, timeout);
+        let timed_out = self.cv.wait_for(&mut guard, timeout);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
-        true
+        if timed_out {
+            ParkOutcome::TimedOut
+        } else {
+            ParkOutcome::Woken
+        }
     }
 }
 
@@ -577,6 +749,9 @@ struct DispatchCounterSlot {
     worker_wakes: AtomicU64,
     worker_parks: AtomicU64,
     queue_stale_skips: AtomicU64,
+    steals: AtomicU64,
+    steal_batches: AtomicU64,
+    park_timeouts: AtomicU64,
 }
 
 const COUNTER_SLOTS: usize = 8;
@@ -641,6 +816,19 @@ impl DispatchCounters {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accounts one steal batch that migrated `moved` entries.
+    #[inline]
+    pub(crate) fn stole(&self, key: usize, moved: u64) {
+        let s = self.slot(key);
+        s.steals.fetch_add(moved, Ordering::Relaxed);
+        s.steal_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn park_timeout(&self, key: usize) {
+        self.slot(key).park_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Adds the sharded tallies into `stats`.
     pub(crate) fn fold_into(&self, stats: &mut crate::stats::Counters) {
         for s in self.slots.iter() {
@@ -652,6 +840,9 @@ impl DispatchCounters {
             stats.worker_wakes += s.worker_wakes.load(Ordering::Relaxed);
             stats.worker_parks += s.worker_parks.load(Ordering::Relaxed);
             stats.queue_stale_skips += s.queue_stale_skips.load(Ordering::Relaxed);
+            stats.steals += s.steals.load(Ordering::Relaxed);
+            stats.steal_batches += s.steal_batches.load(Ordering::Relaxed);
+            stats.park_timeouts += s.park_timeouts.load(Ordering::Relaxed);
         }
     }
 
@@ -666,6 +857,9 @@ impl DispatchCounters {
             s.worker_wakes.store(0, Ordering::Relaxed);
             s.worker_parks.store(0, Ordering::Relaxed);
             s.queue_stale_skips.store(0, Ordering::Relaxed);
+            s.steals.store(0, Ordering::Relaxed);
+            s.steal_batches.store(0, Ordering::Relaxed);
+            s.park_timeouts.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -677,6 +871,12 @@ pub(crate) struct Dispatch {
     pub(crate) slots: SlotTable,
     pub(crate) pending: ShardedQueue,
     pub(crate) waiters: Waiters,
+    /// The completion eventcount lock-free joins park on: workers (and
+    /// inline completions) broadcast here after any transition out of
+    /// Running, and a joiner validates "the status word moved" before
+    /// committing to sleep — the join-side analogue of the worker
+    /// eventcount, with the slot token as the generation counter.
+    pub(crate) completions: Waiters,
     pub(crate) counters: DispatchCounters,
 }
 
@@ -686,6 +886,7 @@ impl Dispatch {
             slots: SlotTable::new(),
             pending: ShardedQueue::new(queue_capacity, queue_shards),
             waiters: Waiters::default(),
+            completions: Waiters::default(),
             counters: DispatchCounters::new(),
         }
     }
@@ -868,6 +1069,28 @@ mod tests {
     }
 
     #[test]
+    fn word_changes_on_every_state_transition() {
+        // The generation-counter property the lock-free join parks on: any
+        // transition out of an observed state changes the raw word.
+        let s = slot();
+        let observed = s.word();
+        let RaiseStep::Enqueue(t) = s.raise(false, false) else {
+            panic!()
+        };
+        assert_ne!(s.word(), observed);
+        let observed = s.word();
+        assert!(s.try_claim_queued(t));
+        assert_ne!(s.word(), observed);
+        let observed = s.word();
+        assert!(s.try_complete(Some(true)));
+        assert_ne!(s.word(), observed, "completion must move the word");
+        // Consuming CJ at the join changes the word again (flag bit).
+        let observed = s.word();
+        assert_eq!(s.take_completed_if_clean(), Some(true));
+        assert_ne!(s.word(), observed);
+    }
+
+    #[test]
     fn slot_table_grows_in_chunks() {
         let t = SlotTable::new();
         for i in 0..(CHUNK * 2 + 3) {
@@ -915,6 +1138,100 @@ mod tests {
     }
 
     #[test]
+    fn pop_local_respects_shard_ownership() {
+        // 4 shards, 2 workers: worker 0 owns shards {0, 2}, worker 1 owns
+        // {1, 3}. Ids map to shards by id & 3.
+        let q = ShardedQueue::new(16, 4);
+        q.push(0, 1); // shard 0
+        q.push(1, 1); // shard 1
+        q.push(2, 1); // shard 2
+        q.push(3, 1); // shard 3
+        let mut w0 = Vec::new();
+        while let Some((id, _)) = q.pop_local(0, 2) {
+            w0.push(id);
+        }
+        assert_eq!(w0, vec![0, 2]);
+        assert_eq!(q.local_occupancy(0, 2), 0);
+        assert_eq!(q.local_occupancy(1, 2), 2);
+        let mut w1 = Vec::new();
+        while let Some((id, _)) = q.pop_local(1, 2) {
+            w1.push(id);
+        }
+        assert_eq!(w1, vec![1, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn every_shard_has_an_owner_when_workers_do_not_divide_shards() {
+        // 8 shards, 3 workers: ownership is s mod 3, so shards 6 and 7
+        // fall to workers 0 and 1 — nothing is stranded.
+        let q = ShardedQueue::new(64, 8);
+        for id in 0..8u32 {
+            q.push(id, 1);
+        }
+        let mut drained = 0;
+        for w in 0..3 {
+            while q.pop_local(w, 3).is_some() {
+                drained += 1;
+            }
+        }
+        assert_eq!(drained, 8);
+    }
+
+    #[test]
+    fn steal_takes_half_of_the_fullest_foreign_shard() {
+        // 4 shards, 4 workers: worker 3 owns shard 3, which is empty;
+        // shard 1 (worker 1's) is the fullest victim with 5 entries.
+        let q = ShardedQueue::new(64, 4);
+        for t in 1..=5u64 {
+            q.push(1, t);
+        }
+        q.push(0, 9);
+        assert!(q.pop_local(3, 4).is_none());
+        let ((id, tok), moved) = q.steal_into(3, 4).expect("victim available");
+        assert_eq!((id, tok), (1, 1), "steal preserves the victim's FIFO");
+        assert_eq!(moved, 3, "half of 5, rounded up");
+        // The rest of the batch landed on worker 3's own shard, in order.
+        assert_eq!(q.pop_local(3, 4), Some((1, 2)));
+        assert_eq!(q.pop_local(3, 4), Some((1, 3)));
+        assert!(q.pop_local(3, 4).is_none());
+        // The victim kept its tail, still in order.
+        assert_eq!(q.pop_local(1, 4), Some((1, 4)));
+        assert_eq!(q.pop_local(1, 4), Some((1, 5)));
+        // Global accounting held throughout.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.physical_len(), 1);
+        assert_eq!(q.pop_local(0, 4), Some((0, 9)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn steal_finds_nothing_when_only_own_shards_hold_work() {
+        let q = ShardedQueue::new(16, 4);
+        q.push(2, 1); // shard 2, owned by worker 2 of 4
+        assert!(q.steal_into(2, 4).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.physical_len(), 1);
+    }
+
+    #[test]
+    fn physical_len_matches_atomic_len_through_mixed_traffic() {
+        let q = ShardedQueue::new(8, 4);
+        for id in 0..8u32 {
+            assert_eq!(q.push(id, u64::from(id)), PendingPush::Pushed);
+        }
+        assert_eq!(q.push(8, 8), PendingPush::Full);
+        assert_eq!(q.physical_len(), q.len());
+        q.pop(0);
+        q.pop_local(1, 2);
+        q.steal_into(0, 4);
+        assert_eq!(q.physical_len(), q.len());
+        while q.pop(0).is_some() {}
+        assert_eq!(q.physical_len(), 0);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
     fn waiters_wake_without_sleeper_is_cheap() {
         let w = Waiters::default();
         assert!(!w.wake_one(), "no sleeper: no notification");
@@ -923,15 +1240,53 @@ mod tests {
     #[test]
     fn park_bails_when_work_arrives_first() {
         let w = Waiters::default();
-        assert!(!w.park(|| true, Duration::from_millis(1)));
+        assert_eq!(
+            w.park(|| true, Duration::from_millis(1)),
+            ParkOutcome::Skipped
+        );
     }
 
     #[test]
     fn park_times_out_without_a_wake() {
         let w = Waiters::default();
         let t0 = std::time::Instant::now();
-        assert!(w.park(|| false, Duration::from_millis(5)));
+        assert_eq!(
+            w.park(|| false, Duration::from_millis(5)),
+            ParkOutcome::TimedOut
+        );
         assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn closed_waiters_refuse_to_park() {
+        let w = Waiters::default();
+        assert!(!w.is_closed());
+        w.close();
+        assert!(w.is_closed());
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            w.park(|| false, Duration::from_millis(200)),
+            ParkOutcome::Skipped
+        );
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        // Idempotent.
+        w.close();
+        assert!(w.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_a_parked_waiter_promptly() {
+        let w = Waiters::default();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| w.park(|| false, Duration::from_secs(5)));
+            while w.sleepers.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            let t0 = std::time::Instant::now();
+            w.close();
+            assert_eq!(h.join().unwrap(), ParkOutcome::Woken);
+            assert!(t0.elapsed() < Duration::from_millis(500));
+        });
     }
 
     #[test]
@@ -956,7 +1311,7 @@ mod tests {
             assert!(t0.elapsed() < Duration::from_millis(150));
             parked
         });
-        assert!(parked);
+        assert_eq!(parked, ParkOutcome::Woken);
     }
 
     #[test]
@@ -970,6 +1325,8 @@ mod tests {
             c.worker_wake(i);
             c.worker_park(i);
             c.stale_skip(i);
+            c.stole(i, 3);
+            c.park_timeout(i);
         }
         let mut stats = crate::stats::Counters::new();
         c.fold_into(&mut stats);
@@ -981,6 +1338,9 @@ mod tests {
         assert_eq!(stats.worker_wakes, 20);
         assert_eq!(stats.worker_parks, 20);
         assert_eq!(stats.queue_stale_skips, 20);
+        assert_eq!(stats.steals, 60);
+        assert_eq!(stats.steal_batches, 20);
+        assert_eq!(stats.park_timeouts, 20);
         c.reset();
         let mut stats = crate::stats::Counters::new();
         c.fold_into(&mut stats);

@@ -51,11 +51,19 @@ pub enum FaultPoint {
     /// bump and the notification are both suppressed, simulating a true
     /// lost wakeup. The timed park must still make progress.
     WakeDrop = 7,
+    /// A worker's steal attempt is suppressed: the idle worker parks as if
+    /// every foreign shard were empty. The timed park (and the next real
+    /// wake) must keep foreign work flowing.
+    StealBatch = 8,
+    /// A completion wake on the join eventcount is dropped — a joiner
+    /// parked on the tthread's status word is not notified and must be
+    /// rescued by its timed park.
+    JoinWake = 9,
 }
 
 impl FaultPoint {
     /// Every injection point, in discriminant order.
-    pub const ALL: [FaultPoint; 8] = [
+    pub const ALL: [FaultPoint; 10] = [
         FaultPoint::Enqueue,
         FaultPoint::Dequeue,
         FaultPoint::BodyStart,
@@ -64,6 +72,8 @@ impl FaultPoint {
         FaultPoint::ObsPublish,
         FaultPoint::WorkerSchedule,
         FaultPoint::WakeDrop,
+        FaultPoint::StealBatch,
+        FaultPoint::JoinWake,
     ];
 
     /// Number of injection points.
@@ -85,6 +95,8 @@ impl FaultPoint {
             FaultPoint::ObsPublish => "obs-publish",
             FaultPoint::WorkerSchedule => "worker-schedule",
             FaultPoint::WakeDrop => "wake-drop",
+            FaultPoint::StealBatch => "steal-batch",
+            FaultPoint::JoinWake => "join-wake",
         }
     }
 

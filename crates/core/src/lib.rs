@@ -123,6 +123,11 @@ pub mod stats;
 pub mod trigger;
 pub mod tthread;
 
+/// The worker/joiner timed-park period. Exposed (hidden) for the chaos
+/// and bench harnesses, which budget rescue-wake latencies against it.
+#[doc(hidden)]
+pub use dispatch::PARK_TIMEOUT;
+
 pub use accessor::Accessor;
 pub use addr::{Addr, AddrRange, Granularity};
 pub use config::{Config, OverflowPolicy};

@@ -48,8 +48,9 @@ pub struct CoalescingQueue {
     /// skipped lazily by `pop`. Removal used to be an O(n) `retain` scan
     /// under the state lock at every join-steal; tombstoning makes it O(1).
     tombstones: Vec<u32>,
-    /// Total tombstoned occurrences across all ids; when more than half the
-    /// physical deque is dead, a purge compacts it (amortized O(1)).
+    /// Total tombstoned occurrences across all ids; once the dead entries
+    /// exceed half the *live* count, a purge compacts the deque
+    /// (amortized O(1) per removal).
     tombstoned: usize,
     capacity: usize,
     coalesce: bool,
@@ -158,11 +159,16 @@ impl CoalescingQueue {
         }
         self.tombstones[id.index()] += n;
         self.tombstoned += n as usize;
-        // Compact once the deque is mostly dead, so repeated push/remove
-        // cycles cannot grow it without bound. Each purge is O(physical
-        // len) and is triggered only after at least len/2 removals, so the
-        // amortized cost per removal stays O(1).
-        if self.tombstoned * 2 > self.queue.len() {
+        // Compact once the tombstones exceed half the *live* entries.
+        // Comparing against the physical deque length was too lax: since
+        // the physical length includes the tombstones themselves, that
+        // threshold let dead entries pile up to the live count, so a
+        // steal-heavy phase over a large standing queue paid for the dead
+        // weight on every subsequent pop. Against the live count, dead
+        // entries are bounded by live/2, while each purge — O(live +
+        // tombstoned) — still happens only after tombstoned > live/2
+        // removals, keeping the amortized cost per removal O(1).
+        if self.tombstoned * 2 > self.len() {
             self.purge();
         }
         true
@@ -379,6 +385,37 @@ mod tests {
         assert!(q.queue.len() <= 2, "deque grew to {}", q.queue.len());
         assert_eq!(q.push(id(3)), PushOutcome::Enqueued);
         assert_eq!(q.pop(), Some(id(3)));
+    }
+
+    #[test]
+    fn steal_churn_over_a_standing_queue_stays_compact() {
+        // Regression for the purge threshold: against the *physical*
+        // length, a steal-heavy churn over a large standing population
+        // accumulated one dead entry per live one before compacting. The
+        // live-count threshold bounds tombstones to half the live
+        // entries at every step.
+        let mut q = CoalescingQueue::new(4096, true);
+        // A standing population of 512 ids that never gets stolen.
+        for n in 0..512 {
+            assert_eq!(q.push(id(n)), PushOutcome::Enqueued);
+        }
+        // Churn: repeatedly enqueue-then-steal a disjoint hot set.
+        for round in 0..2000u32 {
+            let hot = 512 + (round % 64);
+            assert_eq!(q.push(id(hot)), PushOutcome::Enqueued);
+            assert!(q.remove(id(hot)));
+            assert_eq!(q.len(), 512, "live count drifted at round {round}");
+            assert!(
+                q.queue.len() <= 512 + 512 / 2 + 1,
+                "deque held {} entries for 512 live at round {round}",
+                q.queue.len()
+            );
+        }
+        // The standing population drains intact, in order.
+        for n in 0..512 {
+            assert_eq!(q.pop(), Some(id(n)));
+        }
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

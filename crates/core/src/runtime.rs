@@ -16,7 +16,7 @@ use crate::accessor::Accessor;
 use crate::addr::AddrRange;
 use crate::config::Config;
 use crate::ctx::{Ctx, LoggedStore};
-use crate::dispatch::{Dispatch, PendingPush, RaiseStep, PARK_TIMEOUT};
+use crate::dispatch::{Dispatch, ParkOutcome, PendingPush, RaiseStep, PARK_TIMEOUT};
 use crate::error::{Error, Result};
 use crate::fault::{FaultLayer, FaultPoint};
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
@@ -188,9 +188,38 @@ impl<U> Inner<U> {
         if self.fault.fire(FaultPoint::WakeDrop) {
             return;
         }
+        if !self.cfg.work_stealing && self.cfg.workers > 1 {
+            // No-stealing ablation: work is poppable only by the shard's
+            // owner, but the eventcount cannot target a specific sleeper.
+            // Broadcast so the owner is among the woken; the others fail
+            // their local-occupancy predicate and go straight back to
+            // sleep. (With stealing on, any single woken worker can run —
+            // or steal — the new entry, so one wake suffices.)
+            let had_sleepers = self.dispatch.waiters.sleeping() > 0;
+            self.dispatch.waiters.wake_all();
+            if had_sleepers {
+                self.dispatch.counters.worker_wake(key);
+            }
+            return;
+        }
         if self.dispatch.waiters.wake_one() {
             self.dispatch.counters.worker_wake(key);
         }
+    }
+
+    /// Broadcasts the completion eventcount after a transition out of
+    /// Running, waking lock-free joiners parked in [`Runtime::join`] /
+    /// [`Runtime::force`]. A broadcast (not a single wake) because the
+    /// eventcount is shared by joins on every tthread; the joiner's
+    /// predicate ("did *my* slot's word move?") filters spurious wakes.
+    /// Subject to the [`FaultPoint::JoinWake`] injection, which drops the
+    /// broadcast entirely; the joiner's timed park bounds the damage to
+    /// one park period.
+    pub(crate) fn wake_joiners(&self) {
+        if self.fault.fire(FaultPoint::JoinWake) {
+            return;
+        }
+        self.dispatch.completions.wake_all();
     }
 }
 
@@ -280,7 +309,12 @@ impl<U> Drop for WorkerPool<U> {
             self.inner.work_cv.notify_all();
         }
         // Lock-free workers park on the eventcount instead of `work_cv`.
-        self.inner.dispatch.waiters.wake_all();
+        // *Close* it rather than merely waking: a closed eventcount
+        // refuses every future park, so a worker that checks the shutdown
+        // flag just before it is set still cannot oversleep — quiesce is
+        // prompt instead of costing up to one park timeout.
+        self.inner.dispatch.waiters.close();
+        self.inner.dispatch.completions.close();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -605,7 +639,34 @@ impl<U: Send + 'static> Runtime<U> {
                 }
                 TthreadStatus::Running => {
                     waited = true;
-                    self.inner.done_cv.wait(&mut state);
+                    if lockfree {
+                        // Lock-free wait: release the state lock entirely
+                        // and park on the completion eventcount, keyed to
+                        // the slot's status *word*. The token bumps on
+                        // every state-changing transition, so the word is
+                        // a generation counter: if the execution finishes
+                        // (or even finishes and retriggers) between our
+                        // read and the sleep commit, the word has moved
+                        // and the park is skipped. Workers broadcast the
+                        // eventcount after every transition out of
+                        // Running, and the timed park rescues a dropped
+                        // broadcast ([`FaultPoint::JoinWake`]) within one
+                        // park period. The joiner thus never blocks while
+                        // holding the state lock.
+                        let observed = slot.word();
+                        drop(state);
+                        let outcome = self
+                            .inner
+                            .dispatch
+                            .completions
+                            .park(|| slot.word() != observed, PARK_TIMEOUT);
+                        if outcome == ParkOutcome::TimedOut {
+                            self.inner.dispatch.counters.park_timeout(tthread.index());
+                        }
+                        state = self.inner.state.lock();
+                    } else {
+                        self.inner.done_cv.wait(&mut state);
+                    }
                 }
             }
         }
@@ -741,7 +802,26 @@ impl<U: Send + 'static> Runtime<U> {
         let slot = self.inner.dispatch.slots.slot(tthread.index());
         loop {
             match slot.status() {
-                TthreadStatus::Running => self.inner.done_cv.wait(&mut state),
+                TthreadStatus::Running => {
+                    if lockfree {
+                        // Same lock-free wait as `join`: park on the
+                        // completion eventcount against the status word,
+                        // never holding the state lock while blocked.
+                        let observed = slot.word();
+                        drop(state);
+                        let outcome = self
+                            .inner
+                            .dispatch
+                            .completions
+                            .park(|| slot.word() != observed, PARK_TIMEOUT);
+                        if outcome == ParkOutcome::TimedOut {
+                            self.inner.dispatch.counters.park_timeout(tthread.index());
+                        }
+                        state = self.inner.state.lock();
+                    } else {
+                        self.inner.done_cv.wait(&mut state);
+                    }
+                }
                 status => {
                     if lockfree {
                         // Claim whatever state the tthread is in; a stale
@@ -904,6 +984,22 @@ impl<U: Send + 'static> Runtime<U> {
         stats.snapshot()
     }
 
+    /// Returns `(atomic_len, physical_len)` of the lock-free pending
+    /// queue: the reservation counter and the number of entries actually
+    /// present in the shards. At any quiescent point (no in-flight push,
+    /// pop or steal) the two must be equal — the consistency identity the
+    /// proptest suite asserts to rule out double-decrements on the
+    /// stale-skip, steal and overflow paths. (An audit of those paths
+    /// found the accounting balanced: pops and steals decrement exactly
+    /// once for the entry they remove, overflow sheds decrement the
+    /// reservation they made, stale skips decrement nothing — the entry
+    /// was already popped. This accessor pins that invariant.)
+    #[doc(hidden)]
+    pub fn pending_queue_consistency(&self) -> (usize, usize) {
+        let pending = &self.inner.dispatch.pending;
+        (pending.len(), pending.physical_len())
+    }
+
     /// Zeroes the global statistics (per-tthread counters are kept).
     pub fn reset_stats(&mut self) {
         let mut state = self.inner.state.lock();
@@ -951,8 +1047,11 @@ impl<U: Send + 'static> Runtime<U> {
                 let _state = inner.state.lock();
                 inner.work_cv.notify_all();
             }
-            // Lock-free workers park on the eventcount instead.
-            inner.dispatch.waiters.wake_all();
+            // Lock-free workers park on the eventcount instead. Close
+            // both eventcounts (worker and completion) so no late parker
+            // can oversleep the shutdown — see `WorkerPool::drop`.
+            inner.dispatch.waiters.close();
+            inner.dispatch.completions.close();
             match timeout {
                 None => {
                     for handle in handles {
@@ -1059,24 +1158,69 @@ fn worker_loop_locked<U: Send + 'static>(inner: &Arc<Inner<U>>) {
     }
 }
 
-/// The lock-free worker: pops (id, token) pairs from the sharded pending
-/// queue, claims via the status-word CAS, and only touches the state lock
-/// to commit. Idles on the dispatch eventcount with a timed park.
+/// The lock-free worker: pops (id, token) pairs from its *own* shards of
+/// the sharded pending queue, falls back to stealing a batch from the
+/// fullest foreign shard ([`Config::work_stealing`]), claims via the
+/// status-word CAS, and only touches the state lock to commit. Idles on
+/// the dispatch eventcount with a timed park.
 fn worker_loop_lockfree<U: Send + 'static>(inner: &Arc<Inner<U>>, worker_idx: usize) {
     let dispatch = &inner.dispatch;
+    let workers = inner.cfg.workers.max(1);
+    let stealing = inner.cfg.work_stealing;
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let Some((raw, token)) = dispatch.pending.pop(worker_idx) else {
+        let popped = dispatch.pending.pop_local(worker_idx, workers).or_else(|| {
+            if !stealing {
+                return None;
+            }
+            // Injected steal suppression: skip this steal attempt so the
+            // imbalance persists; the timed park below keeps the stolen-
+            // from work live regardless.
+            if inner.fault.fire(FaultPoint::StealBatch) {
+                return None;
+            }
+            // Own shards dry: migrate half the fullest foreign shard here
+            // and run its head entry right away. Cross-shard moves cannot
+            // reorder a tthread's executions — FIFO-per-tthread rests on
+            // the ABA tokens, not on queue position.
+            dispatch
+                .pending
+                .steal_into(worker_idx, workers)
+                .map(|(entry, moved)| {
+                    dispatch.counters.stole(worker_idx, moved as u64);
+                    entry
+                })
+        });
+        let Some((raw, token)) = popped else {
             // The timed park doubles as the rescue path for a dropped
-            // wake (see `FaultPoint::WakeDrop`): even a lost notification
-            // only costs one park period.
-            if dispatch.waiters.park(
-                || !dispatch.pending.is_empty() || inner.shutdown.load(Ordering::SeqCst),
-                PARK_TIMEOUT,
-            ) {
-                dispatch.counters.worker_park(worker_idx);
+            // wake (see `FaultPoint::WakeDrop`) or a suppressed steal:
+            // even a lost notification only costs one park period. With
+            // stealing off, park only until *owned* work arrives —
+            // foreign work is not poppable here, and waking for it would
+            // busy-spin this worker.
+            let outcome = if stealing {
+                dispatch.waiters.park(
+                    || !dispatch.pending.is_empty() || inner.shutdown.load(Ordering::SeqCst),
+                    PARK_TIMEOUT,
+                )
+            } else {
+                dispatch.waiters.park(
+                    || {
+                        dispatch.pending.local_occupancy(worker_idx, workers) > 0
+                            || inner.shutdown.load(Ordering::SeqCst)
+                    },
+                    PARK_TIMEOUT,
+                )
+            };
+            match outcome {
+                ParkOutcome::Skipped => {}
+                ParkOutcome::Woken => dispatch.counters.worker_park(worker_idx),
+                ParkOutcome::TimedOut => {
+                    dispatch.counters.worker_park(worker_idx);
+                    dispatch.counters.park_timeout(worker_idx);
+                }
             }
             continue;
         };
@@ -1105,7 +1249,7 @@ fn worker_loop_lockfree<U: Send + 'static>(inner: &Arc<Inner<U>>, worker_idx: us
             let mut state = inner.state.lock();
             run_attached(inner, &mut state, id, &func);
         }
-        inner.done_cv.notify_all();
+        inner.wake_joiners();
     }
 }
 
@@ -1192,7 +1336,11 @@ fn run_detached<'a, U: Send + 'static>(
         // If the body touched user state it already holds the lock; reuse
         // that guard so user-state updates and the commit are one critical
         // section. Every transition *out of* Running below happens under
-        // this lock, so `done_cv` waiters cannot miss the wakeup.
+        // this lock; locked-mode `done_cv` waiters therefore cannot miss
+        // the wakeup, and lock-free joiners cannot either — their parks
+        // validate the slot *word*, which every such transition bumps,
+        // before committing to sleep (the wake itself is broadcast by the
+        // worker loop after this function returns).
         let mut state = guard.unwrap_or_else(|| inner.state.lock());
 
         if outcome.is_err() {
@@ -1971,5 +2119,178 @@ mod tests {
         assert_eq!(execs, 1);
         assert_eq!(skips, 1);
         assert_eq!(triggers, 1);
+    }
+
+    /// The lock-free join proof: while the joiner waits for a Running
+    /// body, it is asleep on the *completion eventcount* and the state
+    /// lock is free — `try_lock` from another thread succeeds. The locked
+    /// baseline instead sleeps inside `done_cv.wait` on the state mutex.
+    #[test]
+    fn join_parks_on_completions_without_the_state_lock() {
+        use std::sync::atomic::AtomicBool;
+        let cfg = deferred().with_workers(1).with_lockfree_dispatch(true);
+        let mut rt = Runtime::new(cfg, ());
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = Arc::clone(&release);
+        let x = rt.alloc(0u32).unwrap();
+        let tt = rt.register("gated", move |_| {
+            while !gate.load(Ordering::SeqCst) {
+                thread::sleep(Duration::from_micros(50));
+            }
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 1);
+        // Wait until the worker is provably inside the body.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.status(tt).unwrap() != TthreadStatus::Running {
+            assert!(Instant::now() < deadline, "worker never claimed the unit");
+            thread::sleep(Duration::from_micros(50));
+        }
+        let inner = Arc::clone(&rt.inner);
+        let opener = Arc::clone(&release);
+        thread::scope(|s| {
+            s.spawn(move || {
+                // Catch the joiner committed to sleep on `completions`
+                // with the state lock simultaneously available. If the
+                // join held the lock while blocked, this combination
+                // could never be observed and the deadline would fire.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    assert!(
+                        Instant::now() < deadline,
+                        "joiner never parked lock-free on the completion eventcount"
+                    );
+                    if inner.dispatch.completions.sleeping() > 0 {
+                        if let Some(guard) = inner.state.try_lock() {
+                            drop(guard);
+                            break;
+                        }
+                    }
+                    thread::sleep(Duration::from_micros(100));
+                }
+                opener.store(true, Ordering::SeqCst);
+            });
+            assert_eq!(rt.join(tt).unwrap(), JoinOutcome::Waited);
+        });
+    }
+
+    /// The shutdown-latency regression test: an idle runtime (all workers
+    /// parked in their timed wait) must tear down via the eventcount
+    /// `close()` broadcast in a small fraction of [`PARK_TIMEOUT`], not
+    /// by riding out park periods.
+    #[test]
+    fn idle_runtime_shutdown_beats_the_park_timeout() {
+        let cfg = deferred().with_workers(4).with_lockfree_dispatch(true);
+        let rt = Runtime::new(cfg, ());
+        // Let every worker reach its parked steady state.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.inner.dispatch.waiters.sleeping() < 4 {
+            assert!(Instant::now() < deadline, "workers never parked");
+            thread::sleep(Duration::from_millis(1));
+        }
+        let t0 = Instant::now();
+        drop(rt.into_state());
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < PARK_TIMEOUT / 2,
+            "idle shutdown took {elapsed:?}; it must beat the {PARK_TIMEOUT:?} park period"
+        );
+    }
+
+    /// Work stealing end to end: tthread ids congruent mod the shard
+    /// count share one pending-queue shard, so triggering only ids ≡ 0
+    /// (mod 4) under 4 workers loads a single worker's shard — the other
+    /// three can make progress only by stealing. Repeats rounds until a
+    /// steal is observed (scheduling-dependent, but each round gives
+    /// three idle workers a full batch to take).
+    #[test]
+    fn work_stealing_drains_an_imbalanced_shard() {
+        let cfg = deferred().with_workers(4).with_lockfree_dispatch(true);
+        assert!(cfg.work_stealing);
+        let mut rt = Runtime::new(cfg, ());
+        let xs = rt.alloc_array::<u32>(32).unwrap();
+        for i in 0..32 {
+            let tt = rt.register(&format!("t{i}"), |_| {
+                thread::sleep(Duration::from_millis(1));
+            });
+            rt.watch(tt, xs.range_of(i, i + 1)).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut round = 0u32;
+        while rt.stats().counters().steals == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "no steal observed after {round} imbalanced rounds"
+            );
+            round += 1;
+            for i in (0..32).step_by(4) {
+                rt.with(|ctx| ctx.write(xs, i, round));
+            }
+            rt.join_all().unwrap();
+        }
+        let c = rt.stats().counters().clone();
+        assert!(c.steal_batches <= c.steals);
+        assert!(c.steal_batches >= 1);
+        // Every stolen entry was executed or skipped, never lost: once
+        // the workers drain the stale leftovers of the join assists, the
+        // reservation counter matches the shard contents at zero.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (len, physical) = rt.pending_queue_consistency();
+            if (len, physical) == (0, 0) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "pending queue never quiesced: len {len}, physical {physical}"
+            );
+            thread::yield_now();
+        }
+    }
+
+    /// The no-stealing ablation: the same imbalanced load must still
+    /// complete (affinity scheduling serializes it on the owning worker;
+    /// join assists cover the rest) and must never count a steal.
+    #[test]
+    fn disabled_stealing_still_drains_but_never_steals() {
+        let cfg = deferred()
+            .with_workers(4)
+            .with_lockfree_dispatch(true)
+            .with_work_stealing(false);
+        let mut rt = Runtime::new(cfg, ());
+        let xs = rt.alloc_array::<u32>(32).unwrap();
+        for i in 0..32 {
+            let tt = rt.register(&format!("t{i}"), |_| {});
+            rt.watch(tt, xs.range_of(i, i + 1)).unwrap();
+        }
+        for round in 1..=5u32 {
+            for i in (0..32).step_by(4) {
+                rt.with(|ctx| ctx.write(xs, i, round));
+            }
+            rt.join_all().unwrap();
+        }
+        let c = rt.stats().counters().clone();
+        assert_eq!(c.steals, 0);
+        assert_eq!(c.steal_batches, 0);
+        // Conservation still holds with affinity-only dispatch.
+        assert_eq!(
+            c.triggers_fired,
+            c.enqueues + c.coalesced_triggers + c.queue_overflows
+        );
+        // join_all assists leave stale entries behind for the owning
+        // worker to pop-and-skip; wait for that drain, then the atomic
+        // and physical lengths must agree at zero.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (len, physical) = rt.pending_queue_consistency();
+            if (len, physical) == (0, 0) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "pending queue never quiesced: len {len}, physical {physical}"
+            );
+            thread::yield_now();
+        }
     }
 }

@@ -89,6 +89,17 @@ pub struct Counters {
     /// Pending-queue entries discarded at claim time because their token
     /// was stale (the tthread was stolen by a join/force after enqueue).
     pub queue_stale_skips: u64,
+    /// Pending-queue entries moved between shards by work stealing (one per
+    /// migrated entry; an idle worker drains them from the fullest foreign
+    /// shard instead of parking).
+    pub steals: u64,
+    /// Work-stealing batches (one per successful steal attempt; `steals /
+    /// steal_batches` is the average batch size).
+    pub steal_batches: u64,
+    /// Parks that ended by exhausting the park timeout rather than by a
+    /// wake notification — the rescue path for dropped wakes. Idle workers
+    /// and joiners accrue these at the park-timeout rate while quiescent.
+    pub park_timeouts: u64,
 }
 
 /// Applies a callback macro to the complete counter field list, in
@@ -130,6 +141,9 @@ macro_rules! for_each_counter {
             worker_wakes,
             worker_parks,
             queue_stale_skips,
+            steals,
+            steal_batches,
+            park_timeouts,
         )
     };
 }
@@ -488,7 +502,13 @@ impl fmt::Display for StatsSnapshot {
             "worker wakes / parks  {:>12} / {}",
             c.worker_wakes, c.worker_parks
         )?;
-        write!(f, "stale queue skips     {:>12}", c.queue_stale_skips)
+        writeln!(f, "stale queue skips     {:>12}", c.queue_stale_skips)?;
+        writeln!(
+            f,
+            "steals / batches      {:>12} / {}",
+            c.steals, c.steal_batches
+        )?;
+        write!(f, "park timeouts         {:>12}", c.park_timeouts)
     }
 }
 
@@ -609,11 +629,14 @@ mod tests {
             assert!(c.set_field(name, (i + 1) as u64), "unknown field {name}");
         }
         let fields = c.fields();
-        assert_eq!(fields.len(), 29);
+        assert_eq!(fields.len(), 32);
         assert_eq!(fields[0], ("tracked_stores", 1));
         assert_eq!(fields[20], ("bytes_compared", 21));
         assert_eq!(fields[25], ("overflow_sheds", 26));
         assert_eq!(fields[28], ("queue_stale_skips", 29));
+        assert_eq!(fields[29], ("steals", 30));
+        assert_eq!(fields[30], ("steal_batches", 31));
+        assert_eq!(fields[31], ("park_timeouts", 32));
         for (i, (_, v)) in fields.iter().enumerate() {
             assert_eq!(*v, (i + 1) as u64);
         }

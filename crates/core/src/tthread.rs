@@ -9,9 +9,13 @@
 //! Since the dispatch path moved off the state lock, the *live* part of the
 //! TST entry — status, retrigger flag, completed-since-join flag, trigger
 //! count — is a packed atomic word in [`crate::dispatch::SlotTable`], CAS'd
-//! by raisers and claimers without the state lock. What remains here is the
-//! slow bookkeeping only ever touched under the state lock: poison/timeout
-//! fault state and the execution/epoch/skip tallies.
+//! by raisers and claimers without the state lock. Because every transition
+//! bumps the word's token bits, the raw word doubles as a *generation
+//! counter*: a lock-free `join` that finds a tthread `Running` snapshots
+//! the word, drops the state lock, and sleeps until the word changes —
+//! which is exactly "the run I observed ended or was re-raised". What
+//! remains here is the slow bookkeeping only ever touched under the state
+//! lock: poison/timeout fault state and the execution/epoch/skip tallies.
 
 use std::fmt;
 

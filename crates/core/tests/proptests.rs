@@ -244,6 +244,11 @@ proptest! {
             prop_assert!(c.triggers_fired >= c.coalesced_triggers);
             prop_assert_eq!(c.worker_wakes, 0);
             prop_assert_eq!(c.worker_parks, 0);
+            // The deferred executor has no workers to steal, park or be
+            // rescued: the scheduler-v2 counters stay untouched.
+            prop_assert_eq!(c.steals, 0);
+            prop_assert_eq!(c.steal_batches, 0);
+            prop_assert_eq!(c.park_timeouts, 0);
         } else {
             prop_assert_eq!(
                 c.triggers_fired,
@@ -254,6 +259,29 @@ proptest! {
         // entry can go stale (lose its claim race) at most once.
         prop_assert!(c.worker_wakes <= c.enqueues);
         prop_assert!(c.queue_stale_skips <= c.enqueues);
+        // Steal discipline: every successful steal attempt migrates at
+        // least its returned head entry, so batches never outnumber moved
+        // entries; and the locked baseline never steals at all.
+        prop_assert!(c.steal_batches <= c.steals);
+        if !lockfree {
+            prop_assert_eq!(c.steals, 0);
+        }
+        // Pending-length audit: at quiescence the reservation counter and
+        // the entries physically in the shards must agree — a double
+        // decrement on the stale-skip, steal or overflow paths would
+        // split them apart *permanently*. A worker draining leftover
+        // stale entries can skew the two reads transiently (a steal's
+        // batch is between shards for a moment), so retry briefly:
+        // transient skew converges, a real accounting bug never does.
+        let mut lens = rt.pending_queue_consistency();
+        for _ in 0..500 {
+            if lens.0 == lens.1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            lens = rt.pending_queue_consistency();
+        }
+        prop_assert_eq!(lens.0, lens.1);
     }
 
     /// Coarse granularity can only add triggers, never lose one: every

@@ -54,6 +54,19 @@ impl<T: ?Sized> Mutex<T> {
             ),
         }
     }
+
+    /// Attempts to acquire the lock without blocking, matching
+    /// `parking_lot::Mutex::try_lock`'s `Option` return (a poisoned lock
+    /// is treated as acquired, consistent with [`Mutex::lock`]).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 /// RAII guard returned by [`Mutex::lock`].

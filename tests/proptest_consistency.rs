@@ -254,6 +254,10 @@ fn run_pinned_worker_mode(
     let mut counters = rt.stats().counters().clone();
     counters.worker_wakes = 0;
     counters.worker_parks = 0;
+    // Timing-dependent like parks: the worker may time out of a park in
+    // the window before it gets pinned. Steals stay *unzeroed* — with a
+    // single worker every shard is local, so both modes must report zero.
+    counters.park_timeouts = 0;
     gate.wait();
     rt.join_all().unwrap();
     (execs, outcomes, statuses, counters)
