@@ -33,8 +33,6 @@
 //! every changing store to a watched range raises its hits before `set`
 //! returns.
 
-use std::sync::atomic::Ordering;
-
 use crate::handle::{Tracked, TrackedArray};
 use crate::obs::EventKind;
 use crate::pod::Pod;
@@ -123,12 +121,21 @@ impl<'rt, U: Send + 'static> Accessor<'rt, U> {
                 cell.addr().raw(),
             );
         }
-        // Watched-address filter: one atomic load proves no watch covers
-        // this store's pages, skipping the trigger-table read lock.
-        if self.inner.watch_filter.load(Ordering::Acquire)
-            & crate::trigger::page_filter_mask(cell.range())
-            == 0
-        {
+        // Watched-address filter: for the common unwatched store a single
+        // page-bit load proves no watch can match; watched-page traffic
+        // still exits at line granularity. Either miss skips the
+        // trigger-table read lock.
+        let probe = self.inner.watch_filter.probe(cell.range());
+        self.inner.access.on_filter(cell.addr().raw(), probe);
+        if probe.is_miss() {
+            if self.inner.obs.on() {
+                self.inner.obs.record(
+                    self.inner.mem.shard_of(cell.addr()),
+                    EventKind::FilterSkip,
+                    None,
+                    cell.addr().raw(),
+                );
+            }
             return;
         }
         // Read guard dropped at the end of the statement, before the state

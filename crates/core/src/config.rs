@@ -133,25 +133,80 @@ pub struct Config {
     /// affinity scheduling as an ablation — an imbalanced trigger
     /// distribution then serializes on the shard's owning worker.
     pub work_stealing: bool,
+    /// Detect changes in bulk stores with the vectorized 64-byte-line lane
+    /// loop (eight xor'd words per step, branch-free over silent lines)
+    /// instead of word-at-a-time comparison. Semantics are identical (the
+    /// equivalence proptest pins changed counts and run vectors); disabling
+    /// it restores the scalar path as an ablation.
+    ///
+    /// The default is `true` and can be overridden with the `DTT_SIMD`
+    /// environment variable (`0`/`false` disable).
+    pub simd_store: bool,
 }
 
-fn default_lockfree_dispatch() -> bool {
-    match std::env::var("DTT_LOCKFREE_DISPATCH") {
-        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
-        Err(_) => true,
+/// Parses a boolean-ish env override: `1`/`true`/`on`/`yes` and
+/// `0`/`false`/`off`/`no` (trimmed, ASCII case-insensitive). Anything else
+/// is `None` — the caller warns and falls back to its default.
+fn parse_env_bool(value: &str) -> Option<bool> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
     }
 }
 
+/// Parses a positive-integer env override; `None` for anything else.
+fn parse_env_shards(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Reads a boolean env override through `parse_env_bool`, warning once per
+/// process (per variable) when the value is set but malformed instead of
+/// silently falling back.
+fn env_bool(var: &str, warn_once: &'static std::sync::Once, default: bool) -> bool {
+    match std::env::var(var) {
+        Ok(v) => parse_env_bool(&v).unwrap_or_else(|| {
+            warn_once.call_once(|| {
+                eprintln!(
+                    "dtt: ignoring malformed {var}={v:?} (expected 1/true/on/yes \
+                     or 0/false/off/no); using default {default}"
+                );
+            });
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+fn default_lockfree_dispatch() -> bool {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    env_bool("DTT_LOCKFREE_DISPATCH", &WARN, true)
+}
+
+fn default_simd_store() -> bool {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    env_bool("DTT_SIMD", &WARN, true)
+}
+
 fn default_mem_shards() -> usize {
-    let requested = std::env::var("DTT_MEM_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get() * 4)
-                .unwrap_or(16)
-        });
+    static WARN: std::sync::Once = std::sync::Once::new();
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get() * 4)
+            .unwrap_or(16)
+    };
+    let requested = match std::env::var("DTT_MEM_SHARDS") {
+        Ok(v) => parse_env_shards(&v).unwrap_or_else(|| {
+            WARN.call_once(|| {
+                eprintln!(
+                    "dtt: ignoring malformed DTT_MEM_SHARDS={v:?} (expected a \
+                     positive integer); deriving the shard count from the host"
+                );
+            });
+            fallback()
+        }),
+        Err(_) => fallback(),
+    };
     requested.clamp(1, 256).next_power_of_two()
 }
 
@@ -176,6 +231,7 @@ impl Default for Config {
             backpressure_assist_budget: 4,
             lockfree_dispatch: default_lockfree_dispatch(),
             work_stealing: true,
+            simd_store: default_simd_store(),
         }
     }
 }
@@ -300,6 +356,13 @@ impl Config {
         self
     }
 
+    /// Enables or disables the vectorized bulk-store change detection
+    /// (`false` restores the word-at-a-time scalar path for ablations).
+    pub fn with_simd_store(mut self, on: bool) -> Self {
+        self.simd_store = on;
+        self
+    }
+
     /// Whether this configuration selects the deferred (single-threaded)
     /// executor.
     pub fn is_deferred(&self) -> bool {
@@ -351,7 +414,8 @@ mod tests {
             .with_commit_retry_cap(3)
             .with_backpressure_assist_budget(2)
             .with_lockfree_dispatch(false)
-            .with_work_stealing(false);
+            .with_work_stealing(false)
+            .with_simd_store(false);
         assert_eq!(cfg.granularity, Granularity::Line);
         assert!(!cfg.suppress_silent_stores);
         assert!(!cfg.coalesce);
@@ -386,6 +450,33 @@ mod tests {
         );
         assert!(!cfg.work_stealing);
         assert!(Config::default().with_work_stealing(true).work_stealing);
+        assert!(!cfg.simd_store);
+        assert!(Config::default().with_simd_store(true).simd_store);
+    }
+
+    #[test]
+    fn env_bool_parsing_accepts_documented_forms_only() {
+        for yes in ["1", "true", "on", "yes", " TRUE ", "On", "YES"] {
+            assert_eq!(parse_env_bool(yes), Some(true), "{yes:?}");
+        }
+        for no in ["0", "false", "off", "no", " False ", "OFF", "nO"] {
+            assert_eq!(parse_env_bool(no), Some(false), "{no:?}");
+        }
+        // The seed silently treated any unrecognized value as "enabled";
+        // malformed values are now rejected (the env readers warn once and
+        // fall back to the default).
+        for bad in ["maybe", "", "2", "yes!", "tru", "-1", "on off"] {
+            assert_eq!(parse_env_bool(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn env_shards_parsing_rejects_non_positive_integers() {
+        assert_eq!(parse_env_shards("8"), Some(8));
+        assert_eq!(parse_env_shards(" 64 "), Some(64));
+        for bad in ["abc", "", "0", "-4", "3.5", "8 shards", "0x10"] {
+            assert_eq!(parse_env_shards(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

@@ -410,26 +410,50 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
         }
         // Locked mode: encode once, let the sharded arena run the
         // per-element compare under a single stripe-lock acquisition, then
-        // dispatch each changed run.
-        let mut data = Vec::with_capacity(n * T::SIZE);
-        let mut buf = [0u8; 16];
-        for v in values {
-            let enc = &mut buf[..T::SIZE];
-            v.write_le(enc);
-            data.extend_from_slice(enc);
-        }
+        // dispatch each changed run. The vectorized store path encodes in
+        // one pass over a pre-sized buffer; the ablation keeps the legacy
+        // element-at-a-time append (a grow-check per element), so
+        // `simd_store` off reproduces the pre-vectorization bulk path
+        // end to end.
+        let data = if self.inner.cfg.simd_store {
+            // The scratch buffer persists across calls, so past the first
+            // call the encode is one pass with no allocation or zero-fill
+            // (every byte below `n * T::SIZE` is overwritten).
+            let mut data = std::mem::take(&mut self.locked().bulk_scratch);
+            data.resize(n * T::SIZE, 0);
+            for (enc, v) in data.chunks_exact_mut(T::SIZE).zip(values) {
+                v.write_le(enc);
+            }
+            data
+        } else {
+            let mut data = Vec::with_capacity(n * T::SIZE);
+            let mut buf = [0u8; 16];
+            for v in values {
+                let enc = &mut buf[..T::SIZE];
+                v.write_le(enc);
+                data.extend_from_slice(enc);
+            }
+            data
+        };
         let mut runs: Vec<(usize, usize)> = Vec::new();
         let changed_elems = self
             .inner
             .mem
             .store_elems(range, &data, T::SIZE, detect, &mut runs);
-        let stats = &mut self.locked().stats;
-        stats.tracked_stores += n as u64;
-        if detect {
-            stats.bytes_compared += (n * T::SIZE) as u64;
-            stats.silent_stores += (n - changed_elems) as u64;
+        {
+            let recycle = self.inner.cfg.simd_store;
+            let state = self.locked();
+            let stats = &mut state.stats;
+            stats.tracked_stores += n as u64;
+            if detect {
+                stats.bytes_compared += (n * T::SIZE) as u64;
+                stats.silent_stores += (n - changed_elems) as u64;
+            }
+            stats.changing_stores += changed_elems as u64;
+            if recycle {
+                state.bulk_scratch = data;
+            }
         }
-        stats.changing_stores += changed_elems as u64;
         for (a, b) in runs {
             let run_range = array.range_of(from + a, from + b);
             // Bulk stores record one change event per changed run (not per
@@ -446,15 +470,24 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// replayed detached stores).
     pub(crate) fn dispatch(&mut self, store_range: crate::addr::AddrRange) {
         // Watched-address filter: most changing stores touch pages no watch
-        // covers; proving that from one atomic load skips the trigger-table
-        // read lock and the bucket walk entirely.
-        if self
-            .inner
-            .watch_filter
-            .load(std::sync::atomic::Ordering::Acquire)
-            & crate::trigger::page_filter_mask(store_range)
-            == 0
+        // covers; proving that from one page-bit load (or a line-bit load
+        // on a watched page) skips the trigger-table read lock and the
+        // bucket walk entirely.
+        let probe = self.inner.watch_filter.probe(store_range);
         {
+            let stats = &mut self.locked().stats;
+            stats.filter_checks += 1;
+            if !matches!(probe, crate::filter::FilterProbe::MissPage) {
+                stats.filter_page_hits += 1;
+            }
+            if matches!(probe, crate::filter::FilterProbe::Hit) {
+                stats.filter_line_hits += 1;
+            }
+        }
+        if probe.is_miss() {
+            if self.inner.obs.on() {
+                self.obs_store(EventKind::FilterSkip, store_range.start());
+            }
             return;
         }
         // Scratch comes from the state-lock pool so the per-store lookup is

@@ -1,0 +1,471 @@
+//! The hierarchical lock-free watched-address filter.
+//!
+//! Every changing tracked store must answer "could any watch match this
+//! range?" before touching the trigger table. The table lookup takes a read
+//! lock and walks address buckets; the filter answers the common *no* from
+//! one or two atomic loads instead.
+//!
+//! # Structure
+//!
+//! Two bitmap levels, both plain [`AtomicU64`] words sized to the arena —
+//! no wrapping, so distinct pages never alias:
+//!
+//! * **Level 1 — pages.** One bit per 4 KiB page, allocated eagerly (the
+//!   default 4 GiB arena needs 128 KiB of zeroed words). A store whose
+//!   pages carry no bit exits after one load per page word — for the
+//!   overwhelmingly common single-page store, exactly one load.
+//! * **Level 2 — lines.** One word per watched page holding one bit per
+//!   64-byte line (64 lines × 64 B = 4 KiB). Line words live in lazily
+//!   initialized chunks, so a huge arena with a handful of watches only
+//!   materializes the chunks those watches touch. A store that lands on a
+//!   watched page but misses every watched *line* exits here, still
+//!   without the table's read lock.
+//!
+//! # Correctness contract
+//!
+//! The filter must never under-approximate: a probe miss must *prove* the
+//! trigger table would find no hit. The table matches rounded ranges —
+//! `rounded(store) ∩ rounded(watch)` at the configured
+//! [`Granularity`] — while the probe tests the store's *raw* line cover,
+//! so [`WatchFilter::watch`] sets bits for the watch's rounded range padded
+//! outward by `width − 1` bytes. If the rounded ranges share a byte, that
+//! byte lies within `width − 1` bytes of the raw store, so the padded watch
+//! cover overlaps the raw store and shares one of its lines. Probe hits are
+//! allowed to be spurious (the table settles precision); the proptests
+//! below pin the no-false-negative direction, including after `unwatch`
+//! rebuilds.
+//!
+//! Mutators (`watch`/`rebuild`) are serialized by the runtime's state lock;
+//! probes run lock-free and concurrently. Watch-side stores publish line
+//! bits *before* page bits (both `Release`), and probes load page bits with
+//! `Acquire` before descending, so a probe that sees a page bit always
+//! finds the line word it covers. `rebuild` recomputes only the removed
+//! watch's span and writes each line word to exactly the remaining
+//! coverage, so surviving watches are never transiently unprotected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::addr::{AddrRange, Granularity};
+
+/// Bytes per level-1 page (4 KiB): one page bit covers 64 line bits.
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
+
+/// Bytes per level-2 line (matches the memory stripe and obs region size).
+const LINE_SHIFT: u32 = 6;
+
+/// Pages per lazily initialized line-word chunk (8192 pages = 64 KiB of
+/// line words covering 32 MiB of arena).
+const LINE_CHUNK_SHIFT: u32 = 13;
+const LINE_CHUNK_PAGES: u64 = 1 << LINE_CHUNK_SHIFT;
+
+/// Where a store-side probe exited the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FilterProbe {
+    /// No page bit set: the cheapest exit, one load per page word (one
+    /// load total for a single-page store).
+    MissPage,
+    /// A page bit was set but no watched line overlaps the store: exits at
+    /// level 2, still without the trigger-table read lock.
+    MissLine,
+    /// A watched line overlaps the store; the caller must consult the
+    /// trigger table (which may still find no precise hit).
+    Hit,
+}
+
+impl FilterProbe {
+    /// Whether the probe proves no trigger can match (either miss level).
+    #[inline]
+    pub(crate) fn is_miss(self) -> bool {
+        !matches!(self, FilterProbe::Hit)
+    }
+}
+
+/// The two-level watched-address filter. See the module docs.
+#[derive(Debug)]
+pub(crate) struct WatchFilter {
+    /// Level 1: bit `p & 63` of word `p >> 6` covers page `p`.
+    pages: Box<[AtomicU64]>,
+    /// Level 2: one line-bit word per page, in lazily initialized chunks of
+    /// [`LINE_CHUNK_PAGES`] pages.
+    lines: Box<[OnceLock<Box<[AtomicU64]>>]>,
+    /// Pages covered by the arena capacity.
+    npages: u64,
+}
+
+/// Bits `lo..=hi` (both ≤ 63) of a 64-bit word.
+#[inline]
+fn bit_span(lo: u32, hi: u32) -> u64 {
+    debug_assert!(lo <= hi && hi < 64);
+    let span = hi - lo;
+    if span >= 63 {
+        u64::MAX
+    } else {
+        ((1u64 << (span + 1)) - 1) << lo
+    }
+}
+
+/// Line bits of page `page` covered by the byte interval `[first, last]`
+/// (inclusive); the interval must overlap the page.
+#[inline]
+fn line_mask_within_page(first: u64, last: u64, page: u64) -> u64 {
+    let page_first = page << PAGE_SHIFT;
+    let page_last = page_first + PAGE_BYTES - 1;
+    let lo = ((first.max(page_first) >> LINE_SHIFT) & 63) as u32;
+    let hi = ((last.min(page_last) >> LINE_SHIFT) & 63) as u32;
+    bit_span(lo, hi)
+}
+
+impl WatchFilter {
+    /// Creates a filter covering an arena of `capacity` bytes with no
+    /// watches set.
+    pub(crate) fn new(capacity: u64) -> Self {
+        let npages = capacity.div_ceil(PAGE_BYTES);
+        let page_words = npages.div_ceil(64) as usize;
+        let line_chunks = npages.div_ceil(LINE_CHUNK_PAGES) as usize;
+        WatchFilter {
+            pages: (0..page_words).map(|_| AtomicU64::new(0)).collect(),
+            lines: (0..line_chunks).map(|_| OnceLock::new()).collect(),
+            npages,
+        }
+    }
+
+    /// The line-bit word of `page`, materializing its chunk.
+    fn line_word(&self, page: u64) -> &AtomicU64 {
+        let chunk = self.lines[(page >> LINE_CHUNK_SHIFT) as usize].get_or_init(|| {
+            let pages_in_chunk =
+                (self.npages - (page & !(LINE_CHUNK_PAGES - 1))).min(LINE_CHUNK_PAGES) as usize;
+            (0..pages_in_chunk).map(|_| AtomicU64::new(0)).collect()
+        });
+        &chunk[(page & (LINE_CHUNK_PAGES - 1)) as usize]
+    }
+
+    /// The line-bit word of `page` if its chunk exists.
+    #[inline]
+    fn line_word_opt(&self, page: u64) -> Option<&AtomicU64> {
+        let chunk = self.lines[(page >> LINE_CHUNK_SHIFT) as usize].get()?;
+        Some(&chunk[(page & (LINE_CHUNK_PAGES - 1)) as usize])
+    }
+
+    /// The filter cover of a watch on `range` at `granularity`, as an
+    /// inclusive byte interval: the rounded range padded outward by
+    /// `width − 1` bytes (how far store-side rounding can reach toward the
+    /// watch), clamped to the filter's page coverage.
+    fn padded_span(&self, range: AddrRange, granularity: Granularity) -> Option<(u64, u64)> {
+        let rounded = range.round_to(granularity);
+        if rounded.is_empty() || self.npages == 0 {
+            return None;
+        }
+        let pad = (granularity.width() - 1) as u64;
+        let first = rounded.start().raw().saturating_sub(pad);
+        let limit = self.npages << PAGE_SHIFT;
+        if first >= limit {
+            return None;
+        }
+        let last = (rounded.end().raw() - 1).saturating_add(pad).min(limit - 1);
+        Some((first, last))
+    }
+
+    /// Sets the filter bits covering a watch on `range` at `granularity`.
+    /// Caller serializes with other mutators (the runtime's state lock).
+    pub(crate) fn watch(&self, range: AddrRange, granularity: Granularity) {
+        let Some((first, last)) = self.padded_span(range, granularity) else {
+            return;
+        };
+        let p0 = first >> PAGE_SHIFT;
+        let p1 = last >> PAGE_SHIFT;
+        // Line bits first, page bits second (both Release): a probe whose
+        // Acquire page load sees the bit is guaranteed to find the line
+        // word populated.
+        for p in p0..=p1 {
+            self.line_word(p)
+                .fetch_or(line_mask_within_page(first, last, p), Ordering::Release);
+        }
+        for w in (p0 >> 6)..=(p1 >> 6) {
+            let lo = if w == p0 >> 6 { (p0 & 63) as u32 } else { 0 };
+            let hi = if w == p1 >> 6 { (p1 & 63) as u32 } else { 63 };
+            self.pages[w as usize].fetch_or(bit_span(lo, hi), Ordering::Release);
+        }
+    }
+
+    /// Recomputes the filter over the span a removed watch on `removed`
+    /// covered, from the `remaining` active watch ranges. Bits outside the
+    /// removed span are untouched; within it, each line word is written to
+    /// exactly the remaining coverage (line bits before page-bit clears,
+    /// so surviving watches are never transiently unfiltered). Caller
+    /// serializes with other mutators.
+    pub(crate) fn rebuild(
+        &self,
+        removed: AddrRange,
+        granularity: Granularity,
+        remaining: &[AddrRange],
+    ) {
+        let Some((first, last)) = self.padded_span(removed, granularity) else {
+            return;
+        };
+        let spans: Vec<(u64, u64)> = remaining
+            .iter()
+            .filter_map(|r| self.padded_span(*r, granularity))
+            .collect();
+        for p in (first >> PAGE_SHIFT)..=(last >> PAGE_SHIFT) {
+            let page_first = p << PAGE_SHIFT;
+            let page_last = page_first + PAGE_BYTES - 1;
+            let mut desired = 0u64;
+            for &(s0, s1) in &spans {
+                if s0 <= page_last && s1 >= page_first {
+                    desired |= line_mask_within_page(s0, s1, p);
+                }
+            }
+            let bit = 1u64 << (p & 63);
+            let word = &self.pages[(p >> 6) as usize];
+            if desired != 0 {
+                // Shrink (or keep) the line cover while the page bit stays
+                // set; probes racing this see a superset of the remaining
+                // watches at every instant.
+                self.line_word(p).store(desired, Ordering::Release);
+                word.fetch_or(bit, Ordering::Release);
+            } else {
+                // Nothing left on this page: hide it at level 1 first, then
+                // clear the line word for the next watch to start clean.
+                word.fetch_and(!bit, Ordering::Release);
+                if let Some(lw) = self.line_word_opt(p) {
+                    lw.store(0, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Store-side membership probe over the *raw* store range. A miss
+    /// proves the trigger table holds no watch whose rounded range can
+    /// intersect the store's rounded range; a hit sends the caller to the
+    /// table.
+    #[inline]
+    pub(crate) fn probe(&self, range: AddrRange) -> FilterProbe {
+        if range.is_empty() {
+            return FilterProbe::MissPage;
+        }
+        let first = range.start().raw();
+        let last = range.end().raw() - 1;
+        let p0 = first >> PAGE_SHIFT;
+        let p1 = last >> PAGE_SHIFT;
+        if p1 >= self.npages {
+            // Out of the filter's coverage (stores are bounds-checked
+            // upstream, so this is defensive): over-approximate.
+            return FilterProbe::Hit;
+        }
+        if p0 == p1 {
+            // The common case — a store inside one page: a single page-bit
+            // load decides the unwatched-traffic exit.
+            if self.pages[(p0 >> 6) as usize].load(Ordering::Acquire) & (1u64 << (p0 & 63)) == 0 {
+                return FilterProbe::MissPage;
+            }
+            let Some(lw) = self.line_word_opt(p0) else {
+                return FilterProbe::Hit;
+            };
+            if lw.load(Ordering::Acquire) & line_mask_within_page(first, last, p0) == 0 {
+                return FilterProbe::MissLine;
+            }
+            return FilterProbe::Hit;
+        }
+        let mut descended = false;
+        for p in p0..=p1 {
+            if self.pages[(p >> 6) as usize].load(Ordering::Acquire) & (1u64 << (p & 63)) == 0 {
+                continue;
+            }
+            descended = true;
+            let Some(lw) = self.line_word_opt(p) else {
+                return FilterProbe::Hit;
+            };
+            if lw.load(Ordering::Acquire) & line_mask_within_page(first, last, p) != 0 {
+                return FilterProbe::Hit;
+            }
+        }
+        if descended {
+            FilterProbe::MissLine
+        } else {
+            FilterProbe::MissPage
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::trigger::TriggerTable;
+    use crate::tthread::TthreadId;
+    use proptest::prelude::*;
+
+    fn r(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(Addr::new(start), len)
+    }
+
+    #[test]
+    fn distinct_pages_never_alias() {
+        // The seed's single-word filter wrapped page indices mod 64, so a
+        // watch on page 0 slow-pathed every store to pages 64, 128, ...;
+        // the sized bitmap keeps them apart.
+        let f = WatchFilter::new(1 << 30);
+        f.watch(r(0, 64), Granularity::Exact);
+        assert_eq!(f.probe(r(16, 8)), FilterProbe::Hit);
+        for aliased_page in [64u64, 128, 192, 1024] {
+            let addr = aliased_page * PAGE_BYTES + 16;
+            assert_eq!(
+                f.probe(r(addr, 8)),
+                FilterProbe::MissPage,
+                "page {aliased_page} aliased a watch on page 0"
+            );
+        }
+    }
+
+    #[test]
+    fn line_level_separates_traffic_within_a_watched_page() {
+        let f = WatchFilter::new(1 << 20);
+        // Watch line 0 of page 3.
+        f.watch(r(3 * PAGE_BYTES, 64), Granularity::Exact);
+        // Same page, line 32: descends to level 2 and misses there.
+        assert_eq!(
+            f.probe(r(3 * PAGE_BYTES + 32 * 64, 8)),
+            FilterProbe::MissLine
+        );
+        // Same line: hit.
+        assert_eq!(f.probe(r(3 * PAGE_BYTES + 8, 4)), FilterProbe::Hit);
+        // Different page: level-1 exit.
+        assert_eq!(f.probe(r(2 * PAGE_BYTES, 8)), FilterProbe::MissPage);
+    }
+
+    #[test]
+    fn coarse_granularity_covers_the_rounded_watch() {
+        // At Block(256) a store sharing the watch's block matches the
+        // table even when it's far outside the raw watch range; the filter
+        // cover must span the whole rounded watch or it would under-filter.
+        let g = Granularity::Block(256);
+        let f = WatchFilter::new(1 << 20);
+        let watch = r(4200, 64); // rounds to [4096, 4352)
+        f.watch(watch, g);
+        // 104 bytes before the raw watch, same 256-byte block.
+        let store = r(4096, 1);
+        assert!(
+            store.round_to(g).intersects(&watch.round_to(g)),
+            "test premise: the table would match"
+        );
+        assert_eq!(f.probe(store), FilterProbe::Hit);
+        // Past the padded cover ([4096-255, 4352+255)) but on the same
+        // page: the page bit is set, the line bit is not.
+        assert_eq!(f.probe(r(4700, 1)), FilterProbe::MissLine);
+    }
+
+    #[test]
+    fn rebuild_clears_removed_and_keeps_remaining() {
+        let f = WatchFilter::new(1 << 30);
+        let a = r(0, 64); // page 0
+        let b = r(64 * PAGE_BYTES, 64); // page 64 (the old filter's alias)
+        f.watch(a, Granularity::Exact);
+        f.watch(b, Granularity::Exact);
+        f.rebuild(a, Granularity::Exact, &[b]);
+        assert_eq!(f.probe(r(0, 8)), FilterProbe::MissPage, "removed watch");
+        assert_eq!(f.probe(r(64 * PAGE_BYTES, 8)), FilterProbe::Hit);
+        // Removing the survivor too empties the filter.
+        f.rebuild(b, Granularity::Exact, &[]);
+        assert_eq!(f.probe(r(64 * PAGE_BYTES, 8)), FilterProbe::MissPage);
+    }
+
+    #[test]
+    fn rebuild_keeps_same_page_survivors_at_line_level() {
+        let f = WatchFilter::new(1 << 20);
+        let a = r(0, 64); // page 0 line 0
+        let b = r(40 * 64, 64); // page 0 line 40
+        f.watch(a, Granularity::Exact);
+        f.watch(b, Granularity::Exact);
+        f.rebuild(a, Granularity::Exact, &[b]);
+        assert_eq!(f.probe(r(0, 8)), FilterProbe::MissLine);
+        assert_eq!(f.probe(r(40 * 64, 8)), FilterProbe::Hit);
+    }
+
+    #[test]
+    fn empty_and_out_of_cover_ranges() {
+        let f = WatchFilter::new(PAGE_BYTES);
+        assert_eq!(f.probe(r(100, 0)), FilterProbe::MissPage);
+        // Beyond the filter's coverage: defensive over-approximation.
+        assert_eq!(f.probe(r(PAGE_BYTES * 2, 8)), FilterProbe::Hit);
+        // Watching outside the cover is a no-op, not a panic.
+        f.watch(r(PAGE_BYTES * 2, 8), Granularity::Exact);
+        f.watch(r(0, 0), Granularity::Exact);
+        assert_eq!(f.probe(r(0, 8)), FilterProbe::MissPage);
+    }
+
+    #[test]
+    fn multi_page_store_descends_only_on_watched_pages() {
+        let f = WatchFilter::new(1 << 20);
+        f.watch(r(5 * PAGE_BYTES + 100, 8), Granularity::Exact);
+        // A store spanning pages 4..=6 must hit via page 5.
+        assert_eq!(
+            f.probe(r(4 * PAGE_BYTES + 4000, 2 * PAGE_BYTES)),
+            FilterProbe::Hit
+        );
+        // Pages 0..=2: clean level-1 miss.
+        assert_eq!(f.probe(r(100, 2 * PAGE_BYTES)), FilterProbe::MissPage);
+    }
+
+    /// Strategy mirroring the table's granularity space, `Block` included
+    /// (widths above 64 are what force the watch-side padding).
+    fn granularities() -> impl Strategy<Value = Granularity> {
+        prop_oneof![
+            Just(Granularity::Exact),
+            Just(Granularity::Word),
+            Just(Granularity::Line),
+            (0u32..=10).prop_map(|s| Granularity::Block(1 << s)),
+        ]
+    }
+
+    const PROP_ARENA: u64 = 1 << 18; // 64 pages
+
+    fn ranges() -> impl Strategy<Value = AddrRange> {
+        (0u64..PROP_ARENA, 1u64..300).prop_map(|(s, l)| r(s, l.min(PROP_ARENA - s).max(1)))
+    }
+
+    proptest! {
+        /// Filter consistency: whenever the trigger table would match a
+        /// store, the filter probe hits — no false negatives at either
+        /// level — and this survives unwatching an arbitrary prefix.
+        #[test]
+        fn probe_never_misses_a_table_match(
+            g in granularities(),
+            watches in proptest::collection::vec(ranges(), 1..8),
+            stores in proptest::collection::vec(ranges(), 1..32),
+            unwatch_n in 0usize..8,
+        ) {
+            let mut table = TriggerTable::new(g);
+            let filter = WatchFilter::new(PROP_ARENA);
+            for (i, w) in watches.iter().enumerate() {
+                table.watch(TthreadId::new(i as u32), *w);
+                filter.watch(*w, g);
+            }
+            for s in &stores {
+                if !table.lookup(*s).is_empty() {
+                    prop_assert_eq!(
+                        filter.probe(*s), FilterProbe::Hit,
+                        "false negative for store {} against {:?} at {}", s, watches, g
+                    );
+                }
+            }
+            // Unwatch a prefix, rebuilding the filter span per removal the
+            // way Runtime::unwatch does, and re-check the invariant.
+            let n = unwatch_n.min(watches.len());
+            for (i, w) in watches.iter().take(n).enumerate() {
+                table.unwatch(TthreadId::new(i as u32), *w).unwrap();
+                let remaining: Vec<AddrRange> = table.iter().map(|(_, r)| r).collect();
+                filter.rebuild(*w, g, &remaining);
+            }
+            for s in &stores {
+                if !table.lookup(*s).is_empty() {
+                    prop_assert_eq!(
+                        filter.probe(*s), FilterProbe::Hit,
+                        "false negative after unwatch for store {}", s
+                    );
+                }
+            }
+        }
+    }
+}

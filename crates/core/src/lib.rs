@@ -89,6 +89,7 @@
 //! | [`pod`] | byte encoding of tracked values |
 //! | [`heap`] | the single-threaded arena (detached-execution snapshots) |
 //! | `mem` | the sharded concurrent arena behind every tracked access |
+//! | `filter` | the two-level page → line watched-address filter |
 //! | [`handle`] | typed [`Tracked`]/[`TrackedArray`] handles |
 //! | [`trigger`] | the store-address → tthread trigger table |
 //! | [`tthread`] | tthread ids and the thread status table |
@@ -111,6 +112,7 @@ pub mod ctx;
 pub(crate) mod dispatch;
 pub mod error;
 pub mod fault;
+pub(crate) mod filter;
 pub mod handle;
 pub mod heap;
 pub(crate) mod mem;

@@ -68,6 +68,10 @@ pub(crate) struct ShardedMem {
     locks: Box<[Mutex<()>]>,
     /// `locks.len() - 1`, for mask-based stripe hashing.
     mask: u64,
+    /// Use the vectorized 64-byte-line change-detection loop in
+    /// [`ShardedMem::store_elems`] ([`crate::config::Config::simd_store`]);
+    /// off restores the word-at-a-time scalar path as an ablation.
+    simd: bool,
 }
 
 impl std::fmt::Debug for ShardedMem {
@@ -91,8 +95,9 @@ enum StripeGuards<'a> {
 
 impl ShardedMem {
     /// Creates an empty arena bounded at `capacity` bytes with `shards`
-    /// stripe locks (rounded up to a power of two, minimum 1).
-    pub(crate) fn new(capacity: u64, shards: usize) -> Self {
+    /// stripe locks (rounded up to a power of two, minimum 1). `simd_store`
+    /// selects the vectorized bulk change-detection loop.
+    pub(crate) fn new(capacity: u64, shards: usize, simd_store: bool) -> Self {
         let shards = shards.max(1).next_power_of_two();
         let nchunks = capacity.div_ceil(8).div_ceil(CHUNK_WORDS) as usize;
         ShardedMem {
@@ -102,6 +107,7 @@ impl ShardedMem {
             alloc_lock: Mutex::new(()),
             locks: (0..shards).map(|_| Mutex::new(())).collect(),
             mask: (shards - 1) as u64,
+            simd: simd_store,
         }
     }
 
@@ -468,28 +474,63 @@ impl ShardedMem {
                             }
                         } else {
                             let mut i = 0usize;
-                            while i < span {
-                                // Fast-skip runs of silent words four at a
-                                // time: the common case in mostly-silent
-                                // bulk rewrites.
-                                while i + 4 <= span {
-                                    let s = &src[i * 8..];
-                                    if words[i].load(Ordering::Relaxed) == le64(s, 0)
-                                        && words[i + 1].load(Ordering::Relaxed) == le64(s, 8)
-                                        && words[i + 2].load(Ordering::Relaxed) == le64(s, 16)
-                                        && words[i + 3].load(Ordering::Relaxed) == le64(s, 24)
-                                    {
+                            if self.simd {
+                                // Vectorized line loop: eight words (one
+                                // 64-byte line) per step, branch-free over
+                                // the lane bodies — the xor lanes OR-reduce
+                                // to one per-line change word, so a silent
+                                // line costs eight loads and one compare,
+                                // with no per-word branching for the
+                                // autovectorizer to trip on. Per-element
+                                // work happens only on changed lines.
+                                let ebits = elem_size * 8;
+                                let emask = if elem_size == 8 {
+                                    u64::MAX
+                                } else {
+                                    (1u64 << ebits) - 1
+                                };
+                                while i + 8 <= span {
+                                    // Fixed-size views: the `[u8; 64]` line
+                                    // and `&words[i..i + 8]` window make
+                                    // every lane index in-bounds by
+                                    // construction, so the reduce below is
+                                    // eight load/xor pairs and one test.
+                                    let s: &[u8; 64] =
+                                        src[i * 8..i * 8 + 64].try_into().expect("64-byte line");
+                                    let w = &words[i..i + 8];
+                                    let mut diff = 0u64;
+                                    for (l, word) in w.iter().enumerate() {
+                                        diff |= le64(s, l * 8) ^ word.load(Ordering::Relaxed);
+                                    }
+                                    if diff == 0 {
+                                        // Silent line: every element it
+                                        // covers is unchanged.
                                         if let Some(start) = st.run_start.take() {
                                             runs.push((start, base + i * per));
                                         }
-                                        i += 4;
-                                    } else {
-                                        break;
+                                        i += 8;
+                                        continue;
                                     }
+                                    // Changed line (the rare case): redo the
+                                    // per-lane xor to place the change bits.
+                                    for (l, word) in w.iter().enumerate() {
+                                        let new = le64(s, l * 8);
+                                        let xor = new ^ word.load(Ordering::Relaxed);
+                                        if xor != 0 {
+                                            word.store(new, Ordering::Relaxed);
+                                        }
+                                        for e in 0..per {
+                                            let changed = (xor >> (e * ebits)) & emask != 0;
+                                            st.mark(base + (i + l) * per + e, changed, runs);
+                                        }
+                                    }
+                                    i += 8;
                                 }
-                                if i >= span {
-                                    break;
-                                }
+                            }
+                            while i < span {
+                                // Word-at-a-time walk: the scalar ablation
+                                // baseline (`simd_store` off) and the
+                                // sub-line tail of the vectorized path.
                                 // One silent word, or a run of changing
                                 // words consumed without re-probing.
                                 loop {
@@ -578,14 +619,65 @@ impl ShardedMem {
                 }
             }
         } else {
-            for k in 0..n {
-                let erange = AddrRange::new(
-                    range.start().offset((k * elem_size) as u64),
-                    elem_size as u64,
-                );
-                let edata = &data[k * elem_size..(k + 1) * elem_size];
-                let changed = self.write_words(erange, edata) || !detect_change;
-                st.mark(k, changed, runs);
+            // Odd element sizes (3/12/16 bytes, ...) or an elem-unaligned
+            // start: elements straddle word boundaries, so walk the words
+            // once — one load/compare/store per word, like the fast path —
+            // instead of a `write_words` call per element. A rolling
+            // element cursor turns each word's xor into per-element change
+            // bits even when one element spans several words. Trailing
+            // bytes beyond the last whole element are left unwritten, as
+            // before.
+            let start = range.start().raw();
+            let end = start + (n * elem_size) as u64;
+            let mut pos = start;
+            let mut o = 0usize;
+            let mut k = 0usize;
+            let mut elem_left = elem_size;
+            let mut elem_changed = false;
+            while pos < end {
+                let (chunk, mut idx) = self.chunk_of(pos >> 3);
+                while pos < end && idx < chunk.len() {
+                    let word = &chunk[idx];
+                    let off = (pos & 7) as usize;
+                    let nb = ((8 - off) as u64).min(end - pos) as usize;
+                    let old = word.load(Ordering::Relaxed);
+                    let new = if nb == 8 {
+                        u64::from_le_bytes(data[o..o + 8].try_into().expect("8 bytes"))
+                    } else {
+                        let mut bytes = old.to_le_bytes();
+                        bytes[off..off + nb].copy_from_slice(&data[o..o + nb]);
+                        u64::from_le_bytes(bytes)
+                    };
+                    let xor = new ^ old;
+                    if xor != 0 {
+                        word.store(new, Ordering::Relaxed);
+                    }
+                    let mut b = 0usize;
+                    while b < nb {
+                        let take = elem_left.min(nb - b);
+                        if xor != 0 {
+                            let mask = if take >= 8 {
+                                u64::MAX
+                            } else {
+                                ((1u64 << (take * 8)) - 1) << ((off + b) * 8)
+                            };
+                            if xor & mask != 0 {
+                                elem_changed = true;
+                            }
+                        }
+                        b += take;
+                        elem_left -= take;
+                        if elem_left == 0 {
+                            st.mark(k, elem_changed || !detect_change, runs);
+                            k += 1;
+                            elem_left = elem_size;
+                            elem_changed = false;
+                        }
+                    }
+                    pos += nb as u64;
+                    o += nb;
+                    idx += 1;
+                }
             }
         }
         if let Some(start) = st.run_start {
@@ -694,15 +786,15 @@ mod tests {
     use super::*;
 
     fn mem(shards: usize) -> ShardedMem {
-        ShardedMem::new(4096, shards)
+        ShardedMem::new(4096, shards, true)
     }
 
     #[test]
     fn shard_count_is_normalized() {
-        assert_eq!(ShardedMem::new(64, 0).shards(), 1);
-        assert_eq!(ShardedMem::new(64, 1).shards(), 1);
-        assert_eq!(ShardedMem::new(64, 3).shards(), 4);
-        assert_eq!(ShardedMem::new(64, 8).shards(), 8);
+        assert_eq!(ShardedMem::new(64, 0, true).shards(), 1);
+        assert_eq!(ShardedMem::new(64, 1, true).shards(), 1);
+        assert_eq!(ShardedMem::new(64, 3, true).shards(), 4);
+        assert_eq!(ShardedMem::new(64, 8, true).shards(), 8);
     }
 
     #[test]
@@ -715,7 +807,7 @@ mod tests {
             assert_eq!(b.raw() % 8, 0);
             assert!(b.raw() >= 3);
             // Mirror of TrackedHeap::alloc's padding-aware error report.
-            let m2 = ShardedMem::new(16, shards);
+            let m2 = ShardedMem::new(16, shards, true);
             m2.alloc(3, 1).unwrap();
             match m2.alloc(16, 8).unwrap_err() {
                 Error::ArenaExhausted {
@@ -838,7 +930,7 @@ mod tests {
     #[test]
     fn concurrent_disjoint_stores_are_exact() {
         use std::sync::Arc;
-        let m = Arc::new(ShardedMem::new(1 << 20, 8));
+        let m = Arc::new(ShardedMem::new(1 << 20, 8, true));
         let a = m.alloc(8 * 1024, 8).unwrap();
         let threads = 4;
         let per = 1024 / threads;
@@ -868,7 +960,7 @@ mod tests {
         use std::sync::Arc;
         // Every thread writes its own byte inside ONE word; the stripe lock
         // must make the read-modify-writes exclusive.
-        let m = Arc::new(ShardedMem::new(64, 4));
+        let m = Arc::new(ShardedMem::new(64, 4, true));
         let a = m.alloc(8, 8).unwrap();
         std::thread::scope(|s| {
             for t in 0..8usize {
@@ -883,6 +975,133 @@ mod tests {
             let mut out = Vec::new();
             m.load_into(AddrRange::new(a.offset(t as u64), 1), &mut out);
             assert_eq!(out, vec![(t + 1) as u8]);
+        }
+    }
+
+    /// Runs one `store_elems` against a prepared arena and returns
+    /// `(changed_elems, runs, final bytes)`.
+    fn run_store_elems(
+        simd: bool,
+        initial: &[u8],
+        start: u64,
+        data: &[u8],
+        elem_size: usize,
+        detect: bool,
+    ) -> (usize, Vec<(usize, usize)>, Vec<u8>) {
+        let m = ShardedMem::new(1 << 16, 4, simd);
+        let base = m.alloc(initial.len() as u64, 1).unwrap();
+        m.store_bytes(AddrRange::new(base, initial.len() as u64), initial, false);
+        let range = AddrRange::new(base.offset(start), data.len() as u64);
+        let mut runs = Vec::new();
+        let changed = m.store_elems(range, data, elem_size, detect, &mut runs);
+        let mut out = Vec::new();
+        m.load_into(AddrRange::new(base, initial.len() as u64), &mut out);
+        (changed, runs, out)
+    }
+
+    #[test]
+    fn odd_elem_sizes_and_unaligned_starts_report_exact_runs() {
+        // The seed's fallback issued one `write_words` call per element;
+        // the batched word walk must report the same per-element runs.
+        // 3-byte elements starting at an odd offset: element 2 straddles a
+        // word boundary.
+        let initial = vec![0u8; 256];
+        let mut data = vec![0u8; 7 * 3];
+        data[3 * 2 + 1] = 0xaa; // element 2
+        data[3 * 5] = 0xbb; // element 5
+        for simd in [false, true] {
+            let (changed, runs, out) = run_store_elems(simd, &initial, 1, &data, 3, true);
+            assert_eq!(changed, 2);
+            assert_eq!(runs, vec![(2, 3), (5, 6)]);
+            assert_eq!(&out[1..1 + data.len()], &data[..]);
+            // A second identical store is fully silent.
+            let m = ShardedMem::new(1 << 16, 4, simd);
+            let b = m.alloc(256, 1).unwrap();
+            let r = AddrRange::new(b.offset(1), data.len() as u64);
+            let mut runs = Vec::new();
+            m.store_elems(r, &data, 3, true, &mut runs);
+            assert_eq!(m.store_elems(r, &data, 3, true, &mut runs), 0);
+            assert!(runs.is_empty());
+        }
+        // 12- and 16-byte elements (multi-word elements).
+        for (esize, nelem) in [(12usize, 5usize), (16, 4)] {
+            let mut data = vec![0u8; esize * nelem];
+            data[esize + 7] = 1; // element 1, second word
+            data[esize * (nelem - 1)] = 2; // last element
+            let (changed, runs, out) = run_store_elems(false, &[0u8; 256], 4, &data, esize, true);
+            assert_eq!(changed, 2, "esize {esize}");
+            assert_eq!(runs, vec![(1, 2), (nelem - 1, nelem)]);
+            assert_eq!(&out[4..4 + data.len()], &data[..]);
+        }
+        // detect=false marks everything changed but still writes exactly.
+        let (changed, runs, _) = run_store_elems(true, &[1u8; 64], 1, &[1u8; 9], 3, false);
+        assert_eq!(changed, 3);
+        assert_eq!(runs, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn fallback_ignores_partial_tail_element() {
+        // 11 bytes of 3-byte elements: the trailing 2 bytes belong to no
+        // whole element and must not be written (seed behaviour).
+        let (changed, runs, out) = run_store_elems(true, &[0u8; 64], 0, &[9u8; 11], 3, true);
+        assert_eq!(changed, 3);
+        assert_eq!(runs, vec![(0, 3)]);
+        assert_eq!(&out[..9], &[9u8; 9]);
+        assert_eq!(&out[9..11], &[0, 0], "partial tail element was written");
+    }
+
+    mod simd_scalar_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The vectorized line loop and the scalar word loop are
+            /// observationally identical: same changed-element count, same
+            /// `runs` vector, same final memory, across elem sizes (word
+            /// fast path and odd-size fallback), alignments, and silent
+            /// fractions.
+            #[test]
+            fn simd_and_scalar_agree(
+                elem_size in (0usize..8).prop_map(|i| [1usize, 2, 3, 4, 5, 8, 12, 16][i]),
+                nelem in 1usize..400,
+                start in 0u64..24,
+                detect in any::<bool>(),
+                seed in any::<u64>(),
+                silent_num in 0u64..=16,
+            ) {
+                let len = elem_size * nelem;
+                let arena = (start as usize + len + 16).max(64);
+                // Deterministic xorshift data; `silent_num/16` of the
+                // elements rewrite the initial contents unchanged.
+                let mut x = seed | 1;
+                let mut step = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                let initial: Vec<u8> = (0..arena).map(|_| step() as u8).collect();
+                let mut data = vec![0u8; len];
+                for k in 0..nelem {
+                    let silent = step() % 16 < silent_num;
+                    for b in 0..elem_size {
+                        let i = k * elem_size + b;
+                        data[i] = if silent {
+                            initial[start as usize + i]
+                        } else {
+                            step() as u8
+                        };
+                    }
+                }
+                let scalar = run_store_elems(false, &initial, start, &data, elem_size, detect);
+                let simd = run_store_elems(true, &initial, start, &data, elem_size, detect);
+                prop_assert_eq!(scalar.0, simd.0, "changed-element counts diverge");
+                prop_assert_eq!(&scalar.1, &simd.1, "run vectors diverge");
+                prop_assert_eq!(&scalar.2, &simd.2, "final bytes diverge");
+                // And both leave memory holding exactly the stored data.
+                let s = start as usize;
+                prop_assert_eq!(&scalar.2[s..s + len], &data[..]);
+            }
         }
     }
 }

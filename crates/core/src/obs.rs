@@ -95,11 +95,15 @@ pub enum EventKind {
     /// enqueue (deferring the tthread to its next join). Payload: the queue
     /// capacity.
     OverflowShed = 15,
+    /// A changing store was proven unwatched by the two-level address
+    /// filter and never consulted the trigger table. Payload: the store's
+    /// start address.
+    FilterSkip = 16,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Store,
         EventKind::ChangeDetected,
         EventKind::TriggerFired,
@@ -116,6 +120,7 @@ impl EventKind {
         EventKind::BodyTimeout,
         EventKind::RetryExhausted,
         EventKind::OverflowShed,
+        EventKind::FilterSkip,
     ];
 
     /// Decodes a discriminant byte.
@@ -142,6 +147,7 @@ impl EventKind {
             EventKind::BodyTimeout => "body_timeout",
             EventKind::RetryExhausted => "retry_exhausted",
             EventKind::OverflowShed => "overflow_shed",
+            EventKind::FilterSkip => "filter_skip",
         }
     }
 }

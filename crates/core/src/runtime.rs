@@ -5,7 +5,7 @@
 //! the crate-level documentation for the programming model and a complete
 //! example.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -19,6 +19,7 @@ use crate::ctx::{Ctx, LoggedStore};
 use crate::dispatch::{Dispatch, ParkOutcome, PendingPush, RaiseStep, PARK_TIMEOUT};
 use crate::error::{Error, Result};
 use crate::fault::{FaultLayer, FaultPoint};
+use crate::filter::WatchFilter;
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
 use crate::heap::TrackedHeap;
 use crate::mem::ShardedMem;
@@ -80,6 +81,10 @@ pub struct State<U> {
     /// Pool of reusable trigger-lookup scratch buffers for lock-holding
     /// dispatch paths (main-thread stores, commits, cascades).
     pub(crate) scratch: Vec<LookupScratch>,
+    /// Reusable encode buffer for the vectorized bulk store path
+    /// ([`Ctx::write_slice`]): amortizes the per-call allocation and
+    /// zero-fill across bulk stores.
+    pub(crate) bulk_scratch: Vec<u8>,
 }
 
 pub(crate) struct Inner<U> {
@@ -92,12 +97,13 @@ pub(crate) struct Inner<U> {
     /// held) strictly before this lock; never acquire the state lock while
     /// holding this one.
     pub(crate) triggers: RwLock<TriggerTable>,
-    /// Lock-free watched-address filter: one bit per 4 KiB page (wrapped
-    /// onto 64 bits) that any active watch touches. Stores whose page mask
-    /// misses the filter skip the trigger-table read lock entirely.
-    /// Maintained by `watch` (or-in) and `unwatch` (rebuild); may briefly
-    /// over-approximate, never under-approximates an active watch.
-    pub(crate) watch_filter: AtomicU64,
+    /// Lock-free two-level watched-address filter (page bitmap sized to
+    /// the arena, per-page 64-byte-line bits — see [`crate::filter`]).
+    /// Stores whose probe misses skip the trigger-table read lock
+    /// entirely. Maintained by `watch` (or-in) and `unwatch` (span
+    /// rebuild); may over-approximate, never under-approximates an active
+    /// watch.
+    pub(crate) watch_filter: WatchFilter,
     /// Sharded access-side counters, folded into `State::stats` on demand.
     pub(crate) access: AccessCounters,
     /// Lifecycle event recorder (see [`crate::obs`]). Every hook checks
@@ -335,9 +341,11 @@ impl<U: Send + 'static> Runtime<U> {
             queue: CoalescingQueue::new(cfg.queue_capacity, cfg.coalesce),
             stats: Counters::new(),
             scratch: Vec::new(),
+            bulk_scratch: Vec::new(),
         };
-        let mem = ShardedMem::new(cfg.arena_capacity, cfg.mem_shards);
+        let mem = ShardedMem::new(cfg.arena_capacity, cfg.mem_shards, cfg.simd_store);
         let triggers = RwLock::new(TriggerTable::new(cfg.granularity));
+        let watch_filter = WatchFilter::new(cfg.arena_capacity);
         let access = AccessCounters::new(cfg.mem_shards);
         // One ring per memory shard (store events hash by address) plus one
         // for the trigger/status machine.
@@ -359,7 +367,7 @@ impl<U: Send + 'static> Runtime<U> {
             state: Mutex::new(state),
             mem,
             triggers,
-            watch_filter: AtomicU64::new(0),
+            watch_filter,
             access,
             obs,
             fault,
@@ -489,7 +497,7 @@ impl<U: Send + 'static> Runtime<U> {
         self.inner.triggers.write().watch(tthread, range);
         self.inner
             .watch_filter
-            .fetch_or(crate::trigger::page_filter_mask(range), Ordering::Release);
+            .watch(range, self.inner.cfg.granularity);
         Ok(())
     }
 
@@ -506,9 +514,14 @@ impl<U: Send + 'static> Runtime<U> {
         }
         let mut triggers = self.inner.triggers.write();
         triggers.unwatch(tthread, range)?;
-        let mask = triggers.filter_mask();
+        // Rebuild only the removed watch's filter span from the surviving
+        // ranges; the state lock serializes this with other mutators while
+        // probes keep running lock-free.
+        let remaining: Vec<AddrRange> = triggers.iter().map(|(_, r)| r).collect();
         drop(triggers);
-        self.inner.watch_filter.store(mask, Ordering::Release);
+        self.inner
+            .watch_filter
+            .rebuild(range, self.inner.cfg.granularity, &remaining);
         Ok(())
     }
 
@@ -2292,5 +2305,85 @@ mod tests {
             );
             thread::yield_now();
         }
+    }
+
+    /// Regression for the wrapped mod-64 page filter: page 64 shared a
+    /// filter bit with page 0, so a watch on page 0 forced every store to
+    /// page 64 through the full trigger table. The hierarchical filter
+    /// gives each page its own bit; the store must exit after exactly one
+    /// page-level load (one `filter_checks` tick, zero `filter_page_hits`).
+    #[test]
+    fn store_sixty_four_pages_from_a_watch_misses_in_one_load() {
+        let mut rt = Runtime::new(deferred(), ());
+        let xs = rt.alloc_array::<u8>(65 * 4096).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, xs.range_of(0, 64)).unwrap();
+        rt.reset_stats();
+
+        // Locked (ctx) store path.
+        rt.with(|ctx| ctx.set(xs.at(64 * 4096), 1u8));
+        let c = rt.stats().counters().clone();
+        assert_eq!(c.filter_checks, 1);
+        assert_eq!(c.filter_page_hits, 0, "page 64 aliased page 0 pre-fix");
+        assert_eq!(c.filter_line_hits, 0);
+
+        // Lock-free accessor store path.
+        rt.reset_stats();
+        let mut acc = rt.accessor();
+        acc.set(xs.at(64 * 4096), 2u8);
+        drop(acc);
+        let c = rt.stats().counters().clone();
+        assert_eq!(c.filter_checks, 1);
+        assert_eq!(c.filter_page_hits, 0);
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
+    }
+
+    /// Two watches on pages 0 and 64 — the pair that collapsed onto one
+    /// bit in the wrapped filter. Unwatching one must not strip filter
+    /// coverage from the other, and must genuinely clear its own page.
+    #[test]
+    fn unwatch_of_mod64_twin_page_keeps_the_other_watched() {
+        let mut rt = Runtime::new(deferred(), ());
+        let xs = rt.alloc_array::<u8>(65 * 4096).unwrap();
+        let t0 = rt.register("page0", |_| {});
+        let t64 = rt.register("page64", |_| {});
+        rt.watch(t0, xs.range_of(0, 64)).unwrap();
+        rt.watch(t64, xs.range_of(64 * 4096, 64 * 4096 + 64))
+            .unwrap();
+        rt.unwatch(t64, xs.range_of(64 * 4096, 64 * 4096 + 64))
+            .unwrap();
+
+        // The survivor still triggers.
+        rt.write(xs.at(0), 9u8);
+        assert_eq!(rt.status(t0).unwrap(), TthreadStatus::Triggered);
+
+        // The unwatched twin page is fully cleared: one-load exit again.
+        rt.join(t0).unwrap();
+        rt.reset_stats();
+        rt.write(xs.at(64 * 4096), 9u8);
+        let c = rt.stats().counters().clone();
+        assert_eq!(c.filter_checks, 1);
+        assert_eq!(c.filter_page_hits, 0, "stale bit survived the unwatch");
+        assert_eq!(rt.status(t64).unwrap(), TthreadStatus::Clean);
+    }
+
+    /// Within a watched page the second filter level discriminates
+    /// 64-byte lines: a store to a distant line on the same page loads
+    /// the page word (hit) and the line word (miss), and never reaches
+    /// the trigger table.
+    #[test]
+    fn same_page_distant_line_misses_at_line_level() {
+        let mut rt = Runtime::new(deferred(), ());
+        let xs = rt.alloc_array::<u8>(4096).unwrap();
+        let tt = rt.register("t", |_| {});
+        rt.watch(tt, xs.range_of(0, 64)).unwrap();
+        rt.reset_stats();
+        // Last line of the same page.
+        rt.write(xs.at(4032), 1u8);
+        let c = rt.stats().counters().clone();
+        assert_eq!(c.filter_checks, 1);
+        assert_eq!(c.filter_page_hits, 1);
+        assert_eq!(c.filter_line_hits, 0);
+        assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
     }
 }

@@ -100,6 +100,17 @@ pub struct Counters {
     /// wake notification — the rescue path for dropped wakes. Idle workers
     /// and joiners accrue these at the park-timeout rate while quiescent.
     pub park_timeouts: u64,
+    /// Watched-address filter probes (one per changing store that reached
+    /// the filter).
+    pub filter_checks: u64,
+    /// Probes that found a page bit set and descended to the line level
+    /// (`filter_checks − filter_page_hits` stores exited after the level-1
+    /// load alone).
+    pub filter_page_hits: u64,
+    /// Probes that also matched a watched 64-byte line and fell through to
+    /// the trigger-table lookup; `filter_page_hits − filter_line_hits`
+    /// stores exited at line granularity without the table read lock.
+    pub filter_line_hits: u64,
 }
 
 /// Applies a callback macro to the complete counter field list, in
@@ -144,6 +155,9 @@ macro_rules! for_each_counter {
             steals,
             steal_batches,
             park_timeouts,
+            filter_checks,
+            filter_page_hits,
+            filter_line_hits,
         )
     };
 }
@@ -201,6 +215,9 @@ struct AccessSlot {
     changing_stores: AtomicU64,
     tracked_loads: AtomicU64,
     bytes_compared: AtomicU64,
+    filter_checks: AtomicU64,
+    filter_page_hits: AtomicU64,
+    filter_line_hits: AtomicU64,
 }
 
 /// Sharded access-side counters, bumped outside the state lock.
@@ -258,6 +275,19 @@ impl AccessCounters {
             .fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Accounts one watched-address filter probe and how deep it went.
+    pub(crate) fn on_filter(&self, addr_raw: u64, probe: crate::filter::FilterProbe) {
+        use crate::filter::FilterProbe;
+        let s = self.slot(addr_raw);
+        s.filter_checks.fetch_add(1, Ordering::Relaxed);
+        if !matches!(probe, FilterProbe::MissPage) {
+            s.filter_page_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if matches!(probe, FilterProbe::Hit) {
+            s.filter_line_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Folds the access-side counters a detached execution accumulated
     /// against its snapshot into slot 0. Only the access-side counters are
     /// merged: trigger/queue/execution accounting for detached bodies
@@ -284,6 +314,9 @@ impl AccessCounters {
             c.changing_stores += s.changing_stores.load(Ordering::Relaxed);
             c.tracked_loads += s.tracked_loads.load(Ordering::Relaxed);
             c.bytes_compared += s.bytes_compared.load(Ordering::Relaxed);
+            c.filter_checks += s.filter_checks.load(Ordering::Relaxed);
+            c.filter_page_hits += s.filter_page_hits.load(Ordering::Relaxed);
+            c.filter_line_hits += s.filter_line_hits.load(Ordering::Relaxed);
         }
     }
 
@@ -295,6 +328,9 @@ impl AccessCounters {
             s.changing_stores.store(0, Ordering::Relaxed);
             s.tracked_loads.store(0, Ordering::Relaxed);
             s.bytes_compared.store(0, Ordering::Relaxed);
+            s.filter_checks.store(0, Ordering::Relaxed);
+            s.filter_page_hits.store(0, Ordering::Relaxed);
+            s.filter_line_hits.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -508,7 +544,12 @@ impl fmt::Display for StatsSnapshot {
             "steals / batches      {:>12} / {}",
             c.steals, c.steal_batches
         )?;
-        write!(f, "park timeouts         {:>12}", c.park_timeouts)
+        writeln!(f, "park timeouts         {:>12}", c.park_timeouts)?;
+        write!(
+            f,
+            "filter checks         {:>12}  (page hits {}, line hits {})",
+            c.filter_checks, c.filter_page_hits, c.filter_line_hits
+        )
     }
 }
 
@@ -560,6 +601,14 @@ mod tests {
                 true,
             );
             ac.on_loads(addr, 3);
+            ac.on_filter(
+                addr,
+                match stripe % 3 {
+                    0 => crate::filter::FilterProbe::MissPage,
+                    1 => crate::filter::FilterProbe::MissLine,
+                    _ => crate::filter::FilterProbe::Hit,
+                },
+            );
         }
         let mut delta = Counters::new();
         delta.tracked_loads = 5;
@@ -577,6 +626,10 @@ mod tests {
         assert_eq!(c.changing_stores, 16 + 1);
         assert_eq!(c.tracked_loads, 32 * 3 + 5);
         assert_eq!(c.bytes_compared, 32 * 4 + 16);
+        // Stripes 0..32 cycle MissPage/MissLine/Hit: 11 + 11 + 10.
+        assert_eq!(c.filter_checks, 32);
+        assert_eq!(c.filter_page_hits, 11 + 10);
+        assert_eq!(c.filter_line_hits, 10);
 
         ac.reset();
         let mut z = Counters::new();
@@ -629,7 +682,7 @@ mod tests {
             assert!(c.set_field(name, (i + 1) as u64), "unknown field {name}");
         }
         let fields = c.fields();
-        assert_eq!(fields.len(), 32);
+        assert_eq!(fields.len(), 35);
         assert_eq!(fields[0], ("tracked_stores", 1));
         assert_eq!(fields[20], ("bytes_compared", 21));
         assert_eq!(fields[25], ("overflow_sheds", 26));
@@ -637,6 +690,9 @@ mod tests {
         assert_eq!(fields[29], ("steals", 30));
         assert_eq!(fields[30], ("steal_batches", 31));
         assert_eq!(fields[31], ("park_timeouts", 32));
+        assert_eq!(fields[32], ("filter_checks", 33));
+        assert_eq!(fields[33], ("filter_page_hits", 34));
+        assert_eq!(fields[34], ("filter_line_hits", 35));
         for (i, (_, v)) in fields.iter().enumerate() {
             assert_eq!(*v, (i + 1) as u64);
         }

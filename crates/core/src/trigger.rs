@@ -272,36 +272,6 @@ impl TriggerTable {
             .filter(|r| r.active)
             .map(|r| (r.tthread, r.range))
     }
-
-    /// Page-filter membership mask covering every active watch; the
-    /// runtime's lock-free watched-address filter is rebuilt from this
-    /// after an `unwatch`.
-    pub(crate) fn filter_mask(&self) -> u64 {
-        self.iter().fold(0, |m, (_, r)| m | page_filter_mask(r))
-    }
-}
-
-/// Page shift for the lock-free watched-address filter: one bit per 4 KiB
-/// page of the arena, wrapped onto 64 bits.
-const FILTER_PAGE_SHIFT: u64 = 12;
-
-/// Membership mask for the watched-address filter: one bit per 4 KiB page
-/// `range` touches, padded by a granularity line each way (the table rounds
-/// both watches and stores outward, which can reach into a neighbouring
-/// page). A zero intersection between a store's mask and the watch filter
-/// proves no trigger can fire; any overlap falls back to the locked lookup.
-pub(crate) fn page_filter_mask(range: AddrRange) -> u64 {
-    if range.is_empty() {
-        return 0;
-    }
-    let p0 = range.start().raw().saturating_sub(63) >> FILTER_PAGE_SHIFT;
-    let p1 = (range.end().raw() + 62) >> FILTER_PAGE_SHIFT;
-    let span = p1 - p0;
-    if span >= 63 {
-        return u64::MAX;
-    }
-    let base = (1u64 << (span + 1)) - 1;
-    base.rotate_left((p0 & 63) as u32)
 }
 
 fn bucket_span(range: AddrRange) -> impl Iterator<Item = u64> {

@@ -162,6 +162,9 @@ fn event_json(event: &ObsEvent) -> Option<String> {
             ts,
             &format!("{{\"capacity\":{payload}}}"),
         ),
+        EventKind::FilterSkip => {
+            instant(tid, "filter.skip", ts, &format!("{{\"addr\":{payload}}}"))
+        }
         EventKind::BodyStart | EventKind::CommitBegin => return None,
     };
     Some(line)

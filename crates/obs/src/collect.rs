@@ -80,12 +80,15 @@ pub struct RegionAgg {
     pub changes: u64,
     /// Triggers fired by stores into the region.
     pub triggers: u64,
+    /// Changing stores the watched-address filter proved unwatched (no
+    /// trigger-table lookup happened).
+    pub filter_skips: u64,
 }
 
 impl RegionAgg {
     /// Total store activity (the hot-region sort key).
     pub fn heat(&self) -> u64 {
-        self.silent_stores + self.changes + self.triggers
+        self.silent_stores + self.changes + self.triggers + self.filter_skips
     }
 }
 
@@ -318,14 +321,14 @@ impl ObsReport {
         let _ = writeln!(out, "\nhot regions (64 B lines, hottest first):");
         let _ = writeln!(
             out,
-            "  {:<18} {:>10} {:>10} {:>10}",
-            "address", "changes", "silent", "triggers"
+            "  {:<18} {:>10} {:>10} {:>10} {:>12}",
+            "address", "changes", "silent", "triggers", "filter-skips"
         );
         for r in self.regions.iter().take(limit) {
             let _ = writeln!(
                 out,
-                "  {:#018x} {:>10} {:>10} {:>10}",
-                r.addr, r.changes, r.silent_stores, r.triggers
+                "  {:#018x} {:>10} {:>10} {:>10} {:>12}",
+                r.addr, r.changes, r.silent_stores, r.triggers, r.filter_skips
             );
         }
         if self.regions.len() > limit {
@@ -338,7 +341,10 @@ impl ObsReport {
 fn aggregate_region(regions: &mut HashMap<u64, RegionAgg>, event: &ObsEvent) {
     if !matches!(
         event.kind,
-        EventKind::Store | EventKind::ChangeDetected | EventKind::TriggerFired
+        EventKind::Store
+            | EventKind::ChangeDetected
+            | EventKind::TriggerFired
+            | EventKind::FilterSkip
     ) {
         return;
     }
@@ -351,6 +357,7 @@ fn aggregate_region(regions: &mut HashMap<u64, RegionAgg>, event: &ObsEvent) {
         EventKind::Store => agg.silent_stores += 1,
         EventKind::ChangeDetected => agg.changes += 1,
         EventKind::TriggerFired => agg.triggers += 1,
+        EventKind::FilterSkip => agg.filter_skips += 1,
         _ => unreachable!(),
     }
 }
