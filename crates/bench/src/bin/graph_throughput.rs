@@ -1,0 +1,125 @@
+//! R-graph — throughput of the dependency-graph subsystem: early cutoff
+//! on vs off over the two multi-stage kernels (`spreadsheet`, `pipeline`).
+//!
+//! Both runs compute bit-identical digests (asserted); the difference is
+//! pure recomputation volume. With [`Config::early_cutoff`] disabled a
+//! silent commit still invalidates its downstream readers
+//! (invalidate-on-write), so every sum-preserving spreadsheet swap and
+//! every saturated pipeline store drags the whole chain through a
+//! recompute. The `graph-cutoff check` line asserts the spreadsheet
+//! executions ratio stays ≥ 1.5×, which CI greps.
+//!
+//! Usage: `graph_throughput [--smoke]` — `--smoke` runs at train scale.
+
+use std::time::Instant;
+
+use dtt_bench::{fmt_speedup, BenchRecord, Table};
+use dtt_core::Config;
+use dtt_workloads::{Scale, Workload};
+
+/// Executions ratio the spreadsheet ablation must clear (CI budget).
+const CUTOFF_BUDGET: f64 = 1.5;
+
+struct Row {
+    name: &'static str,
+    execs_on: u64,
+    execs_off: u64,
+    cascades: u64,
+    cutoffs: u64,
+    ns_per_step_on: f64,
+}
+
+fn run_one(w: &dyn Workload, steps: usize) -> Row {
+    let base = w.run_baseline();
+
+    let t0 = Instant::now();
+    let on = w.run_dtt(Config::default());
+    let on_elapsed = t0.elapsed();
+    let off = w.run_dtt(Config::default().with_early_cutoff(false));
+
+    assert_eq!(base, on.digest, "{}: cutoff-on digest mismatch", w.name());
+    assert_eq!(base, off.digest, "{}: cutoff-off digest mismatch", w.name());
+
+    let c_on = on.stats.counters();
+    let c_off = off.stats.counters();
+    assert_eq!(
+        c_on.cascades,
+        c_on.cascade_enqueues + c_on.cascade_coalesced + c_on.cascade_cutoffs,
+        "{}: wave conservation violated",
+        w.name()
+    );
+    Row {
+        name: w.name(),
+        execs_on: c_on.executions,
+        execs_off: c_off.executions,
+        cascades: c_on.cascades,
+        cutoffs: c_on.cascade_cutoffs,
+        ns_per_step_on: on_elapsed.as_secs_f64() * 1e9 / steps as f64,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Train
+    } else {
+        Scale::Reference
+    };
+
+    let spreadsheet = dtt_workloads::Spreadsheet::new(scale);
+    let pipeline = dtt_workloads::Pipeline::new(scale);
+    let rows = vec![
+        run_one(&spreadsheet, spreadsheet.steps()),
+        run_one(&pipeline, pipeline.steps()),
+    ];
+
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "execs (cutoff on)".into(),
+        "execs (cutoff off)".into(),
+        "ratio".into(),
+        "cascades".into(),
+        "cutoffs".into(),
+        "ns/step".into(),
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.name.into(),
+            r.execs_on.to_string(),
+            r.execs_off.to_string(),
+            fmt_speedup(r.execs_off as f64 / r.execs_on as f64),
+            r.cascades.to_string(),
+            r.cutoffs.to_string(),
+            format!("{:.0}", r.ns_per_step_on),
+        ]);
+    }
+    let mode = if smoke { ", smoke" } else { "" };
+    table.print(&format!(
+        "R-graph: early cutoff on vs off (equal digests{mode})"
+    ));
+
+    let sheet = &rows[0];
+    let ratio = sheet.execs_off as f64 / sheet.execs_on as f64;
+    assert!(
+        ratio >= CUTOFF_BUDGET,
+        "graph-cutoff check: FAIL (spreadsheet ratio {ratio:.2} < {CUTOFF_BUDGET})"
+    );
+    println!(
+        "graph-cutoff check: PASS (spreadsheet execs {} -> {} without cutoff, \
+         ratio {ratio:.2} >= {CUTOFF_BUDGET})",
+        sheet.execs_on, sheet.execs_off
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let record = BenchRecord {
+        benchmark: "graph".into(),
+        config: format!("spreadsheet+pipeline cutoff on-vs-off scale={scale}"),
+        ns_per_op: sheet.ns_per_step_on,
+        modeled_speedup: ratio,
+        host_cores: cores,
+    };
+    match record.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench record: {e}"),
+    }
+}

@@ -187,7 +187,8 @@ impl RunSummary {
         let c = self.stats.counters();
         format!(
             "seed {:>4}: ok | stores {} ({} silent) | exec {} ({} worker) | \
-             retries {} (exhausted {}) | sheds {} | injected {} | repaired {}p/{}t",
+             retries {} (exhausted {}) | sheds {} | cascades {} ({} cutoff) | \
+             injected {} | repaired {}p/{}t",
             self.seed,
             c.tracked_stores,
             c.silent_stores,
@@ -196,6 +197,8 @@ impl RunSummary {
             c.commit_retries,
             c.commit_retry_exhausted,
             c.overflow_sheds,
+            c.cascades,
+            c.cascade_cutoffs,
             self.injections.iter().sum::<u64>(),
             self.poison_repairs,
             self.timeout_repairs,
@@ -342,9 +345,18 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         rt_cfg = rt_cfg.with_body_deadline(deadline);
     }
 
-    let mut rt = Runtime::new(rt_cfg, vec![0u64; cfg.tthreads]);
+    // User state: one cached sum per tthread, plus the grand total cached
+    // by the cascade-stage tthread in the last slot.
+    let mut rt = Runtime::new(rt_cfg, vec![0u64; cfg.tthreads + 1]);
     let mut slices = Vec::with_capacity(cfg.tthreads);
     let mut ids = Vec::with_capacity(cfg.tthreads);
+    // Each sum tthread publishes its sum into this tracked array, which a
+    // downstream `total` tthread watches: every changing sum commit raises
+    // it as a cascade wave unit, exercising the incremental-graph path
+    // (and [`FaultPoint::CascadeDrop`] when armed).
+    let sums = rt
+        .alloc_array::<u64>(cfg.tthreads)
+        .map_err(|e| format!("alloc failed: {e}"))?;
     for g in 0..cfg.tthreads {
         let cells = rt
             .alloc_array::<u64>(SLICE)
@@ -354,6 +366,7 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
             for i in 0..SLICE {
                 acc = acc.wrapping_add(ctx.read(cells, i));
             }
+            ctx.write(sums, g, acc);
             ctx.user_mut()[g] = acc;
         });
         rt.watch(id, cells.range())
@@ -361,6 +374,17 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         slices.push(cells);
         ids.push(id);
     }
+    let total_slot = cfg.tthreads;
+    let total_n = cfg.tthreads;
+    let total_id = rt.register("total", move |ctx| {
+        let mut acc = 0u64;
+        for g in 0..total_n {
+            acc = acc.wrapping_add(ctx.read(sums, g));
+        }
+        ctx.user_mut()[total_slot] = acc;
+    });
+    rt.watch(total_id, sums.range())
+        .map_err(|e| format!("watch failed: {e}"))?;
 
     let mut poison_repairs = 0u64;
     let mut timeout_repairs = 0u64;
@@ -387,10 +411,17 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         }
     }
 
-    // Quiesce: every tthread joined (repairing injected poison/timeouts).
+    // Quiesce: every sum tthread joined (repairing injected
+    // poison/timeouts), then the cascade-stage total. The explicit
+    // mark-dirty is the documented convergence path when an armed
+    // [`FaultPoint::CascadeDrop`] swallowed the raise that would have
+    // made the final join run it.
     for &id in &ids {
         repair_join(&mut rt, id, &mut poison_repairs, &mut timeout_repairs)?;
     }
+    rt.mark_dirty(total_id)
+        .map_err(|e| format!("mark_dirty(total) failed: {e}"))?;
+    repair_join(&mut rt, total_id, &mut poison_repairs, &mut timeout_repairs)?;
 
     // Invariant: value conservation. Each cached sum equals the sum
     // recomputed straight from tracked memory.
@@ -405,6 +436,23 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         if expected != actual {
             return Err(format!(
                 "value conservation violated for {id}: cached sum {actual} != tracked sum {expected}"
+            ));
+        }
+    }
+    // Cascade-stage value conservation: the total recomputed from the
+    // tracked per-tthread sums must match the cached grand total.
+    {
+        let n = cfg.tthreads;
+        let (expected, actual) = rt.with(|ctx| {
+            let mut acc = 0u64;
+            for g in 0..n {
+                acc = acc.wrapping_add(ctx.read(sums, g));
+            }
+            (acc, ctx.user()[n])
+        });
+        if expected != actual {
+            return Err(format!(
+                "cascade value conservation violated: cached total {actual} != tracked total {expected}"
             ));
         }
     }
@@ -454,6 +502,15 @@ fn run_inner(cfg: &ChaosConfig) -> Result<RunSummary, String> {
         return Err(format!(
             "body_timeouts is {} with no deadline configured",
             c.body_timeouts
+        ));
+    }
+    // Invariant: wave conservation. Every cascade wave unit is a downstream
+    // activation, a coalesce, or a terminal cutoff — dropped raises
+    // (CascadeDrop) and per-epoch dedups are excluded on both sides.
+    if c.cascades != c.cascade_enqueues + c.cascade_coalesced + c.cascade_cutoffs {
+        return Err(format!(
+            "wave conservation violated: cascades {} != enqueues {} + coalesced {} + cutoffs {}",
+            c.cascades, c.cascade_enqueues, c.cascade_coalesced, c.cascade_cutoffs
         ));
     }
 

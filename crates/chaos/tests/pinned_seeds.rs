@@ -171,22 +171,59 @@ fn pinned_join_wake_drops_cannot_wedge_joins() {
     check_point(FaultPoint::JoinWake, 114);
 }
 
+/// A swallowed cascade raise must never wedge the run or corrupt values:
+/// the downstream total tthread still converges via the harness's
+/// quiescing mark-dirty join, and the wave conservation identity (checked
+/// by the harness on every run) excludes the dropped raises.
+#[test]
+fn pinned_cascade_drops_hold_invariants() {
+    let mut cfg = pinned_point_case(FaultPoint::CascadeDrop, 116);
+    cfg.plan = cfg.plan.with_budget(FaultPoint::CascadeDrop, 64);
+    let summary = run_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        summary.injections[FaultPoint::CascadeDrop as usize] >= 1,
+        "pinned cascade-drop case never fired; injections: {:?}",
+        summary.injections
+    );
+}
+
+/// Both dispatch modes survive an always-on cascade-drop schedule: the
+/// locked ablation baseline routes raises through a different status
+/// machine but must handle swallowed waves identically.
+#[test]
+fn pinned_cascade_drops_hold_invariants_locked_dispatch() {
+    let mut cfg = pinned_point_case(FaultPoint::CascadeDrop, 117);
+    cfg.lockfree_dispatch = false;
+    cfg.plan = cfg.plan.with_budget(FaultPoint::CascadeDrop, 64);
+    let summary = run_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        summary.injections[FaultPoint::CascadeDrop as usize] >= 1,
+        "pinned cascade-drop case (locked dispatch) never fired; injections: {:?}",
+        summary.injections
+    );
+}
+
 /// The rescue-latency budget, measured directly: with *every* worker wake
 /// dropped (epoch bump included — a true lost wakeup), a triggered
 /// tthread must still execute within two park periods, carried entirely
 /// by the worker's timed-park rescue. The `park_timeouts` counter proves
-/// the rescue path (and not a real wake) did the carrying.
+/// the rescue path (and not a real wake) did the carrying. The park
+/// period is set through `Config::park_timeout` (shorter than the 50 ms
+/// default, so the rescue budget is tested at a configured value, not
+/// the constant).
 #[test]
 fn dropped_wake_is_rescued_within_two_park_periods() {
-    use dtt_core::{Config, Runtime, PARK_TIMEOUT};
+    use dtt_core::{Config, Runtime};
     use std::time::Instant;
 
+    let park = Duration::from_millis(20);
     let plan = FaultPlan::new(115)
         .with_rate(FaultPoint::WakeDrop, ALWAYS)
         .with_budget(FaultPoint::WakeDrop, UNLIMITED);
     let cfg = Config::default()
         .with_workers(1)
         .with_lockfree_dispatch(true)
+        .with_park_timeout(park)
         .with_fault_plan(plan);
     let mut rt = Runtime::new(cfg, 0u64);
     let cells = rt.alloc_array::<u64>(1).unwrap();
@@ -215,7 +252,7 @@ fn dropped_wake_is_rescued_within_two_park_periods() {
     rt.with(|ctx| ctx.write(cells, 0, 7));
     while rt.stats().counters().worker_executions == 0 {
         assert!(
-            t0.elapsed() < PARK_TIMEOUT * 2,
+            t0.elapsed() < park * 2,
             "dropped wake was not rescued within two park periods"
         );
         std::thread::yield_now();

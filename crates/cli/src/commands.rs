@@ -365,3 +365,57 @@ pub fn chaos(args: &Args) -> Result<String, CliError> {
         }
     }
 }
+
+/// `dtt-cli graph <workload> [--scale S] [--workers N] [--no-cutoff]`
+///
+/// Runs the workload and summarizes its dependency graph: the declared
+/// writer→reader edge map and the trigger-wave counters (cascades, how
+/// each cascade resolved, per-epoch dedups, rejected cycles). Only the
+/// multi-stage kernels declare edges; single-stage kernels print an empty
+/// edge map and zero cascades.
+pub fn graph(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["scale", "workers", "no-cutoff"])
+        .map_err(CliError::Args)?;
+    let scale = parse_scale(args)?;
+    let w = find_workload(args, scale)?;
+    let cfg = Config::default()
+        .with_workers(args.get_parsed("workers", 0usize)?)
+        .with_early_cutoff(!args.flag("no-cutoff"));
+    let baseline = w.run_baseline();
+    let run = w.run_dtt(cfg);
+    let check = if baseline == run.digest {
+        "ok"
+    } else {
+        "MISMATCH"
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "workload {} at {scale} scale", w.name());
+    let _ = writeln!(out, "digest check: {check} (0x{baseline:016x})");
+    let _ = writeln!(out, "\ndependency edges ({}):", run.edges.len());
+    if run.edges.is_empty() {
+        let _ = writeln!(out, "  (none declared — single-stage kernel)");
+    }
+    for (writer, reader) in &run.edges {
+        let _ = writeln!(out, "  {writer} -> {reader}");
+    }
+    let c = run.stats.counters();
+    let _ = writeln!(out, "\ntrigger waves:");
+    let _ = writeln!(out, "  cascades           {:>10}", c.cascades);
+    let _ = writeln!(out, "  cascade enqueues   {:>10}", c.cascade_enqueues);
+    let _ = writeln!(out, "  cascade coalesced  {:>10}", c.cascade_coalesced);
+    let _ = writeln!(out, "  cascade cutoffs    {:>10}", c.cascade_cutoffs);
+    let _ = writeln!(out, "  wave dedups        {:>10}", c.wave_dedups);
+    let _ = writeln!(
+        out,
+        "  cycles rejected    {:>10}",
+        c.trigger_cycles_rejected
+    );
+    if c.cascades > 0 {
+        let _ = writeln!(
+            out,
+            "  cutoff fraction    {:>9.1}%",
+            100.0 * c.cascade_cutoffs as f64 / c.cascades as f64
+        );
+    }
+    Ok(out)
+}

@@ -10,6 +10,7 @@
 //! dtt-cli replay --input FILE [simulate options]
 //! dtt-cli obs <metrics|timeline|top> <workload> [--scale S] [--workers N]
 //!                                               [--out FILE] [--top N]
+//! dtt-cli graph <workload> [--scale S] [--workers N] [--no-cutoff]
 //! dtt-cli chaos [--seed N] [--runs K]        # seeded fault-injection runs
 //! dtt-cli machine                            # default simulated machine
 //! ```
@@ -97,6 +98,7 @@ USAGE:
   dtt-cli obs metrics  <workload>  [--scale S] [--workers N]
   dtt-cli obs timeline <workload>  [--scale S] [--workers N] [--out FILE]
   dtt-cli obs top      <workload>  [--scale S] [--workers N] [--top N]
+  dtt-cli graph <workload>    [--scale S] [--workers N] [--no-cutoff]
   dtt-cli chaos               [--seed N] [--runs K] [--no-shrink]
   dtt-cli machine
   dtt-cli help
@@ -123,6 +125,7 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "trace" => commands::trace_cmd(&args),
         "replay" => commands::replay(&args),
         "obs" => commands::obs(&args),
+        "graph" => commands::graph(&args),
         "chaos" => commands::chaos(&args),
         "machine" => commands::machine(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -156,8 +159,22 @@ mod tests {
     fn list_names_the_whole_suite() {
         let out = run(&["list"]).unwrap();
         for name in [
-            "mcf", "equake", "art", "ammp", "bzip2", "gzip", "parser", "twolf", "vpr", "mesa",
-            "vortex", "crafty", "gap", "perlbmk",
+            "mcf",
+            "equake",
+            "art",
+            "ammp",
+            "bzip2",
+            "gzip",
+            "parser",
+            "twolf",
+            "vpr",
+            "mesa",
+            "vortex",
+            "crafty",
+            "gap",
+            "perlbmk",
+            "spreadsheet",
+            "pipeline",
         ] {
             assert!(out.contains(name), "missing {name}");
         }
@@ -232,6 +249,21 @@ mod tests {
         assert!(out.starts_with("obs:"));
         assert!(out.contains("per-tthread"));
         assert!(out.contains("hot regions"));
+    }
+
+    #[test]
+    fn graph_summarizes_the_edge_map_and_waves() {
+        let out = run(&["graph", "spreadsheet", "--scale", "test"]).unwrap();
+        assert!(out.contains("digest check: ok"));
+        assert!(out.contains("total -> avg"), "missing edge:\n{out}");
+        assert!(out.contains("cascades"));
+        assert!(out.contains("cutoff fraction"));
+    }
+
+    #[test]
+    fn graph_on_a_single_stage_kernel_reports_no_edges() {
+        let out = run(&["graph", "mcf", "--scale", "test"]).unwrap();
+        assert!(out.contains("(none declared — single-stage kernel)"));
     }
 
     #[test]

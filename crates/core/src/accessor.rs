@@ -181,7 +181,7 @@ impl<'rt, U: Send + 'static> Accessor<'rt, U> {
                 );
             }
             match inner.raise_lockfree(hit.tthread) {
-                crate::runtime::LockfreeRaise::Done => {}
+                crate::runtime::LockfreeRaise::Done { .. } => {}
                 crate::runtime::LockfreeRaise::Overflow(token) => {
                     overflows.push((hit.tthread, token))
                 }

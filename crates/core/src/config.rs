@@ -142,6 +142,27 @@ pub struct Config {
     /// The default is `true` and can be overridden with the `DTT_SIMD`
     /// environment variable (`0`/`false` disable).
     pub simd_store: bool,
+    /// Early cutoff for trigger waves: when a cascade-driven recomputation
+    /// commits fully silently (zero non-silent watched lines), the wave
+    /// stops there instead of invalidating downstream tthreads — the
+    /// paper's redundancy elimination applied transitively across graph
+    /// stages. Disabling it propagates invalidation on every committed
+    /// *write* regardless of silence (the classic invalidate-on-write
+    /// dataflow baseline), so the whole downstream chain recomputes on
+    /// every upstream edit.
+    ///
+    /// The default is `true` and can be overridden with the
+    /// `DTT_EARLY_CUTOFF` environment variable (`0`/`false` disable).
+    pub early_cutoff: bool,
+    /// How long an idle worker (or a lock-free joiner) sleeps on its
+    /// eventcount before re-checking for work — the missed-wake rescue
+    /// backstop. Shorter timeouts bound the worst-case latency of a
+    /// dropped wake at the cost of more idle wakeups.
+    ///
+    /// The default is 50 ms and can be overridden with the
+    /// `DTT_PARK_TIMEOUT` environment variable (milliseconds, positive
+    /// integer).
+    pub park_timeout: Duration,
 }
 
 /// Parses a boolean-ish env override: `1`/`true`/`on`/`yes` and
@@ -188,6 +209,31 @@ fn default_simd_store() -> bool {
     env_bool("DTT_SIMD", &WARN, true)
 }
 
+fn default_early_cutoff() -> bool {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    env_bool("DTT_EARLY_CUTOFF", &WARN, true)
+}
+
+fn default_park_timeout() -> Duration {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    let default = crate::dispatch::PARK_TIMEOUT;
+    match std::env::var("DTT_PARK_TIMEOUT") {
+        Ok(v) => match parse_env_shards(&v) {
+            Some(ms) => Duration::from_millis(ms as u64),
+            None => {
+                WARN.call_once(|| {
+                    eprintln!(
+                        "dtt: ignoring malformed DTT_PARK_TIMEOUT={v:?} (expected a \
+                         positive integer of milliseconds); using default {default:?}"
+                    );
+                });
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
 fn default_mem_shards() -> usize {
     static WARN: std::sync::Once = std::sync::Once::new();
     let fallback = || {
@@ -232,6 +278,8 @@ impl Default for Config {
             lockfree_dispatch: default_lockfree_dispatch(),
             work_stealing: true,
             simd_store: default_simd_store(),
+            early_cutoff: default_early_cutoff(),
+            park_timeout: default_park_timeout(),
         }
     }
 }
@@ -363,6 +411,25 @@ impl Config {
         self
     }
 
+    /// Enables or disables early cutoff of trigger waves (`false` restores
+    /// invalidate-on-write propagation for ablations).
+    pub fn with_early_cutoff(mut self, on: bool) -> Self {
+        self.early_cutoff = on;
+        self
+    }
+
+    /// Sets the idle park timeout for workers and lock-free joiners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero (a zero timeout turns parking into a
+    /// spin loop).
+    pub fn with_park_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "park timeout must be nonzero");
+        self.park_timeout = timeout;
+        self
+    }
+
     /// Whether this configuration selects the deferred (single-threaded)
     /// executor.
     pub fn is_deferred(&self) -> bool {
@@ -391,8 +458,10 @@ mod tests {
         assert_eq!(cfg.commit_retry_cap, 8);
         assert_eq!(cfg.backpressure_assist_budget, 4);
         assert!(cfg.work_stealing);
-        // Honors DTT_LOCKFREE_DISPATCH, defaulting on; the test environment
-        // may set either, so just check the builder wiring below.
+        assert!(!cfg.park_timeout.is_zero());
+        // Honors DTT_LOCKFREE_DISPATCH and DTT_EARLY_CUTOFF, defaulting on;
+        // the test environment may set either, so just check the builder
+        // wiring below.
     }
 
     #[test]
@@ -415,7 +484,9 @@ mod tests {
             .with_backpressure_assist_budget(2)
             .with_lockfree_dispatch(false)
             .with_work_stealing(false)
-            .with_simd_store(false);
+            .with_simd_store(false)
+            .with_early_cutoff(false)
+            .with_park_timeout(Duration::from_millis(20));
         assert_eq!(cfg.granularity, Granularity::Line);
         assert!(!cfg.suppress_silent_stores);
         assert!(!cfg.coalesce);
@@ -452,6 +523,9 @@ mod tests {
         assert!(Config::default().with_work_stealing(true).work_stealing);
         assert!(!cfg.simd_store);
         assert!(Config::default().with_simd_store(true).simd_store);
+        assert!(!cfg.early_cutoff);
+        assert!(Config::default().with_early_cutoff(true).early_cutoff);
+        assert_eq!(cfg.park_timeout, Duration::from_millis(20));
     }
 
     #[test]
@@ -483,5 +557,11 @@ mod tests {
     #[should_panic(expected = "queue capacity must be nonzero")]
     fn zero_queue_capacity_panics() {
         let _ = Config::default().with_queue_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "park timeout must be nonzero")]
+    fn zero_park_timeout_panics() {
+        let _ = Config::default().with_park_timeout(Duration::ZERO);
     }
 }

@@ -57,6 +57,19 @@ pub(crate) struct LoggedStore {
     pub(crate) dispatch: bool,
 }
 
+/// What one raise did to the target's status machine, as far as cascade
+/// accounting cares: did it *activate* a new pending execution (enqueue,
+/// defer, inline overflow run) or *coalesce* into one already pending?
+/// Feeds the wave conservation identity
+/// `cascades == cascade_enqueues + cascade_coalesced + cascade_cutoffs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum RaiseKind {
+    /// The raise produced (or re-armed) a pending execution.
+    Activated,
+    /// The raise was absorbed by an already-pending or running instance.
+    Coalesced,
+}
+
 /// The privatized view backing a detached execution.
 pub(crate) struct DetachedView<'a, U> {
     /// Snapshot of tracked memory taken under the lock at execution start.
@@ -88,14 +101,46 @@ pub struct Ctx<'a, U> {
     mode: CtxMode<'a, U>,
     pub(crate) inner: &'a Inner<U>,
     pub(crate) depth: u32,
+    /// The tthread whose body or commit this context serves (`None` for
+    /// main-thread regions and accessor-funneled raises). A raise from a
+    /// `cur`-carrying context onto a *different* tthread is one wave unit
+    /// of the incremental computation graph (see [`crate::graph`]).
+    pub(crate) cur: Option<TthreadId>,
+    /// When set, [`Ctx::raise_hits`] skips hits on `cur` itself: the
+    /// invalidate-on-write ablation ([`crate::config::Config::early_cutoff`]
+    /// off) propagates silent lines downstream without re-arming the
+    /// silence-gated self-retrigger loop.
+    pub(crate) skip_self_raise: bool,
+    /// Tracked store operations this (locked body) context dispatched,
+    /// silent or not — the early-cutoff denominator.
+    pub(crate) body_dispatched: u64,
+    /// How many of those actually changed memory. A cascade-raised body
+    /// with `body_dispatched > 0 && body_changed == 0` stops the wave.
+    pub(crate) body_changed: u64,
 }
 
 impl<'a, U: Send + 'static> Ctx<'a, U> {
     pub(crate) fn new(state: &'a mut State<U>, inner: &'a Inner<U>, depth: u32) -> Self {
+        Self::new_for(state, inner, depth, None)
+    }
+
+    /// A locked context attributed to a tthread: used for bodies (inline
+    /// and attached) and for commit replays, where raises onto other
+    /// tthreads are cascade wave units.
+    pub(crate) fn new_for(
+        state: &'a mut State<U>,
+        inner: &'a Inner<U>,
+        depth: u32,
+        cur: Option<TthreadId>,
+    ) -> Self {
         Ctx {
             mode: CtxMode::Locked(state),
             inner,
             depth,
+            cur,
+            skip_self_raise: false,
+            body_dispatched: 0,
+            body_changed: 0,
         }
     }
 
@@ -110,6 +155,10 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             })),
             inner,
             depth,
+            cur: None,
+            skip_self_raise: false,
+            body_dispatched: 0,
+            body_changed: 0,
         }
     }
 
@@ -217,6 +266,21 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             view.delta.bytes_compared += effect.bytes_compared;
             if detect && !effect.changed {
                 view.delta.silent_stores += 1;
+                if self.inner.cfg.early_cutoff {
+                    return;
+                }
+                // Invalidate-on-write ablation: keep the silent store in the
+                // log so the commit replay still walks its line and can
+                // propagate the wave downstream. It is not a changing store;
+                // the replay's own change re-detection classifies it again.
+                let mut buf = [0u8; 16];
+                let enc = &mut buf[..T::SIZE];
+                value.write_le(enc);
+                view.log.push(LoggedStore {
+                    range: cell.range(),
+                    data: enc.to_vec(),
+                    dispatch: true,
+                });
                 return;
             }
             view.delta.changing_stores += 1;
@@ -231,17 +295,35 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             return;
         }
         let effect = self.inner.mem.store(cell.addr(), value, detect);
+        let in_body = self.depth > 0 && self.cur.is_some();
         let stats = &mut self.locked().stats;
         stats.tracked_stores += 1;
         stats.bytes_compared += effect.bytes_compared;
         if detect && !effect.changed {
             stats.silent_stores += 1;
+            if in_body {
+                self.body_dispatched += 1;
+            }
             if self.inner.obs.on() {
                 self.obs_store(EventKind::Store, cell.addr());
+            }
+            if in_body && !self.inner.cfg.early_cutoff {
+                // Invalidate-on-write ablation: silent lines still
+                // propagate the wave to *other* tthreads; the raise on the
+                // writer itself stays silence-gated (else every silent
+                // rewrite would re-arm its own retrigger loop).
+                let prev = self.skip_self_raise;
+                self.skip_self_raise = true;
+                self.dispatch(cell.range());
+                self.skip_self_raise = prev;
             }
             return;
         }
         stats.changing_stores += 1;
+        if in_body {
+            self.body_dispatched += 1;
+            self.body_changed += 1;
+        }
         if self.inner.obs.on() {
             self.obs_store(EventKind::ChangeDetected, cell.addr());
         }
@@ -454,6 +536,14 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                 state.bulk_scratch = data;
             }
         }
+        if self.depth > 0 && self.cur.is_some() {
+            // Early-cutoff accounting: each element counts as one dispatched
+            // store op, exactly as element-wise writes would. (The
+            // invalidate-on-write ablation does not propagate silent *bulk*
+            // elements — use scalar writes in workloads that exercise it.)
+            self.body_dispatched += n as u64;
+            self.body_changed += changed_elems as u64;
+        }
         for (a, b) in runs {
             let run_range = array.range_of(from + a, from + b);
             // Bulk stores record one change event per changed run (not per
@@ -516,8 +606,45 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             return;
         }
         let depth = self.depth;
+        let cur = self.cur;
         self.locked().stats.triggering_stores += 1;
         for hit in hits {
+            if self.skip_self_raise && Some(hit.tthread) == cur {
+                continue;
+            }
+            // One wave unit of the incremental graph: a store made *by* a
+            // tthread (inline body or commit replay) raising a *different*
+            // tthread. Self-retriggers stay plain triggers.
+            let cascade = depth > 0 && cur.is_some_and(|c| c != hit.tthread);
+            let mut wave = 0u32;
+            if cascade {
+                // Injected wave loss: the raise is swallowed before any
+                // bookkeeping, so every wave counter (and `triggers_fired`)
+                // excludes it and the conservation identities still hold.
+                if self.inner.fault.fire(crate::fault::FaultPoint::CascadeDrop) {
+                    continue;
+                }
+                let writer = cur.expect("cascade raises have a writer");
+                let state = self.locked();
+                if state.graph.raised_this_epoch(hit.tthread) {
+                    // Already raised by this commit/body: dedupe per wave
+                    // epoch, not per store. Setting RF covers the one race
+                    // this could hide — a claimant that snapshotted before
+                    // our earlier raise is forced to re-run, so it cannot
+                    // complete against pre-wave inputs. (Under the state
+                    // lock the bytes of this epoch's stores are already
+                    // live, so the rerun reads fresh data.)
+                    state.stats.wave_dedups += 1;
+                    self.inner
+                        .dispatch
+                        .slots
+                        .slot(hit.tthread.index())
+                        .set_rf_if_running();
+                    continue;
+                }
+                wave = state.graph.wave_depth(writer) + 1;
+                state.graph.mark_raised(hit.tthread, wave);
+            }
             let state = self.locked();
             state.stats.triggers_fired += 1;
             if !hit.precise {
@@ -527,7 +654,16 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                 state.stats.cascade_triggers += 1;
             }
             self.obs_status(EventKind::TriggerFired, hit.tthread, store_addr);
-            self.raise(hit.tthread);
+            let kind = self.raise(hit.tthread);
+            if cascade {
+                let state = self.locked();
+                state.stats.cascades += 1;
+                match kind {
+                    RaiseKind::Activated => state.stats.cascade_enqueues += 1,
+                    RaiseKind::Coalesced => state.stats.cascade_coalesced += 1,
+                }
+                self.obs_status(EventKind::CascadeFired, hit.tthread, u64::from(wave));
+            }
         }
     }
 
@@ -541,13 +677,21 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
     /// caller already holds, and keeps the legacy [`CoalescingQueue`] as
     /// the pending structure: that is the ablation baseline
     /// ([`crate::config::Config::lockfree_dispatch`]` = false`).
-    pub(crate) fn raise(&mut self, id: TthreadId) {
+    pub(crate) fn raise(&mut self, id: TthreadId) -> RaiseKind {
         if self.inner.cfg.lockfree_dispatch {
-            match self.inner.raise_lockfree(id) {
-                crate::runtime::LockfreeRaise::Done => {}
-                crate::runtime::LockfreeRaise::Overflow(token) => self.overflow_lockfree(id, token),
-            }
-            return;
+            return match self.inner.raise_lockfree(id) {
+                crate::runtime::LockfreeRaise::Done { coalesced } => {
+                    if coalesced {
+                        RaiseKind::Coalesced
+                    } else {
+                        RaiseKind::Activated
+                    }
+                }
+                crate::runtime::LockfreeRaise::Overflow(token) => {
+                    self.overflow_lockfree(id, token);
+                    RaiseKind::Activated
+                }
+            };
         }
         let deferred = self.inner.cfg.is_deferred();
         let coalesce = self.inner.cfg.coalesce;
@@ -560,26 +704,30 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                 let state = self.locked();
                 state.stats.coalesced_triggers += 1;
                 self.obs_status(EventKind::Coalesced, id, 0);
+                RaiseKind::Coalesced
             }
             TthreadStatus::Triggered => {
                 let state = self.locked();
                 state.stats.coalesced_triggers += 1;
                 self.obs_status(EventKind::Coalesced, id, 0);
+                RaiseKind::Coalesced
             }
             TthreadStatus::Queued => {
                 if coalesce {
                     let state = self.locked();
                     state.stats.coalesced_triggers += 1;
                     self.obs_status(EventKind::Coalesced, id, 0);
+                    RaiseKind::Coalesced
                 } else {
-                    self.enqueue(id);
+                    self.enqueue(id)
                 }
             }
             TthreadStatus::Clean => {
                 if deferred {
                     let _ = slot.raise(true, false);
+                    RaiseKind::Activated
                 } else {
-                    self.enqueue(id);
+                    self.enqueue(id)
                 }
             }
         }
@@ -587,7 +735,7 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
 
     /// Push `id` onto the worker queue (locked baseline), applying the
     /// overflow policy.
-    fn enqueue(&mut self, id: TthreadId) {
+    fn enqueue(&mut self, id: TthreadId) -> RaiseKind {
         use crate::queue::PushOutcome;
         let overflow = self.inner.cfg.overflow;
         let slot = self.inner.dispatch.slots.slot(id.index());
@@ -610,10 +758,12 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                 let occupancy = state.queue.len() as u64;
                 self.obs_status(EventKind::TriggerEnqueued, id, occupancy);
                 self.inner.work_cv.notify_one();
+                RaiseKind::Activated
             }
             PushOutcome::Coalesced => {
                 state.stats.coalesced_triggers += 1;
                 self.obs_status(EventKind::Coalesced, id, 0);
+                RaiseKind::Coalesced
             }
             PushOutcome::Full => {
                 state.stats.queue_overflows += 1;
@@ -632,6 +782,10 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
                     OverflowPolicy::DeferToJoin => slot.force_triggered(),
                     OverflowPolicy::Backpressure => self.backpressure(id),
                 }
+                // Whatever the policy did, the trigger was serviced by a
+                // fresh activation (inline run, deferred mark, or shed),
+                // not absorbed into a previously pending one.
+                RaiseKind::Activated
             }
         }
     }
@@ -788,9 +942,14 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             } else {
                 0
             };
-            let outcome = {
-                let mut nested = Ctx::new(state, inner, next_depth);
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut nested)))
+            let (outcome, dispatched, changed) = {
+                // One body execution = one wave epoch: its stores raise each
+                // downstream tthread at most once.
+                state.graph.begin_wave();
+                let mut nested = Ctx::new_for(state, inner, next_depth, Some(id));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut nested)));
+                (outcome, nested.body_dispatched, nested.body_changed)
             };
             if obs_on {
                 let dur = inner.obs.now_ns().saturating_sub(body_t0);
@@ -801,6 +960,7 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             let state = self.locked();
             if let Err(payload) = outcome {
                 state.tst.entry_mut(id).poisoned = true;
+                state.graph.clear_depth(id);
                 slot.force_clean();
                 inner.done_cv.notify_all();
                 if inner.cfg.lockfree_dispatch {
@@ -811,6 +971,19 @@ impl<'a, U: Send + 'static> Ctx<'a, U> {
             state.stats.executions += 1;
             state.stats.inline_executions += 1;
             state.tst.entry_mut(id).executions += 1;
+            // Early cutoff: a cascade-raised body whose tracked stores were
+            // all silent stops the wave here. Counted as a terminal wave
+            // unit so `cascades == enqueues + coalesced + cutoffs` holds.
+            let wave = state.graph.wave_depth(id);
+            if wave > 0 {
+                if inner.cfg.early_cutoff && dispatched > 0 && changed == 0 {
+                    state.stats.cascades += 1;
+                    state.stats.cascade_cutoffs += 1;
+                    self.obs_status(EventKind::CascadeCutoff, id, u64::from(wave));
+                }
+                self.locked().graph.clear_depth(id);
+            }
+            let state = self.locked();
             if slot.try_complete(None) {
                 state.tst.entry_mut(id).epoch += 1;
                 break;

@@ -44,6 +44,16 @@ pub enum Error {
         /// Number of workers that had not finished at the deadline.
         active: usize,
     },
+    /// Installing a watch or declaring an output would close a cycle in the
+    /// declared dependency graph (tthread A's output feeds B's trigger
+    /// region and a chain of such edges leads back to A). The edge is
+    /// rejected instead of letting the trigger wave livelock; the path
+    /// lists the tthreads on the cycle, starting and ending at the one
+    /// whose edge was rejected.
+    TriggerCycle {
+        /// The tthreads on the rejected cycle, in wave order.
+        path: Vec<TthreadId>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -77,6 +87,14 @@ impl fmt::Display for Error {
                     "shutdown timed out with {active} worker thread(s) still active"
                 )
             }
+            Error::TriggerCycle { path } => {
+                let chain: Vec<String> = path.iter().map(|id| id.to_string()).collect();
+                write!(
+                    f,
+                    "edge would close a trigger cycle through tthreads {}",
+                    chain.join(" -> ")
+                )
+            }
         }
     }
 }
@@ -108,6 +126,9 @@ mod tests {
             Error::TthreadPoisoned(TthreadId::new(1)),
             Error::TthreadTimedOut(TthreadId::new(2)),
             Error::WorkersStillActive { active: 2 },
+            Error::TriggerCycle {
+                path: vec![TthreadId::new(0), TthreadId::new(1), TthreadId::new(0)],
+            },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -59,11 +59,17 @@ pub enum FaultPoint {
     /// parked on the tthread's status word is not notified and must be
     /// rescued by its timed park.
     JoinWake = 9,
+    /// A cascade raise is swallowed: a committed non-silent store that
+    /// would have raised a downstream tthread's slot is dropped before
+    /// the raise. The downstream tthread must still converge via a later
+    /// wave or an explicit join/mark-dirty — the wave identity excludes
+    /// dropped raises.
+    CascadeDrop = 10,
 }
 
 impl FaultPoint {
     /// Every injection point, in discriminant order.
-    pub const ALL: [FaultPoint; 10] = [
+    pub const ALL: [FaultPoint; 11] = [
         FaultPoint::Enqueue,
         FaultPoint::Dequeue,
         FaultPoint::BodyStart,
@@ -74,6 +80,7 @@ impl FaultPoint {
         FaultPoint::WakeDrop,
         FaultPoint::StealBatch,
         FaultPoint::JoinWake,
+        FaultPoint::CascadeDrop,
     ];
 
     /// Number of injection points.
@@ -97,6 +104,7 @@ impl FaultPoint {
             FaultPoint::WakeDrop => "wake-drop",
             FaultPoint::StealBatch => "steal-batch",
             FaultPoint::JoinWake => "join-wake",
+            FaultPoint::CascadeDrop => "cascade-drop",
         }
     }
 

@@ -97,6 +97,7 @@
 //! | [`queue`] | the bounded coalescing pending queue (locked baseline) |
 //! | [`obs`] | lock-free lifecycle event rings (observability) |
 //! | [`fault`] | seeded deterministic fault injection ([`FaultPlan`]) |
+//! | [`graph`] | the incremental computation graph (edge map, wave dedup, cycle check) |
 //! | [`ctx`] | the [`Ctx`] store path and status machine |
 //! | [`accessor`] | concurrent tracked access off the state lock |
 //! | [`runtime`] | the [`Runtime`] façade and executors |
@@ -113,6 +114,7 @@ pub(crate) mod dispatch;
 pub mod error;
 pub mod fault;
 pub(crate) mod filter;
+pub mod graph;
 pub mod handle;
 pub mod heap;
 pub(crate) mod mem;
@@ -136,6 +138,7 @@ pub use config::{Config, OverflowPolicy};
 pub use ctx::Ctx;
 pub use error::{Error, Result};
 pub use fault::{FaultPlan, FaultPoint};
+pub use graph::GraphEdge;
 pub use handle::{Tracked, TrackedArray, TrackedMatrix};
 pub use obs::{EventKind, ObsEvent, ObsRecording, RingStats};
 pub use report::{RuntimeReport, TthreadReportRow};

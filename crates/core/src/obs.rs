@@ -99,11 +99,20 @@ pub enum EventKind {
     /// filter and never consulted the trigger table. Payload: the store's
     /// start address.
     FilterSkip = 16,
+    /// A tthread's committed (or inline) store raised a *downstream*
+    /// tthread — one wave unit of an incremental-graph cascade. Attributed
+    /// to the downstream tthread. Payload: the wave depth at the raise
+    /// (1 = raised by a tthread the main thread triggered).
+    CascadeFired = 17,
+    /// A cascade-driven recomputation committed fully silently and the
+    /// wave stopped there (early cutoff — the transitive skip). Attributed
+    /// to the committing tthread. Payload: the wave depth at the cutoff.
+    CascadeCutoff = 18,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::Store,
         EventKind::ChangeDetected,
         EventKind::TriggerFired,
@@ -121,6 +130,8 @@ impl EventKind {
         EventKind::RetryExhausted,
         EventKind::OverflowShed,
         EventKind::FilterSkip,
+        EventKind::CascadeFired,
+        EventKind::CascadeCutoff,
     ];
 
     /// Decodes a discriminant byte.
@@ -148,6 +159,8 @@ impl EventKind {
             EventKind::RetryExhausted => "retry_exhausted",
             EventKind::OverflowShed => "overflow_shed",
             EventKind::FilterSkip => "filter_skip",
+            EventKind::CascadeFired => "cascade_fired",
+            EventKind::CascadeCutoff => "cascade_cutoff",
         }
     }
 }

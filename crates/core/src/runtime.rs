@@ -16,10 +16,11 @@ use crate::accessor::Accessor;
 use crate::addr::AddrRange;
 use crate::config::Config;
 use crate::ctx::{Ctx, LoggedStore};
-use crate::dispatch::{Dispatch, ParkOutcome, PendingPush, RaiseStep, PARK_TIMEOUT};
+use crate::dispatch::{Dispatch, ParkOutcome, PendingPush, RaiseStep};
 use crate::error::{Error, Result};
 use crate::fault::{FaultLayer, FaultPoint};
 use crate::filter::WatchFilter;
+use crate::graph::{DepGraph, GraphEdge};
 use crate::handle::{Tracked, TrackedArray, TrackedMatrix};
 use crate::heap::TrackedHeap;
 use crate::mem::ShardedMem;
@@ -85,6 +86,11 @@ pub struct State<U> {
     /// ([`Ctx::write_slice`]): amortizes the per-call allocation and
     /// zero-fill across bulk stores.
     pub(crate) bulk_scratch: Vec<u8>,
+    /// The incremental computation graph: declared edge map, per-epoch
+    /// wave dedup state and wave depths (see [`crate::graph`]). Commits,
+    /// watch installation and trigger raising all already hold this lock,
+    /// which is exactly the serialization the wave bookkeeping needs.
+    pub(crate) graph: DepGraph,
 }
 
 pub(crate) struct Inner<U> {
@@ -128,8 +134,10 @@ pub(crate) struct Inner<U> {
 
 /// Outcome of [`Inner::raise_lockfree`].
 pub(crate) enum LockfreeRaise {
-    /// The trigger was fully handled on the lock-free path.
-    Done,
+    /// The trigger was fully handled on the lock-free path. `coalesced`
+    /// reports whether it was absorbed by an already-pending instance
+    /// (cascade accounting classifies the raise with it).
+    Done { coalesced: bool },
     /// The tthread advanced Clean→Queued but no queue entry landed
     /// (injected or real overflow). The caller must apply the overflow
     /// policy under the state lock, validating transitions with `token`.
@@ -154,9 +162,9 @@ impl<U> Inner<U> {
                     self.obs
                         .record(self.obs.status_ring(), EventKind::Coalesced, Some(id), 0);
                 }
-                LockfreeRaise::Done
+                LockfreeRaise::Done { coalesced: true }
             }
-            RaiseStep::Deferred => LockfreeRaise::Done,
+            RaiseStep::Deferred => LockfreeRaise::Done { coalesced: false },
             RaiseStep::Enqueue(token) => {
                 // Injected saturation: report the queue full without
                 // consuming a slot, driving the overflow policy on an
@@ -177,7 +185,7 @@ impl<U> Inner<U> {
                             );
                         }
                         self.wake_worker(id.index());
-                        LockfreeRaise::Done
+                        LockfreeRaise::Done { coalesced: false }
                     }
                     PendingPush::Full => LockfreeRaise::Overflow(token),
                 }
@@ -342,6 +350,7 @@ impl<U: Send + 'static> Runtime<U> {
             stats: Counters::new(),
             scratch: Vec::new(),
             bulk_scratch: Vec::new(),
+            graph: DepGraph::new(cfg.granularity),
         };
         let mem = ShardedMem::new(cfg.arena_capacity, cfg.mem_shards, cfg.simd_store);
         let triggers = RwLock::new(TriggerTable::new(cfg.granularity));
@@ -469,6 +478,7 @@ impl<U: Send + 'static> Runtime<U> {
     {
         let mut state = self.inner.state.lock();
         let id = state.tst.push();
+        state.graph.ensure(id.index());
         // Materialize the slot now so every later access is lock-free.
         self.inner.dispatch.slots.ensure(id.index());
         self.inner.tthreads.write().push(TthreadEntry {
@@ -483,22 +493,71 @@ impl<U: Send + 'static> Runtime<U> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownTthread`] for a foreign id and
-    /// [`Error::RegionOutOfBounds`] for a region outside the arena.
+    /// Returns [`Error::UnknownTthread`] for a foreign id,
+    /// [`Error::RegionOutOfBounds`] for a region outside the arena, and
+    /// [`Error::TriggerCycle`] if the watch, combined with the output
+    /// regions declared via [`Runtime::declare_output`], would close a
+    /// cross-tthread trigger cycle (the watch is not installed).
     pub fn watch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
         // The state lock is held across the trigger-table write so watches
         // serialize with in-flight trigger raising (lock order: state lock,
         // then trigger-table lock).
-        let state = self.inner.state.lock();
+        let mut state = self.inner.state.lock();
         if !state.tst.contains(tthread) {
             return Err(Error::UnknownTthread(tthread));
         }
         self.inner.mem.check_range(range)?;
+        // Watch-time cycle check: mirror the region into the declared edge
+        // map first and DFS from the reader; reject *before* the trigger
+        // table or the filter see the watch, so a rejected edge leaves no
+        // trace. Self-loops are exempt (see [`crate::graph`]).
+        state.graph.add_watch(tthread, range);
+        if let Some(path) = state.graph.find_cycle(tthread) {
+            state.graph.remove_watch(tthread, range);
+            state.stats.trigger_cycles_rejected += 1;
+            return Err(Error::TriggerCycle { path });
+        }
         self.inner.triggers.write().watch(tthread, range);
         self.inner
             .watch_filter
             .watch(range, self.inner.cfg.granularity);
         Ok(())
+    }
+
+    /// Declares `range` as an *output* region of `tthread`: a region its
+    /// body stores into. Declarations feed the incremental computation
+    /// graph's edge map (see [`crate::graph`]) — an output of one tthread
+    /// overlapping the watch of another forms a dependency edge, and edge
+    /// installation is where trigger cycles are rejected. Declaring
+    /// outputs is optional: cascades fire from the committed stores
+    /// themselves; undeclared edges are simply invisible to the cycle
+    /// check (the commit-retry cap backstops dynamic cycles at runtime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTthread`] for a foreign id,
+    /// [`Error::RegionOutOfBounds`] for a region outside the arena, and
+    /// [`Error::TriggerCycle`] if the declaration would close a
+    /// cross-tthread trigger cycle (the declaration is discarded).
+    pub fn declare_output(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        if !state.tst.contains(tthread) {
+            return Err(Error::UnknownTthread(tthread));
+        }
+        self.inner.mem.check_range(range)?;
+        state.graph.add_output(tthread, range);
+        if let Some(path) = state.graph.find_cycle(tthread) {
+            state.graph.remove_output(tthread, range);
+            state.stats.trigger_cycles_rejected += 1;
+            return Err(Error::TriggerCycle { path });
+        }
+        Ok(())
+    }
+
+    /// The declared dependency edges of the incremental computation graph,
+    /// writer-major (see [`Runtime::declare_output`]).
+    pub fn graph_edges(&self) -> Vec<GraphEdge> {
+        self.inner.state.lock().graph.edges()
     }
 
     /// Detaches a previously attached trigger region.
@@ -508,12 +567,13 @@ impl<U: Send + 'static> Runtime<U> {
     /// Returns [`Error::UnknownTthread`] for a foreign id and
     /// [`Error::NoSuchWatch`] if the exact region was not watched.
     pub fn unwatch(&mut self, tthread: TthreadId, range: AddrRange) -> Result<()> {
-        let state = self.inner.state.lock();
+        let mut state = self.inner.state.lock();
         if !state.tst.contains(tthread) {
             return Err(Error::UnknownTthread(tthread));
         }
         let mut triggers = self.inner.triggers.write();
         triggers.unwatch(tthread, range)?;
+        state.graph.remove_watch(tthread, range);
         // Rebuild only the removed watch's filter span from the surviving
         // ranges; the state lock serializes this with other mutators while
         // probes keep running lock-free.
@@ -672,7 +732,7 @@ impl<U: Send + 'static> Runtime<U> {
                             .inner
                             .dispatch
                             .completions
-                            .park(|| slot.word() != observed, PARK_TIMEOUT);
+                            .park(|| slot.word() != observed, self.inner.cfg.park_timeout);
                         if outcome == ParkOutcome::TimedOut {
                             self.inner.dispatch.counters.park_timeout(tthread.index());
                         }
@@ -826,7 +886,7 @@ impl<U: Send + 'static> Runtime<U> {
                             .inner
                             .dispatch
                             .completions
-                            .park(|| slot.word() != observed, PARK_TIMEOUT);
+                            .park(|| slot.word() != observed, self.inner.cfg.park_timeout);
                         if outcome == ParkOutcome::TimedOut {
                             self.inner.dispatch.counters.park_timeout(tthread.index());
                         }
@@ -1216,7 +1276,7 @@ fn worker_loop_lockfree<U: Send + 'static>(inner: &Arc<Inner<U>>, worker_idx: us
             let outcome = if stealing {
                 dispatch.waiters.park(
                     || !dispatch.pending.is_empty() || inner.shutdown.load(Ordering::SeqCst),
-                    PARK_TIMEOUT,
+                    inner.cfg.park_timeout,
                 )
             } else {
                 dispatch.waiters.park(
@@ -1224,7 +1284,7 @@ fn worker_loop_lockfree<U: Send + 'static>(inner: &Arc<Inner<U>>, worker_idx: us
                         dispatch.pending.local_occupancy(worker_idx, workers) > 0
                             || inner.shutdown.load(Ordering::SeqCst)
                     },
-                    PARK_TIMEOUT,
+                    inner.cfg.park_timeout,
                 )
             };
             match outcome {
@@ -1372,6 +1432,7 @@ fn run_detached<'a, U: Send + 'static>(
             inner.access.merge_delta(&delta);
             state.stats.body_timeouts += 1;
             state.tst.entry_mut(id).timed_out = true;
+            state.graph.clear_depth(id);
             slot.force_clean();
             if inner.obs.on() {
                 inner.obs.record(
@@ -1457,6 +1518,11 @@ fn commit_log<U: Send + 'static>(
     log: &[LoggedStore],
 ) {
     let detect = inner.cfg.suppress_silent_stores;
+    // One commit = one wave epoch: downstream tthreads are raised at most
+    // once per replay no matter how many stores land in their regions.
+    state.graph.begin_wave();
+    let mut dispatched: u64 = 0;
+    let mut changed: u64 = 0;
     for entry in log {
         let effect = inner
             .mem
@@ -1465,7 +1531,9 @@ fn commit_log<U: Send + 'static>(
             continue;
         }
         state.stats.commit_stores += 1;
+        dispatched += 1;
         if effect.changed {
+            changed += 1;
             if inner.obs.on() {
                 inner.obs.record(
                     inner.mem.shard_of(entry.range.start()),
@@ -1474,9 +1542,10 @@ fn commit_log<U: Send + 'static>(
                     entry.range.start().raw(),
                 );
             }
-            // Depth 1: triggers raised here are cascades, same as stores
-            // made directly by an attached body.
-            let mut ctx = Ctx::new(state, inner, 1);
+            // Depth 1 with `cur = id`: triggers raised here onto other
+            // tthreads are cascade wave units, same as stores made directly
+            // by an attached body.
+            let mut ctx = Ctx::new_for(state, inner, 1, Some(id));
             ctx.dispatch(entry.range);
         } else {
             state.stats.commit_conflicts += 1;
@@ -1488,7 +1557,34 @@ fn commit_log<U: Send + 'static>(
                     entry.range.start().raw(),
                 );
             }
+            if !inner.cfg.early_cutoff {
+                // Invalidate-on-write ablation: silent replayed lines still
+                // propagate the wave downstream; the raise on the committing
+                // tthread itself stays silence-gated.
+                let mut ctx = Ctx::new_for(state, inner, 1, Some(id));
+                ctx.skip_self_raise = true;
+                ctx.dispatch(entry.range);
+            }
         }
+    }
+    // Early cutoff: a cascade-raised recomputation whose entire commit was
+    // silent stops the wave here — the transitive skip. Counted as a
+    // terminal wave unit so `cascades == enqueues + coalesced + cutoffs`.
+    let wave = state.graph.wave_depth(id);
+    if wave > 0 {
+        if inner.cfg.early_cutoff && dispatched > 0 && changed == 0 {
+            state.stats.cascades += 1;
+            state.stats.cascade_cutoffs += 1;
+            if inner.obs.on() {
+                inner.obs.record(
+                    inner.obs.status_ring(),
+                    EventKind::CascadeCutoff,
+                    Some(id),
+                    u64::from(wave),
+                );
+            }
+        }
+        state.graph.clear_depth(id);
     }
 }
 
@@ -1513,11 +1609,18 @@ fn run_attached<U: Send + 'static>(
         } else {
             0
         };
-        let outcome = if inner.fault.fire(FaultPoint::BodyStart) {
-            Err(Box::new("injected body-start fault") as Box<dyn std::any::Any + Send>)
+        let (outcome, dispatched, changed) = if inner.fault.fire(FaultPoint::BodyStart) {
+            (
+                Err(Box::new("injected body-start fault") as Box<dyn std::any::Any + Send>),
+                0,
+                0,
+            )
         } else {
-            let mut ctx = Ctx::new(state, inner, 1);
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
+            // One body execution = one wave epoch (see `commit_log`).
+            state.graph.begin_wave();
+            let mut ctx = Ctx::new_for(state, inner, 1, Some(id));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)));
+            (outcome, ctx.body_dispatched, ctx.body_changed)
         };
         if obs_on {
             let ring = inner.obs.status_ring();
@@ -1531,6 +1634,25 @@ fn run_attached<U: Send + 'static>(
         state.stats.executions += 1;
         state.stats.worker_executions += 1;
         state.tst.entry_mut(id).executions += 1;
+        // Early cutoff: a cascade-raised body whose tracked stores were all
+        // silent stops the wave here (see `commit_log` for the detached
+        // equivalent).
+        let wave = state.graph.wave_depth(id);
+        if wave > 0 {
+            if inner.cfg.early_cutoff && dispatched > 0 && changed == 0 {
+                state.stats.cascades += 1;
+                state.stats.cascade_cutoffs += 1;
+                if inner.obs.on() {
+                    inner.obs.record(
+                        inner.obs.status_ring(),
+                        EventKind::CascadeCutoff,
+                        Some(id),
+                        u64::from(wave),
+                    );
+                }
+            }
+            state.graph.clear_depth(id);
+        }
         if inner.fault.fire(FaultPoint::Retrigger) {
             slot.set_rf_if_running();
         }
@@ -1562,6 +1684,7 @@ fn run_attached<U: Send + 'static>(
 /// usable for every other tthread.
 fn poison<U>(state: &mut State<U>, inner: &Inner<U>, id: TthreadId) {
     state.tst.entry_mut(id).poisoned = true;
+    state.graph.clear_depth(id);
     inner.dispatch.slots.slot(id.index()).force_clean();
 }
 
@@ -2189,10 +2312,11 @@ mod tests {
 
     /// The shutdown-latency regression test: an idle runtime (all workers
     /// parked in their timed wait) must tear down via the eventcount
-    /// `close()` broadcast in a small fraction of [`PARK_TIMEOUT`], not
-    /// by riding out park periods.
+    /// `close()` broadcast in a small fraction of the configured park
+    /// timeout, not by riding out park periods.
     #[test]
     fn idle_runtime_shutdown_beats_the_park_timeout() {
+        use crate::dispatch::PARK_TIMEOUT;
         let cfg = deferred().with_workers(4).with_lockfree_dispatch(true);
         let rt = Runtime::new(cfg, ());
         // Let every worker reach its parked steady state.
@@ -2385,5 +2509,196 @@ mod tests {
         assert_eq!(c.filter_page_hits, 1);
         assert_eq!(c.filter_line_hits, 0);
         assert_eq!(rt.status(tt).unwrap(), TthreadStatus::Clean);
+    }
+
+    /// A tthread storing into another tthread's trigger region raises it
+    /// as a *cascade* wave unit, and the wave conservation identity
+    /// `cascades == cascade_enqueues + cascade_coalesced + cascade_cutoffs`
+    /// holds at quiescence.
+    #[test]
+    fn tthread_to_tthread_raise_counts_as_cascade() {
+        let mut rt = Runtime::new(deferred(), ());
+        let a = rt.alloc(0u32).unwrap();
+        let b = rt.alloc(0u32).unwrap();
+        let c = rt.alloc(0u32).unwrap();
+        let t1 = rt.register("t1", move |ctx| {
+            let v = ctx.get(a);
+            ctx.set(b, v + 1);
+        });
+        let t2 = rt.register("t2", move |ctx| {
+            let v = ctx.get(b);
+            ctx.set(c, v * 10);
+        });
+        rt.watch(t1, a.range()).unwrap();
+        rt.watch(t2, b.range()).unwrap();
+        rt.write(a, 4);
+        assert_eq!(rt.join(t1).unwrap(), JoinOutcome::RanInline);
+        assert_eq!(rt.join(t2).unwrap(), JoinOutcome::RanInline);
+        assert_eq!(rt.with(|ctx| ctx.get(c)), 50);
+        let s = rt.stats().counters().clone();
+        assert_eq!(s.cascades, 1);
+        assert_eq!(s.cascade_enqueues, 1);
+        assert_eq!(s.cascade_cutoffs, 0);
+        assert_eq!(
+            s.cascades,
+            s.cascade_enqueues + s.cascade_coalesced + s.cascade_cutoffs
+        );
+    }
+
+    /// Early cutoff: a cascade-raised recomputation whose stores are all
+    /// silent terminates the wave, is counted as a `cascade_cutoffs`
+    /// terminal wave unit, and never raises the tthreads downstream of
+    /// *it* — the transitive skip.
+    #[test]
+    fn fully_silent_cascade_commit_cuts_the_wave() {
+        let mut rt = Runtime::new(deferred(), 0u64);
+        let a = rt.alloc(1u32).unwrap();
+        let b = rt.alloc(1u32).unwrap();
+        let c = rt.alloc(1u32).unwrap();
+        let t1 = rt.register("copy", move |ctx| {
+            let v = ctx.get(a);
+            ctx.set(b, v);
+        });
+        // Saturating: any b >= 1 produces the same c.
+        let t2 = rt.register("clamp", move |ctx| {
+            let v = ctx.get(b);
+            ctx.set(c, v.min(1));
+        });
+        let t3 = rt.register("sink", move |ctx| {
+            let v = ctx.get(c);
+            *ctx.user_mut() += u64::from(v);
+        });
+        rt.watch(t1, a.range()).unwrap();
+        rt.watch(t2, b.range()).unwrap();
+        rt.watch(t3, c.range()).unwrap();
+        // a: 1 -> 2 changes b (cascade to t2), but c stays 1: the wave
+        // stops at t2 and t3 is never raised.
+        rt.write(a, 2);
+        assert_eq!(rt.join(t1).unwrap(), JoinOutcome::RanInline);
+        assert_eq!(rt.join(t2).unwrap(), JoinOutcome::RanInline);
+        assert_eq!(rt.join(t3).unwrap(), JoinOutcome::Skipped);
+        let s = rt.stats().counters().clone();
+        assert_eq!(s.cascades, 2, "one raise + one terminal cutoff");
+        assert_eq!(s.cascade_enqueues, 1);
+        assert_eq!(s.cascade_cutoffs, 1);
+        assert_eq!(
+            s.cascades,
+            s.cascade_enqueues + s.cascade_coalesced + s.cascade_cutoffs
+        );
+        assert_eq!(s.executions, 2);
+    }
+
+    /// One commit raises each downstream tthread at most once: multiple
+    /// stores of the same body landing in one reader's trigger regions
+    /// dedupe per wave epoch, not per store.
+    #[test]
+    fn wave_raises_dedupe_per_body_epoch() {
+        let mut rt = Runtime::new(deferred(), ());
+        let a = rt.alloc(0u32).unwrap();
+        let bs = rt.alloc_array::<u32>(2).unwrap();
+        let t1 = rt.register("fan", move |ctx| {
+            let v = ctx.get(a);
+            // Two separate stores, both in t2's watch region.
+            ctx.write(bs, 0, v);
+            ctx.write(bs, 1, v + 1);
+        });
+        let t2 = rt.register("sum", move |ctx| {
+            let _ = ctx.read(bs, 0) + ctx.read(bs, 1);
+        });
+        rt.watch(t1, a.range()).unwrap();
+        rt.watch(t2, bs.range()).unwrap();
+        rt.write(a, 3);
+        rt.join(t1).unwrap();
+        rt.join(t2).unwrap();
+        let s = rt.stats().counters().clone();
+        assert_eq!(s.cascades, 1, "second store into t2's region deduped");
+        assert_eq!(s.wave_dedups, 1);
+        assert_eq!(
+            s.cascades,
+            s.cascade_enqueues + s.cascade_coalesced + s.cascade_cutoffs
+        );
+    }
+
+    /// The invalidate-on-write ablation (`early_cutoff = false`):
+    /// silent stores by a tthread body still propagate the wave to
+    /// *other* tthreads, while the writer's own retrigger loop stays
+    /// silence-gated (no self-livelock).
+    #[test]
+    fn cutoff_off_propagates_silent_lines_downstream() {
+        let run = |early_cutoff: bool| {
+            let cfg = Config::default().with_early_cutoff(early_cutoff);
+            let mut rt = Runtime::new(cfg, ());
+            let a = rt.alloc(1u32).unwrap();
+            let b = rt.alloc(1u32).unwrap();
+            let t1 = rt.register("clamp", move |ctx| {
+                let v = ctx.get(a);
+                ctx.set(b, v.min(1));
+            });
+            let t2 = rt.register("sink", move |ctx| {
+                let _ = ctx.get(b);
+            });
+            rt.watch(t1, a.range()).unwrap();
+            rt.watch(t2, b.range()).unwrap();
+            rt.write(a, 5); // b: 1 -> 1, silent
+            rt.join(t1).unwrap();
+            rt.join(t2).unwrap();
+            rt.stats().counters().clone()
+        };
+        let on = run(true);
+        assert_eq!(on.cascades, 0, "silent store fires nothing with cutoff on");
+        let off = run(false);
+        assert_eq!(off.cascades, 1, "ablation invalidates on write");
+        assert_eq!(off.cascade_enqueues, 1);
+        assert_eq!(
+            off.cascades,
+            off.cascade_enqueues + off.cascade_coalesced + off.cascade_cutoffs
+        );
+    }
+
+    /// Declared outputs plus watches form the edge map, and an edge that
+    /// would close a cross-tthread cycle is rejected at install time with
+    /// `Error::TriggerCycle` naming the cycle path.
+    #[test]
+    fn watch_time_cycle_detection_names_the_path() {
+        let mut rt = Runtime::new(deferred(), ());
+        let a = rt.alloc(0u32).unwrap();
+        let b = rt.alloc(0u32).unwrap();
+        let c = rt.alloc(0u32).unwrap();
+        let t0 = rt.register("t0", |_| {});
+        let t1 = rt.register("t1", |_| {});
+        let t2 = rt.register("t2", |_| {});
+        rt.declare_output(t0, b.range()).unwrap();
+        rt.declare_output(t1, c.range()).unwrap();
+        rt.declare_output(t2, a.range()).unwrap();
+        rt.watch(t0, a.range()).unwrap();
+        rt.watch(t1, b.range()).unwrap();
+        assert_eq!(rt.graph_edges().len(), 2);
+        // t2 watching c closes t0 -> t1 -> t2 -> t0.
+        let err = rt.watch(t2, c.range()).unwrap_err();
+        match err {
+            Error::TriggerCycle { path } => {
+                assert_eq!(path.first(), path.last());
+                assert_eq!(path.len(), 4);
+            }
+            other => panic!("expected TriggerCycle, got {other:?}"),
+        }
+        // The rejected watch was rolled back: the edge map is unchanged
+        // and the tthread still fires nothing on stores to c.
+        assert_eq!(rt.graph_edges().len(), 2);
+        assert_eq!(rt.stats().counters().trigger_cycles_rejected, 1);
+        rt.write(c, 7);
+        assert_eq!(rt.status(t2).unwrap(), TthreadStatus::Clean);
+    }
+
+    /// A tthread watching its own declared output (the established
+    /// self-retrigger pattern) is *not* a rejected cycle.
+    #[test]
+    fn self_loop_is_not_a_trigger_cycle() {
+        let mut rt = Runtime::new(deferred(), ());
+        let x = rt.alloc(0u32).unwrap();
+        let t = rt.register("t", |_| {});
+        rt.declare_output(t, x.range()).unwrap();
+        rt.watch(t, x.range()).unwrap();
+        assert!(rt.graph_edges().is_empty());
     }
 }

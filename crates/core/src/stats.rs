@@ -111,6 +111,29 @@ pub struct Counters {
     /// the trigger-table lookup; `filter_page_hits − filter_line_hits`
     /// stores exited at line granularity without the table read lock.
     pub filter_line_hits: u64,
+    /// Cascade wave units: downstream raises propagated from a tthread's
+    /// committed (or inline) stores to *another* tthread's trigger region,
+    /// plus the fully-silent commits that terminated a wave (counted in
+    /// [`Counters::cascade_cutoffs`]). Conserved as
+    /// `cascades == cascade_enqueues + cascade_coalesced + cascade_cutoffs`.
+    pub cascades: u64,
+    /// Cascade raises handed to the dispatch layer: enqueued for a worker,
+    /// marked Triggered for a later join, or overflow-executed inline.
+    pub cascade_enqueues: u64,
+    /// Cascade raises absorbed by an already-pending downstream slot.
+    pub cascade_coalesced: u64,
+    /// Early cutoffs: cascade-driven recomputations whose commit was fully
+    /// silent (zero non-silent watched lines), stopping the wave there —
+    /// the paper's redundancy elimination applied transitively. Only
+    /// counted when [`crate::config::Config::early_cutoff`] is on.
+    pub cascade_cutoffs: u64,
+    /// Duplicate downstream raises suppressed within one commit epoch (the
+    /// invalidation wave is deduplicated per commit, not per store).
+    pub wave_dedups: u64,
+    /// Watch or output declarations rejected because they would close a
+    /// cycle in the declared dependency graph
+    /// ([`crate::error::Error::TriggerCycle`]).
+    pub trigger_cycles_rejected: u64,
 }
 
 /// Applies a callback macro to the complete counter field list, in
@@ -158,6 +181,12 @@ macro_rules! for_each_counter {
             filter_checks,
             filter_page_hits,
             filter_line_hits,
+            cascades,
+            cascade_enqueues,
+            cascade_coalesced,
+            cascade_cutoffs,
+            wave_dedups,
+            trigger_cycles_rejected,
         )
     };
 }
@@ -545,10 +574,20 @@ impl fmt::Display for StatsSnapshot {
             c.steals, c.steal_batches
         )?;
         writeln!(f, "park timeouts         {:>12}", c.park_timeouts)?;
-        write!(
+        writeln!(
             f,
             "filter checks         {:>12}  (page hits {}, line hits {})",
             c.filter_checks, c.filter_page_hits, c.filter_line_hits
+        )?;
+        writeln!(
+            f,
+            "cascade waves         {:>12}  (enqueued {}, coalesced {}, cutoffs {})",
+            c.cascades, c.cascade_enqueues, c.cascade_coalesced, c.cascade_cutoffs
+        )?;
+        write!(
+            f,
+            "wave dedups / cycles  {:>12} / {}",
+            c.wave_dedups, c.trigger_cycles_rejected
         )
     }
 }
@@ -668,6 +707,8 @@ mod tests {
             "executions",
             "skips",
             "cascade",
+            "cascade waves",
+            "wave dedups",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
@@ -682,7 +723,7 @@ mod tests {
             assert!(c.set_field(name, (i + 1) as u64), "unknown field {name}");
         }
         let fields = c.fields();
-        assert_eq!(fields.len(), 35);
+        assert_eq!(fields.len(), 41);
         assert_eq!(fields[0], ("tracked_stores", 1));
         assert_eq!(fields[20], ("bytes_compared", 21));
         assert_eq!(fields[25], ("overflow_sheds", 26));
@@ -693,6 +734,12 @@ mod tests {
         assert_eq!(fields[32], ("filter_checks", 33));
         assert_eq!(fields[33], ("filter_page_hits", 34));
         assert_eq!(fields[34], ("filter_line_hits", 35));
+        assert_eq!(fields[35], ("cascades", 36));
+        assert_eq!(fields[36], ("cascade_enqueues", 37));
+        assert_eq!(fields[37], ("cascade_coalesced", 38));
+        assert_eq!(fields[38], ("cascade_cutoffs", 39));
+        assert_eq!(fields[39], ("wave_dedups", 40));
+        assert_eq!(fields[40], ("trigger_cycles_rejected", 41));
         for (i, (_, v)) in fields.iter().enumerate() {
             assert_eq!(*v, (i + 1) as u64);
         }

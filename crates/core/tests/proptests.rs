@@ -180,6 +180,7 @@ proptest! {
         coalesce in prop::bool::ANY,
         detached in prop::bool::ANY,
         lockfree in prop::bool::ANY,
+        cutoff in prop::bool::ANY,
         ops in prop::collection::vec((0u8..4, 0usize..4, 0u64..3), 1..60),
     ) {
         let cfg = Config::default()
@@ -187,7 +188,8 @@ proptest! {
             .with_queue_capacity(cap)
             .with_coalescing(coalesce)
             .with_detached_execution(detached)
-            .with_lockfree_dispatch(lockfree);
+            .with_lockfree_dispatch(lockfree)
+            .with_early_cutoff(cutoff);
         let mut rt = Runtime::new(cfg, 0u64);
         let xs = rt.alloc_array::<u64>(4).unwrap();
         let sum = rt.register("sum", move |ctx| {
@@ -205,6 +207,14 @@ proptest! {
             }
         });
         rt.watch(copy, xs.range()).unwrap();
+        // A third stage downstream of `copy`, so its commits raise trigger
+        // waves: the wave conservation identity below gets real cascades
+        // (and, with small value ranges, real dedups and cutoffs).
+        let sink = rt.register("sink", move |ctx| {
+            let s: u64 = (0..4).map(|i| ctx.read(mirror, i)).sum();
+            *ctx.user_mut() = s;
+        });
+        rt.watch(sink, mirror.range()).unwrap();
 
         for (op, i, v) in ops {
             match op {
@@ -254,6 +264,19 @@ proptest! {
                 c.triggers_fired,
                 c.enqueues + c.coalesced_triggers + c.queue_overflows
             );
+        }
+        // Wave conservation: every cascade resolved exactly one way —
+        // activated a downstream slot, coalesced into a pending run, or
+        // was counted as the terminal cutoff of its own silent commit.
+        // Dropped and deduped raises bump none of these by design.
+        prop_assert_eq!(
+            c.cascades,
+            c.cascade_enqueues + c.cascade_coalesced + c.cascade_cutoffs
+        );
+        if !cutoff {
+            // Cutoffs are only *counted* under early cutoff; the ablation
+            // propagates silent commits instead of terminating waves.
+            prop_assert_eq!(c.cascade_cutoffs, 0);
         }
         // Wake discipline: at most one wake per enqueued unit, and a queue
         // entry can go stale (lose its claim race) at most once.

@@ -165,6 +165,18 @@ fn event_json(event: &ObsEvent) -> Option<String> {
         EventKind::FilterSkip => {
             instant(tid, "filter.skip", ts, &format!("{{\"addr\":{payload}}}"))
         }
+        EventKind::CascadeFired => instant(
+            tid,
+            "cascade.fired",
+            ts,
+            &format!("{{\"wave_depth\":{payload}}}"),
+        ),
+        EventKind::CascadeCutoff => instant(
+            tid,
+            "cascade.cutoff",
+            ts,
+            &format!("{{\"wave_depth\":{payload}}}"),
+        ),
         EventKind::BodyStart | EventKind::CommitBegin => return None,
     };
     Some(line)

@@ -45,6 +45,14 @@ pub struct TthreadAgg {
     pub retry_exhausted: u64,
     /// Backpressure enqueues shed after the assist budget ran out.
     pub sheds: u64,
+    /// Cascade raises received from upstream tthread commits (incremental
+    /// graph wave units targeting this tthread).
+    pub cascades: u64,
+    /// Deepest cascade wave observed raising this tthread.
+    pub max_wave_depth: u64,
+    /// Fully-silent cascade commits by this tthread that stopped the wave
+    /// (early cutoffs).
+    pub cascade_cutoffs: u64,
 }
 
 impl TthreadAgg {
@@ -185,6 +193,11 @@ impl ObsReport {
             EventKind::BodyTimeout => agg.timeouts += 1,
             EventKind::RetryExhausted => agg.retry_exhausted += 1,
             EventKind::OverflowShed => agg.sheds += 1,
+            EventKind::CascadeFired => {
+                agg.cascades += 1;
+                agg.max_wave_depth = agg.max_wave_depth.max(payload);
+            }
+            EventKind::CascadeCutoff => agg.cascade_cutoffs += 1,
             // BodyStart/CommitBegin only anchor the timeline; Store and
             // ChangeDetected carry no tthread (except commit replays, which
             // are regional, not per-tthread, information).
@@ -266,6 +279,12 @@ impl ObsReport {
             self.count(EventKind::Join),
             self.count(EventKind::Skip),
         );
+        let cascades = self.count(EventKind::CascadeFired);
+        let cutoffs = self.count(EventKind::CascadeCutoff);
+        if cascades + cutoffs > 0 {
+            use std::fmt::Write as _;
+            let _ = write!(line, " | cascades {cascades} ({cutoffs} cutoffs)");
+        }
         let timeouts = self.count(EventKind::BodyTimeout);
         let exhausted = self.count(EventKind::RetryExhausted);
         let sheds = self.count(EventKind::OverflowShed);

@@ -1,8 +1,10 @@
 //! # dtt-workloads — the benchmark suite
 //!
 //! Fourteen kernels modelled on the C SPEC benchmarks the HPCA'11 paper
-//! evaluates, each exposing the redundancy structure that data-triggered
-//! threads exploit. Every kernel ships three semantically identical
+//! evaluates, plus two multi-stage kernels (`spreadsheet`, `pipeline`)
+//! that exercise the dependency-graph subsystem — tthreads triggering
+//! tthreads. Each kernel exposes the redundancy structure that
+//! data-triggered threads exploit and ships three semantically identical
 //! implementations:
 //!
 //! * **baseline** — plain Rust, recomputing everything every iteration
@@ -41,6 +43,8 @@ pub mod mcf;
 pub mod mesa;
 pub mod parser;
 pub mod perlbmk;
+pub mod pipeline;
+pub mod spreadsheet;
 pub mod suite;
 pub mod twolf;
 pub mod util;
@@ -58,6 +62,8 @@ pub use mcf::Mcf;
 pub use mesa::Mesa;
 pub use parser::Parser;
 pub use perlbmk::Perlbmk;
+pub use pipeline::Pipeline;
+pub use spreadsheet::Spreadsheet;
 pub use suite::{suite, DttRun, Scale, TthreadReport, Workload};
 pub use twolf::Twolf;
 pub use vortex::Vortex;

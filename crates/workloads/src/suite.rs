@@ -49,6 +49,10 @@ pub struct DttRun {
     pub stats: StatsSnapshot,
     /// Per-tthread counters.
     pub tthreads: Vec<TthreadReport>,
+    /// Declared dependency-graph edges as `(writer, reader)` tthread name
+    /// pairs — nonempty only for the multi-stage kernels that call
+    /// [`dtt_core::Runtime::declare_output`].
+    pub edges: Vec<(String, String)>,
     /// Drained lifecycle events, present when the run's [`Config`] enabled
     /// observability (see [`Config::with_observability`]).
     pub obs: Option<ObsRecording>,
@@ -97,6 +101,8 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
         Box::new(crate::crafty::Crafty::new(scale)),
         Box::new(crate::gap::Gap::new(scale)),
         Box::new(crate::perlbmk::Perlbmk::new(scale)),
+        Box::new(crate::spreadsheet::Spreadsheet::new(scale)),
+        Box::new(crate::pipeline::Pipeline::new(scale)),
     ]
 }
 
@@ -105,13 +111,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_fourteen_distinct_kernels() {
+    fn suite_has_sixteen_distinct_kernels() {
         let s = suite(Scale::Test);
-        assert_eq!(s.len(), 14);
+        assert_eq!(s.len(), 16);
         let mut names: Vec<_> = s.iter().map(|w| w.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 16);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Shared helpers: digesting, probed memory access, DTT run plumbing.
 
-use dtt_core::{Runtime, TthreadId};
+use dtt_core::{AddrRange, Error, Runtime, TthreadId};
 use dtt_trace::{Probe, SiteId};
 
 use crate::suite::{DttRun, TthreadReport};
@@ -120,11 +120,35 @@ pub fn dtt_run_report<U: Send + 'static>(rt: &Runtime<U>, digest: u64) -> DttRun
             triggers,
         })
         .collect();
+    let edges = rt
+        .graph_edges()
+        .into_iter()
+        .map(|e| {
+            (
+                rt.tthread_name(e.writer).unwrap_or_default(),
+                rt.tthread_name(e.reader).unwrap_or_default(),
+            )
+        })
+        .collect();
     DttRun {
         digest,
         stats: rt.stats(),
         tthreads,
+        edges,
         obs: rt.is_observing().then(|| rt.obs_drain()),
+    }
+}
+
+/// Declares `range` as `tt`'s output region, tolerating a
+/// [`Error::TriggerCycle`] rejection. Coarse trigger granularities can
+/// alias neighboring aggregate cells into one line and close *false*
+/// cycles in the declared edge map; the declared edges are advisory
+/// (cascades flow through the trigger table either way), so the workload
+/// drops the declaration instead of failing. Any other error is a bug.
+pub fn declare_output<U: Send + 'static>(rt: &mut Runtime<U>, tt: TthreadId, range: AddrRange) {
+    match rt.declare_output(tt, range) {
+        Ok(()) | Err(Error::TriggerCycle { .. }) => {}
+        Err(other) => panic!("declaring a registered tthread's output region failed: {other:?}"),
     }
 }
 
