@@ -1,0 +1,228 @@
+//! Open-loop serve throughput: the front-end under sustainable load and
+//! under deliberate ≥2× overload.
+//!
+//! Two phases, both driven by the coordinated-omission-safe open-loop
+//! generator (`dtt_serve::load`: latency measured from *scheduled* send
+//! instants, so time a request queues behind a slow server counts
+//! against the server):
+//!
+//! 1. **Baseline** — a generously gated server at a modest target rate.
+//!    Its achieved response throughput is the measured sustainable rate;
+//!    its p50/p99 come from the obs crate's log2 histograms.
+//! 2. **Overload** — a *tightly* gated server (the gate is the capacity
+//!    under test) driven at at least twice the measured sustainable
+//!    rate. The pass criteria are the paper-style robustness claims:
+//!    the server **sheds instead of collapsing** — explicit `Shed`
+//!    responses appear, the answer rate holds up, p99 stays inside the
+//!    budget (sheds are cheap; admitted requests are bounded by the
+//!    per-request deadline) — and the request-conservation identities
+//!    hold exactly (`accepts == admits + sheds`,
+//!    `accepts == responses + sheds + dropped_conns`: zero requests
+//!    lost).
+//!
+//! The `serve-overload check: PASS` line is printed only when every
+//! budget holds; the CI serve job greps for it. Results land in
+//! `BENCH_serve.json` (one row per phase with p50/p99 and throughput).
+//!
+//! Usage: `serve_throughput [--smoke]` — `--smoke` runs a fast CI-sized
+//! configuration (same code paths, shorter runs).
+
+use std::time::Duration;
+
+use dtt_serve::{load, LoadConfig, LoadReport, ServeConfig, Server};
+
+/// p99 budget for the overload phase, in milliseconds. Admitted requests
+/// are bounded by the 50 ms per-request deadline and sheds are answered
+/// without an engine round trip, so even heavily overloaded runs must
+/// stay far below this; only collapse (unbounded queueing) breaks it.
+const OVERLOAD_P99_BUDGET_MS: u64 = 400;
+
+/// One measured phase, for the report and the JSON record.
+struct Phase {
+    name: &'static str,
+    config: String,
+    report: LoadReport,
+    sheds_ok: bool,
+}
+
+fn run_phase(
+    name: &'static str,
+    serve_cfg: ServeConfig,
+    load_cfg: LoadConfig,
+) -> (Phase, dtt_serve::ServeStatsSnapshot) {
+    let config = format!(
+        "inflight={} queue={} conns={} rate={}/s dur={:?}",
+        serve_cfg.max_inflight,
+        serve_cfg.queue_cap,
+        load_cfg.conns,
+        load_cfg.rate,
+        load_cfg.duration
+    );
+    let mut server = Server::start(serve_cfg).expect("bind loopback server");
+    let mut load_cfg = load_cfg;
+    load_cfg.addr = server.local_addr().to_string();
+    let report = load::run(&load_cfg).expect("load run");
+    server
+        .shutdown(Duration::from_secs(30))
+        .expect("drain shutdown after load");
+    let stats = server.stats();
+
+    // The conservation identities are hard assertions on every phase:
+    // an overloaded front-end may shed, it may never lose a request.
+    assert!(
+        stats.admission_conserved(),
+        "{name}: accepts != admits + sheds: {stats:?}"
+    );
+    assert!(
+        stats.lifecycle_conserved(),
+        "{name}: accepts != responses + sheds + dropped_conns: {stats:?}"
+    );
+
+    (
+        Phase {
+            name,
+            config,
+            report,
+            sheds_ok: stats.serve_sheds > 0,
+        },
+        stats,
+    )
+}
+
+fn print_phase(phase: &Phase) {
+    let r = &phase.report;
+    println!(
+        "{:>9}: sent {:>6} | answered {:>6} ({} ok, {} shed, {} degraded, {} dropped) \
+         | {:>8.0} resp/s | p50 {:>7.2} ms | p99 {:>7.2} ms",
+        phase.name,
+        r.sent,
+        r.ok + r.shed + r.degraded,
+        r.ok,
+        r.shed,
+        r.degraded,
+        r.dropped,
+        r.response_throughput(),
+        r.latency_ns(0.50) as f64 / 1e6,
+        r.latency_ns(0.99) as f64 / 1e6,
+    );
+}
+
+fn json_row(phase: &Phase) -> String {
+    let r = &phase.report;
+    format!(
+        "{{\"config\":\"{}: {}\",\"p50_us\":{:.1},\"p99_us\":{:.1},\
+         \"throughput_rps\":{:.1},\"sent\":{},\"ok\":{},\"sheds\":{},\"degraded\":{}}}",
+        phase.name,
+        phase.config,
+        r.latency_ns(0.50) as f64 / 1e3,
+        r.latency_ns(0.99) as f64 / 1e3,
+        r.response_throughput(),
+        r.sent,
+        r.ok,
+        r.shed,
+        r.degraded
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (baseline_rate, duration, conns) = if smoke {
+        (1_500u64, Duration::from_millis(400), 4usize)
+    } else {
+        (4_000, Duration::from_secs(2), 8)
+    };
+
+    // Phase 1: sustainable load against a generous gate. The achieved
+    // response throughput is the measured sustainable rate.
+    let (baseline, _) = run_phase(
+        "baseline",
+        ServeConfig {
+            max_inflight: 64,
+            queue_cap: 128,
+            deadline: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+        LoadConfig {
+            conns,
+            rate: baseline_rate,
+            duration,
+            ..LoadConfig::default()
+        },
+    );
+    let sustainable = baseline.report.response_throughput();
+
+    // Phase 2: a tightly gated server — its capacity is *at most* the
+    // baseline's — driven at twice the measured sustainable rate, from
+    // more connections than the gate has permits so concurrent arrivals
+    // genuinely exceed admission.
+    let overload_rate = (2.0 * sustainable).ceil().max(2.0 * baseline_rate as f64) as u64;
+    let (overload, overload_stats) = run_phase(
+        "overload",
+        ServeConfig {
+            max_inflight: 4,
+            queue_cap: 4,
+            deadline: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+        LoadConfig {
+            conns: conns * 4,
+            rate: overload_rate,
+            duration,
+            ..LoadConfig::default()
+        },
+    );
+
+    println!(
+        "serve throughput, measured on {cores} core(s){}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    print_phase(&baseline);
+    print_phase(&overload);
+    println!(
+        "sustainable {:.0} resp/s; overload driven at {} req/s (>= 2x)",
+        sustainable, overload_rate
+    );
+
+    // The robustness budgets: shed, don't collapse.
+    let p99_ms = overload.report.latency_ns(0.99) / 1_000_000;
+    let answered = overload.report.ok + overload.report.shed + overload.report.degraded;
+    assert!(
+        overload.sheds_ok,
+        "an overloaded tight gate must shed explicitly (0 sheds recorded)"
+    );
+    assert!(
+        p99_ms <= OVERLOAD_P99_BUDGET_MS,
+        "overload p99 {p99_ms} ms blew the {OVERLOAD_P99_BUDGET_MS} ms budget: \
+         the server queued instead of shedding"
+    );
+    assert!(
+        answered * 2 >= overload.report.sent,
+        "the server collapsed under overload: only {answered} of {} requests answered",
+        overload.report.sent
+    );
+    println!(
+        "serve-overload check: PASS (sheds {}, p99 {} ms <= {} ms, {} of {} answered, \
+         accepts {} == admits {} + sheds {})",
+        overload.report.shed,
+        p99_ms,
+        OVERLOAD_P99_BUDGET_MS,
+        answered,
+        overload.report.sent,
+        overload_stats.serve_accepts,
+        overload_stats.serve_admits,
+        overload_stats.serve_sheds
+    );
+
+    // One record, one row per phase — same BENCH_*.json artifact shape
+    // the other bins ship, with latency quantiles instead of ns_per_op.
+    let json = format!(
+        "{{\"benchmark\":\"serve\",\"host_cores\":{cores},\"rows\":[{},{}]}}\n",
+        json_row(&baseline),
+        json_row(&overload)
+    );
+    match std::fs::write("BENCH_serve.json", json) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write bench record: {e}"),
+    }
+}

@@ -1,0 +1,461 @@
+//! Chaos harness for the serve front-end's request lifecycle.
+//!
+//! The core harness ([`crate::run_config`]) hammers the *tthread*
+//! lifecycle; this module applies the same discipline to the *request*
+//! lifecycle: a real [`dtt_serve::Server`] on a loopback socket, driven
+//! by concurrent client threads while the serve-layer fault points
+//! ([`FaultPoint::SERVE`]: conn-drop mid-batch, slow-client stall,
+//! accept-queue overflow) fire on a seeded schedule. After every run —
+//! under a watchdog, so a wedge is itself a failure — the harness
+//! asserts:
+//!
+//! * **admission conservation** — `accepts == admits + sheds`: every
+//!   decoded request was decided exactly once;
+//! * **lifecycle conservation** — `accepts == responses + sheds +
+//!   dropped_conns`: no request vanished, whatever was injected;
+//! * **client/server agreement** — responses the clients observed never
+//!   exceed what the server counted;
+//! * **no wedge** — the run (including the drain-mode
+//!   [`dtt_serve::Server::shutdown`], mid-load when
+//!   [`ServeChaosConfig::drain_mid_run`] is set) finishes inside the
+//!   watchdog.
+//!
+//! Failures carry the seed and shrink ([`shrink_serve_with`]) to a
+//! minimal armed-point set and request count, mirroring the core
+//! harness.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use dtt_core::fault::{FaultPlan, FaultPoint, ALWAYS};
+use dtt_serve::{Client, Request, Response, ServeConfig, ServeStatsSnapshot, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One serve-chaos case, fully derived from a seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeChaosConfig {
+    /// The seed this case was derived from.
+    pub seed: u64,
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Requests each connection attempts.
+    pub requests_per_conn: usize,
+    /// Admission-gate permits.
+    pub max_inflight: usize,
+    /// Engine mailbox capacity.
+    pub queue_cap: usize,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// Serve-layer fault schedule (only [`FaultPoint::SERVE`] points
+    /// matter here).
+    pub plan: FaultPlan,
+    /// Initiate drain-mode shutdown while clients are still sending.
+    pub drain_mid_run: bool,
+    /// Wall-clock budget; exceeding it is a wedge.
+    pub watchdog: Duration,
+}
+
+impl ServeChaosConfig {
+    /// Derives a randomized case from `seed`: a small gate and mailbox
+    /// (so organic shedding happens too), and each serve-layer point
+    /// armed about half the time with a finite budget.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E12_CAFE);
+        let mut plan = FaultPlan::new(seed).with_delay_us(rng.gen_range(1..=200u32));
+        for point in FaultPoint::SERVE {
+            if rng.gen_range(0..2u32) == 0 {
+                plan = plan
+                    .with_rate(point, rng.gen_range(6_553..=19_660u16))
+                    .with_budget(point, rng.gen_range(2..=16u32));
+            }
+        }
+        ServeChaosConfig {
+            seed,
+            conns: rng.gen_range(2..=6usize),
+            requests_per_conn: rng.gen_range(20..=60usize),
+            max_inflight: rng.gen_range(1..=8usize),
+            queue_cap: rng.gen_range(1..=8usize),
+            deadline: Duration::from_millis(200),
+            plan,
+            drain_mid_run: rng.gen_range(0..4u32) == 0,
+            watchdog: Duration::from_secs(30),
+        }
+    }
+
+    /// A quiet baseline case (no serve faults armed).
+    pub fn baseline(seed: u64) -> Self {
+        ServeChaosConfig {
+            seed,
+            conns: 4,
+            requests_per_conn: 40,
+            max_inflight: 4,
+            queue_cap: 4,
+            deadline: Duration::from_millis(200),
+            plan: FaultPlan::new(seed),
+            drain_mid_run: false,
+            watchdog: Duration::from_secs(30),
+        }
+    }
+
+    fn describe(&self) -> String {
+        let armed: Vec<String> = self
+            .plan
+            .armed_points()
+            .into_iter()
+            .map(|p| {
+                format!(
+                    "{}(rate={},budget={})",
+                    p.name(),
+                    self.plan.rate(p),
+                    self.plan.budget(p)
+                )
+            })
+            .collect();
+        format!(
+            "conns={} reqs/conn={} inflight={} queue={} drain_mid_run={} armed=[{}]",
+            self.conns,
+            self.requests_per_conn,
+            self.max_inflight,
+            self.queue_cap,
+            self.drain_mid_run,
+            armed.join(", ")
+        )
+    }
+}
+
+/// What a successful serve-chaos run observed.
+#[derive(Debug, Clone)]
+pub struct ServeRunSummary {
+    /// The case's seed.
+    pub seed: u64,
+    /// Final request-lifecycle counters.
+    pub stats: ServeStatsSnapshot,
+    /// Per-[`FaultPoint`] injected-fault counts (serve probe).
+    pub injections: [u64; FaultPoint::COUNT],
+    /// Non-shed responses the client threads observed.
+    pub client_responses: u64,
+    /// `Shed` responses the client threads observed.
+    pub client_sheds: u64,
+    /// Connections the clients saw severed mid-request.
+    pub client_drops: u64,
+}
+
+/// A serve-chaos invariant violation, replayable from its seed.
+#[derive(Debug, Clone)]
+pub struct ServeChaosFailure {
+    /// The failing case's seed.
+    pub seed: u64,
+    /// Which invariant broke, and how.
+    pub message: String,
+    /// The full failing case (feed to [`shrink_serve_with`]).
+    pub config: ServeChaosConfig,
+}
+
+impl std::fmt::Display for ServeChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve-chaos: seed {} FAILED: {}",
+            self.seed, self.message
+        )?;
+        writeln!(f, "  case: {}", self.config.describe())?;
+        write!(
+            f,
+            "  replay: dtt_chaos::serve::run_serve_config(&ServeChaosConfig::from_seed({}))",
+            self.seed
+        )
+    }
+}
+
+impl std::error::Error for ServeChaosFailure {}
+
+/// Runs the case derived from `seed` under its watchdog.
+///
+/// # Errors
+///
+/// Returns a [`ServeChaosFailure`] naming the violated invariant.
+pub fn run_serve_seed(seed: u64) -> Result<ServeRunSummary, Box<ServeChaosFailure>> {
+    run_serve_config(&ServeChaosConfig::from_seed(seed))
+}
+
+/// Runs one explicit serve case under its watchdog. A run that does not
+/// finish in time is reported as a wedge (the stuck server threads are
+/// leaked — the process is already compromised at that point).
+///
+/// # Errors
+///
+/// Returns a [`ServeChaosFailure`] naming the violated invariant.
+pub fn run_serve_config(cfg: &ServeChaosConfig) -> Result<ServeRunSummary, Box<ServeChaosFailure>> {
+    let (tx, rx) = mpsc::channel();
+    let inner_cfg = cfg.clone();
+    let worker = thread::spawn(move || {
+        let _ = tx.send(run_serve_inner(&inner_cfg));
+    });
+    match rx.recv_timeout(cfg.watchdog) {
+        Ok(result) => {
+            let _ = worker.join();
+            result.map_err(|message| {
+                Box::new(ServeChaosFailure {
+                    seed: cfg.seed,
+                    message,
+                    config: cfg.clone(),
+                })
+            })
+        }
+        Err(_) => Err(Box::new(ServeChaosFailure {
+            seed: cfg.seed,
+            message: format!(
+                "wedged: the run did not finish within the {:?} watchdog",
+                cfg.watchdog
+            ),
+            config: cfg.clone(),
+        })),
+    }
+}
+
+/// Shrinks a failing serve case to a minimal one that still fails:
+/// greedily disarms serve-layer fault points and halves the per-client
+/// request count while the failure reproduces, to a fixpoint.
+pub fn shrink_serve_with(
+    cfg: &ServeChaosConfig,
+    fails: &dyn Fn(&ServeChaosConfig) -> bool,
+) -> ServeChaosConfig {
+    let mut current = cfg.clone();
+    loop {
+        let mut progressed = false;
+        for point in FaultPoint::SERVE {
+            if current.plan.rate(point) == 0 {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.plan = candidate.plan.clone().with_rate(point, 0);
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        if current.requests_per_conn > 5 {
+            let mut candidate = current.clone();
+            candidate.requests_per_conn /= 2;
+            if fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Per-client tally of observed outcomes.
+#[derive(Debug, Default)]
+struct ClientTally {
+    responses: u64,
+    sheds: u64,
+    drops: u64,
+}
+
+/// The actual run: start a server, hammer it from `conns` client
+/// threads, optionally drain mid-load, then check every invariant.
+fn run_serve_inner(cfg: &ServeChaosConfig) -> Result<ServeRunSummary, String> {
+    let mut server = Server::start(ServeConfig {
+        max_inflight: cfg.max_inflight,
+        queue_cap: cfg.queue_cap,
+        deadline: cfg.deadline,
+        serve_faults: Some(cfg.plan.clone()),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("server start failed: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let mut handles = Vec::with_capacity(cfg.conns);
+    for t in 0..cfg.conns {
+        let addr = addr.clone();
+        let requests = cfg.requests_per_conn;
+        let seed = cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        handles.push(thread::spawn(move || -> Result<ClientTally, String> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tally = ClientTally::default();
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => Some(c),
+                Err(e) => return Err(format!("initial connect failed: {e}")),
+            };
+            for i in 0..requests {
+                let request = match rng.gen_range(0..10u32) {
+                    0 => Request::Ping,
+                    1..=3 => Request::Get {
+                        query: rng.gen_range(0..2u8),
+                    },
+                    _ => Request::Put {
+                        key: rng.gen_range(0..256u64),
+                        value: i as i64,
+                    },
+                };
+                let c = match client.as_mut() {
+                    Some(c) => c,
+                    None => match Client::connect(&addr) {
+                        Ok(c) => client.insert(c),
+                        // Listener gone: the server is draining. Fine.
+                        Err(_) => break,
+                    },
+                };
+                match c.request(request) {
+                    Ok(Response::Err { code }) => {
+                        return Err(format!("server answered Err({code})"))
+                    }
+                    Ok(Response::Shed) => tally.sheds += 1,
+                    Ok(_) => tally.responses += 1,
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                        // Injected conn-drop (or drain): reconnect.
+                        tally.drops += 1;
+                        client = None;
+                    }
+                    Err(_) => {
+                        // Write-side failure on a severed connection.
+                        client = None;
+                    }
+                }
+            }
+            Ok(tally)
+        }));
+    }
+
+    let drained_early = if cfg.drain_mid_run {
+        // Let the load ramp, then drain while clients are still sending.
+        thread::sleep(Duration::from_millis(20));
+        server
+            .shutdown(Duration::from_secs(10))
+            .map_err(|e| format!("mid-load drain shutdown failed: {e}"))?;
+        true
+    } else {
+        false
+    };
+
+    let mut client_responses = 0u64;
+    let mut client_sheds = 0u64;
+    let mut client_drops = 0u64;
+    for handle in handles {
+        let tally = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        client_responses += tally.responses;
+        client_sheds += tally.sheds;
+        client_drops += tally.drops;
+    }
+    if !drained_early {
+        server
+            .shutdown(Duration::from_secs(10))
+            .map_err(|e| format!("drain shutdown failed: {e}"))?;
+    }
+    // Idempotency is part of the lifecycle contract.
+    server
+        .shutdown(Duration::from_secs(10))
+        .map_err(|e| format!("second shutdown not idempotent: {e}"))?;
+
+    let stats = server.stats();
+    let injections = server.fault_injections();
+
+    if !stats.admission_conserved() {
+        return Err(format!(
+            "admission conservation violated: accepts {} != admits {} + sheds {}",
+            stats.serve_accepts, stats.serve_admits, stats.serve_sheds
+        ));
+    }
+    if !stats.lifecycle_conserved() {
+        return Err(format!(
+            "lifecycle conservation violated: accepts {} != responses {} + sheds {} + dropped {}",
+            stats.serve_accepts,
+            stats.serve_responses,
+            stats.serve_sheds,
+            stats.serve_dropped_conns
+        ));
+    }
+    // Clients cannot have observed more answers than the server produced,
+    // or more severed connections than the server dropped (the reverse
+    // can hold: a drain can close a socket the client never re-read, and
+    // a response can be produced but never collected).
+    if client_responses > stats.serve_responses {
+        return Err(format!(
+            "clients observed {client_responses} responses but the server counted {}",
+            stats.serve_responses
+        ));
+    }
+    if client_sheds > stats.serve_sheds {
+        return Err(format!(
+            "clients observed {client_sheds} sheds but the server counted {}",
+            stats.serve_sheds
+        ));
+    }
+    if client_drops > stats.serve_dropped_conns + injections[FaultPoint::ConnDrop as usize] {
+        return Err(format!(
+            "clients observed {client_drops} drops but the server dropped {} (+{} injected)",
+            stats.serve_dropped_conns,
+            injections[FaultPoint::ConnDrop as usize]
+        ));
+    }
+
+    Ok(ServeRunSummary {
+        seed: cfg.seed,
+        stats,
+        injections,
+        client_responses,
+        client_sheds,
+        client_drops,
+    })
+}
+
+/// A pinned serve case arming exactly one serve-layer fault point hard
+/// enough to be guaranteed to fire (rate [`ALWAYS`], small finite
+/// budget). The regression suite pins one per point.
+pub fn pinned_serve_case(point: FaultPoint, seed: u64) -> ServeChaosConfig {
+    let mut cfg = ServeChaosConfig::baseline(seed);
+    cfg.plan = FaultPlan::new(seed)
+        .with_rate(point, ALWAYS)
+        .with_budget(point, 6)
+        .with_delay_us(200);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_serve_scoped() {
+        let a = ServeChaosConfig::from_seed(42);
+        let b = ServeChaosConfig::from_seed(42);
+        assert_eq!(a, b);
+        assert_ne!(a, ServeChaosConfig::from_seed(43));
+        for p in a.plan.armed_points() {
+            assert!(FaultPoint::SERVE.contains(&p));
+            assert_ne!(a.plan.budget(p), dtt_core::fault::UNLIMITED);
+        }
+    }
+
+    #[test]
+    fn baseline_serve_run_is_quiet() {
+        let summary = run_serve_config(&ServeChaosConfig::baseline(7)).expect("baseline must pass");
+        assert_eq!(summary.injections, [0; FaultPoint::COUNT]);
+        assert_eq!(summary.client_drops, 0);
+        assert!(summary.client_responses > 0);
+    }
+
+    #[test]
+    fn serve_shrink_disarms_irrelevant_points_and_halves_requests() {
+        let mut cfg = ServeChaosConfig::baseline(1);
+        cfg.requests_per_conn = 80;
+        for p in FaultPoint::SERVE {
+            cfg.plan = cfg.plan.clone().with_rate(p, ALWAYS).with_budget(p, 4);
+        }
+        let fails = |c: &ServeChaosConfig| {
+            c.plan.rate(FaultPoint::ConnDrop) > 0 && c.requests_per_conn >= 20
+        };
+        let minimal = shrink_serve_with(&cfg, &fails);
+        assert_eq!(minimal.plan.armed_points(), vec![FaultPoint::ConnDrop]);
+        assert_eq!(minimal.requests_per_conn, 20);
+        assert!(fails(&minimal));
+    }
+}

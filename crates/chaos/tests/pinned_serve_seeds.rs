@@ -1,0 +1,90 @@
+//! The pinned serve-chaos regression suite.
+//!
+//! Every serve-layer [`FaultPoint`] gets a pinned case that arms it hard
+//! enough to be guaranteed to fire, so each request-lifecycle failure
+//! path — conn-drop mid-batch, slow-client stall, accept-queue overflow
+//! — is exercised, with the conservation identities checked, on every CI
+//! run. Also here: the drain-under-load regression (drain-mode shutdown
+//! initiated while clients are still sending must complete inside the
+//! watchdog with nothing lost) and a randomized seed block.
+
+use dtt_chaos::serve::{pinned_serve_case, run_serve_config, run_serve_seed, ServeChaosConfig};
+use dtt_core::fault::FaultPoint;
+
+/// Conn-drop mid-batch: admitted requests whose connections the server
+/// severs without a response must be conserved via `dropped_conns`, and
+/// the run must not wedge.
+#[test]
+fn pinned_conn_drops_mid_batch_are_conserved() {
+    let cfg = pinned_serve_case(FaultPoint::ConnDrop, 118);
+    let summary = run_serve_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        summary.injections[FaultPoint::ConnDrop as usize] >= 1,
+        "pinned conn-drop case never fired; injections: {:?}",
+        summary.injections
+    );
+    assert!(
+        summary.stats.serve_dropped_conns >= 1,
+        "an injected conn-drop must surface in dropped_conns: {:?}",
+        summary.stats
+    );
+}
+
+/// Shed under injected accept-queue overflow: every overflow becomes an
+/// explicit `Shed` response, never a lost request. The harness asserts
+/// `accepts == admits + sheds` on every run; this pins that sheds
+/// actually happened.
+#[test]
+fn pinned_accept_overflows_shed_explicitly() {
+    let cfg = pinned_serve_case(FaultPoint::AcceptOverflow, 119);
+    let summary = run_serve_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    let fired = summary.injections[FaultPoint::AcceptOverflow as usize];
+    assert!(fired >= 1, "pinned overflow case never fired");
+    assert!(
+        summary.stats.serve_sheds >= fired,
+        "every injected overflow must shed: {fired} fired, {} sheds",
+        summary.stats.serve_sheds
+    );
+}
+
+/// Drain under load: shutdown starts while clients are still sending.
+/// In-flight requests finish, the listener closes, the engine tears its
+/// runtime down — inside the watchdog, with conservation intact (the
+/// harness checks it) and a second shutdown returning Ok.
+#[test]
+fn pinned_drain_under_load_completes_and_conserves() {
+    let mut cfg = ServeChaosConfig::baseline(120);
+    cfg.drain_mid_run = true;
+    cfg.conns = 6;
+    cfg.requests_per_conn = 200;
+    let summary = run_serve_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        summary.stats.serve_accepts >= 1,
+        "the drain fired before any request landed; raise the ramp: {:?}",
+        summary.stats
+    );
+}
+
+/// Slow-client stall: the injected delay between decode and admission
+/// stretches requests but must never wedge the handler or break
+/// conservation.
+#[test]
+fn pinned_client_stalls_cannot_wedge_handlers() {
+    let mut cfg = pinned_serve_case(FaultPoint::ClientStall, 121);
+    cfg.plan = cfg.plan.with_delay_us(2_000);
+    let summary = run_serve_config(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        summary.injections[FaultPoint::ClientStall as usize] >= 1,
+        "pinned client-stall case never fired; injections: {:?}",
+        summary.injections
+    );
+}
+
+/// Randomized smoke: a block of derived serve seeds must all hold the
+/// request-conservation invariants. Pinned here so CI is reproducible.
+#[test]
+fn randomized_serve_seed_block_holds_invariants() {
+    for seed in 3_000..3_006u64 {
+        run_serve_seed(seed).unwrap_or_else(|failure| panic!("{failure}"));
+    }
+}

@@ -57,6 +57,15 @@ const VALUED: &[&str] = &[
     "tst",
     "seed",
     "runs",
+    "port",
+    "addr",
+    "duration-ms",
+    "rate",
+    "conns",
+    "max-inflight",
+    "deadline-ms",
+    "view",
+    "write-tenths",
 ];
 
 impl Args {

@@ -419,3 +419,167 @@ pub fn graph(args: &Args) -> Result<String, CliError> {
     }
     Ok(out)
 }
+
+/// Builds a [`dtt_serve::ServeConfig`] from the `serve`/`load --self`
+/// option set: env knobs first (`DTT_SERVE_*`), explicit options win.
+fn serve_config_from_args(args: &Args) -> Result<dtt_serve::ServeConfig, CliError> {
+    let mut cfg = dtt_serve::ServeConfig::from_env();
+    cfg.addr = format!("127.0.0.1:{}", args.get_parsed("port", 0u16)?);
+    cfg.max_inflight = args.get_parsed("max-inflight", cfg.max_inflight)?;
+    cfg.queue_cap = args.get_parsed("queue", cfg.queue_cap)?.max(1);
+    cfg.deadline = std::time::Duration::from_millis(
+        args.get_parsed("deadline-ms", cfg.deadline.as_millis() as u64)?,
+    );
+    cfg.view = match args.get("view") {
+        None | Some("sheet") => dtt_serve::ViewKind::Sheet,
+        Some("pipeline") => dtt_serve::ViewKind::Pipeline,
+        Some(other) => {
+            return Err(ArgError::BadValue {
+                option: "view".into(),
+                value: other.into(),
+            }
+            .into())
+        }
+    };
+    Ok(cfg)
+}
+
+fn serve_stats_block(stats: &dtt_serve::ServeStatsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "request lifecycle:");
+    for (name, value) in stats.fields() {
+        let _ = writeln!(out, "  {name:<22} {value:>10}");
+    }
+    let _ = writeln!(
+        out,
+        "  conservation: admission {}, lifecycle {}",
+        if stats.admission_conserved() {
+            "ok"
+        } else {
+            "VIOLATED"
+        },
+        if stats.lifecycle_conserved() {
+            "ok"
+        } else {
+            "VIOLATED"
+        },
+    );
+    out
+}
+
+/// `dtt-cli serve [--port N] [--duration-ms N] [--max-inflight N]
+///                [--queue N] [--deadline-ms N] [--view sheet|pipeline]`
+///
+/// Runs the overload-safe front-end for `--duration-ms` (0 serves until
+/// the process is killed), then drains and prints the request-lifecycle
+/// counters with their conservation verdicts. The `DTT_SERVE_*` env
+/// knobs set the defaults; explicit options win.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&[
+        "port",
+        "duration-ms",
+        "max-inflight",
+        "queue",
+        "deadline-ms",
+        "view",
+    ])
+    .map_err(CliError::Args)?;
+    let duration_ms = args.get_parsed("duration-ms", 1_000u64)?;
+    let cfg = serve_config_from_args(args)?;
+    let inflight = cfg.max_inflight;
+    let queue = cfg.queue_cap;
+    let deadline = cfg.deadline;
+    let mut server = dtt_serve::Server::start(cfg)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serving on {} (inflight {}, queue {}, deadline {:?})",
+        server.local_addr(),
+        inflight,
+        queue,
+        deadline
+    );
+    // The CLI prints only after the run, so announce on stdout directly
+    // for anyone waiting to connect.
+    println!("dtt-serve listening on {}", server.local_addr());
+    if duration_ms == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    server.shutdown(std::time::Duration::from_secs(30))?;
+    let _ = writeln!(out, "drained after {duration_ms} ms");
+    out.push_str(&serve_stats_block(&server.stats()));
+    Ok(out)
+}
+
+/// `dtt-cli load --addr HOST:PORT [--rate N] [--conns N] [--duration-ms N]
+///               [--write-tenths N]`
+/// `dtt-cli load --self [serve options] [load options]`
+///
+/// Open-loop load generator (latency measured from scheduled send
+/// instants). With `--self` it starts an in-process server first, drives
+/// it, drains it, and prints both sides — the CI smoke path.
+pub fn load(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&[
+        "addr",
+        "rate",
+        "conns",
+        "duration-ms",
+        "write-tenths",
+        "self",
+        "port",
+        "max-inflight",
+        "queue",
+        "deadline-ms",
+        "view",
+    ])
+    .map_err(CliError::Args)?;
+    let self_serve = args.flag("self");
+    let mut server = if self_serve {
+        Some(dtt_serve::Server::start(serve_config_from_args(args)?)?)
+    } else {
+        None
+    };
+    let addr = match (&server, args.get("addr")) {
+        (Some(s), _) => s.local_addr().to_string(),
+        (None, Some(addr)) => addr.to_owned(),
+        (None, None) => {
+            return Err(ArgError::MissingValue("addr".into()).into());
+        }
+    };
+    let load_cfg = dtt_serve::LoadConfig {
+        addr,
+        conns: args.get_parsed("conns", 4usize)?.max(1),
+        rate: args.get_parsed("rate", 1_000u64)?.max(1),
+        duration: std::time::Duration::from_millis(args.get_parsed("duration-ms", 1_000u64)?),
+        write_tenths: args.get_parsed("write-tenths", 7u32)?.min(10),
+        ..dtt_serve::LoadConfig::default()
+    };
+    let report = dtt_serve::load::run(&load_cfg)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "load: {} conns at {} req/s for {:?} against {}",
+        load_cfg.conns, load_cfg.rate, load_cfg.duration, load_cfg.addr
+    );
+    let _ = writeln!(
+        out,
+        "sent {} | ok {} | shed {} | degraded {} | dropped {} | errors {}",
+        report.sent, report.ok, report.shed, report.degraded, report.dropped, report.errors
+    );
+    let _ = writeln!(
+        out,
+        "throughput {:.0} resp/s | p50 {:.2} ms | p99 {:.2} ms | goodput {:.1}%",
+        report.response_throughput(),
+        report.latency_ns(0.50) as f64 / 1e6,
+        report.latency_ns(0.99) as f64 / 1e6,
+        100.0 * report.goodput_fraction()
+    );
+    if let Some(server) = server.as_mut() {
+        server.shutdown(std::time::Duration::from_secs(30))?;
+        out.push_str(&serve_stats_block(&server.stats()));
+    }
+    Ok(out)
+}

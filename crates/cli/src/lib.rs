@@ -12,6 +12,8 @@
 //!                                               [--out FILE] [--top N]
 //! dtt-cli graph <workload> [--scale S] [--workers N] [--no-cutoff]
 //! dtt-cli chaos [--seed N] [--runs K]        # seeded fault-injection runs
+//! dtt-cli serve [--port N] [--duration-ms N] # overload-safe front-end
+//! dtt-cli load [--addr A | --self] [--rate N] [--conns N] [--duration-ms N]
 //! dtt-cli machine                            # default simulated machine
 //! ```
 //!
@@ -100,6 +102,11 @@ USAGE:
   dtt-cli obs top      <workload>  [--scale S] [--workers N] [--top N]
   dtt-cli graph <workload>    [--scale S] [--workers N] [--no-cutoff]
   dtt-cli chaos               [--seed N] [--runs K] [--no-shrink]
+  dtt-cli serve               [--port N] [--duration-ms N] [--max-inflight N]
+                              [--queue N] [--deadline-ms N] [--view sheet|pipeline]
+  dtt-cli load                --addr HOST:PORT | --self [serve options]
+                              [--rate N] [--conns N] [--duration-ms N]
+                              [--write-tenths N]
   dtt-cli machine
   dtt-cli help
 ";
@@ -127,6 +134,8 @@ pub fn dispatch<I: IntoIterator<Item = String>>(raw: I) -> Result<String, CliErr
         "obs" => commands::obs(&args),
         "graph" => commands::graph(&args),
         "chaos" => commands::chaos(&args),
+        "serve" => commands::serve(&args),
+        "load" => commands::load(&args),
         "machine" => commands::machine(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
@@ -274,6 +283,47 @@ mod tests {
             "missing per-run line:\n{out}"
         );
         assert!(out.contains("2 run(s) from seed 101 passed all invariants"));
+    }
+
+    #[test]
+    fn serve_runs_drains_and_conserves() {
+        let out = run(&["serve", "--port", "0", "--duration-ms", "50"]).unwrap();
+        assert!(out.contains("serving on 127.0.0.1:"), "{out}");
+        assert!(out.contains("drained after 50 ms"), "{out}");
+        assert!(
+            out.contains("conservation: admission ok, lifecycle ok"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn load_self_serve_reports_both_sides() {
+        let out = run(&[
+            "load",
+            "--self",
+            "--rate",
+            "400",
+            "--conns",
+            "2",
+            "--duration-ms",
+            "150",
+        ])
+        .unwrap();
+        assert!(out.contains("throughput"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("serve_accepts"), "{out}");
+        assert!(
+            out.contains("conservation: admission ok, lifecycle ok"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn load_without_addr_or_self_errors() {
+        assert!(matches!(
+            run(&["load", "--rate", "100"]),
+            Err(CliError::Args(ArgError::MissingValue(_)))
+        ));
     }
 
     #[test]

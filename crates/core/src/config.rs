@@ -100,11 +100,14 @@ pub struct Config {
     /// default) leaves every injection probe as a single relaxed atomic
     /// load that never fires.
     pub fault_plan: Option<FaultPlan>,
-    /// Wall-clock deadline for a single tthread body execution (detached
-    /// worker executor only). A body that overruns has its write log
-    /// discarded at commit, the tthread is flagged timed-out, and its next
-    /// `join` returns [`crate::error::Error::TthreadTimedOut`]. `None`
-    /// (the default) disables the deadline.
+    /// Deadline for a single tthread body execution (detached worker
+    /// executor only), measured on the **monotonic** clock
+    /// (`std::time::Instant`) so a wall-clock jump can neither spuriously
+    /// time a body out nor immortalize it — see `dtt_core::deadline` for
+    /// the (injectable) overrun math. A body that overruns has its write
+    /// log discarded at commit, the tthread is flagged timed-out, and its
+    /// next `join` returns [`crate::error::Error::TthreadTimedOut`].
+    /// `None` (the default) disables the deadline.
     pub body_deadline: Option<Duration>,
     /// Maximum times a worker re-runs a tthread's body because a trigger
     /// landed during the previous run (the commit→retrigger loop). When
@@ -112,6 +115,16 @@ pub struct Config {
     /// so adversarial stores cannot livelock a worker. Counted in
     /// `commit_retries` / `commit_retry_exhausted`.
     pub commit_retry_cap: u32,
+    /// Base delay for bounded exponential backoff between commit retries
+    /// (detached worker executor only). `None` (the default) re-runs the
+    /// body immediately, the historical behaviour; `Some(base)` sleeps
+    /// `base << min(retry-1, 6)` plus SplitMix64 jitter (up to half the
+    /// step, drawn from the fault layer's stream so seeded runs stay
+    /// deterministic) before each go-around, off every lock. Under a
+    /// trigger storm this stops a worker from burning its whole retry
+    /// budget in microseconds and gives the storm time to subside.
+    /// Counted in `commit_backoff_waits`.
+    pub commit_backoff: Option<Duration>,
     /// How many pending tthreads the triggering thread will drain inline
     /// per overflow under [`OverflowPolicy::Backpressure`] before shedding.
     pub backpressure_assist_budget: u32,
@@ -274,6 +287,7 @@ impl Default for Config {
             fault_plan: None,
             body_deadline: None,
             commit_retry_cap: 8,
+            commit_backoff: None,
             backpressure_assist_budget: 4,
             lockfree_dispatch: default_lockfree_dispatch(),
             work_stealing: true,
@@ -371,7 +385,7 @@ impl Config {
         self
     }
 
-    /// Sets the per-body wall-clock deadline (detached executor only).
+    /// Sets the per-body monotonic deadline (detached executor only).
     pub fn with_body_deadline(mut self, deadline: Duration) -> Self {
         self.body_deadline = Some(deadline);
         self
@@ -381,6 +395,14 @@ impl Config {
     /// post-commit retrigger).
     pub fn with_commit_retry_cap(mut self, cap: u32) -> Self {
         self.commit_retry_cap = cap;
+        self
+    }
+
+    /// Sets the base delay for bounded exponential backoff between commit
+    /// retries (detached executor only; `None` by default — immediate
+    /// re-execution).
+    pub fn with_commit_backoff(mut self, base: Duration) -> Self {
+        self.commit_backoff = Some(base);
         self
     }
 
@@ -456,6 +478,7 @@ mod tests {
         assert_eq!(cfg.fault_plan, None);
         assert_eq!(cfg.body_deadline, None);
         assert_eq!(cfg.commit_retry_cap, 8);
+        assert_eq!(cfg.commit_backoff, None);
         assert_eq!(cfg.backpressure_assist_budget, 4);
         assert!(cfg.work_stealing);
         assert!(!cfg.park_timeout.is_zero());
@@ -481,6 +504,7 @@ mod tests {
             .with_fault_plan(crate::fault::FaultPlan::new(11))
             .with_body_deadline(Duration::from_millis(250))
             .with_commit_retry_cap(3)
+            .with_commit_backoff(Duration::from_micros(50))
             .with_backpressure_assist_budget(2)
             .with_lockfree_dispatch(false)
             .with_work_stealing(false)
@@ -512,6 +536,7 @@ mod tests {
         assert_eq!(cfg.fault_plan.as_ref().map(|p| p.seed), Some(11));
         assert_eq!(cfg.body_deadline, Some(Duration::from_millis(250)));
         assert_eq!(cfg.commit_retry_cap, 3);
+        assert_eq!(cfg.commit_backoff, Some(Duration::from_micros(50)));
         assert_eq!(cfg.backpressure_assist_budget, 2);
         assert!(!cfg.lockfree_dispatch);
         assert!(

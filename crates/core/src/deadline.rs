@@ -1,0 +1,139 @@
+//! Monotonic deadline and backoff arithmetic for the detached executor.
+//!
+//! The per-body deadline ([`crate::config::Config::with_body_deadline`]) and
+//! the commit-retry backoff ([`crate::config::Config::with_commit_backoff`])
+//! both reduce to small pure functions over time values. They live here,
+//! factored away from the executor, for two reasons:
+//!
+//! * **Monotonicity is load-bearing.** Deadlines are measured against
+//!   [`Instant`], never the wall clock: an NTP step or a suspended laptop
+//!   must not spuriously time a body out, nor immortalize one. Keeping the
+//!   arithmetic in one module makes that property auditable (no
+//!   `SystemTime` imports) and lets tests *inject* constructed instants
+//!   instead of sleeping.
+//! * **The serve front-end reuses it.** `dtt-serve` applies the same
+//!   deadline/backoff shapes to its request lifecycle; sharing the math
+//!   keeps the two layers' semantics aligned.
+
+use std::time::{Duration, Instant};
+
+/// Exponent cap for [`backoff_delay`]: steps stop doubling after
+/// `base << 6` (64×), bounding the worst-case sleep.
+pub const BACKOFF_SHIFT_CAP: u32 = 6;
+
+/// A monotonic per-body deadline: the body's start instant plus a limit.
+///
+/// Constructed at body start via [`BodyDeadline::starting`] and probed at
+/// commit time via [`BodyDeadline::overrun`]. Both take the "current"
+/// instant as an argument so tests can drive the math with constructed
+/// instants rather than real sleeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BodyDeadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl BodyDeadline {
+    /// Starts a deadline clock at `now`, or `None` when no limit is
+    /// configured (the common path pays nothing).
+    pub fn starting(limit: Option<Duration>, now: Instant) -> Option<BodyDeadline> {
+        limit.map(|limit| BodyDeadline { start: now, limit })
+    }
+
+    /// Checks the deadline at `now`: `Some(elapsed)` when the body has
+    /// overrun its limit (strictly exceeded — a body finishing exactly at
+    /// the limit is on time), `None` otherwise.
+    pub fn overrun(&self, now: Instant) -> Option<Duration> {
+        let elapsed = now.saturating_duration_since(self.start);
+        (elapsed > self.limit).then_some(elapsed)
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+}
+
+/// The bounded-exponential commit-retry backoff with deterministic jitter.
+///
+/// Retry `r` (1-based) sleeps `base << min(r-1, BACKOFF_SHIFT_CAP)` plus a
+/// jitter drawn from the caller's SplitMix64 stream, uniform in
+/// `[0, step/2]`. The first retry therefore waits at least `base`; the
+/// step stops doubling at 64× so a deep retry storm cannot sleep
+/// unboundedly. A zero `base` disables the wait entirely (the counter
+/// still ticks at the call site).
+pub fn backoff_delay(base: Duration, retry: u32, jitter_draw: u64) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let shift = retry.saturating_sub(1).min(BACKOFF_SHIFT_CAP);
+    let step = base.saturating_mul(1 << shift);
+    let half = step / 2;
+    let jitter_ns = if half.is_zero() {
+        0
+    } else {
+        jitter_draw % (half.as_nanos() as u64 + 1)
+    };
+    step.saturating_add(Duration::from_nanos(jitter_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_limit_means_no_deadline() {
+        let now = Instant::now();
+        assert_eq!(BodyDeadline::starting(None, now), None);
+    }
+
+    #[test]
+    fn overrun_is_strict_and_monotonic() {
+        let t0 = Instant::now();
+        let dl = BodyDeadline::starting(Some(Duration::from_millis(10)), t0).unwrap();
+        assert_eq!(dl.limit(), Duration::from_millis(10));
+        // On time: at the start, and exactly at the limit.
+        assert_eq!(dl.overrun(t0), None);
+        assert_eq!(dl.overrun(t0 + Duration::from_millis(10)), None);
+        // Past the limit: reports the elapsed time.
+        assert_eq!(
+            dl.overrun(t0 + Duration::from_millis(11)),
+            Some(Duration::from_millis(11))
+        );
+        // A "now" before the start (possible when the probing thread read
+        // its instant before the starting thread) saturates to zero
+        // elapsed rather than panicking or overflowing.
+        let early = t0.checked_sub(Duration::from_millis(5)).unwrap_or(t0);
+        assert_eq!(dl.overrun(early), None);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let base = Duration::from_micros(100);
+        // Zero jitter draw isolates the deterministic step.
+        assert_eq!(backoff_delay(base, 1, 0), Duration::from_micros(100));
+        assert_eq!(backoff_delay(base, 2, 0), Duration::from_micros(200));
+        assert_eq!(backoff_delay(base, 3, 0), Duration::from_micros(400));
+        assert_eq!(backoff_delay(base, 7, 0), Duration::from_micros(6_400));
+        // Past the cap the step stays at base << 6.
+        assert_eq!(backoff_delay(base, 8, 0), Duration::from_micros(6_400));
+        assert_eq!(backoff_delay(base, 1_000, 0), Duration::from_micros(6_400));
+    }
+
+    #[test]
+    fn jitter_is_bounded_by_half_a_step() {
+        let base = Duration::from_micros(100);
+        for draw in [0, 1, u64::MAX / 2, u64::MAX] {
+            let d = backoff_delay(base, 1, draw);
+            assert!(d >= base, "{d:?}");
+            assert!(d <= base + base / 2, "{d:?}");
+        }
+        // The jitter actually varies with the draw.
+        assert_ne!(backoff_delay(base, 1, 0), backoff_delay(base, 1, 1));
+    }
+
+    #[test]
+    fn zero_base_disables_the_wait() {
+        assert_eq!(backoff_delay(Duration::ZERO, 5, 12345), Duration::ZERO);
+    }
+}

@@ -65,11 +65,26 @@ pub enum FaultPoint {
     /// wave or an explicit join/mark-dirty — the wave identity excludes
     /// dropped raises.
     CascadeDrop = 10,
+    /// A client connection is dropped mid-batch by the serve front-end:
+    /// an admitted request's connection is severed before its response is
+    /// written. The request must be counted in `dropped_conns` so the
+    /// request-lifecycle conservation identity still balances (serve-layer
+    /// point; never probed by the runtime core).
+    ConnDrop = 11,
+    /// A slow-client stall: the serve front-end's frame read is stretched
+    /// by the plan's delay, simulating a client that trickles bytes. The
+    /// connection's read deadline — not a wedge — must bound the handler
+    /// (serve-layer point; never probed by the runtime core).
+    ClientStall = 12,
+    /// The serve front-end's admission queue reports overflow regardless
+    /// of actual occupancy, forcing the explicit `Shed` response path
+    /// (serve-layer point; never probed by the runtime core).
+    AcceptOverflow = 13,
 }
 
 impl FaultPoint {
     /// Every injection point, in discriminant order.
-    pub const ALL: [FaultPoint; 11] = [
+    pub const ALL: [FaultPoint; 14] = [
         FaultPoint::Enqueue,
         FaultPoint::Dequeue,
         FaultPoint::BodyStart,
@@ -81,6 +96,34 @@ impl FaultPoint {
         FaultPoint::StealBatch,
         FaultPoint::JoinWake,
         FaultPoint::CascadeDrop,
+        FaultPoint::ConnDrop,
+        FaultPoint::ClientStall,
+        FaultPoint::AcceptOverflow,
+    ];
+
+    /// The points probed by the runtime core itself (the first eleven).
+    /// The chaos harness derives its randomized schedules over this
+    /// subset, keeping existing seeds' derivations stable; the serve
+    /// front-end's points are armed by its own scenarios.
+    pub const CORE: [FaultPoint; 11] = [
+        FaultPoint::Enqueue,
+        FaultPoint::Dequeue,
+        FaultPoint::BodyStart,
+        FaultPoint::CommitReplay,
+        FaultPoint::Retrigger,
+        FaultPoint::ObsPublish,
+        FaultPoint::WorkerSchedule,
+        FaultPoint::WakeDrop,
+        FaultPoint::StealBatch,
+        FaultPoint::JoinWake,
+        FaultPoint::CascadeDrop,
+    ];
+
+    /// The points probed by the `dtt-serve` request lifecycle.
+    pub const SERVE: [FaultPoint; 3] = [
+        FaultPoint::ConnDrop,
+        FaultPoint::ClientStall,
+        FaultPoint::AcceptOverflow,
     ];
 
     /// Number of injection points.
@@ -105,6 +148,9 @@ impl FaultPoint {
             FaultPoint::StealBatch => "steal-batch",
             FaultPoint::JoinWake => "join-wake",
             FaultPoint::CascadeDrop => "cascade-drop",
+            FaultPoint::ConnDrop => "conn-drop",
+            FaultPoint::ClientStall => "client-stall",
+            FaultPoint::AcceptOverflow => "accept-overflow",
         }
     }
 
@@ -290,6 +336,13 @@ impl FaultLayer {
         std::array::from_fn(|i| self.fired[i].load(Ordering::Relaxed))
     }
 
+    /// One draw from the layer's SplitMix64 stream, for callers that need
+    /// deterministic jitter sharing the plan's seed (the commit-backoff
+    /// path). Advances the same stream the fire probes consume.
+    pub(crate) fn draw(&self) -> u64 {
+        self.next_draw()
+    }
+
     fn next_draw(&self) -> u64 {
         const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
         let mut z = self
@@ -299,6 +352,52 @@ impl FaultLayer {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+}
+
+/// A standalone, seeded fault probe for layers *outside* the runtime core
+/// that share the [`FaultPlan`]/[`FaultPoint`] machinery — the serve
+/// front-end probes its request-lifecycle points
+/// ([`FaultPoint::ConnDrop`], [`FaultPoint::ClientStall`],
+/// [`FaultPoint::AcceptOverflow`]) through one of these. Same semantics as
+/// the runtime-internal engine: the disarmed path is a single relaxed
+/// atomic load, draws are SplitMix64-deterministic from the plan's seed,
+/// and budgets are enforced exactly under concurrency.
+#[derive(Debug)]
+pub struct FaultProbe {
+    layer: FaultLayer,
+}
+
+impl FaultProbe {
+    /// A permanently-disarmed probe (no plan installed).
+    pub fn disarmed() -> Self {
+        FaultProbe {
+            layer: FaultLayer::disarmed(),
+        }
+    }
+
+    /// Arms a probe from a plan.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        FaultProbe {
+            layer: FaultLayer::from_plan(plan),
+        }
+    }
+
+    /// Probes an injection point. Returns `true` when the fault fires.
+    #[inline]
+    pub fn fire(&self, point: FaultPoint) -> bool {
+        self.layer.fire(point)
+    }
+
+    /// Sleeps for the plan's injected delay (call after a successful
+    /// [`FaultProbe::fire`] on a delay-type point, off every lock).
+    pub fn delay(&self) {
+        self.layer.delay()
+    }
+
+    /// Per-point fired counts, indexed by discriminant.
+    pub fn counts(&self) -> [u64; FaultPoint::COUNT] {
+        self.layer.counts()
     }
 }
 
@@ -316,6 +415,30 @@ mod tests {
         }
         assert_eq!(FaultPoint::from_u8(FaultPoint::COUNT as u8), None);
         assert_eq!(FaultPoint::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn core_and_serve_points_partition_all() {
+        let mut joined: Vec<FaultPoint> = FaultPoint::CORE.to_vec();
+        joined.extend(FaultPoint::SERVE);
+        assert_eq!(joined, FaultPoint::ALL.to_vec());
+    }
+
+    #[test]
+    fn probe_shares_layer_semantics() {
+        let probe = FaultProbe::disarmed();
+        assert!(!probe.fire(FaultPoint::ConnDrop));
+        assert_eq!(probe.counts(), [0; FaultPoint::COUNT]);
+
+        let plan = FaultPlan::new(9)
+            .with_rate(FaultPoint::AcceptOverflow, ALWAYS)
+            .with_budget(FaultPoint::AcceptOverflow, 2);
+        let probe = FaultProbe::from_plan(&plan);
+        let fired = (0..10)
+            .filter(|_| probe.fire(FaultPoint::AcceptOverflow))
+            .count();
+        assert_eq!(fired, 2);
+        assert!(!probe.fire(FaultPoint::ClientStall));
     }
 
     #[test]

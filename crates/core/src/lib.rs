@@ -99,6 +99,7 @@
 //! | [`fault`] | seeded deterministic fault injection ([`FaultPlan`]) |
 //! | [`graph`] | the incremental computation graph (edge map, wave dedup, cycle check) |
 //! | [`ctx`] | the [`Ctx`] store path and status machine |
+//! | [`deadline`] | monotonic body-deadline and commit-backoff arithmetic |
 //! | [`accessor`] | concurrent tracked access off the state lock |
 //! | [`runtime`] | the [`Runtime`] façade and executors |
 //! | [`config`], [`stats`], [`error`] | knobs, counters, errors |
@@ -110,6 +111,7 @@ pub mod accessor;
 pub mod addr;
 pub mod config;
 pub mod ctx;
+pub mod deadline;
 pub(crate) mod dispatch;
 pub mod error;
 pub mod fault;
@@ -137,7 +139,7 @@ pub use addr::{Addr, AddrRange, Granularity};
 pub use config::{Config, OverflowPolicy};
 pub use ctx::Ctx;
 pub use error::{Error, Result};
-pub use fault::{FaultPlan, FaultPoint};
+pub use fault::{FaultPlan, FaultPoint, FaultProbe};
 pub use graph::GraphEdge;
 pub use handle::{Tracked, TrackedArray, TrackedMatrix};
 pub use obs::{EventKind, ObsEvent, ObsRecording, RingStats};

@@ -16,6 +16,7 @@ use crate::accessor::Accessor;
 use crate::addr::AddrRange;
 use crate::config::Config;
 use crate::ctx::{Ctx, LoggedStore};
+use crate::deadline::{backoff_delay, BodyDeadline};
 use crate::dispatch::{Dispatch, ParkOutcome, PendingPush, RaiseStep};
 use crate::error::{Error, Result};
 use crate::fault::{FaultLayer, FaultPoint};
@@ -1108,51 +1109,97 @@ impl<U: Send + 'static> Runtime<U> {
         self.teardown(Some(timeout))
     }
 
+    /// Drains the worker pool in place, waiting at most `timeout` for the
+    /// workers to exit, and leaves the runtime usable as a deferred
+    /// executor (pending tthreads still run at their join points).
+    ///
+    /// **Idempotent**: a second call — a drain path racing a signal
+    /// handler, or a drain followed by [`Runtime::shutdown`] — finds no
+    /// handles and returns `Ok` immediately without re-signalling or
+    /// re-closing the dispatch eventcounts. The serve front-end's
+    /// drain-mode shutdown leans on this: it can always drain defensively
+    /// without tracking whether another path got there first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WorkersStillActive`] if some worker is still mid-
+    /// execution at the deadline. The stragglers are detached and exit on
+    /// their own once their current body finishes.
+    pub fn drain(&mut self, timeout: Duration) -> Result<()> {
+        let handles: Vec<_> = self.pool.handles.drain(..).collect();
+        if handles.is_empty() {
+            // Already drained (or a deferred executor): nothing to signal.
+            return Ok(());
+        }
+        Self::signal_shutdown(&self.inner);
+        // `self.inner` and `pool.inner` both survive a drain, so two
+        // residual references are a clean exit (the consuming teardown
+        // requires exactly one).
+        Self::join_worker_handles(&self.inner, handles, Some(timeout), 2)
+    }
+
+    /// Signals shutdown to the worker pool: sets the sticky flag under the
+    /// state lock (so no worker misses it between its check and its wait),
+    /// wakes the condvar parkers, and closes both dispatch eventcounts so
+    /// no late parker can oversleep — see `WorkerPool::drop`. Safe to call
+    /// more than once: `Waiters::close` is idempotent.
+    fn signal_shutdown(inner: &Inner<U>) {
+        inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _state = inner.state.lock();
+            inner.work_cv.notify_all();
+        }
+        inner.dispatch.waiters.close();
+        inner.dispatch.completions.close();
+    }
+
+    /// Joins (or deadline-polls) the drained worker handles.
+    ///
+    /// With a timeout, also waits for the inner `Arc` to shed the workers'
+    /// clones down to `max_residual_refs`: a finished worker may not have
+    /// released its clone yet, and the consuming teardown's `try_unwrap`
+    /// must not race a clean drain.
+    fn join_worker_handles(
+        inner: &Arc<Inner<U>>,
+        handles: Vec<thread::JoinHandle<()>>,
+        timeout: Option<Duration>,
+        max_residual_refs: usize,
+    ) -> Result<()> {
+        match timeout {
+            None => {
+                for handle in handles {
+                    let _ = handle.join();
+                }
+                Ok(())
+            }
+            Some(timeout) => {
+                let deadline = Instant::now() + timeout;
+                let mut remaining = handles;
+                loop {
+                    remaining.retain(|h| !h.is_finished());
+                    if remaining.is_empty() && Arc::strong_count(inner) <= max_residual_refs {
+                        return Ok(());
+                    }
+                    if Instant::now() >= deadline {
+                        let active = remaining
+                            .len()
+                            .max(Arc::strong_count(inner).saturating_sub(max_residual_refs));
+                        drop(remaining); // detach the stragglers
+                        return Err(Error::WorkersStillActive { active });
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
     fn teardown(self, timeout: Option<Duration>) -> Result<(TrackedHeap, U)> {
         let Runtime { inner, mut pool } = self;
         let handles: Vec<_> = pool.handles.drain(..).collect();
         drop(pool); // handles drained: only releases the pool's Arc clone
         if !handles.is_empty() {
-            inner.shutdown.store(true, Ordering::SeqCst);
-            {
-                // Take the lock so no worker misses the flag between its
-                // check and its wait.
-                let _state = inner.state.lock();
-                inner.work_cv.notify_all();
-            }
-            // Lock-free workers park on the eventcount instead. Close
-            // both eventcounts (worker and completion) so no late parker
-            // can oversleep the shutdown — see `WorkerPool::drop`.
-            inner.dispatch.waiters.close();
-            inner.dispatch.completions.close();
-            match timeout {
-                None => {
-                    for handle in handles {
-                        let _ = handle.join();
-                    }
-                }
-                Some(timeout) => {
-                    let deadline = Instant::now() + timeout;
-                    let mut remaining = handles;
-                    loop {
-                        remaining.retain(|h| !h.is_finished());
-                        // A finished worker may not have released its Arc
-                        // clone yet; wait for the count too so the
-                        // try_unwrap below cannot race a clean drain.
-                        if remaining.is_empty() && Arc::strong_count(&inner) == 1 {
-                            break;
-                        }
-                        if Instant::now() >= deadline {
-                            let active = remaining
-                                .len()
-                                .max(Arc::strong_count(&inner).saturating_sub(1));
-                            drop(remaining); // detach the stragglers
-                            return Err(Error::WorkersStillActive { active });
-                        }
-                        thread::sleep(Duration::from_millis(1));
-                    }
-                }
-            }
+            Self::signal_shutdown(&inner);
+            Self::join_worker_handles(&inner, handles, timeout, 1)?;
         }
         let inner = Arc::try_unwrap(inner).map_err(|arc| Error::WorkersStillActive {
             // One count is the `arc` binding itself; the rest are workers
@@ -1371,7 +1418,7 @@ fn run_detached<'a, U: Send + 'static>(
         } else {
             0
         };
-        let deadline_t0 = inner.cfg.body_deadline.map(|_| Instant::now());
+        let deadline = BodyDeadline::starting(inner.cfg.body_deadline, Instant::now());
         // The body runs entirely off the state lock, against the snapshot;
         // main-thread `with`/`join` calls proceed concurrently.
         let mut ctx = Ctx::detached(snap, inner, 1);
@@ -1384,14 +1431,9 @@ fn run_detached<'a, U: Send + 'static>(
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(&mut ctx)))
         };
         // Deadline check covers the body only, before any injected commit
-        // delay; a panic takes precedence over a timeout below.
-        let overran = match (deadline_t0, inner.cfg.body_deadline) {
-            (Some(t0), Some(limit)) => {
-                let elapsed = t0.elapsed();
-                (elapsed > limit).then_some(elapsed)
-            }
-            _ => None,
-        };
+        // delay; a panic takes precedence over a timeout below. Monotonic
+        // by construction — see `crate::deadline`.
+        let overran = deadline.and_then(|d| d.overrun(Instant::now()));
         if obs_on {
             let ring = inner.obs.status_ring();
             let dur = inner.obs.now_ns().saturating_sub(body_t0);
@@ -1505,7 +1547,20 @@ fn run_detached<'a, U: Send + 'static>(
         retries += 1;
         state.stats.commit_retries += 1;
         slot.absorb_rf();
-        held = Some(state);
+        if let Some(base) = inner.cfg.commit_backoff {
+            // Back off before re-snapshotting: under a store storm an
+            // immediate rerun mostly re-loses the commit race. The sleep
+            // happens off the state lock; jitter comes from the fault
+            // layer's SplitMix64 stream so chaos replays stay
+            // seed-deterministic. Detached executor only — the attached
+            // baseline holds the caller's guard and cannot release it.
+            state.stats.commit_backoff_waits += 1;
+            drop(state);
+            thread::sleep(backoff_delay(base, retries, inner.fault.draw()));
+            held = Some(inner.state.lock());
+        } else {
+            held = Some(state);
+        }
     }
 }
 
@@ -2210,6 +2265,75 @@ mod tests {
         assert_eq!(rt.with(|ctx| *ctx.user()), 5);
         let fired = rt.fault_injections();
         assert!(fired[FaultPoint::Retrigger as usize] >= 5);
+    }
+
+    #[test]
+    fn commit_backoff_waits_between_retries() {
+        use crate::fault::{FaultPlan, ALWAYS};
+        let plan = FaultPlan::new(7).with_rate(FaultPoint::Retrigger, ALWAYS);
+        let cfg = deferred()
+            .with_workers(1)
+            .with_commit_retry_cap(4)
+            .with_commit_backoff(Duration::from_micros(50))
+            .with_fault_plan(plan);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let x = rt.alloc(0u64).unwrap();
+        let tt = rt.register("copy", move |ctx| {
+            let v = ctx.get(x);
+            *ctx.user_mut() = v;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 5);
+        for _ in 0..2000 {
+            if rt.stats().counters().commit_retry_exhausted >= 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.counters().commit_retry_exhausted, 1);
+        assert_eq!(stats.counters().commit_retries, 4);
+        // Every retry waited: the backoff branch ran once per retry.
+        assert_eq!(stats.counters().commit_backoff_waits, 4);
+        // Backoff delays the rerun; it must not change the outcome.
+        rt.join(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 5);
+    }
+
+    #[test]
+    fn drain_is_idempotent_under_active_workers() {
+        use std::sync::atomic::AtomicBool;
+        let cfg = deferred().with_workers(2);
+        let mut rt = Runtime::new(cfg, 0u64);
+        let x = rt.alloc(0u64).unwrap();
+        let started = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&started);
+        let tt = rt.register("slow", move |ctx| {
+            flag.store(true, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(20));
+            let v = ctx.get(x);
+            *ctx.user_mut() = v;
+        });
+        rt.watch(tt, x.range()).unwrap();
+        rt.write(x, 7);
+        while !started.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // The first drain lands while a worker is mid-body: it waits the
+        // body out (the commit still happens) rather than stranding it.
+        rt.drain(Duration::from_secs(10)).unwrap();
+        // A second drain — e.g. the drain path racing a signal handler —
+        // finds no handles and returns Ok without re-signalling.
+        rt.drain(Duration::from_secs(10)).unwrap();
+        rt.join(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 7);
+        // The runtime stays usable as a deferred executor after a drain.
+        rt.write(x, 9);
+        rt.join(tt).unwrap();
+        assert_eq!(rt.with(|ctx| *ctx.user()), 9);
+        // And the consuming shutdown still tears down cleanly after it.
+        let (_heap, user) = rt.shutdown(Duration::from_secs(10)).unwrap();
+        assert_eq!(user, 9);
     }
 
     #[test]

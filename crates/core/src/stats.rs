@@ -134,6 +134,11 @@ pub struct Counters {
     /// cycle in the declared dependency graph
     /// ([`crate::error::Error::TriggerCycle`]).
     pub trigger_cycles_rejected: u64,
+    /// Backoff sleeps taken between detached commit retries when
+    /// [`crate::config::Config::commit_backoff`] is set: one per retry
+    /// that waited (bounded-exponential step + SplitMix64 jitter) before
+    /// re-snapshotting. Always zero with the default `None` backoff.
+    pub commit_backoff_waits: u64,
 }
 
 /// Applies a callback macro to the complete counter field list, in
@@ -187,6 +192,7 @@ macro_rules! for_each_counter {
             cascade_cutoffs,
             wave_dedups,
             trigger_cycles_rejected,
+            commit_backoff_waits,
         )
     };
 }
@@ -553,8 +559,8 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "bytes compared        {:>12}", c.bytes_compared)?;
         writeln!(
             f,
-            "commit retries        {:>12}  (exhausted: {})",
-            c.commit_retries, c.commit_retry_exhausted
+            "commit retries        {:>12}  (exhausted: {}, backoff waits: {})",
+            c.commit_retries, c.commit_retry_exhausted, c.commit_backoff_waits
         )?;
         writeln!(f, "body timeouts         {:>12}", c.body_timeouts)?;
         writeln!(
@@ -723,7 +729,7 @@ mod tests {
             assert!(c.set_field(name, (i + 1) as u64), "unknown field {name}");
         }
         let fields = c.fields();
-        assert_eq!(fields.len(), 41);
+        assert_eq!(fields.len(), 42);
         assert_eq!(fields[0], ("tracked_stores", 1));
         assert_eq!(fields[20], ("bytes_compared", 21));
         assert_eq!(fields[25], ("overflow_sheds", 26));
@@ -740,6 +746,7 @@ mod tests {
         assert_eq!(fields[38], ("cascade_cutoffs", 39));
         assert_eq!(fields[39], ("wave_dedups", 40));
         assert_eq!(fields[40], ("trigger_cycles_rejected", 41));
+        assert_eq!(fields[41], ("commit_backoff_waits", 42));
         for (i, (_, v)) in fields.iter().enumerate() {
             assert_eq!(*v, (i + 1) as u64);
         }

@@ -1,0 +1,201 @@
+//! Admission control and the request-lifecycle counters.
+//!
+//! The [`Gate`] is a semaphore-style concurrency limiter: a request is
+//! *admitted* only if a permit is free, otherwise the server answers
+//! [`crate::proto::Response::Shed`] immediately — bounded work, no
+//! unbounded buffering. [`ServeStats`] counts every lifecycle edge so two
+//! conservation identities can be asserted at any quiescent point:
+//!
+//! * `accepts == admits + sheds` — every decoded request is decided
+//!   exactly once;
+//! * `accepts == responses + sheds + dropped_conns` — every request is
+//!   answered, shed, or lost with its connection; none vanish.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A semaphore-style concurrency limiter over in-flight admitted
+/// requests. Lock-free: `try_acquire` either takes a permit or reports
+/// saturation; it never blocks the accept path.
+#[derive(Debug)]
+pub struct Gate {
+    permits: AtomicUsize,
+}
+
+impl Gate {
+    /// A gate with `max_inflight` permits.
+    pub fn new(max_inflight: usize) -> Self {
+        Gate {
+            permits: AtomicUsize::new(max_inflight),
+        }
+    }
+
+    /// Takes a permit if one is free.
+    pub fn try_acquire(&self) -> bool {
+        self.permits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Returns a permit taken by [`Gate::try_acquire`].
+    pub fn release(&self) {
+        self.permits.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Free permits right now (diagnostic).
+    pub fn available(&self) -> usize {
+        self.permits.load(Ordering::Acquire)
+    }
+}
+
+/// Request-lifecycle counters, updated with relaxed atomics from the
+/// handler threads and read as a [`ServeStatsSnapshot`].
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    accepts: AtomicU64,
+    admits: AtomicU64,
+    sheds: AtomicU64,
+    responses: AtomicU64,
+    dropped_conns: AtomicU64,
+    degraded_reads: AtomicU64,
+}
+
+impl ServeStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a decoded request.
+    pub fn on_accept(&self) {
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an admission (a gate permit was taken).
+    pub fn on_admit(&self) {
+        self.admits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a shed (admission refused; a `Shed` response was written).
+    pub fn on_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a non-shed response written back to the client.
+    pub fn on_response(&self) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an admitted request whose connection was severed before its
+    /// response could be written.
+    pub fn on_dropped_conn(&self) {
+        self.dropped_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a response served from last-committed (degraded) state.
+    pub fn on_degraded(&self) {
+        self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> ServeStatsSnapshot {
+        ServeStatsSnapshot {
+            serve_accepts: self.accepts.load(Ordering::Relaxed),
+            serve_admits: self.admits.load(Ordering::Relaxed),
+            serve_sheds: self.sheds.load(Ordering::Relaxed),
+            serve_responses: self.responses.load(Ordering::Relaxed),
+            serve_dropped_conns: self.dropped_conns.load(Ordering::Relaxed),
+            serve_degraded_reads: self.degraded_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of [`ServeStats`], with the conservation checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStatsSnapshot {
+    /// Requests decoded off client connections.
+    pub serve_accepts: u64,
+    /// Requests admitted past the gate.
+    pub serve_admits: u64,
+    /// Requests refused with a `Shed` response.
+    pub serve_sheds: u64,
+    /// Non-shed responses written back.
+    pub serve_responses: u64,
+    /// Admitted requests lost with their connection.
+    pub serve_dropped_conns: u64,
+    /// Responses served from last-committed (degraded) state.
+    pub serve_degraded_reads: u64,
+}
+
+impl ServeStatsSnapshot {
+    /// `accepts == admits + sheds`: every request decided exactly once.
+    pub fn admission_conserved(&self) -> bool {
+        self.serve_accepts == self.serve_admits + self.serve_sheds
+    }
+
+    /// `accepts == responses + sheds + dropped_conns`: every request
+    /// answered, shed, or lost with its connection.
+    pub fn lifecycle_conserved(&self) -> bool {
+        self.serve_accepts == self.serve_responses + self.serve_sheds + self.serve_dropped_conns
+    }
+
+    /// Stable `(name, value)` rows for reports and the CLI.
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("serve_accepts", self.serve_accepts),
+            ("serve_admits", self.serve_admits),
+            ("serve_sheds", self.serve_sheds),
+            ("serve_responses", self.serve_responses),
+            ("serve_dropped_conns", self.serve_dropped_conns),
+            ("serve_degraded_reads", self.serve_degraded_reads),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_bounds_concurrency() {
+        let gate = Gate::new(2);
+        assert!(gate.try_acquire());
+        assert!(gate.try_acquire());
+        assert!(!gate.try_acquire());
+        gate.release();
+        assert!(gate.try_acquire());
+        assert_eq!(gate.available(), 0);
+    }
+
+    #[test]
+    fn zero_permit_gate_sheds_everything() {
+        let gate = Gate::new(0);
+        assert!(!gate.try_acquire());
+    }
+
+    #[test]
+    fn snapshot_checks_conservation() {
+        let stats = ServeStats::new();
+        for _ in 0..5 {
+            stats.on_accept();
+        }
+        for _ in 0..3 {
+            stats.on_admit();
+        }
+        stats.on_shed();
+        stats.on_shed();
+        stats.on_response();
+        stats.on_response();
+        stats.on_dropped_conn();
+        let snap = stats.snapshot();
+        assert!(snap.admission_conserved());
+        assert!(snap.lifecycle_conserved());
+        assert_eq!(snap.fields()[0], ("serve_accepts", 5));
+
+        // One unanswered admit breaks lifecycle conservation.
+        stats.on_accept();
+        stats.on_admit();
+        let snap = stats.snapshot();
+        assert!(snap.admission_conserved());
+        assert!(!snap.lifecycle_conserved());
+    }
+}

@@ -1,0 +1,42 @@
+//! A minimal blocking client for the framed protocol.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// One framed-TCP connection to a [`crate::server::Server`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (with Nagle disabled; requests are single small frames).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long [`Client::request`] blocks on the response.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads its response. An EOF mid-request
+    /// (the server dropped the connection) surfaces as
+    /// `ErrorKind::UnexpectedEof`.
+    pub fn request(&mut self, request: Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            )
+        })?;
+        Response::decode(&payload)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable response"))
+    }
+}

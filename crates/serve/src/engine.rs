@@ -1,0 +1,310 @@
+//! The engine: a single actor thread that owns the served view's
+//! [`dtt_core::Runtime`] and applies client batches to it.
+//!
+//! Handler threads never touch the runtime. They enqueue commands on a
+//! *bounded* mailbox and wait on a per-request reply channel with a
+//! deadline; the engine drains the mailbox in batches — consecutive
+//! writes coalesce into one tracked region and one refresh, the
+//! commutative-batching shape — and answers every staged command.
+//!
+//! Degradation is the engine's second job. A refresh can fail: a tthread
+//! poisoned by a fault, or timed out against the body deadline. The
+//! engine repairs (clear + re-dirty) with bounded retries and
+//! exponential backoff (the same [`dtt_core::deadline::backoff_delay`]
+//! curve the commit path uses); if the wedge survives the budget, the
+//! engine marks itself degraded and keeps answering from the
+//! last-committed cache instead of erroring. A later successful refresh
+//! clears the flag.
+
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use dtt_core::deadline::backoff_delay;
+use dtt_core::{Config, Error, TthreadId};
+use dtt_workloads::{ServedPipeline, ServedSheet};
+
+/// Which workload chain backs the served view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Spreadsheet chain: grid → row SUMs → TOTAL → AVG. Query `0` reads
+    /// the total, `1` the average.
+    Sheet,
+    /// Pipeline chain: samples → CLAMP → BUCKET → PEAK. Every query reads
+    /// the peak.
+    Pipeline,
+}
+
+/// The derived cells the front-end can serve even when the runtime is
+/// wedged: updated by the engine after every confirmed-fresh refresh.
+pub(crate) type Cache = Arc<Mutex<[i64; 2]>>;
+
+/// Upper bound on commands coalesced into one engine iteration.
+const BATCH_CAP: usize = 64;
+
+/// A command from a handler thread.
+pub(crate) enum EngineCmd {
+    Put {
+        key: u64,
+        value: i64,
+        reply: SyncSender<Reply>,
+    },
+    Get {
+        query: u8,
+        reply: SyncSender<Reply>,
+    },
+    Shutdown,
+}
+
+/// The engine's answer; the handler encodes it into a wire response.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Reply {
+    Ok { degraded: bool },
+    Value { degraded: bool, value: i64 },
+}
+
+/// One of the two served views behind a common verb set.
+enum View {
+    Sheet(ServedSheet),
+    Pipeline(ServedPipeline),
+}
+
+impl View {
+    fn build(kind: ViewKind, cfg: Config, dims: (usize, usize)) -> View {
+        match kind {
+            ViewKind::Sheet => View::Sheet(ServedSheet::build(cfg, dims.0, dims.1)),
+            ViewKind::Pipeline => View::Pipeline(ServedPipeline::build(cfg, dims.0, dims.1)),
+        }
+    }
+
+    fn apply(&mut self, writes: &[(u64, i64)]) {
+        match self {
+            View::Sheet(s) => {
+                let (_, cols) = s.dims();
+                let mapped: Vec<(usize, usize, i64)> = writes
+                    .iter()
+                    .map(|&(k, v)| ((k as usize) / cols, (k as usize) % cols, v))
+                    .collect();
+                s.apply(&mapped);
+            }
+            View::Pipeline(p) => {
+                let mapped: Vec<(usize, i64)> =
+                    writes.iter().map(|&(k, v)| (k as usize, v)).collect();
+                p.apply(&mapped);
+            }
+        }
+    }
+
+    fn refresh(&mut self) -> dtt_core::Result<()> {
+        match self {
+            View::Sheet(s) => s.refresh(),
+            View::Pipeline(p) => p.refresh(),
+        }
+    }
+
+    /// Reads both servable aggregates (the cache's shape).
+    fn cells(&mut self) -> [i64; 2] {
+        match self {
+            View::Sheet(s) => {
+                let v = s.read();
+                [v.total, v.avg]
+            }
+            View::Pipeline(p) => {
+                let v = p.read();
+                [v.peak, v.peak]
+            }
+        }
+    }
+
+    fn repair(&mut self, id: TthreadId, err: &Error) {
+        let rt = match self {
+            View::Sheet(s) => s.runtime_mut(),
+            View::Pipeline(p) => p.runtime_mut(),
+        };
+        match err {
+            Error::TthreadPoisoned(_) => {
+                let _ = rt.clear_poison(id);
+            }
+            Error::TthreadTimedOut(_) => {
+                let _ = rt.clear_timeout(id);
+            }
+            _ => {}
+        }
+        // Re-dirty so the next refresh actually re-runs the cleared
+        // tthread instead of skipping over stale state.
+        let _ = rt.mark_dirty(id);
+    }
+
+    fn teardown(self, timeout: Duration) {
+        let mut rt = match self {
+            View::Sheet(s) => s.into_runtime(),
+            View::Pipeline(p) => p.into_runtime(),
+        };
+        // Drain first (idempotent with any earlier defensive drain), then
+        // the consuming shutdown. A straggler past the deadline is
+        // detached, not waited on forever.
+        let _ = rt.drain(timeout);
+        let _ = rt.shutdown(timeout);
+    }
+}
+
+/// Engine tuning, split from the server config so tests can drive the
+/// engine directly.
+pub(crate) struct EngineConfig {
+    pub kind: ViewKind,
+    pub dims: (usize, usize),
+    pub runtime: Config,
+    /// Repair attempts per refresh before declaring the view degraded.
+    pub repair_cap: u32,
+    /// Base backoff between repair attempts.
+    pub repair_backoff: Duration,
+    /// Jitter seed for the repair backoff.
+    pub seed: u64,
+}
+
+pub(crate) struct Engine {
+    view: View,
+    cache: Cache,
+    degraded: bool,
+    repair_cap: u32,
+    repair_backoff: Duration,
+    rng: u64,
+}
+
+impl Engine {
+    /// Spawns the engine thread; returns the shared cache and the join
+    /// handle. Commands arrive on `rx`; the thread exits on
+    /// [`EngineCmd::Shutdown`] or when every sender is gone, tearing the
+    /// runtime down within `teardown_timeout`.
+    pub(crate) fn spawn(
+        cfg: EngineConfig,
+        rx: Receiver<EngineCmd>,
+        teardown_timeout: Duration,
+    ) -> (Cache, thread::JoinHandle<()>) {
+        let mut engine = Engine {
+            view: View::build(cfg.kind, cfg.runtime, cfg.dims),
+            cache: Arc::new(Mutex::new([0; 2])),
+            degraded: false,
+            repair_cap: cfg.repair_cap,
+            repair_backoff: cfg.repair_backoff,
+            rng: cfg.seed,
+        };
+        *engine.cache.lock().expect("fresh cache") = engine.view.cells();
+        let cache = Arc::clone(&engine.cache);
+        let handle = thread::Builder::new()
+            .name("dtt-serve-engine".into())
+            .spawn(move || engine.run(rx, teardown_timeout))
+            .expect("spawn engine thread");
+        (cache, handle)
+    }
+
+    fn run(mut self, rx: Receiver<EngineCmd>, teardown_timeout: Duration) {
+        'outer: loop {
+            let first = match rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            };
+            let mut puts: Vec<(u64, i64)> = Vec::new();
+            let mut put_replies: Vec<SyncSender<Reply>> = Vec::new();
+            let mut gets: Vec<(u8, SyncSender<Reply>)> = Vec::new();
+            let mut shutdown = false;
+            fn stage(
+                cmd: EngineCmd,
+                puts: &mut Vec<(u64, i64)>,
+                put_replies: &mut Vec<SyncSender<Reply>>,
+                gets: &mut Vec<(u8, SyncSender<Reply>)>,
+                shutdown: &mut bool,
+            ) {
+                match cmd {
+                    EngineCmd::Put { key, value, reply } => {
+                        puts.push((key, value));
+                        put_replies.push(reply);
+                    }
+                    EngineCmd::Get { query, reply } => gets.push((query, reply)),
+                    EngineCmd::Shutdown => *shutdown = true,
+                }
+            }
+            stage(first, &mut puts, &mut put_replies, &mut gets, &mut shutdown);
+            // Coalesce whatever else is already queued: one tracked
+            // region, one refresh, many acknowledgements.
+            while puts.len() + gets.len() < BATCH_CAP {
+                match rx.try_recv() {
+                    Ok(cmd) => stage(cmd, &mut puts, &mut put_replies, &mut gets, &mut shutdown),
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                }
+            }
+
+            if !puts.is_empty() {
+                self.view.apply(&puts);
+            }
+            if !puts.is_empty() || (self.degraded && !gets.is_empty()) {
+                // Refresh for new writes, and opportunistically retry a
+                // wedged view before serving stale reads.
+                self.refresh_with_repair();
+            }
+            for reply in put_replies {
+                let _ = reply.try_send(Reply::Ok {
+                    degraded: self.degraded,
+                });
+            }
+            for (query, reply) in gets {
+                let value = if self.degraded {
+                    let cells = *self.cache.lock().expect("cache lock");
+                    cells[usize::from(query.min(1))]
+                } else {
+                    self.view.cells()[usize::from(query.min(1))]
+                };
+                let _ = reply.try_send(Reply::Value {
+                    degraded: self.degraded,
+                    value,
+                });
+            }
+            if shutdown {
+                break 'outer;
+            }
+        }
+        self.view.teardown(teardown_timeout);
+    }
+
+    /// Refreshes the view, repairing wedged tthreads with bounded retries
+    /// and exponential backoff. Leaves `self.degraded` reflecting the
+    /// outcome and the cache updated on success.
+    fn refresh_with_repair(&mut self) {
+        let mut attempt = 0u32;
+        loop {
+            match self.view.refresh() {
+                Ok(()) => {
+                    self.degraded = false;
+                    *self.cache.lock().expect("cache lock") = self.view.cells();
+                    return;
+                }
+                Err(err) => {
+                    if attempt >= self.repair_cap {
+                        self.degraded = true;
+                        return;
+                    }
+                    attempt += 1;
+                    if let Error::TthreadPoisoned(id) | Error::TthreadTimedOut(id) = err {
+                        self.view.repair(id, &err);
+                    }
+                    let wait = backoff_delay(self.repair_backoff, attempt, self.draw());
+                    if !wait.is_zero() {
+                        thread::sleep(wait);
+                    }
+                }
+            }
+        }
+    }
+
+    /// SplitMix64 step for backoff jitter (same mixer as the core fault
+    /// layer, so repair schedules are seed-deterministic).
+    fn draw(&mut self) -> u64 {
+        const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+        self.rng = self.rng.wrapping_add(GAMMA);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

@@ -1,0 +1,60 @@
+//! # dtt-serve — an overload-safe front-end over tthread-maintained state
+//!
+//! The paper's skip path makes tthread-maintained derived state a cache
+//! that is provably fresh: a read after a join either skipped (nothing
+//! changed) or observed the recomputation's commit. This crate puts a
+//! minimal framed-TCP front-end on that property — client writes batch
+//! into tracked stores, tthread chains (the `spreadsheet`/`pipeline`
+//! workload views) maintain the aggregates, reads are served from the
+//! derived cells — and hardens the *request lifecycle* with the same
+//! discipline PR 4's fault layer applied to the tthread lifecycle:
+//!
+//! * **Admission control** ([`admission`]): a semaphore-style gate plus
+//!   a bounded engine mailbox; past either limit the client gets an
+//!   explicit [`proto::Response::Shed`], never unbounded buffering.
+//! * **Deadlines + bounded retry** ([`server`], [`engine`]): each
+//!   admitted request waits at most `deadline` for the engine; the
+//!   engine layers bounded repair retries with exponential backoff
+//!   ([`dtt_core::deadline::backoff_delay`]) on top of the runtime's
+//!   `commit_retry_cap`.
+//! * **Graceful degradation**: past the deadline or under a wedged
+//!   tthread, reads fall back to the last-committed cache tagged
+//!   `degraded=true`; [`server::Server::shutdown`] drains — stops
+//!   accepting, finishes in-flight requests, then tears the runtime
+//!   down (idempotently).
+//! * **Chaos integration**: the serve-layer [`dtt_core::FaultPoint`]s
+//!   (`ConnDrop`, `ClientStall`, `AcceptOverflow`) are probed through a
+//!   seeded [`dtt_core::FaultProbe`]; `dtt-chaos` drives them with
+//!   pinned seeds and asserts the conservation identities
+//!   ([`admission::ServeStatsSnapshot::admission_conserved`],
+//!   [`admission::ServeStatsSnapshot::lifecycle_conserved`]).
+//!
+//! The open-loop [`load`] generator measures latency from *scheduled*
+//! send instants (no coordinated omission) into
+//! [`dtt_obs::LogHistogram`]s, feeding the `serve_throughput` bench and
+//! `dtt-cli load`.
+//!
+//! ## Environment knobs
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `DTT_SERVE_MAX_INFLIGHT` | admission-gate permits |
+//! | `DTT_SERVE_QUEUE` | bounded engine-mailbox capacity |
+//! | `DTT_SERVE_DEADLINE_MS` | per-request deadline, milliseconds |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+mod engine;
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use admission::{Gate, ServeStats, ServeStatsSnapshot};
+pub use client::Client;
+pub use engine::ViewKind;
+pub use load::{LoadConfig, LoadReport};
+pub use proto::{Request, Response};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,229 @@
+//! The open-loop load generator.
+//!
+//! Closed-loop clients (send, wait, send) self-throttle under overload
+//! and hide latency collapse — the coordinated-omission trap. This
+//! generator is *open-loop*: every request has a scheduled send instant
+//! derived from the target rate alone, and latency is measured from the
+//! **scheduled** instant to the response, so time a request spends
+//! queued behind a slow server counts against the server. Latencies
+//! land in the obs crate's constant-space log2 histograms
+//! ([`dtt_obs::LogHistogram`]), which is where the bench's p50/p99 rows
+//! come from.
+
+use std::io;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dtt_obs::LogHistogram;
+
+use crate::client::Client;
+use crate::proto::{Request, Response};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections; the target rate is split evenly.
+    pub conns: usize,
+    /// Total target request rate, requests/second.
+    pub rate: u64,
+    /// Run length.
+    pub duration: Duration,
+    /// Fraction of requests that are writes (the rest are reads), in
+    /// tenths: `7` means 70% writes.
+    pub write_tenths: u32,
+    /// Key space for generated writes.
+    pub key_space: u64,
+    /// Mix/schedule seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:0".to_string(),
+            conns: 4,
+            rate: 2_000,
+            duration: Duration::from_secs(1),
+            write_tenths: 7,
+            key_space: 512,
+            seed: 0xD77_5E12,
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Non-degraded OK/Value/Pong responses.
+    pub ok: u64,
+    /// `Shed` responses.
+    pub shed: u64,
+    /// Degraded (last-committed) responses.
+    pub degraded: u64,
+    /// Connections dropped by the server mid-request (reconnected).
+    pub dropped: u64,
+    /// Other I/O errors.
+    pub errors: u64,
+    /// Latency from scheduled send to response, nanoseconds.
+    pub latency: LogHistogram,
+    /// Wall-clock run length.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Latency quantile in nanoseconds (from the log2 histogram's
+    /// bucket upper bounds).
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// Responses (including sheds) per second — how fast the server
+    /// *answered*, whatever the answer was.
+    pub fn response_throughput(&self) -> f64 {
+        let answered = self.ok + self.shed + self.degraded;
+        answered as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of requests answered non-degraded.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / self.sent as f64
+    }
+}
+
+/// SplitMix64, for deterministic per-thread schedules.
+fn mix(state: &mut u64) -> u64 {
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+    *state = state.wrapping_add(GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the load and aggregates per-connection results. Each connection
+/// thread keeps its own histogram; they merge (log2 buckets are exactly
+/// mergeable) into the report.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let conns = cfg.conns.max(1);
+    let per_conn_interval =
+        Duration::from_nanos((1_000_000_000u128 * conns as u128 / cfg.rate.max(1) as u128) as u64);
+    let start = Instant::now();
+
+    let mut handles = Vec::with_capacity(conns);
+    for t in 0..conns {
+        let addr = cfg.addr.clone();
+        let duration = cfg.duration;
+        let write_tenths = cfg.write_tenths;
+        let key_space = cfg.key_space.max(1);
+        let mut rng = cfg.seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        handles.push(thread::spawn(move || -> io::Result<LoadThread> {
+            let mut out = LoadThread::default();
+            let mut client = Some(Client::connect(&addr)?);
+            let mut i: u32 = 0;
+            loop {
+                let scheduled = start + per_conn_interval * i;
+                i += 1;
+                if scheduled.duration_since(start) >= duration {
+                    break;
+                }
+                let now = Instant::now();
+                if scheduled > now {
+                    thread::sleep(scheduled - now);
+                }
+                let request = if (mix(&mut rng) % 10) < u64::from(write_tenths) {
+                    Request::Put {
+                        key: mix(&mut rng) % key_space,
+                        value: (mix(&mut rng) % 1_000) as i64,
+                    }
+                } else {
+                    Request::Get {
+                        query: (mix(&mut rng) % 2) as u8,
+                    }
+                };
+                let c = match client.as_mut() {
+                    Some(c) => c,
+                    None => match Client::connect(&addr) {
+                        Ok(c) => client.insert(c),
+                        Err(_) => {
+                            out.errors += 1;
+                            continue;
+                        }
+                    },
+                };
+                out.sent += 1;
+                match c.request(request) {
+                    Ok(resp) => {
+                        let lat = scheduled.elapsed();
+                        out.latency
+                            .record(u64::try_from(lat.as_nanos()).unwrap_or(u64::MAX));
+                        match resp {
+                            Response::Shed => out.shed += 1,
+                            Response::Ok { degraded: true }
+                            | Response::Value { degraded: true, .. } => out.degraded += 1,
+                            Response::Pong
+                            | Response::Ok { degraded: false }
+                            | Response::Value {
+                                degraded: false, ..
+                            } => out.ok += 1,
+                            Response::Err { .. } => out.errors += 1,
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                        // Server dropped the connection mid-request (the
+                        // conn-drop fault); reconnect for the next one.
+                        out.dropped += 1;
+                        client = None;
+                    }
+                    Err(_) => {
+                        out.errors += 1;
+                        client = None;
+                    }
+                }
+            }
+            Ok(out)
+        }));
+    }
+
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        shed: 0,
+        degraded: 0,
+        dropped: 0,
+        errors: 0,
+        latency: LogHistogram::new(),
+        elapsed: Duration::ZERO,
+    };
+    for handle in handles {
+        let t = handle
+            .join()
+            .map_err(|_| io::Error::other("load thread panicked"))??;
+        report.sent += t.sent;
+        report.ok += t.ok;
+        report.shed += t.shed;
+        report.degraded += t.degraded;
+        report.dropped += t.dropped;
+        report.errors += t.errors;
+        report.latency.merge(&t.latency);
+    }
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+#[derive(Debug, Default)]
+struct LoadThread {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    degraded: u64,
+    dropped: u64,
+    errors: u64,
+    latency: LogHistogram,
+}

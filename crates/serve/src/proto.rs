@@ -1,0 +1,227 @@
+//! The wire protocol: length-prefixed frames with fixed little-endian
+//! request/response payloads.
+//!
+//! A frame is a `u32` little-endian payload length followed by the
+//! payload; payloads start with a one-byte opcode. The protocol is
+//! deliberately minimal — the front-end's value is the overload behaviour
+//! around it, not the transport — but it is strict: oversized frames,
+//! unknown opcodes and short payloads are decode errors that close the
+//! connection rather than desynchronize it.
+
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected before allocation: a corrupt or
+/// hostile length prefix must not balloon server memory.
+pub const MAX_FRAME: u32 = 64 * 1024;
+
+/// A client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Write `value` at `key`. Keys map onto the served view's tracked
+    /// input (wrapping), so every key is valid.
+    Put {
+        /// Client key, mapped onto the view's input space.
+        key: u64,
+        /// Value to store.
+        value: i64,
+    },
+    /// Read the derived aggregate selected by `query` (view-defined:
+    /// `0` = total/peak, `1` = avg/peak).
+    Get {
+        /// Aggregate selector.
+        query: u8,
+    },
+}
+
+/// A server response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// Write acknowledged. `degraded` means the write was applied but the
+    /// derived views could not be confirmed fresh within the request
+    /// deadline (commit-race retries exhausted or a wedged tthread).
+    Ok {
+        /// Freshness could not be confirmed within the deadline.
+        degraded: bool,
+    },
+    /// Read result. `degraded` means the value is the last-committed
+    /// state rather than a confirmed-fresh read.
+    Value {
+        /// Served from last-committed state under overload or a wedge.
+        degraded: bool,
+        /// The aggregate value.
+        value: i64,
+    },
+    /// Admission control rejected the request: the server is at its
+    /// concurrency limit (or its accept queue is full). The client may
+    /// retry after a backoff.
+    Shed,
+    /// Protocol-level error (unknown query, malformed request).
+    Err {
+        /// Stable error code.
+        code: u8,
+    },
+}
+
+impl Request {
+    /// Encodes the request payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            Request::Ping => vec![0],
+            Request::Put { key, value } => {
+                let mut out = Vec::with_capacity(17);
+                out.push(1);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+                out
+            }
+            Request::Get { query } => vec![2, query],
+        }
+    }
+
+    /// Decodes a request payload; `None` on unknown opcode or bad length.
+    pub fn decode(buf: &[u8]) -> Option<Request> {
+        match (buf.first()?, buf.len()) {
+            (0, 1) => Some(Request::Ping),
+            (1, 17) => Some(Request::Put {
+                key: u64::from_le_bytes(buf[1..9].try_into().ok()?),
+                value: i64::from_le_bytes(buf[9..17].try_into().ok()?),
+            }),
+            (2, 2) => Some(Request::Get { query: buf[1] }),
+            _ => None,
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        match *self {
+            Response::Pong => vec![0],
+            Response::Ok { degraded } => vec![1, u8::from(degraded)],
+            Response::Value { degraded, value } => {
+                let mut out = Vec::with_capacity(10);
+                out.push(2);
+                out.push(u8::from(degraded));
+                out.extend_from_slice(&value.to_le_bytes());
+                out
+            }
+            Response::Shed => vec![3],
+            Response::Err { code } => vec![4, code],
+        }
+    }
+
+    /// Decodes a response payload; `None` on unknown opcode or bad length.
+    pub fn decode(buf: &[u8]) -> Option<Response> {
+        match (buf.first()?, buf.len()) {
+            (0, 1) => Some(Response::Pong),
+            (1, 2) => Some(Response::Ok {
+                degraded: buf[1] != 0,
+            }),
+            (2, 10) => Some(Response::Value {
+                degraded: buf[1] != 0,
+                value: i64::from_le_bytes(buf[2..10].try_into().ok()?),
+            }),
+            (3, 1) => Some(Response::Shed),
+            (4, 2) => Some(Response::Err { code: buf[1] }),
+            _ => None,
+        }
+    }
+}
+
+/// Writes one frame: `u32` little-endian length, then the payload.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` on a clean EOF at a frame
+/// boundary; mid-frame EOF, oversized lengths and read timeouts surface
+/// as errors.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Put {
+                key: u64::MAX,
+                value: i64::MIN,
+            },
+            Request::Put { key: 0, value: 0 },
+            Request::Get { query: 1 },
+        ] {
+            assert_eq!(Request::decode(&req.encode()), Some(req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Pong,
+            Response::Ok { degraded: true },
+            Response::Ok { degraded: false },
+            Response::Value {
+                degraded: true,
+                value: -7,
+            },
+            Response::Shed,
+            Response::Err { code: 3 },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert_eq!(Request::decode(&[]), None);
+        assert_eq!(Request::decode(&[9]), None);
+        assert_eq!(Request::decode(&[1, 0, 0]), None); // short Put
+        assert_eq!(Response::decode(&[2, 0]), None); // short Value
+        assert_eq!(Response::decode(&[77]), None);
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, &[]).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // A hostile length prefix is rejected before allocation.
+        let mut bad = io::Cursor::new((MAX_FRAME + 1).to_le_bytes().to_vec());
+        assert!(read_frame(&mut bad).is_err());
+    }
+}

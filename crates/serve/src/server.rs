@@ -1,0 +1,459 @@
+//! The front-end: accept loop, per-connection handlers, admission,
+//! deadlines, degradation and drain-mode shutdown.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! decoded ──► accept (counted) ──► gate ──┬─ no permit / injected
+//!                                         │  overflow ──► SHED
+//!                                         └─ admitted ──┬─ injected
+//!                                                       │  conn-drop ──► DROPPED
+//!                                                       ├─ engine reply ──► RESPONSE
+//!                                                       └─ deadline ──► DEGRADED RESPONSE
+//! ```
+//!
+//! Every decoded request takes exactly one of the arrows on the right —
+//! that is the conservation identity
+//! `accepts == responses + sheds + dropped_conns` asserted by the
+//! contract tests, the chaos harness and the bench bin.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dtt_core::{Config, FaultPlan, FaultPoint, FaultProbe};
+
+use crate::admission::{Gate, ServeStats, ServeStatsSnapshot};
+use crate::engine::{Cache, Engine, EngineCmd, EngineConfig, Reply, ViewKind};
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// How long a handler blocks on a socket read before re-checking the
+/// drain flag. Bounds the shutdown latency of an idle connection.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Accept-loop poll period while the listener is idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Server construction knobs. `Default` gives a loopback server on an
+/// ephemeral port with the spreadsheet view; the `DTT_SERVE_*` env knobs
+/// (see [`ServeConfig::from_env`]) override the admission limits.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Admission-gate permits: concurrent admitted requests.
+    pub max_inflight: usize,
+    /// Engine mailbox capacity (the bounded accept queue).
+    pub queue_cap: usize,
+    /// Per-request deadline: how long a handler waits for the engine
+    /// before answering from last-committed state.
+    pub deadline: Duration,
+    /// Runtime worker threads for the served view.
+    pub workers: usize,
+    /// Which workload chain backs the view.
+    pub view: ViewKind,
+    /// View dimensions: `(rows, cols)` for the sheet, `(samples,
+    /// buckets)` for the pipeline.
+    pub dims: (usize, usize),
+    /// Fault plan installed into the *runtime* (core points: body
+    /// panics, retriggers, ...), for wedge scenarios.
+    pub runtime_faults: Option<FaultPlan>,
+    /// Fault plan armed into the *serve* probe (conn-drop, client-stall,
+    /// accept-overflow).
+    pub serve_faults: Option<FaultPlan>,
+    /// Commit backoff for the runtime's detached retry loop.
+    pub commit_backoff: Option<Duration>,
+    /// Body deadline for the runtime (wedge-by-timeout scenarios).
+    pub body_deadline: Option<Duration>,
+    /// Repair attempts per refresh before the engine degrades.
+    pub repair_cap: u32,
+    /// Base backoff between repair attempts.
+    pub repair_backoff: Duration,
+    /// Timeout for the engine's runtime teardown at shutdown.
+    pub teardown_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 64,
+            queue_cap: 128,
+            deadline: Duration::from_millis(100),
+            workers: 1,
+            view: ViewKind::Sheet,
+            dims: (16, 32),
+            runtime_faults: None,
+            serve_faults: None,
+            commit_backoff: Some(Duration::from_micros(50)),
+            body_deadline: None,
+            repair_cap: 3,
+            repair_backoff: Duration::from_millis(1),
+            teardown_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults with the `DTT_SERVE_MAX_INFLIGHT`, `DTT_SERVE_QUEUE` and
+    /// `DTT_SERVE_DEADLINE_MS` environment knobs applied. Malformed
+    /// values fall back to the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = parse_env_usize("DTT_SERVE_MAX_INFLIGHT") {
+            cfg.max_inflight = v;
+        }
+        if let Some(v) = parse_env_usize("DTT_SERVE_QUEUE") {
+            cfg.queue_cap = v.max(1);
+        }
+        if let Some(v) = parse_env_usize("DTT_SERVE_DEADLINE_MS") {
+            cfg.deadline = Duration::from_millis(v as u64);
+        }
+        cfg
+    }
+
+    fn runtime_config(&self) -> Config {
+        let mut cfg = Config::default().with_workers(self.workers);
+        if let Some(base) = self.commit_backoff {
+            cfg = cfg.with_commit_backoff(base);
+        }
+        if let Some(limit) = self.body_deadline {
+            cfg = cfg.with_body_deadline(limit);
+        }
+        if let Some(plan) = &self.runtime_faults {
+            cfg = cfg.with_fault_plan(plan.clone());
+        }
+        cfg
+    }
+}
+
+fn parse_env_usize(var: &str) -> Option<usize> {
+    std::env::var(var).ok()?.trim().parse().ok()
+}
+
+/// State shared between the accept loop and every handler thread.
+struct Shared {
+    stats: ServeStats,
+    gate: Gate,
+    probe: FaultProbe,
+    cache: Cache,
+    cmd_tx: SyncSender<EngineCmd>,
+    draining: AtomicBool,
+    active_conns: AtomicUsize,
+    deadline: Duration,
+}
+
+/// A running front-end. Dropping without [`Server::shutdown`] aborts the
+/// accept loop but detaches the engine; call `shutdown` for the graceful
+/// path the tests pin.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    engine_handle: Option<thread::JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the engine and the accept loop, and returns.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (cmd_tx, cmd_rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
+        let engine_cfg = EngineConfig {
+            kind: cfg.view,
+            dims: cfg.dims,
+            runtime: cfg.runtime_config(),
+            repair_cap: cfg.repair_cap,
+            repair_backoff: cfg.repair_backoff,
+            seed: cfg.serve_faults.as_ref().map_or(1, |p| p.seed),
+        };
+        let (cache, engine_handle) = Engine::spawn(engine_cfg, cmd_rx, cfg.teardown_timeout);
+
+        let probe = match &cfg.serve_faults {
+            Some(plan) => FaultProbe::from_plan(plan),
+            None => FaultProbe::disarmed(),
+        };
+        let shared = Arc::new(Shared {
+            stats: ServeStats::new(),
+            gate: Gate::new(cfg.max_inflight),
+            probe,
+            cache,
+            cmd_tx,
+            draining: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            deadline: cfg.deadline,
+        });
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conn_handles);
+        let accept_handle = thread::Builder::new()
+            .name("dtt-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_conns))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            engine_handle: Some(engine_handle),
+            conn_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the request-lifecycle counters.
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Serve-layer fault injections so far, indexed by
+    /// [`FaultPoint`] discriminant.
+    pub fn fault_injections(&self) -> [u64; FaultPoint::COUNT] {
+        self.shared.probe.counts()
+    }
+
+    /// Drain-mode shutdown: stop accepting, let in-flight connections
+    /// finish their current request, then stop the engine and tear the
+    /// runtime down. **Idempotent** — a second call finds everything
+    /// already joined and returns `Ok` immediately.
+    ///
+    /// # Errors
+    ///
+    /// `ErrorKind::TimedOut` if connections are still active at the
+    /// deadline; the listener stays closed and a retry can finish the
+    /// join later.
+    pub fn shutdown(&mut self, timeout: Duration) -> io::Result<()> {
+        let deadline = Instant::now() + timeout;
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "connections still active at drain deadline",
+                ));
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.conn_handles.lock().expect("conn handle lock");
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.engine_handle.take() {
+            let _ = self.shared.cmd_tx.try_send(EngineCmd::Shutdown);
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name("dtt-serve-conn".into())
+                    .spawn(move || {
+                        handle_conn(stream, &conn_shared);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection handler");
+                conn_handles.lock().expect("conn handle lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Per-request lifecycle decision; see the module diagram.
+enum Decision {
+    /// Admission refused (full gate, full mailbox, or injected
+    /// overflow): answer `Shed`.
+    Shed,
+    /// Admitted and answered.
+    Respond(Response),
+    /// Admitted, then the connection was severed without a response.
+    DropConn,
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let Some(request) = Request::decode(&payload) else {
+            // Malformed payload: answer once, then desync-close.
+            let _ = write_frame(&mut stream, &Response::Err { code: 1 }.encode());
+            return;
+        };
+        shared.stats.on_accept();
+
+        // Injected slow client: stretch the gap between decode and
+        // admission; the read-timeout poll (not a wedge) bounds real
+        // stalls, this bounds injected ones by the plan's delay.
+        if shared.probe.fire(FaultPoint::ClientStall) {
+            shared.probe.delay();
+        }
+
+        // Admission, decided exactly once per request: an injected queue
+        // overflow, a full gate, or a saturated engine mailbox all shed
+        // through the same client-visible path.
+        let overflow = shared.probe.fire(FaultPoint::AcceptOverflow);
+        let decision = if overflow || !shared.gate.try_acquire() {
+            Decision::Shed
+        } else {
+            let decision = gated_request(shared, request);
+            shared.gate.release();
+            decision
+        };
+        match decision {
+            Decision::Shed => {
+                shared.stats.on_shed();
+                if write_frame(&mut stream, &Response::Shed.encode()).is_err() {
+                    return;
+                }
+            }
+            Decision::DropConn => {
+                // Injected mid-batch connection drop: the request was
+                // admitted, then its connection severed without a
+                // response; conserved via dropped_conns.
+                shared.stats.on_admit();
+                shared.stats.on_dropped_conn();
+                return;
+            }
+            Decision::Respond(response) => {
+                shared.stats.on_admit();
+                let degraded = matches!(
+                    response,
+                    Response::Ok { degraded: true } | Response::Value { degraded: true, .. }
+                );
+                if degraded {
+                    shared.stats.on_degraded();
+                }
+                // Counted before the write: once the server commits to an
+                // answer the request is a response, and the client can
+                // observe it (and a test can read the counters) before
+                // this thread runs again. A failed write just closes the
+                // connection — the answer was produced, delivery is the
+                // peer's loss.
+                shared.stats.on_response();
+                if write_frame(&mut stream, &response.encode()).is_err() {
+                    return;
+                }
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return; // in-flight request finished; close under drain
+        }
+    }
+}
+
+/// Runs one request that holds a gate permit to its decision. A full
+/// engine mailbox is a [`Decision::Shed`] — the bounded accept queue is
+/// part of admission, so the request has *not* been admitted until its
+/// command is enqueued (or it needs no engine round trip).
+fn gated_request(shared: &Shared, request: Request) -> Decision {
+    if shared.probe.fire(FaultPoint::ConnDrop) {
+        return Decision::DropConn;
+    }
+    match request {
+        Request::Ping => Decision::Respond(Response::Pong),
+        Request::Put { key, value } => {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            let cmd = EngineCmd::Put {
+                key,
+                value,
+                reply: reply_tx,
+            };
+            match shared.cmd_tx.try_send(cmd) {
+                Ok(()) => match reply_rx.recv_timeout(shared.deadline) {
+                    Ok(Reply::Ok { degraded }) => Decision::Respond(Response::Ok { degraded }),
+                    Ok(Reply::Value { .. }) | Err(RecvTimeoutError::Timeout) => {
+                        // Deadline passed (or a protocol mixup): the write
+                        // is applied but not confirmed fresh.
+                        Decision::Respond(Response::Ok { degraded: true })
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Engine stopped mid-request (drain race): the
+                        // write may or may not land; answer degraded.
+                        Decision::Respond(Response::Ok { degraded: true })
+                    }
+                },
+                Err(TrySendError::Full(_)) => Decision::Shed,
+                Err(TrySendError::Disconnected(_)) => Decision::Shed,
+            }
+        }
+        Request::Get { query } => {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            let cmd = EngineCmd::Get {
+                query,
+                reply: reply_tx,
+            };
+            let fallback = |shared: &Shared| {
+                // Deadline or a stopped engine: serve the last-committed
+                // cell, tagged so the client knows freshness was not
+                // confirmed. Graceful degradation, not an error.
+                let cells = *shared.cache.lock().expect("cache lock");
+                Decision::Respond(Response::Value {
+                    degraded: true,
+                    value: cells[usize::from(query.min(1))],
+                })
+            };
+            match shared.cmd_tx.try_send(cmd) {
+                Ok(()) => match reply_rx.recv_timeout(shared.deadline) {
+                    Ok(Reply::Value { degraded, value }) => {
+                        Decision::Respond(Response::Value { degraded, value })
+                    }
+                    Ok(Reply::Ok { .. }) => fallback(shared),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                        fallback(shared)
+                    }
+                },
+                Err(TrySendError::Full(_)) => Decision::Shed,
+                Err(TrySendError::Disconnected(_)) => fallback(shared),
+            }
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub mod mesa;
 pub mod parser;
 pub mod perlbmk;
 pub mod pipeline;
+pub mod served;
 pub mod spreadsheet;
 pub mod suite;
 pub mod twolf;
@@ -63,6 +64,7 @@ pub use mesa::Mesa;
 pub use parser::Parser;
 pub use perlbmk::Perlbmk;
 pub use pipeline::Pipeline;
+pub use served::{PipelineView, ServedPipeline, ServedSheet, SheetView};
 pub use spreadsheet::Spreadsheet;
 pub use suite::{suite, DttRun, Scale, TthreadReport, Workload};
 pub use twolf::Twolf;

@@ -1,0 +1,360 @@
+//! `served` — long-lived, servable variants of the multi-stage workloads.
+//!
+//! The batch workloads ([`crate::Spreadsheet`], [`crate::Pipeline`]) own
+//! their runtime for the length of one scripted run. The serve front-end
+//! (`dtt-serve`) instead needs the same dependency-graph views as
+//! *long-lived state*: client writes batch into tracked stores, tthreads
+//! maintain the derived aggregates, and reads are answered from the
+//! last-committed derived cells. This module packages the two view shapes
+//! for that lifecycle:
+//!
+//! * [`ServedSheet`] — grid → per-row SUM tthreads → TOTAL → AVG (the
+//!   `spreadsheet` chain);
+//! * [`ServedPipeline`] — raw samples → CLAMP → per-BUCKET sums → PEAK
+//!   (the `pipeline` chain).
+//!
+//! Both expose the same verbs: `apply` a write to tracked input,
+//! `refresh` the derived chain (joins in topological order, propagating
+//! poison/timeout errors to the caller instead of panicking — the serve
+//! engine repairs and retries), and cheap reads of the derived cells.
+//! Unlike the batch kernels, `refresh` returns a [`dtt_core::Result`]: a
+//! wedged tthread is a condition the front-end degrades around, not a
+//! test failure.
+
+use dtt_core::{Config, Runtime, TrackedArray, TrackedMatrix, TthreadId};
+
+use crate::util;
+
+/// Valid sample range for [`ServedPipeline`]; mirrors the batch kernel.
+const LO: i64 = 0;
+const HI: i64 = 99;
+
+/// A read of the sheet's derived cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SheetView {
+    /// Grand total over the grid.
+    pub total: i64,
+    /// Integer mean per cell.
+    pub avg: i64,
+}
+
+/// The long-lived spreadsheet view: a tracked grid whose per-row SUM,
+/// TOTAL and AVG aggregates are maintained by cascading tthreads.
+pub struct ServedSheet {
+    rt: Runtime<()>,
+    rows: usize,
+    cols: usize,
+    grid: TrackedMatrix<i64>,
+    total_cell: TrackedArray<i64>,
+    avg_cell: TrackedArray<i64>,
+    row_tts: Vec<TthreadId>,
+    total_tt: TthreadId,
+    avg_tt: TthreadId,
+}
+
+impl ServedSheet {
+    /// Builds the view: allocates the grid (zero-filled), registers the
+    /// SUM → TOTAL → AVG chain and runs the initial recomputation.
+    pub fn build(cfg: Config, rows: usize, cols: usize) -> Self {
+        let cells = (rows * cols) as i64;
+        let mut rt = Runtime::new(cfg, ());
+        let grid = rt
+            .alloc_matrix::<i64>(rows, cols)
+            .expect("arena sized for view");
+        let row_sums = rt.alloc_array::<i64>(rows).expect("arena sized for view");
+        let total_cell = rt.alloc_array::<i64>(1).expect("arena sized for view");
+        let avg_cell = rt.alloc_array::<i64>(1).expect("arena sized for view");
+
+        let row_tts: Vec<TthreadId> = (0..rows)
+            .map(|r| {
+                let id = rt.register(&format!("row_sum{r}"), move |ctx| {
+                    let mut s = 0i64;
+                    for c in 0..cols {
+                        s += ctx.get(grid.at(r, c));
+                    }
+                    ctx.write(row_sums, r, s);
+                });
+                rt.watch(id, grid.row_range(r)).expect("region in arena");
+                util::declare_output(&mut rt, id, row_sums.range_of(r, r + 1));
+                id
+            })
+            .collect();
+
+        let total_tt = rt.register("total", move |ctx| {
+            let mut t = 0i64;
+            for r in 0..rows {
+                t += ctx.read(row_sums, r);
+            }
+            ctx.write(total_cell, 0, t);
+        });
+        rt.watch(total_tt, row_sums.range())
+            .expect("region in arena");
+        util::declare_output(&mut rt, total_tt, total_cell.range());
+
+        let avg_tt = rt.register("avg", move |ctx| {
+            let t = ctx.read(total_cell, 0);
+            ctx.write(avg_cell, 0, t / cells);
+        });
+        rt.watch(avg_tt, total_cell.range())
+            .expect("region in arena");
+        util::declare_output(&mut rt, avg_tt, avg_cell.range());
+
+        let mut sheet = ServedSheet {
+            rt,
+            rows,
+            cols,
+            grid,
+            total_cell,
+            avg_cell,
+            row_tts,
+            total_tt,
+            avg_tt,
+        };
+        for tt in sheet.topo_order() {
+            sheet.rt.mark_dirty(tt).expect("registered tthread");
+        }
+        // A fault plan or an impossible body deadline can wedge even this
+        // initial refresh; the view is then born degraded (all-zero
+        // derived cells) and the serve engine's repair loop owns it.
+        let _ = sheet.refresh();
+        sheet
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Applies a batch of `(row, col, value)` stores in one tracked
+    /// region; out-of-range coordinates wrap, so any client key is valid.
+    pub fn apply(&mut self, writes: &[(usize, usize, i64)]) {
+        let (rows, cols, grid) = (self.rows, self.cols, self.grid);
+        self.rt.with(|ctx| {
+            for &(r, c, v) in writes {
+                ctx.set(grid.at(r % rows, c % cols), v);
+            }
+        });
+    }
+
+    fn topo_order(&self) -> Vec<TthreadId> {
+        let mut order = self.row_tts.clone();
+        order.push(self.total_tt);
+        order.push(self.avg_tt);
+        order
+    }
+
+    /// Joins the chain in topological order so every commit cascades
+    /// before its consumer is joined. Errors (poisoned/timed-out
+    /// tthreads) propagate; the caller repairs via
+    /// [`ServedSheet::runtime_mut`] and retries.
+    pub fn refresh(&mut self) -> dtt_core::Result<()> {
+        for tt in self.topo_order() {
+            self.rt.join(tt)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the derived cells (no refresh: last-committed state).
+    pub fn read(&mut self) -> SheetView {
+        let (total_cell, avg_cell) = (self.total_cell, self.avg_cell);
+        let (total, avg) = self
+            .rt
+            .with(|ctx| (ctx.read(total_cell, 0), ctx.read(avg_cell, 0)));
+        SheetView { total, avg }
+    }
+
+    /// The underlying runtime, for stats, drain and repair verbs.
+    pub fn runtime_mut(&mut self) -> &mut Runtime<()> {
+        &mut self.rt
+    }
+
+    /// Consumes the view, returning the runtime for a final shutdown.
+    pub fn into_runtime(self) -> Runtime<()> {
+        self.rt
+    }
+}
+
+/// A read of the pipeline's derived cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineView {
+    /// Maximum bucket sum.
+    pub peak: i64,
+}
+
+/// The long-lived pipeline view: tracked raw samples whose CLAMP →
+/// BUCKET → PEAK stages are maintained by cascading tthreads.
+pub struct ServedPipeline {
+    rt: Runtime<()>,
+    samples: usize,
+    input: TrackedArray<i64>,
+    peak_cell: TrackedArray<i64>,
+    clamp_tt: TthreadId,
+    bucket_tt: TthreadId,
+    peak_tt: TthreadId,
+}
+
+impl ServedPipeline {
+    /// Builds the view: allocates `samples` zeroed inputs, registers the
+    /// CLAMP → BUCKET → PEAK chain and runs the initial recomputation.
+    pub fn build(cfg: Config, samples: usize, buckets: usize) -> Self {
+        let (n, b) = (samples, buckets);
+        let mut rt = Runtime::new(cfg, ());
+        let input = rt.alloc_array::<i64>(n).expect("arena sized for view");
+        let clamped = rt.alloc_array::<i64>(n).expect("arena sized for view");
+        let sums = rt.alloc_array::<i64>(b).expect("arena sized for view");
+        let peak_cell = rt.alloc_array::<i64>(1).expect("arena sized for view");
+
+        let clamp_tt = rt.register("clamp", move |ctx| {
+            for i in 0..n {
+                let raw = ctx.read(input, i);
+                ctx.write(clamped, i, raw.clamp(LO, HI));
+            }
+        });
+        rt.watch(clamp_tt, input.range()).expect("region in arena");
+        util::declare_output(&mut rt, clamp_tt, clamped.range());
+
+        let bucket_tt = rt.register("bucket", move |ctx| {
+            let mut acc = vec![0i64; b];
+            for i in 0..n {
+                acc[i % b] += ctx.read(clamped, i);
+            }
+            for (j, &s) in acc.iter().enumerate() {
+                ctx.write(sums, j, s);
+            }
+        });
+        rt.watch(bucket_tt, clamped.range())
+            .expect("region in arena");
+        util::declare_output(&mut rt, bucket_tt, sums.range());
+
+        let peak_tt = rt.register("peak", move |ctx| {
+            let mut peak = i64::MIN;
+            for j in 0..b {
+                peak = peak.max(ctx.read(sums, j));
+            }
+            ctx.write(peak_cell, 0, peak);
+        });
+        rt.watch(peak_tt, sums.range()).expect("region in arena");
+        util::declare_output(&mut rt, peak_tt, peak_cell.range());
+
+        let mut pipe = ServedPipeline {
+            rt,
+            samples,
+            input,
+            peak_cell,
+            clamp_tt,
+            bucket_tt,
+            peak_tt,
+        };
+        for tt in [pipe.clamp_tt, pipe.bucket_tt, pipe.peak_tt] {
+            pipe.rt.mark_dirty(tt).expect("registered tthread");
+        }
+        // Tolerate a wedged initial refresh (see [`ServedSheet::build`]).
+        let _ = pipe.refresh();
+        pipe
+    }
+
+    /// Number of raw samples.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Applies a batch of `(index, value)` raw-sample stores in one
+    /// tracked region; indices wrap, so any client key is valid.
+    pub fn apply(&mut self, writes: &[(usize, i64)]) {
+        let (n, input) = (self.samples, self.input);
+        self.rt.with(|ctx| {
+            for &(i, v) in writes {
+                ctx.write(input, i % n, v);
+            }
+        });
+    }
+
+    /// Joins the chain in topological order; errors propagate for the
+    /// caller to repair (see [`ServedSheet::refresh`]).
+    pub fn refresh(&mut self) -> dtt_core::Result<()> {
+        for tt in [self.clamp_tt, self.bucket_tt, self.peak_tt] {
+            self.rt.join(tt)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the derived peak (no refresh: last-committed state).
+    pub fn read(&mut self) -> PipelineView {
+        let peak_cell = self.peak_cell;
+        let peak = self.rt.with(|ctx| ctx.read(peak_cell, 0));
+        PipelineView { peak }
+    }
+
+    /// The underlying runtime, for stats, drain and repair verbs.
+    pub fn runtime_mut(&mut self) -> &mut Runtime<()> {
+        &mut self.rt
+    }
+
+    /// Consumes the view, returning the runtime for a final shutdown.
+    pub fn into_runtime(self) -> Runtime<()> {
+        self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheet_serves_fresh_aggregates() {
+        let mut sheet = ServedSheet::build(Config::default(), 4, 8);
+        assert_eq!(sheet.read(), SheetView { total: 0, avg: 0 });
+        sheet.apply(&[(0, 0, 10), (1, 3, 22), (3, 7, 64)]);
+        sheet.refresh().unwrap();
+        assert_eq!(sheet.read().total, 96);
+        assert_eq!(sheet.read().avg, 96 / 32);
+        // Wrapping keys: (4, 8) lands on (0, 0).
+        sheet.apply(&[(4, 8, 42)]);
+        sheet.refresh().unwrap();
+        assert_eq!(sheet.read().total, 96 - 10 + 42);
+    }
+
+    #[test]
+    fn sheet_skips_silent_batches() {
+        let mut sheet = ServedSheet::build(Config::default(), 2, 4);
+        sheet.apply(&[(0, 0, 5)]);
+        sheet.refresh().unwrap();
+        let execs0 = sheet.runtime_mut().stats().counters().executions;
+        // Rewriting the same value is silent: no tthread runs.
+        sheet.apply(&[(0, 0, 5)]);
+        sheet.refresh().unwrap();
+        let c = sheet.runtime_mut().stats();
+        assert_eq!(c.counters().executions, execs0);
+        assert!(c.counters().skips > 0);
+    }
+
+    #[test]
+    fn pipeline_serves_fresh_peak_with_clamping() {
+        let mut pipe = ServedPipeline::build(Config::default(), 16, 4);
+        pipe.apply(&[(0, 50), (4, 30), (1, 500)]);
+        pipe.refresh().unwrap();
+        // Bucket 0 holds samples 0,4,8,12 → 50+30; sample 1 saturates at 99.
+        assert_eq!(pipe.read().peak, 99);
+        pipe.apply(&[(8, 40)]);
+        pipe.refresh().unwrap();
+        assert_eq!(pipe.read().peak, 120);
+    }
+
+    #[test]
+    fn served_views_work_with_workers_and_drain() {
+        use std::time::Duration;
+        let mut sheet = ServedSheet::build(Config::default().with_workers(2), 4, 8);
+        sheet.apply(&[(2, 2, 7)]);
+        sheet.refresh().unwrap();
+        assert_eq!(sheet.read().total, 7);
+        sheet.runtime_mut().drain(Duration::from_secs(10)).unwrap();
+        // Still servable (deferred) after a drain.
+        sheet.apply(&[(2, 3, 3)]);
+        sheet.refresh().unwrap();
+        assert_eq!(sheet.read().total, 10);
+        sheet
+            .into_runtime()
+            .shutdown(Duration::from_secs(10))
+            .unwrap();
+    }
+}
