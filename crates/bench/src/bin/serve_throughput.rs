@@ -1,15 +1,25 @@
-//! Open-loop serve throughput: the front-end under sustainable load and
-//! under deliberate ≥2× overload.
+//! Open-loop serve throughput: the front-end under sustainable load,
+//! over the keyed store, at a thousand held connections, and under
+//! deliberate ≥2× overload.
 //!
-//! Two phases, both driven by the coordinated-omission-safe open-loop
-//! generator (`dtt_serve::load`: latency measured from *scheduled* send
-//! instants, so time a request queues behind a slow server counts
-//! against the server):
+//! Four phases; the rate-driven ones use the coordinated-omission-safe
+//! open-loop generator (`dtt_serve::load`: latency measured from
+//! *scheduled* send instants, so time a request queues behind a slow
+//! server counts against the server):
 //!
 //! 1. **Baseline** — a generously gated server at a modest target rate.
 //!    Its achieved response throughput is the measured sustainable rate;
 //!    its p50/p99 come from the obs crate's log2 histograms.
-//! 2. **Overload** — a *tightly* gated server (the gate is the capacity
+//! 2. **Keyed** — the same load shape over the keyed store
+//!    (`ViewKind::Keyed`): writes and `GetKey` shard-row reads over a
+//!    2^20 logical key space folded onto the tthread-maintained grid.
+//! 3. **Connection scale** — ≥1024 connections held open concurrently
+//!    against the event-driven path, driven round-robin by a *bounded*
+//!    set of client threads. The pass criterion is the rewrite's core
+//!    claim: the server's OS thread count does not move with the
+//!    connection count (the old thread-per-connection path added one
+//!    thread and one parked `JoinHandle` per connection).
+//! 4. **Overload** — a *tightly* gated server (the gate is the capacity
 //!    under test) driven at at least twice the measured sustainable
 //!    rate. The pass criteria are the paper-style robustness claims:
 //!    the server **sheds instead of collapsing** — explicit `Shed`
@@ -20,22 +30,32 @@
 //!    `accepts == responses + sheds + dropped_conns`: zero requests
 //!    lost).
 //!
-//! The `serve-overload check: PASS` line is printed only when every
-//! budget holds; the CI serve job greps for it. Results land in
-//! `BENCH_serve.json` (one row per phase with p50/p99 and throughput).
+//! The `serve-overload check: PASS` and `serve-scale check: PASS` lines
+//! are printed only when every budget holds; the CI serve job greps for
+//! them. Results land in `BENCH_serve.json` (one row per phase with
+//! p50/p99 and throughput; the overload phase stays last — CI reads it
+//! as `rows[-1]`).
 //!
 //! Usage: `serve_throughput [--smoke]` — `--smoke` runs a fast CI-sized
 //! configuration (same code paths, shorter runs).
 
-use std::time::Duration;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
-use dtt_serve::{load, LoadConfig, LoadReport, ServeConfig, Server};
+use dtt_obs::LogHistogram;
+use dtt_serve::{load, Client, LoadConfig, LoadReport, Request, ServeConfig, Server, ViewKind};
 
 /// p99 budget for the overload phase, in milliseconds. Admitted requests
 /// are bounded by the 50 ms per-request deadline and sheds are answered
 /// without an engine round trip, so even heavily overloaded runs must
 /// stay far below this; only collapse (unbounded queueing) breaks it.
 const OVERLOAD_P99_BUDGET_MS: u64 = 400;
+
+/// Connections the scale phase holds concurrently.
+const SCALE_CONNS: usize = 1024;
+
+/// Client threads driving the scale phase (16 connections each).
+const SCALE_CLIENT_THREADS: usize = 64;
 
 /// One measured phase, for the report and the JSON record.
 struct Phase {
@@ -51,12 +71,13 @@ fn run_phase(
     load_cfg: LoadConfig,
 ) -> (Phase, dtt_serve::ServeStatsSnapshot) {
     let config = format!(
-        "inflight={} queue={} conns={} rate={}/s dur={:?}",
+        "inflight={} queue={} conns={} rate={}/s dur={:?}{}",
         serve_cfg.max_inflight,
         serve_cfg.queue_cap,
         load_cfg.conns,
         load_cfg.rate,
-        load_cfg.duration
+        load_cfg.duration,
+        if load_cfg.keyed { " keyed" } else { "" }
     );
     let mut server = Server::start(serve_cfg).expect("bind loopback server");
     let mut load_cfg = load_cfg;
@@ -89,10 +110,170 @@ fn run_phase(
     )
 }
 
+/// OS threads of this process, from /proc/self/status (Linux CI; falls
+/// back to 0 elsewhere, which disables the thread-bound assertion).
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The connection-scale phase: hold [`SCALE_CONNS`] connections open
+/// from [`SCALE_CLIENT_THREADS`] client threads, drive a few round-robin
+/// request rounds over every connection, and assert the server's OS
+/// thread count never scales with the connection count.
+fn run_conn_scale(rounds: u64) -> (Phase, dtt_serve::ServeStatsSnapshot) {
+    let event_workers = 2;
+    let mut server = Server::start(ServeConfig {
+        max_inflight: 256,
+        queue_cap: 512,
+        deadline: Duration::from_millis(50),
+        event_workers,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    // Baseline after the server is fully up: pool + accept + engine +
+    // runtime workers are all running, so any later growth would be
+    // per-connection.
+    let threads_at_start = thread_count();
+
+    let conns_per_thread = SCALE_CONNS / SCALE_CLIENT_THREADS;
+    let connected = Arc::new(Barrier::new(SCALE_CLIENT_THREADS + 1));
+    let measured = Arc::new(Barrier::new(SCALE_CLIENT_THREADS + 1));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(SCALE_CLIENT_THREADS);
+    for t in 0..SCALE_CLIENT_THREADS {
+        let addr = addr.clone();
+        let connected = Arc::clone(&connected);
+        let measured = Arc::clone(&measured);
+        handles.push(std::thread::spawn(move || {
+            let mut clients: Vec<Client> = (0..conns_per_thread)
+                .map(|_| Client::connect(&addr).expect("scale-phase connect"))
+                .collect();
+            connected.wait();
+            measured.wait();
+            let mut tally = (0u64, 0u64, 0u64, LogHistogram::new()); // ok, shed, degraded
+            for round in 0..rounds {
+                for (c, client) in clients.iter_mut().enumerate() {
+                    let key = (t * conns_per_thread + c) as u64;
+                    let request = if round % 2 == 0 {
+                        Request::Put {
+                            key,
+                            value: round as i64,
+                        }
+                    } else {
+                        Request::Get {
+                            query: (key % 2) as u8,
+                        }
+                    };
+                    let sent = Instant::now();
+                    match client.request(request).expect("scale-phase request") {
+                        dtt_serve::Response::Shed => tally.1 += 1,
+                        dtt_serve::Response::Ok { degraded: true }
+                        | dtt_serve::Response::Value { degraded: true, .. } => tally.2 += 1,
+                        _ => tally.0 += 1,
+                    }
+                    tally
+                        .3
+                        .record(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+            }
+            tally
+        }));
+    }
+
+    // All clients connected: wait for every socket to be registered with
+    // an event worker, then measure the thread count at peak.
+    connected.wait();
+    let registration_deadline = Instant::now() + Duration::from_secs(30);
+    while server.active_conn_count() < SCALE_CONNS {
+        assert!(
+            Instant::now() < registration_deadline,
+            "registration stalled at {} of {SCALE_CONNS} connections",
+            server.active_conn_count()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let threads_at_peak = thread_count();
+    measured.wait();
+
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        shed: 0,
+        degraded: 0,
+        dropped: 0,
+        errors: 0,
+        latency: LogHistogram::new(),
+        elapsed: Duration::ZERO,
+    };
+    for handle in handles {
+        let (ok, shed, degraded, latency) = handle.join().expect("scale client thread");
+        report.ok += ok;
+        report.shed += shed;
+        report.degraded += degraded;
+        report.sent += ok + shed + degraded;
+        report.latency.merge(&latency);
+    }
+    report.elapsed = start.elapsed();
+
+    server
+        .shutdown(Duration::from_secs(30))
+        .expect("drain shutdown after scale phase");
+    let stats = server.stats();
+    assert!(
+        stats.admission_conserved() && stats.lifecycle_conserved(),
+        "conn-scale: conservation violated: {stats:?}"
+    );
+    assert_eq!(
+        stats.serve_accepts,
+        SCALE_CONNS as u64 * rounds,
+        "every scale-phase request decoded exactly once"
+    );
+
+    // The tentpole claim: OS threads are bounded by the worker pool, not
+    // the connection count. Everything added between server-up and peak
+    // is the client threads themselves (plus measurement slack); the old
+    // path would show ~SCALE_CONNS extra.
+    let grown = threads_at_peak.saturating_sub(threads_at_start);
+    if threads_at_start > 0 {
+        assert!(
+            grown <= SCALE_CLIENT_THREADS + 8,
+            "serve-scale: {SCALE_CONNS} held connections grew OS threads by {grown} \
+             (client threads account for {SCALE_CLIENT_THREADS}); \
+             the event pool must not scale with connections"
+        );
+    }
+    println!(
+        "serve-scale check: PASS ({SCALE_CONNS} conns held on {event_workers} event workers, \
+         os-threads +{grown} with {SCALE_CLIENT_THREADS} client threads, \
+         accepts {} == responses {} + sheds {} + dropped {})",
+        stats.serve_accepts, stats.serve_responses, stats.serve_sheds, stats.serve_dropped_conns
+    );
+
+    (
+        Phase {
+            name: "conn-scale",
+            config: format!(
+                "conns={SCALE_CONNS} ev={event_workers} rounds={rounds} threads_delta={grown}"
+            ),
+            report,
+            sheds_ok: true,
+        },
+        stats,
+    )
+}
+
 fn print_phase(phase: &Phase) {
     let r = &phase.report;
     println!(
-        "{:>9}: sent {:>6} | answered {:>6} ({} ok, {} shed, {} degraded, {} dropped) \
+        "{:>10}: sent {:>6} | answered {:>6} ({} ok, {} shed, {} degraded, {} dropped) \
          | {:>8.0} resp/s | p50 {:>7.2} ms | p99 {:>7.2} ms",
         phase.name,
         r.sent,
@@ -127,10 +308,10 @@ fn json_row(phase: &Phase) -> String {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let (baseline_rate, duration, conns) = if smoke {
-        (1_500u64, Duration::from_millis(400), 4usize)
+    let (baseline_rate, duration, conns, scale_rounds) = if smoke {
+        (1_500u64, Duration::from_millis(400), 4usize, 2u64)
     } else {
-        (4_000, Duration::from_secs(2), 8)
+        (4_000, Duration::from_secs(2), 8, 8)
     };
 
     // Phase 1: sustainable load against a generous gate. The achieved
@@ -152,7 +333,33 @@ fn main() {
     );
     let sustainable = baseline.report.response_throughput();
 
-    // Phase 2: a tightly gated server — its capacity is *at most* the
+    // Phase 2: the same load shape over the keyed store — writes and
+    // shard-row reads across a 2^20 logical key space.
+    let (keyed, _) = run_phase(
+        "keyed",
+        ServeConfig {
+            max_inflight: 64,
+            queue_cap: 128,
+            deadline: Duration::from_millis(50),
+            view: ViewKind::Keyed,
+            dims: (64, 64),
+            key_space: 1 << 20,
+            ..ServeConfig::default()
+        },
+        LoadConfig {
+            conns,
+            rate: baseline_rate,
+            duration,
+            key_space: 1 << 20,
+            keyed: true,
+            ..LoadConfig::default()
+        },
+    );
+
+    // Phase 3: >= 1024 held connections; thread count must not move.
+    let (scale, _) = run_conn_scale(scale_rounds);
+
+    // Phase 4: a tightly gated server — its capacity is *at most* the
     // baseline's — driven at twice the measured sustainable rate, from
     // more connections than the gate has permits so concurrent arrivals
     // genuinely exceed admission.
@@ -178,6 +385,8 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
     print_phase(&baseline);
+    print_phase(&keyed);
+    print_phase(&scale);
     print_phase(&overload);
     println!(
         "sustainable {:.0} resp/s; overload driven at {} req/s (>= 2x)",
@@ -216,9 +425,12 @@ fn main() {
 
     // One record, one row per phase — same BENCH_*.json artifact shape
     // the other bins ship, with latency quantiles instead of ns_per_op.
+    // Overload stays last: CI reads it as rows[-1].
     let json = format!(
-        "{{\"benchmark\":\"serve\",\"host_cores\":{cores},\"rows\":[{},{}]}}\n",
+        "{{\"benchmark\":\"serve\",\"host_cores\":{cores},\"rows\":[{},{},{},{}]}}\n",
         json_row(&baseline),
+        json_row(&keyed),
+        json_row(&scale),
         json_row(&overload)
     );
     match std::fs::write("BENCH_serve.json", json) {

@@ -46,6 +46,11 @@ pub struct ServeChaosConfig {
     pub max_inflight: usize,
     /// Engine mailbox capacity.
     pub queue_cap: usize,
+    /// Event workers sweeping the connection state machines.
+    pub event_workers: usize,
+    /// Serve the keyed view (`GetKey` shard-row reads) instead of the
+    /// sheet's global cells.
+    pub keyed: bool,
     /// Per-request deadline.
     pub deadline: Duration,
     /// Serve-layer fault schedule (only [`FaultPoint::SERVE`] points
@@ -77,6 +82,8 @@ impl ServeChaosConfig {
             requests_per_conn: rng.gen_range(20..=60usize),
             max_inflight: rng.gen_range(1..=8usize),
             queue_cap: rng.gen_range(1..=8usize),
+            event_workers: rng.gen_range(1..=3usize),
+            keyed: rng.gen_range(0..3u32) == 0,
             deadline: Duration::from_millis(200),
             plan,
             drain_mid_run: rng.gen_range(0..4u32) == 0,
@@ -92,6 +99,8 @@ impl ServeChaosConfig {
             requests_per_conn: 40,
             max_inflight: 4,
             queue_cap: 4,
+            event_workers: 2,
+            keyed: false,
             deadline: Duration::from_millis(200),
             plan: FaultPlan::new(seed),
             drain_mid_run: false,
@@ -114,11 +123,13 @@ impl ServeChaosConfig {
             })
             .collect();
         format!(
-            "conns={} reqs/conn={} inflight={} queue={} drain_mid_run={} armed=[{}]",
+            "conns={} reqs/conn={} inflight={} queue={} ev={} keyed={} drain_mid_run={} armed=[{}]",
             self.conns,
             self.requests_per_conn,
             self.max_inflight,
             self.queue_cap,
+            self.event_workers,
+            self.keyed,
             self.drain_mid_run,
             armed.join(", ")
         )
@@ -264,6 +275,12 @@ fn run_serve_inner(cfg: &ServeChaosConfig) -> Result<ServeRunSummary, String> {
     let mut server = Server::start(ServeConfig {
         max_inflight: cfg.max_inflight,
         queue_cap: cfg.queue_cap,
+        event_workers: cfg.event_workers,
+        view: if cfg.keyed {
+            dtt_serve::ViewKind::Keyed
+        } else {
+            dtt_serve::ViewKind::Sheet
+        },
         deadline: cfg.deadline,
         serve_faults: Some(cfg.plan.clone()),
         ..ServeConfig::default()
@@ -276,6 +293,7 @@ fn run_serve_inner(cfg: &ServeChaosConfig) -> Result<ServeRunSummary, String> {
         let addr = addr.clone();
         let requests = cfg.requests_per_conn;
         let seed = cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let keyed = cfg.keyed;
         handles.push(thread::spawn(move || -> Result<ClientTally, String> {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut tally = ClientTally::default();
@@ -286,6 +304,9 @@ fn run_serve_inner(cfg: &ServeChaosConfig) -> Result<ServeRunSummary, String> {
             for i in 0..requests {
                 let request = match rng.gen_range(0..10u32) {
                     0 => Request::Ping,
+                    1..=3 if keyed => Request::GetKey {
+                        key: rng.gen_range(0..256u64),
+                    },
                     1..=3 => Request::Get {
                         query: rng.gen_range(0..2u8),
                     },
@@ -376,7 +397,10 @@ fn run_serve_inner(cfg: &ServeChaosConfig) -> Result<ServeRunSummary, String> {
     // Clients cannot have observed more answers than the server produced,
     // or more severed connections than the server dropped (the reverse
     // can hold: a drain can close a socket the client never re-read, and
-    // a response can be produced but never collected).
+    // a response can be produced but never collected). A mid-run drain
+    // closes each connection as soon as it is idle, so a closed-loop
+    // client can see one EOF per connection that the server never
+    // counted — no request of theirs was ever decoded.
     if client_responses > stats.serve_responses {
         return Err(format!(
             "clients observed {client_responses} responses but the server counted {}",
@@ -389,9 +413,17 @@ fn run_serve_inner(cfg: &ServeChaosConfig) -> Result<ServeRunSummary, String> {
             stats.serve_sheds
         ));
     }
-    if client_drops > stats.serve_dropped_conns + injections[FaultPoint::ConnDrop as usize] {
+    let drain_allowance = if cfg.drain_mid_run {
+        cfg.conns as u64
+    } else {
+        0
+    };
+    if client_drops
+        > stats.serve_dropped_conns + injections[FaultPoint::ConnDrop as usize] + drain_allowance
+    {
         return Err(format!(
-            "clients observed {client_drops} drops but the server dropped {} (+{} injected)",
+            "clients observed {client_drops} drops but the server dropped {} \
+             (+{} injected, +{drain_allowance} drain allowance)",
             stats.serve_dropped_conns,
             injections[FaultPoint::ConnDrop as usize]
         ));

@@ -430,9 +430,12 @@ fn serve_config_from_args(args: &Args) -> Result<dtt_serve::ServeConfig, CliErro
     cfg.deadline = std::time::Duration::from_millis(
         args.get_parsed("deadline-ms", cfg.deadline.as_millis() as u64)?,
     );
+    cfg.event_workers = args.get_parsed("event-workers", cfg.event_workers)?.max(1);
+    cfg.key_space = args.get_parsed("key-space", cfg.key_space)?.max(1);
     cfg.view = match args.get("view") {
         None | Some("sheet") => dtt_serve::ViewKind::Sheet,
         Some("pipeline") => dtt_serve::ViewKind::Pipeline,
+        Some("keyed") => dtt_serve::ViewKind::Keyed,
         Some(other) => {
             return Err(ArgError::BadValue {
                 option: "view".into(),
@@ -468,7 +471,8 @@ fn serve_stats_block(stats: &dtt_serve::ServeStatsSnapshot) -> String {
 }
 
 /// `dtt-cli serve [--port N] [--duration-ms N] [--max-inflight N]
-///                [--queue N] [--deadline-ms N] [--view sheet|pipeline]`
+///                [--queue N] [--deadline-ms N] [--view sheet|pipeline|keyed]
+///                [--event-workers N] [--key-space N]`
 ///
 /// Runs the overload-safe front-end for `--duration-ms` (0 serves until
 /// the process is killed), then drains and prints the request-lifecycle
@@ -482,6 +486,8 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "queue",
         "deadline-ms",
         "view",
+        "event-workers",
+        "key-space",
     ])
     .map_err(CliError::Args)?;
     let duration_ms = args.get_parsed("duration-ms", 1_000u64)?;
@@ -515,12 +521,14 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
 }
 
 /// `dtt-cli load --addr HOST:PORT [--rate N] [--conns N] [--duration-ms N]
-///               [--write-tenths N]`
+///               [--write-tenths N] [--keyed] [--key-space N]`
 /// `dtt-cli load --self [serve options] [load options]`
 ///
 /// Open-loop load generator (latency measured from scheduled send
 /// instants). With `--self` it starts an in-process server first, drives
-/// it, drains it, and prints both sides — the CI smoke path.
+/// it, drains it, and prints both sides — the CI smoke path. `--keyed`
+/// switches reads to `GetKey` shard-row lookups (implied by
+/// `--view keyed`).
 pub fn load(args: &Args) -> Result<String, CliError> {
     args.expect_only(&[
         "addr",
@@ -528,12 +536,15 @@ pub fn load(args: &Args) -> Result<String, CliError> {
         "conns",
         "duration-ms",
         "write-tenths",
+        "keyed",
+        "key-space",
         "self",
         "port",
         "max-inflight",
         "queue",
         "deadline-ms",
         "view",
+        "event-workers",
     ])
     .map_err(CliError::Args)?;
     let self_serve = args.flag("self");
@@ -555,6 +566,8 @@ pub fn load(args: &Args) -> Result<String, CliError> {
         rate: args.get_parsed("rate", 1_000u64)?.max(1),
         duration: std::time::Duration::from_millis(args.get_parsed("duration-ms", 1_000u64)?),
         write_tenths: args.get_parsed("write-tenths", 7u32)?.min(10),
+        keyed: args.flag("keyed") || args.get("view") == Some("keyed"),
+        key_space: args.get_parsed("key-space", 512u64)?.max(1),
         ..dtt_serve::LoadConfig::default()
     };
     let report = dtt_serve::load::run(&load_cfg)?;

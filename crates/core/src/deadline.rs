@@ -43,9 +43,14 @@ impl BodyDeadline {
     /// Checks the deadline at `now`: `Some(elapsed)` when the body has
     /// overrun its limit (strictly exceeded — a body finishing exactly at
     /// the limit is on time), `None` otherwise.
+    ///
+    /// A zero limit always overruns: no body completes in literally zero
+    /// time, so a measured zero elapsed is clock granularity, not an
+    /// on-time finish. Tests lean on `Duration::ZERO` as the "impossible
+    /// deadline" wedge idiom, which must not race the clock's tick size.
     pub fn overrun(&self, now: Instant) -> Option<Duration> {
         let elapsed = now.saturating_duration_since(self.start);
-        (elapsed > self.limit).then_some(elapsed)
+        (elapsed > self.limit || self.limit.is_zero()).then_some(elapsed)
     }
 
     /// The configured limit.
@@ -105,6 +110,17 @@ mod tests {
         // elapsed rather than panicking or overflowing.
         let early = t0.checked_sub(Duration::from_millis(5)).unwrap_or(t0);
         assert_eq!(dl.overrun(early), None);
+    }
+
+    #[test]
+    fn zero_limit_always_overruns() {
+        // The "impossible deadline" wedge idiom: a coarse clock may
+        // measure zero elapsed for a real body, and that must still
+        // count as an overrun rather than racing the tick size.
+        let t0 = Instant::now();
+        let dl = BodyDeadline::starting(Some(Duration::ZERO), t0).unwrap();
+        assert_eq!(dl.overrun(t0), Some(Duration::ZERO));
+        assert!(dl.overrun(t0 + Duration::from_nanos(1)).is_some());
     }
 
     #[test]

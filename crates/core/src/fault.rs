@@ -395,6 +395,13 @@ impl FaultProbe {
         self.layer.delay()
     }
 
+    /// The plan's injected delay, for callers that must not block in
+    /// place — an event-loop worker defers the faulted connection until
+    /// this much time has passed instead of sleeping on it.
+    pub fn delay_duration(&self) -> Duration {
+        self.layer.delay
+    }
+
     /// Per-point fired counts, indexed by discriminant.
     pub fn counts(&self) -> [u64; FaultPoint::COUNT] {
         self.layer.counts()

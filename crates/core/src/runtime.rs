@@ -687,6 +687,36 @@ impl<U: Send + 'static> Runtime<U> {
                     return Ok(JoinOutcome::RanInline);
                 }
                 TthreadStatus::Queued => {
+                    // Only the detached (worker) executor can enforce the
+                    // body deadline — an inline run writes straight to live
+                    // memory, so there is no write log to discard on
+                    // overrun. With a deadline configured, never steal a
+                    // queued execution: wait for the worker (which is
+                    // guaranteed to exist — zero-worker deferred mode
+                    // raises Clean→Triggered and never reaches Queued) to
+                    // run it under the deadline. The wait reuses the
+                    // Running machinery below: lock-free parks validate
+                    // the slot word, which the worker's claim bumps, and
+                    // locked mode wakes on the completion broadcast.
+                    if self.inner.cfg.body_deadline.is_some() {
+                        waited = true;
+                        if lockfree {
+                            let observed = slot.word();
+                            drop(state);
+                            let outcome = self
+                                .inner
+                                .dispatch
+                                .completions
+                                .park(|| slot.word() != observed, self.inner.cfg.park_timeout);
+                            if outcome == ParkOutcome::TimedOut {
+                                self.inner.dispatch.counters.park_timeout(tthread.index());
+                            }
+                            state = self.inner.state.lock();
+                        } else {
+                            self.inner.done_cv.wait(&mut state);
+                        }
+                        continue;
+                    }
                     // Steal the pending execution. Lock-free mode: the
                     // claim's token bump invalidates the queue entry in
                     // place, so no queue scan is needed — the worker that

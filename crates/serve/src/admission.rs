@@ -12,6 +12,7 @@
 //!   answered, shed, or lost with its connection; none vanish.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A semaphore-style concurrency limiter over in-flight admitted
 /// requests. Lock-free: `try_acquire` either takes a permit or reports
@@ -30,6 +31,11 @@ impl Gate {
     }
 
     /// Takes a permit if one is free.
+    ///
+    /// Prefer [`Gate::acquire`]: a raw `try_acquire` pairs with a manual
+    /// [`Gate::release`], and any panic between the two burns the permit
+    /// forever (the PR-9 leak: one poisoned `expect` in a handler and the
+    /// server sheds everything until restart).
     pub fn try_acquire(&self) -> bool {
         self.permits
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| p.checked_sub(1))
@@ -41,9 +47,32 @@ impl Gate {
         self.permits.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// Takes a permit as an RAII [`Permit`] guard, or `None` at
+    /// saturation. The permit returns on drop — including drops during
+    /// unwinding, so a panicking holder cannot leak it.
+    pub fn acquire(gate: &Arc<Gate>) -> Option<Permit> {
+        gate.try_acquire().then(|| Permit {
+            gate: Arc::clone(gate),
+        })
+    }
+
     /// Free permits right now (diagnostic).
     pub fn available(&self) -> usize {
         self.permits.load(Ordering::Acquire)
+    }
+}
+
+/// An RAII admission permit: holding one *is* being admitted past the
+/// gate. Dropping it — on the normal path, an early return, or a panic
+/// unwind — releases the permit exactly once.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.release();
     }
 }
 
@@ -170,6 +199,42 @@ mod tests {
     fn zero_permit_gate_sheds_everything() {
         let gate = Gate::new(0);
         assert!(!gate.try_acquire());
+        assert!(Gate::acquire(&Arc::new(gate)).is_none());
+    }
+
+    #[test]
+    fn permit_guard_releases_on_drop_and_bounds_concurrency() {
+        let gate = Arc::new(Gate::new(2));
+        let a = Gate::acquire(&gate).expect("first permit");
+        let b = Gate::acquire(&gate).expect("second permit");
+        assert!(Gate::acquire(&gate).is_none(), "gate saturated");
+        drop(a);
+        let c = Gate::acquire(&gate).expect("freed permit reusable");
+        drop(b);
+        drop(c);
+        assert_eq!(gate.available(), 2);
+    }
+
+    /// The permit-leak regression: a panic while holding a permit must
+    /// return it through the unwind. With the raw
+    /// `try_acquire`/`release` pairing this leaked — the permit stayed
+    /// burned and the gate drifted toward shedding everything.
+    #[test]
+    fn panicking_permit_holder_cannot_burn_permits() {
+        let gate = Arc::new(Gate::new(1));
+        for _ in 0..3 {
+            let g = Arc::clone(&gate);
+            let result = std::panic::catch_unwind(move || {
+                let _permit = Gate::acquire(&g).expect("permit free at loop start");
+                panic!("injected handler panic while admitted");
+            });
+            assert!(result.is_err(), "the panic must propagate");
+            assert_eq!(
+                gate.available(),
+                1,
+                "permit must be returned by the unwinding drop"
+            );
+        }
     }
 
     #[test]

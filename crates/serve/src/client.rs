@@ -1,15 +1,21 @@
 //! A minimal blocking client for the framed protocol.
 
-use std::io;
+use std::io::{self, Read};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::proto::{write_frame, FrameDecoder, Request, Response};
 
 /// One framed-TCP connection to a [`crate::server::Server`].
+///
+/// Responses are read through a resumable [`FrameDecoder`], so a read
+/// timeout that fires mid-frame parks the partial bytes instead of
+/// dropping them — the next [`Client::request`] resumes the same frame
+/// rather than desynchronizing the stream.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    decoder: FrameDecoder,
 }
 
 impl Client {
@@ -17,7 +23,10 @@ impl Client {
     pub fn connect(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            decoder: FrameDecoder::new(),
+        })
     }
 
     /// Bounds how long [`Client::request`] blocks on the response.
@@ -27,16 +36,32 @@ impl Client {
 
     /// Sends one request and reads its response. An EOF mid-request
     /// (the server dropped the connection) surfaces as
-    /// `ErrorKind::UnexpectedEof`.
+    /// `ErrorKind::UnexpectedEof`; a timeout surfaces as the platform's
+    /// timeout kind with any partial response parked for the next call.
     pub fn request(&mut self, request: Request) -> io::Result<Response> {
         write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-request",
-            )
-        })?;
-        Response::decode(&payload)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable response"))
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut buf = [0u8; 1024];
+        loop {
+            if let Some(payload) = self.decoder.next_frame()? {
+                return Response::decode(&payload).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "undecodable response")
+                });
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-request",
+                    ))
+                }
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 }

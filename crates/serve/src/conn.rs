@@ -1,0 +1,487 @@
+//! Per-connection state machine for the event-driven handler loop.
+//!
+//! A [`Conn`] owns a non-blocking socket plus everything a request needs
+//! to survive *suspension*: the resumable [`FrameDecoder`] (partial
+//! frames park here — the structural fix for the PR-9 mid-frame timeout
+//! desync), an explicit write buffer (partial writes park here), the
+//! in-flight engine round trip with its RAII admission [`Permit`]
+//! (panics and severed connections return the permit through `Drop` —
+//! the fix for the permit leak), and any injected client-stall
+//! deferral. A small pool of event workers sweeps thousands of these
+//! machines; no OS thread ever belongs to a connection.
+//!
+//! Each [`Conn::poll`] makes whatever progress the socket allows and
+//! returns. The lifecycle counters are recorded at the same decision
+//! points as the threaded path, so both conservation identities —
+//! `accepts == admits + sheds` and
+//! `accepts == responses + sheds + dropped_conns` — hold verbatim, and
+//! [`Conn::abort`] settles any half-decided request when a connection is
+//! severed or a handler panics, so they hold even then.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{self, Receiver, TryRecvError};
+use std::time::Instant;
+
+use dtt_core::FaultPoint;
+
+use crate::admission::{Gate, Permit};
+use crate::engine::{read_cache, EngineCmd, Reply};
+use crate::proto::{write_frame, FrameDecoder, Request, Response};
+use crate::server::Shared;
+
+/// Frames decided per poll before yielding to other connections.
+const FRAMES_PER_POLL: usize = 32;
+
+/// Read chunk size per `read` call.
+const READ_CHUNK: usize = 4096;
+
+/// What one [`Conn::poll`] accomplished.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Polled {
+    /// `false` once the connection is finished (clean close or sever);
+    /// the worker drops the `Conn`.
+    pub keep: bool,
+    /// Whether any bytes moved or any request advanced — workers use
+    /// this to decide between another sweep and a short sleep.
+    pub progressed: bool,
+}
+
+/// An engine round trip in flight: the command is enqueued, the reply
+/// channel and the fallback answer are parked here, and the admission
+/// permit is held — returned by `Drop` on every exit path.
+struct Pending {
+    reply_rx: Receiver<Reply>,
+    deadline: Instant,
+    fallback: Fallback,
+    _permit: Permit,
+}
+
+/// The degraded answer if the engine misses the deadline or stops.
+enum Fallback {
+    /// Write applied but not confirmed fresh.
+    PutOk,
+    /// Serve the last-committed cell.
+    Get { query: u8 },
+    /// Serve the last-committed shard-row aggregate for the key.
+    GetKey { key: u64 },
+}
+
+/// One client connection's complete suspended state.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded-but-unwritten response bytes.
+    out: Vec<u8>,
+    out_pos: usize,
+    pending: Option<Pending>,
+    /// A decoded request deferred by an injected client stall.
+    deferred: Option<Request>,
+    stall_until: Option<Instant>,
+    /// Requests counted by `on_accept` but not yet decided; settled by
+    /// [`Conn::abort`] if the connection dies first.
+    undecided: u32,
+    peer_eof: bool,
+    /// Close once the write buffer drains (malformed input was answered).
+    closing: bool,
+    /// Close immediately, discarding the write buffer (injected
+    /// conn-drop or a transport error).
+    severed: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream; switches it to non-blocking mode.
+    pub(crate) fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: None,
+            deferred: None,
+            stall_until: None,
+            undecided: 0,
+            peer_eof: false,
+            closing: false,
+            severed: false,
+        })
+    }
+
+    /// Advances the connection as far as the socket allows: flush,
+    /// resolve the in-flight engine reply, read, decide buffered frames.
+    /// Under `draining` no *new* frames are decided; the in-flight
+    /// request still finishes (and is flushed) before the close.
+    pub(crate) fn poll(&mut self, shared: &Shared, draining: bool) -> Polled {
+        let mut progressed = false;
+
+        if self.severed {
+            return self.sever(shared, progressed);
+        }
+
+        // Injected client stall: the decoded request waits out its
+        // deferral without holding an OS thread hostage.
+        if let Some(until) = self.stall_until {
+            if Instant::now() < until {
+                match self.flush() {
+                    Ok(p) => progressed |= p,
+                    Err(_) => return self.sever(shared, true),
+                }
+                return Polled {
+                    keep: true,
+                    progressed,
+                };
+            }
+            self.stall_until = None;
+            progressed = true;
+        }
+        if self.pending.is_none() {
+            if let Some(req) = self.deferred.take() {
+                self.decide(shared, req);
+                progressed = true;
+            }
+        }
+
+        progressed |= self.poll_pending(shared);
+
+        match self.flush() {
+            Ok(p) => progressed |= p,
+            Err(_) => return self.sever(shared, true),
+        }
+
+        // Read only while no request is in flight: the kernel socket
+        // buffer back-pressures pipelining clients, so a connection's
+        // memory stays bounded by one frame plus one response.
+        if !self.peer_eof && !self.closing && self.pending.is_none() && self.deferred.is_none() {
+            match self.fill() {
+                Ok(p) => progressed |= p,
+                Err(_) => return self.sever(shared, true),
+            }
+        }
+
+        if !draining {
+            let mut decided = 0;
+            while decided < FRAMES_PER_POLL
+                && !self.closing
+                && !self.severed
+                && self.pending.is_none()
+                && self.deferred.is_none()
+            {
+                let payload = match self.decoder.next_frame() {
+                    Ok(Some(payload)) => payload,
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Hostile length prefix: answer once, then close.
+                        self.queue(Response::Err { code: 1 });
+                        self.closing = true;
+                        progressed = true;
+                        break;
+                    }
+                };
+                progressed = true;
+                decided += 1;
+                let Some(request) = Request::decode(&payload) else {
+                    // Malformed payload: answer once, then desync-close.
+                    self.queue(Response::Err { code: 1 });
+                    self.closing = true;
+                    break;
+                };
+                shared.stats.on_accept();
+                self.undecided += 1;
+                // Injected slow client: stretch the gap between decode
+                // and admission by the plan's delay — as a deferral, not
+                // a blocked worker.
+                if shared.probe.fire(FaultPoint::ClientStall) {
+                    self.stall_until = Some(Instant::now() + shared.probe.delay_duration());
+                    self.deferred = Some(request);
+                    break;
+                }
+                self.decide(shared, request);
+            }
+            if self.severed {
+                return self.sever(shared, progressed);
+            }
+            match self.flush() {
+                Ok(p) => progressed |= p,
+                Err(_) => return self.sever(shared, true),
+            }
+        }
+
+        let idle =
+            self.pending.is_none() && self.deferred.is_none() && self.out_pos == self.out.len();
+        if idle && (self.closing || draining || self.peer_eof) {
+            return Polled {
+                keep: false,
+                progressed: true,
+            };
+        }
+        Polled {
+            keep: true,
+            progressed,
+        }
+    }
+
+    /// Settles every accepted-but-undecided request so the conservation
+    /// identities survive a severed connection or a handler panic: an
+    /// enqueued request is conserved as admitted-then-dropped, anything
+    /// earlier in the lifecycle as shed.
+    pub(crate) fn abort(&mut self, shared: &Shared) {
+        if self.pending.take().is_some() {
+            shared.stats.on_admit();
+            shared.stats.on_dropped_conn();
+            self.undecided = self.undecided.saturating_sub(1);
+        }
+        self.deferred = None;
+        self.stall_until = None;
+        while self.undecided > 0 {
+            shared.stats.on_shed();
+            self.undecided -= 1;
+        }
+        self.severed = true;
+    }
+
+    fn sever(&mut self, shared: &Shared, progressed: bool) -> Polled {
+        self.abort(shared);
+        Polled {
+            keep: false,
+            progressed,
+        }
+    }
+
+    /// Decides one accepted request: shed, sever, answer inline, or
+    /// enqueue to the engine and park.
+    fn decide(&mut self, shared: &Shared, request: Request) {
+        // Admission, decided exactly once per request: an injected queue
+        // overflow, a full gate, or a saturated engine mailbox all shed
+        // through the same client-visible path.
+        let overflow = shared.probe.fire(FaultPoint::AcceptOverflow);
+        let permit = if overflow {
+            None
+        } else {
+            Gate::acquire(&shared.gate)
+        };
+        let Some(permit) = permit else {
+            self.record_shed(shared);
+            return;
+        };
+        if shared.probe.fire(FaultPoint::ConnDrop) {
+            // Injected mid-batch connection drop: admitted, then severed
+            // without a response; conserved via dropped_conns. The permit
+            // returns via its drop at the end of this scope.
+            shared.stats.on_admit();
+            shared.stats.on_dropped_conn();
+            self.undecided -= 1;
+            self.severed = true;
+            return;
+        }
+        match request {
+            Request::Ping => self.respond(shared, Response::Pong),
+            Request::Put { key, value } => {
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                let cmd = EngineCmd::Put {
+                    key,
+                    value,
+                    reply: reply_tx,
+                };
+                match shared.cmd_tx.try_send(cmd) {
+                    Ok(()) => self.park(shared, reply_rx, Fallback::PutOk, permit),
+                    // A full mailbox is a shed — the bounded accept queue
+                    // is part of admission. A stopped engine sheds writes
+                    // too: the put cannot land.
+                    Err(_) => self.record_shed(shared),
+                }
+            }
+            Request::Get { query } => {
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                let cmd = EngineCmd::Get {
+                    query,
+                    reply: reply_tx,
+                };
+                match shared.cmd_tx.try_send(cmd) {
+                    Ok(()) => self.park(shared, reply_rx, Fallback::Get { query }, permit),
+                    Err(mpsc::TrySendError::Full(_)) => self.record_shed(shared),
+                    Err(mpsc::TrySendError::Disconnected(_)) => {
+                        // Engine stopped (drain race): reads degrade to
+                        // last-committed state rather than erroring.
+                        let resp = self.fallback_response(shared, &Fallback::Get { query });
+                        self.respond(shared, resp);
+                    }
+                }
+            }
+            Request::GetKey { key } => {
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                let cmd = EngineCmd::GetKey {
+                    key,
+                    reply: reply_tx,
+                };
+                match shared.cmd_tx.try_send(cmd) {
+                    Ok(()) => self.park(shared, reply_rx, Fallback::GetKey { key }, permit),
+                    Err(mpsc::TrySendError::Full(_)) => self.record_shed(shared),
+                    Err(mpsc::TrySendError::Disconnected(_)) => {
+                        let resp = self.fallback_response(shared, &Fallback::GetKey { key });
+                        self.respond(shared, resp);
+                    }
+                }
+            }
+        }
+    }
+
+    fn park(
+        &mut self,
+        shared: &Shared,
+        reply_rx: Receiver<Reply>,
+        fallback: Fallback,
+        permit: Permit,
+    ) {
+        self.pending = Some(Pending {
+            reply_rx,
+            deadline: Instant::now() + shared.deadline,
+            fallback,
+            _permit: permit,
+        });
+    }
+
+    /// Checks the in-flight engine round trip: reply, deadline, or a
+    /// stopped engine. Returns whether the request resolved.
+    fn poll_pending(&mut self, shared: &Shared) -> bool {
+        let Some(pending) = &self.pending else {
+            return false;
+        };
+        let response = match pending.reply_rx.try_recv() {
+            Ok(Reply::Ok { degraded }) => match pending.fallback {
+                Fallback::PutOk => Response::Ok { degraded },
+                // A read answered with a write ack is a protocol mixup;
+                // fall back to last-committed state.
+                _ => self.fallback_response(shared, &pending.fallback),
+            },
+            Ok(Reply::Value { degraded, value }) => match pending.fallback {
+                Fallback::Get { .. } | Fallback::GetKey { .. } => {
+                    Response::Value { degraded, value }
+                }
+                // A write answered with a value: applied but unconfirmed.
+                Fallback::PutOk => Response::Ok { degraded: true },
+            },
+            Err(TryRecvError::Empty) => {
+                if Instant::now() < pending.deadline {
+                    return false;
+                }
+                // Deadline passed: the command is enqueued (the engine
+                // will still process it) but the client gets the
+                // degraded answer now.
+                self.fallback_response(shared, &pending.fallback)
+            }
+            Err(TryRecvError::Disconnected) => self.fallback_response(shared, &pending.fallback),
+        };
+        let pending = self.pending.take().expect("pending just observed");
+        self.respond(shared, response);
+        drop(pending); // returns the permit
+        true
+    }
+
+    /// The degraded answer from last-committed state — poison-tolerant,
+    /// so a panic elsewhere cannot take the fallback path down.
+    fn fallback_response(&self, shared: &Shared, fallback: &Fallback) -> Response {
+        match *fallback {
+            Fallback::PutOk => Response::Ok { degraded: true },
+            Fallback::Get { query } => {
+                let cached = read_cache(&shared.cache);
+                Response::Value {
+                    degraded: true,
+                    value: cached.cells[usize::from(query.min(1))],
+                }
+            }
+            Fallback::GetKey { key } => {
+                let cached = read_cache(&shared.cache);
+                let value = match shared.key_map {
+                    Some(map) => cached
+                        .rows
+                        .get(map.row_of(key))
+                        .copied()
+                        .unwrap_or(cached.cells[0]),
+                    None => cached.cells[0],
+                };
+                Response::Value {
+                    degraded: true,
+                    value,
+                }
+            }
+        }
+    }
+
+    fn record_shed(&mut self, shared: &Shared) {
+        shared.stats.on_shed();
+        self.undecided = self.undecided.saturating_sub(1);
+        self.queue(Response::Shed);
+    }
+
+    fn respond(&mut self, shared: &Shared, response: Response) {
+        shared.stats.on_admit();
+        if matches!(
+            response,
+            Response::Ok { degraded: true } | Response::Value { degraded: true, .. }
+        ) {
+            shared.stats.on_degraded();
+        }
+        // Counted before the bytes reach the socket: once the server
+        // commits to an answer the request is a response; a failed write
+        // just closes the connection — the answer was produced, delivery
+        // is the peer's loss.
+        shared.stats.on_response();
+        self.undecided = self.undecided.saturating_sub(1);
+        self.queue(response);
+    }
+
+    /// Encodes a response frame into the write buffer (never fails —
+    /// delivery happens in [`Conn::flush`]).
+    fn queue(&mut self, response: Response) {
+        write_frame(&mut self.out, &response.encode()).expect("Vec write is infallible");
+    }
+
+    /// Writes as much of the output buffer as the socket accepts.
+    fn flush(&mut self) -> io::Result<bool> {
+        let mut progressed = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(progressed)
+    }
+
+    /// Reads whatever the socket has into the frame decoder.
+    fn fill(&mut self) -> io::Result<bool> {
+        let mut buf = [0u8; READ_CHUNK];
+        let mut progressed = false;
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.decoder.extend(&buf[..n]);
+                    progressed = true;
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(progressed)
+    }
+}

@@ -1,11 +1,12 @@
 //! The engine: a single actor thread that owns the served view's
 //! [`dtt_core::Runtime`] and applies client batches to it.
 //!
-//! Handler threads never touch the runtime. They enqueue commands on a
-//! *bounded* mailbox and wait on a per-request reply channel with a
-//! deadline; the engine drains the mailbox in batches — consecutive
-//! writes coalesce into one tracked region and one refresh, the
-//! commutative-batching shape — and answers every staged command.
+//! Handler workers never touch the runtime. They enqueue commands on a
+//! *bounded* mailbox and park the request in their connection's state
+//! machine until the per-request reply channel answers (or the deadline
+//! passes); the engine drains the mailbox in batches — consecutive
+//! keyed writes are commutative, so they coalesce into one tracked
+//! region and one refresh — and answers every staged command.
 //!
 //! Degradation is the engine's second job. A refresh can fail: a tthread
 //! poisoned by a fault, or timed out against the body deadline. The
@@ -14,7 +15,9 @@
 //! curve the commit path uses); if the wedge survives the budget, the
 //! engine marks itself degraded and keeps answering from the
 //! last-committed cache instead of erroring. A later successful refresh
-//! clears the flag.
+//! clears the flag. Cache access is poison-tolerant everywhere
+//! ([`read_cache`]): a panic that poisons the mutex must degrade reads,
+//! not take the fallback path down with it.
 
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -23,7 +26,7 @@ use std::time::Duration;
 
 use dtt_core::deadline::backoff_delay;
 use dtt_core::{Config, Error, TthreadId};
-use dtt_workloads::{ServedPipeline, ServedSheet};
+use dtt_workloads::{KeyMap, ServedKeyed, ServedPipeline, ServedSheet};
 
 /// Which workload chain backs the served view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,16 +37,49 @@ pub enum ViewKind {
     /// Pipeline chain: samples → CLAMP → BUCKET → PEAK. Every query reads
     /// the peak.
     Pipeline,
+    /// Keyed store: a logical key space folded onto the sheet grid;
+    /// `Get {key}` reads the key's shard-row aggregate.
+    Keyed,
 }
 
-/// The derived cells the front-end can serve even when the runtime is
-/// wedged: updated by the engine after every confirmed-fresh refresh.
-pub(crate) type Cache = Arc<Mutex<[i64; 2]>>;
+/// The last-committed state the front-end can serve even when the
+/// runtime is wedged: the two global cells plus (keyed view only) the
+/// per-shard-row aggregates. Updated by the engine after every
+/// confirmed-fresh refresh.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CacheState {
+    /// Global derived cells (total/avg or peak/peak).
+    pub cells: [i64; 2],
+    /// Per-shard-row aggregates (empty on non-keyed views).
+    pub rows: Vec<i64>,
+}
+
+/// Shared last-committed cache; lock poisoning is survivable by design.
+pub(crate) type Cache = Arc<Mutex<CacheState>>;
+
+/// Poison-tolerant cache read: a panic that poisoned the mutex left the
+/// state at whatever the last complete write was — still the best
+/// available degraded answer, so take it instead of propagating the
+/// panic (the PR-9 `expect("cache lock")` turned one poisoned handler
+/// into a permanently burned permit *and* a crash on every fallback).
+pub(crate) fn read_cache(cache: &Cache) -> CacheState {
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Poison-tolerant cache write (engine side).
+fn write_cache(cache: &Cache, state: CacheState) {
+    *cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = state;
+}
 
 /// Upper bound on commands coalesced into one engine iteration.
 const BATCH_CAP: usize = 64;
 
-/// A command from a handler thread.
+/// A command from a handler worker.
 pub(crate) enum EngineCmd {
     Put {
         key: u64,
@@ -52,6 +88,10 @@ pub(crate) enum EngineCmd {
     },
     Get {
         query: u8,
+        reply: SyncSender<Reply>,
+    },
+    GetKey {
+        key: u64,
         reply: SyncSender<Reply>,
     },
     Shutdown,
@@ -64,17 +104,36 @@ pub(crate) enum Reply {
     Value { degraded: bool, value: i64 },
 }
 
-/// One of the two served views behind a common verb set.
+/// What a staged read wants, normalized across views.
+enum GetWhat {
+    /// Global cell by selector (`0`/`1`).
+    Cell(u8),
+    /// Shard-row aggregate by logical key (keyed view; other views
+    /// answer cell 0).
+    Row(u64),
+}
+
+/// One of the served views behind a common verb set.
 enum View {
     Sheet(ServedSheet),
     Pipeline(ServedPipeline),
+    Keyed(ServedKeyed),
 }
 
 impl View {
-    fn build(kind: ViewKind, cfg: Config, dims: (usize, usize)) -> View {
+    fn build(kind: ViewKind, cfg: Config, dims: (usize, usize), key_space: u64) -> View {
         match kind {
             ViewKind::Sheet => View::Sheet(ServedSheet::build(cfg, dims.0, dims.1)),
             ViewKind::Pipeline => View::Pipeline(ServedPipeline::build(cfg, dims.0, dims.1)),
+            ViewKind::Keyed => View::Keyed(ServedKeyed::build(cfg, dims.0, dims.1, key_space)),
+        }
+    }
+
+    /// The keyed view's key → slot mapping; `None` elsewhere.
+    fn key_map(&self) -> Option<KeyMap> {
+        match self {
+            View::Keyed(k) => Some(k.key_map()),
+            _ => None,
         }
     }
 
@@ -93,6 +152,7 @@ impl View {
                     writes.iter().map(|&(k, v)| (k as usize, v)).collect();
                 p.apply(&mapped);
             }
+            View::Keyed(k) => k.apply(writes),
         }
     }
 
@@ -100,10 +160,11 @@ impl View {
         match self {
             View::Sheet(s) => s.refresh(),
             View::Pipeline(p) => p.refresh(),
+            View::Keyed(k) => k.refresh(),
         }
     }
 
-    /// Reads both servable aggregates (the cache's shape).
+    /// Reads both servable global aggregates (the cache's cell half).
     fn cells(&mut self) -> [i64; 2] {
         match self {
             View::Sheet(s) => {
@@ -114,6 +175,27 @@ impl View {
                 let v = p.read();
                 [v.peak, v.peak]
             }
+            View::Keyed(k) => {
+                let v = k.read();
+                [v.total, v.avg]
+            }
+        }
+    }
+
+    /// Reads the shard-row aggregate for `key` (keyed view); other views
+    /// answer their primary cell.
+    fn key_row(&mut self, key: u64) -> i64 {
+        match self {
+            View::Keyed(k) => k.read_key_row(key),
+            other => other.cells()[0],
+        }
+    }
+
+    /// Snapshot of the per-shard-row aggregates (keyed view only).
+    fn rows_snapshot(&mut self) -> Vec<i64> {
+        match self {
+            View::Keyed(k) => k.rows_snapshot(),
+            _ => Vec::new(),
         }
     }
 
@@ -121,6 +203,7 @@ impl View {
         let rt = match self {
             View::Sheet(s) => s.runtime_mut(),
             View::Pipeline(p) => p.runtime_mut(),
+            View::Keyed(k) => k.runtime_mut(),
         };
         match err {
             Error::TthreadPoisoned(_) => {
@@ -140,6 +223,7 @@ impl View {
         let mut rt = match self {
             View::Sheet(s) => s.into_runtime(),
             View::Pipeline(p) => p.into_runtime(),
+            View::Keyed(k) => k.into_runtime(),
         };
         // Drain first (idempotent with any earlier defensive drain), then
         // the consuming shutdown. A straggler past the deadline is
@@ -154,6 +238,8 @@ impl View {
 pub(crate) struct EngineConfig {
     pub kind: ViewKind,
     pub dims: (usize, usize),
+    /// Logical key space for [`ViewKind::Keyed`] (ignored elsewhere).
+    pub key_space: u64,
     pub runtime: Config,
     /// Repair attempts per refresh before declaring the view degraded.
     pub repair_cap: u32,
@@ -173,33 +259,43 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    /// Spawns the engine thread; returns the shared cache and the join
-    /// handle. Commands arrive on `rx`; the thread exits on
-    /// [`EngineCmd::Shutdown`] or when every sender is gone, tearing the
-    /// runtime down within `teardown_timeout`.
+    /// Spawns the engine thread; returns the shared cache, the keyed
+    /// view's key map (handlers need it to pick a cached row for
+    /// degraded keyed reads) and the join handle. Commands arrive on
+    /// `rx`; the thread exits on [`EngineCmd::Shutdown`] or when every
+    /// sender is gone, tearing the runtime down within
+    /// `teardown_timeout`.
     pub(crate) fn spawn(
         cfg: EngineConfig,
         rx: Receiver<EngineCmd>,
         teardown_timeout: Duration,
-    ) -> (Cache, thread::JoinHandle<()>) {
+    ) -> (Cache, Option<KeyMap>, thread::JoinHandle<()>) {
         let mut engine = Engine {
-            view: View::build(cfg.kind, cfg.runtime, cfg.dims),
-            cache: Arc::new(Mutex::new([0; 2])),
+            view: View::build(cfg.kind, cfg.runtime, cfg.dims, cfg.key_space),
+            cache: Arc::new(Mutex::new(CacheState::default())),
             degraded: false,
             repair_cap: cfg.repair_cap,
             repair_backoff: cfg.repair_backoff,
             rng: cfg.seed,
         };
-        *engine.cache.lock().expect("fresh cache") = engine.view.cells();
+        let key_map = engine.view.key_map();
+        write_cache(
+            &engine.cache,
+            CacheState {
+                cells: engine.view.cells(),
+                rows: engine.view.rows_snapshot(),
+            },
+        );
         let cache = Arc::clone(&engine.cache);
         let handle = thread::Builder::new()
             .name("dtt-serve-engine".into())
             .spawn(move || engine.run(rx, teardown_timeout))
             .expect("spawn engine thread");
-        (cache, handle)
+        (cache, key_map, handle)
     }
 
     fn run(mut self, rx: Receiver<EngineCmd>, teardown_timeout: Duration) {
+        let key_map = self.view.key_map();
         'outer: loop {
             let first = match rx.recv() {
                 Ok(cmd) => cmd,
@@ -207,13 +303,13 @@ impl Engine {
             };
             let mut puts: Vec<(u64, i64)> = Vec::new();
             let mut put_replies: Vec<SyncSender<Reply>> = Vec::new();
-            let mut gets: Vec<(u8, SyncSender<Reply>)> = Vec::new();
+            let mut gets: Vec<(GetWhat, SyncSender<Reply>)> = Vec::new();
             let mut shutdown = false;
             fn stage(
                 cmd: EngineCmd,
                 puts: &mut Vec<(u64, i64)>,
                 put_replies: &mut Vec<SyncSender<Reply>>,
-                gets: &mut Vec<(u8, SyncSender<Reply>)>,
+                gets: &mut Vec<(GetWhat, SyncSender<Reply>)>,
                 shutdown: &mut bool,
             ) {
                 match cmd {
@@ -221,13 +317,15 @@ impl Engine {
                         puts.push((key, value));
                         put_replies.push(reply);
                     }
-                    EngineCmd::Get { query, reply } => gets.push((query, reply)),
+                    EngineCmd::Get { query, reply } => gets.push((GetWhat::Cell(query), reply)),
+                    EngineCmd::GetKey { key, reply } => gets.push((GetWhat::Row(key), reply)),
                     EngineCmd::Shutdown => *shutdown = true,
                 }
             }
             stage(first, &mut puts, &mut put_replies, &mut gets, &mut shutdown);
-            // Coalesce whatever else is already queued: one tracked
-            // region, one refresh, many acknowledgements.
+            // Coalesce whatever else is already queued: keyed puts
+            // commute, so the whole batch is one tracked region, one
+            // refresh, many acknowledgements.
             while puts.len() + gets.len() < BATCH_CAP {
                 match rx.try_recv() {
                     Ok(cmd) => stage(cmd, &mut puts, &mut put_replies, &mut gets, &mut shutdown),
@@ -248,12 +346,25 @@ impl Engine {
                     degraded: self.degraded,
                 });
             }
-            for (query, reply) in gets {
+            for (what, reply) in gets {
                 let value = if self.degraded {
-                    let cells = *self.cache.lock().expect("cache lock");
-                    cells[usize::from(query.min(1))]
+                    let cached = read_cache(&self.cache);
+                    match what {
+                        GetWhat::Cell(query) => cached.cells[usize::from(query.min(1))],
+                        GetWhat::Row(key) => match key_map {
+                            Some(map) => cached
+                                .rows
+                                .get(map.row_of(key))
+                                .copied()
+                                .unwrap_or(cached.cells[0]),
+                            None => cached.cells[0],
+                        },
+                    }
                 } else {
-                    self.view.cells()[usize::from(query.min(1))]
+                    match what {
+                        GetWhat::Cell(query) => self.view.cells()[usize::from(query.min(1))],
+                        GetWhat::Row(key) => self.view.key_row(key),
+                    }
                 };
                 let _ = reply.try_send(Reply::Value {
                     degraded: self.degraded,
@@ -276,7 +387,11 @@ impl Engine {
             match self.view.refresh() {
                 Ok(()) => {
                     self.degraded = false;
-                    *self.cache.lock().expect("cache lock") = self.view.cells();
+                    let state = CacheState {
+                        cells: self.view.cells(),
+                        rows: self.view.rows_snapshot(),
+                    };
+                    write_cache(&self.cache, state);
                     return;
                 }
                 Err(err) => {
@@ -306,5 +421,39 @@ impl Engine {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The poison-tolerance regression: a panic while holding the cache
+    /// lock poisons the mutex; every later degraded read must still get
+    /// the last complete state instead of panicking through `expect`.
+    #[test]
+    fn poisoned_cache_still_serves_last_committed_state() {
+        let cache: Cache = Arc::new(Mutex::new(CacheState {
+            cells: [42, 7],
+            rows: vec![1, 2, 3],
+        }));
+        let poisoner = Arc::clone(&cache);
+        let _ = std::panic::catch_unwind(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("injected panic while holding the cache lock");
+        });
+        assert!(cache.lock().is_err(), "the mutex must actually be poisoned");
+        let state = read_cache(&cache);
+        assert_eq!(state.cells, [42, 7]);
+        assert_eq!(state.rows, vec![1, 2, 3]);
+        // Writes recover it too.
+        write_cache(
+            &cache,
+            CacheState {
+                cells: [1, 1],
+                rows: vec![],
+            },
+        );
+        assert_eq!(read_cache(&cache).cells, [1, 1]);
     }
 }

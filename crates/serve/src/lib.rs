@@ -5,27 +5,43 @@
 //! changed) or observed the recomputation's commit. This crate puts a
 //! minimal framed-TCP front-end on that property — client writes batch
 //! into tracked stores, tthread chains (the `spreadsheet`/`pipeline`
-//! workload views) maintain the aggregates, reads are served from the
-//! derived cells — and hardens the *request lifecycle* with the same
-//! discipline PR 4's fault layer applied to the tthread lifecycle:
+//! workload views, plus the keyed store folded over the sheet) maintain
+//! the aggregates, reads are served from the derived cells — and hardens
+//! the *request lifecycle* with the same discipline PR 4's fault layer
+//! applied to the tthread lifecycle:
 //!
-//! * **Admission control** ([`admission`]): a semaphore-style gate plus
-//!   a bounded engine mailbox; past either limit the client gets an
-//!   explicit [`proto::Response::Shed`], never unbounded buffering.
+//! * **Event-driven connection path** ([`server`]): a fixed
+//!   pool of event workers sweeps per-connection state machines with
+//!   non-blocking I/O; frames park in a resumable
+//!   [`proto::FrameDecoder`], so connections scale to thousands while OS
+//!   threads stay `event_workers + 2`.
+//! * **Admission control** ([`admission`]): a semaphore-style gate
+//!   handing out RAII [`admission::Permit`]s (panic-safe — no leaked
+//!   permits) plus a bounded engine mailbox; past either limit the
+//!   client gets an explicit [`proto::Response::Shed`], never unbounded
+//!   buffering.
 //! * **Deadlines + bounded retry** ([`server`], [`engine`]): each
 //!   admitted request waits at most `deadline` for the engine; the
 //!   engine layers bounded repair retries with exponential backoff
 //!   ([`dtt_core::deadline::backoff_delay`]) on top of the runtime's
 //!   `commit_retry_cap`.
+//! * **Keyed store** ([`ViewKind::Keyed`]): `Put {key}` /
+//!   `GetKey {key}` address a logical key space folded onto the sheet
+//!   grid; shard-row aggregates are tthread-maintained, so a million
+//!   keys cost the same derived-state machinery as a 16-row sheet.
 //! * **Graceful degradation**: past the deadline or under a wedged
-//!   tthread, reads fall back to the last-committed cache tagged
-//!   `degraded=true`; [`server::Server::shutdown`] drains — stops
-//!   accepting, finishes in-flight requests, then tears the runtime
-//!   down (idempotently).
+//!   tthread, reads fall back to the last-committed cache (cells *and*
+//!   keyed shard rows, poison-tolerant) tagged `degraded=true`;
+//!   [`server::Server::shutdown`] drains — stops accepting, finishes
+//!   in-flight requests, retires the workers, then stops the engine
+//!   with a *blocking* mailbox send (a full mailbox can no longer
+//!   swallow the shutdown command) and tears the runtime down
+//!   (idempotently).
 //! * **Chaos integration**: the serve-layer [`dtt_core::FaultPoint`]s
 //!   (`ConnDrop`, `ClientStall`, `AcceptOverflow`) are probed through a
-//!   seeded [`dtt_core::FaultProbe`]; `dtt-chaos` drives them with
-//!   pinned seeds and asserts the conservation identities
+//!   seeded [`dtt_core::FaultProbe`] inside the event loop;
+//!   `dtt-chaos` drives them with pinned seeds and asserts the
+//!   conservation identities
 //!   ([`admission::ServeStatsSnapshot::admission_conserved`],
 //!   [`admission::ServeStatsSnapshot::lifecycle_conserved`]).
 //!
@@ -41,20 +57,26 @@
 //! | `DTT_SERVE_MAX_INFLIGHT` | admission-gate permits |
 //! | `DTT_SERVE_QUEUE` | bounded engine-mailbox capacity |
 //! | `DTT_SERVE_DEADLINE_MS` | per-request deadline, milliseconds |
+//! | `DTT_SERVE_WORKERS` | event workers sweeping connections |
+//! | `DTT_SERVE_KEYSPACE` | logical key space of the keyed view |
+//!
+//! A malformed value falls back to its default and warns on stderr once
+//! per process per variable (same contract as the core `DTT_*` knobs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod client;
+mod conn;
 mod engine;
 pub mod load;
 pub mod proto;
 pub mod server;
 
-pub use admission::{Gate, ServeStats, ServeStatsSnapshot};
+pub use admission::{Gate, Permit, ServeStats, ServeStatsSnapshot};
 pub use client::Client;
 pub use engine::ViewKind;
 pub use load::{LoadConfig, LoadReport};
-pub use proto::{Request, Response};
+pub use proto::{FrameDecoder, Request, Response};
 pub use server::{ServeConfig, Server};

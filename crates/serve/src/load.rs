@@ -33,8 +33,11 @@ pub struct LoadConfig {
     /// Fraction of requests that are writes (the rest are reads), in
     /// tenths: `7` means 70% writes.
     pub write_tenths: u32,
-    /// Key space for generated writes.
+    /// Key space for generated writes (and keyed reads).
     pub key_space: u64,
+    /// Keyed-store mode: reads become `GetKey { key }` over `key_space`
+    /// (shard-row aggregates) instead of `Get { query }` (global cells).
+    pub keyed: bool,
     /// Mix/schedule seed.
     pub seed: u64,
 }
@@ -48,6 +51,7 @@ impl Default for LoadConfig {
             duration: Duration::from_secs(1),
             write_tenths: 7,
             key_space: 512,
+            keyed: false,
             seed: 0xD77_5E12,
         }
     }
@@ -122,6 +126,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         let duration = cfg.duration;
         let write_tenths = cfg.write_tenths;
         let key_space = cfg.key_space.max(1);
+        let keyed = cfg.keyed;
         let mut rng = cfg.seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F);
         handles.push(thread::spawn(move || -> io::Result<LoadThread> {
             let mut out = LoadThread::default();
@@ -141,6 +146,10 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
                     Request::Put {
                         key: mix(&mut rng) % key_space,
                         value: (mix(&mut rng) % 1_000) as i64,
+                    }
+                } else if keyed {
+                    Request::GetKey {
+                        key: mix(&mut rng) % key_space,
                     }
                 } else {
                     Request::Get {

@@ -33,6 +33,13 @@ pub enum Request {
         /// Aggregate selector.
         query: u8,
     },
+    /// Read the tthread-maintained aggregate of the shard-row `key` maps
+    /// to (keyed view). On the non-keyed views this answers the primary
+    /// aggregate, like `Get { query: 0 }`.
+    GetKey {
+        /// Client key, folded onto the keyed view's slot space.
+        key: u64,
+    },
 }
 
 /// A server response.
@@ -79,6 +86,12 @@ impl Request {
                 out
             }
             Request::Get { query } => vec![2, query],
+            Request::GetKey { key } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(3);
+                out.extend_from_slice(&key.to_le_bytes());
+                out
+            }
         }
     }
 
@@ -91,6 +104,9 @@ impl Request {
                 value: i64::from_le_bytes(buf[9..17].try_into().ok()?),
             }),
             (2, 2) => Some(Request::Get { query: buf[1] }),
+            (3, 9) => Some(Request::GetKey {
+                key: u64::from_le_bytes(buf[1..9].try_into().ok()?),
+            }),
             _ => None,
         }
     }
@@ -143,9 +159,89 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Incremental, resumable frame parser: the per-connection read state.
+///
+/// The blocking [`read_frame`] loses bytes if a read times out mid-frame
+/// — it has nowhere to park a partial length prefix or payload, so a
+/// `WouldBlock`/`TimedOut` error after 1–3 length bytes silently drops
+/// them and desynchronizes the stream (the PR-9 `handle_conn` bug). The
+/// decoder fixes that structurally: callers [`FrameDecoder::extend`] it
+/// with whatever bytes a non-blocking read produced — zero, a dribble,
+/// or several pipelined frames — and [`FrameDecoder::next_frame`] yields
+/// a frame only once it is complete. Partial frames stay buffered across
+/// calls indefinitely; a timeout is no longer an error the parser can
+/// even observe.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames; compacted
+    /// opportunistically so the buffer does not creep.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder (no partial frame).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read off the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed prefixes are dead weight.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete frame's payload, or `None` if more bytes
+    /// are needed (the partial frame stays buffered).
+    ///
+    /// # Errors
+    ///
+    /// `ErrorKind::InvalidData` for a length prefix over [`MAX_FRAME`] —
+    /// a corrupt or hostile frame must not balloon memory, and the
+    /// stream is unrecoverable past it.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4-byte slice"));
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame length exceeds MAX_FRAME",
+            ));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[4..total].to_vec();
+        self.pos += total;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet yielded (partial-frame diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when a partial frame is parked in the buffer.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+}
+
 /// Reads one frame's payload. `Ok(None)` on a clean EOF at a frame
 /// boundary; mid-frame EOF, oversized lengths and read timeouts surface
 /// as errors.
+///
+/// Only safe on **blocking** streams without read timeouts: an error
+/// return loses any partially-read frame. Connections with timeouts or
+/// non-blocking sockets must use [`FrameDecoder`] instead.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     match r.read(&mut len_buf) {
@@ -179,9 +275,80 @@ mod tests {
             },
             Request::Put { key: 0, value: 0 },
             Request::Get { query: 1 },
+            Request::GetKey { key: 0 },
+            Request::GetKey { key: u64::MAX },
         ] {
             assert_eq!(Request::decode(&req.encode()), Some(req));
         }
+    }
+
+    #[test]
+    fn decoder_resumes_across_arbitrary_splits() {
+        // Two frames fed one byte at a time: every intermediate call must
+        // report "more needed", never drop a byte, and both frames must
+        // come out intact — the resumable-state guarantee the blocking
+        // read_frame cannot give.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Put { key: 7, value: -3 }.encode()).unwrap();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            Request::decode(&frames[0]),
+            Some(Request::Put { key: 7, value: -3 })
+        );
+        assert_eq!(Request::decode(&frames[1]), Some(Request::Ping));
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn decoder_yields_pipelined_frames_from_one_chunk() {
+        let mut wire = Vec::new();
+        for q in 0..5u8 {
+            write_frame(&mut wire, &Request::Get { query: q }.encode()).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        for q in 0..5u8 {
+            assert_eq!(
+                Request::decode(&dec.next_frame().unwrap().unwrap()),
+                Some(Request::Get { query: q })
+            );
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_hostile_lengths_without_allocating() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_buffer_compacts_after_consumption() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 1024]).unwrap();
+        for _ in 0..16 {
+            dec.extend(&wire);
+            assert!(dec.next_frame().unwrap().is_some());
+        }
+        // The consumed prefix must not accumulate across frames.
+        assert!(
+            dec.buf.len() <= 2 * wire.len(),
+            "decoder buffer grew to {} bytes over 16 consumed frames",
+            dec.buf.len()
+        );
     }
 
     #[test]

@@ -1,12 +1,24 @@
-//! The front-end: accept loop, per-connection handlers, admission,
+//! The front-end: accept loop, the event-driven handler pool, admission,
 //! deadlines, degradation and drain-mode shutdown.
+//!
+//! ## Connection path
+//!
+//! Connections are **not** threads. The accept loop hands each accepted
+//! socket to one of a small, fixed pool of *event workers* (round-robin);
+//! a worker owns a set of [`crate::conn::Conn`] state machines and sweeps
+//! them with non-blocking reads and writes, sleeping briefly only when no
+//! connection made progress. OS thread count is `event_workers + 2`
+//! (accept + engine) regardless of whether 4 or 10 000 clients are
+//! connected — the PR-9 thread-per-connection path pinned both the
+//! concurrency ceiling and the `JoinHandle` leak to the connection count;
+//! this one pins them to the pool size.
 //!
 //! ## Request lifecycle
 //!
 //! ```text
 //! decoded ──► accept (counted) ──► gate ──┬─ no permit / injected
-//!                                         │  overflow ──► SHED
-//!                                         └─ admitted ──┬─ injected
+//!                                         │  overflow / full mailbox ──► SHED
+//!                                         └─ admitted (RAII permit) ──┬─ injected
 //!                                                       │  conn-drop ──► DROPPED
 //!                                                       ├─ engine reply ──► RESPONSE
 //!                                                       └─ deadline ──► DEGRADED RESPONSE
@@ -15,32 +27,39 @@
 //! Every decoded request takes exactly one of the arrows on the right —
 //! that is the conservation identity
 //! `accepts == responses + sheds + dropped_conns` asserted by the
-//! contract tests, the chaos harness and the bench bin.
+//! contract tests, the chaos harness and the bench bin. A request parked
+//! mid-lifecycle when its connection dies (or its handler panics) is
+//! settled by [`crate::conn::Conn::abort`], so the identity holds at
+//! every quiescent point, not just on sunny days.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Once};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use dtt_core::{Config, FaultPlan, FaultPoint, FaultProbe};
+use dtt_workloads::KeyMap;
 
 use crate::admission::{Gate, ServeStats, ServeStatsSnapshot};
-use crate::engine::{Cache, Engine, EngineCmd, EngineConfig, Reply, ViewKind};
-use crate::proto::{read_frame, write_frame, Request, Response};
-
-/// How long a handler blocks on a socket read before re-checking the
-/// drain flag. Bounds the shutdown latency of an idle connection.
-const READ_POLL: Duration = Duration::from_millis(25);
+use crate::conn::{Conn, Polled};
+use crate::engine::{Cache, Engine, EngineCmd, EngineConfig, ViewKind};
 
 /// Accept-loop poll period while the listener is idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
+/// Event-worker sleep when a full sweep made no progress: long enough
+/// not to spin a core, short enough to stay well under request
+/// deadlines.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
 /// Server construction knobs. `Default` gives a loopback server on an
 /// ephemeral port with the spreadsheet view; the `DTT_SERVE_*` env knobs
-/// (see [`ServeConfig::from_env`]) override the admission limits.
+/// (see [`ServeConfig::from_env`]) override the admission limits and the
+/// pool/keyed-store sizing.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; `127.0.0.1:0` picks an ephemeral port.
@@ -49,16 +68,22 @@ pub struct ServeConfig {
     pub max_inflight: usize,
     /// Engine mailbox capacity (the bounded accept queue).
     pub queue_cap: usize,
-    /// Per-request deadline: how long a handler waits for the engine
-    /// before answering from last-committed state.
+    /// Per-request deadline: how long a parked request waits for the
+    /// engine before answering from last-committed state.
     pub deadline: Duration,
     /// Runtime worker threads for the served view.
     pub workers: usize,
+    /// Event workers sweeping connection state machines. The server's
+    /// handler-side OS thread count, independent of connection count.
+    pub event_workers: usize,
     /// Which workload chain backs the view.
     pub view: ViewKind,
-    /// View dimensions: `(rows, cols)` for the sheet, `(samples,
-    /// buckets)` for the pipeline.
+    /// View dimensions: `(rows, cols)` for the sheet and keyed store,
+    /// `(samples, buckets)` for the pipeline.
     pub dims: (usize, usize),
+    /// Logical key space for [`ViewKind::Keyed`]: `Put`/`GetKey` keys are
+    /// folded from this space onto the `dims` grid.
+    pub key_space: u64,
     /// Fault plan installed into the *runtime* (core points: body
     /// panics, retriggers, ...), for wedge scenarios.
     pub runtime_faults: Option<FaultPlan>,
@@ -85,8 +110,10 @@ impl Default for ServeConfig {
             queue_cap: 128,
             deadline: Duration::from_millis(100),
             workers: 1,
+            event_workers: 2,
             view: ViewKind::Sheet,
             dims: (16, 32),
+            key_space: 1 << 20,
             runtime_faults: None,
             serve_faults: None,
             commit_backoff: Some(Duration::from_micros(50)),
@@ -99,19 +126,33 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    /// Defaults with the `DTT_SERVE_MAX_INFLIGHT`, `DTT_SERVE_QUEUE` and
-    /// `DTT_SERVE_DEADLINE_MS` environment knobs applied. Malformed
-    /// values fall back to the defaults.
+    /// Defaults with the `DTT_SERVE_MAX_INFLIGHT`, `DTT_SERVE_QUEUE`,
+    /// `DTT_SERVE_DEADLINE_MS`, `DTT_SERVE_WORKERS` and
+    /// `DTT_SERVE_KEYSPACE` environment knobs applied. A malformed value
+    /// falls back to the default — and warns on stderr once per process
+    /// per variable, because a typo'd knob that silently vanishes is how
+    /// a "tuned" deployment runs untuned for a month.
     pub fn from_env() -> Self {
+        static WARN_INFLIGHT: Once = Once::new();
+        static WARN_QUEUE: Once = Once::new();
+        static WARN_DEADLINE: Once = Once::new();
+        static WARN_WORKERS: Once = Once::new();
+        static WARN_KEYSPACE: Once = Once::new();
         let mut cfg = ServeConfig::default();
-        if let Some(v) = parse_env_usize("DTT_SERVE_MAX_INFLIGHT") {
+        if let Some(v) = parse_env_usize("DTT_SERVE_MAX_INFLIGHT", &WARN_INFLIGHT) {
             cfg.max_inflight = v;
         }
-        if let Some(v) = parse_env_usize("DTT_SERVE_QUEUE") {
+        if let Some(v) = parse_env_usize("DTT_SERVE_QUEUE", &WARN_QUEUE) {
             cfg.queue_cap = v.max(1);
         }
-        if let Some(v) = parse_env_usize("DTT_SERVE_DEADLINE_MS") {
+        if let Some(v) = parse_env_usize("DTT_SERVE_DEADLINE_MS", &WARN_DEADLINE) {
             cfg.deadline = Duration::from_millis(v as u64);
+        }
+        if let Some(v) = parse_env_usize("DTT_SERVE_WORKERS", &WARN_WORKERS) {
+            cfg.event_workers = v.max(1);
+        }
+        if let Some(v) = parse_env_usize("DTT_SERVE_KEYSPACE", &WARN_KEYSPACE) {
+            cfg.key_space = (v as u64).max(1);
         }
         cfg
     }
@@ -131,20 +172,38 @@ impl ServeConfig {
     }
 }
 
-fn parse_env_usize(var: &str) -> Option<usize> {
-    std::env::var(var).ok()?.trim().parse().ok()
+/// Parses an env knob, warning **once per process per variable** when the
+/// value is set but malformed (the same contract as the core
+/// `DTT_*` knobs): unset → `None` silently, malformed → `None` with a
+/// stderr warning, valid → `Some`.
+fn parse_env_usize(var: &str, warn: &'static Once) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn.call_once(|| {
+                eprintln!(
+                    "dtt-serve: ignoring malformed {var}={raw:?} (expected a non-negative integer); using default"
+                );
+            });
+            None
+        }
+    }
 }
 
-/// State shared between the accept loop and every handler thread.
-struct Shared {
-    stats: ServeStats,
-    gate: Gate,
-    probe: FaultProbe,
-    cache: Cache,
-    cmd_tx: SyncSender<EngineCmd>,
-    draining: AtomicBool,
-    active_conns: AtomicUsize,
-    deadline: Duration,
+/// State shared between the accept loop and the event workers.
+pub(crate) struct Shared {
+    pub(crate) stats: ServeStats,
+    pub(crate) gate: Arc<Gate>,
+    pub(crate) probe: FaultProbe,
+    pub(crate) cache: Cache,
+    /// Key → slot mapping of the keyed view (`None` elsewhere); used for
+    /// degraded keyed reads from the cached shard rows.
+    pub(crate) key_map: Option<KeyMap>,
+    pub(crate) cmd_tx: SyncSender<EngineCmd>,
+    pub(crate) draining: AtomicBool,
+    pub(crate) active_conns: AtomicUsize,
+    pub(crate) deadline: Duration,
 }
 
 /// A running front-end. Dropping without [`Server::shutdown`] aborts the
@@ -154,12 +213,13 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_handle: Option<thread::JoinHandle<()>>,
+    worker_handles: Vec<thread::JoinHandle<()>>,
     engine_handle: Option<thread::JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
 }
 
 impl Server {
-    /// Binds, spawns the engine and the accept loop, and returns.
+    /// Binds, spawns the engine, the event-worker pool and the accept
+    /// loop, and returns.
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -169,12 +229,14 @@ impl Server {
         let engine_cfg = EngineConfig {
             kind: cfg.view,
             dims: cfg.dims,
+            key_space: cfg.key_space.max(1),
             runtime: cfg.runtime_config(),
             repair_cap: cfg.repair_cap,
             repair_backoff: cfg.repair_backoff,
             seed: cfg.serve_faults.as_ref().map_or(1, |p| p.seed),
         };
-        let (cache, engine_handle) = Engine::spawn(engine_cfg, cmd_rx, cfg.teardown_timeout);
+        let (cache, key_map, engine_handle) =
+            Engine::spawn(engine_cfg, cmd_rx, cfg.teardown_timeout);
 
         let probe = match &cfg.serve_faults {
             Some(plan) => FaultProbe::from_plan(plan),
@@ -182,29 +244,42 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             stats: ServeStats::new(),
-            gate: Gate::new(cfg.max_inflight),
+            gate: Arc::new(Gate::new(cfg.max_inflight)),
             probe,
             cache,
+            key_map,
             cmd_tx,
             draining: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
             deadline: cfg.deadline,
         });
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+
+        let pool = cfg.event_workers.max(1);
+        let mut worker_handles = Vec::with_capacity(pool);
+        let mut registrations = Vec::with_capacity(pool);
+        for i in 0..pool {
+            let (reg_tx, reg_rx) = mpsc::channel::<TcpStream>();
+            registrations.push(reg_tx);
+            let worker_shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("dtt-serve-ev{i}"))
+                .spawn(move || event_worker(reg_rx, worker_shared))
+                .expect("spawn event worker");
+            worker_handles.push(handle);
+        }
 
         let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conn_handles);
         let accept_handle = thread::Builder::new()
             .name("dtt-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, accept_conns))
+            .spawn(move || accept_loop(listener, accept_shared, registrations))
             .expect("spawn accept thread");
 
         Ok(Server {
             shared,
             local_addr,
             accept_handle: Some(accept_handle),
+            worker_handles,
             engine_handle: Some(engine_handle),
-            conn_handles,
         })
     }
 
@@ -218,16 +293,30 @@ impl Server {
         self.shared.stats.snapshot()
     }
 
+    /// Connections currently registered with the event workers. Bounded
+    /// by client behaviour, not by OS threads — the churn test drives
+    /// 10 000 connections through and asserts this returns to zero while
+    /// the thread count never moves.
+    pub fn active_conn_count(&self) -> usize {
+        self.shared.active_conns.load(Ordering::SeqCst)
+    }
+
     /// Serve-layer fault injections so far, indexed by
     /// [`FaultPoint`] discriminant.
     pub fn fault_injections(&self) -> [u64; FaultPoint::COUNT] {
         self.shared.probe.counts()
     }
 
-    /// Drain-mode shutdown: stop accepting, let in-flight connections
-    /// finish their current request, then stop the engine and tear the
-    /// runtime down. **Idempotent** — a second call finds everything
+    /// Drain-mode shutdown: stop accepting, let in-flight requests
+    /// finish, retire the event workers, then stop the engine and tear
+    /// the runtime down. **Idempotent** — a second call finds everything
     /// already joined and returns `Ok` immediately.
+    ///
+    /// The engine stop is a *blocking* mailbox send: the PR-9 path used
+    /// `try_send` and silently dropped the shutdown command whenever the
+    /// mailbox was full at drain, leaving `join` waiting on an engine
+    /// that would never be told to exit. The mailbox is bounded and the
+    /// engine always drains it, so the blocking send is itself bounded.
     ///
     /// # Errors
     ///
@@ -238,6 +327,9 @@ impl Server {
         let deadline = Instant::now() + timeout;
         self.shared.draining.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_handle.take() {
+            // Joining the accept loop drops the registration senders;
+            // each worker exits once its channel disconnects and its
+            // connection set drains.
             let _ = handle.join();
         }
         while self.shared.active_conns.load(Ordering::SeqCst) > 0 {
@@ -249,15 +341,11 @@ impl Server {
             }
             thread::sleep(Duration::from_millis(1));
         }
-        let handles: Vec<_> = {
-            let mut guard = self.conn_handles.lock().expect("conn handle lock");
-            guard.drain(..).collect()
-        };
-        for handle in handles {
+        for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
         if let Some(handle) = self.engine_handle.take() {
-            let _ = self.shared.cmd_tx.try_send(EngineCmd::Shutdown);
+            let _ = self.shared.cmd_tx.send(EngineCmd::Shutdown);
             let _ = handle.join();
         }
         Ok(())
@@ -267,8 +355,9 @@ impl Server {
 fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
-    conn_handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    registrations: Vec<mpsc::Sender<TcpStream>>,
 ) {
+    let mut next = 0usize;
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             return;
@@ -276,15 +365,14 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 shared.active_conns.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(&shared);
-                let handle = thread::Builder::new()
-                    .name("dtt-serve-conn".into())
-                    .spawn(move || {
-                        handle_conn(stream, &conn_shared);
-                        conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                    })
-                    .expect("spawn connection handler");
-                conn_handles.lock().expect("conn handle lock").push(handle);
+                let slot = next % registrations.len();
+                next = next.wrapping_add(1);
+                if registrations[slot].send(stream).is_err() {
+                    // Worker gone (only happens past drain); undo the
+                    // registration and stop accepting.
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(_) => return,
@@ -292,168 +380,55 @@ fn accept_loop(
     }
 }
 
-/// Per-request lifecycle decision; see the module diagram.
-enum Decision {
-    /// Admission refused (full gate, full mailbox, or injected
-    /// overflow): answer `Shed`.
-    Shed,
-    /// Admitted and answered.
-    Respond(Response),
-    /// Admitted, then the connection was severed without a response.
-    DropConn,
-}
-
-fn handle_conn(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
+/// One event worker: drains its registration channel, sweeps its
+/// connection state machines, and sleeps briefly only when a full sweep
+/// moved nothing. A panicking connection poll is caught, settled through
+/// [`Conn::abort`] (counters conserved, permit returned by RAII) and the
+/// connection dropped — one poisoned request cannot take down the
+/// worker's other connections.
+fn event_worker(reg_rx: Receiver<TcpStream>, shared: Arc<Shared>) {
+    let mut conns: Vec<Conn> = Vec::new();
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return, // clean EOF
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.draining.load(Ordering::SeqCst) {
-                    return;
+        let mut disconnected = false;
+        loop {
+            match reg_rx.try_recv() {
+                Ok(stream) => match Conn::new(stream) {
+                    Ok(conn) => conns.push(conn),
+                    Err(_) => {
+                        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    }
+                },
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
                 }
-                continue;
             }
-            Err(_) => return,
-        };
-        let Some(request) = Request::decode(&payload) else {
-            // Malformed payload: answer once, then desync-close.
-            let _ = write_frame(&mut stream, &Response::Err { code: 1 }.encode());
+        }
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let mut progressed = false;
+        conns.retain_mut(|conn| {
+            let polled = match catch_unwind(AssertUnwindSafe(|| conn.poll(&shared, draining))) {
+                Ok(polled) => polled,
+                Err(_) => {
+                    conn.abort(&shared);
+                    Polled {
+                        keep: false,
+                        progressed: true,
+                    }
+                }
+            };
+            progressed |= polled.progressed;
+            if !polled.keep {
+                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            }
+            polled.keep
+        });
+        if disconnected && conns.is_empty() {
             return;
-        };
-        shared.stats.on_accept();
-
-        // Injected slow client: stretch the gap between decode and
-        // admission; the read-timeout poll (not a wedge) bounds real
-        // stalls, this bounds injected ones by the plan's delay.
-        if shared.probe.fire(FaultPoint::ClientStall) {
-            shared.probe.delay();
         }
-
-        // Admission, decided exactly once per request: an injected queue
-        // overflow, a full gate, or a saturated engine mailbox all shed
-        // through the same client-visible path.
-        let overflow = shared.probe.fire(FaultPoint::AcceptOverflow);
-        let decision = if overflow || !shared.gate.try_acquire() {
-            Decision::Shed
-        } else {
-            let decision = gated_request(shared, request);
-            shared.gate.release();
-            decision
-        };
-        match decision {
-            Decision::Shed => {
-                shared.stats.on_shed();
-                if write_frame(&mut stream, &Response::Shed.encode()).is_err() {
-                    return;
-                }
-            }
-            Decision::DropConn => {
-                // Injected mid-batch connection drop: the request was
-                // admitted, then its connection severed without a
-                // response; conserved via dropped_conns.
-                shared.stats.on_admit();
-                shared.stats.on_dropped_conn();
-                return;
-            }
-            Decision::Respond(response) => {
-                shared.stats.on_admit();
-                let degraded = matches!(
-                    response,
-                    Response::Ok { degraded: true } | Response::Value { degraded: true, .. }
-                );
-                if degraded {
-                    shared.stats.on_degraded();
-                }
-                // Counted before the write: once the server commits to an
-                // answer the request is a response, and the client can
-                // observe it (and a test can read the counters) before
-                // this thread runs again. A failed write just closes the
-                // connection — the answer was produced, delivery is the
-                // peer's loss.
-                shared.stats.on_response();
-                if write_frame(&mut stream, &response.encode()).is_err() {
-                    return;
-                }
-            }
-        }
-        if shared.draining.load(Ordering::SeqCst) {
-            return; // in-flight request finished; close under drain
-        }
-    }
-}
-
-/// Runs one request that holds a gate permit to its decision. A full
-/// engine mailbox is a [`Decision::Shed`] — the bounded accept queue is
-/// part of admission, so the request has *not* been admitted until its
-/// command is enqueued (or it needs no engine round trip).
-fn gated_request(shared: &Shared, request: Request) -> Decision {
-    if shared.probe.fire(FaultPoint::ConnDrop) {
-        return Decision::DropConn;
-    }
-    match request {
-        Request::Ping => Decision::Respond(Response::Pong),
-        Request::Put { key, value } => {
-            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-            let cmd = EngineCmd::Put {
-                key,
-                value,
-                reply: reply_tx,
-            };
-            match shared.cmd_tx.try_send(cmd) {
-                Ok(()) => match reply_rx.recv_timeout(shared.deadline) {
-                    Ok(Reply::Ok { degraded }) => Decision::Respond(Response::Ok { degraded }),
-                    Ok(Reply::Value { .. }) | Err(RecvTimeoutError::Timeout) => {
-                        // Deadline passed (or a protocol mixup): the write
-                        // is applied but not confirmed fresh.
-                        Decision::Respond(Response::Ok { degraded: true })
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        // Engine stopped mid-request (drain race): the
-                        // write may or may not land; answer degraded.
-                        Decision::Respond(Response::Ok { degraded: true })
-                    }
-                },
-                Err(TrySendError::Full(_)) => Decision::Shed,
-                Err(TrySendError::Disconnected(_)) => Decision::Shed,
-            }
-        }
-        Request::Get { query } => {
-            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-            let cmd = EngineCmd::Get {
-                query,
-                reply: reply_tx,
-            };
-            let fallback = |shared: &Shared| {
-                // Deadline or a stopped engine: serve the last-committed
-                // cell, tagged so the client knows freshness was not
-                // confirmed. Graceful degradation, not an error.
-                let cells = *shared.cache.lock().expect("cache lock");
-                Decision::Respond(Response::Value {
-                    degraded: true,
-                    value: cells[usize::from(query.min(1))],
-                })
-            };
-            match shared.cmd_tx.try_send(cmd) {
-                Ok(()) => match reply_rx.recv_timeout(shared.deadline) {
-                    Ok(Reply::Value { degraded, value }) => {
-                        Decision::Respond(Response::Value { degraded, value })
-                    }
-                    Ok(Reply::Ok { .. }) => fallback(shared),
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                        fallback(shared)
-                    }
-                },
-                Err(TrySendError::Full(_)) => Decision::Shed,
-                Err(TrySendError::Disconnected(_)) => fallback(shared),
-            }
+        if !progressed {
+            thread::sleep(IDLE_SLEEP);
         }
     }
 }

@@ -262,6 +262,116 @@ fn overload_sheds_instead_of_collapsing() {
 }
 
 #[test]
+fn keyed_view_serves_shard_row_aggregates() {
+    // 4x8 grid under a 1M logical key space: keys fold onto slots
+    // (key % key_space % 32), row-major; GetKey answers the
+    // tthread-maintained aggregate of the key's shard row.
+    let mut server = Server::start(ServeConfig {
+        view: ViewKind::Keyed,
+        dims: (4, 8),
+        key_space: 1 << 20,
+        ..quick_config()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Key 0 → slot (0,0); key 9 → slot (1,1); key 1_048_577 folds to
+    // slot (0,1) — the key space wraps, the grid wraps again.
+    for (key, value) in [(0u64, 10i64), (9, 7), (1_048_577, 100)] {
+        assert_eq!(
+            client.request(Request::Put { key, value }).unwrap(),
+            Response::Ok { degraded: false }
+        );
+    }
+    assert_eq!(
+        client.request(Request::GetKey { key: 0 }).unwrap(),
+        Response::Value {
+            degraded: false,
+            value: 110 // row 0: key 0 (10) + folded key 1_048_577 (100)
+        }
+    );
+    assert_eq!(
+        client.request(Request::GetKey { key: 9 }).unwrap(),
+        Response::Value {
+            degraded: false,
+            value: 7
+        }
+    );
+    // The global aggregate still answers over all shard rows.
+    assert_eq!(
+        client.request(Request::Get { query: 0 }).unwrap(),
+        Response::Value {
+            degraded: false,
+            value: 117
+        }
+    );
+    // Colliding keys share a slot: last write wins (37 % 32 == 5).
+    client.request(Request::Put { key: 5, value: 1 }).unwrap();
+    client.request(Request::Put { key: 37, value: 2 }).unwrap();
+    assert_eq!(
+        client.request(Request::GetKey { key: 5 }).unwrap(),
+        Response::Value {
+            degraded: false,
+            value: 112 // row 0: 10 + 100 + 2
+        }
+    );
+    assert_conserved(&server);
+    server.shutdown(Duration::from_secs(10)).unwrap();
+}
+
+#[test]
+fn wedged_keyed_view_degrades_getkey_to_cached_rows() {
+    // Same wedge as the sheet test, keyed view: GetKey must fall back to
+    // the last-committed shard-row cache, tagged degraded — not error,
+    // not panic through a poisoned cache.
+    let mut server = Server::start(ServeConfig {
+        view: ViewKind::Keyed,
+        dims: (4, 8),
+        key_space: 1 << 16,
+        workers: 1,
+        body_deadline: Some(Duration::ZERO),
+        repair_cap: 2,
+        repair_backoff: Duration::from_micros(100),
+        ..quick_config()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client.request(Request::Put { key: 3, value: 5 }).unwrap();
+    assert_eq!(resp, Response::Ok { degraded: true });
+    let resp = client.request(Request::GetKey { key: 3 }).unwrap();
+    assert_eq!(
+        resp,
+        Response::Value {
+            degraded: true,
+            value: 0 // last-committed rows: the initial all-zero grid
+        }
+    );
+    assert_conserved(&server);
+    server.shutdown(Duration::from_secs(10)).unwrap();
+}
+
+#[test]
+fn getkey_on_unkeyed_view_answers_primary_aggregate() {
+    let mut server = Server::start(quick_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.request(Request::Put { key: 0, value: 21 }).unwrap();
+    client.request(Request::Put { key: 1, value: 21 }).unwrap();
+    // Sheet view: GetKey degrades gracefully to `Get { query: 0 }`.
+    assert_eq!(
+        client.request(Request::GetKey { key: 999 }).unwrap(),
+        Response::Value {
+            degraded: false,
+            value: 42
+        }
+    );
+    assert_conserved(&server);
+    server.shutdown(Duration::from_secs(10)).unwrap();
+}
+
+#[test]
 fn env_knobs_shape_the_config() {
     // Setting env vars here would race other tests in this binary, so
     // only the unset/default path is pinned; the CLI tests exercise the

@@ -64,7 +64,7 @@ pub use mesa::Mesa;
 pub use parser::Parser;
 pub use perlbmk::Perlbmk;
 pub use pipeline::Pipeline;
-pub use served::{PipelineView, ServedPipeline, ServedSheet, SheetView};
+pub use served::{KeyMap, PipelineView, ServedKeyed, ServedPipeline, ServedSheet, SheetView};
 pub use spreadsheet::Spreadsheet;
 pub use suite::{suite, DttRun, Scale, TthreadReport, Workload};
 pub use twolf::Twolf;

@@ -11,7 +11,10 @@
 //! * [`ServedSheet`] — grid → per-row SUM tthreads → TOTAL → AVG (the
 //!   `spreadsheet` chain);
 //! * [`ServedPipeline`] — raw samples → CLAMP → per-BUCKET sums → PEAK
-//!   (the `pipeline` chain).
+//!   (the `pipeline` chain);
+//! * [`ServedKeyed`] — a logical `key_space` (millions of keys) folded
+//!   onto the sheet grid via [`KeyMap`], so `Put {key}`/`Get {key}`
+//!   address per-shard-row tthread-maintained aggregates.
 //!
 //! Both expose the same verbs: `apply` a write to tracked input,
 //! `refresh` the derived chain (joins in topological order, propagating
@@ -45,6 +48,7 @@ pub struct ServedSheet {
     rows: usize,
     cols: usize,
     grid: TrackedMatrix<i64>,
+    row_sums: TrackedArray<i64>,
     total_cell: TrackedArray<i64>,
     avg_cell: TrackedArray<i64>,
     row_tts: Vec<TthreadId>,
@@ -104,6 +108,7 @@ impl ServedSheet {
             rows,
             cols,
             grid,
+            row_sums,
             total_cell,
             avg_cell,
             row_tts,
@@ -161,6 +166,21 @@ impl ServedSheet {
             .rt
             .with(|ctx| (ctx.read(total_cell, 0), ctx.read(avg_cell, 0)));
         SheetView { total, avg }
+    }
+
+    /// Reads one row's tthread-maintained SUM (no refresh); out-of-range
+    /// rows wrap, matching [`ServedSheet::apply`].
+    pub fn read_row(&mut self, row: usize) -> i64 {
+        let (rows, row_sums) = (self.rows, self.row_sums);
+        self.rt.with(|ctx| ctx.read(row_sums, row % rows))
+    }
+
+    /// Snapshot of every row SUM (last-committed), for degraded-read
+    /// caches.
+    pub fn rows_snapshot(&mut self) -> Vec<i64> {
+        let (rows, row_sums) = (self.rows, self.row_sums);
+        self.rt
+            .with(|ctx| (0..rows).map(|r| ctx.read(row_sums, r)).collect())
     }
 
     /// The underlying runtime, for stats, drain and repair verbs.
@@ -296,6 +316,126 @@ impl ServedPipeline {
     }
 }
 
+/// The deterministic logical-key → shard-slot mapping of a
+/// [`ServedKeyed`] view, small and `Copy` so front-end handlers can map
+/// keys to shard-rows (for degraded-read caches) without touching the
+/// runtime.
+///
+/// `key_space` logical keys fold onto `rows × cols` physical slots in
+/// row-major order: `slot = key % (rows * cols)`, `row = slot / cols`.
+/// Many logical keys share a slot (that is the point — millions of keys
+/// over a bounded arena); within a slot, last write wins, and each
+/// shard-row's aggregate is tthread-maintained over whatever its slots
+/// hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyMap {
+    /// Shard-rows in the backing grid.
+    pub rows: usize,
+    /// Slots per shard-row.
+    pub cols: usize,
+    /// Logical keys addressable by clients.
+    pub key_space: u64,
+}
+
+impl KeyMap {
+    /// The physical `(row, col)` slot a logical key folds onto.
+    pub fn slot_of(&self, key: u64) -> (usize, usize) {
+        let cells = (self.rows * self.cols).max(1) as u64;
+        let slot = (key % self.key_space.max(1)) % cells;
+        ((slot as usize) / self.cols, (slot as usize) % self.cols)
+    }
+
+    /// The shard-row a logical key's aggregate lives in.
+    pub fn row_of(&self, key: u64) -> usize {
+        self.slot_of(key).0
+    }
+}
+
+/// The keyed store view: a `key_space` of logical keys (millions) folded
+/// onto a `rows × cols` tracked grid, with the same SUM → TOTAL → AVG
+/// tthread chain as [`ServedSheet`] maintaining one aggregate per
+/// shard-row plus the global cells. `Put {key}` writes the key's slot;
+/// `Get {key}` reads the key's *shard-row* aggregate — the paper's
+/// skip path means an untouched row costs nothing to keep fresh, so the
+/// served key space scales with traffic, not with key count.
+///
+/// Keyed writes are commutative across rows (PAPERS.md, "Flexible
+/// Support for Fast Parallel Commutative Updates"): independent keyed
+/// puts coalesce into one tracked-store batch with no ordering cost, and
+/// only the rows the batch actually touched recompute.
+pub struct ServedKeyed {
+    sheet: ServedSheet,
+    map: KeyMap,
+}
+
+impl ServedKeyed {
+    /// Builds the view over a `rows × cols` grid serving `key_space`
+    /// logical keys.
+    pub fn build(cfg: Config, rows: usize, cols: usize, key_space: u64) -> Self {
+        let sheet = ServedSheet::build(cfg, rows, cols);
+        ServedKeyed {
+            map: KeyMap {
+                rows,
+                cols,
+                key_space: key_space.max(1),
+            },
+            sheet,
+        }
+    }
+
+    /// The key → slot mapping (copyable; share it with handlers).
+    pub fn key_map(&self) -> KeyMap {
+        self.map
+    }
+
+    /// Applies a batch of `(key, value)` keyed puts in one tracked
+    /// region. Keys fold per [`KeyMap`]; every client key is valid.
+    pub fn apply(&mut self, writes: &[(u64, i64)]) {
+        let map = self.map;
+        let mapped: Vec<(usize, usize, i64)> = writes
+            .iter()
+            .map(|&(k, v)| {
+                let (r, c) = map.slot_of(k);
+                (r, c, v)
+            })
+            .collect();
+        self.sheet.apply(&mapped);
+    }
+
+    /// Joins the chain in topological order; errors propagate for the
+    /// caller to repair (see [`ServedSheet::refresh`]).
+    pub fn refresh(&mut self) -> dtt_core::Result<()> {
+        self.sheet.refresh()
+    }
+
+    /// Reads the global derived cells (total/avg; no refresh).
+    pub fn read(&mut self) -> SheetView {
+        self.sheet.read()
+    }
+
+    /// Reads the tthread-maintained aggregate of `key`'s shard-row.
+    pub fn read_key_row(&mut self, key: u64) -> i64 {
+        let row = self.map.row_of(key);
+        self.sheet.read_row(row)
+    }
+
+    /// Snapshot of every shard-row aggregate (last-committed), the
+    /// degraded-read cache's keyed half.
+    pub fn rows_snapshot(&mut self) -> Vec<i64> {
+        self.sheet.rows_snapshot()
+    }
+
+    /// The underlying runtime, for stats, drain and repair verbs.
+    pub fn runtime_mut(&mut self) -> &mut Runtime<()> {
+        self.sheet.runtime_mut()
+    }
+
+    /// Consumes the view, returning the runtime for a final shutdown.
+    pub fn into_runtime(self) -> Runtime<()> {
+        self.sheet.into_runtime()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +478,44 @@ mod tests {
         pipe.apply(&[(8, 40)]);
         pipe.refresh().unwrap();
         assert_eq!(pipe.read().peak, 120);
+    }
+
+    #[test]
+    fn keyed_view_folds_keys_and_serves_row_aggregates() {
+        // 4 rows x 8 cols = 32 slots serving a 1M key space.
+        let mut keyed = ServedKeyed::build(Config::default(), 4, 8, 1 << 20);
+        let map = keyed.key_map();
+        assert_eq!(map.slot_of(0), (0, 0));
+        assert_eq!(map.slot_of(9), (1, 1));
+        // Keys 32 apart share a slot: last write wins.
+        assert_eq!(map.slot_of(5), map.slot_of(37));
+
+        keyed.apply(&[(0, 10), (9, 7), (5, 100)]);
+        keyed.refresh().unwrap();
+        assert_eq!(keyed.read_key_row(0), 110); // row 0: slots 0 and 5
+        assert_eq!(keyed.read_key_row(9), 7); // row 1: slot 9
+        assert_eq!(keyed.read().total, 117);
+
+        // Slot collision: key 37 overwrites key 5's slot.
+        keyed.apply(&[(37, 1)]);
+        keyed.refresh().unwrap();
+        assert_eq!(keyed.read_key_row(5), 11);
+        assert_eq!(keyed.rows_snapshot(), vec![11, 7, 0, 0]);
+    }
+
+    #[test]
+    fn keyed_rows_skip_when_untouched() {
+        let mut keyed = ServedKeyed::build(Config::default(), 4, 8, 1 << 20);
+        keyed.apply(&[(0, 3)]);
+        keyed.refresh().unwrap();
+        let execs0 = keyed.runtime_mut().stats().counters().executions;
+        // A put to a different shard-row must not recompute row 0's SUM
+        // more than the cascade requires; an identical rewrite is silent.
+        keyed.apply(&[(0, 3)]);
+        keyed.refresh().unwrap();
+        let c = keyed.runtime_mut().stats();
+        assert_eq!(c.counters().executions, execs0);
+        assert!(c.counters().skips > 0);
     }
 
     #[test]
